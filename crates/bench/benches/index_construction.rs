@@ -1,0 +1,65 @@
+//! Vector-construction throughput (Algorithm 1): building the inverted file
+//! index and materializing positional vectors is `O(Σ|Tᵢ|)`; this bench
+//! verifies the linear scaling over dataset sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use treesim_core::InvertedFileIndex;
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_search::{BiBranchFilter, BiBranchMode, HistogramFilter};
+use treesim_tree::Forest;
+
+fn dataset(trees: usize) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(4.0, 0.5),
+        size: Normal::new(50.0, 2.0),
+        label_count: 8,
+        decay: 0.05,
+        seed_count: 10.min(trees),
+        tree_count: trees,
+        rng_seed: trees as u64 ^ 0x1f1,
+    })
+}
+
+fn bench_index_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_construction");
+    group.sample_size(10);
+    for trees in [100usize, 400, 1000] {
+        let forest = dataset(trees);
+        let total_nodes = forest.stats().total_nodes as u64;
+        group.throughput(Throughput::Elements(total_nodes));
+
+        group.bench_with_input(BenchmarkId::new("ifi_build_q2", trees), &trees, |b, _| {
+            b.iter(|| black_box(InvertedFileIndex::build(black_box(&forest), 2)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("ifi_build_q3", trees), &trees, |b, _| {
+            b.iter(|| black_box(InvertedFileIndex::build(black_box(&forest), 3)))
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("bibranch_filter_build", trees),
+            &trees,
+            |b, _| {
+                b.iter(|| {
+                    black_box(BiBranchFilter::build(
+                        black_box(&forest),
+                        2,
+                        BiBranchMode::Positional,
+                    ))
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("histogram_filter_build", trees),
+            &trees,
+            |b, _| b.iter(|| black_box(HistogramFilter::build(black_box(&forest)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_construction);
+criterion_main!(benches);

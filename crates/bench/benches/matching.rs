@@ -1,0 +1,55 @@
+//! Positional matching micro-bench: the convex greedy fast path versus
+//! Kuhn's exact augmenting-path matching, over list lengths and windows.
+//! (Ablation for the design note in DESIGN.md §4 — exact matching is
+//! required for correctness; this measures what the fast path saves.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use treesim_core::matching::{max_matching, Pos};
+
+/// Co-sorted lists (ancestor-free): hits the greedy fast path.
+fn convex_lists(n: usize, seed: u64) -> (Vec<Pos>, Vec<Pos>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let make = |rng: &mut StdRng| {
+        let mut cursor = (1u32, 1u32);
+        (0..n)
+            .map(|_| {
+                cursor.0 += rng.random_range(1..4);
+                cursor.1 += rng.random_range(1..4);
+                cursor
+            })
+            .collect::<Vec<Pos>>()
+    };
+    (make(&mut rng), make(&mut rng))
+}
+
+/// Lists with inverted postorders (nested occurrences): forces Kuhn.
+fn nested_lists(n: usize, seed: u64) -> (Vec<Pos>, Vec<Pos>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let make = |rng: &mut StdRng| {
+        (0..n)
+            .map(|i| (i as u32 + 1, (2 * n - i) as u32 + rng.random_range(0..3)))
+            .collect::<Vec<Pos>>()
+    };
+    (make(&mut rng), make(&mut rng))
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("positional_matching");
+    for n in [8usize, 32, 128] {
+        let (cx, cy) = convex_lists(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("greedy_convex", n), &n, |b, _| {
+            b.iter(|| black_box(max_matching(black_box(&cx), black_box(&cy), 5)))
+        });
+        let (nx, ny) = nested_lists(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("kuhn_exact", n), &n, |b, _| {
+            b.iter(|| black_box(max_matching(black_box(&nx), black_box(&ny), 5)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! End-to-end query latency: k-NN and range queries through the
+//! filter-and-refine engine with each filter, against sequential scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_search::{BiBranchFilter, BiBranchMode, HistogramFilter, NoFilter, SearchEngine};
+use treesim_tree::{Forest, TreeId};
+
+fn dataset() -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(4.0, 0.5),
+        size: Normal::new(50.0, 2.0),
+        label_count: 8,
+        decay: 0.05,
+        seed_count: 10,
+        tree_count: 300,
+        rng_seed: 0x9e,
+    })
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let forest = dataset();
+    let query = forest.tree(TreeId(42));
+    let tau = 8u32;
+    let k = 5usize;
+
+    let bibranch = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let bibranch_plain = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Plain),
+    );
+    let histogram = SearchEngine::new(&forest, HistogramFilter::build(&forest));
+    let sequential = SearchEngine::new(&forest, NoFilter::build(&forest));
+
+    let mut group = c.benchmark_group("range_query");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("bibranch", tau), |b| {
+        b.iter(|| black_box(bibranch.range(black_box(query), tau)))
+    });
+    group.bench_function(BenchmarkId::new("bibranch_plain", tau), |b| {
+        b.iter(|| black_box(bibranch_plain.range(black_box(query), tau)))
+    });
+    group.bench_function(BenchmarkId::new("histogram", tau), |b| {
+        b.iter(|| black_box(histogram.range(black_box(query), tau)))
+    });
+    group.bench_function(BenchmarkId::new("sequential", tau), |b| {
+        b.iter(|| black_box(sequential.range(black_box(query), tau)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("knn_query");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("bibranch", k), |b| {
+        b.iter(|| black_box(bibranch.knn(black_box(query), k)))
+    });
+    group.bench_function(BenchmarkId::new("bibranch_plain", k), |b| {
+        b.iter(|| black_box(bibranch_plain.knn(black_box(query), k)))
+    });
+    group.bench_function(BenchmarkId::new("histogram", k), |b| {
+        b.iter(|| black_box(histogram.knn(black_box(query), k)))
+    });
+    group.bench_function(BenchmarkId::new("sequential", k), |b| {
+        b.iter(|| black_box(sequential.knn(black_box(query), k)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

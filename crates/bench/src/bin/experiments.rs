@@ -1,0 +1,76 @@
+//! Regenerates the figures of the SIGMOD 2005 evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [FIGURE...] [--full] [--markdown PATH]
+//!
+//! FIGURE      fig7 … fig15, or "all" (default: all)
+//! --full      the paper's scale (2000 trees, 100 queries); default is a
+//!             quick scale that finishes in minutes
+//! --markdown  also append the results as Markdown to PATH
+//! ```
+
+use std::io::Write;
+
+use treesim_bench::{run_figure, Scale, ABLATIONS, ALL_FIGURES};
+
+fn main() {
+    let mut figures: Vec<String> = Vec::new();
+    let mut scale = Scale::quick();
+    let mut markdown_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::full(),
+            "--smoke" => scale = Scale::smoke(),
+            "--markdown" => {
+                markdown_path = Some(args.next().unwrap_or_else(|| usage("--markdown needs a path")));
+            }
+            "--help" | "-h" => usage(""),
+            "all" => figures.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            "ablations" => figures.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            other if other.starts_with("fig") || other.starts_with("ablation") => {
+                figures.push(other.to_owned())
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if figures.is_empty() {
+        figures.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+    }
+
+    let mut markdown = String::new();
+    for figure in &figures {
+        let started = std::time::Instant::now();
+        match run_figure(figure, &scale) {
+            Some(table) => {
+                println!("{}", table.render());
+                println!("({} completed in {:.1?})\n", figure, started.elapsed());
+                markdown.push_str(&table.render_markdown());
+            }
+            None => eprintln!("unknown figure id: {figure} (expected fig7..fig15 or ablation-*)"),
+        }
+    }
+
+    if let Some(path) = markdown_path {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            });
+        write!(file, "{markdown}").expect("write markdown");
+        println!("markdown appended to {path}");
+    }
+}
+
+fn usage(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!("usage: experiments [fig7..fig15|ablation-q|ablation-bound|all|ablations]... [--full|--smoke] [--markdown PATH]");
+    std::process::exit(if message.is_empty() { 0 } else { 2 });
+}

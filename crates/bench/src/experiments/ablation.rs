@@ -1,0 +1,219 @@
+//! Ablations for the design choices DESIGN.md calls out — not part of the
+//! paper's figures, but quantifying its two tuning knobs:
+//!
+//! * **q-level** (§3.4): higher q encodes more structure per branch but
+//!   divides by a larger factor `4(q−1)+1`; the paper argues q = 2 is the
+//!   sweet spot except on deep trees.
+//! * **bound mode** (§4.2): the positional optimistic bound is tighter than
+//!   `⌈BDist/5⌉` but costs a binary search over `PosBDist`; stacking the
+//!   histogram filter on top (`MaxFilter`) tests whether the baselines add
+//!   anything once binary branches are in play.
+
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_search::{
+    BiBranchFilter, BiBranchMode, HistogramFilter, MaxFilter, SearchEngine,
+};
+use treesim_tree::Forest;
+
+use crate::experiments::{estimate_range_radius, sample_queries};
+use crate::runner::{run_workload, QueryMode};
+use crate::scale::Scale;
+use crate::table::{f2, ms, Table};
+
+fn synthetic(scale: &Scale) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(4.0, 0.5),
+        size: Normal::new(50.0, 2.0),
+        label_count: 8,
+        decay: 0.05,
+        seed_count: 10,
+        tree_count: scale.dataset_size,
+        rng_seed: scale.rng_seed ^ 0xab1,
+    })
+}
+
+/// Ablation A: branch level q ∈ {2, 3, 4} on synthetic and DBLP data,
+/// range + k-NN.
+pub fn q_level_ablation(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "ablation-q",
+        "Ablation: branch level q",
+        &[
+            "dataset", "q", "range %", "knn %", "range ms", "knn ms", "param",
+        ],
+    );
+    let datasets: Vec<(&str, Forest)> = vec![
+        ("synthetic", synthetic(scale)),
+        ("dblp", crate::experiments::dblp::dblp_forest(scale)),
+    ];
+    for (name, forest) in &datasets {
+        let queries = sample_queries(forest, scale, q_salt(name));
+        let (_, tau) = estimate_range_radius(forest, scale, q_salt(name));
+        let k = scale.knn_k();
+        for q in 2..=4usize {
+            let engine = SearchEngine::new(
+                forest,
+                BiBranchFilter::build(forest, q, BiBranchMode::Positional),
+            );
+            let range = run_workload(&engine, &queries, QueryMode::Range(tau));
+            let knn = run_workload(&engine, &queries, QueryMode::Knn(k));
+            table.push_row(vec![
+                (*name).to_owned(),
+                q.to_string(),
+                f2(range.accessed_percent),
+                f2(knn.accessed_percent),
+                ms(range.total_time()),
+                ms(knn.total_time()),
+                format!("τ={tau}, k={k}"),
+            ]);
+        }
+    }
+    table.push_note(
+        "expected: q=2 best or tied on shallow data (DBLP), higher q only helps when deep structure dominates; factor 4(q−1)+1 dilutes the bound as q grows",
+    );
+    table
+}
+
+fn q_salt(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xa1u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+}
+
+/// Ablation B: bound mode — plain ⌈BDist/5⌉ vs positional propt vs
+/// positional stacked with the histogram filter.
+pub fn bound_mode_ablation(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "ablation-bound",
+        "Ablation: lower-bound mode (synthetic range queries)",
+        &["mode", "accessed %", "result %", "filter ms", "refine ms"],
+    );
+    let forest = synthetic(scale);
+    let queries = sample_queries(&forest, scale, 0xb0);
+    let (_, tau) = estimate_range_radius(&forest, scale, 0xb0);
+
+    let plain_engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Plain),
+    );
+    let plain = run_workload(&plain_engine, &queries, QueryMode::Range(tau));
+    drop(plain_engine);
+
+    let positional_engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let positional = run_workload(&positional_engine, &queries, QueryMode::Range(tau));
+    drop(positional_engine);
+
+    let stacked_engine = SearchEngine::new(
+        &forest,
+        MaxFilter {
+            first: BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+            second: HistogramFilter::build(&forest),
+        },
+    );
+    let stacked = run_workload(&stacked_engine, &queries, QueryMode::Range(tau));
+
+    for summary in [&plain, &positional, &stacked] {
+        table.push_row(vec![
+            summary.name.to_owned(),
+            f2(summary.accessed_percent),
+            f2(summary.result_percent),
+            ms(summary.filter_time),
+            ms(summary.refine_time),
+        ]);
+    }
+    table.push_note(format!(
+        "τ={tau}; expected: positional ≤ plain in accesses at slightly higher filter cost; stacking Histo on top should add little once binary branches filter"
+    ));
+    table
+}
+
+/// Ablation C: scalability — index build time and per-query cost as the
+/// dataset grows (the paper's "massive datasets" claim, quantified).
+pub fn scalability_ablation(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "ablation-scale",
+        "Ablation: dataset-size scaling (synthetic, k-NN k=5)",
+        &[
+            "trees",
+            "build ms",
+            "build ms (4 threads)",
+            "knn %",
+            "knn ms",
+            "seq ms",
+        ],
+    );
+    for factor in [1usize, 2, 4] {
+        let mut sized = *scale;
+        sized.dataset_size = scale.dataset_size * factor;
+        let forest = synthetic(&sized);
+        let queries = sample_queries(&forest, scale, 0x5ca1e);
+
+        let build_start = std::time::Instant::now();
+        let index = treesim_core::InvertedFileIndex::build(&forest, 2);
+        let build_serial = build_start.elapsed();
+        let build_start = std::time::Instant::now();
+        let _ = treesim_core::InvertedFileIndex::build_parallel(&forest, 2, 4);
+        let build_parallel = build_start.elapsed();
+
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::from_index(&index, BiBranchMode::Positional),
+        );
+        let knn = run_workload(&engine, &queries, QueryMode::Knn(5));
+        drop(engine);
+        let sequential = SearchEngine::new(
+            &forest,
+            treesim_search::NoFilter::build(&forest),
+        );
+        let seq = run_workload(&sequential, &queries, QueryMode::Knn(5));
+
+        table.push_row(vec![
+            forest.len().to_string(),
+            ms(build_serial),
+            ms(build_parallel),
+            f2(knn.accessed_percent),
+            ms(knn.total_time()),
+            ms(seq.total_time()),
+        ]);
+    }
+    table.push_note(
+        "expected: build time linear in total nodes; accessed % roughly flat; sequential per-query time linear in dataset size",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_ablation_smoke() {
+        let table = q_level_ablation(&Scale::smoke());
+        assert_eq!(table.rows.len(), 6);
+    }
+
+    #[test]
+    fn scalability_ablation_smoke() {
+        let table = scalability_ablation(&Scale::smoke());
+        assert_eq!(table.rows.len(), 3);
+        // Dataset sizes multiply.
+        let n0: usize = table.rows[0][0].parse().unwrap();
+        let n2: usize = table.rows[2][0].parse().unwrap();
+        assert_eq!(n2, 4 * n0);
+    }
+
+    #[test]
+    fn bound_ablation_smoke() {
+        let table = bound_mode_ablation(&Scale::smoke());
+        assert_eq!(table.rows.len(), 3);
+        // Positional must never access more than plain.
+        let plain: f64 = table.rows[0][1].parse().unwrap();
+        let positional: f64 = table.rows[1][1].parse().unwrap();
+        let stacked: f64 = table.rows[2][1].parse().unwrap();
+        assert!(positional <= plain + 1e-9);
+        assert!(stacked <= positional + 1e-9);
+    }
+}

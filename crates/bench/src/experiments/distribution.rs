@@ -1,0 +1,166 @@
+//! Figure 15: the cumulative distribution of data over distance, comparing
+//! the competing lower bounds against the true edit distance (§5.3).
+//!
+//! For every (query, data) pair, five values are computed: the exact edit
+//! distance, the histogram lower bound and the plain binary branch lower
+//! bounds at levels q ∈ {2, 3, 4} (`⌈BDist_q / (4(q−1)+1)⌉`). The table
+//! reports, for each distance threshold 1..=12, the percentage of data
+//! whose value is ≤ the threshold.
+//!
+//! Reading the shape: the Edit row is the ground truth; a *better* lower
+//! bound has a *lower* curve (closer to Edit), because overestimating
+//! closeness (high curve) admits false positives. The paper finds
+//! BiBranch(2) closest to Edit everywhere, BiBranch(3)/(4) better than
+//! Histo only below distance 3 — multi-level branches are too
+//! discriminative for shallow DBLP records.
+
+use treesim_core::{BranchVector, BranchVocab};
+use treesim_edit::{TreeInfo, UnitCost, ZsWorkspace};
+use treesim_search::HistogramFilter;
+use treesim_tree::Forest;
+
+use crate::experiments::sample_queries;
+use crate::scale::Scale;
+use crate::table::{f2, Table};
+
+/// Maximum distance threshold reported (the paper plots 1..=12).
+pub const MAX_DISTANCE: u64 = 12;
+
+/// Per-measure cumulative distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionRow {
+    /// Measure name.
+    pub measure: &'static str,
+    /// `cumulative[d-1]` = % of pairs with value ≤ d, for d = 1..=12.
+    pub cumulative: Vec<f64>,
+}
+
+/// Computes Figure 15 on the DBLP-style dataset.
+pub fn distance_distribution(scale: &Scale) -> Table {
+    let forest = crate::experiments::dblp::dblp_forest(scale);
+    let queries = sample_queries(&forest, scale, 0xf15);
+    let rows = compute_rows(&forest, &queries);
+
+    let mut headers: Vec<String> = vec!["measure".to_owned()];
+    headers.extend((1..=MAX_DISTANCE).map(|d| format!("≤{d}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("fig15", "Data Distribution on Distance (DBLP)", &header_refs);
+    for row in rows {
+        let mut cells = vec![row.measure.to_owned()];
+        cells.extend(row.cumulative.iter().map(|&p| f2(p)));
+        table.push_row(cells);
+    }
+    table.push_note(format!(
+        "{} queries × {} records; lower curves = tighter bounds (closer to Edit); paper: BiBranch(2) best everywhere, BiBranch(3)/(4) beat Histo only below distance 3",
+        queries.len(),
+        forest.len()
+    ));
+    table
+}
+
+/// Raw computation, exposed for tests and the facade examples.
+pub fn compute_rows(forest: &Forest, queries: &[treesim_tree::TreeId]) -> Vec<DistributionRow> {
+    let infos: Vec<TreeInfo> = forest.iter().map(|(_, t)| TreeInfo::new(t)).collect();
+    // Space-matched (bucketed) histograms — the same configuration the
+    // filter comparison uses (§5's equal-space rule).
+    let histograms = HistogramFilter::build(forest);
+    let mut vocabs: Vec<BranchVocab> = (2..=4).map(BranchVocab::new).collect();
+    let branch_vectors: Vec<Vec<BranchVector>> = vocabs
+        .iter_mut()
+        .map(|vocab| {
+            forest
+                .iter()
+                .map(|(_, t)| BranchVector::build(t, vocab))
+                .collect()
+        })
+        .collect();
+
+    let measures: [&'static str; 5] = ["Edit", "Histo", "BiBranch(2)", "BiBranch(3)", "BiBranch(4)"];
+    let mut counts = vec![vec![0u64; MAX_DISTANCE as usize]; measures.len()];
+    let mut workspace = ZsWorkspace::new();
+    let mut pairs = 0u64;
+
+    for &query_id in queries {
+        let query_tree = forest.tree(query_id);
+        let query_info = TreeInfo::new(query_tree);
+        for (data_id, _) in forest.iter() {
+            pairs += 1;
+            let edist = treesim_edit::zhang_shasha(
+                &query_info,
+                &infos[data_id.index()],
+                &UnitCost,
+                &mut workspace,
+            );
+            let histo = histograms
+                .vector(query_id)
+                .lower_bound(histograms.vector(data_id));
+            let values = [
+                edist,
+                histo,
+                branch_vectors[0][query_id.index()]
+                    .edit_lower_bound(&branch_vectors[0][data_id.index()]),
+                branch_vectors[1][query_id.index()]
+                    .edit_lower_bound(&branch_vectors[1][data_id.index()]),
+                branch_vectors[2][query_id.index()]
+                    .edit_lower_bound(&branch_vectors[2][data_id.index()]),
+            ];
+            for (measure_index, &value) in values.iter().enumerate() {
+                for d in 1..=MAX_DISTANCE {
+                    if value <= d {
+                        counts[measure_index][(d - 1) as usize] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    measures
+        .iter()
+        .enumerate()
+        .map(|(i, &measure)| DistributionRow {
+            measure,
+            cumulative: counts[i]
+                .iter()
+                .map(|&c| c as f64 / pairs.max(1) as f64 * 100.0)
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_rows_are_cumulative_and_ordered() {
+        let scale = Scale::smoke();
+        let forest = crate::experiments::dblp::dblp_forest(&scale);
+        let queries = sample_queries(&forest, &scale, 1);
+        let rows = compute_rows(&forest, &queries);
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert_eq!(row.cumulative.len(), MAX_DISTANCE as usize);
+            // Cumulative: non-decreasing in the threshold.
+            assert!(row
+                .cumulative
+                .windows(2)
+                .all(|w| w[0] <= w[1] + 1e-9));
+        }
+        // Every lower bound admits at least as much data as Edit at every
+        // threshold (bounds underestimate distance).
+        let edit = &rows[0].cumulative;
+        for row in &rows[1..] {
+            for (lb, e) in row.cumulative.iter().zip(edit) {
+                assert!(lb + 1e-9 >= *e, "{} below Edit", row.measure);
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let table = distance_distribution(&Scale::smoke());
+        assert_eq!(table.id, "fig15");
+        assert_eq!(table.rows.len(), 5);
+        assert!(table.render().contains("BiBranch(2)"));
+    }
+}

@@ -1,0 +1,171 @@
+//! The paper's evaluation, one module per figure group:
+//!
+//! * [`synthetic`] — Figures 7–12 (sensitivity to fanout, tree size, label
+//!   count, for range and k-NN queries);
+//! * [`dblp`] — Figures 13–14 (query-parameter sweeps on DBLP-style data);
+//! * [`distribution`] — Figure 15 (distance distributions of the competing
+//!   lower bounds).
+
+pub mod ablation;
+pub mod dblp;
+pub mod distribution;
+pub mod synthetic;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treesim_datagen::workload;
+use treesim_edit::edit_distance;
+use treesim_search::{BiBranchFilter, BiBranchMode, HistogramFilter, NoFilter, SearchEngine};
+use treesim_tree::{Forest, TreeId};
+
+use crate::runner::{run_workload, MethodSummary, QueryMode};
+use crate::scale::Scale;
+use crate::table::Table;
+
+/// The three methods compared throughout §5.
+#[derive(Debug, Clone)]
+pub struct MethodsOutcome {
+    /// The paper's binary branch filtration (positional, q = 2).
+    pub bibranch: MethodSummary,
+    /// The histogram filtration baseline.
+    pub histo: MethodSummary,
+    /// Sequential scan (no filtering).
+    pub sequential: MethodSummary,
+}
+
+/// Runs BiBranch, Histo and Sequential over the same workload.
+pub fn run_all_methods(forest: &Forest, queries: &[TreeId], mode: QueryMode) -> MethodsOutcome {
+    let bibranch_engine = SearchEngine::new(
+        forest,
+        BiBranchFilter::build(forest, 2, BiBranchMode::Positional),
+    );
+    let bibranch = run_workload(&bibranch_engine, queries, mode);
+    drop(bibranch_engine);
+
+    let histo_engine = SearchEngine::new(forest, HistogramFilter::build(forest));
+    let histo = run_workload(&histo_engine, queries, mode);
+    drop(histo_engine);
+
+    let sequential_engine = SearchEngine::new(forest, NoFilter::build(forest));
+    let sequential = run_workload(&sequential_engine, queries, mode);
+
+    MethodsOutcome {
+        bibranch,
+        histo,
+        sequential,
+    }
+}
+
+/// Samples the workload queries for a figure.
+pub fn sample_queries(forest: &Forest, scale: &Scale, salt: u64) -> Vec<TreeId> {
+    let mut rng = StdRng::seed_from_u64(scale.rng_seed ^ salt);
+    workload::sample_queries(forest, scale.query_count, &mut rng)
+}
+
+/// Estimates the dataset's mean pairwise edit distance by sampling, and
+/// derives the paper's range radius τ = mean/5 (at least 1).
+pub fn estimate_range_radius(forest: &Forest, scale: &Scale, salt: u64) -> (f64, u32) {
+    let mut rng = StdRng::seed_from_u64(scale.rng_seed ^ salt ^ 0xd15);
+    let avg = workload::estimate_avg_distance(
+        forest,
+        scale.distance_sample_pairs,
+        &mut rng,
+        edit_distance,
+    );
+    let tau = ((avg / 5.0).round() as u32).max(1);
+    (avg, tau)
+}
+
+/// Standard headers for the method-comparison tables of Figures 7–14.
+pub const METHOD_HEADERS: [&str; 8] = [
+    "x",
+    "BiBranch %",
+    "Histo %",
+    "Result %",
+    "BiBranch ms",
+    "Histo ms",
+    "Seq ms",
+    "param",
+];
+
+/// Formats one sweep point into a row of [`METHOD_HEADERS`] shape.
+pub fn method_row(x: &str, outcome: &MethodsOutcome, param: &str) -> Vec<String> {
+    use crate::table::{f2, ms};
+    vec![
+        x.to_owned(),
+        f2(outcome.bibranch.accessed_percent),
+        f2(outcome.histo.accessed_percent),
+        f2(outcome.bibranch.result_percent),
+        ms(outcome.bibranch.total_time()),
+        ms(outcome.histo.total_time()),
+        ms(outcome.sequential.total_time()),
+        param.to_owned(),
+    ]
+}
+
+/// Sanity notes shared by the method tables.
+pub fn annotate_scale(table: &mut Table, scale: &Scale) {
+    table.push_note(format!(
+        "dataset={} trees, {} queries, k={} (0.25%), mean-distance sample={} pairs",
+        scale.dataset_size,
+        scale.query_count,
+        scale.knn_k(),
+        scale.distance_sample_pairs
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forest() -> Forest {
+        let mut forest = Forest::new();
+        for i in 0..30 {
+            forest
+                .parse_bracket(&format!("a(b{} c(d{}) e)", i % 3, i % 5))
+                .unwrap();
+        }
+        forest
+    }
+
+    #[test]
+    fn run_all_methods_produces_consistent_results() {
+        let forest = forest();
+        let queries: Vec<TreeId> = (0..4).map(TreeId).collect();
+        let outcome = run_all_methods(&forest, &queries, QueryMode::Range(2));
+        assert!((outcome.sequential.accessed_percent - 100.0).abs() < 1e-9);
+        assert!(outcome.bibranch.accessed_percent <= 100.0);
+        // All methods return the same result sets, hence equal result %.
+        assert!((outcome.bibranch.result_percent - outcome.histo.result_percent).abs() < 1e-9);
+        assert!(
+            (outcome.bibranch.result_percent - outcome.sequential.result_percent).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn radius_estimation_is_positive() {
+        let forest = forest();
+        let scale = Scale::smoke();
+        let (avg, tau) = estimate_range_radius(&forest, &scale, 1);
+        assert!(avg >= 0.0);
+        assert!(tau >= 1);
+    }
+
+    #[test]
+    fn sampled_queries_are_in_range() {
+        let forest = forest();
+        let scale = Scale::smoke();
+        let queries = sample_queries(&forest, &scale, 2);
+        assert_eq!(queries.len(), scale.query_count);
+        assert!(queries.iter().all(|q| q.index() < forest.len()));
+    }
+
+    #[test]
+    fn method_row_shape() {
+        let forest = forest();
+        let queries: Vec<TreeId> = (0..2).map(TreeId).collect();
+        let outcome = run_all_methods(&forest, &queries, QueryMode::Knn(2));
+        let row = method_row("4", &outcome, "k=2");
+        assert_eq!(row.len(), METHOD_HEADERS.len());
+    }
+}

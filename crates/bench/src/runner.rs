@@ -1,0 +1,148 @@
+//! Workload execution: runs a query set through an engine and averages the
+//! statistics, optionally in parallel across queries.
+
+use std::time::Duration;
+
+use treesim_search::{Filter, SearchEngine, SearchStats};
+use treesim_tree::TreeId;
+
+/// The two query types of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Range query with radius τ.
+    Range(u32),
+    /// k-nearest-neighbor query.
+    Knn(usize),
+}
+
+/// Averaged outcome of one method over one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSummary {
+    /// Filter name ("BiBranch", "Histo", "Sequential").
+    pub name: &'static str,
+    /// Mean % of the dataset whose real distance was computed.
+    pub accessed_percent: f64,
+    /// Mean % of the dataset in the result set.
+    pub result_percent: f64,
+    /// Mean per-query filter time.
+    pub filter_time: Duration,
+    /// Mean per-query refinement time.
+    pub refine_time: Duration,
+}
+
+impl MethodSummary {
+    /// Mean total per-query time.
+    pub fn total_time(&self) -> Duration {
+        self.filter_time + self.refine_time
+    }
+}
+
+/// Runs every query through `engine` and averages the statistics.
+///
+/// Queries are executed in parallel across available cores; per-query times
+/// are accumulated as CPU time (matching the paper's processor-time
+/// reporting), so the averages are thread-count independent.
+pub fn run_workload<F: Filter + Sync>(
+    engine: &SearchEngine<'_, F>,
+    queries: &[TreeId],
+    mode: QueryMode,
+) -> MethodSummary
+where
+    F::Query: Send,
+{
+    let forest = engine.forest();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(queries.len().max(1));
+    let chunk_size = queries.len().div_ceil(threads.max(1)).max(1);
+
+    let totals: Vec<SearchStats> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in queries.chunks(chunk_size) {
+            handles.push(scope.spawn(move || {
+                let mut total = SearchStats::default();
+                for &query_id in chunk {
+                    let query = forest.tree(query_id);
+                    let (_, stats) = match mode {
+                        QueryMode::Range(tau) => engine.range(query, tau),
+                        QueryMode::Knn(k) => engine.knn(query, k),
+                    };
+                    total.accumulate(&stats);
+                }
+                total
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    let mut grand = SearchStats::default();
+    for stats in &totals {
+        grand.accumulate(stats);
+    }
+    grand.dataset_size = forest.len();
+    let averaged = grand.averaged(queries.len());
+    MethodSummary {
+        name: engine.filter().name(),
+        accessed_percent: averaged.avg_accessed_percent,
+        result_percent: averaged.avg_result_percent,
+        filter_time: averaged.avg_filter_time,
+        refine_time: averaged.avg_refine_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesim_search::{BiBranchFilter, BiBranchMode, NoFilter};
+    use treesim_tree::Forest;
+
+    fn forest() -> Forest {
+        let mut forest = Forest::new();
+        for i in 0..20 {
+            forest
+                .parse_bracket(&format!("a(b{} c(d) e)", i % 4))
+                .unwrap();
+        }
+        forest
+    }
+
+    #[test]
+    fn sequential_accesses_everything_on_range() {
+        let forest = forest();
+        let engine = SearchEngine::new(&forest, NoFilter::build(&forest));
+        let queries: Vec<TreeId> = (0..5).map(TreeId).collect();
+        let summary = run_workload(&engine, &queries, QueryMode::Range(1));
+        assert_eq!(summary.name, "Sequential");
+        assert!((summary.accessed_percent - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bibranch_accesses_less() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let queries: Vec<TreeId> = (0..5).map(TreeId).collect();
+        let summary = run_workload(&engine, &queries, QueryMode::Range(1));
+        assert!(summary.accessed_percent <= 100.0);
+        assert!(summary.result_percent > 0.0, "self-match always present");
+    }
+
+    #[test]
+    fn knn_mode_runs() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let queries: Vec<TreeId> = (0..3).map(TreeId).collect();
+        let summary = run_workload(&engine, &queries, QueryMode::Knn(2));
+        assert!(summary.accessed_percent > 0.0);
+        assert!(summary.total_time() >= summary.filter_time);
+    }
+}

@@ -1,0 +1,76 @@
+//! Experiment scaling: the paper's full settings versus a quick mode that
+//! keeps the whole suite within minutes on a laptop.
+
+/// Controls dataset and workload sizes for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Trees per dataset (the paper uses 2000).
+    pub dataset_size: usize,
+    /// Queries per workload (the paper uses 100, sampled from the dataset).
+    pub query_count: usize,
+    /// Random pairs sampled to estimate the dataset's mean edit distance
+    /// (the paper computes it exactly; see DESIGN.md §5).
+    pub distance_sample_pairs: usize,
+    /// Base RNG seed; figures derive their own sub-seeds.
+    pub rng_seed: u64,
+}
+
+impl Scale {
+    /// Scaled-down defaults: the full suite runs in minutes.
+    pub fn quick() -> Self {
+        Scale {
+            dataset_size: 400,
+            query_count: 25,
+            distance_sample_pairs: 300,
+            rng_seed: 0x7ee5,
+        }
+    }
+
+    /// The paper's settings (2000 trees, 100 queries). Budget tens of
+    /// minutes for the full sweep on one core.
+    pub fn full() -> Self {
+        Scale {
+            dataset_size: 2000,
+            query_count: 100,
+            distance_sample_pairs: 2000,
+            rng_seed: 0x7ee5,
+        }
+    }
+
+    /// Tiny settings for smoke tests.
+    pub fn smoke() -> Self {
+        Scale {
+            dataset_size: 60,
+            query_count: 6,
+            distance_sample_pairs: 60,
+            rng_seed: 0x7ee5,
+        }
+    }
+
+    /// The paper's k for k-NN: 0.25 % of the dataset, floored at the
+    /// paper's absolute value of 5 so that scaled-down datasets keep a
+    /// meaningful k (0.25 % of 2000 = 5).
+    pub fn knn_k(&self) -> usize {
+        treesim_datagen::workload::paper_knn_k(self.dataset_size).max(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper() {
+        let full = Scale::full();
+        assert_eq!(full.dataset_size, 2000);
+        assert_eq!(full.query_count, 100);
+        assert_eq!(full.knn_k(), 5);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let quick = Scale::quick();
+        assert!(quick.dataset_size < Scale::full().dataset_size);
+        assert_eq!(quick.knn_k(), 5);
+    }
+}

@@ -1,0 +1,152 @@
+//! Plain-text and Markdown table rendering for experiment reports.
+
+/// A rendered experiment result: one table per figure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Figure identifier, e.g. `"fig7"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (workload parameters, expected shape, observations).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|&h| h.to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the headers'.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Column-aligned plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} [{}] ==\n", self.title, self.id));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, &w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// GitHub-flavored Markdown rendering.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} ({})\n\n", self.title, self.id));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        for note in &self.notes {
+            out.push_str(&format!("- {note}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats a float with 2 decimals (percentages, milliseconds).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a duration as milliseconds with 3 decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample() -> Table {
+        let mut table = Table::new("fig0", "Demo", &["x", "y"]);
+        table.push_row(vec!["1".into(), "long-cell".into()]);
+        table.push_row(vec!["222".into(), "b".into()]);
+        table.push_note("a note");
+        table
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        assert!(text.contains("Demo"));
+        let lines: Vec<&str> = text.lines().collect();
+        // header, separator, 2 rows, 1 note
+        assert_eq!(lines.len(), 6);
+        assert!(lines[5].starts_with("note:"));
+    }
+
+    #[test]
+    fn render_markdown_shape() {
+        let md = sample().render_markdown();
+        assert!(md.contains("### Demo (fig0)"));
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("| 222 | b |"));
+        assert!(md.contains("- a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut table = Table::new("t", "t", &["a", "b"]);
+        table.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(ms(Duration::from_micros(1500)), "1.500");
+    }
+}

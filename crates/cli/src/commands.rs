@@ -1,0 +1,447 @@
+//! Subcommand implementations.
+
+use treesim_datagen::dblp::{generate_records, DblpConfig};
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{self, SyntheticConfig};
+use treesim_edit::edit_distance;
+use treesim_search::{
+    BiBranchFilter, BiBranchMode, HistogramFilter, Neighbor, NoFilter, SearchEngine, SearchStats,
+};
+use treesim_tree::{Forest, Tree};
+
+use crate::args::Args;
+use crate::io;
+
+const HELP: &str = "\
+treesim — similarity search on tree-structured data (SIGMOD 2005)
+
+USAGE:
+  treesim gen-synthetic --out FILE [--trees 500] [--fanout 4] [--size 50]
+                        [--labels 8] [--decay 0.05] [--seed 1]
+  treesim gen-dblp      --out FILE [--records 500] [--seed 1]
+  treesim convert IN OUT                (formats by extension: .xml/.tsf/brackets)
+  treesim index  FILE --out IDX.tsi [--level 2]   (persist the inverted file index)
+  treesim stats  FILE
+  treesim dist   TREE1 TREE2            (bracket notation, shared labels)
+  treesim knn    FILE --query TREE [--k 5]   [--filter bibranch|plain|histo|none] [--level 2] [--index IDX.tsi]
+  treesim range  FILE --query TREE [--tau 3] [--filter bibranch|plain|histo|none] [--level 2] [--index IDX.tsi]
+  treesim join   FILE [--tau 2] [--limit 20]  (approximate self-join / dedup)
+  treesim help
+
+Dataset files ending in .xml are concatenated XML documents; anything else
+is whitespace-separated bracket notation such as  a(b(c d) e) .";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let command = argv.first().map(String::as_str).unwrap_or("help");
+    let rest = if argv.is_empty() { &[] } else { &argv[1..] };
+    let args = Args::parse(rest)?;
+    match command {
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "gen-synthetic" => gen_synthetic(&args),
+        "gen-dblp" => gen_dblp(&args),
+        "stats" => stats(&args),
+        "convert" => convert(&args),
+        "index" => build_index(&args),
+        "dist" => dist(&args),
+        "knn" => search(&args, SearchKind::Knn),
+        "range" => search(&args, SearchKind::Range),
+        "join" => join(&args),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn gen_synthetic(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let config = SyntheticConfig {
+        fanout: Normal::new(args.get_or("fanout", 4.0)?, args.get_or("fanout-sd", 0.5)?),
+        size: Normal::new(args.get_or("size", 50.0)?, args.get_or("size-sd", 2.0)?),
+        label_count: args.get_or("labels", 8u32)?,
+        decay: args.get_or("decay", 0.05)?,
+        seed_count: args.get_or("seeds", 10usize)?,
+        tree_count: args.get_or("trees", 500usize)?,
+        rng_seed: args.get_or("seed", 1u64)?,
+    };
+    let forest = synthetic::generate(&config);
+    io::save_forest(&forest, out)?;
+    println!(
+        "wrote {} trees ({}) to {out}",
+        forest.len(),
+        config.spec_string()
+    );
+    Ok(())
+}
+
+fn gen_dblp(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let config = DblpConfig::with_count(
+        args.get_or("records", 500usize)?,
+        args.get_or("seed", 1u64)?,
+    );
+    let records = generate_records(&config);
+    let mut content = String::new();
+    for record in &records {
+        content.push_str(&record.xml);
+        content.push('\n');
+    }
+    std::fs::write(out, content).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {} DBLP-style records to {out}", records.len());
+    Ok(())
+}
+
+fn convert(args: &Args) -> Result<(), String> {
+    let (input, output) = match (args.positional(0), args.positional(1)) {
+        (Some(i), Some(o)) => (i, o),
+        _ => return Err("convert needs input and output paths".into()),
+    };
+    let forest = io::load_forest(input)?;
+    io::save_forest(&forest, output)?;
+    println!("converted {} trees: {input} → {output}", forest.len());
+    Ok(())
+}
+
+fn build_index(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("index needs a dataset file")?;
+    let out = args.require("out")?;
+    let level = args.get_or("level", 2usize)?;
+    if level < 2 {
+        return Err("--level must be ≥ 2".into());
+    }
+    let forest = io::load_forest(path)?;
+    let index = treesim_core::InvertedFileIndex::build(&forest, level);
+    let bytes = treesim_core::codec::encode_index(&index);
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "indexed {} trees: |Γ| = {} branches, {} postings → {out} ({} bytes)",
+        index.tree_count(),
+        index.vocab().len(),
+        index.posting_count(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn load_index(path: &str) -> Result<treesim_core::InvertedFileIndex, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    treesim_core::codec::decode_index(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("stats needs a dataset file")?;
+    let forest = io::load_forest(path)?;
+    let stats = forest.stats();
+    println!("dataset          {path}");
+    println!("trees            {}", stats.tree_count);
+    println!("total nodes      {}", stats.total_nodes);
+    println!("avg size         {:.2}", stats.avg_size);
+    println!("max size         {}", stats.max_size);
+    println!("avg depth        {:.3}", stats.avg_depth);
+    println!("avg height       {:.3}", stats.avg_height);
+    println!("avg fanout       {:.3}", stats.avg_fanout);
+    println!("distinct labels  {}", stats.distinct_labels);
+    Ok(())
+}
+
+fn dist(args: &Args) -> Result<(), String> {
+    let (spec1, spec2) = match (args.positional(0), args.positional(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err("dist needs two bracket-notation trees".into()),
+    };
+    let mut interner = treesim_tree::LabelInterner::new();
+    let t1 = treesim_tree::parse::bracket::parse(&mut interner, spec1)
+        .map_err(|e| format!("tree 1: {e}"))?;
+    let t2 = treesim_tree::parse::bracket::parse(&mut interner, spec2)
+        .map_err(|e| format!("tree 2: {e}"))?;
+    let edist = edit_distance(&t1, &t2);
+    println!("edit distance          {edist}");
+    for q in 2..=4usize {
+        let bdist = treesim_core::binary_branch_distance(&t1, &t2, q);
+        let factor = treesim_core::bound_factor(q);
+        println!(
+            "BDist (q={q})            {bdist}  (lower bound ⌈/{factor}⌉ = {})",
+            bdist.div_ceil(factor)
+        );
+    }
+    let mut vocab = treesim_core::BranchVocab::new(2);
+    let v1 = treesim_core::PositionalVector::build(&t1, &mut vocab);
+    let v2 = treesim_core::PositionalVector::build(&t2, &mut vocab);
+    println!("positional bound propt {}", v1.optimistic_bound(&v2));
+    Ok(())
+}
+
+fn join(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("join needs a dataset file")?;
+    let forest = io::load_forest(path)?;
+    let tau = args.get_or("tau", 2u32)?;
+    let limit = args.get_or("limit", 20usize)?;
+    let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+    let (pairs, stats) = treesim_search::similarity_self_join(&forest, &filter, tau);
+    for pair in pairs.iter().take(limit) {
+        println!("{:>6} ≈ {:<6} d={}", pair.left.0, pair.right.0, pair.distance);
+    }
+    if pairs.len() > limit {
+        println!("… and {} more pairs", pairs.len() - limit);
+    }
+    println!(
+        "-- τ={tau}: {} pairs; {} candidates considered, {} refined ({:.2}%)",
+        stats.pairs_joined,
+        stats.pairs_considered,
+        stats.pairs_refined,
+        stats.refine_fraction() * 100.0
+    );
+    Ok(())
+}
+
+enum SearchKind {
+    Knn,
+    Range,
+}
+
+fn search(args: &Args, kind: SearchKind) -> Result<(), String> {
+    let path = args.positional(0).ok_or("search needs a dataset file")?;
+    let mut forest = io::load_forest(path)?;
+    let query = io::parse_query(&mut forest, args.require("query")?)?;
+    let filter_name = args.get("filter").unwrap_or("bibranch");
+    let level = args.get_or("level", 2usize)?;
+    if level < 2 {
+        return Err("--level must be ≥ 2".into());
+    }
+
+    let prebuilt_index = match args.get("index") {
+        Some(index_path) => {
+            let index = load_index(index_path)?;
+            if index.tree_count() != forest.len() {
+                return Err(format!(
+                    "index covers {} trees but the dataset has {}",
+                    index.tree_count(),
+                    forest.len()
+                ));
+            }
+            Some(index)
+        }
+        None => None,
+    };
+    let (results, stats) = match filter_name {
+        "bibranch" => {
+            let filter = match &prebuilt_index {
+                Some(index) => BiBranchFilter::from_index(index, BiBranchMode::Positional),
+                None => BiBranchFilter::build(&forest, level, BiBranchMode::Positional),
+            };
+            run(&forest, filter, &query, args, &kind)?
+        }
+        "plain" => {
+            let filter = match &prebuilt_index {
+                Some(index) => BiBranchFilter::from_index(index, BiBranchMode::Plain),
+                None => BiBranchFilter::build(&forest, level, BiBranchMode::Plain),
+            };
+            run(&forest, filter, &query, args, &kind)?
+        }
+        "histo" => run(&forest, HistogramFilter::build(&forest), &query, args, &kind)?,
+        "none" => run(&forest, NoFilter::build(&forest), &query, args, &kind)?,
+        other => return Err(format!("unknown filter {other:?}")),
+    };
+
+    for neighbor in &results {
+        let rendered = treesim_tree::parse::bracket::to_string(
+            forest.tree(neighbor.tree),
+            forest.interner(),
+        );
+        let shown: String = rendered.chars().take(70).collect();
+        println!("{:>6}  d={:<4} {}", neighbor.tree.0, neighbor.distance, shown);
+    }
+    println!(
+        "-- {} results; accessed {}/{} trees ({:.2}%); filter {:?}, refine {:?}",
+        results.len(),
+        stats.refined,
+        stats.dataset_size,
+        stats.accessed_percent(),
+        stats.filter_time,
+        stats.refine_time,
+    );
+    Ok(())
+}
+
+fn run<F: treesim_search::Filter>(
+    forest: &Forest,
+    filter: F,
+    query: &Tree,
+    args: &Args,
+    kind: &SearchKind,
+) -> Result<(Vec<Neighbor>, SearchStats), String> {
+    let engine = SearchEngine::new(forest, filter);
+    Ok(match kind {
+        SearchKind::Knn => engine.knn(query, args.get_or("k", 5usize)?),
+        SearchKind::Range => engine.range(query, args.get_or("tau", 3u32)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_succeeds() {
+        dispatch(&argv(&["help"])).unwrap();
+        dispatch(&argv(&[])).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn dist_computes_bounds() {
+        dispatch(&argv(&["dist", "a(b c)", "a(b d)"])).unwrap();
+        assert!(dispatch(&argv(&["dist", "a(b c)"])).is_err());
+        assert!(dispatch(&argv(&["dist", "a(", "b"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_stats_query() {
+        let dir = std::env::temp_dir().join("treesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("tiny.trees");
+        let data_str = data.to_str().unwrap();
+        dispatch(&argv(&[
+            "gen-synthetic",
+            "--out",
+            data_str,
+            "--trees",
+            "30",
+            "--size",
+            "12",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        dispatch(&argv(&["stats", data_str])).unwrap();
+        dispatch(&argv(&[
+            "knn", data_str, "--query", "0(1 2)", "--k", "3",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "range", data_str, "--query", "0(1 2)", "--tau", "4", "--filter", "histo",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "range", data_str, "--query", "0(1 2)", "--tau", "4", "--filter", "none",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn convert_roundtrip_binary() {
+        let dir = std::env::temp_dir().join("treesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let brackets = dir.join("c.trees");
+        let binary = dir.join("c.tsf");
+        std::fs::write(&brackets, "a(b c)\na(b)\n").unwrap();
+        dispatch(&argv(&["convert", brackets.to_str().unwrap(), binary.to_str().unwrap()]))
+            .unwrap();
+        dispatch(&argv(&["stats", binary.to_str().unwrap()])).unwrap();
+        dispatch(&argv(&[
+            "knn",
+            binary.to_str().unwrap(),
+            "--query",
+            "a(b c)",
+            "--k",
+            "1",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&brackets).ok();
+        std::fs::remove_file(&binary).ok();
+    }
+
+    #[test]
+    fn index_persistence_workflow() {
+        let dir = std::env::temp_dir().join("treesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("idx.trees");
+        let index = dir.join("idx.tsi");
+        std::fs::write(&data, "a(b c)\na(b d)\nx(y z)\n").unwrap();
+        dispatch(&argv(&[
+            "index",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "knn",
+            data.to_str().unwrap(),
+            "--query",
+            "a(b c)",
+            "--k",
+            "2",
+            "--index",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Mismatched dataset is rejected.
+        let other = dir.join("other.trees");
+        std::fs::write(&other, "a\n").unwrap();
+        assert!(dispatch(&argv(&[
+            "knn",
+            other.to_str().unwrap(),
+            "--query",
+            "a",
+            "--index",
+            index.to_str().unwrap(),
+        ]))
+        .is_err());
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&index).ok();
+        std::fs::remove_file(&other).ok();
+    }
+
+    #[test]
+    fn join_command_runs() {
+        let dir = std::env::temp_dir().join("treesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("join.trees");
+        std::fs::write(&data, "a(b c)\na(b c)\na(b d)\nx(y)\n").unwrap();
+        dispatch(&argv(&["join", data.to_str().unwrap(), "--tau", "1"])).unwrap();
+        assert!(dispatch(&argv(&["join"])).is_err());
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn gen_dblp_writes_xml() {
+        let dir = std::env::temp_dir().join("treesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("tiny.xml");
+        let data_str = data.to_str().unwrap();
+        dispatch(&argv(&["gen-dblp", "--out", data_str, "--records", "10"])).unwrap();
+        dispatch(&argv(&["stats", data_str])).unwrap();
+        dispatch(&argv(&["knn", data_str, "--query", "article(author title)", "--k", "2"]))
+            .unwrap();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn bad_filter_and_level_rejected() {
+        let dir = std::env::temp_dir().join("treesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("two.trees");
+        std::fs::write(&data, "a(b)\na(c)\n").unwrap();
+        let data_str = data.to_str().unwrap();
+        assert!(dispatch(&argv(&[
+            "knn", data_str, "--query", "a", "--filter", "bogus"
+        ]))
+        .is_err());
+        assert!(dispatch(&argv(&[
+            "knn", data_str, "--query", "a", "--level", "1"
+        ]))
+        .is_err());
+        std::fs::remove_file(&data).ok();
+    }
+}

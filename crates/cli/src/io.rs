@@ -1,0 +1,126 @@
+//! Dataset file I/O: bracket-notation and XML corpora.
+
+use treesim_tree::parse::xml::XmlOptions;
+use treesim_tree::{parse, Forest};
+
+/// Loads a dataset file. Files ending in `.xml` are parsed as concatenated
+/// XML documents (text content included); `.tsf` is the compact binary
+/// format of [`treesim_tree::codec`]; everything else is
+/// whitespace-separated bracket notation.
+pub fn load_forest(path: &str) -> Result<Forest, String> {
+    if path.ends_with(".tsf") {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let forest =
+            treesim_tree::codec::decode_forest(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        if forest.is_empty() {
+            return Err(format!("{path}: dataset is empty"));
+        }
+        return Ok(forest);
+    }
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    forest_from_str(path, &content)
+}
+
+/// Saves a forest in the format implied by the file extension (`.tsf`
+/// binary, otherwise bracket notation).
+pub fn save_forest(forest: &Forest, path: &str) -> Result<(), String> {
+    if path.ends_with(".tsf") {
+        let bytes = treesim_tree::codec::encode_forest(forest);
+        return std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"));
+    }
+    save_brackets(forest, path)
+}
+
+/// Parses dataset content given a file name (for format detection).
+pub fn forest_from_str(path: &str, content: &str) -> Result<Forest, String> {
+    let mut forest = Forest::new();
+    if path.ends_with(".xml") {
+        let mut interner = forest.interner().clone();
+        let trees = parse::xml::parse_many(&mut interner, content, XmlOptions::WITH_TEXT)
+            .map_err(|e| format!("{path}: {e}"))?;
+        *forest.interner_mut() = interner;
+        for tree in trees {
+            forest.push(tree);
+        }
+    } else {
+        let mut interner = forest.interner().clone();
+        let trees = parse::bracket::parse_many(&mut interner, content)
+            .map_err(|e| format!("{path}: {e}"))?;
+        *forest.interner_mut() = interner;
+        for tree in trees {
+            forest.push(tree);
+        }
+    }
+    if forest.is_empty() {
+        return Err(format!("{path}: dataset is empty"));
+    }
+    Ok(forest)
+}
+
+/// Writes a forest as bracket notation, one tree per line.
+pub fn save_brackets(forest: &Forest, path: &str) -> Result<(), String> {
+    let mut out = String::new();
+    for (_, tree) in forest.iter() {
+        out.push_str(&parse::bracket::to_string(tree, forest.interner()));
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Parses a query tree given in bracket notation against a forest's
+/// interner (new labels are interned).
+pub fn parse_query(forest: &mut Forest, spec: &str) -> Result<treesim_tree::Tree, String> {
+    let mut interner = forest.interner().clone();
+    let tree = parse::bracket::parse(&mut interner, spec).map_err(|e| format!("query: {e}"))?;
+    *forest.interner_mut() = interner;
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bracket_roundtrip_via_str() {
+        let forest = forest_from_str("d.trees", "a(b c)\na(b)\n").unwrap();
+        assert_eq!(forest.len(), 2);
+    }
+
+    #[test]
+    fn xml_detection() {
+        let forest =
+            forest_from_str("d.xml", "<a><b/></a><c><d>t</d></c>").unwrap();
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest.tree(treesim_tree::TreeId(1)).len(), 3);
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        assert!(forest_from_str("d.trees", "  \n ").is_err());
+        assert!(forest_from_str("d.trees", "a(").is_err());
+    }
+
+    #[test]
+    fn tsf_roundtrip() {
+        let dir = std::env::temp_dir().join("treesim-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.tsf");
+        let path_str = path.to_str().unwrap();
+        let forest = forest_from_str("d.trees", "a(b c)\nx(y(z))\n").unwrap();
+        save_forest(&forest, path_str).unwrap();
+        let reloaded = load_forest(path_str).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.tree(treesim_tree::TreeId(1)).height(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_parsing_extends_interner() {
+        let mut forest = forest_from_str("d.trees", "a(b)").unwrap();
+        let before = forest.interner().len();
+        let query = parse_query(&mut forest, "z(b)").unwrap();
+        assert_eq!(query.len(), 2);
+        assert!(forest.interner().len() > before);
+    }
+}

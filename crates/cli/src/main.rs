@@ -1,0 +1,31 @@
+//! `treesim` — command-line tree similarity toolkit.
+//!
+//! ```text
+//! treesim gen-synthetic --trees 500 --fanout 4 --size 50 --labels 8 --decay 0.05 --out data.trees
+//! treesim gen-dblp --records 500 --out data.xml
+//! treesim stats data.trees
+//! treesim dist "a(b c)" "a(b d)"
+//! treesim knn data.trees --query "a(b(c) d)" -k 5 --filter bibranch
+//! treesim range data.trees --query "a(b(c) d)" --tau 3 --filter histo
+//! ```
+//!
+//! Dataset files: `.xml` holds concatenated XML documents; anything else is
+//! whitespace-separated bracket notation (one tree per line by convention).
+
+mod args;
+mod commands;
+mod io;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `treesim help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}

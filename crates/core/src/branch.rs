@@ -1,0 +1,174 @@
+//! Binary branch extraction (Definitions 2 and 5 of the paper).
+//!
+//! Every node `u` of a tree `T` contributes exactly one *q-level binary
+//! branch*: the preorder label sequence of the perfect binary subtree of
+//! height `q − 1` rooted at `u` in the normalized binary representation
+//! `B(T)` (missing positions padded with `ε`). For `q = 2` this is the
+//! triple `⟨label(u), label(first-child(u)|ε), label(next-sibling(u)|ε)⟩`.
+//!
+//! Each occurrence is tagged with the 1-based preorder and postorder
+//! position of `u` in `T`, feeding the positional distance of §4.2.
+
+use treesim_tree::{BinaryView, LabelId, Tree};
+
+/// One binary branch occurrence: the branch's label sequence and the
+/// position of its root node in the original tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchOccurrence {
+    /// Preorder label sequence of the branch (length `2^q − 1`).
+    pub key: Vec<LabelId>,
+    /// 1-based preorder position of the branch root in `T`.
+    pub pre: u32,
+    /// 1-based postorder position of the branch root in `T`.
+    pub post: u32,
+}
+
+/// Extracts all q-level binary branch occurrences of `tree`, in preorder of
+/// their root nodes.
+///
+/// # Panics
+///
+/// Panics if `q < 2` — the paper rules out `q = 1` (no structure recorded)
+/// and `q = 0` is meaningless.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_core::branch::extract_branches;
+/// use treesim_tree::{parse::bracket, LabelInterner};
+///
+/// let mut interner = LabelInterner::new();
+/// let tree = bracket::parse(&mut interner, "a(b c)").unwrap();
+/// let occurrences = extract_branches(&tree, 2);
+/// assert_eq!(occurrences.len(), 3); // one branch per node
+/// // The root's branch is ⟨a, b, ε⟩.
+/// let root = &occurrences[0];
+/// assert_eq!(interner.resolve(root.key[0]), "a");
+/// assert_eq!(interner.resolve(root.key[1]), "b");
+/// assert!(root.key[2].is_epsilon());
+/// assert_eq!((root.pre, root.post), (1, 3));
+/// ```
+pub fn extract_branches(tree: &Tree, q: usize) -> Vec<BranchOccurrence> {
+    assert!(q >= 2, "binary branches need q >= 2 (got {q})");
+    let view = BinaryView::new(tree);
+    let positions = tree.positions();
+    let mut occurrences = Vec::with_capacity(tree.len());
+    let mut key = Vec::with_capacity((1 << q) - 1);
+    for node in tree.preorder() {
+        view.q_branch_into(node, q, &mut key);
+        occurrences.push(BranchOccurrence {
+            key: key.clone(),
+            pre: positions.pre(node),
+            post: positions.post(node),
+        });
+    }
+    occurrences
+}
+
+/// The per-operation distortion bound of Theorems 3.2 / 3.3: one edit
+/// operation changes at most `4(q−1) + 1` q-level binary branches, so
+/// `BDist_q(T1, T2) ≤ [4(q−1)+1] · EDist(T1, T2)`.
+#[inline]
+pub fn bound_factor(q: usize) -> u64 {
+    assert!(q >= 2, "binary branches need q >= 2 (got {q})");
+    4 * (q as u64 - 1) + 1
+}
+
+/// Lower bound on the unit-cost edit distance from a q-level binary branch
+/// distance: `⌈BDist_q / (4(q−1)+1)⌉`.
+#[inline]
+pub fn edit_lower_bound(bdist: u64, q: usize) -> u64 {
+    bdist.div_ceil(bound_factor(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesim_tree::{parse::bracket, LabelInterner};
+
+    fn tree(spec: &str) -> (Tree, LabelInterner) {
+        let mut interner = LabelInterner::new();
+        let tree = bracket::parse(&mut interner, spec).unwrap();
+        (tree, interner)
+    }
+
+    #[test]
+    fn one_branch_per_node() {
+        let (t, _) = tree("a(b(c d) b e)");
+        for q in 2..=4 {
+            let occurrences = extract_branches(&t, q);
+            assert_eq!(occurrences.len(), t.len());
+            for occurrence in &occurrences {
+                assert_eq!(occurrence.key.len(), (1 << q) - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_branches_match_figure_3_style_expansion() {
+        // a(b(c d) b e):
+        //   a: ⟨a, b, ε⟩           (first child b, no sibling)
+        //   b₁: ⟨b, c, b⟩          (first child c, sibling b₂)
+        //   c: ⟨c, ε, d⟩           (leaf, sibling d)
+        //   d: ⟨d, ε, ε⟩
+        //   b₂: ⟨b, ε, e⟩
+        //   e: ⟨e, ε, ε⟩
+        let (t, interner) = tree("a(b(c d) b e)");
+        let name = |id: LabelId| interner.resolve(id).to_owned();
+        let branches: Vec<String> = extract_branches(&t, 2)
+            .iter()
+            .map(|o| format!("{}|{}|{}", name(o.key[0]), name(o.key[1]), name(o.key[2])))
+            .collect();
+        assert_eq!(
+            branches,
+            vec!["a|b|ε", "b|c|b", "c|ε|d", "d|ε|ε", "b|ε|e", "e|ε|ε"]
+        );
+    }
+
+    #[test]
+    fn positions_are_preorder_and_postorder() {
+        let (t, _) = tree("a(b(c d) b e)");
+        let occurrences = extract_branches(&t, 2);
+        let pres: Vec<u32> = occurrences.iter().map(|o| o.pre).collect();
+        assert_eq!(pres, vec![1, 2, 3, 4, 5, 6]);
+        let posts: Vec<u32> = occurrences.iter().map(|o| o.post).collect();
+        // Postorder: c d b(=3) b(? wait) — postorder of a(b(c d) b e) is
+        // c d b b e a → positions: a=6, b₁=3, c=1, d=2, b₂=4, e=5.
+        assert_eq!(posts, vec![6, 3, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn q3_branch_of_single_node_is_root_plus_epsilons() {
+        let (t, _) = tree("a");
+        let occurrences = extract_branches(&t, 3);
+        assert_eq!(occurrences.len(), 1);
+        let key = &occurrences[0].key;
+        assert_eq!(key.len(), 7);
+        assert!(!key[0].is_epsilon());
+        assert!(key[1..].iter().all(|l| l.is_epsilon()));
+    }
+
+    #[test]
+    fn bound_factor_values() {
+        assert_eq!(bound_factor(2), 5);
+        assert_eq!(bound_factor(3), 9);
+        assert_eq!(bound_factor(4), 13);
+    }
+
+    #[test]
+    fn edit_lower_bound_rounds_up() {
+        assert_eq!(edit_lower_bound(0, 2), 0);
+        assert_eq!(edit_lower_bound(1, 2), 1);
+        assert_eq!(edit_lower_bound(5, 2), 1);
+        assert_eq!(edit_lower_bound(6, 2), 2);
+        assert_eq!(edit_lower_bound(9, 3), 1);
+        assert_eq!(edit_lower_bound(10, 3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "q >= 2")]
+    fn q1_is_rejected() {
+        let (t, _) = tree("a");
+        extract_branches(&t, 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Binary persistence for the inverted file index.
+//!
+//! Rebuilding the IFI is `O(Σ|Tᵢ|)`, but a production deployment indexes
+//! once and queries many times; this codec stores the vocabulary and
+//! posting lists so an index loads without touching the trees.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "TSI1"                       4 bytes
+//! q:u32
+//! tree_count:u32, tree_sizes: tree_count × u32
+//! vocab_len:u32, then per branch: key of (2^q − 1) × u32 label ids
+//! per branch: posting_count:u32, then per posting:
+//!     tree:u32, positions_len:u32, positions: len × (pre:u32, post:u32)
+//! ```
+//!
+//! Label ids are raw [`treesim_tree::LabelId`] values, so an index is only
+//! meaningful together with the interner/forest it was built from (the
+//! dataset codec in `treesim_tree::codec` stores those); `decode_index`
+//! validates structure, not label semantics.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use treesim_tree::{LabelId, TreeId};
+
+use crate::ifi::{InvertedFileIndex, Posting};
+use crate::vocab::BranchVocab;
+
+/// File magic: "TSI1" (TreeSim Index, version 1).
+pub const MAGIC: [u8; 4] = *b"TSI1";
+
+/// Index decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexCodecError {
+    /// The input does not start with [`MAGIC`].
+    BadMagic,
+    /// The input ended prematurely.
+    Truncated {
+        /// What was being read.
+        reading: &'static str,
+    },
+    /// `q < 2` or an otherwise impossible header value.
+    BadHeader,
+    /// A posting references a tree id outside the recorded tree count.
+    TreeOutOfRange {
+        /// The offending raw tree id.
+        tree: u32,
+    },
+    /// Trailing bytes after a complete index.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for IndexCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexCodecError::BadMagic => write!(f, "not a treesim index (bad magic)"),
+            IndexCodecError::Truncated { reading } => {
+                write!(f, "truncated index while reading {reading}")
+            }
+            IndexCodecError::BadHeader => write!(f, "invalid index header"),
+            IndexCodecError::TreeOutOfRange { tree } => {
+                write!(f, "posting references unknown tree {tree}")
+            }
+            IndexCodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing byte(s) after index")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexCodecError {}
+
+/// Encodes an index.
+pub fn encode_index(index: &InvertedFileIndex) -> Bytes {
+    let mut out = BytesMut::with_capacity(64 + index.posting_count() * 12);
+    out.put_slice(&MAGIC);
+    out.put_u32_le(index.q() as u32);
+    out.put_u32_le(index.tree_count() as u32);
+    for i in 0..index.tree_count() {
+        out.put_u32_le(index.tree_size(TreeId(i as u32)));
+    }
+    let vocab = index.vocab();
+    out.put_u32_le(vocab.len() as u32);
+    for (_, key) in vocab.iter() {
+        for &label in key {
+            out.put_u32_le(label.as_u32());
+        }
+    }
+    for (branch, _) in vocab.iter() {
+        let postings = index.postings(branch);
+        out.put_u32_le(postings.len() as u32);
+        for posting in postings {
+            out.put_u32_le(posting.tree.0);
+            out.put_u32_le(posting.positions.len() as u32);
+            for &(pre, post) in &posting.positions {
+                out.put_u32_le(pre);
+                out.put_u32_le(post);
+            }
+        }
+    }
+    out.freeze()
+}
+
+/// Decodes an index.
+///
+/// # Errors
+///
+/// Returns an [`IndexCodecError`] describing the first structural problem.
+pub fn decode_index(mut input: &[u8]) -> Result<InvertedFileIndex, IndexCodecError> {
+    let buf = &mut input;
+    if buf.remaining() < 4 || buf.copy_to_bytes(4).as_ref() != MAGIC {
+        return Err(IndexCodecError::BadMagic);
+    }
+    let q = read_u32(buf, "q")? as usize;
+    if !(2..=16).contains(&q) {
+        return Err(IndexCodecError::BadHeader);
+    }
+    let tree_count = read_count(buf, "tree count", 4)?;
+    let mut tree_sizes = Vec::with_capacity(tree_count);
+    for _ in 0..tree_count {
+        tree_sizes.push(read_u32(buf, "tree size")?);
+    }
+    let key_len = (1usize << q) - 1;
+    let vocab_len = read_count(buf, "vocabulary length", 4 * key_len)?;
+    let mut vocab = BranchVocab::new(q);
+    let mut key = vec![LabelId::EPSILON; key_len];
+    for _ in 0..vocab_len {
+        for slot in key.iter_mut() {
+            *slot = LabelId::from_u32(read_u32(buf, "branch key")?);
+        }
+        vocab.intern(&key);
+    }
+    let mut postings: Vec<Vec<Posting>> = Vec::with_capacity(vocab_len);
+    for _ in 0..vocab_len {
+        let posting_count = read_count(buf, "posting count", 8)?;
+        let mut list = Vec::with_capacity(posting_count);
+        for _ in 0..posting_count {
+            let tree = read_u32(buf, "posting tree")?;
+            if tree as usize >= tree_count {
+                return Err(IndexCodecError::TreeOutOfRange { tree });
+            }
+            let len = read_count(buf, "positions length", 8)?;
+            let mut positions = Vec::with_capacity(len);
+            for _ in 0..len {
+                let pre = read_u32(buf, "preorder position")?;
+                let post = read_u32(buf, "postorder position")?;
+                positions.push((pre, post));
+            }
+            list.push(Posting {
+                tree: TreeId(tree),
+                positions,
+            });
+        }
+        postings.push(list);
+    }
+    if buf.has_remaining() {
+        return Err(IndexCodecError::TrailingBytes {
+            remaining: buf.remaining(),
+        });
+    }
+    Ok(InvertedFileIndex::from_parts(
+        vocab, postings, tree_count, tree_sizes,
+    ))
+}
+
+fn read_u32(buf: &mut &[u8], reading: &'static str) -> Result<u32, IndexCodecError> {
+    if buf.remaining() < 4 {
+        return Err(IndexCodecError::Truncated { reading });
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Reads a count whose items each occupy at least `bytes_per_item` bytes;
+/// counts implying more data than remains are rejected *before* any
+/// allocation.
+fn read_count(
+    buf: &mut &[u8],
+    reading: &'static str,
+    bytes_per_item: usize,
+) -> Result<usize, IndexCodecError> {
+    let count = read_u32(buf, reading)? as usize;
+    if count.saturating_mul(bytes_per_item) > buf.remaining() {
+        return Err(IndexCodecError::Truncated { reading });
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesim_tree::Forest;
+
+    fn index() -> InvertedFileIndex {
+        let mut forest = Forest::new();
+        forest.parse_bracket("a(b(c(d)) b e)").unwrap();
+        forest.parse_bracket("a(c(d) b e)").unwrap();
+        forest.parse_bracket("x(y z)").unwrap();
+        InvertedFileIndex::build(&forest, 2)
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let original = index();
+        let decoded = decode_index(&encode_index(&original)).unwrap();
+        assert_eq!(decoded.q(), original.q());
+        assert_eq!(decoded.tree_count(), original.tree_count());
+        assert_eq!(decoded.posting_count(), original.posting_count());
+        assert_eq!(decoded.vocab().len(), original.vocab().len());
+        assert_eq!(decoded.positional_vectors(), original.positional_vectors());
+    }
+
+    #[test]
+    fn q3_roundtrip() {
+        let mut forest = Forest::new();
+        forest.parse_bracket("a(b(c d) e)").unwrap();
+        let original = InvertedFileIndex::build(&forest, 3);
+        let decoded = decode_index(&encode_index(&original)).unwrap();
+        assert_eq!(decoded.positional_vectors(), original.positional_vectors());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            decode_index(b"XXXX").unwrap_err(),
+            IndexCodecError::BadMagic
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = encode_index(&index());
+        for cut in 1..bytes.len() {
+            assert!(decode_index(&bytes[..cut]).is_err(), "{cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_index(&index()).to_vec();
+        bytes.push(7);
+        assert_eq!(
+            decode_index(&bytes).unwrap_err(),
+            IndexCodecError::TrailingBytes { remaining: 1 }
+        );
+    }
+
+    #[test]
+    fn bad_q_rejected() {
+        let mut bytes = BytesMut::new();
+        bytes.put_slice(&MAGIC);
+        bytes.put_u32_le(1); // q = 1 invalid
+        bytes.put_u32_le(0);
+        bytes.put_u32_le(0);
+        assert_eq!(decode_index(&bytes).unwrap_err(), IndexCodecError::BadHeader);
+    }
+
+    #[test]
+    fn out_of_range_tree_rejected() {
+        let mut bytes = BytesMut::new();
+        bytes.put_slice(&MAGIC);
+        bytes.put_u32_le(2); // q
+        bytes.put_u32_le(1); // one tree
+        bytes.put_u32_le(3); // its size
+        bytes.put_u32_le(1); // one branch
+        bytes.put_u32_le(1); // key: 3 labels
+        bytes.put_u32_le(0);
+        bytes.put_u32_le(0);
+        bytes.put_u32_le(1); // one posting
+        bytes.put_u32_le(9); // bogus tree id
+        bytes.put_u32_le(0); // no positions
+        assert_eq!(
+            decode_index(&bytes).unwrap_err(),
+            IndexCodecError::TreeOutOfRange { tree: 9 }
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        for error in [
+            IndexCodecError::BadMagic,
+            IndexCodecError::Truncated { reading: "x" },
+            IndexCodecError::BadHeader,
+            IndexCodecError::TreeOutOfRange { tree: 1 },
+            IndexCodecError::TrailingBytes { remaining: 3 },
+        ] {
+            assert!(!error.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Incremental binary branch vector maintenance.
+//!
+//! Theorem 3.2's proof rests on the locality of edit operations: one
+//! operation perturbs at most five binary branches. This module exploits
+//! the same locality to keep a tree's branch vector up to date under edit
+//! operations in `O(1)` branch recomputations per operation — instead of
+//! re-extracting the whole tree — which is what a production index needs
+//! for mutable datasets.
+//!
+//! The *positional* information is deliberately not maintained: an
+//! insertion or deletion shifts the pre/postorder positions of up to `O(n)`
+//! nodes, so positional vectors are rebuilt on demand instead.
+
+use std::collections::HashMap;
+
+use treesim_tree::{BinaryView, LabelId, NodeId, Tree, TreeError};
+
+/// A tree paired with its incrementally maintained branch-count multiset.
+#[derive(Debug, Clone)]
+pub struct IncrementalTree {
+    tree: Tree,
+    q: usize,
+    /// Branch key → occurrence count (absent = 0).
+    counts: HashMap<Vec<LabelId>, u32>,
+}
+
+impl IncrementalTree {
+    /// Wraps `tree`, extracting its initial q-level branch counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2`.
+    pub fn new(tree: Tree, q: usize) -> Self {
+        assert!(q >= 2, "binary branches need q >= 2 (got {q})");
+        let mut counts = HashMap::new();
+        for occurrence in crate::branch::extract_branches(&tree, q) {
+            *counts.entry(occurrence.key).or_insert(0) += 1;
+        }
+        IncrementalTree { tree, q, counts }
+    }
+
+    /// The wrapped tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The branch level.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Current branch counts (key → occurrences).
+    pub fn counts(&self) -> &HashMap<Vec<LabelId>, u32> {
+        &self.counts
+    }
+
+    /// L1 distance between the maintained multiset and another's.
+    pub fn bdist(&self, other: &IncrementalTree) -> u64 {
+        assert_eq!(self.q, other.q, "mixing branch levels");
+        let mut distance = 0u64;
+        for (key, &count) in &self.counts {
+            let other_count = other.counts.get(key).copied().unwrap_or(0);
+            distance += u64::from(count.abs_diff(other_count));
+        }
+        for (key, &count) in &other.counts {
+            if !self.counts.contains_key(key) {
+                distance += u64::from(count);
+            }
+        }
+        distance
+    }
+
+    /// Relabels `node`, updating the affected branches (≤ 2 by Lemma 3.1,
+    /// but the q-level generalization touches up to `q` ancestors within
+    /// the perfect-subtree window, all found by walking binary parents).
+    pub fn relabel(&mut self, node: NodeId, label: LabelId) {
+        let anchors = self.anchors_around(node);
+        self.with_anchor_diff(&anchors, |tree| tree.relabel(node, label));
+    }
+
+    /// The *insert* edit operation (see
+    /// [`Tree::insert_above_children`]), with localized vector update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TreeError`] from the structural operation; the vector
+    /// is unchanged on error.
+    pub fn insert_above_children(
+        &mut self,
+        parent: NodeId,
+        label: LabelId,
+        start: usize,
+        count: usize,
+    ) -> Result<NodeId, TreeError> {
+        // Validate first so a failed insert leaves the counts untouched.
+        if start + count > self.tree.degree(parent) {
+            // Delegate for the precise error value.
+            return self
+                .tree
+                .insert_above_children(parent, label, start, count)
+                .map(|_| unreachable!("insert must fail"));
+        }
+        let mut anchors = self.anchors_around(parent);
+        if start > 0 {
+            if let Some(before) = self.tree.child_at(parent, start - 1) {
+                anchors.extend(self.anchors_around(before));
+            }
+        }
+        if count > 0 {
+            if let Some(last_adopted) = self.tree.child_at(parent, start + count - 1) {
+                anchors.extend(self.anchors_around(last_adopted));
+            }
+            if let Some(first_adopted) = self.tree.child_at(parent, start) {
+                anchors.extend(self.anchors_around(first_adopted));
+            }
+        }
+        let mut created = None;
+        self.with_anchor_diff(&anchors, |tree| {
+            created = Some(
+                tree.insert_above_children(parent, label, start, count)
+                    .expect("validated above"),
+            );
+        });
+        let new_node = created.expect("closure ran");
+        // Account for the new node's own branch.
+        self.add_branch_of(new_node);
+        Ok(new_node)
+    }
+
+    /// The *delete* edit operation (see [`Tree::remove_node`]), with
+    /// localized vector update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TreeError::CannotDeleteRoot`]; the vector is unchanged
+    /// on error.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<(), TreeError> {
+        if node == self.tree.root() {
+            return Err(TreeError::CannotDeleteRoot);
+        }
+        // The deleted node's own branch disappears.
+        self.remove_branch_of(node);
+        let mut anchors = self.anchors_around(node);
+        anchors.retain(|&a| a != node);
+        if let Some(last_child) = self.tree.last_child(node) {
+            anchors.extend(self.anchors_around(last_child));
+            anchors.retain(|&a| a != node);
+        }
+        self.with_anchor_diff(&anchors, |tree| {
+            tree.remove_node(node).expect("non-root checked");
+        });
+        Ok(())
+    }
+
+    /// Conservative set of live nodes whose branches may be affected by a
+    /// change at `node`: within the q-level window, every node whose
+    /// perfect binary subtree can reach `node` is at binary-distance
+    /// < q above it; for q = 2 that is `node`, its parent (when `node` is a
+    /// first child) and its previous sibling. Walking `q − 1` binary-parent
+    /// steps covers the general case.
+    fn anchors_around(&self, node: NodeId) -> Vec<NodeId> {
+        let mut anchors = vec![node];
+        let mut frontier = vec![node];
+        for _ in 0..self.q - 1 {
+            let mut next = Vec::new();
+            for &n in &frontier {
+                // Binary parent: the tree parent when n is a first child,
+                // otherwise the previous sibling.
+                let binary_parent = match self.tree.prev_sibling(n) {
+                    Some(previous) => Some(previous),
+                    None => self.tree.parent(n),
+                };
+                if let Some(p) = binary_parent {
+                    next.push(p);
+                }
+            }
+            anchors.extend(next.iter().copied());
+            frontier = next;
+        }
+        anchors.sort_unstable();
+        anchors.dedup();
+        anchors
+    }
+
+    /// Removes the old branches of `anchors`, applies `mutate`, re-adds
+    /// the new branches of the surviving anchors. Duplicates in `anchors`
+    /// (unioned chains share ancestors) are removed first.
+    fn with_anchor_diff<M: FnOnce(&mut Tree)>(&mut self, anchors: &[NodeId], mutate: M) {
+        let mut anchors: Vec<NodeId> = anchors.to_vec();
+        anchors.sort_unstable();
+        anchors.dedup();
+        let anchors = &anchors[..];
+        for &anchor in anchors {
+            if self.tree.contains(anchor) {
+                self.remove_branch_of(anchor);
+            }
+        }
+        mutate(&mut self.tree);
+        for &anchor in anchors {
+            if self.tree.contains(anchor) {
+                self.add_branch_of(anchor);
+            }
+        }
+    }
+
+    fn branch_key_of(&self, node: NodeId) -> Vec<LabelId> {
+        let view = BinaryView::new(&self.tree);
+        let mut key = Vec::with_capacity((1 << self.q) - 1);
+        view.q_branch_into(node, self.q, &mut key);
+        key
+    }
+
+    fn add_branch_of(&mut self, node: NodeId) {
+        let key = self.branch_key_of(node);
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    fn remove_branch_of(&mut self, node: NodeId) {
+        let key = self.branch_key_of(node);
+        match self.counts.get_mut(&key) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                self.counts.remove(&key);
+            }
+            None => panic!("removing a branch that was never counted"),
+        }
+    }
+
+    /// Rebuilds the counts from scratch (test oracle / resynchronization).
+    pub fn rebuilt_counts(&self) -> HashMap<Vec<LabelId>, u32> {
+        let mut counts = HashMap::new();
+        for occurrence in crate::branch::extract_branches(&self.tree, self.q) {
+            *counts.entry(occurrence.key).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesim_tree::{parse::bracket, LabelInterner};
+
+    fn setup(spec: &str, q: usize) -> (IncrementalTree, LabelInterner) {
+        let mut interner = LabelInterner::new();
+        let tree = bracket::parse(&mut interner, spec).unwrap();
+        // Intern some extra labels for mutations.
+        for extra in ["x", "y", "z"] {
+            interner.intern(extra);
+        }
+        (IncrementalTree::new(tree, q), interner)
+    }
+
+    fn assert_synchronized(incremental: &IncrementalTree) {
+        assert_eq!(
+            incremental.counts(),
+            &incremental.rebuilt_counts(),
+            "incremental counts diverged from rebuild"
+        );
+    }
+
+    #[test]
+    fn initial_counts_match_extraction() {
+        let (inc, _) = setup("a(b(c d) b e)", 2);
+        assert_synchronized(&inc);
+        assert_eq!(inc.q(), 2);
+        assert_eq!(inc.tree().len(), 6);
+    }
+
+    #[test]
+    fn relabel_updates_locally() {
+        let (mut inc, interner) = setup("a(b(c d) b e)", 2);
+        let x = interner.get("x").unwrap();
+        let nodes: Vec<NodeId> = inc.tree().preorder().collect();
+        for node in nodes {
+            inc.relabel(node, x);
+            assert_synchronized(&inc);
+        }
+    }
+
+    #[test]
+    fn insert_updates_locally() {
+        let (mut inc, interner) = setup("a(b(c d) b e)", 2);
+        let y = interner.get("y").unwrap();
+        let root = inc.tree().root();
+        // Insert adopting a middle run.
+        inc.insert_above_children(root, y, 1, 2).unwrap();
+        assert_synchronized(&inc);
+        // Insert a leaf at the front.
+        inc.insert_above_children(root, y, 0, 0).unwrap();
+        assert_synchronized(&inc);
+        // Insert adopting everything.
+        let degree = inc.tree().degree(root);
+        inc.insert_above_children(root, y, 0, degree).unwrap();
+        assert_synchronized(&inc);
+    }
+
+    #[test]
+    fn delete_updates_locally() {
+        let (mut inc, _) = setup("a(b(c d) b(e f) g)", 2);
+        loop {
+            let victim = {
+                let tree = inc.tree();
+                tree.preorder().find(|&n| n != tree.root())
+            };
+            match victim {
+                Some(node) => {
+                    inc.remove_node(node).unwrap();
+                    assert_synchronized(&inc);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(inc.tree().len(), 1);
+    }
+
+    #[test]
+    fn delete_root_fails_cleanly() {
+        let (mut inc, _) = setup("a(b)", 2);
+        let before = inc.counts().clone();
+        let root = inc.tree().root();
+        assert!(inc.remove_node(root).is_err());
+        assert_eq!(inc.counts(), &before);
+    }
+
+    #[test]
+    fn q3_incremental_maintenance() {
+        let (mut inc, interner) = setup("a(b(c d) b(e) f)", 3);
+        let z = interner.get("z").unwrap();
+        let nodes: Vec<NodeId> = inc.tree().preorder().collect();
+        inc.relabel(nodes[2], z);
+        assert_synchronized(&inc);
+        let root = inc.tree().root();
+        inc.insert_above_children(root, z, 0, 2).unwrap();
+        assert_synchronized(&inc);
+        let victim = inc.tree().first_child(root).unwrap();
+        inc.remove_node(victim).unwrap();
+        assert_synchronized(&inc);
+    }
+
+    #[test]
+    fn bdist_between_incremental_trees() {
+        let (mut a, interner) = setup("a(b c)", 2);
+        let (b, _) = setup("a(b c)", 2);
+        assert_eq!(a.bdist(&b), 0);
+        let x = interner.get("x").unwrap();
+        let node = a.tree().first_child(a.tree().root()).unwrap();
+        a.relabel(node, x);
+        let d = a.bdist(&b);
+        assert!(d > 0 && d <= 4, "relabel moves ≤ 4 branches, got {d}");
+    }
+}

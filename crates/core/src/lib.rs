@@ -1,0 +1,55 @@
+//! **The binary branch embedding** — the primary contribution of
+//! *Similarity Evaluation on Tree-structured Data* (Yang, Kalnis, Tung,
+//! SIGMOD 2005).
+//!
+//! Rooted, ordered, labeled trees are mapped to sparse numeric vectors whose
+//! L1 distance lower-bounds the tree edit distance:
+//!
+//! * [`branch`]: q-level binary branch extraction from the normalized
+//!   binary-tree representation (Definitions 2 and 5);
+//! * [`vocab`]: the branch alphabet Γ;
+//! * [`vector`]: binary branch vectors and `BDist` with
+//!   `BDist ≤ [4(q−1)+1]·EDist` (Theorems 3.2/3.3);
+//! * [`positional`]: position-augmented vectors, `PosBDist(·,·,pr)` and the
+//!   tighter `SearchLBound` optimistic bound (§4.2);
+//! * [`matching`]: exact maximum matching of branch occurrences under a
+//!   positional window;
+//! * [`ifi`]: the inverted file index of Algorithm 1.
+//!
+//! # Quick start
+//!
+//! ```
+//! use treesim_core::{BranchVocab, PositionalVector};
+//! use treesim_tree::{parse::bracket, LabelInterner};
+//!
+//! let mut interner = LabelInterner::new();
+//! let t1 = bracket::parse(&mut interner, "a(b(c(d)) b e)").unwrap();
+//! let t2 = bracket::parse(&mut interner, "a(c(d) b e)").unwrap();
+//!
+//! let mut vocab = BranchVocab::new(2); // two-level binary branches
+//! let v1 = PositionalVector::build(&t1, &mut vocab);
+//! let v2 = PositionalVector::build(&t2, &mut vocab);
+//!
+//! // BDist ≤ 5·EDist, so BDist/5 (and the tighter optimistic bound) lower
+//! // bound the edit distance — here EDist = 1 (delete the first b).
+//! assert!(v1.bdist(&v2) <= 5);
+//! assert!(v1.optimistic_bound(&v2) <= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod codec;
+pub mod ifi;
+pub mod incremental;
+pub mod matching;
+pub mod positional;
+pub mod vector;
+pub mod vocab;
+
+pub use branch::{bound_factor, edit_lower_bound, extract_branches, BranchOccurrence};
+pub use ifi::{InvertedFileIndex, Posting};
+pub use incremental::IncrementalTree;
+pub use positional::{PosEntry, PositionalVector};
+pub use vector::{binary_branch_distance, BranchVector};
+pub use vocab::{BranchId, BranchVocab, QueryVocab};

@@ -1,0 +1,339 @@
+//! Positional binary branch vectors and distances (§4.2 of the paper).
+//!
+//! Beyond occurrence counts, each branch occurrence carries the (preorder,
+//! postorder) position of its root node. Two identical branches can only be
+//! matched if their positions differ by at most the positional range `pr`
+//! (Proposition 4.1: an edit mapping of cost ≤ `l` never maps nodes whose
+//! traversal positions differ by more than `l`). The resulting
+//! `PosBDist(T1, T2, pr)` is non-increasing in `pr`, reaches `BDist` at
+//! `pr = max(|T1|, |T2|)`, and supports a *tighter* lower bound than
+//! `⌈BDist/5⌉`: the smallest `pr` with `PosBDist(pr) ≤ 5·pr` (the
+//! `SearchLBound` routine of Algorithm 2), exposed as
+//! [`PositionalVector::optimistic_bound`].
+
+use serde::{Deserialize, Serialize};
+use treesim_tree::Tree;
+
+use crate::branch::{bound_factor, extract_branches};
+use crate::matching::{max_matching, Pos};
+use crate::vocab::{BranchId, BranchVocab, QueryVocab};
+
+/// One branch dimension with its occurrence positions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PosEntry {
+    /// The branch id.
+    pub branch: BranchId,
+    /// Occurrence positions, sorted by preorder position.
+    pub positions: Vec<Pos>,
+}
+
+/// A binary branch vector augmented with occurrence positions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionalVector {
+    q: usize,
+    tree_size: u32,
+    /// Entries sorted by branch id.
+    entries: Vec<PosEntry>,
+}
+
+impl PositionalVector {
+    /// Builds the positional vector of `tree`, interning new branches.
+    pub fn build(tree: &Tree, vocab: &mut BranchVocab) -> Self {
+        let occurrences = extract_branches(tree, vocab.q());
+        let tagged: Vec<(BranchId, Pos)> = occurrences
+            .iter()
+            .map(|o| (vocab.intern(&o.key), (o.pre, o.post)))
+            .collect();
+        Self::from_tagged(vocab.q(), tree.len() as u32, tagged)
+    }
+
+    /// Builds a query vector against a frozen vocabulary.
+    pub fn build_query(tree: &Tree, vocab: &mut QueryVocab<'_>) -> Self {
+        let occurrences = extract_branches(tree, vocab.q());
+        let tagged: Vec<(BranchId, Pos)> = occurrences
+            .iter()
+            .map(|o| (vocab.resolve_or_extend(&o.key), (o.pre, o.post)))
+            .collect();
+        Self::from_tagged(vocab.q(), tree.len() as u32, tagged)
+    }
+
+    pub(crate) fn from_tagged(q: usize, tree_size: u32, mut tagged: Vec<(BranchId, Pos)>) -> Self {
+        // Sort by (branch, preorder); extraction order is already preorder,
+        // so a stable sort by branch alone would suffice, but be explicit.
+        tagged.sort_unstable_by_key(|&(id, pos)| (id, pos.0));
+        let mut entries: Vec<PosEntry> = Vec::new();
+        for (id, pos) in tagged {
+            match entries.last_mut() {
+                Some(entry) if entry.branch == id => entry.positions.push(pos),
+                _ => entries.push(PosEntry {
+                    branch: id,
+                    positions: vec![pos],
+                }),
+            }
+        }
+        PositionalVector {
+            q,
+            tree_size,
+            entries,
+        }
+    }
+
+    /// The branch level `q`.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of nodes of the underlying tree.
+    pub fn tree_size(&self) -> u32 {
+        self.tree_size
+    }
+
+    /// The sparse entries, sorted by branch id.
+    pub fn entries(&self) -> &[PosEntry] {
+        &self.entries
+    }
+
+    /// Plain binary branch distance (counts only) — equals
+    /// `pos_bdist(other, pr)` for any `pr ≥ max(|T1|, |T2|)`.
+    pub fn bdist(&self, other: &PositionalVector) -> u64 {
+        self.merge_distance(other, |a, b| a.len().min(b.len()))
+    }
+
+    /// The positional binary branch distance `PosBDist(T1, T2, pr)`
+    /// (Definition 6): unmatched occurrences under the maximum positional
+    /// matching with range `pr`, summed over all branches.
+    pub fn pos_bdist(&self, other: &PositionalVector, pr: u32) -> u64 {
+        self.merge_distance(other, |a, b| max_matching(a, b, pr))
+    }
+
+    /// Shared merge loop: for each branch, `b1 + b2 − 2·matched` where
+    /// `matcher` computes the matched count on the two position lists.
+    fn merge_distance<F>(&self, other: &PositionalVector, matcher: F) -> u64
+    where
+        F: Fn(&[Pos], &[Pos]) -> usize,
+    {
+        assert_eq!(self.q, other.q, "mixing branch levels");
+        let mut distance = 0u64;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() && j < other.entries.len() {
+            let a = &self.entries[i];
+            let b = &other.entries[j];
+            match a.branch.cmp(&b.branch) {
+                std::cmp::Ordering::Less => {
+                    distance += a.positions.len() as u64;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    distance += b.positions.len() as u64;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let matched = matcher(&a.positions, &b.positions) as u64;
+                    distance += a.positions.len() as u64 + b.positions.len() as u64
+                        - 2 * matched;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for entry in &self.entries[i..] {
+            distance += entry.positions.len() as u64;
+        }
+        for entry in &other.entries[j..] {
+            distance += entry.positions.len() as u64;
+        }
+        distance
+    }
+
+    /// The optimistic lower bound `propt` of §4.2 / Algorithm 2
+    /// (`SearchLBound`): the smallest positional range `pr` in
+    /// `[| |T1|−|T2| |, max(|T1|, |T2|)]` with
+    /// `PosBDist(T1, T2, pr) ≤ [4(q−1)+1] · pr`.
+    ///
+    /// Guarantees `⌈BDist/factor⌉ ≤ propt ≤ EDist(T1, T2)`:
+    /// if the predicate already holds at `pr_min = ||T1|−|T2||` the result
+    /// is the size bound itself; otherwise the predicate fails at
+    /// `propt − 1`, so by Proposition 4.2 `EDist > propt − 1`.
+    pub fn optimistic_bound(&self, other: &PositionalVector) -> u64 {
+        let factor = bound_factor(self.q);
+        let pr_min = self.tree_size.abs_diff(other.tree_size);
+        let pr_max = self.tree_size.max(other.tree_size);
+        if self.pos_bdist(other, pr_min) <= factor * u64::from(pr_min) {
+            return u64::from(pr_min);
+        }
+        // Binary search the smallest satisfying pr in (pr_min, pr_max].
+        // The predicate is monotone: PosBDist is non-increasing in pr while
+        // factor·pr increases.
+        let (mut lo, mut hi) = (pr_min + 1, pr_max);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.pos_bdist(other, mid) <= factor * u64::from(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        debug_assert!(
+            self.pos_bdist(other, lo) <= factor * u64::from(lo),
+            "predicate must hold at pr_max"
+        );
+        u64::from(lo)
+    }
+
+    /// Range-query pruning test (§4.3): prune `other` from a query with
+    /// radius `tau` when it provably cannot be within edit distance `tau`.
+    /// Combines Proposition 4.2 at `l = tau` with the optimistic bound.
+    pub fn exceeds_range(&self, other: &PositionalVector, tau: u32) -> bool {
+        let factor = bound_factor(self.q);
+        if self.pos_bdist(other, tau) > factor * u64::from(tau) {
+            return true;
+        }
+        self.optimistic_bound(other) > u64::from(tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesim_edit::edit_distance;
+    use treesim_tree::{parse::bracket, LabelInterner, Tree};
+
+    fn vectors(a: &str, b: &str, q: usize) -> (PositionalVector, PositionalVector, Tree, Tree) {
+        let mut interner = LabelInterner::new();
+        let t1 = bracket::parse(&mut interner, a).unwrap();
+        let t2 = bracket::parse(&mut interner, b).unwrap();
+        let mut vocab = BranchVocab::new(q);
+        let v1 = PositionalVector::build(&t1, &mut vocab);
+        let v2 = PositionalVector::build(&t2, &mut vocab);
+        (v1, v2, t1, t2)
+    }
+
+    #[test]
+    fn identical_trees_zero_everywhere() {
+        let (v1, v2, ..) = vectors("a(b(c d) b e)", "a(b(c d) b e)", 2);
+        assert_eq!(v1.bdist(&v2), 0);
+        for pr in 0..8 {
+            assert_eq!(v1.pos_bdist(&v2, pr), 0);
+        }
+        assert_eq!(v1.optimistic_bound(&v2), 0);
+        assert!(!v1.exceeds_range(&v2, 0));
+    }
+
+    #[test]
+    fn pos_bdist_decreases_to_bdist() {
+        let (v1, v2, t1, t2) = vectors("a(b(c(d)) b e)", "a(e b(c(d)) b)", 2);
+        let sizes = t1.len().max(t2.len()) as u32;
+        let mut previous = u64::MAX;
+        for pr in 0..=sizes {
+            let d = v1.pos_bdist(&v2, pr);
+            assert!(d <= previous, "PosBDist increased at pr={pr}");
+            previous = d;
+        }
+        assert_eq!(v1.pos_bdist(&v2, sizes), v1.bdist(&v2));
+        // Positions matter: at pr=0 the distance is at least the plain one.
+        assert!(v1.pos_bdist(&v2, 0) >= v1.bdist(&v2));
+    }
+
+    #[test]
+    fn optimistic_bound_sandwiched() {
+        let cases = [
+            ("a(b(c(d)) b e)", "a(c(d) b e)"),
+            ("a(b c)", "x(y z)"),
+            ("a", "a(b(c(d)))"),
+            ("a(b(c(d)))", "a(b c d)"),
+            ("f(d(a c(b)) e)", "f(c(d(a b)) e)"),
+            ("a(b(c) d(e f) g)", "a(b)"),
+            ("a(b c d e f)", "a(f e d c b)"),
+        ];
+        for (x, y) in cases {
+            let (v1, v2, t1, t2) = vectors(x, y, 2);
+            let edist = edit_distance(&t1, &t2);
+            let bdist_bound = v1.bdist(&v2).div_ceil(5);
+            let propt = v1.optimistic_bound(&v2);
+            assert!(
+                propt <= edist,
+                "propt {propt} > EDist {edist} on {x} vs {y}"
+            );
+            assert!(
+                propt >= bdist_bound,
+                "propt {propt} < BDist/5 {bdist_bound} on {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn positional_bound_can_beat_plain_bound() {
+        // Swapping distant siblings keeps counts identical (BDist = 0) but
+        // moves positions; the positional bound sees that.
+        let (v1, v2, t1, t2) = vectors(
+            "r(a(x y) b c d e f g a(x y))",
+            "r(a(x y) g b c d e f a(x y))",
+            2,
+        );
+        let edist = edit_distance(&t1, &t2);
+        let propt = v1.optimistic_bound(&v2);
+        assert!(propt <= edist);
+        // The plain bound collapses here; the positional one may not.
+        let plain = v1.bdist(&v2).div_ceil(5);
+        assert!(propt >= plain);
+    }
+
+    #[test]
+    fn exceeds_range_is_safe() {
+        let cases = [
+            ("a(b(c(d)) b e)", "a(c(d) b e)"),
+            ("a(b c)", "x(y z)"),
+            ("a(b(c(d)))", "a(b c d)"),
+        ];
+        for (x, y) in cases {
+            let (v1, v2, t1, t2) = vectors(x, y, 2);
+            let edist = edit_distance(&t1, &t2);
+            for tau in 0..=(edist as u32 + 2) {
+                if v1.exceeds_range(&v2, tau) {
+                    assert!(
+                        edist > u64::from(tau),
+                        "pruned a true result: EDist {edist} ≤ τ {tau} on {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_vector_against_frozen_vocab() {
+        let mut interner = LabelInterner::new();
+        let data = bracket::parse(&mut interner, "a(b c)").unwrap();
+        let query = bracket::parse(&mut interner, "a(b c z)").unwrap();
+        let mut vocab = BranchVocab::new(2);
+        let dv = PositionalVector::build(&data, &mut vocab);
+        let mut query_vocab = QueryVocab::new(&vocab);
+        let qv = PositionalVector::build_query(&query, &mut query_vocab);
+        let edist = edit_distance(&data, &query);
+        assert!(qv.optimistic_bound(&dv) <= edist);
+        assert_eq!(qv.tree_size(), 4);
+        assert_eq!(dv.tree_size(), 3);
+    }
+
+    #[test]
+    fn q3_positional_bound_holds() {
+        let (v1, v2, t1, t2) = vectors("a(b(c(d)) b e)", "a(c(d) e b)", 3);
+        let edist = edit_distance(&t1, &t2);
+        assert!(v1.optimistic_bound(&v2) <= edist);
+    }
+
+    #[test]
+    fn entries_are_sorted_with_sorted_positions() {
+        let (v1, ..) = vectors("a(b(a(b)) a b(a))", "a", 2);
+        let mut previous: Option<BranchId> = None;
+        for entry in v1.entries() {
+            if let Some(p) = previous {
+                assert!(entry.branch > p);
+            }
+            previous = Some(entry.branch);
+            assert!(entry
+                .positions
+                .windows(2)
+                .all(|w| w[0].0 <= w[1].0));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Binary branch vectors and the binary branch distance (Definitions 3–4).
+//!
+//! `BRV(T)` counts, for every distinct branch of the alphabet Γ, its number
+//! of occurrences in `T`. Vectors are stored sparsely (only nonzero
+//! dimensions), sorted by branch id, so the L1 distance is a linear merge —
+//! `O(|T1| + |T2|)` overall, the complexity the paper claims for its filter.
+
+use serde::{Deserialize, Serialize};
+use treesim_tree::Tree;
+
+use crate::branch::{bound_factor, edit_lower_bound, extract_branches};
+use crate::vocab::{BranchId, BranchVocab, QueryVocab};
+
+/// A sparse binary branch vector `BRV(T)` (or `BRV_Q(T)` for `q > 2`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchVector {
+    q: usize,
+    /// `(branch, count)` pairs sorted by branch id, counts ≥ 1.
+    entries: Vec<(BranchId, u32)>,
+}
+
+impl BranchVector {
+    /// Builds the vector of `tree`, interning new branches into `vocab`.
+    pub fn build(tree: &Tree, vocab: &mut BranchVocab) -> Self {
+        let occurrences = extract_branches(tree, vocab.q());
+        let mut ids: Vec<BranchId> = occurrences
+            .iter()
+            .map(|o| vocab.intern(&o.key))
+            .collect();
+        Self::from_ids(vocab.q(), &mut ids)
+    }
+
+    /// Builds a query vector against a frozen vocabulary: branches unknown
+    /// to the dataset get query-local ids.
+    pub fn build_query(tree: &Tree, vocab: &mut QueryVocab<'_>) -> Self {
+        let occurrences = extract_branches(tree, vocab.q());
+        let mut ids: Vec<BranchId> = occurrences
+            .iter()
+            .map(|o| vocab.resolve_or_extend(&o.key))
+            .collect();
+        Self::from_ids(vocab.q(), &mut ids)
+    }
+
+    fn from_ids(q: usize, ids: &mut [BranchId]) -> Self {
+        ids.sort_unstable();
+        let mut entries: Vec<(BranchId, u32)> = Vec::new();
+        for &id in ids.iter() {
+            match entries.last_mut() {
+                Some((last, count)) if *last == id => *count += 1,
+                _ => entries.push((id, 1)),
+            }
+        }
+        BranchVector { q, entries }
+    }
+
+    /// The branch level `q`.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of nonzero dimensions.
+    pub fn nonzero_dims(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sum of all counts (= number of nodes of the underlying tree).
+    pub fn total_count(&self) -> u64 {
+        self.entries.iter().map(|&(_, c)| u64::from(c)).sum()
+    }
+
+    /// The sparse `(branch, count)` entries, sorted by branch id.
+    pub fn entries(&self) -> &[(BranchId, u32)] {
+        &self.entries
+    }
+
+    /// The binary branch distance `BDist(T1, T2)`: L1 distance of the two
+    /// characteristic vectors (Definition 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors were built with different `q`.
+    pub fn bdist(&self, other: &BranchVector) -> u64 {
+        assert_eq!(self.q, other.q, "mixing branch levels");
+        let mut distance = 0u64;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (id_a, count_a) = self.entries[i];
+            let (id_b, count_b) = other.entries[j];
+            match id_a.cmp(&id_b) {
+                std::cmp::Ordering::Less => {
+                    distance += u64::from(count_a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    distance += u64::from(count_b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    distance += u64::from(count_a.abs_diff(count_b));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        distance += self.entries[i..]
+            .iter()
+            .map(|&(_, c)| u64::from(c))
+            .sum::<u64>();
+        distance += other.entries[j..]
+            .iter()
+            .map(|&(_, c)| u64::from(c))
+            .sum::<u64>();
+        distance
+    }
+
+    /// Lower bound on the unit-cost edit distance:
+    /// `⌈BDist_q / (4(q−1)+1)⌉` (Theorems 3.2 / 3.3).
+    pub fn edit_lower_bound(&self, other: &BranchVector) -> u64 {
+        edit_lower_bound(self.bdist(other), self.q)
+    }
+}
+
+/// Convenience: the binary branch distance of two trees sharing an interner,
+/// using a throwaway vocabulary.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_core::binary_branch_distance;
+/// use treesim_tree::{parse::bracket, LabelInterner};
+///
+/// let mut interner = LabelInterner::new();
+/// let t1 = bracket::parse(&mut interner, "a(b(c(d)) b e)").unwrap();
+/// let t2 = bracket::parse(&mut interner, "a(c(d) b e)").unwrap();
+/// let bdist = binary_branch_distance(&t1, &t2, 2);
+/// assert!(bdist <= 5); // one edit operation changes ≤ 5 branches
+/// ```
+pub fn binary_branch_distance(t1: &Tree, t2: &Tree, q: usize) -> u64 {
+    let mut vocab = BranchVocab::new(q);
+    let v1 = BranchVector::build(t1, &mut vocab);
+    let v2 = BranchVector::build(t2, &mut vocab);
+    v1.bdist(&v2)
+}
+
+/// The distortion factor `4(q−1)+1` re-exported for callers that combine
+/// raw distances themselves.
+pub fn distortion_factor(q: usize) -> u64 {
+    bound_factor(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesim_tree::{parse::bracket, LabelInterner};
+
+    fn two(a: &str, b: &str, q: usize) -> (BranchVector, BranchVector) {
+        let mut interner = LabelInterner::new();
+        let t1 = bracket::parse(&mut interner, a).unwrap();
+        let t2 = bracket::parse(&mut interner, b).unwrap();
+        let mut vocab = BranchVocab::new(q);
+        (
+            BranchVector::build(&t1, &mut vocab),
+            BranchVector::build(&t2, &mut vocab),
+        )
+    }
+
+    #[test]
+    fn identical_trees_zero_distance() {
+        let (v1, v2) = two("a(b(c d) b e)", "a(b(c d) b e)", 2);
+        assert_eq!(v1.bdist(&v2), 0);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn total_count_equals_tree_size() {
+        let (v1, _) = two("a(b(c d) b e)", "a", 2);
+        assert_eq!(v1.total_count(), 6);
+        assert!(v1.nonzero_dims() <= 6);
+        assert_eq!(v1.q(), 2);
+    }
+
+    #[test]
+    fn single_relabel_changes_at_most_four_branches() {
+        // A node occurs in at most two branches (Lemma 3.1), so a relabel
+        // perturbs ≤ 2 old + 2 new dimensions: BDist ≤ 4.
+        let (v1, v2) = two("a(b c)", "a(x c)", 2);
+        assert!(v1.bdist(&v2) <= 4, "relabel changes at most 4 branches");
+        assert!(v1.bdist(&v2) > 0);
+    }
+
+    #[test]
+    fn single_delete_changes_at_most_five_branches() {
+        let (v1, v2) = two("a(b(c(d)) b e)", "a(c(d) b e)", 2);
+        let d = v1.bdist(&v2);
+        assert!(d > 0 && d <= 5, "BDist {d}");
+        assert_eq!(v1.edit_lower_bound(&v2), 1);
+    }
+
+    #[test]
+    fn disjoint_trees_distance_is_sum_of_sizes() {
+        let (v1, v2) = two("a(a a)", "b(b b)", 2);
+        assert_eq!(v1.bdist(&v2), 6);
+    }
+
+    #[test]
+    fn bdist_is_symmetric_and_triangular() {
+        let mut interner = LabelInterner::new();
+        let specs = ["a(b c)", "a(b(c))", "x", "a(b c d)", "a(c b)"];
+        let trees: Vec<_> = specs
+            .iter()
+            .map(|s| bracket::parse(&mut interner, s).unwrap())
+            .collect();
+        let mut vocab = BranchVocab::new(2);
+        let vectors: Vec<_> = trees
+            .iter()
+            .map(|t| BranchVector::build(t, &mut vocab))
+            .collect();
+        for a in &vectors {
+            assert_eq!(a.bdist(a), 0);
+            for b in &vectors {
+                assert_eq!(a.bdist(b), b.bdist(a));
+                for c in &vectors {
+                    assert!(a.bdist(c) <= a.bdist(b) + b.bdist(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_distance_does_not_imply_equality() {
+        // The paper's Fig. 4 point: BDist is a pseudometric. The distinct
+        // trees a(a a(a)) and a(a(a a)) share the branch multiset
+        // {⟨a,a,ε⟩×2, ⟨a,ε,a⟩, ⟨a,ε,ε⟩}.
+        let mut interner = LabelInterner::new();
+        let t1 = bracket::parse(&mut interner, "a(a a(a))").unwrap();
+        let t2 = bracket::parse(&mut interner, "a(a(a a))").unwrap();
+        assert_ne!(t1, t2);
+        let mut vocab = BranchVocab::new(2);
+        let v1 = BranchVector::build(&t1, &mut vocab);
+        let v2 = BranchVector::build(&t2, &mut vocab);
+        assert_eq!(v1.bdist(&v2), 0);
+        // The real edit distance is nonzero, so the bound is merely loose
+        // here, never wrong.
+        assert_eq!(v1.edit_lower_bound(&v2), 0);
+    }
+
+    #[test]
+    fn query_vector_against_frozen_vocab() {
+        let mut interner = LabelInterner::new();
+        let data = bracket::parse(&mut interner, "a(b c)").unwrap();
+        let query = bracket::parse(&mut interner, "z(b c)").unwrap();
+        let mut vocab = BranchVocab::new(2);
+        let dv = BranchVector::build(&data, &mut vocab);
+        let frozen_len = vocab.len();
+        let mut query_vocab = QueryVocab::new(&vocab);
+        let qv = BranchVector::build_query(&query, &mut query_vocab);
+        assert_eq!(vocab.len(), frozen_len, "dataset vocabulary unchanged");
+        // b and c leaves produce shared branches; roots differ.
+        let d = dv.bdist(&qv);
+        assert!(d > 0 && d <= 4);
+    }
+
+    #[test]
+    fn q3_encodes_more_structure_than_q2() {
+        // Two trees indistinguishable at q=2 can differ at q=3; at minimum
+        // BDist_3 ≥ BDist_2 never *loses* differences on these samples.
+        let pairs = [("a(b(c) d)", "a(b c(d))"), ("a(b(c(d)))", "a(b c d)")];
+        for (x, y) in pairs {
+            let (v2a, v2b) = two(x, y, 2);
+            let (v3a, v3b) = two(x, y, 3);
+            assert!(
+                v3a.bdist(&v3b) >= v2a.bdist(&v2b),
+                "q=3 lost information on {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing branch levels")]
+    fn mixing_levels_panics() {
+        let (v2, _) = two("a(b)", "a", 2);
+        let (v3, _) = two("a(b)", "a", 3);
+        let _ = v2.bdist(&v3);
+    }
+}

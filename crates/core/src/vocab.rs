@@ -1,0 +1,212 @@
+//! The binary branch alphabet Γ (§3.2): interning of branch label sequences.
+//!
+//! The paper sorts Γ lexicographically on the string `u u₁ u₂`; ordering
+//! only needs to be *consistent*, so we assign dense ids in first-seen order
+//! and keep vectors sorted by id. Query trees may contain branches absent
+//! from the dataset vocabulary; [`QueryVocab`] maps those to fresh ids past
+//! the dataset range without mutating the shared vocabulary.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use treesim_tree::LabelId;
+
+/// Dense identifier of a distinct binary branch within a [`BranchVocab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BranchId(pub u32);
+
+impl BranchId {
+    /// Raw index value.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interner for q-level binary branch keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BranchVocab {
+    q: usize,
+    map: HashMap<Box<[LabelId]>, BranchId>,
+    keys: Vec<Box<[LabelId]>>,
+}
+
+impl BranchVocab {
+    /// Creates an empty vocabulary for q-level branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2`.
+    pub fn new(q: usize) -> Self {
+        assert!(q >= 2, "binary branches need q >= 2 (got {q})");
+        BranchVocab {
+            q,
+            map: HashMap::new(),
+            keys: Vec::new(),
+        }
+    }
+
+    /// The branch level `q`.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Expected key length `2^q − 1`.
+    pub fn key_len(&self) -> usize {
+        (1 << self.q) - 1
+    }
+
+    /// Number of distinct branches interned (`|Γ|`).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no branch has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Interns `key`, returning its stable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len() != 2^q − 1`.
+    pub fn intern(&mut self, key: &[LabelId]) -> BranchId {
+        assert_eq!(key.len(), self.key_len(), "branch key length mismatch");
+        if let Some(&id) = self.map.get(key) {
+            return id;
+        }
+        let id = BranchId(u32::try_from(self.keys.len()).expect("branch universe overflow"));
+        let boxed: Box<[LabelId]> = key.into();
+        self.map.insert(boxed.clone(), id);
+        self.keys.push(boxed);
+        id
+    }
+
+    /// Looks a key up without interning.
+    pub fn lookup(&self, key: &[LabelId]) -> Option<BranchId> {
+        self.map.get(key).copied()
+    }
+
+    /// The key for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn resolve(&self, id: BranchId) -> &[LabelId] {
+        &self.keys[id.index()]
+    }
+
+    /// Iterates `(id, key)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (BranchId, &[LabelId])> {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (BranchId(i as u32), k.as_ref()))
+    }
+}
+
+/// Read-only view of a dataset vocabulary that assigns fresh ids (past the
+/// dataset range) to branches it has never seen — used when vectorizing a
+/// query against a frozen index.
+#[derive(Debug)]
+pub struct QueryVocab<'a> {
+    base: &'a BranchVocab,
+    extra: HashMap<Box<[LabelId]>, BranchId>,
+}
+
+impl<'a> QueryVocab<'a> {
+    /// Wraps a frozen dataset vocabulary.
+    pub fn new(base: &'a BranchVocab) -> Self {
+        QueryVocab {
+            base,
+            extra: HashMap::new(),
+        }
+    }
+
+    /// The branch level `q`.
+    pub fn q(&self) -> usize {
+        self.base.q()
+    }
+
+    /// Resolves `key` to the dataset id when known, otherwise to a fresh
+    /// query-local id `≥ base.len()`.
+    pub fn resolve_or_extend(&mut self, key: &[LabelId]) -> BranchId {
+        if let Some(id) = self.base.lookup(key) {
+            return id;
+        }
+        if let Some(&id) = self.extra.get(key) {
+            return id;
+        }
+        let id = BranchId((self.base.len() + self.extra.len()) as u32);
+        self.extra.insert(key.into(), id);
+        id
+    }
+
+    /// Number of query-local branches not present in the dataset.
+    pub fn novel_count(&self) -> usize {
+        self.extra.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(raw: &[u32]) -> Vec<LabelId> {
+        raw.iter().map(|&r| LabelId::from_u32(r)).collect()
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut vocab = BranchVocab::new(2);
+        let a = vocab.intern(&key(&[1, 2, 0]));
+        let b = vocab.intern(&key(&[1, 2, 3]));
+        assert_ne!(a, b);
+        assert_eq!(vocab.intern(&key(&[1, 2, 0])), a);
+        assert_eq!(vocab.len(), 2);
+        assert!(!vocab.is_empty());
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut vocab = BranchVocab::new(2);
+        assert_eq!(vocab.lookup(&key(&[1, 2, 3])), None);
+        let id = vocab.intern(&key(&[1, 2, 3]));
+        assert_eq!(vocab.lookup(&key(&[1, 2, 3])), Some(id));
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut vocab = BranchVocab::new(3);
+        assert_eq!(vocab.key_len(), 7);
+        let k = key(&[1, 2, 3, 0, 0, 4, 0]);
+        let id = vocab.intern(&k);
+        assert_eq!(vocab.resolve(id), k.as_slice());
+        assert_eq!(vocab.iter().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_key_length_panics() {
+        let mut vocab = BranchVocab::new(2);
+        vocab.intern(&key(&[1, 2]));
+    }
+
+    #[test]
+    fn query_vocab_reuses_known_ids_and_extends() {
+        let mut vocab = BranchVocab::new(2);
+        let known = vocab.intern(&key(&[1, 2, 3]));
+        let mut query = QueryVocab::new(&vocab);
+        assert_eq!(query.resolve_or_extend(&key(&[1, 2, 3])), known);
+        let novel = query.resolve_or_extend(&key(&[9, 9, 9]));
+        assert_eq!(novel, BranchId(1));
+        // Stable across repeated resolution.
+        assert_eq!(query.resolve_or_extend(&key(&[9, 9, 9])), novel);
+        let second = query.resolve_or_extend(&key(&[8, 8, 8]));
+        assert_eq!(second, BranchId(2));
+        assert_eq!(query.novel_count(), 2);
+        // Base vocabulary untouched.
+        assert_eq!(vocab.len(), 1);
+    }
+}

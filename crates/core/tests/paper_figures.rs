@@ -1,0 +1,182 @@
+//! Exact reproduction of the paper's worked example (Figures 1–3).
+//!
+//! From Figure 2's normalized binary trees, the example trees are
+//!
+//! * `T1 = a( b(c d), b(c d), e )` — preorder a b c d b c d e with
+//!   (pre, post) tags a(1,8) b(2,3) c(3,1) d(4,2) b(5,6) c(6,4) d(7,5)
+//!   e(8,7);
+//! * `T2 = a( b(c d b(e)), c, d, e )` — a(1,9) b(2,5) c(3,1) d(4,2)
+//!   b(5,4) e(6,3) c(7,6) d(8,7) e(9,8).
+//!
+//! Figure 3 lists the ten binary branch dimensions and the two vectors
+//!
+//! ```text
+//! dim       a⟨b,ε⟩ b⟨c,b⟩ b⟨c,c⟩ b⟨c,e⟩ b⟨e,ε⟩ c⟨ε,d⟩ d⟨ε,b⟩ d⟨ε,e⟩ d⟨ε,ε⟩ e⟨ε,ε⟩
+//! BRV(T1)     1      1      0      1      0      2      0      0      2      1
+//! BRV(T2)     1      0      1      0      1      2      1      1      0      2
+//! ```
+//!
+//! so `BDist(T1, T2) = 9`.
+
+use std::collections::HashMap;
+
+use treesim_core::{extract_branches, BranchVocab, BranchVector, PositionalVector};
+use treesim_edit::edit_distance;
+use treesim_tree::{parse::bracket, LabelId, LabelInterner, Tree};
+
+fn paper_trees() -> (Tree, Tree, LabelInterner) {
+    let mut interner = LabelInterner::new();
+    let t1 = bracket::parse(&mut interner, "a(b(c d) b(c d) e)").unwrap();
+    let t2 = bracket::parse(&mut interner, "a(b(c d b(e)) c d e)").unwrap();
+    (t1, t2, interner)
+}
+
+/// Renders a branch key as the paper writes it: `u⟨u1,u2⟩`.
+fn branch_name(interner: &LabelInterner, key: &[LabelId]) -> String {
+    format!(
+        "{}⟨{},{}⟩",
+        interner.resolve(key[0]),
+        interner.resolve(key[1]),
+        interner.resolve(key[2])
+    )
+}
+
+#[test]
+fn figure_2_positions_match() {
+    let (t1, t2, _) = paper_trees();
+    // (pre, post) per preorder node, as printed beside Fig. 2's nodes.
+    let tags1: Vec<(u32, u32)> = extract_branches(&t1, 2)
+        .iter()
+        .map(|o| (o.pre, o.post))
+        .collect();
+    assert_eq!(
+        tags1,
+        vec![(1, 8), (2, 3), (3, 1), (4, 2), (5, 6), (6, 4), (7, 5), (8, 7)]
+    );
+    let tags2: Vec<(u32, u32)> = extract_branches(&t2, 2)
+        .iter()
+        .map(|o| (o.pre, o.post))
+        .collect();
+    assert_eq!(
+        tags2,
+        vec![
+            (1, 9),
+            (2, 5),
+            (3, 1),
+            (4, 2),
+            (5, 4),
+            (6, 3),
+            (7, 6),
+            (8, 7),
+            (9, 8)
+        ]
+    );
+}
+
+#[test]
+fn figure_3_vectors_match() {
+    let (t1, t2, interner) = paper_trees();
+    let count = |tree: &Tree| -> HashMap<String, u32> {
+        let mut counts = HashMap::new();
+        for occurrence in extract_branches(tree, 2) {
+            *counts
+                .entry(branch_name(&interner, &occurrence.key))
+                .or_insert(0) += 1;
+        }
+        counts
+    };
+    let v1 = count(&t1);
+    let v2 = count(&t2);
+
+    let expected: [(&str, u32, u32); 10] = [
+        ("a⟨b,ε⟩", 1, 1),
+        ("b⟨c,b⟩", 1, 0),
+        ("b⟨c,c⟩", 0, 1),
+        ("b⟨c,e⟩", 1, 0),
+        ("b⟨e,ε⟩", 0, 1),
+        ("c⟨ε,d⟩", 2, 2),
+        ("d⟨ε,b⟩", 0, 1),
+        ("d⟨ε,e⟩", 0, 1),
+        ("d⟨ε,ε⟩", 2, 0),
+        ("e⟨ε,ε⟩", 1, 2),
+    ];
+    for (name, in_t1, in_t2) in expected {
+        assert_eq!(v1.get(name).copied().unwrap_or(0), in_t1, "{name} in T1");
+        assert_eq!(v2.get(name).copied().unwrap_or(0), in_t2, "{name} in T2");
+    }
+    // No dimensions beyond the figure's ten.
+    let mut all: Vec<&String> = v1.keys().chain(v2.keys()).collect();
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), 10);
+}
+
+#[test]
+fn figure_3_bdist_is_nine_and_bounds_hold() {
+    let (t1, t2, _) = paper_trees();
+    let bdist = treesim_core::binary_branch_distance(&t1, &t2, 2);
+    assert_eq!(bdist, 9);
+
+    let edist = edit_distance(&t1, &t2);
+    assert!(bdist <= 5 * edist, "Theorem 3.2 on the paper's own example");
+    assert_eq!(bdist.div_ceil(5), 2, "plain lower bound ⌈9/5⌉ = 2 ≤ EDist");
+    assert!(edist >= 2);
+}
+
+#[test]
+fn section_4_2_positional_example() {
+    // §4.2 with pr = 1: (BiB(c,ε,d),3,1) in T1 maps only to (…,3,1) in T2;
+    // (…,6,4) and (…,7,6) cannot map to each other; (BiB(e),8,7) in T1 maps
+    // to (…,9,8) in T2 but not to (…,6,3).
+    let (t1, t2, interner) = paper_trees();
+    let mut vocab = BranchVocab::new(2);
+    let v1 = PositionalVector::build(&t1, &mut vocab);
+    let v2 = PositionalVector::build(&t2, &mut vocab);
+
+    let c = interner.get("c").unwrap();
+    let d = interner.get("d").unwrap();
+    let e = interner.get("e").unwrap();
+    let eps = LabelId::EPSILON;
+
+    let find = |vector: &PositionalVector, key: &[LabelId]| -> Vec<(u32, u32)> {
+        let id = vocab.lookup(key).expect("branch in vocabulary");
+        vector
+            .entries()
+            .iter()
+            .find(|entry| entry.branch == id)
+            .map(|entry| entry.positions.clone())
+            .unwrap_or_default()
+    };
+    assert_eq!(find(&v1, &[c, eps, d]), vec![(3, 1), (6, 4)]);
+    assert_eq!(find(&v2, &[c, eps, d]), vec![(3, 1), (7, 6)]);
+    assert_eq!(find(&v1, &[e, eps, eps]), vec![(8, 7)]);
+    assert_eq!(find(&v2, &[e, eps, eps]), vec![(6, 3), (9, 8)]);
+
+    // With pr = 1 only one c⟨ε,d⟩ pair and one e⟨ε,ε⟩ pair can match, as
+    // the paper walks through.
+    use treesim_core::matching::max_matching;
+    assert_eq!(max_matching(&[(3, 1), (6, 4)], &[(3, 1), (7, 6)], 1), 1);
+    assert_eq!(max_matching(&[(8, 7)], &[(6, 3), (9, 8)], 1), 1);
+    assert_eq!(max_matching(&[(8, 7)], &[(6, 3)], 1), 0);
+
+    // And the resulting optimistic bound is a valid lower bound here too.
+    let edist = edit_distance(&t1, &t2);
+    let propt = v1.optimistic_bound(&v2);
+    assert!(propt <= edist);
+    assert!(propt >= v1.bdist(&v2).div_ceil(5));
+}
+
+#[test]
+fn figure_4_zero_distance_collision() {
+    // Fig. 4's point (trees with identical vectors): BDist is only a
+    // pseudometric. Verified on the minimal single-label collision.
+    let mut interner = LabelInterner::new();
+    let t1 = bracket::parse(&mut interner, "a(a a(a))").unwrap();
+    let t2 = bracket::parse(&mut interner, "a(a(a a))").unwrap();
+    assert_ne!(t1, t2);
+    let mut vocab = BranchVocab::new(2);
+    let v1 = BranchVector::build(&t1, &mut vocab);
+    let v2 = BranchVector::build(&t2, &mut vocab);
+    assert_eq!(v1.bdist(&v2), 0);
+    assert!(edit_distance(&t1, &t2) > 0);
+}

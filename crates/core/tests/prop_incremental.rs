@@ -1,0 +1,71 @@
+//! Property test: the incrementally maintained branch multiset never
+//! diverges from a from-scratch rebuild, across random edit-op sequences
+//! and branch levels.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use treesim_core::IncrementalTree;
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_tree::{LabelId, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn incremental_stays_synchronized(seed in 0u64..100_000, q in 2usize..4, ops in 1usize..20) {
+        let forest = generate(&SyntheticConfig {
+            fanout: Normal::new(2.5, 1.0),
+            size: Normal::new(12.0, 4.0),
+            label_count: 5,
+            decay: 0.0,
+            seed_count: 1,
+            tree_count: 1,
+            rng_seed: seed,
+        });
+        let labels: Vec<LabelId> = forest
+            .interner()
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|id| !id.is_epsilon())
+            .collect();
+        let mut incremental =
+            IncrementalTree::new(forest.tree(treesim_tree::TreeId(0)).clone(), q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1c);
+
+        for _ in 0..ops {
+            let nodes: Vec<NodeId> = incremental.tree().preorder().collect();
+            let node = nodes[rng.random_range(0..nodes.len())];
+            match rng.random_range(0..3u8) {
+                0 => {
+                    let label = labels[rng.random_range(0..labels.len())];
+                    incremental.relabel(node, label);
+                }
+                1 => {
+                    if node != incremental.tree().root() {
+                        incremental.remove_node(node).unwrap();
+                    }
+                }
+                _ => {
+                    let label = labels[rng.random_range(0..labels.len())];
+                    let degree = incremental.tree().degree(node);
+                    let start = rng.random_range(0..=degree);
+                    let adopted = rng.random_range(0..=(degree - start));
+                    incremental
+                        .insert_above_children(node, label, start, adopted)
+                        .unwrap();
+                }
+            }
+            prop_assert_eq!(
+                incremental.counts(),
+                &incremental.rebuilt_counts(),
+                "diverged at q={}",
+                q
+            );
+        }
+        // Total mass always equals the tree size.
+        let total: u32 = incremental.counts().values().sum();
+        prop_assert_eq!(total as usize, incremental.tree().len());
+    }
+}

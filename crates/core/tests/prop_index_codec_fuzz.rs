@@ -1,0 +1,49 @@
+//! Fuzz-style property tests for the index codec: arbitrary or corrupted
+//! bytes must produce errors, never panics or huge allocations.
+
+use proptest::prelude::*;
+use treesim_core::codec::{decode_index, encode_index};
+use treesim_core::InvertedFileIndex;
+use treesim_tree::Forest;
+
+fn sample_index() -> InvertedFileIndex {
+    let mut forest = Forest::new();
+    forest.parse_bracket("a(b(c d) e)").unwrap();
+    forest.parse_bracket("a(b c)").unwrap();
+    InvertedFileIndex::build(&forest, 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_index(&bytes);
+    }
+
+    #[test]
+    fn magic_prefixed_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut input = b"TSI1".to_vec();
+        input.extend(bytes);
+        let _ = decode_index(&input);
+    }
+
+    #[test]
+    fn corrupted_valid_index_never_panics(position in 0usize..128, value in any::<u8>()) {
+        let mut bytes = encode_index(&sample_index()).to_vec();
+        let index = position % bytes.len();
+        bytes[index] = value;
+        if let Ok(decoded) = decode_index(&bytes) {
+            // A decode that survives corruption must still be structurally
+            // usable.
+            let _ = decoded.positional_vectors();
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(cut in 0usize..128) {
+        let bytes = encode_index(&sample_index());
+        let cut = cut % bytes.len();
+        prop_assert!(decode_index(&bytes[..cut]).is_err());
+    }
+}

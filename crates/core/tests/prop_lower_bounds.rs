@@ -1,0 +1,171 @@
+//! Property tests for the paper's central claims:
+//!
+//! * Theorem 3.2: `BDist(T1,T2) ≤ 5 · EDist(T1,T2)`;
+//! * Theorem 3.3: `BDist_q(T1,T2) ≤ [4(q−1)+1] · EDist(T1,T2)`;
+//! * §4.2: `⌈BDist/5⌉ ≤ propt ≤ EDist` (the optimistic bound is valid and
+//!   at least as tight as the plain bound);
+//! * Proposition 4.2: the range-pruning predicate never prunes a true
+//!   result;
+//! * triangle inequality of `BDist`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treesim_core::{BranchVocab, BranchVector, PositionalVector};
+use treesim_datagen::mutate::apply_random_ops;
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_edit::edit_distance;
+use treesim_tree::{Forest, LabelId, Tree, TreeId};
+
+fn small_forest(seed: u64, size_mean: f64, labels: u32, count: usize) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(2.5, 1.0),
+        size: Normal::new(size_mean, 3.0),
+        label_count: labels,
+        decay: 0.25,
+        seed_count: 2.min(count),
+        tree_count: count,
+        rng_seed: seed,
+    })
+}
+
+fn forest_labels(forest: &Forest) -> Vec<LabelId> {
+    forest
+        .interner()
+        .iter()
+        .map(|(id, _)| id)
+        .filter(|id| !id.is_epsilon())
+        .collect()
+}
+
+fn positional_pair(t1: &Tree, t2: &Tree, q: usize) -> (PositionalVector, PositionalVector) {
+    let mut vocab = BranchVocab::new(q);
+    (
+        PositionalVector::build(t1, &mut vocab),
+        PositionalVector::build(t2, &mut vocab),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Theorem 3.2 on random tree pairs.
+    #[test]
+    fn theorem_3_2_bdist_bounded_by_5_edist(seed in 0u64..100_000) {
+        let forest = small_forest(seed, 10.0, 5, 2);
+        let t1 = forest.tree(TreeId(0));
+        let t2 = forest.tree(TreeId(1));
+        let edist = edit_distance(t1, t2);
+        let bdist = treesim_core::binary_branch_distance(t1, t2, 2);
+        prop_assert!(bdist <= 5 * edist, "BDist {bdist} > 5·EDist {}", 5 * edist);
+    }
+
+    /// Theorem 3.3 for q ∈ {2, 3, 4}.
+    #[test]
+    fn theorem_3_3_q_level_bound(seed in 0u64..100_000, q in 2usize..5) {
+        let forest = small_forest(seed, 9.0, 4, 2);
+        let t1 = forest.tree(TreeId(0));
+        let t2 = forest.tree(TreeId(1));
+        let edist = edit_distance(t1, t2);
+        let bdist_q = treesim_core::binary_branch_distance(t1, t2, q);
+        let factor = treesim_core::bound_factor(q);
+        prop_assert!(
+            bdist_q <= factor * edist,
+            "q={q}: BDist_q {bdist_q} > {factor}·EDist {}",
+            factor * edist
+        );
+    }
+
+    /// Single-operation distortion: k random operations change BDist by at
+    /// most 5k (tighter per-op accounting than comparing to EDist, which
+    /// may be < k when ops cancel).
+    #[test]
+    fn k_ops_change_bdist_by_at_most_5k(seed in 0u64..100_000, k in 0usize..6) {
+        let forest = small_forest(seed, 14.0, 6, 1);
+        let t1 = forest.tree(TreeId(0));
+        let labels = forest_labels(&forest);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        let (t2, ops) = apply_random_ops(t1, k, &labels, &mut rng);
+        let bdist = treesim_core::binary_branch_distance(t1, &t2, 2);
+        prop_assert!(
+            bdist <= 5 * ops.len() as u64,
+            "BDist {bdist} > 5k {}",
+            5 * ops.len()
+        );
+    }
+
+    /// §4.2: ⌈BDist/5⌉ ≤ propt ≤ EDist.
+    #[test]
+    fn optimistic_bound_is_valid_and_tighter(seed in 0u64..100_000) {
+        let forest = small_forest(seed, 10.0, 4, 2);
+        let t1 = forest.tree(TreeId(0));
+        let t2 = forest.tree(TreeId(1));
+        let edist = edit_distance(t1, t2);
+        let (v1, v2) = positional_pair(t1, t2, 2);
+        let plain = v1.bdist(&v2).div_ceil(5);
+        let propt = v1.optimistic_bound(&v2);
+        prop_assert!(propt <= edist, "propt {propt} > EDist {edist}");
+        prop_assert!(propt >= plain, "propt {propt} < ⌈BDist/5⌉ {plain}");
+    }
+
+    /// Proposition 4.2: range pruning admits every true result.
+    #[test]
+    fn range_pruning_has_no_false_negatives(seed in 0u64..100_000, tau in 0u32..8) {
+        let forest = small_forest(seed, 9.0, 4, 2);
+        let t1 = forest.tree(TreeId(0));
+        let t2 = forest.tree(TreeId(1));
+        let edist = edit_distance(t1, t2);
+        let (v1, v2) = positional_pair(t1, t2, 2);
+        if edist <= u64::from(tau) {
+            prop_assert!(
+                !v1.exceeds_range(&v2, tau),
+                "pruned a result with EDist {edist} ≤ τ {tau}"
+            );
+        }
+    }
+
+    /// The q-level optimistic bound is valid too.
+    #[test]
+    fn q_level_optimistic_bound_is_valid(seed in 0u64..100_000, q in 2usize..5) {
+        let forest = small_forest(seed, 8.0, 4, 2);
+        let t1 = forest.tree(TreeId(0));
+        let t2 = forest.tree(TreeId(1));
+        let edist = edit_distance(t1, t2);
+        let (v1, v2) = positional_pair(t1, t2, q);
+        prop_assert!(v1.optimistic_bound(&v2) <= edist);
+    }
+
+    /// Triangle inequality and symmetry of BDist (it is a pseudometric).
+    #[test]
+    fn bdist_pseudometric_axioms(seed in 0u64..100_000) {
+        let forest = small_forest(seed, 8.0, 4, 3);
+        let mut vocab = BranchVocab::new(2);
+        let vectors: Vec<BranchVector> = forest
+            .trees()
+            .iter()
+            .map(|t| BranchVector::build(t, &mut vocab))
+            .collect();
+        let d = |a: usize, b: usize| vectors[a].bdist(&vectors[b]);
+        prop_assert_eq!(d(0, 0), 0);
+        prop_assert_eq!(d(0, 1), d(1, 0));
+        prop_assert!(d(0, 2) <= d(0, 1) + d(1, 2));
+    }
+
+    /// PosBDist is monotonically non-increasing in pr and converges to BDist.
+    #[test]
+    fn pos_bdist_monotone_in_pr(seed in 0u64..100_000) {
+        let forest = small_forest(seed, 9.0, 4, 2);
+        let t1 = forest.tree(TreeId(0));
+        let t2 = forest.tree(TreeId(1));
+        let (v1, v2) = positional_pair(t1, t2, 2);
+        let pr_max = v1.tree_size().max(v2.tree_size());
+        let mut previous = u64::MAX;
+        for pr in 0..=pr_max {
+            let d = v1.pos_bdist(&v2, pr);
+            prop_assert!(d <= previous);
+            previous = d;
+        }
+        prop_assert_eq!(previous, v1.bdist(&v2));
+    }
+}

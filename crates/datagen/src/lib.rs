@@ -1,0 +1,43 @@
+//! Dataset generators reproducing the evaluation workloads of
+//! *Similarity Evaluation on Tree-structured Data* (SIGMOD 2005).
+//!
+//! * [`synthetic`]: the paper's `N{fanout}N{size}L{labels}D{decay}` generator
+//!   (seed trees grown breadth-first, then decay-factor mutation chains);
+//! * [`dblp`]: DBLP-style bibliographic XML records calibrated to the shape
+//!   statistics the paper quotes for its real dataset;
+//! * [`mutate`]: random Zhang–Shasha edit operations (also the backbone of
+//!   the lower-bound property tests across the workspace);
+//! * [`normal`]: Box–Muller normal sampling;
+//! * [`workload`]: query sampling and distance calibration helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use treesim_datagen::normal::Normal;
+//! use treesim_datagen::synthetic::{generate, SyntheticConfig};
+//!
+//! let forest = generate(&SyntheticConfig {
+//!     fanout: Normal::new(4.0, 0.5),
+//!     size: Normal::new(20.0, 2.0),
+//!     label_count: 8,
+//!     decay: 0.05,
+//!     seed_count: 2,
+//!     tree_count: 10,
+//!     rng_seed: 7,
+//! });
+//! assert_eq!(forest.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod mutate;
+pub mod normal;
+pub mod synthetic;
+pub mod workload;
+pub mod zaki;
+
+pub use dblp::DblpConfig;
+pub use mutate::{apply_random_op, apply_random_ops, decay_mutate, EditOp, EditOpKind};
+pub use normal::Normal;
+pub use synthetic::SyntheticConfig;

@@ -1,0 +1,292 @@
+//! Random edit operations on trees.
+//!
+//! Used by the synthetic generator (each node of a seed tree is changed with
+//! the decay-factor probability, the change being equiprobably an insertion,
+//! a deletion or a relabeling — §5 of the paper) and by the test suites,
+//! which apply `k` operations and check that every lower bound stays ≤ `k`.
+
+use rand::{Rng, RngExt};
+use treesim_tree::{LabelId, NodeId, Tree};
+
+/// One applied edit operation, in the Zhang–Shasha model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditOp {
+    /// The label of a node was changed.
+    Relabel {
+        /// Node whose label changed.
+        node: NodeId,
+        /// The previous label.
+        from: LabelId,
+        /// The new label.
+        to: LabelId,
+    },
+    /// A non-root node was removed; its children were spliced into its place.
+    Delete {
+        /// The removed node.
+        node: NodeId,
+    },
+    /// A new node was inserted under `parent`, adopting `adopted` consecutive
+    /// children starting at child position `start`.
+    Insert {
+        /// The new node.
+        node: NodeId,
+        /// Parent it was inserted under.
+        parent: NodeId,
+        /// First adopted child position.
+        start: usize,
+        /// Number of adopted children.
+        adopted: usize,
+    },
+}
+
+/// Kinds of edit operation, for selection control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOpKind {
+    /// Change a node label.
+    Relabel,
+    /// Delete a non-root node.
+    Delete,
+    /// Insert a node.
+    Insert,
+}
+
+/// Applies one random edit operation of the given `kind` anchored at `node`.
+///
+/// Returns `None` when the operation is inapplicable (deleting the root, or
+/// relabeling when only one label exists).
+pub fn apply_op_at<R: Rng + ?Sized>(
+    tree: &mut Tree,
+    node: NodeId,
+    kind: EditOpKind,
+    labels: &[LabelId],
+    rng: &mut R,
+) -> Option<EditOp> {
+    match kind {
+        EditOpKind::Relabel => {
+            let from = tree.label(node);
+            let candidates: Vec<_> = labels.iter().copied().filter(|&l| l != from).collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            let to = candidates[rng.random_range(0..candidates.len())];
+            tree.relabel(node, to);
+            Some(EditOp::Relabel { node, from, to })
+        }
+        EditOpKind::Delete => {
+            if node == tree.root() {
+                return None;
+            }
+            tree.remove_node(node).ok()?;
+            Some(EditOp::Delete { node })
+        }
+        EditOpKind::Insert => {
+            if labels.is_empty() {
+                return None;
+            }
+            let label = labels[rng.random_range(0..labels.len())];
+            let degree = tree.degree(node);
+            let start = rng.random_range(0..=degree);
+            let adopted = rng.random_range(0..=(degree - start));
+            let new = tree
+                .insert_above_children(node, label, start, adopted)
+                .expect("range sampled within bounds");
+            Some(EditOp::Insert {
+                node: new,
+                parent: node,
+                start,
+                adopted,
+            })
+        }
+    }
+}
+
+/// Applies one uniformly random edit operation somewhere in the tree.
+///
+/// Returns `None` only in degenerate situations (e.g., single-label universe
+/// and a relabel was drawn on a single-node tree where deletion is also
+/// impossible); callers typically retry.
+pub fn apply_random_op<R: Rng + ?Sized>(
+    tree: &mut Tree,
+    labels: &[LabelId],
+    rng: &mut R,
+) -> Option<EditOp> {
+    let nodes: Vec<NodeId> = tree.preorder().collect();
+    let node = nodes[rng.random_range(0..nodes.len())];
+    let kind = match rng.random_range(0..3u8) {
+        0 => EditOpKind::Relabel,
+        1 => EditOpKind::Delete,
+        _ => EditOpKind::Insert,
+    };
+    apply_op_at(tree, node, kind, labels, rng)
+}
+
+/// Applies exactly `k` random edit operations (retrying inapplicable draws),
+/// returning the mutated tree and the operations applied.
+///
+/// The result is a tree whose true edit distance to the input is **at most**
+/// `k` (operations may cancel out).
+pub fn apply_random_ops<R: Rng + ?Sized>(
+    tree: &Tree,
+    k: usize,
+    labels: &[LabelId],
+    rng: &mut R,
+) -> (Tree, Vec<EditOp>) {
+    let mut mutated = tree.clone();
+    let mut ops = Vec::with_capacity(k);
+    let mut stall_guard = 0usize;
+    while ops.len() < k {
+        match apply_random_op(&mut mutated, labels, rng) {
+            Some(op) => {
+                ops.push(op);
+                stall_guard = 0;
+            }
+            None => {
+                stall_guard += 1;
+                if stall_guard > 64 {
+                    break; // degenerate universe: give up gracefully
+                }
+            }
+        }
+    }
+    (mutated.compact(), ops)
+}
+
+/// Mutates every node of `tree` independently with probability `decay`,
+/// choosing equiprobably among insertion, deletion and relabeling — the
+/// per-tree step of the paper's synthetic generator.
+pub fn decay_mutate<R: Rng + ?Sized>(
+    tree: &Tree,
+    decay: f64,
+    labels: &[LabelId],
+    rng: &mut R,
+) -> (Tree, usize) {
+    let mut mutated = tree.clone();
+    let snapshot: Vec<NodeId> = mutated.preorder().collect();
+    let mut applied = 0usize;
+    for node in snapshot {
+        if !mutated.contains(node) {
+            continue; // removed by an earlier deletion in this pass
+        }
+        if rng.random::<f64>() >= decay {
+            continue;
+        }
+        let kind = match rng.random_range(0..3u8) {
+            0 => EditOpKind::Relabel,
+            1 => EditOpKind::Delete,
+            _ => EditOpKind::Insert,
+        };
+        if apply_op_at(&mut mutated, node, kind, labels, rng).is_some() {
+            applied += 1;
+        }
+    }
+    (mutated.compact(), applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use treesim_tree::LabelInterner;
+
+    fn setup() -> (Tree, Vec<LabelId>, LabelInterner) {
+        let mut interner = LabelInterner::new();
+        let labels: Vec<_> = (0..8).map(|i| interner.intern(&format!("l{i}"))).collect();
+        let mut tree = Tree::new(labels[0]);
+        let root = tree.root();
+        let a = tree.add_child(root, labels[1]);
+        tree.add_child(root, labels[2]);
+        tree.add_child(a, labels[3]);
+        tree.add_child(a, labels[4]);
+        (tree, labels, interner)
+    }
+
+    #[test]
+    fn relabel_changes_label() {
+        let (mut tree, labels, _) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let node = tree.root();
+        let before = tree.label(node);
+        let op = apply_op_at(&mut tree, node, EditOpKind::Relabel, &labels, &mut rng).unwrap();
+        match op {
+            EditOp::Relabel { from, to, .. } => {
+                assert_eq!(from, before);
+                assert_ne!(to, before);
+                assert_eq!(tree.label(node), to);
+            }
+            _ => panic!("expected relabel"),
+        }
+    }
+
+    #[test]
+    fn delete_root_is_inapplicable() {
+        let (mut tree, labels, _) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let root = tree.root();
+        assert!(apply_op_at(&mut tree, root, EditOpKind::Delete, &labels, &mut rng).is_none());
+        assert_eq!(tree.len(), 5);
+    }
+
+    #[test]
+    fn insert_grows_tree_by_one() {
+        let (mut tree, labels, _) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let before = tree.len();
+        let root = tree.root();
+        apply_op_at(&mut tree, root, EditOpKind::Insert, &labels, &mut rng).unwrap();
+        assert_eq!(tree.len(), before + 1);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_random_ops_applies_exactly_k() {
+        let (tree, labels, _) = setup();
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in 0..6 {
+            let (mutated, ops) = apply_random_ops(&tree, k, &labels, &mut rng);
+            assert_eq!(ops.len(), k);
+            mutated.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn apply_random_ops_is_deterministic_per_seed() {
+        let (tree, labels, _) = setup();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            apply_random_ops(&tree, 4, &labels, &mut rng).0
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn decay_zero_is_identity() {
+        let (tree, labels, _) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mutated, applied) = decay_mutate(&tree, 0.0, &labels, &mut rng);
+        assert_eq!(applied, 0);
+        assert_eq!(mutated, tree);
+    }
+
+    #[test]
+    fn decay_one_touches_most_nodes() {
+        let (tree, labels, _) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mutated, applied) = decay_mutate(&tree, 1.0, &labels, &mut rng);
+        assert!(applied >= tree.len() - 2, "applied {applied}");
+        mutated.validate().unwrap();
+    }
+
+    #[test]
+    fn single_label_universe_degenerates_gracefully() {
+        let mut interner = LabelInterner::new();
+        let only = interner.intern("x");
+        let tree = Tree::new(only);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Relabel impossible (one label), delete impossible (root only);
+        // insert still works, so k ops should still be applied.
+        let (mutated, ops) = apply_random_ops(&tree, 3, &[only], &mut rng);
+        assert!(ops.len() <= 3);
+        mutated.validate().unwrap();
+    }
+}

@@ -1,0 +1,142 @@
+//! Normal-distribution sampling via the Box–Muller transform.
+//!
+//! The paper's generator draws tree sizes and fanouts from normal
+//! distributions `N{mean, sd}` (§5). The approved dependency set contains
+//! `rand` but not `rand_distr`, so we implement the transform ourselves.
+
+use rand::{Rng, RngExt};
+
+/// A normal distribution `N{mean, sd}` in the paper's notation.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use treesim_datagen::normal::Normal;
+///
+/// let dist = Normal::new(50.0, 2.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let x = dist.sample(&mut rng);
+/// assert!((30.0..70.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates `N{mean, sd}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sd` is negative or not finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd >= 0.0 && sd.is_finite(), "standard deviation must be ≥ 0");
+        assert!(mean.is_finite(), "mean must be finite");
+        Normal { mean, sd }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sd == 0.0 {
+            return self.mean;
+        }
+        // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.sd * radius * theta.cos()
+    }
+
+    /// Draws a sample rounded to the nearest integer and clamped to
+    /// `[min, max]` — the shape used for tree sizes and fanouts.
+    pub fn sample_clamped_usize<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        min: usize,
+        max: usize,
+    ) -> usize {
+        let value = self.sample(rng).round();
+        if !value.is_finite() || value <= min as f64 {
+            return min;
+        }
+        (value as usize).clamp(min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_mean_and_sd_converge() {
+        let dist = Normal::new(50.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sd_is_constant() {
+        let dist = Normal::new(4.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(dist.sample(&mut rng), 4.0);
+        }
+    }
+
+    #[test]
+    fn clamped_sampling_respects_bounds() {
+        let dist = Normal::new(4.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = dist.sample_clamped_usize(&mut rng, 1, 8);
+            assert!((1..=8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let dist = Normal::new(0.0, 1.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..5).map(|_| dist.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..5).map(|_| dist.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn negative_sd_panics() {
+        Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let dist = Normal::new(4.0, 0.5);
+        assert_eq!(dist.mean(), 4.0);
+        assert_eq!(dist.sd(), 0.5);
+    }
+}

@@ -1,0 +1,226 @@
+//! The paper's synthetic dataset generator (§5).
+//!
+//! A specification `N{4,0.5}N{50,2}L8D0.05` reads: node fanout ~ `N{4,0.5}`,
+//! tree size ~ `N{50,2}`, 8 distinct labels, decay factor 0.05. Generation
+//! proceeds in two phases:
+//!
+//! 1. **Seeds.** A number of seed trees are grown breadth-first: the maximum
+//!    size is sampled from the size distribution, each node's label is
+//!    sampled uniformly from the label universe, and each node's child count
+//!    from the fanout distribution, until the size cap is reached.
+//! 2. **Chains.** Every further tree is derived from a previously generated
+//!    tree by changing each node with probability `decay`, the change being
+//!    equiprobably an insertion, a deletion or a relabeling. Derived trees
+//!    join the pool and can seed later derivations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use treesim_tree::{Forest, LabelId, LabelInterner, Tree};
+
+use crate::mutate::decay_mutate;
+use crate::normal::Normal;
+
+/// Parameters of the synthetic generator, mirroring the paper's
+/// `N{f_mean,f_sd}N{s_mean,s_sd}L{labels}D{decay}` notation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Fanout distribution (`N{4,0.5}` in most experiments).
+    pub fanout: Normal,
+    /// Tree size distribution (`N{50,2}` in most experiments).
+    pub size: Normal,
+    /// Number of distinct labels (`L8` …).
+    pub label_count: u32,
+    /// Per-node mutation probability between chained trees (`D0.05`).
+    pub decay: f64,
+    /// Number of independently grown seed trees.
+    pub seed_count: usize,
+    /// Total number of trees to generate (including the seeds).
+    pub tree_count: usize,
+    /// RNG seed for reproducibility.
+    pub rng_seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's default shape: `N{4,0.5} N{50,2} L8 D0.05`, 2000 trees.
+    pub fn paper_default() -> Self {
+        SyntheticConfig {
+            fanout: Normal::new(4.0, 0.5),
+            size: Normal::new(50.0, 2.0),
+            label_count: 8,
+            decay: 0.05,
+            seed_count: 10,
+            tree_count: 2000,
+            rng_seed: 0x5eed,
+        }
+    }
+
+    /// Renders the paper's specification string for this configuration.
+    pub fn spec_string(&self) -> String {
+        format!(
+            "N{{{},{}}}N{{{},{}}}L{}D{}",
+            self.fanout.mean(),
+            self.fanout.sd(),
+            self.size.mean(),
+            self.size.sd(),
+            self.label_count,
+            self.decay
+        )
+    }
+}
+
+/// Generates a forest according to `config`.
+///
+/// Labels are named `"0"`, `"1"`, … and interned into the fresh forest.
+///
+/// # Panics
+///
+/// Panics if `config.label_count == 0`, `tree_count == 0` or
+/// `seed_count == 0`.
+pub fn generate(config: &SyntheticConfig) -> Forest {
+    assert!(config.label_count > 0, "need at least one label");
+    assert!(config.tree_count > 0, "need at least one tree");
+    assert!(config.seed_count > 0, "need at least one seed");
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let mut interner = LabelInterner::new();
+    let labels: Vec<LabelId> = (0..config.label_count)
+        .map(|i| interner.intern(&i.to_string()))
+        .collect();
+
+    let seed_count = config.seed_count.min(config.tree_count);
+    let mut trees: Vec<Tree> = Vec::with_capacity(config.tree_count);
+    for _ in 0..seed_count {
+        trees.push(grow_seed(config, &labels, &mut rng));
+    }
+    while trees.len() < config.tree_count {
+        let parent_index = rng.random_range(0..trees.len());
+        let (derived, _) = decay_mutate(&trees[parent_index], config.decay, &labels, &mut rng);
+        trees.push(derived);
+    }
+    Forest::from_parts(interner, trees)
+}
+
+/// Grows one seed tree breadth-first (phase 1 of the generator).
+fn grow_seed<R: Rng + ?Sized>(
+    config: &SyntheticConfig,
+    labels: &[LabelId],
+    rng: &mut R,
+) -> Tree {
+    let max_size = config.size.sample_clamped_usize(rng, 1, 1_000_000);
+    let root_label = labels[rng.random_range(0..labels.len())];
+    let mut tree = Tree::with_capacity(root_label, max_size);
+    let mut queue = std::collections::VecDeque::from([tree.root()]);
+    while let Some(node) = queue.pop_front() {
+        if tree.len() >= max_size {
+            break;
+        }
+        let fanout = config.fanout.sample_clamped_usize(rng, 0, max_size);
+        for _ in 0..fanout {
+            if tree.len() >= max_size {
+                break;
+            }
+            let label = labels[rng.random_range(0..labels.len())];
+            queue.push_back(tree.add_child(node, label));
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SyntheticConfig {
+        SyntheticConfig {
+            fanout: Normal::new(4.0, 0.5),
+            size: Normal::new(50.0, 2.0),
+            label_count: 8,
+            decay: 0.05,
+            seed_count: 5,
+            tree_count: 100,
+            rng_seed: 1,
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let forest = generate(&small_config());
+        assert_eq!(forest.len(), 100);
+        for (_, tree) in forest.iter() {
+            tree.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sizes_follow_distribution() {
+        let forest = generate(&small_config());
+        let stats = forest.stats();
+        // N{50, 2} with decay mutations keeps the mean near 50.
+        assert!(
+            (40.0..60.0).contains(&stats.avg_size),
+            "avg size {}",
+            stats.avg_size
+        );
+        assert!(stats.max_size < 80);
+    }
+
+    #[test]
+    fn label_universe_is_bounded() {
+        let config = small_config();
+        let forest = generate(&config);
+        assert!(forest.stats().distinct_labels <= config.label_count as usize);
+    }
+
+    #[test]
+    fn fanout_follows_distribution() {
+        let forest = generate(&small_config());
+        let stats = forest.stats();
+        // Internal fanout mean should be near 4 (the last internal level is
+        // truncated by the size cap, dragging it slightly below).
+        assert!(
+            (2.5..5.0).contains(&stats.avg_fanout),
+            "avg fanout {}",
+            stats.avg_fanout
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small_config());
+        let b = generate(&small_config());
+        assert_eq!(a.len(), b.len());
+        for ((_, ta), (_, tb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut config = small_config();
+        let a = generate(&config);
+        config.rng_seed = 2;
+        let b = generate(&config);
+        let any_diff = a.iter().zip(b.iter()).any(|((_, x), (_, y))| x != y);
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn spec_string_matches_paper_notation() {
+        let config = small_config();
+        assert_eq!(config.spec_string(), "N{4,0.5}N{50,2}L8D0.05");
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let config = SyntheticConfig::paper_default();
+        assert_eq!(config.tree_count, 2000);
+        assert_eq!(config.label_count, 8);
+    }
+
+    #[test]
+    fn single_tree_dataset() {
+        let mut config = small_config();
+        config.tree_count = 1;
+        let forest = generate(&config);
+        assert_eq!(forest.len(), 1);
+    }
+}

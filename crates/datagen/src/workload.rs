@@ -1,0 +1,141 @@
+//! Query workload sampling and dataset distance calibration.
+//!
+//! The paper selects 100 queries at random from each dataset, sets the range
+//! query radius to 1/5 of the average pairwise distance and retrieves 0.25 %
+//! of the dataset for k-NN queries. The average pairwise distance over 2000
+//! trees would need ~2·10⁶ edit-distance computations, so we estimate it
+//! from a random sample of pairs (documented substitution in DESIGN.md).
+
+use rand::{Rng, RngExt};
+use treesim_tree::{Forest, Tree, TreeId};
+
+/// Samples `count` distinct query tree ids uniformly from the forest.
+///
+/// If `count >= forest.len()`, all ids are returned (shuffled).
+pub fn sample_queries<R: Rng + ?Sized>(
+    forest: &Forest,
+    count: usize,
+    rng: &mut R,
+) -> Vec<TreeId> {
+    let mut ids: Vec<TreeId> = forest.iter().map(|(id, _)| id).collect();
+    // Partial Fisher–Yates: shuffle the first `count` positions.
+    let take = count.min(ids.len());
+    for i in 0..take {
+        let j = rng.random_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    ids.truncate(take);
+    ids
+}
+
+/// Estimates the mean pairwise distance of the forest under `distance` by
+/// sampling `pair_samples` unordered pairs of distinct trees.
+///
+/// Returns 0.0 for forests with fewer than two trees.
+pub fn estimate_avg_distance<R, D>(
+    forest: &Forest,
+    pair_samples: usize,
+    rng: &mut R,
+    mut distance: D,
+) -> f64
+where
+    R: Rng + ?Sized,
+    D: FnMut(&Tree, &Tree) -> u64,
+{
+    let n = forest.len();
+    if n < 2 || pair_samples == 0 {
+        return 0.0;
+    }
+    let mut total = 0u64;
+    for _ in 0..pair_samples {
+        let a = rng.random_range(0..n);
+        let mut b = rng.random_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        total += distance(forest.tree(TreeId(a as u32)), forest.tree(TreeId(b as u32)));
+    }
+    total as f64 / pair_samples as f64
+}
+
+/// The paper's k for k-NN experiments: 0.25 % of the dataset, at least 1.
+pub fn paper_knn_k(dataset_size: usize) -> usize {
+    ((dataset_size as f64 * 0.0025).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn forest(n: usize) -> Forest {
+        let mut forest = Forest::new();
+        for i in 0..n {
+            forest
+                .parse_bracket(&format!("a(b{} c)", i % 5))
+                .unwrap();
+        }
+        forest
+    }
+
+    #[test]
+    fn samples_distinct_queries() {
+        let forest = forest(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let queries = sample_queries(&forest, 10, &mut rng);
+        assert_eq!(queries.len(), 10);
+        let mut dedup = queries.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn oversampling_returns_everything() {
+        let forest = forest(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let queries = sample_queries(&forest, 100, &mut rng);
+        assert_eq!(queries.len(), 5);
+    }
+
+    #[test]
+    fn avg_distance_estimate_under_constant_metric() {
+        let forest = forest(20);
+        let mut rng = StdRng::seed_from_u64(2);
+        let avg = estimate_avg_distance(&forest, 100, &mut rng, |_, _| 7);
+        assert_eq!(avg, 7.0);
+    }
+
+    #[test]
+    fn avg_distance_pairs_are_distinct_trees() {
+        let forest = forest(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Distance function that fails on identical references.
+        let avg = estimate_avg_distance(&forest, 500, &mut rng, |a, b| {
+            assert!(!std::ptr::eq(a, b), "sampled a pair of the same tree");
+            1
+        });
+        assert_eq!(avg, 1.0);
+    }
+
+    #[test]
+    fn degenerate_forests_yield_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(
+            estimate_avg_distance(&forest(1), 10, &mut rng, |_, _| 9),
+            0.0
+        );
+        assert_eq!(
+            estimate_avg_distance(&forest(5), 0, &mut rng, |_, _| 9),
+            0.0
+        );
+    }
+
+    #[test]
+    fn paper_k_is_quarter_percent() {
+        assert_eq!(paper_knn_k(2000), 5);
+        assert_eq!(paper_knn_k(400), 1);
+        assert_eq!(paper_knn_k(10), 1);
+    }
+}

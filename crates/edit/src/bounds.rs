@@ -1,0 +1,101 @@
+//! Trivial lower and upper bounds on the unit-cost tree edit distance.
+//!
+//! These bounds cost `O(1)` given precomputed tree metrics and are combined
+//! with the binary-branch bounds in the search engine (§4.2 notes
+//! `EDist(T1,T2) ≥ ||T1| − |T2||`, which also seeds the positional range
+//! search).
+
+use treesim_tree::Tree;
+
+/// `| |T1| − |T2| |` — every unmatched node costs one insert or delete.
+pub fn size_lower_bound(t1: &Tree, t2: &Tree) -> u64 {
+    (t1.len() as i64 - t2.len() as i64).unsigned_abs()
+}
+
+/// `| height(T1) − height(T2) |` — one edit operation changes the height of
+/// a tree by at most 1 (deletion splices children one level up; insertion
+/// pushes a consecutive run one level down; relabeling changes nothing).
+pub fn height_lower_bound(t1: &Tree, t2: &Tree) -> u64 {
+    (t1.height() as i64 - t2.height() as i64).unsigned_abs()
+}
+
+/// `| leaves(T1) − leaves(T2) |` — one edit operation changes the number of
+/// leaves by at most 1: deleting a leaf may promote its parent to a leaf
+/// (net 0) or removes one leaf; deleting an inner node keeps the leaf set;
+/// inserting symmetrically; relabeling changes nothing.
+pub fn leaf_lower_bound(t1: &Tree, t2: &Tree) -> u64 {
+    (t1.leaf_count() as i64 - t2.leaf_count() as i64).unsigned_abs()
+}
+
+/// An upper bound: delete every non-root node of `T1`, relabel the root,
+/// insert every non-root node of `T2`.
+pub fn trivial_upper_bound(t1: &Tree, t2: &Tree) -> u64 {
+    let relabel = u64::from(t1.label(t1.root()) != t2.label(t2.root()));
+    (t1.len() as u64 - 1) + (t2.len() as u64 - 1) + relabel
+}
+
+/// The maximum of all O(1) lower bounds.
+pub fn combined_lower_bound(t1: &Tree, t2: &Tree) -> u64 {
+    size_lower_bound(t1, t2)
+        .max(height_lower_bound(t1, t2))
+        .max(leaf_lower_bound(t1, t2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zhang_shasha::edit_distance;
+    use treesim_tree::{parse::bracket, LabelInterner};
+
+    fn pair(a: &str, b: &str) -> (Tree, Tree) {
+        let mut interner = LabelInterner::new();
+        (
+            bracket::parse(&mut interner, a).unwrap(),
+            bracket::parse(&mut interner, b).unwrap(),
+        )
+    }
+
+    #[test]
+    fn bounds_sandwich_the_distance() {
+        let cases = [
+            ("a(b(c d) b e)", "a(c(d) b e)"),
+            ("a(b c)", "x(y z)"),
+            ("a", "a(b(c(d)))"),
+            ("a(b(c(d)))", "a(b c d)"),
+            ("f(d(a c(b)) e)", "f(c(d(a b)) e)"),
+            ("a(b(c) d(e f) g)", "a(b)"),
+        ];
+        for (x, y) in cases {
+            let (t1, t2) = pair(x, y);
+            let d = edit_distance(&t1, &t2);
+            assert!(combined_lower_bound(&t1, &t2) <= d, "LB broke on {x} {y}");
+            assert!(trivial_upper_bound(&t1, &t2) >= d, "UB broke on {x} {y}");
+        }
+    }
+
+    #[test]
+    fn size_bound_value() {
+        let (t1, t2) = pair("a(b c d)", "a");
+        assert_eq!(size_lower_bound(&t1, &t2), 3);
+        assert_eq!(size_lower_bound(&t2, &t1), 3);
+    }
+
+    #[test]
+    fn height_bound_value() {
+        let (t1, t2) = pair("a(b(c(d)))", "a(x y z)");
+        assert_eq!(height_lower_bound(&t1, &t2), 2);
+    }
+
+    #[test]
+    fn leaf_bound_value() {
+        let (t1, t2) = pair("a(b c d)", "a(b)");
+        assert_eq!(leaf_lower_bound(&t1, &t2), 2);
+    }
+
+    #[test]
+    fn identical_trees_have_zero_bounds() {
+        let (t1, t2) = pair("a(b c)", "a(b c)");
+        assert_eq!(combined_lower_bound(&t1, &t2), 0);
+        assert_eq!(trivial_upper_bound(&t1, &t2), 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Edit-operation cost models.
+//!
+//! The paper adopts the **unit cost** tree edit distance (every operation
+//! costs 1) but notes the approach extends to general costs as long as each
+//! operation's cost is bounded below. [`CostModel`] captures the general
+//! form; [`UnitCost`] is the model used throughout the reproduction.
+
+use treesim_tree::LabelId;
+
+/// Costs of the three Zhang–Shasha edit operations.
+///
+/// Implementations must satisfy `relabel(a, a) == 0` for the distance to be
+/// reflexive, and should be symmetric (`relabel(a, b) == relabel(b, a)`,
+/// `insert(l) == delete(l)`) for it to be a metric.
+pub trait CostModel {
+    /// Cost of changing a node's label from `from` to `to`.
+    fn relabel(&self, from: LabelId, to: LabelId) -> u64;
+    /// Cost of deleting a node labeled `label`.
+    fn delete(&self, label: LabelId) -> u64;
+    /// Cost of inserting a node labeled `label`.
+    fn insert(&self, label: LabelId) -> u64;
+
+    /// A lower bound on the cost of any single edit operation; used to scale
+    /// binary-branch lower bounds to general cost models (§2.1 of the
+    /// paper). Must be ≥ the infimum over all operations with nonzero cost.
+    fn min_operation_cost(&self) -> u64 {
+        1
+    }
+}
+
+/// The unit-cost model: every operation costs 1; relabeling to the same
+/// label costs 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitCost;
+
+impl CostModel for UnitCost {
+    #[inline]
+    fn relabel(&self, from: LabelId, to: LabelId) -> u64 {
+        u64::from(from != to)
+    }
+
+    #[inline]
+    fn delete(&self, _label: LabelId) -> u64 {
+        1
+    }
+
+    #[inline]
+    fn insert(&self, _label: LabelId) -> u64 {
+        1
+    }
+}
+
+/// A uniform weighted model: fixed per-operation costs independent of the
+/// labels involved (relabeling identical labels still costs 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedCost {
+    /// Cost of a label change.
+    pub relabel: u64,
+    /// Cost of a deletion.
+    pub delete: u64,
+    /// Cost of an insertion.
+    pub insert: u64,
+}
+
+impl CostModel for WeightedCost {
+    #[inline]
+    fn relabel(&self, from: LabelId, to: LabelId) -> u64 {
+        if from == to {
+            0
+        } else {
+            self.relabel
+        }
+    }
+
+    #[inline]
+    fn delete(&self, _label: LabelId) -> u64 {
+        self.delete
+    }
+
+    #[inline]
+    fn insert(&self, _label: LabelId) -> u64 {
+        self.insert
+    }
+
+    fn min_operation_cost(&self) -> u64 {
+        self.relabel.min(self.delete).min(self.insert).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_cost_is_unit() {
+        let a = LabelId::from_u32(1);
+        let b = LabelId::from_u32(2);
+        assert_eq!(UnitCost.relabel(a, a), 0);
+        assert_eq!(UnitCost.relabel(a, b), 1);
+        assert_eq!(UnitCost.delete(a), 1);
+        assert_eq!(UnitCost.insert(b), 1);
+        assert_eq!(UnitCost.min_operation_cost(), 1);
+    }
+
+    #[test]
+    fn weighted_cost_applies_weights() {
+        let model = WeightedCost {
+            relabel: 2,
+            delete: 3,
+            insert: 5,
+        };
+        let a = LabelId::from_u32(1);
+        let b = LabelId::from_u32(2);
+        assert_eq!(model.relabel(a, a), 0);
+        assert_eq!(model.relabel(a, b), 2);
+        assert_eq!(model.delete(a), 3);
+        assert_eq!(model.insert(a), 5);
+        assert_eq!(model.min_operation_cost(), 2);
+    }
+}

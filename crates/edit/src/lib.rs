@@ -1,0 +1,40 @@
+//! Tree edit distance — the "real" similarity measure that the binary
+//! branch embedding of `treesim-core` lower-bounds.
+//!
+//! * [`zhang_shasha`](mod@zhang_shasha): the classic Zhang–Shasha dynamic program
+//!   (reference \[23\] of the paper) with reusable per-tree precomputation
+//!   ([`TreeInfo`]) and scratch space ([`ZsWorkspace`]);
+//! * [`cost`]: pluggable edit-operation cost models ([`UnitCost`] is the
+//!   paper's setting);
+//! * [`bounds`]: O(1) lower/upper bounds used to cheapen filtering further;
+//! * [`naive`]: a slow independent oracle used by the test suites.
+//!
+//! # Example
+//!
+//! ```
+//! use treesim_edit::edit_distance;
+//! use treesim_tree::{parse::bracket, LabelInterner};
+//!
+//! let mut interner = LabelInterner::new();
+//! let t1 = bracket::parse(&mut interner, "article(author title year)").unwrap();
+//! let t2 = bracket::parse(&mut interner, "article(author author title)").unwrap();
+//! assert_eq!(edit_distance(&t1, &t2), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod constrained;
+pub mod cost;
+pub mod mapping;
+pub mod naive;
+pub mod script;
+pub mod selkow;
+pub mod zhang_shasha;
+
+pub use constrained::{constrained_distance, constrained_distance_with};
+pub use cost::{CostModel, UnitCost, WeightedCost};
+pub use mapping::{edit_mapping, EditMapping};
+pub use script::{apply_mapping, diff, AppliedScript, ScriptOp};
+pub use selkow::{selkow_distance, selkow_distance_with};
+pub use zhang_shasha::{edit_distance, edit_distance_with, zhang_shasha, TreeInfo, ZsWorkspace};

@@ -1,0 +1,265 @@
+//! Edit-mapping recovery: not just the distance, but *which* nodes map to
+//! which (§2.1 of the paper describes the mapping view of edit scripts).
+//!
+//! The paper only needs distances; mapping recovery is provided as an
+//! extension for downstream applications (diffing, version management).
+//! The algorithm re-runs the Zhang–Shasha forest DP on the subproblems the
+//! optimal solution touches and backtracks, which costs no more than the
+//! original distance computation.
+
+use treesim_tree::{NodeId, Tree};
+
+use crate::cost::CostModel;
+use crate::zhang_shasha::{zhang_shasha, TreeInfo, ZsWorkspace};
+
+/// An optimal edit mapping between two trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditMapping {
+    /// Matched node pairs `(u ∈ T1, v ∈ T2)`; a pair with differing labels
+    /// is a relabel operation.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Nodes of `T1` with no counterpart (deleted).
+    pub deleted: Vec<NodeId>,
+    /// Nodes of `T2` with no counterpart (inserted).
+    pub inserted: Vec<NodeId>,
+    /// Total cost of the mapping (= the edit distance).
+    pub cost: u64,
+}
+
+impl EditMapping {
+    /// Number of relabel operations implied by the mapping.
+    pub fn relabel_count(&self, t1: &Tree, t2: &Tree) -> usize {
+        self.pairs
+            .iter()
+            .filter(|&&(u, v)| t1.label(u) != t2.label(v))
+            .count()
+    }
+}
+
+/// Computes an optimal edit mapping under `cost`.
+pub fn edit_mapping<C: CostModel>(t1: &Tree, t2: &Tree, cost: &C) -> EditMapping {
+    let info1 = TreeInfo::new(t1);
+    let info2 = TreeInfo::new(t2);
+    let mut workspace = ZsWorkspace::new();
+    let distance = zhang_shasha(&info1, &info2, cost, &mut workspace);
+    // The full run leaves treedist[i][j] populated for every node pair.
+    let treedist = workspace.treedist_snapshot();
+
+    let n1 = info1.len();
+    let n2 = info2.len();
+    let stride = n2 + 1;
+    let at = |i: usize, j: usize| i * stride + j;
+
+    let mut matched: Vec<(usize, usize)> = Vec::new();
+    // Stack of *tree* subproblems, in 1-based postorder indices.
+    let mut stack = vec![(n1, n2)];
+    let mut fd = vec![0u64; (n1 + 1) * stride];
+
+    while let Some((root1, root2)) = stack.pop() {
+        // Recompute the forest DP for the subproblem anchored at
+        // (root1, root2), exactly as compute_treedist does.
+        let l1 = info1.leftmost_leaf(root1 - 1) + 1;
+        let l2 = info2.leftmost_leaf(root2 - 1) + 1;
+        fd[at(l1 - 1, l2 - 1)] = 0;
+        for i in l1..=root1 {
+            fd[at(i, l2 - 1)] = fd[at(i - 1, l2 - 1)] + cost.delete(info1.label_at(i - 1));
+        }
+        for j in l2..=root2 {
+            fd[at(l1 - 1, j)] = fd[at(l1 - 1, j - 1)] + cost.insert(info2.label_at(j - 1));
+        }
+        for i in l1..=root1 {
+            let li = info1.leftmost_leaf(i - 1) + 1;
+            for j in l2..=root2 {
+                let lj = info2.leftmost_leaf(j - 1) + 1;
+                let del = fd[at(i - 1, j)] + cost.delete(info1.label_at(i - 1));
+                let ins = fd[at(i, j - 1)] + cost.insert(info2.label_at(j - 1));
+                if li == l1 && lj == l2 {
+                    let rel = fd[at(i - 1, j - 1)]
+                        + cost.relabel(info1.label_at(i - 1), info2.label_at(j - 1));
+                    fd[at(i, j)] = del.min(ins).min(rel);
+                } else {
+                    let split = fd[at(li - 1, lj - 1)] + treedist[at(i, j)];
+                    fd[at(i, j)] = del.min(ins).min(split);
+                }
+            }
+        }
+
+        // Backtrack from (root1, root2) down to the empty boundary.
+        let (mut i, mut j) = (root1, root2);
+        while i >= l1 || j >= l2 {
+            if i >= l1
+                && fd[at(i, j)] == fd[at(i - 1, j)] + cost.delete(info1.label_at(i - 1))
+            {
+                i -= 1; // node i deleted
+                continue;
+            }
+            if j >= l2
+                && fd[at(i, j)] == fd[at(i, j - 1)] + cost.insert(info2.label_at(j - 1))
+            {
+                j -= 1; // node j inserted
+                continue;
+            }
+            debug_assert!(i >= l1 && j >= l2, "backtrack fell off the table");
+            let li = info1.leftmost_leaf(i - 1) + 1;
+            let lj = info2.leftmost_leaf(j - 1) + 1;
+            if li == l1 && lj == l2 {
+                // Matched roots of whole-prefix subtrees: relabel step.
+                matched.push((i, j));
+                i -= 1;
+                j -= 1;
+            } else {
+                // Split: the pair of subtrees (i, j) is solved recursively.
+                stack.push((i, j));
+                i = li - 1;
+                j = lj - 1;
+            }
+        }
+    }
+
+    let mapped1: std::collections::HashSet<usize> = matched.iter().map(|&(i, _)| i).collect();
+    let mapped2: std::collections::HashSet<usize> = matched.iter().map(|&(_, j)| j).collect();
+    EditMapping {
+        pairs: matched
+            .iter()
+            .map(|&(i, j)| (info1.node_at(i - 1), info2.node_at(j - 1)))
+            .collect(),
+        deleted: (1..=n1)
+            .filter(|i| !mapped1.contains(i))
+            .map(|i| info1.node_at(i - 1))
+            .collect(),
+        inserted: (1..=n2)
+            .filter(|j| !mapped2.contains(j))
+            .map(|j| info2.node_at(j - 1))
+            .collect(),
+        cost: distance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UnitCost;
+    use crate::zhang_shasha::edit_distance;
+    use treesim_tree::{parse::bracket, LabelInterner, Positions};
+
+    fn mapping_for(a: &str, b: &str) -> (EditMapping, Tree, Tree) {
+        let mut interner = LabelInterner::new();
+        let t1 = bracket::parse(&mut interner, a).unwrap();
+        let t2 = bracket::parse(&mut interner, b).unwrap();
+        let mapping = edit_mapping(&t1, &t2, &UnitCost);
+        (mapping, t1, t2)
+    }
+
+    fn assert_valid(mapping: &EditMapping, t1: &Tree, t2: &Tree) {
+        // Cost equals the edit distance.
+        assert_eq!(mapping.cost, edit_distance(t1, t2));
+        // Cost decomposes into the mapping's operations (unit model).
+        let relabels = mapping.relabel_count(t1, t2) as u64;
+        assert_eq!(
+            mapping.cost,
+            relabels + mapping.deleted.len() as u64 + mapping.inserted.len() as u64
+        );
+        // One-to-one.
+        let mut seen1 = std::collections::HashSet::new();
+        let mut seen2 = std::collections::HashSet::new();
+        for &(u, v) in &mapping.pairs {
+            assert!(seen1.insert(u));
+            assert!(seen2.insert(v));
+        }
+        // Coverage: every node is mapped, deleted or inserted exactly once.
+        assert_eq!(mapping.pairs.len() + mapping.deleted.len(), t1.len());
+        assert_eq!(mapping.pairs.len() + mapping.inserted.len(), t2.len());
+        // Order preservation: ancestor and sibling (pre/post) orders.
+        let p1: Positions = t1.positions();
+        let p2: Positions = t2.positions();
+        for &(u1, v1) in &mapping.pairs {
+            for &(u2, v2) in &mapping.pairs {
+                assert_eq!(
+                    p1.pre(u1) < p1.pre(u2),
+                    p2.pre(v1) < p2.pre(v2),
+                    "preorder violated"
+                );
+                assert_eq!(
+                    p1.post(u1) < p1.post(u2),
+                    p2.post(v1) < p2.post(v2),
+                    "postorder violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_mapping() {
+        let (mapping, t1, t2) = mapping_for("a(b(c d) e)", "a(b(c d) e)");
+        assert_eq!(mapping.cost, 0);
+        assert_eq!(mapping.pairs.len(), 5);
+        assert!(mapping.deleted.is_empty());
+        assert!(mapping.inserted.is_empty());
+        assert_valid(&mapping, &t1, &t2);
+    }
+
+    #[test]
+    fn single_deletion() {
+        let (mapping, t1, t2) = mapping_for("a(b(c(d)) b e)", "a(c(d) b e)");
+        assert_eq!(mapping.cost, 1);
+        assert_eq!(mapping.deleted.len(), 1);
+        assert!(mapping.inserted.is_empty());
+        let deleted = mapping.deleted[0];
+        assert_eq!(
+            t1.label(deleted),
+            t1.label(t1.first_child(t1.root()).unwrap())
+        );
+        assert_valid(&mapping, &t1, &t2);
+    }
+
+    #[test]
+    fn single_relabel() {
+        let (mapping, t1, t2) = mapping_for("a(b c)", "a(b z)");
+        assert_eq!(mapping.cost, 1);
+        assert_eq!(mapping.relabel_count(&t1, &t2), 1);
+        assert_valid(&mapping, &t1, &t2);
+    }
+
+    #[test]
+    fn classic_example_mapping() {
+        let (mapping, t1, t2) = mapping_for("f(d(a c(b)) e)", "f(c(d(a b)) e)");
+        assert_eq!(mapping.cost, 2);
+        assert_valid(&mapping, &t1, &t2);
+    }
+
+    #[test]
+    fn disjoint_trees() {
+        let (mapping, t1, t2) = mapping_for("a(b c)", "x(y z)");
+        assert_eq!(mapping.cost, 3);
+        assert_valid(&mapping, &t1, &t2);
+    }
+
+    #[test]
+    fn asymmetric_sizes() {
+        for (a, b) in [
+            ("a", "a(b(c(d)))"),
+            ("a(b(c(d)))", "a"),
+            ("a(b c d e)", "a(c)"),
+            ("a(b(c(d)))", "a(b c d)"),
+        ] {
+            let (mapping, t1, t2) = mapping_for(a, b);
+            assert_valid(&mapping, &t1, &t2);
+        }
+    }
+
+    #[test]
+    fn random_pairs_are_valid() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut interner = LabelInterner::new();
+        let labels: Vec<_> = (0..4).map(|i| interner.intern(&format!("l{i}"))).collect();
+        let mut rng = StdRng::seed_from_u64(77);
+        for seed in 0..30u32 {
+            let base = bracket::parse(&mut interner, "l0(l1(l2 l3) l1 l2(l3))").unwrap();
+            let (mutated, _) =
+                treesim_datagen::mutate::apply_random_ops(&base, (seed % 5) as usize, &labels, &mut rng);
+            let mapping = edit_mapping(&base, &mutated, &UnitCost);
+            assert_valid(&mapping, &base, &mutated);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! A direct memoized implementation of the forest edit distance recurrence.
+//!
+//! Independent of the keyroot-optimized Zhang–Shasha code in
+//! [`crate::zhang_shasha`](mod@crate::zhang_shasha); used as a cross-checking oracle in tests. Do not
+//! use it on large trees — its memo table is keyed by subforest node lists.
+
+use std::collections::HashMap;
+
+use treesim_tree::{NodeId, Tree};
+
+use crate::cost::CostModel;
+
+/// Exact tree edit distance via the textbook forest recurrence.
+///
+/// Intended for trees of at most a few dozen nodes (tests only).
+pub fn naive_edit_distance<C: CostModel>(t1: &Tree, t2: &Tree, cost: &C) -> u64 {
+    let mut memo = HashMap::new();
+    forest_distance(
+        t1,
+        t2,
+        &[t1.root()],
+        &[t2.root()],
+        cost,
+        &mut memo,
+    )
+}
+
+type Memo = HashMap<(Vec<NodeId>, Vec<NodeId>), u64>;
+
+/// Distance between the forest of subtrees rooted at `f1` (in `t1`) and the
+/// forest rooted at `f2` (in `t2`), decomposing on the rightmost roots.
+fn forest_distance<C: CostModel>(
+    t1: &Tree,
+    t2: &Tree,
+    f1: &[NodeId],
+    f2: &[NodeId],
+    cost: &C,
+    memo: &mut Memo,
+) -> u64 {
+    if f1.is_empty() {
+        return f2.iter().map(|&n| subtree_cost(t2, n, |l| cost.insert(l))).sum();
+    }
+    if f2.is_empty() {
+        return f1.iter().map(|&n| subtree_cost(t1, n, |l| cost.delete(l))).sum();
+    }
+    let key = (f1.to_vec(), f2.to_vec());
+    if let Some(&hit) = memo.get(&key) {
+        return hit;
+    }
+
+    let (&v, rest1) = f1.split_last().expect("checked nonempty");
+    let (&w, rest2) = f2.split_last().expect("checked nonempty");
+
+    // Option 1: delete v — its children join the forest in its place.
+    let mut f1_minus_v: Vec<NodeId> = rest1.to_vec();
+    f1_minus_v.extend(t1.children(v));
+    let delete = forest_distance(t1, t2, &f1_minus_v, f2, cost, memo)
+        + cost.delete(t1.label(v));
+
+    // Option 2: insert w.
+    let mut f2_minus_w: Vec<NodeId> = rest2.to_vec();
+    f2_minus_w.extend(t2.children(w));
+    let insert = forest_distance(t1, t2, f1, &f2_minus_w, cost, memo)
+        + cost.insert(t2.label(w));
+
+    // Option 3: match v with w — the rest-forests and the child-forests are
+    // solved independently.
+    let children1: Vec<NodeId> = t1.children(v).collect();
+    let children2: Vec<NodeId> = t2.children(w).collect();
+    let matched = forest_distance(t1, t2, rest1, rest2, cost, memo)
+        + forest_distance(t1, t2, &children1, &children2, cost, memo)
+        + cost.relabel(t1.label(v), t2.label(w));
+
+    let best = delete.min(insert).min(matched);
+    memo.insert(key, best);
+    best
+}
+
+fn subtree_cost<F: Fn(treesim_tree::LabelId) -> u64>(tree: &Tree, root: NodeId, per_node: F) -> u64 {
+    tree.preorder_from(root)
+        .map(|n| per_node(tree.label(n)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UnitCost;
+    use crate::zhang_shasha::edit_distance;
+    use treesim_tree::{parse::bracket, LabelInterner};
+
+    fn both(a: &str, b: &str) -> (u64, u64) {
+        let mut interner = LabelInterner::new();
+        let t1 = bracket::parse(&mut interner, a).unwrap();
+        let t2 = bracket::parse(&mut interner, b).unwrap();
+        (
+            edit_distance(&t1, &t2),
+            naive_edit_distance(&t1, &t2, &UnitCost),
+        )
+    }
+
+    #[test]
+    fn agrees_with_zhang_shasha_on_known_cases() {
+        for (a, b) in [
+            ("a", "a"),
+            ("a", "b"),
+            ("a(b c)", "a(b d)"),
+            ("a(b(c d) b e)", "a(c(d) b e)"),
+            ("f(d(a c(b)) e)", "f(c(d(a b)) e)"),
+            ("a(b(c(d)))", "a(b c d)"),
+            ("a(b c)", "x(y z)"),
+            ("a", "a(b(c(d)))"),
+            ("a(b c)", "a(c b)"),
+            ("a(a(a a) a)", "a(a a(a a))"),
+        ] {
+            let (zs, naive) = both(a, b);
+            assert_eq!(zs, naive, "mismatch on {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn chain_vs_star_is_four() {
+        // See the discussion in the Zhang–Shasha tests: no mapping can match
+        // more than {a, one-of-b/c/d}, so the distance is 4.
+        let (zs, naive) = both("a(b(c(d)))", "a(b c d)");
+        assert_eq!(naive, 4);
+        assert_eq!(zs, 4);
+    }
+}

@@ -1,0 +1,369 @@
+//! Edit scripts: turning an optimal [`EditMapping`] into an executable
+//! sequence of edit operations, and applying it.
+//!
+//! This closes the loop on §2.1 of the paper: a mapping *is* a compact
+//! representation of an edit script. The derivation follows the classic
+//! decomposition — relabel every mapped node whose labels differ, delete
+//! the unmapped source nodes, then insert the unmapped target nodes in
+//! preorder, each adopting the consecutive run of its (already present)
+//! children — and the test suite verifies that applying the script to `T1`
+//! reproduces `T2` exactly, with exactly `EDist(T1, T2)` operations.
+
+use std::collections::HashMap;
+
+use treesim_tree::{LabelId, NodeId, Positions, Tree};
+
+use crate::cost::CostModel;
+use crate::mapping::{edit_mapping, EditMapping};
+
+/// One executable edit operation, in terms of the *evolving working copy*
+/// (a super-rooted clone of the source tree; see [`apply_mapping`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Change the label of a (source) node.
+    Relabel {
+        /// The node in the evolving source tree.
+        node: NodeId,
+        /// Its new label.
+        label: LabelId,
+    },
+    /// Delete a (source) node, splicing its children into its place.
+    Delete {
+        /// The node in the evolving source tree.
+        node: NodeId,
+    },
+    /// Insert a new node under `parent`, adopting `count` consecutive
+    /// children starting at position `start`.
+    Insert {
+        /// Parent in the evolving source tree.
+        parent: NodeId,
+        /// Label of the new node.
+        label: LabelId,
+        /// First adopted child position.
+        start: usize,
+        /// Number of adopted children.
+        count: usize,
+    },
+}
+
+/// The result of applying a mapping: the transformed tree and the concrete
+/// operations performed.
+#[derive(Debug, Clone)]
+pub struct AppliedScript {
+    /// The transformed tree (structurally equal to the target).
+    pub result: Tree,
+    /// The operations, in application order.
+    pub ops: Vec<ScriptOp>,
+}
+
+/// Derives and applies the edit script of `mapping` to (a working copy of)
+/// `t1`.
+///
+/// The Zhang–Shasha mapping may leave either tree's *root* unmapped (the
+/// model is really about forests), so the working copy is wrapped under a
+/// synthetic `ε`-labeled super-root: every real node then has a parent and
+/// root insertion/deletion become ordinary operations. Reported ops
+/// reference nodes of that working copy.
+///
+/// # Panics
+///
+/// Panics if `mapping` is not a valid mapping between `t1` and `t2`
+/// (as produced by [`edit_mapping`]); this indicates a bug, not bad input.
+pub fn apply_mapping(t1: &Tree, t2: &Tree, mapping: &EditMapping) -> AppliedScript {
+    // Wrap both trees under ε super-roots; translate node ids.
+    let (mut work, into_work) = wrapped_copy(t1);
+    let (target, into_target) = wrapped_copy(t2);
+    let mut ops = Vec::with_capacity(mapping.cost as usize);
+
+    // counterpart[v in wrapped T2] = node in the evolving working copy.
+    let mut counterpart: HashMap<NodeId, NodeId> = HashMap::new();
+    counterpart.insert(target.root(), work.root());
+
+    // 1. Relabels.
+    for &(u, v) in &mapping.pairs {
+        let u = into_work[u.index()];
+        let v = into_target[v.index()];
+        counterpart.insert(v, u);
+        let target_label = target.label(v);
+        if work.label(u) != target_label {
+            work.relabel(u, target_label);
+            ops.push(ScriptOp::Relabel {
+                node: u,
+                label: target_label,
+            });
+        }
+    }
+
+    // 2. Deletions (any order: node ids are stable in the arena).
+    for &node in &mapping.deleted {
+        let node = into_work[node.index()];
+        work.remove_node(node)
+            .expect("the super-root is never deleted");
+        ops.push(ScriptOp::Delete { node });
+    }
+
+    // 3. Insertions, in preorder of T2 so every inserted node's parent is
+    //    already present.
+    let t2 = &target;
+    let t2_positions: Positions = t2.positions();
+    let mut inserted: Vec<NodeId> = mapping
+        .inserted
+        .iter()
+        .map(|&v| into_target[v.index()])
+        .collect();
+    inserted.sort_unstable_by_key(|&v| t2_positions.pre(v));
+    for v in inserted {
+        let parent_in_t2 = t2
+            .parent(v)
+            .expect("every real node has a parent under the super-root");
+        let parent = *counterpart
+            .get(&parent_in_t2)
+            .expect("parents precede children in preorder");
+        // v adopts the *present frontier* of its T2 subtree: mapped
+        // descendants reachable without crossing an already-inserted node.
+        // (Not-yet-inserted descendants of v still hang off `parent`; their
+        // own mapped children sit there too and belong inside v.)
+        let mut present = Vec::new();
+        present_frontier(t2, v, &counterpart, &mut present);
+        let (start, count) = if present.is_empty() {
+            // Fresh leaf: insert before the nearest present node of any
+            // following sibling's subtree.
+            let successor = following_present_sibling(t2, v, &counterpart);
+            let position = match successor {
+                Some(successor_node) => work
+                    .children(parent)
+                    .position(|c| c == successor_node)
+                    .expect("successor is a child of parent"),
+                None => work.degree(parent),
+            };
+            (position, 0)
+        } else {
+            let positions: Vec<usize> = present
+                .iter()
+                .map(|&node| {
+                    work.children(parent)
+                        .position(|c| c == node)
+                        .expect("present child under expected parent")
+                })
+                .collect();
+            let start = *positions.iter().min().expect("nonempty");
+            let end = *positions.iter().max().expect("nonempty");
+            assert_eq!(
+                end - start + 1,
+                positions.len(),
+                "mapped children of an inserted node must be consecutive"
+            );
+            (start, positions.len())
+        };
+        let new_node = work
+            .insert_above_children(parent, t2.label(v), start, count)
+            .expect("validated run");
+        counterpart.insert(v, new_node);
+        ops.push(ScriptOp::Insert {
+            parent,
+            label: t2.label(v),
+            start,
+            count,
+        });
+    }
+
+    // Unwrap: the super-root must hold exactly the target tree.
+    let root_child = work
+        .first_child(work.root())
+        .expect("result cannot be empty");
+    assert_eq!(
+        work.next_sibling(root_child),
+        None,
+        "super-root ended with more than one child"
+    );
+    AppliedScript {
+        result: subtree_copy(&work, root_child),
+        ops,
+    }
+}
+
+/// Clones `tree` under a fresh `ε`-labeled super-root, returning the copy
+/// and the old-id → new-id translation (indexed by old arena index).
+fn wrapped_copy(tree: &Tree) -> (Tree, Vec<NodeId>) {
+    let mut wrapped = Tree::with_capacity(LabelId::EPSILON, tree.len() + 1);
+    let mut translation = vec![wrapped.root(); tree.arena_len()];
+    let root_copy = wrapped.add_child(wrapped.root(), tree.label(tree.root()));
+    translation[tree.root().index()] = root_copy;
+    // Preorder clone preserving child order (stack pops the leftmost
+    // pending node first).
+    let mut stack: Vec<(NodeId, NodeId)> = tree
+        .children(tree.root())
+        .map(|c| (c, root_copy))
+        .collect();
+    stack.reverse();
+    while let Some((old, new_parent)) = stack.pop() {
+        let copy = wrapped.add_child(new_parent, tree.label(old));
+        translation[old.index()] = copy;
+        let before = stack.len();
+        stack.extend(tree.children(old).map(|c| (c, copy)));
+        stack[before..].reverse();
+    }
+    (wrapped, translation)
+}
+
+/// Clones the subtree rooted at `node` into a fresh dense tree.
+fn subtree_copy(tree: &Tree, node: NodeId) -> Tree {
+    let mut out = Tree::with_capacity(tree.label(node), tree.subtree_size(node));
+    let mut stack: Vec<(NodeId, NodeId)> =
+        tree.children(node).map(|c| (c, out.root())).collect();
+    stack.reverse();
+    while let Some((old, new_parent)) = stack.pop() {
+        let copy = out.add_child(new_parent, tree.label(old));
+        let before = stack.len();
+        stack.extend(tree.children(old).map(|c| (c, copy)));
+        stack[before..].reverse();
+    }
+    out
+}
+
+/// Collects (in order) the working-copy counterparts of the nearest
+/// present descendants of `v`'s children — the frontier v must adopt.
+fn present_frontier(
+    t2: &Tree,
+    v: NodeId,
+    counterpart: &HashMap<NodeId, NodeId>,
+    out: &mut Vec<NodeId>,
+) {
+    for child in t2.children(v) {
+        match counterpart.get(&child) {
+            Some(&node) => out.push(node),
+            None => present_frontier(t2, child, counterpart, out),
+        }
+    }
+}
+
+/// The first present node (leftmost, nearest) within the subtrees of `v`'s
+/// following siblings — the position anchor for inserting a fresh leaf.
+fn following_present_sibling(
+    t2: &Tree,
+    v: NodeId,
+    counterpart: &HashMap<NodeId, NodeId>,
+) -> Option<NodeId> {
+    let mut cursor = t2.next_sibling(v);
+    while let Some(sibling) = cursor {
+        if let Some(node) = first_present(t2, sibling, counterpart) {
+            return Some(node);
+        }
+        cursor = t2.next_sibling(sibling);
+    }
+    None
+}
+
+/// The leftmost present node in the subtree rooted at `s` (itself included).
+fn first_present(
+    t2: &Tree,
+    s: NodeId,
+    counterpart: &HashMap<NodeId, NodeId>,
+) -> Option<NodeId> {
+    if let Some(&node) = counterpart.get(&s) {
+        return Some(node);
+    }
+    t2.children(s)
+        .find_map(|child| first_present(t2, child, counterpart))
+}
+
+/// Convenience: derives the optimal script between two trees and applies
+/// it, returning the operations (whose length equals the unit-cost edit
+/// distance) — the full "diff" of the two trees.
+pub fn diff<C: CostModel>(t1: &Tree, t2: &Tree, cost: &C) -> AppliedScript {
+    let mapping = edit_mapping(t1, t2, cost);
+    apply_mapping(t1, t2, &mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UnitCost;
+    use crate::zhang_shasha::edit_distance;
+    use treesim_tree::{parse::bracket, LabelInterner};
+
+    fn check(a: &str, b: &str) {
+        let mut interner = LabelInterner::new();
+        let t1 = bracket::parse(&mut interner, a).unwrap();
+        let t2 = bracket::parse(&mut interner, b).unwrap();
+        let applied = diff(&t1, &t2, &UnitCost);
+        assert_eq!(
+            applied.result, t2,
+            "script did not reproduce the target for {a} → {b}"
+        );
+        assert_eq!(
+            applied.ops.len() as u64,
+            edit_distance(&t1, &t2),
+            "script length ≠ edit distance for {a} → {b}"
+        );
+    }
+
+    #[test]
+    fn identity_script_is_empty() {
+        check("a(b(c d) e)", "a(b(c d) e)");
+    }
+
+    #[test]
+    fn single_operations() {
+        check("a(b c)", "a(b z)"); // relabel
+        check("a(b(c(d)) b e)", "a(c(d) b e)"); // delete
+        check("a(c(d) b e)", "a(b(c(d)) b e)"); // insert
+        check("a(b c)", "a(b x c)"); // leaf insert in the middle
+    }
+
+    #[test]
+    fn classic_example() {
+        check("f(d(a c(b)) e)", "f(c(d(a b)) e)");
+        check("f(c(d(a b)) e)", "f(d(a c(b)) e)");
+    }
+
+    #[test]
+    fn root_insertion_and_deletion() {
+        check("a", "b(a)"); // new root above the old one
+        check("b(a)", "a"); // delete the root
+        check("a(b)", "c(a(b) d)");
+        check("c(a(b) d)", "a(b)");
+    }
+
+    #[test]
+    fn asymmetric_shapes() {
+        check("a", "a(b(c(d)))");
+        check("a(b(c(d)))", "a");
+        check("a(b(c(d)))", "a(b c d)");
+        check("a(b c d)", "a(b(c(d)))");
+        check("a(b c d e f)", "a(f e d c b)");
+        check("a(b(x y) c(z))", "q(r(s) t)");
+    }
+
+    #[test]
+    fn scripts_on_random_pairs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut interner = LabelInterner::new();
+        let labels: Vec<_> = (0..4).map(|i| interner.intern(&format!("l{i}"))).collect();
+        let base = bracket::parse(&mut interner, "l0(l1(l2 l3) l1 l2(l3 l0))").unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        for k in 0..24usize {
+            let (mutated, _) =
+                treesim_datagen::mutate::apply_random_ops(&base, k % 6, &labels, &mut rng);
+            let applied = diff(&base, &mutated, &UnitCost);
+            assert_eq!(applied.result, mutated);
+            assert_eq!(applied.ops.len() as u64, edit_distance(&base, &mutated));
+        }
+    }
+
+    #[test]
+    fn script_ops_are_reported_in_order() {
+        let mut interner = LabelInterner::new();
+        let t1 = bracket::parse(&mut interner, "a(b c)").unwrap();
+        let t2 = bracket::parse(&mut interner, "a(z(b c))").unwrap();
+        let applied = diff(&t1, &t2, &UnitCost);
+        assert_eq!(applied.ops.len(), 1);
+        match &applied.ops[0] {
+            ScriptOp::Insert { start, count, .. } => {
+                assert_eq!((*start, *count), (0, 2));
+            }
+            other => panic!("expected an insert, got {other:?}"),
+        }
+    }
+}

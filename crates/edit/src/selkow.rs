@@ -1,0 +1,166 @@
+//! Selkow's top-down tree edit distance (reference \[14\] of the paper).
+//!
+//! The earliest tree edit model: insertions and deletions are allowed only
+//! for whole subtrees at the leaves of the mapping — equivalently, a node
+//! may be mapped only if its parent is mapped, so the two roots always map
+//! to each other. The distance is therefore an upper bound of the general
+//! Zhang–Shasha distance (its mappings are a subset).
+//!
+//! Runs in `O(|T1|·|T2|)` time via a children-sequence alignment per
+//! matched node pair.
+
+use treesim_tree::{NodeId, Tree};
+
+use crate::cost::{CostModel, UnitCost};
+
+/// Unit-cost Selkow (top-down) distance.
+pub fn selkow_distance(t1: &Tree, t2: &Tree) -> u64 {
+    selkow_distance_with(t1, t2, &UnitCost)
+}
+
+/// Selkow distance under an arbitrary cost model.
+pub fn selkow_distance_with<C: CostModel>(t1: &Tree, t2: &Tree, cost: &C) -> u64 {
+    let delete_costs = subtree_costs(t1, |l| cost.delete(l));
+    let insert_costs = subtree_costs(t2, |l| cost.insert(l));
+    tree_distance(
+        t1,
+        t2,
+        t1.root(),
+        t2.root(),
+        cost,
+        &delete_costs,
+        &insert_costs,
+    )
+}
+
+/// Cost of deleting (resp. inserting) each whole subtree, indexed by node.
+fn subtree_costs<F: Fn(treesim_tree::LabelId) -> u64>(tree: &Tree, per_node: F) -> Vec<u64> {
+    let mut costs = vec![0u64; tree.arena_len()];
+    for node in tree.postorder() {
+        costs[node.index()] = per_node(tree.label(node))
+            + tree
+                .children(node)
+                .map(|c| costs[c.index()])
+                .sum::<u64>();
+    }
+    costs
+}
+
+fn tree_distance<C: CostModel>(
+    t1: &Tree,
+    t2: &Tree,
+    u: NodeId,
+    v: NodeId,
+    cost: &C,
+    delete_costs: &[u64],
+    insert_costs: &[u64],
+) -> u64 {
+    let relabel = cost.relabel(t1.label(u), t2.label(v));
+    let children1: Vec<NodeId> = t1.children(u).collect();
+    let children2: Vec<NodeId> = t2.children(v).collect();
+    // Sequence alignment over the child subtrees: substitution recurses,
+    // gaps pay whole-subtree costs.
+    let rows = children1.len() + 1;
+    let cols = children2.len() + 1;
+    let mut dp = vec![0u64; rows * cols];
+    let at = |i: usize, j: usize| i * cols + j;
+    for i in 1..rows {
+        dp[at(i, 0)] = dp[at(i - 1, 0)] + delete_costs[children1[i - 1].index()];
+    }
+    for j in 1..cols {
+        dp[at(0, j)] = dp[at(0, j - 1)] + insert_costs[children2[j - 1].index()];
+    }
+    for i in 1..rows {
+        for j in 1..cols {
+            let substitute = dp[at(i - 1, j - 1)]
+                + tree_distance(
+                    t1,
+                    t2,
+                    children1[i - 1],
+                    children2[j - 1],
+                    cost,
+                    delete_costs,
+                    insert_costs,
+                );
+            let delete = dp[at(i - 1, j)] + delete_costs[children1[i - 1].index()];
+            let insert = dp[at(i, j - 1)] + insert_costs[children2[j - 1].index()];
+            dp[at(i, j)] = substitute.min(delete).min(insert);
+        }
+    }
+    relabel + dp[at(rows - 1, cols - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zhang_shasha::edit_distance;
+    use treesim_tree::{parse::bracket, LabelInterner};
+
+    fn both(a: &str, b: &str) -> (u64, u64) {
+        let mut interner = LabelInterner::new();
+        let t1 = bracket::parse(&mut interner, a).unwrap();
+        let t2 = bracket::parse(&mut interner, b).unwrap();
+        (selkow_distance(&t1, &t2), edit_distance(&t1, &t2))
+    }
+
+    #[test]
+    fn identical_trees_zero() {
+        let (selkow, _) = both("a(b(c d) e)", "a(b(c d) e)");
+        assert_eq!(selkow, 0);
+    }
+
+    #[test]
+    fn relabel_only() {
+        let (selkow, zs) = both("a(b c)", "a(b z)");
+        assert_eq!(selkow, 1);
+        assert_eq!(zs, 1);
+    }
+
+    #[test]
+    fn leaf_subtree_insertion() {
+        let (selkow, zs) = both("a(b)", "a(b c)");
+        assert_eq!(selkow, 1);
+        assert_eq!(zs, 1);
+    }
+
+    #[test]
+    fn inner_deletions_cost_whole_subtrees() {
+        // ZS can delete the inner b and splice; Selkow must delete/insert
+        // whole subtrees, paying more.
+        let (selkow, zs) = both("a(b(c d))", "a(c d)");
+        assert_eq!(zs, 1);
+        assert!(selkow > zs, "selkow {selkow} vs zs {zs}");
+    }
+
+    #[test]
+    fn upper_bounds_zhang_shasha() {
+        let cases = [
+            ("a(b(c(d)) b e)", "a(c(d) b e)"),
+            ("a(b c)", "x(y z)"),
+            ("a", "a(b(c(d)))"),
+            ("a(b(c(d)))", "a(b c d)"),
+            ("f(d(a c(b)) e)", "f(c(d(a b)) e)"),
+            ("a(b c d e)", "a(e d c b)"),
+        ];
+        for (x, y) in cases {
+            let (selkow, zs) = both(x, y);
+            assert!(selkow >= zs, "selkow {selkow} < zs {zs} on {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn symmetric_under_unit_costs() {
+        for (x, y) in [("a(b(c))", "a(b c)"), ("a(b c)", "d(e)")] {
+            let (xy, _) = both(x, y);
+            let (yx, _) = both(y, x);
+            assert_eq!(xy, yx);
+        }
+    }
+
+    #[test]
+    fn completely_different_trees() {
+        // Roots always map (relabel); everything else is subtree churn.
+        let (selkow, _) = both("a(b b)", "z");
+        assert_eq!(selkow, 3); // relabel root + delete 2 leaf subtrees
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the Zhang–Shasha implementation: agreement with an
+//! independent oracle, metric axioms and edit-sequence upper bounds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treesim_datagen::mutate::apply_random_ops;
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_edit::constrained::constrained_distance;
+use treesim_edit::naive::naive_edit_distance;
+use treesim_edit::selkow::selkow_distance;
+use treesim_edit::{edit_distance, UnitCost};
+use treesim_tree::{Forest, LabelId, Tree};
+
+/// Generates a small random forest deterministically from a seed.
+fn small_forest(seed: u64, size_mean: f64, labels: u32, count: usize) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(2.0, 1.0),
+        size: Normal::new(size_mean, 2.0),
+        label_count: labels,
+        decay: 0.2,
+        seed_count: 2.min(count),
+        tree_count: count,
+        rng_seed: seed,
+    })
+}
+
+fn forest_labels(forest: &Forest) -> Vec<LabelId> {
+    forest
+        .interner()
+        .iter()
+        .map(|(id, _)| id)
+        .filter(|id| !id.is_epsilon())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zhang–Shasha agrees with the direct forest-recurrence oracle.
+    #[test]
+    fn zs_matches_naive_oracle(seed in 0u64..10_000) {
+        let forest = small_forest(seed, 7.0, 4, 2);
+        let t1 = forest.tree(treesim_tree::TreeId(0));
+        let t2 = forest.tree(treesim_tree::TreeId(1));
+        let zs = edit_distance(t1, t2);
+        let oracle = naive_edit_distance(t1, t2, &UnitCost);
+        prop_assert_eq!(zs, oracle);
+    }
+
+    /// Applying k edit operations never yields distance above k.
+    #[test]
+    fn k_ops_bound_distance(seed in 0u64..10_000, k in 0usize..8) {
+        let forest = small_forest(seed, 12.0, 6, 1);
+        let t1 = forest.tree(treesim_tree::TreeId(0));
+        let labels = forest_labels(&forest);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(k as u64));
+        let (t2, ops) = apply_random_ops(t1, k, &labels, &mut rng);
+        let d = edit_distance(t1, &t2);
+        prop_assert!(d <= ops.len() as u64, "distance {d} > {} ops", ops.len());
+    }
+
+    /// d(x, x) = 0 and symmetry.
+    #[test]
+    fn metric_axioms(seed in 0u64..10_000) {
+        let forest = small_forest(seed, 9.0, 5, 2);
+        let t1 = forest.tree(treesim_tree::TreeId(0));
+        let t2 = forest.tree(treesim_tree::TreeId(1));
+        prop_assert_eq!(edit_distance(t1, t1), 0);
+        prop_assert_eq!(edit_distance(t1, t2), edit_distance(t2, t1));
+    }
+
+    /// Triangle inequality on random triples.
+    #[test]
+    fn triangle_inequality(seed in 0u64..10_000) {
+        let forest = small_forest(seed, 7.0, 4, 3);
+        let t: Vec<&Tree> = forest.trees().iter().collect();
+        let d01 = edit_distance(t[0], t[1]);
+        let d12 = edit_distance(t[1], t[2]);
+        let d02 = edit_distance(t[0], t[2]);
+        prop_assert!(d02 <= d01 + d12);
+    }
+
+    /// O(1) bounds sandwich the true distance.
+    #[test]
+    fn cheap_bounds_hold(seed in 0u64..10_000) {
+        let forest = small_forest(seed, 10.0, 4, 2);
+        let t1 = forest.tree(treesim_tree::TreeId(0));
+        let t2 = forest.tree(treesim_tree::TreeId(1));
+        let d = edit_distance(t1, t2);
+        prop_assert!(treesim_edit::bounds::combined_lower_bound(t1, t2) <= d);
+        prop_assert!(treesim_edit::bounds::trivial_upper_bound(t1, t2) >= d);
+    }
+
+    /// Mapping-class hierarchy: general ⊇ constrained ⊇ top-down, so the
+    /// distances order the other way around.
+    #[test]
+    fn distance_hierarchy(seed in 0u64..10_000) {
+        let forest = small_forest(seed, 8.0, 4, 2);
+        let t1 = forest.tree(treesim_tree::TreeId(0));
+        let t2 = forest.tree(treesim_tree::TreeId(1));
+        let zs = edit_distance(t1, t2);
+        let constrained = constrained_distance(t1, t2);
+        let selkow = selkow_distance(t1, t2);
+        prop_assert!(zs <= constrained, "zs {zs} > constrained {constrained}");
+        prop_assert!(constrained <= selkow, "constrained {constrained} > selkow {selkow}");
+        // All are bounded by delete-all + insert-all.
+        prop_assert!(selkow <= (t1.len() + t2.len()) as u64);
+    }
+
+    /// The recovered mapping's cost is always the exact distance and its
+    /// operation counts decompose it.
+    #[test]
+    fn mapping_cost_decomposes(seed in 0u64..10_000) {
+        let forest = small_forest(seed, 8.0, 4, 2);
+        let t1 = forest.tree(treesim_tree::TreeId(0));
+        let t2 = forest.tree(treesim_tree::TreeId(1));
+        let mapping = treesim_edit::edit_mapping(t1, t2, &UnitCost);
+        prop_assert_eq!(mapping.cost, edit_distance(t1, t2));
+        let relabels = mapping.relabel_count(t1, t2) as u64;
+        prop_assert_eq!(
+            mapping.cost,
+            relabels + mapping.deleted.len() as u64 + mapping.inserted.len() as u64
+        );
+    }
+
+    /// Derived edit scripts transform T1 into exactly T2 using exactly
+    /// EDist operations — the full pipeline (DP → mapping → script → apply)
+    /// is internally consistent.
+    #[test]
+    fn scripts_reproduce_target(seed in 0u64..10_000) {
+        let forest = small_forest(seed, 9.0, 4, 2);
+        let t1 = forest.tree(treesim_tree::TreeId(0));
+        let t2 = forest.tree(treesim_tree::TreeId(1));
+        let applied = treesim_edit::diff(t1, t2, &UnitCost);
+        prop_assert_eq!(&applied.result, t2);
+        prop_assert_eq!(applied.ops.len() as u64, edit_distance(t1, t2));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests: the histogram lower bounds never exceed the true edit
+//! distance on random tree pairs and random edit sequences.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treesim_datagen::mutate::apply_random_ops;
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_edit::edit_distance;
+use treesim_histogram::HistogramVector;
+use treesim_tree::{Forest, LabelId, TreeId};
+
+fn small_forest(seed: u64, count: usize) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(2.5, 1.0),
+        size: Normal::new(10.0, 3.0),
+        label_count: 5,
+        decay: 0.25,
+        seed_count: 2.min(count),
+        tree_count: count,
+        rng_seed: seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn histogram_bound_is_a_lower_bound(seed in 0u64..100_000) {
+        let forest = small_forest(seed, 2);
+        let t1 = forest.tree(TreeId(0));
+        let t2 = forest.tree(TreeId(1));
+        let edist = edit_distance(t1, t2);
+        let v1 = HistogramVector::build(t1);
+        let v2 = HistogramVector::build(t2);
+        prop_assert!(v1.lower_bound(&v2) <= edist);
+    }
+
+    #[test]
+    fn k_ops_bound_each_histogram(seed in 0u64..100_000, k in 0usize..6) {
+        let forest = small_forest(seed, 1);
+        let t1 = forest.tree(TreeId(0));
+        let labels: Vec<LabelId> = forest
+            .interner()
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|id| !id.is_epsilon())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let (t2, ops) = apply_random_ops(t1, k, &labels, &mut rng);
+        let k_applied = ops.len() as u64;
+        let v1 = HistogramVector::build(t1);
+        let v2 = HistogramVector::build(&t2);
+        prop_assert!(v1.labels.l1(&v2.labels) <= 2 * k_applied);
+        prop_assert!(v1.degrees.l1(&v2.degrees) <= 3 * k_applied);
+        prop_assert!(v1.height_lower_bound(&v2) <= k_applied);
+        prop_assert!(v1.size_lower_bound(&v2) <= k_applied);
+    }
+
+    #[test]
+    fn bounds_are_symmetric(seed in 0u64..100_000) {
+        let forest = small_forest(seed, 2);
+        let v1 = HistogramVector::build(forest.tree(TreeId(0)));
+        let v2 = HistogramVector::build(forest.tree(TreeId(1)));
+        prop_assert_eq!(v1.lower_bound(&v2), v2.lower_bound(&v1));
+    }
+}

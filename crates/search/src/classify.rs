@@ -1,0 +1,164 @@
+//! k-NN classification over tree-structured data — another §1 motivation
+//! (e.g., predicting the function of an RNA molecule from structurally
+//! similar molecules of known function).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use treesim_tree::Tree;
+
+use crate::engine::SearchEngine;
+use crate::filter::Filter;
+use crate::stats::SearchStats;
+
+/// A k-NN classifier: each training tree carries a class label; queries are
+/// classified by majority vote among their k nearest trees (ties broken by
+/// total distance, then by first occurrence).
+pub struct KnnClassifier<'a, F: Filter, C> {
+    engine: SearchEngine<'a, F>,
+    classes: Vec<C>,
+}
+
+impl<'a, F: Filter, C: Clone + Eq + Hash> KnnClassifier<'a, F, C> {
+    /// Wraps an engine whose forest's trees are labeled by `classes`
+    /// (indexed by tree id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes.len()` differs from the dataset size.
+    pub fn new(engine: SearchEngine<'a, F>, classes: Vec<C>) -> Self {
+        assert_eq!(
+            classes.len(),
+            engine.forest().len(),
+            "one class per training tree"
+        );
+        KnnClassifier { engine, classes }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &SearchEngine<'a, F> {
+        &self.engine
+    }
+
+    /// Classifies `query` by majority vote among its `k` nearest trees.
+    ///
+    /// Returns `None` only for `k == 0` or an empty training set.
+    pub fn classify(&self, query: &Tree, k: usize) -> (Option<C>, SearchStats) {
+        let (neighbors, stats) = self.engine.knn(query, k);
+        if neighbors.is_empty() {
+            return (None, stats);
+        }
+        // votes: class -> (count, total distance, first index)
+        let mut votes: HashMap<&C, (usize, u64, usize)> = HashMap::new();
+        for (index, neighbor) in neighbors.iter().enumerate() {
+            let class = &self.classes[neighbor.tree.index()];
+            let entry = votes.entry(class).or_insert((0, 0, index));
+            entry.0 += 1;
+            entry.1 += neighbor.distance;
+        }
+        let winner = votes
+            .into_iter()
+            .min_by(|a, b| {
+                // Most votes first; then smallest total distance; then the
+                // class of the nearest neighbor.
+                (std::cmp::Reverse(a.1 .0), a.1 .1, a.1 .2)
+                    .cmp(&(std::cmp::Reverse(b.1 .0), b.1 .1, b.1 .2))
+            })
+            .map(|(class, _)| class.clone());
+        (winner, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{BiBranchFilter, BiBranchMode};
+    use treesim_tree::Forest;
+
+    fn training() -> (Forest, Vec<&'static str>) {
+        let mut forest = Forest::new();
+        let data = [
+            ("a(b(c d) e)", "wide"),
+            ("a(b(c d) f)", "wide"),
+            ("a(b(c e) e)", "wide"),
+            ("a(b(c(d(e))))", "deep"),
+            ("a(b(c(d(f))))", "deep"),
+            ("a(c(b(d(e))))", "deep"),
+        ];
+        let mut classes = Vec::new();
+        for (spec, class) in data {
+            forest.parse_bracket(spec).unwrap();
+            classes.push(class);
+        }
+        (forest, classes)
+    }
+
+    #[test]
+    fn classifies_by_structure() {
+        let (forest, classes) = training();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let classifier = KnnClassifier::new(engine, classes);
+
+        let mut query_forest = forest.clone();
+        let wide_query = {
+            let mut interner = query_forest.interner().clone();
+            let t = treesim_tree::parse::bracket::parse(&mut interner, "a(b(c d) g)").unwrap();
+            *query_forest.interner_mut() = interner;
+            t
+        };
+        let (class, stats) = classifier.classify(&wide_query, 3);
+        assert_eq!(class, Some("wide"));
+        assert!(stats.refined <= 6);
+
+        let deep_query = {
+            let mut interner = query_forest.interner().clone();
+            let t =
+                treesim_tree::parse::bracket::parse(&mut interner, "a(b(c(d(g))))").unwrap();
+            *query_forest.interner_mut() = interner;
+            t
+        };
+        let (class, _) = classifier.classify(&deep_query, 3);
+        assert_eq!(class, Some("deep"));
+    }
+
+    #[test]
+    fn k_zero_yields_none() {
+        let (forest, classes) = training();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let classifier = KnnClassifier::new(engine, classes);
+        let query = classifier.engine().forest().tree(treesim_tree::TreeId(0));
+        assert_eq!(classifier.classify(query, 0).0, None);
+    }
+
+    #[test]
+    fn tie_breaks_toward_smaller_total_distance() {
+        let (forest, classes) = training();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let classifier = KnnClassifier::new(engine, classes);
+        // k = 6 sees 3 of each class; the query is a training member of
+        // "wide", so the wide votes carry less total distance.
+        let query = forest.tree(treesim_tree::TreeId(0));
+        let (class, _) = classifier.classify(query, 6);
+        assert_eq!(class, Some("wide"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one class per training tree")]
+    fn wrong_class_count_panics() {
+        let (forest, _) = training();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let _ = KnnClassifier::new(engine, vec!["x"]);
+    }
+}

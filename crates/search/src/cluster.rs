@@ -1,0 +1,196 @@
+//! Threshold clustering: connected components of the τ-neighborhood graph
+//! (single-linkage clustering cut at distance τ) — the clustering
+//! application of §1, driven entirely by filtered range queries.
+
+use treesim_tree::TreeId;
+
+use crate::engine::SearchEngine;
+use crate::filter::Filter;
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Clusters as sorted tree-id lists; clusters ordered by smallest
+    /// member.
+    pub clusters: Vec<Vec<TreeId>>,
+    /// Cluster index per tree (indexed by tree id).
+    pub assignment: Vec<usize>,
+    /// Total edit-distance refinements performed by the range queries.
+    pub refinements: usize,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters (empty dataset).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Cluster id of a tree.
+    pub fn cluster_of(&self, tree: TreeId) -> usize {
+        self.assignment[tree.index()]
+    }
+}
+
+/// Groups the engine's dataset into connected components under
+/// `EDist ≤ tau`, flood-filling with range queries.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_search::{threshold_clusters, BiBranchFilter, BiBranchMode, SearchEngine};
+/// use treesim_tree::Forest;
+///
+/// let mut forest = Forest::new();
+/// forest.parse_bracket("a(b c)").unwrap();
+/// forest.parse_bracket("a(b d)").unwrap();
+/// forest.parse_bracket("x(y(z(w)))").unwrap();
+///
+/// let engine = SearchEngine::new(
+///     &forest,
+///     BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+/// );
+/// let clustering = threshold_clusters(&engine, 1);
+/// assert_eq!(clustering.len(), 2); // {0, 1} and {2}
+/// ```
+pub fn threshold_clusters<F: Filter>(engine: &SearchEngine<'_, F>, tau: u32) -> Clustering {
+    let n = engine.forest().len();
+    let mut assignment = vec![usize::MAX; n];
+    let mut clusters: Vec<Vec<TreeId>> = Vec::new();
+    let mut refinements = 0usize;
+
+    for start in 0..n {
+        if assignment[start] != usize::MAX {
+            continue;
+        }
+        let cluster_id = clusters.len();
+        clusters.push(Vec::new());
+        assignment[start] = cluster_id;
+        let mut frontier = vec![TreeId(start as u32)];
+        while let Some(member) = frontier.pop() {
+            clusters[cluster_id].push(member);
+            let (hits, stats) = engine.range(engine.forest().tree(member), tau);
+            refinements += stats.refined;
+            for hit in hits {
+                if assignment[hit.tree.index()] == usize::MAX {
+                    assignment[hit.tree.index()] = cluster_id;
+                    frontier.push(hit.tree);
+                }
+            }
+        }
+        clusters[cluster_id].sort_unstable();
+    }
+    Clustering {
+        clusters,
+        assignment,
+        refinements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{BiBranchFilter, BiBranchMode, NoFilter};
+    use treesim_edit::edit_distance;
+    use treesim_tree::Forest;
+
+    fn forest() -> Forest {
+        let mut forest = Forest::new();
+        for spec in [
+            // Family 1: near-identical wide trees.
+            "a(b c d)",
+            "a(b c e)",
+            "a(b c d f)",
+            // Family 2: deep chains, far from family 1.
+            "x(y(z(w(v))))",
+            "x(y(z(w(u))))",
+            // A singleton.
+            "q(r r r r r r r r)",
+        ] {
+            forest.parse_bracket(spec).unwrap();
+        }
+        forest
+    }
+
+    #[test]
+    fn clusters_are_connected_components() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let clustering = threshold_clusters(&engine, 2);
+        assert_eq!(clustering.len(), 3);
+        assert!(!clustering.is_empty());
+        assert_eq!(clustering.clusters[0], vec![TreeId(0), TreeId(1), TreeId(2)]);
+        assert_eq!(clustering.clusters[1], vec![TreeId(3), TreeId(4)]);
+        assert_eq!(clustering.clusters[2], vec![TreeId(5)]);
+        assert_eq!(clustering.cluster_of(TreeId(4)), 1);
+    }
+
+    #[test]
+    fn filter_choice_does_not_change_clusters() {
+        let forest = forest();
+        let filtered = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let unfiltered = SearchEngine::new(&forest, NoFilter::build(&forest));
+        let a = threshold_clusters(&filtered, 3);
+        let b = threshold_clusters(&unfiltered, 3);
+        assert_eq!(a.clusters, b.clusters);
+        assert!(a.refinements <= b.refinements);
+    }
+
+    #[test]
+    fn tau_zero_groups_exact_duplicates_only() {
+        let mut forest = forest();
+        forest.parse_bracket("a(b c d)").unwrap(); // duplicate of tree 0
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let clustering = threshold_clusters(&engine, 0);
+        assert_eq!(clustering.len(), forest.len() - 1);
+        assert_eq!(
+            clustering.cluster_of(TreeId(0)),
+            clustering.cluster_of(TreeId(6))
+        );
+    }
+
+    #[test]
+    fn huge_tau_gives_one_cluster() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let clustering = threshold_clusters(&engine, 1000);
+        assert_eq!(clustering.len(), 1);
+        assert_eq!(clustering.clusters[0].len(), forest.len());
+    }
+
+    #[test]
+    fn components_are_genuinely_disconnected() {
+        // Every cross-cluster pair must exceed τ… transitively: verify no
+        // direct edge between different clusters.
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let tau = 2u32;
+        let clustering = threshold_clusters(&engine, tau);
+        for (i, t1) in forest.iter() {
+            for (j, t2) in forest.iter() {
+                if clustering.cluster_of(i) != clustering.cluster_of(j) {
+                    assert!(edit_distance(t1, t2) > u64::from(tau));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! A mutable, self-contained index: trees can be appended over time and
+//! queried immediately — the shape a production ingest pipeline needs,
+//! complementing the immutable [`crate::SearchEngine`] (build once, query
+//! many).
+//!
+//! Appending a tree costs one branch extraction (`O(|T|)`) plus the
+//! Zhang–Shasha precomputation; queries are identical in results to an
+//! engine rebuilt from scratch (tested).
+
+use std::collections::BinaryHeap;
+
+use treesim_core::{BranchVocab, PositionalVector};
+use treesim_edit::{zhang_shasha, TreeInfo, UnitCost, ZsWorkspace};
+use treesim_tree::{Forest, LabelInterner, Tree, TreeId};
+
+use crate::engine::Neighbor;
+use crate::stats::SearchStats;
+
+/// An appendable similarity index over rooted, ordered, labeled trees.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_search::DynamicIndex;
+///
+/// let mut index = DynamicIndex::new(2);
+/// index.push_bracket("a(b c)").unwrap();
+/// index.push_bracket("a(b d)").unwrap();
+///
+/// let query = index.forest().tree(treesim_tree::TreeId(0));
+/// let (hits, _) = index.knn(query, 2);
+/// assert_eq!(hits[0].distance, 0);
+/// assert_eq!(hits[1].distance, 1);
+/// ```
+pub struct DynamicIndex {
+    forest: Forest,
+    vocab: BranchVocab,
+    vectors: Vec<PositionalVector>,
+    infos: Vec<TreeInfo>,
+}
+
+impl DynamicIndex {
+    /// Creates an empty index with q-level binary branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2`.
+    pub fn new(q: usize) -> Self {
+        DynamicIndex {
+            forest: Forest::new(),
+            vocab: BranchVocab::new(q),
+            vectors: Vec::new(),
+            infos: Vec::new(),
+        }
+    }
+
+    /// Bulk-loads an existing forest.
+    pub fn from_forest(forest: Forest, q: usize) -> Self {
+        let mut index = DynamicIndex::new(q);
+        let (interner, trees) = {
+            let mut trees = Vec::with_capacity(forest.len());
+            for (_, tree) in forest.iter() {
+                trees.push(tree.clone());
+            }
+            (forest.interner().clone(), trees)
+        };
+        *index.forest.interner_mut() = interner;
+        for tree in trees {
+            index.push(tree);
+        }
+        index
+    }
+
+    /// Number of indexed trees.
+    pub fn len(&self) -> usize {
+        self.forest.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forest.is_empty()
+    }
+
+    /// The underlying dataset.
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// The shared label interner (intern query labels through this).
+    pub fn interner_mut(&mut self) -> &mut LabelInterner {
+        self.forest.interner_mut()
+    }
+
+    /// Appends a tree (labels must come from this index's interner) and
+    /// returns its id. The tree is immediately searchable.
+    pub fn push(&mut self, tree: Tree) -> TreeId {
+        self.vectors
+            .push(PositionalVector::build(&tree, &mut self.vocab));
+        self.infos.push(TreeInfo::new(&tree));
+        self.forest.push(tree)
+    }
+
+    /// Parses and appends a bracket-notation tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parser errors.
+    pub fn push_bracket(&mut self, spec: &str) -> Result<TreeId, treesim_tree::ParseError> {
+        let tree = {
+            let mut interner = self.forest.interner().clone();
+            let tree = treesim_tree::parse::bracket::parse(&mut interner, spec)?;
+            *self.forest.interner_mut() = interner;
+            tree
+        };
+        Ok(self.push(tree))
+    }
+
+    fn query_vector(&self, query: &Tree) -> PositionalVector {
+        let mut query_vocab = treesim_core::QueryVocab::new(&self.vocab);
+        PositionalVector::build_query(query, &mut query_vocab)
+    }
+
+    /// k-nearest neighbors of `query` (same semantics as
+    /// [`crate::SearchEngine::knn`]).
+    pub fn knn(&self, query: &Tree, k: usize) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats {
+            dataset_size: self.len(),
+            ..Default::default()
+        };
+        if k == 0 || self.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let query_vector = self.query_vector(query);
+        let mut bounds: Vec<(u64, u32)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (query_vector.optimistic_bound(v), i as u32))
+            .collect();
+        bounds.sort_unstable();
+
+        let query_info = TreeInfo::new(query);
+        let mut workspace = ZsWorkspace::new();
+        let mut heap: BinaryHeap<(u64, u32)> = BinaryHeap::with_capacity(k + 1);
+        for &(bound, raw) in &bounds {
+            if heap.len() == k {
+                let &(worst, _) = heap.peek().expect("heap full");
+                if bound > worst {
+                    break;
+                }
+            }
+            let distance = zhang_shasha(
+                &query_info,
+                &self.infos[raw as usize],
+                &UnitCost,
+                &mut workspace,
+            );
+            stats.refined += 1;
+            heap.push((distance, raw));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut results: Vec<Neighbor> = heap
+            .into_iter()
+            .map(|(distance, raw)| Neighbor {
+                tree: TreeId(raw),
+                distance,
+            })
+            .collect();
+        results.sort_unstable_by_key(|n| (n.distance, n.tree));
+        stats.results = results.len();
+        (results, stats)
+    }
+
+    /// Range query (same semantics as [`crate::SearchEngine::range`]).
+    pub fn range(&self, query: &Tree, tau: u32) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats {
+            dataset_size: self.len(),
+            ..Default::default()
+        };
+        let query_vector = self.query_vector(query);
+        let query_info = TreeInfo::new(query);
+        let mut workspace = ZsWorkspace::new();
+        let mut results = Vec::new();
+        for (raw, vector) in self.vectors.iter().enumerate() {
+            if query_vector.exceeds_range(vector, tau) {
+                continue;
+            }
+            let distance = zhang_shasha(
+                &query_info,
+                &self.infos[raw],
+                &UnitCost,
+                &mut workspace,
+            );
+            stats.refined += 1;
+            if distance <= u64::from(tau) {
+                results.push(Neighbor {
+                    tree: TreeId(raw as u32),
+                    distance,
+                });
+            }
+        }
+        results.sort_unstable_by_key(|n| (n.distance, n.tree));
+        stats.results = results.len();
+        (results, stats)
+    }
+}
+
+impl std::fmt::Debug for DynamicIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicIndex")
+            .field("trees", &self.len())
+            .field("vocab", &self.vocab.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SearchEngine;
+    use crate::filter::{BiBranchFilter, BiBranchMode};
+
+    fn specs() -> Vec<&'static str> {
+        vec![
+            "a(b(c(d)) b e)",
+            "a(c(d) b e)",
+            "a(b c)",
+            "x(y z)",
+            "a(b(c d e) f)",
+            "q(r(s))",
+        ]
+    }
+
+    #[test]
+    fn matches_static_engine_after_incremental_loads() {
+        let mut dynamic = DynamicIndex::new(2);
+        let mut forest = Forest::new();
+        for spec in specs() {
+            dynamic.push_bracket(spec).unwrap();
+            forest.parse_bracket(spec).unwrap();
+
+            // After EVERY insert, results must match a from-scratch engine.
+            let engine = SearchEngine::new(
+                &forest,
+                BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+            );
+            for (_, query) in forest.iter() {
+                let (a, _) = dynamic.knn(query, 3);
+                let (b, _) = engine.knn(query, 3);
+                let av: Vec<u64> = a.iter().map(|n| n.distance).collect();
+                let bv: Vec<u64> = b.iter().map(|n| n.distance).collect();
+                assert_eq!(av, bv);
+                for tau in [0u32, 1, 3] {
+                    let (ra, _) = dynamic.range(query, tau);
+                    let (rb, _) = engine.range(query, tau);
+                    assert_eq!(
+                        ra.iter().map(|n| (n.tree, n.distance)).collect::<Vec<_>>(),
+                        rb.iter().map(|n| (n.tree, n.distance)).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+        assert_eq!(dynamic.len(), specs().len());
+        assert!(!dynamic.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental() {
+        let mut forest = Forest::new();
+        for spec in specs() {
+            forest.parse_bracket(spec).unwrap();
+        }
+        let bulk = DynamicIndex::from_forest(forest.clone(), 2);
+        let mut incremental = DynamicIndex::new(2);
+        for spec in specs() {
+            incremental.push_bracket(spec).unwrap();
+        }
+        let query = forest.tree(TreeId(0));
+        let a: Vec<u64> = bulk.knn(query, 4).0.iter().map(|n| n.distance).collect();
+        let b: Vec<u64> = incremental
+            .knn(query, 4)
+            .0
+            .iter()
+            .map(|n| n.distance)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let index = DynamicIndex::new(2);
+        let mut probe = DynamicIndex::new(2);
+        let id = probe.push_bracket("a").unwrap();
+        let query = probe.forest().tree(id);
+        let (hits, stats) = index.knn(query, 3);
+        assert!(hits.is_empty());
+        assert_eq!(stats.dataset_size, 0);
+        let (hits, _) = index.range(query, 5);
+        assert!(hits.is_empty());
+        assert!(format!("{index:?}").contains("DynamicIndex"));
+    }
+
+    #[test]
+    fn queries_see_new_data_immediately() {
+        let mut index = DynamicIndex::new(2);
+        index.push_bracket("a(b c)").unwrap();
+        let query = {
+            let mut interner = index.forest().interner().clone();
+            let t = treesim_tree::parse::bracket::parse(&mut interner, "a(b c d)").unwrap();
+            *index.interner_mut() = interner;
+            t
+        };
+        let (hits, _) = index.knn(&query, 1);
+        assert_eq!(hits[0].distance, 1);
+        index.push_bracket("a(b c d)").unwrap();
+        let (hits, _) = index.knn(&query, 1);
+        assert_eq!(hits[0].distance, 0);
+    }
+}

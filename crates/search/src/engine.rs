@@ -1,0 +1,412 @@
+//! The filter-and-refine similarity search engine (Algorithm 2 and §4.3).
+//!
+//! * **k-NN** follows the optimal multi-step strategy of Seidl & Kriegel
+//!   \[13\], which the paper adopts: compute the lower bound to every tree,
+//!   process candidates in ascending bound order, refine with the real
+//!   Zhang–Shasha distance, and stop as soon as the next lower bound
+//!   exceeds the current k-th distance — completeness is guaranteed by the
+//!   lower-bound property.
+//! * **Range queries** refine exactly the candidates the filter cannot
+//!   prune at radius `τ`.
+//!
+//! Per-tree Zhang–Shasha precomputation ([`TreeInfo`]) is cached at engine
+//! construction, and one scratch workspace is reused across refinements.
+
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use treesim_edit::{zhang_shasha, CostModel, TreeInfo, UnitCost, ZsWorkspace};
+use treesim_tree::{Forest, Tree, TreeId};
+
+use crate::filter::Filter;
+use crate::stats::SearchStats;
+
+/// One query answer: a tree and its exact edit distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Neighbor {
+    /// The matching tree.
+    pub tree: TreeId,
+    /// Its unit-cost edit distance to the query.
+    pub distance: u64,
+}
+
+/// A similarity search engine over a fixed dataset with a pluggable filter
+/// and cost model.
+///
+/// Filters produce lower bounds in *operation counts*; under a non-unit
+/// [`CostModel`] the engine scales them by
+/// [`CostModel::min_operation_cost`] (§2.1 of the paper: the approach
+/// extends to general costs given a lower bound on per-operation cost).
+pub struct SearchEngine<'a, F: Filter, C: CostModel = UnitCost> {
+    forest: &'a Forest,
+    filter: F,
+    infos: Vec<TreeInfo>,
+    cost: C,
+}
+
+impl<'a, F: Filter> SearchEngine<'a, F, UnitCost> {
+    /// Builds a unit-cost engine: the filter indexes the dataset and the
+    /// Zhang–Shasha per-tree tables are precomputed.
+    pub fn new(forest: &'a Forest, filter: F) -> Self {
+        Self::with_cost(forest, filter, UnitCost)
+    }
+}
+
+impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
+    /// Builds an engine refining with an arbitrary cost model.
+    pub fn with_cost(forest: &'a Forest, filter: F, cost: C) -> Self {
+        let infos = forest.iter().map(|(_, t)| TreeInfo::new(t)).collect();
+        SearchEngine {
+            forest,
+            filter,
+            infos,
+            cost,
+        }
+    }
+
+    /// Lower bounds count operations; one operation costs at least this.
+    #[inline]
+    fn bound_scale(&self) -> u64 {
+        self.cost.min_operation_cost()
+    }
+
+    /// The underlying dataset.
+    pub fn forest(&self) -> &'a Forest {
+        self.forest
+    }
+
+    /// The filter in use.
+    pub fn filter(&self) -> &F {
+        &self.filter
+    }
+
+    /// Exact edit distance between `query_info` and dataset tree `id`.
+    fn refine(&self, query_info: &TreeInfo, id: TreeId, workspace: &mut ZsWorkspace) -> u64 {
+        zhang_shasha(query_info, &self.infos[id.index()], &self.cost, workspace)
+    }
+
+    /// k-nearest-neighbor query (Algorithm 2). Returns up to `k` neighbors
+    /// in ascending distance order (ties broken by tree id) and the query
+    /// statistics.
+    pub fn knn(&self, query: &Tree, k: usize) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats {
+            dataset_size: self.forest.len(),
+            ..Default::default()
+        };
+        if k == 0 || self.forest.is_empty() {
+            return (Vec::new(), stats);
+        }
+
+        let filter_start = Instant::now();
+        let scale = self.bound_scale();
+        let query_artifact = self.filter.prepare_query(query);
+        let mut bounds: Vec<(u64, TreeId)> = self
+            .forest
+            .iter()
+            .map(|(id, _)| (self.filter.lower_bound(&query_artifact, id) * scale, id))
+            .collect();
+        bounds.sort_unstable();
+        stats.filter_time = filter_start.elapsed();
+
+        let refine_start = Instant::now();
+        let query_info = TreeInfo::new(query);
+        let mut workspace = ZsWorkspace::new();
+        // Max-heap of the k best (distance, tree) pairs seen so far.
+        let mut heap: BinaryHeap<(u64, TreeId)> = BinaryHeap::with_capacity(k + 1);
+        for &(bound, id) in &bounds {
+            if heap.len() == k {
+                let &(worst, _) = heap.peek().expect("heap full");
+                if bound > worst {
+                    break; // no remaining candidate can improve the result
+                }
+            }
+            let distance = self.refine(&query_info, id, &mut workspace);
+            stats.refined += 1;
+            heap.push((distance, id));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        stats.refine_time = refine_start.elapsed();
+
+        let mut results: Vec<Neighbor> = heap
+            .into_iter()
+            .map(|(distance, tree)| Neighbor { tree, distance })
+            .collect();
+        results.sort_unstable_by_key(|n| (n.distance, n.tree));
+        stats.results = results.len();
+        (results, stats)
+    }
+
+    /// Range query: all trees within edit distance `tau` of `query`,
+    /// ascending by distance (ties by tree id).
+    pub fn range(&self, query: &Tree, tau: u32) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats {
+            dataset_size: self.forest.len(),
+            ..Default::default()
+        };
+        let filter_start = Instant::now();
+        let query_artifact = self.filter.prepare_query(query);
+        // Filters prune in operation counts: EDist_cost ≥ ops · scale, so a
+        // candidate is safe to drop when ops > ⌊tau / scale⌋.
+        let ops_tau = u32::try_from(u64::from(tau) / self.bound_scale()).unwrap_or(u32::MAX);
+        let candidates: Vec<TreeId> = self
+            .forest
+            .iter()
+            .filter(|&(id, _)| !self.filter.prunes_range(&query_artifact, id, ops_tau))
+            .map(|(id, _)| id)
+            .collect();
+        stats.filter_time = filter_start.elapsed();
+
+        let refine_start = Instant::now();
+        let query_info = TreeInfo::new(query);
+        let mut workspace = ZsWorkspace::new();
+        let mut results = Vec::new();
+        for id in candidates {
+            let distance = self.refine(&query_info, id, &mut workspace);
+            stats.refined += 1;
+            if distance <= u64::from(tau) {
+                results.push(Neighbor { tree: id, distance });
+            }
+        }
+        stats.refine_time = refine_start.elapsed();
+        results.sort_unstable_by_key(|n| (n.distance, n.tree));
+        stats.results = results.len();
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{BiBranchFilter, BiBranchMode, HistogramFilter, NoFilter};
+    use treesim_edit::edit_distance;
+
+    fn forest() -> Forest {
+        let mut forest = Forest::new();
+        for spec in [
+            "a(b(c(d)) b e)",
+            "a(c(d) b e)",
+            "a(b c)",
+            "x(y z)",
+            "a(b(c d e) f)",
+            "a(b(c(d)) b e f)",
+            "q(r(s))",
+        ] {
+            forest.parse_bracket(spec).unwrap();
+        }
+        forest
+    }
+
+    fn sequential_knn(forest: &Forest, query: &Tree, k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = forest
+            .iter()
+            .map(|(tree, t)| Neighbor {
+                tree,
+                distance: edit_distance(query, t),
+            })
+            .collect();
+        all.sort_unstable_by_key(|n| (n.distance, n.tree));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_sequential_scan() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        for (_, query) in forest.iter() {
+            for k in 1..=forest.len() {
+                let (got, stats) = engine.knn(query, k);
+                let expected = sequential_knn(&forest, query, k);
+                let got_dists: Vec<u64> = got.iter().map(|n| n.distance).collect();
+                let expected_dists: Vec<u64> = expected.iter().map(|n| n.distance).collect();
+                assert_eq!(got_dists, expected_dists, "k={k}");
+                assert!(stats.refined <= forest.len());
+                assert_eq!(stats.results, k.min(forest.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn knn_self_query_returns_self_first() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let (results, _) = engine.knn(forest.tree(TreeId(0)), 1);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].distance, 0);
+        assert_eq!(results[0].tree, TreeId(0));
+    }
+
+    #[test]
+    fn range_matches_sequential_scan() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        for (_, query) in forest.iter() {
+            for tau in 0..=6u32 {
+                let (got, stats) = engine.range(query, tau);
+                let mut expected: Vec<Neighbor> = forest
+                    .iter()
+                    .map(|(tree, t)| Neighbor {
+                        tree,
+                        distance: edit_distance(query, t),
+                    })
+                    .filter(|n| n.distance <= u64::from(tau))
+                    .collect();
+                expected.sort_unstable_by_key(|n| (n.distance, n.tree));
+                assert_eq!(got.len(), expected.len(), "τ={tau}");
+                for (a, b) in got.iter().zip(&expected) {
+                    assert_eq!(a.tree, b.tree);
+                    assert_eq!(a.distance, b.distance);
+                }
+                assert!(stats.refined >= stats.results);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_engine_is_also_complete() {
+        let forest = forest();
+        let engine = SearchEngine::new(&forest, HistogramFilter::build(&forest));
+        let query = forest.tree(TreeId(1));
+        let (got, _) = engine.knn(query, 3);
+        let expected = sequential_knn(&forest, query, 3);
+        let got_dists: Vec<u64> = got.iter().map(|n| n.distance).collect();
+        let expected_dists: Vec<u64> = expected.iter().map(|n| n.distance).collect();
+        assert_eq!(got_dists, expected_dists);
+    }
+
+    #[test]
+    fn no_filter_refines_everything_for_range() {
+        let forest = forest();
+        let engine = SearchEngine::new(&forest, NoFilter::build(&forest));
+        let (_, stats) = engine.range(forest.tree(TreeId(0)), 2);
+        assert_eq!(stats.refined, forest.len());
+        assert!((stats.accessed_percent() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bibranch_filters_more_than_nothing() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let (_, stats) = engine.range(forest.tree(TreeId(6)), 1);
+        // q(r(s)) is far from everything except itself; the filter should
+        // prune most of the dataset.
+        assert!(stats.refined < forest.len(), "filter pruned nothing");
+        assert_eq!(stats.results, 1);
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let (results, stats) = engine.knn(forest.tree(TreeId(0)), 0);
+        assert!(results.is_empty());
+        assert_eq!(stats.refined, 0);
+        let (results, _) = engine.knn(forest.tree(TreeId(0)), 100);
+        assert_eq!(results.len(), forest.len());
+    }
+
+    #[test]
+    fn range_zero_finds_exact_duplicates() {
+        let mut forest = forest();
+        forest.parse_bracket("a(b c)").unwrap(); // duplicate of tree 2
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let (results, _) = engine.range(forest.tree(TreeId(2)), 0);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|n| n.distance == 0));
+    }
+
+    #[test]
+    fn external_query_not_in_dataset() {
+        let mut forest = forest();
+        // Build a query sharing the interner but not inserted as data.
+        let query = {
+            let interner = forest.interner_mut();
+            let mut i2 = interner.clone();
+            let t = treesim_tree::parse::bracket::parse(&mut i2, "a(b(c(d)) z)").unwrap();
+            *interner = i2;
+            t
+        };
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let (got, _) = engine.knn(&query, 3);
+        let expected = sequential_knn(&forest, &query, 3);
+        let got_dists: Vec<u64> = got.iter().map(|n| n.distance).collect();
+        let expected_dists: Vec<u64> = expected.iter().map(|n| n.distance).collect();
+        assert_eq!(got_dists, expected_dists);
+    }
+
+    #[test]
+    fn weighted_cost_engine_matches_weighted_scan() {
+        use treesim_edit::{edit_distance_with, WeightedCost};
+        let forest = forest();
+        let weighted = WeightedCost {
+            relabel: 3,
+            delete: 2,
+            insert: 2,
+        };
+        let engine = SearchEngine::with_cost(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+            weighted,
+        );
+        for (_, query) in forest.iter() {
+            // Ground truth under the weighted model.
+            let mut truth: Vec<(u64, TreeId)> = forest
+                .iter()
+                .map(|(id, t)| (edit_distance_with(query, t, &weighted), id))
+                .collect();
+            truth.sort_unstable();
+
+            let (got, _) = engine.knn(query, 3);
+            let got_d: Vec<u64> = got.iter().map(|n| n.distance).collect();
+            let want_d: Vec<u64> = truth.iter().take(3).map(|&(d, _)| d).collect();
+            assert_eq!(got_d, want_d);
+
+            for tau in [0u32, 2, 4, 8, 12] {
+                let (range_hits, _) = engine.range(query, tau);
+                let expected = truth.iter().filter(|&&(d, _)| d <= u64::from(tau)).count();
+                assert_eq!(range_hits.len(), expected, "τ={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_engine_still_prunes() {
+        use treesim_edit::WeightedCost;
+        let forest = forest();
+        let weighted = WeightedCost {
+            relabel: 2,
+            delete: 2,
+            insert: 2,
+        };
+        let engine = SearchEngine::with_cost(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+            weighted,
+        );
+        let (_, stats) = engine.range(forest.tree(TreeId(6)), 2);
+        assert!(stats.refined < forest.len(), "filter pruned nothing");
+    }
+}

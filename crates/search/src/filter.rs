@@ -1,0 +1,388 @@
+//! Lower-bound filters pluggable into the filter-and-refine engine.
+//!
+//! A [`Filter`] precomputes per-tree artifacts at indexing time and, given a
+//! query, produces a lower bound of the edit distance to any dataset tree.
+//! Correctness contract: `lower_bound(query, t) ≤ EDist(query, t)` — the
+//! engine's completeness (no false negatives) rests on it.
+
+use treesim_core::{BranchVocab, InvertedFileIndex, PositionalVector, QueryVocab};
+use treesim_histogram::{BinBudget, HistogramVector};
+use treesim_tree::{Forest, Tree, TreeId};
+
+/// A lower-bound filter over an indexed dataset.
+pub trait Filter {
+    /// Per-query artifact (typically the query's vector under the dataset
+    /// vocabulary).
+    type Query;
+
+    /// Human-readable name for reports ("BiBranch", "Histo", …).
+    fn name(&self) -> &'static str;
+
+    /// Vectorizes a query tree.
+    fn prepare_query(&self, query: &Tree) -> Self::Query;
+
+    /// A lower bound on `EDist(query, candidate)`.
+    fn lower_bound(&self, query: &Self::Query, candidate: TreeId) -> u64;
+
+    /// Range-query pruning: `true` only if `EDist(query, candidate) > tau`
+    /// is certain. The default tests the generic lower bound; filters with
+    /// sharper range predicates (Proposition 4.2) override this.
+    fn prunes_range(&self, query: &Self::Query, candidate: TreeId, tau: u32) -> bool {
+        self.lower_bound(query, candidate) > u64::from(tau)
+    }
+}
+
+/// How the binary branch filter derives its bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BiBranchMode {
+    /// `⌈BDist/(4(q−1)+1)⌉` — counts only (§3).
+    Plain,
+    /// The positional optimistic bound `propt` of §4.2 (tighter, slightly
+    /// more expensive).
+    #[default]
+    Positional,
+}
+
+/// The paper's filter: binary branch vectors with optional positional
+/// tightening.
+#[derive(Debug)]
+pub struct BiBranchFilter {
+    vocab: BranchVocab,
+    vectors: Vec<PositionalVector>,
+    mode: BiBranchMode,
+}
+
+impl BiBranchFilter {
+    /// Indexes `forest` with q-level branches via the inverted file index
+    /// (Algorithm 1).
+    pub fn build(forest: &Forest, q: usize, mode: BiBranchMode) -> Self {
+        let index = InvertedFileIndex::build(forest, q);
+        let vectors = index.positional_vectors();
+        BiBranchFilter {
+            vocab: index.vocab().clone(),
+            vectors,
+            mode,
+        }
+    }
+
+    /// Builds from an existing inverted file index.
+    pub fn from_index(index: &InvertedFileIndex, mode: BiBranchMode) -> Self {
+        BiBranchFilter {
+            vocab: index.vocab().clone(),
+            vectors: index.positional_vectors(),
+            mode,
+        }
+    }
+
+    /// The branch level `q`.
+    pub fn q(&self) -> usize {
+        self.vocab.q()
+    }
+
+    /// The dataset vector of `tree` (for inspection / experiments).
+    pub fn vector(&self, tree: TreeId) -> &PositionalVector {
+        &self.vectors[tree.index()]
+    }
+}
+
+impl Filter for BiBranchFilter {
+    type Query = PositionalVector;
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            BiBranchMode::Plain => "BiBranch(plain)",
+            BiBranchMode::Positional => "BiBranch",
+        }
+    }
+
+    fn prepare_query(&self, query: &Tree) -> PositionalVector {
+        let mut query_vocab = QueryVocab::new(&self.vocab);
+        PositionalVector::build_query(query, &mut query_vocab)
+    }
+
+    fn lower_bound(&self, query: &PositionalVector, candidate: TreeId) -> u64 {
+        let data = &self.vectors[candidate.index()];
+        match self.mode {
+            BiBranchMode::Plain => treesim_core::edit_lower_bound(query.bdist(data), self.q()),
+            BiBranchMode::Positional => query.optimistic_bound(data),
+        }
+    }
+
+    fn prunes_range(&self, query: &PositionalVector, candidate: TreeId, tau: u32) -> bool {
+        let data = &self.vectors[candidate.index()];
+        match self.mode {
+            BiBranchMode::Plain => {
+                treesim_core::edit_lower_bound(query.bdist(data), self.q()) > u64::from(tau)
+            }
+            BiBranchMode::Positional => query.exceeds_range(data, tau),
+        }
+    }
+}
+
+/// The baseline histogram filter (Kailing et al., reference \[7\]).
+#[derive(Debug)]
+pub struct HistogramFilter {
+    vectors: Vec<HistogramVector>,
+    budget: BinBudget,
+}
+
+impl HistogramFilter {
+    /// Builds the histograms under the paper's space-matching rule: the
+    /// total histogram dimensionality per tree equals the average binary
+    /// branch vector size plus twice the average tree size (§5). On small
+    /// label universes this is effectively exact; on label-rich data it
+    /// blurs the label histogram, as in the paper's evaluation.
+    pub fn build(forest: &Forest) -> Self {
+        let stats = forest.stats();
+        // Average number of nonzero branch-vector dimensions per tree.
+        let mut vocab = treesim_core::BranchVocab::new(2);
+        let total_dims: usize = forest
+            .iter()
+            .map(|(_, t)| treesim_core::BranchVector::build(t, &mut vocab).nonzero_dims())
+            .sum();
+        let avg_dims = total_dims as f64 / forest.len().max(1) as f64;
+        let budget = BinBudget::paper_matched(avg_dims, stats.avg_size);
+        Self::build_with_budget(forest, budget)
+    }
+
+    /// Builds exact (unbucketed) histograms.
+    pub fn build_exact(forest: &Forest) -> Self {
+        Self::build_with_budget(forest, BinBudget::UNLIMITED)
+    }
+
+    /// Builds histograms under an explicit bin budget.
+    pub fn build_with_budget(forest: &Forest, budget: BinBudget) -> Self {
+        HistogramFilter {
+            vectors: forest
+                .iter()
+                .map(|(_, tree)| HistogramVector::build_bucketed(tree, budget))
+                .collect(),
+            budget,
+        }
+    }
+
+    /// The bin budget in effect.
+    pub fn budget(&self) -> BinBudget {
+        self.budget
+    }
+
+    /// The dataset histogram vector of `tree`.
+    pub fn vector(&self, tree: TreeId) -> &HistogramVector {
+        &self.vectors[tree.index()]
+    }
+}
+
+impl Filter for HistogramFilter {
+    type Query = HistogramVector;
+
+    fn name(&self) -> &'static str {
+        "Histo"
+    }
+
+    fn prepare_query(&self, query: &Tree) -> HistogramVector {
+        HistogramVector::build_bucketed(query, self.budget)
+    }
+
+    fn lower_bound(&self, query: &HistogramVector, candidate: TreeId) -> u64 {
+        query.lower_bound(&self.vectors[candidate.index()])
+    }
+}
+
+/// The no-op filter: a lower bound of 0 everywhere, turning the engine into
+/// the sequential-scan baseline.
+#[derive(Debug, Default)]
+pub struct NoFilter {
+    size: usize,
+}
+
+impl NoFilter {
+    /// Creates a no-op filter for a dataset of `forest.len()` trees.
+    pub fn build(forest: &Forest) -> Self {
+        NoFilter { size: forest.len() }
+    }
+
+    /// Number of trees covered.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+}
+
+impl Filter for NoFilter {
+    type Query = ();
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn prepare_query(&self, _query: &Tree) {}
+
+    fn lower_bound(&self, _query: &(), _candidate: TreeId) -> u64 {
+        0
+    }
+}
+
+/// Combines two filters by taking the larger lower bound — used for
+/// ablations (e.g., BiBranch + Histogram stacking).
+#[derive(Debug)]
+pub struct MaxFilter<A, B> {
+    /// First component.
+    pub first: A,
+    /// Second component.
+    pub second: B,
+}
+
+impl<A: Filter, B: Filter> Filter for MaxFilter<A, B> {
+    type Query = (A::Query, B::Query);
+
+    fn name(&self) -> &'static str {
+        "Max"
+    }
+
+    fn prepare_query(&self, query: &Tree) -> Self::Query {
+        (
+            self.first.prepare_query(query),
+            self.second.prepare_query(query),
+        )
+    }
+
+    fn lower_bound(&self, query: &Self::Query, candidate: TreeId) -> u64 {
+        self.first
+            .lower_bound(&query.0, candidate)
+            .max(self.second.lower_bound(&query.1, candidate))
+    }
+
+    fn prunes_range(&self, query: &Self::Query, candidate: TreeId, tau: u32) -> bool {
+        self.first.prunes_range(&query.0, candidate, tau)
+            || self.second.prunes_range(&query.1, candidate, tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesim_edit::edit_distance;
+
+    fn forest() -> Forest {
+        let mut forest = Forest::new();
+        for spec in [
+            "a(b(c(d)) b e)",
+            "a(c(d) b e)",
+            "a(b c)",
+            "x(y z)",
+            "a(b(c d e) f)",
+        ] {
+            forest.parse_bracket(spec).unwrap();
+        }
+        forest
+    }
+
+    fn check_filter<F: Filter>(filter: &F, forest: &Forest) {
+        for (_, query_tree) in forest.iter() {
+            let query = filter.prepare_query(query_tree);
+            for (id, data_tree) in forest.iter() {
+                let edist = edit_distance(query_tree, data_tree);
+                let bound = filter.lower_bound(&query, id);
+                assert!(
+                    bound <= edist,
+                    "{}: bound {bound} > EDist {edist}",
+                    filter.name()
+                );
+                for tau in 0..=4u32 {
+                    if filter.prunes_range(&query, id, tau) {
+                        assert!(edist > u64::from(tau), "{} pruned a result", filter.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bibranch_positional_is_sound() {
+        let forest = forest();
+        let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+        assert_eq!(filter.name(), "BiBranch");
+        assert_eq!(filter.q(), 2);
+        check_filter(&filter, &forest);
+    }
+
+    #[test]
+    fn bibranch_plain_is_sound() {
+        let forest = forest();
+        let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Plain);
+        assert_eq!(filter.name(), "BiBranch(plain)");
+        check_filter(&filter, &forest);
+    }
+
+    #[test]
+    fn bibranch_q3_is_sound() {
+        let forest = forest();
+        let filter = BiBranchFilter::build(&forest, 3, BiBranchMode::Positional);
+        check_filter(&filter, &forest);
+    }
+
+    #[test]
+    fn histogram_filter_is_sound() {
+        let forest = forest();
+        let filter = HistogramFilter::build(&forest);
+        assert_eq!(filter.name(), "Histo");
+        check_filter(&filter, &forest);
+    }
+
+    #[test]
+    fn no_filter_never_prunes() {
+        let forest = forest();
+        let filter = NoFilter::build(&forest);
+        assert_eq!(filter.len(), 5);
+        assert!(!filter.is_empty());
+        filter.prepare_query(forest.tree(TreeId(0)));
+        let query = ();
+        for (id, _) in forest.iter() {
+            assert_eq!(filter.lower_bound(&query, id), 0);
+            assert!(!filter.prunes_range(&query, id, 0));
+        }
+    }
+
+    #[test]
+    fn max_filter_dominates_components() {
+        let forest = forest();
+        let combined = MaxFilter {
+            first: BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+            second: HistogramFilter::build(&forest),
+        };
+        check_filter(&combined, &forest);
+        let query_tree = forest.tree(TreeId(0));
+        let query = combined.prepare_query(query_tree);
+        for (id, _) in forest.iter() {
+            let bound = combined.lower_bound(&query, id);
+            assert!(bound >= combined.first.lower_bound(&query.0, id));
+            assert!(bound >= combined.second.lower_bound(&query.1, id));
+        }
+    }
+
+    #[test]
+    fn positional_at_least_as_tight_as_plain() {
+        let forest = forest();
+        let positional = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+        let plain = BiBranchFilter::build(&forest, 2, BiBranchMode::Plain);
+        let query_tree = forest.tree(TreeId(3));
+        let pq = positional.prepare_query(query_tree);
+        let sq = plain.prepare_query(query_tree);
+        for (id, _) in forest.iter() {
+            assert!(positional.lower_bound(&pq, id) >= plain.lower_bound(&sq, id));
+        }
+    }
+
+    #[test]
+    fn filter_vector_accessors() {
+        let forest = forest();
+        let bibranch = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+        assert_eq!(bibranch.vector(TreeId(0)).tree_size(), 6);
+        let histogram = HistogramFilter::build(&forest);
+        assert_eq!(histogram.vector(TreeId(0)).size, 6);
+    }
+}

@@ -1,0 +1,346 @@
+//! Approximate similarity join — one of the operations the paper's
+//! introduction motivates (approximate join, data cleansing, integration).
+//!
+//! A τ-join reports every pair of trees within edit distance τ. The
+//! filter-and-refine strategy applies per pair: the O(1) size bound, then
+//! the filter's lower bound (Proposition 4.2 pruning for the binary branch
+//! filter), and only then the Zhang–Shasha refinement.
+
+use treesim_edit::{zhang_shasha, TreeInfo, UnitCost, ZsWorkspace};
+use treesim_tree::{Forest, TreeId};
+
+use crate::filter::Filter;
+
+/// One join result: a pair of trees within the join radius.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinPair {
+    /// The pair (for self-joins, `left < right`).
+    pub left: TreeId,
+    /// Right partner.
+    pub right: TreeId,
+    /// Exact edit distance (≤ τ).
+    pub distance: u64,
+}
+
+/// Counters describing the join's filtering effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Candidate pairs considered (after the trivial size pre-filter).
+    pub pairs_considered: usize,
+    /// Pairs surviving the filter (exact distances computed).
+    pub pairs_refined: usize,
+    /// Pairs in the result.
+    pub pairs_joined: usize,
+}
+
+impl JoinStats {
+    /// Fraction of considered pairs that needed refinement.
+    pub fn refine_fraction(&self) -> f64 {
+        if self.pairs_considered == 0 {
+            0.0
+        } else {
+            self.pairs_refined as f64 / self.pairs_considered as f64
+        }
+    }
+}
+
+/// Similarity self-join: all unordered pairs `{i, j}` with
+/// `EDist(Ti, Tj) ≤ tau`, reported with `left < right`.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_search::{similarity_self_join, BiBranchFilter, BiBranchMode};
+/// use treesim_tree::Forest;
+///
+/// let mut forest = Forest::new();
+/// forest.parse_bracket("a(b c)").unwrap();
+/// forest.parse_bracket("a(b d)").unwrap(); // 1 edit away from the first
+/// forest.parse_bracket("x(y z w)").unwrap();
+///
+/// let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+/// let (pairs, stats) = similarity_self_join(&forest, &filter, 1);
+/// assert_eq!(pairs.len(), 1);
+/// assert_eq!(pairs[0].distance, 1);
+/// assert!(stats.pairs_refined <= stats.pairs_considered);
+/// ```
+pub fn similarity_self_join<F: Filter>(
+    forest: &Forest,
+    filter: &F,
+    tau: u32,
+) -> (Vec<JoinPair>, JoinStats) {
+    let ids: Vec<TreeId> = forest.iter().map(|(id, _)| id).collect();
+    join_partitions(forest, filter, &ids, None, tau)
+}
+
+/// Similarity join between two id sets over the same forest (e.g., two
+/// sources loaded into one label space for data integration):
+/// all pairs `(l, r)` with `l ∈ left`, `r ∈ right`, `EDist ≤ tau`.
+pub fn similarity_join<F: Filter>(
+    forest: &Forest,
+    filter: &F,
+    left: &[TreeId],
+    right: &[TreeId],
+    tau: u32,
+) -> (Vec<JoinPair>, JoinStats) {
+    join_partitions(forest, filter, left, Some(right), tau)
+}
+
+/// The `k` closest pairs of distinct trees (a top-k self-join): optimal
+/// multi-step over pair lower bounds, refining in ascending-bound order and
+/// stopping once no remaining pair can beat the current k-th distance.
+pub fn closest_pairs<F: Filter>(
+    forest: &Forest,
+    filter: &F,
+    k: usize,
+) -> (Vec<JoinPair>, JoinStats) {
+    let mut stats = JoinStats::default();
+    if k == 0 || forest.len() < 2 {
+        return (Vec::new(), stats);
+    }
+    let ids: Vec<TreeId> = forest.iter().map(|(id, _)| id).collect();
+    // Pair lower bounds (each query artifact prepared once).
+    let mut bounds: Vec<(u64, TreeId, TreeId)> = Vec::new();
+    for (position, &l) in ids.iter().enumerate() {
+        let query = filter.prepare_query(forest.tree(l));
+        for &r in &ids[position + 1..] {
+            bounds.push((filter.lower_bound(&query, r), l, r));
+            stats.pairs_considered += 1;
+        }
+    }
+    bounds.sort_unstable();
+
+    let infos: Vec<TreeInfo> = forest.iter().map(|(_, t)| TreeInfo::new(t)).collect();
+    let mut workspace = ZsWorkspace::new();
+    let mut heap: std::collections::BinaryHeap<(u64, TreeId, TreeId)> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    for &(bound, l, r) in &bounds {
+        if heap.len() == k {
+            let &(worst, _, _) = heap.peek().expect("heap full");
+            if bound > worst {
+                break;
+            }
+        }
+        let distance = zhang_shasha(
+            &infos[l.index()],
+            &infos[r.index()],
+            &UnitCost,
+            &mut workspace,
+        );
+        stats.pairs_refined += 1;
+        heap.push((distance, l, r));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut results: Vec<JoinPair> = heap
+        .into_iter()
+        .map(|(distance, left, right)| JoinPair {
+            left,
+            right,
+            distance,
+        })
+        .collect();
+    results.sort_unstable_by_key(|p| (p.distance, p.left, p.right));
+    stats.pairs_joined = results.len();
+    (results, stats)
+}
+
+fn join_partitions<F: Filter>(
+    forest: &Forest,
+    filter: &F,
+    left: &[TreeId],
+    right: Option<&[TreeId]>,
+    tau: u32,
+) -> (Vec<JoinPair>, JoinStats) {
+    let infos: Vec<TreeInfo> = forest.iter().map(|(_, t)| TreeInfo::new(t)).collect();
+    let sizes: Vec<u64> = forest.iter().map(|(_, t)| t.len() as u64).collect();
+    let mut workspace = ZsWorkspace::new();
+    let mut stats = JoinStats::default();
+    let mut results = Vec::new();
+
+    for (position, &l) in left.iter().enumerate() {
+        let query = filter.prepare_query(forest.tree(l));
+        // Self-join: only partners after `l` in the id list; cross-join:
+        // the whole right side.
+        let partners: &[TreeId] = match right {
+            Some(r) => r,
+            None => &left[position + 1..],
+        };
+        for &r in partners {
+            if r == l {
+                continue;
+            }
+            // Trivial size pre-filter (EDist ≥ | |T1|−|T2| |).
+            if sizes[l.index()].abs_diff(sizes[r.index()]) > u64::from(tau) {
+                continue;
+            }
+            stats.pairs_considered += 1;
+            if filter.prunes_range(&query, r, tau) {
+                continue;
+            }
+            stats.pairs_refined += 1;
+            let distance = zhang_shasha(
+                &infos[l.index()],
+                &infos[r.index()],
+                &UnitCost,
+                &mut workspace,
+            );
+            if distance <= u64::from(tau) {
+                stats.pairs_joined += 1;
+                let (a, b) = if right.is_none() && r < l { (r, l) } else { (l, r) };
+                results.push(JoinPair {
+                    left: a,
+                    right: b,
+                    distance,
+                });
+            }
+        }
+    }
+    results.sort_unstable_by_key(|p| (p.left, p.right));
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{BiBranchFilter, BiBranchMode, HistogramFilter, NoFilter};
+    use treesim_edit::edit_distance;
+
+    fn forest() -> Forest {
+        let mut forest = Forest::new();
+        for spec in [
+            "a(b(c(d)) b e)",
+            "a(c(d) b e)",
+            "a(b(c(d)) b e)", // duplicate of 0
+            "x(y z)",
+            "a(b c)",
+            "a(b(c(d)) b e f)",
+        ] {
+            forest.parse_bracket(spec).unwrap();
+        }
+        forest
+    }
+
+    fn brute_force_pairs(forest: &Forest, tau: u32) -> Vec<(TreeId, TreeId, u64)> {
+        let mut out = Vec::new();
+        for (i, t1) in forest.iter() {
+            for (j, t2) in forest.iter() {
+                if j <= i {
+                    continue;
+                }
+                let d = edit_distance(t1, t2);
+                if d <= u64::from(tau) {
+                    out.push((i, j, d));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn self_join_matches_brute_force() {
+        let forest = forest();
+        let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+        for tau in [0u32, 1, 2, 4] {
+            let (pairs, stats) = similarity_self_join(&forest, &filter, tau);
+            let expected = brute_force_pairs(&forest, tau);
+            let got: Vec<(TreeId, TreeId, u64)> =
+                pairs.iter().map(|p| (p.left, p.right, p.distance)).collect();
+            assert_eq!(got, expected, "τ={tau}");
+            assert_eq!(stats.pairs_joined, expected.len());
+            assert!(stats.pairs_refined <= stats.pairs_considered);
+        }
+    }
+
+    #[test]
+    fn zero_tau_finds_duplicates() {
+        let forest = forest();
+        let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+        let (pairs, _) = similarity_self_join(&forest, &filter, 0);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].left, pairs[0].right), (TreeId(0), TreeId(2)));
+    }
+
+    #[test]
+    fn filter_reduces_refinements() {
+        let forest = forest();
+        let bibranch = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+        let none = NoFilter::build(&forest);
+        let (_, with_filter) = similarity_self_join(&forest, &bibranch, 1);
+        let (_, without) = similarity_self_join(&forest, &none, 1);
+        assert!(with_filter.pairs_refined < without.pairs_refined);
+        assert_eq!(with_filter.pairs_joined, without.pairs_joined);
+        assert!(with_filter.refine_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn cross_join_partitions() {
+        let forest = forest();
+        let filter = HistogramFilter::build(&forest);
+        let left = [TreeId(0), TreeId(1)];
+        let right = [TreeId(2), TreeId(3), TreeId(5)];
+        let (pairs, _) = similarity_join(&forest, &filter, &left, &right, 2);
+        // Verify against direct computation.
+        for pair in &pairs {
+            assert!(left.contains(&pair.left));
+            assert!(right.contains(&pair.right));
+            assert_eq!(
+                pair.distance,
+                edit_distance(forest.tree(pair.left), forest.tree(pair.right))
+            );
+            assert!(pair.distance <= 2);
+        }
+        // (0,2) duplicate pair at distance 0, (1,2)? EDist(1,2)=1, (0,5) d=1, (1,5) d=2.
+        assert!(pairs
+            .iter()
+            .any(|p| p.left == TreeId(0) && p.right == TreeId(2) && p.distance == 0));
+        assert!(pairs
+            .iter()
+            .any(|p| p.left == TreeId(0) && p.right == TreeId(5) && p.distance == 1));
+    }
+
+    #[test]
+    fn empty_partitions() {
+        let forest = forest();
+        let filter = NoFilter::build(&forest);
+        let (pairs, stats) = similarity_join(&forest, &filter, &[], &[TreeId(0)], 3);
+        assert!(pairs.is_empty());
+        assert_eq!(stats.pairs_considered, 0);
+        assert_eq!(stats.refine_fraction(), 0.0);
+    }
+
+    #[test]
+    fn closest_pairs_match_brute_force() {
+        let forest = forest();
+        let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+        // Brute-force all pair distances.
+        let mut all: Vec<(u64, TreeId, TreeId)> = Vec::new();
+        for (i, t1) in forest.iter() {
+            for (j, t2) in forest.iter() {
+                if j > i {
+                    all.push((edit_distance(t1, t2), i, j));
+                }
+            }
+        }
+        all.sort_unstable();
+        for k in [1usize, 3, 5, all.len()] {
+            let (pairs, stats) = closest_pairs(&forest, &filter, k);
+            let got: Vec<u64> = pairs.iter().map(|p| p.distance).collect();
+            let want: Vec<u64> = all.iter().take(k).map(|&(d, _, _)| d).collect();
+            assert_eq!(got, want, "k={k}");
+            assert!(stats.pairs_refined <= stats.pairs_considered);
+        }
+    }
+
+    #[test]
+    fn closest_pairs_edge_cases() {
+        let forest = forest();
+        let filter = NoFilter::build(&forest);
+        assert!(closest_pairs(&forest, &filter, 0).0.is_empty());
+        let mut tiny = Forest::new();
+        tiny.parse_bracket("a").unwrap();
+        let tiny_filter = NoFilter::build(&tiny);
+        assert!(closest_pairs(&tiny, &tiny_filter, 3).0.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-query statistics — the quantities reported in the paper's figures.
+
+use std::time::Duration;
+
+/// Measurements collected while answering one similarity query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of trees in the dataset.
+    pub dataset_size: usize,
+    /// Trees whose real edit distance was computed (true + false positives —
+    /// the "% of accessed data" numerator of Figures 7–14).
+    pub refined: usize,
+    /// Trees in the final result set (true positives).
+    pub results: usize,
+    /// Time spent computing lower bounds.
+    pub filter_time: Duration,
+    /// Time spent computing real edit distances.
+    pub refine_time: Duration,
+}
+
+impl SearchStats {
+    /// The paper's headline metric:
+    /// `(|TruePositive| + |FalsePositive|) / |Dataset| × 100 %`.
+    pub fn accessed_percent(&self) -> f64 {
+        if self.dataset_size == 0 {
+            return 0.0;
+        }
+        self.refined as f64 / self.dataset_size as f64 * 100.0
+    }
+
+    /// Fraction of the result set within the accessed data (selectivity).
+    pub fn result_percent(&self) -> f64 {
+        if self.dataset_size == 0 {
+            return 0.0;
+        }
+        self.results as f64 / self.dataset_size as f64 * 100.0
+    }
+
+    /// Total query time.
+    pub fn total_time(&self) -> Duration {
+        self.filter_time + self.refine_time
+    }
+
+    /// Accumulates another query's stats (for workload averages).
+    pub fn accumulate(&mut self, other: &SearchStats) {
+        self.dataset_size = other.dataset_size;
+        self.refined += other.refined;
+        self.results += other.results;
+        self.filter_time += other.filter_time;
+        self.refine_time += other.refine_time;
+    }
+
+    /// Divides accumulated counters by the number of queries.
+    pub fn averaged(&self, queries: usize) -> AveragedStats {
+        let q = queries.max(1) as f64;
+        AveragedStats {
+            queries,
+            dataset_size: self.dataset_size,
+            avg_refined: self.refined as f64 / q,
+            avg_results: self.results as f64 / q,
+            avg_accessed_percent: self.accessed_percent() / q,
+            avg_result_percent: self.result_percent() / q,
+            avg_filter_time: self.filter_time.div_f64(q),
+            avg_refine_time: self.refine_time.div_f64(q),
+        }
+    }
+}
+
+/// Workload-averaged statistics (the paper averages over 100 queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragedStats {
+    /// Number of queries averaged over.
+    pub queries: usize,
+    /// Dataset size.
+    pub dataset_size: usize,
+    /// Mean number of refined (accessed) trees per query.
+    pub avg_refined: f64,
+    /// Mean result-set size per query.
+    pub avg_results: f64,
+    /// Mean accessed-data percentage per query.
+    pub avg_accessed_percent: f64,
+    /// Mean result percentage per query.
+    pub avg_result_percent: f64,
+    /// Mean filtering time per query.
+    pub avg_filter_time: Duration,
+    /// Mean refinement time per query.
+    pub avg_refine_time: Duration,
+}
+
+impl AveragedStats {
+    /// Mean total time per query.
+    pub fn avg_total_time(&self) -> Duration {
+        self.avg_filter_time + self.avg_refine_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessed_percent_basic() {
+        let stats = SearchStats {
+            dataset_size: 200,
+            refined: 10,
+            results: 5,
+            ..Default::default()
+        };
+        assert!((stats.accessed_percent() - 5.0).abs() < 1e-12);
+        assert!((stats.result_percent() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_is_zero_percent() {
+        let stats = SearchStats::default();
+        assert_eq!(stats.accessed_percent(), 0.0);
+        assert_eq!(stats.result_percent(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_and_average() {
+        let mut total = SearchStats::default();
+        for refined in [10, 20] {
+            total.accumulate(&SearchStats {
+                dataset_size: 100,
+                refined,
+                results: 5,
+                filter_time: Duration::from_millis(2),
+                refine_time: Duration::from_millis(8),
+            });
+        }
+        assert_eq!(total.refined, 30);
+        let averaged = total.averaged(2);
+        assert!((averaged.avg_refined - 15.0).abs() < 1e-12);
+        assert!((averaged.avg_accessed_percent - 15.0).abs() < 1e-12);
+        assert_eq!(averaged.avg_total_time(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,183 @@
+//! Approximate tree pattern matching: find the subtrees of a large
+//! document within edit distance τ of a pattern — the paper's "XML data
+//! searching under the presence of spelling errors" scenario, applied
+//! inside one document instead of across a dataset.
+//!
+//! Every document node anchors a candidate subtree; the size bound and the
+//! positional binary branch bound prune candidates before any Zhang–Shasha
+//! refinement.
+
+use treesim_core::{BranchVocab, PositionalVector};
+use treesim_edit::{zhang_shasha, TreeInfo, UnitCost, ZsWorkspace};
+use treesim_tree::{NodeId, Tree};
+
+/// One pattern match: a document node whose subtree is within τ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubtreeMatch {
+    /// Root of the matching subtree in the document.
+    pub node: NodeId,
+    /// Exact edit distance between that subtree and the pattern.
+    pub distance: u64,
+}
+
+/// Filtering counters for a subtree search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubtreeStats {
+    /// Document nodes passing the size pre-filter.
+    pub candidates: usize,
+    /// Candidates surviving the branch filter (refined exactly).
+    pub refined: usize,
+    /// Matches returned.
+    pub matches: usize,
+}
+
+/// Finds all document subtrees within edit distance `tau` of `pattern`,
+/// in preorder of their roots. Matches may nest (an ancestor and its
+/// descendant can both match).
+///
+/// # Examples
+///
+/// ```
+/// use treesim_search::subtree_search;
+/// use treesim_tree::{parse::bracket, LabelInterner};
+///
+/// let mut interner = LabelInterner::new();
+/// let document = bracket::parse(&mut interner, "root(sec(p(x y)) sec(p(x z)))").unwrap();
+/// let pattern = bracket::parse(&mut interner, "p(x y)").unwrap();
+/// let (matches, _) = subtree_search(&document, &pattern, 1, 2);
+/// // The exact hit, the 1-edit variant p(x z), and sec(p(x y)) — whose
+/// // root deletion also costs exactly one operation.
+/// assert_eq!(matches.len(), 3);
+/// ```
+pub fn subtree_search(
+    document: &Tree,
+    pattern: &Tree,
+    tau: u32,
+    q: usize,
+) -> (Vec<SubtreeMatch>, SubtreeStats) {
+    let mut stats = SubtreeStats::default();
+    let mut vocab = BranchVocab::new(q);
+    let pattern_vector = PositionalVector::build(pattern, &mut vocab);
+    let pattern_info = TreeInfo::new(pattern);
+    let pattern_size = pattern.len() as i64;
+    let mut workspace = ZsWorkspace::new();
+
+    // Subtree sizes in one bottom-up pass.
+    let mut sizes = vec![0i64; document.arena_len()];
+    for node in document.postorder() {
+        sizes[node.index()] = 1 + document
+            .children(node)
+            .map(|c| sizes[c.index()])
+            .sum::<i64>();
+    }
+
+    let mut matches = Vec::new();
+    for node in document.preorder() {
+        if (sizes[node.index()] - pattern_size).unsigned_abs() > u64::from(tau) {
+            continue;
+        }
+        stats.candidates += 1;
+        let subtree = document.subtree_to_tree(node);
+        let subtree_vector = PositionalVector::build(&subtree, &mut vocab);
+        if pattern_vector.exceeds_range(&subtree_vector, tau) {
+            continue;
+        }
+        stats.refined += 1;
+        let distance = zhang_shasha(
+            &pattern_info,
+            &TreeInfo::new(&subtree),
+            &UnitCost,
+            &mut workspace,
+        );
+        if distance <= u64::from(tau) {
+            stats.matches += 1;
+            matches.push(SubtreeMatch { node, distance });
+        }
+    }
+    (matches, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesim_edit::edit_distance;
+    use treesim_tree::{parse::bracket, LabelInterner};
+
+    fn setup(doc: &str, pattern: &str) -> (Tree, Tree, LabelInterner) {
+        let mut interner = LabelInterner::new();
+        let document = bracket::parse(&mut interner, doc).unwrap();
+        let pattern = bracket::parse(&mut interner, pattern).unwrap();
+        (document, pattern, interner)
+    }
+
+    fn brute_force(document: &Tree, pattern: &Tree, tau: u32) -> Vec<(NodeId, u64)> {
+        document
+            .preorder()
+            .filter_map(|node| {
+                let subtree = document.subtree_to_tree(node);
+                let distance = edit_distance(pattern, &subtree);
+                (distance <= u64::from(tau)).then_some((node, distance))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_occurrences_found() {
+        let (document, pattern, _) = setup(
+            "root(sec(p(x y)) sec(p(x y) p(x z)) p(x y))",
+            "p(x y)",
+        );
+        let (matches, stats) = subtree_search(&document, &pattern, 0, 2);
+        assert_eq!(matches.len(), 3);
+        assert!(matches.iter().all(|m| m.distance == 0));
+        assert_eq!(stats.matches, 3);
+        assert!(stats.refined >= 3);
+    }
+
+    #[test]
+    fn approximate_matches_against_brute_force() {
+        let (document, pattern, _) = setup(
+            "root(a(b c d) a(b c) x(y(b c d) a(b d)) a(b c d e))",
+            "a(b c d)",
+        );
+        for tau in 0..=3u32 {
+            let (matches, _) = subtree_search(&document, &pattern, tau, 2);
+            let expected = brute_force(&document, &pattern, tau);
+            let got: Vec<(NodeId, u64)> = matches.iter().map(|m| (m.node, m.distance)).collect();
+            assert_eq!(got, expected, "τ={tau}");
+        }
+    }
+
+    #[test]
+    fn filter_prunes_most_candidates() {
+        // A long document with one near-match.
+        let mut doc = String::from("root(");
+        for i in 0..40 {
+            doc.push_str(&format!("s{i}(q r) "));
+        }
+        doc.push_str("target(b c d))");
+        let (document, pattern, _) = setup(&doc, "target(b c)");
+        let (matches, stats) = subtree_search(&document, &pattern, 1, 2);
+        assert_eq!(matches.len(), 1);
+        assert!(
+            stats.refined < stats.candidates,
+            "branch filter refined everything: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn nested_matches_are_all_reported() {
+        let (document, pattern, _) = setup("a(a(a))", "a(a)");
+        let (matches, _) = subtree_search(&document, &pattern, 1, 2);
+        // a(a(a)) at τ=1, a(a) exact, a at τ=1.
+        assert_eq!(matches.len(), 3);
+    }
+
+    #[test]
+    fn no_matches_when_tau_too_small() {
+        let (document, pattern, _) = setup("x(y z)", "completely(different shape here)");
+        let (matches, stats) = subtree_search(&document, &pattern, 1, 2);
+        assert!(matches.is_empty());
+        assert_eq!(stats.matches, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: filter-and-refine answers are exactly the sequential
+//! scan's answers (completeness + correctness), for every filter.
+
+use proptest::prelude::*;
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_edit::edit_distance;
+use treesim_search::{
+    BiBranchFilter, BiBranchMode, Filter, HistogramFilter, MaxFilter, SearchEngine,
+};
+use treesim_tree::{Forest, TreeId};
+
+fn random_forest(seed: u64, count: usize) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(2.5, 1.0),
+        size: Normal::new(9.0, 3.0),
+        label_count: 4,
+        decay: 0.3,
+        seed_count: 3.min(count),
+        tree_count: count,
+        rng_seed: seed,
+    })
+}
+
+fn check_engine<F: Filter>(forest: &Forest, filter: F, seed: u64) -> Result<(), TestCaseError> {
+    let engine = SearchEngine::new(forest, filter);
+    let query_id = TreeId((seed % forest.len() as u64) as u32);
+    let query = forest.tree(query_id);
+
+    // Ground truth by brute force.
+    let mut truth: Vec<(u64, TreeId)> = forest
+        .iter()
+        .map(|(id, t)| (edit_distance(query, t), id))
+        .collect();
+    truth.sort_unstable();
+
+    // k-NN distances agree for several k.
+    for k in [1, 3, forest.len()] {
+        let (got, stats) = engine.knn(query, k);
+        let got_d: Vec<u64> = got.iter().map(|n| n.distance).collect();
+        let want_d: Vec<u64> = truth.iter().take(k).map(|&(d, _)| d).collect();
+        prop_assert_eq!(got_d, want_d, "knn mismatch at k={}", k);
+        prop_assert!(stats.refined <= forest.len());
+    }
+
+    // Range results agree exactly for several radii.
+    for tau in [0u32, 1, 2, 4, 8] {
+        let (got, _) = engine.range(query, tau);
+        let want: Vec<(u64, TreeId)> = truth
+            .iter()
+            .copied()
+            .filter(|&(d, _)| d <= u64::from(tau))
+            .collect();
+        prop_assert_eq!(got.len(), want.len(), "range size mismatch at tau={}", tau);
+        for (n, &(d, id)) in got.iter().zip(&want) {
+            prop_assert_eq!(n.distance, d);
+            prop_assert_eq!(n.tree, id);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bibranch_positional_engine_is_exact(seed in 0u64..10_000) {
+        let forest = random_forest(seed, 12);
+        check_engine(&forest, BiBranchFilter::build(&forest, 2, BiBranchMode::Positional), seed)?;
+    }
+
+    #[test]
+    fn bibranch_plain_engine_is_exact(seed in 0u64..10_000) {
+        let forest = random_forest(seed, 12);
+        check_engine(&forest, BiBranchFilter::build(&forest, 2, BiBranchMode::Plain), seed)?;
+    }
+
+    #[test]
+    fn bibranch_q3_engine_is_exact(seed in 0u64..10_000) {
+        let forest = random_forest(seed, 10);
+        check_engine(&forest, BiBranchFilter::build(&forest, 3, BiBranchMode::Positional), seed)?;
+    }
+
+    #[test]
+    fn histogram_engine_is_exact(seed in 0u64..10_000) {
+        let forest = random_forest(seed, 12);
+        check_engine(&forest, HistogramFilter::build(&forest), seed)?;
+    }
+
+    #[test]
+    fn stacked_filter_engine_is_exact(seed in 0u64..10_000) {
+        let forest = random_forest(seed, 10);
+        let filter = MaxFilter {
+            first: BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+            second: HistogramFilter::build(&forest),
+        };
+        check_engine(&forest, filter, seed)?;
+    }
+}

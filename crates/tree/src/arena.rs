@@ -1,0 +1,897 @@
+//! Arena-based rooted, ordered, labeled trees.
+//!
+//! A [`Tree`] stores its nodes in a flat arena and encodes structure through
+//! `parent` / `first_child` / `last_child` / `next_sibling` / `prev_sibling`
+//! links, which makes the left-child/right-sibling (binary tree) view of the
+//! paper available without any transformation: the binary left child of a
+//! node is its first child and the binary right child is its next sibling.
+//!
+//! Structural edit operations follow the tree edit model of Zhang & Shasha:
+//!
+//! * **relabel** a node ([`Tree::relabel`]);
+//! * **delete** a non-root node, splicing its children into its place among
+//!   its parent's children ([`Tree::remove_node`]);
+//! * **insert** a node under a parent, adopting a consecutive run of the
+//!   parent's children ([`Tree::insert_above_children`]).
+//!
+//! Deletions leave tombstones in the arena; the link structure never points
+//! at a dead node, so traversals are unaffected. [`Tree::compact`] rebuilds a
+//! dense arena.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TreeError;
+use crate::label::LabelId;
+
+/// Index of a node within its [`Tree`]'s arena.
+///
+/// Node ids are stable under relabeling, insertion and deletion, but not
+/// across [`Tree::compact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw arena index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeData {
+    label: LabelId,
+    parent: u32,
+    first_child: u32,
+    last_child: u32,
+    next_sibling: u32,
+    prev_sibling: u32,
+    alive: bool,
+}
+
+impl NodeData {
+    fn new(label: LabelId) -> Self {
+        NodeData {
+            label,
+            parent: NIL,
+            first_child: NIL,
+            last_child: NIL,
+            next_sibling: NIL,
+            prev_sibling: NIL,
+            alive: true,
+        }
+    }
+}
+
+/// A rooted, ordered, labeled tree.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_tree::{LabelInterner, Tree};
+///
+/// let mut interner = LabelInterner::new();
+/// let a = interner.intern("a");
+/// let b = interner.intern("b");
+/// let c = interner.intern("c");
+///
+/// let mut tree = Tree::new(a);
+/// let root = tree.root();
+/// let nb = tree.add_child(root, b);
+/// tree.add_child(root, c);
+/// tree.add_child(nb, c);
+///
+/// assert_eq!(tree.len(), 4);
+/// assert_eq!(tree.degree(root), 2);
+/// assert_eq!(tree.height(), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<NodeData>,
+    root: u32,
+    live: u32,
+}
+
+impl Tree {
+    /// Creates a single-node tree whose root carries `root_label`.
+    pub fn new(root_label: LabelId) -> Self {
+        Tree {
+            nodes: vec![NodeData::new(root_label)],
+            root: 0,
+            live: 1,
+        }
+    }
+
+    /// Creates a tree with capacity for `capacity` nodes.
+    pub fn with_capacity(root_label: LabelId, capacity: usize) -> Self {
+        let mut nodes = Vec::with_capacity(capacity.max(1));
+        nodes.push(NodeData::new(root_label));
+        Tree {
+            nodes,
+            root: 0,
+            live: 1,
+        }
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(self.root)
+    }
+
+    /// Number of live nodes (`|T|` in the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live as usize
+    }
+
+    /// Whether the tree has exactly one node. Trees are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Size of the underlying arena, including tombstones of deleted nodes.
+    ///
+    /// Useful for sizing per-node side tables indexed by [`NodeId::index`].
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `id` refers to a live node of this tree.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()).is_some_and(|n| n.alive)
+    }
+
+    #[inline]
+    fn node(&self, id: NodeId) -> &NodeData {
+        let data = &self.nodes[id.index()];
+        debug_assert!(data.alive, "access to deleted node {id}");
+        data
+    }
+
+    #[inline]
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
+        let data = &mut self.nodes[id.index()];
+        debug_assert!(data.alive, "access to deleted node {id}");
+        data
+    }
+
+    #[inline]
+    fn opt(raw: u32) -> Option<NodeId> {
+        (raw != NIL).then_some(NodeId(raw))
+    }
+
+    /// Label of `id`.
+    #[inline]
+    pub fn label(&self, id: NodeId) -> LabelId {
+        self.node(id).label
+    }
+
+    /// Parent of `id`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(id).parent)
+    }
+
+    /// First (leftmost) child of `id`.
+    #[inline]
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(id).first_child)
+    }
+
+    /// Last (rightmost) child of `id`.
+    #[inline]
+    pub fn last_child(&self, id: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(id).last_child)
+    }
+
+    /// Next sibling to the right of `id`.
+    #[inline]
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(id).next_sibling)
+    }
+
+    /// Previous sibling to the left of `id`.
+    #[inline]
+    pub fn prev_sibling(&self, id: NodeId) -> Option<NodeId> {
+        Self::opt(self.node(id).prev_sibling)
+    }
+
+    /// Whether `id` has no children.
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.node(id).first_child == NIL
+    }
+
+    /// Number of children of `id` (fanout).
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.children(id).count()
+    }
+
+    /// Iterates over the children of `id` from left to right.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            tree: self,
+            next: self.node(id).first_child,
+        }
+    }
+
+    /// Iterates over `id`'s proper ancestors, nearest first.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            next: self.node(id).parent,
+        }
+    }
+
+    /// Child of `id` at position `index`, if any.
+    pub fn child_at(&self, id: NodeId, index: usize) -> Option<NodeId> {
+        self.children(id).nth(index)
+    }
+
+    /// Position of `id` among its parent's children (0 for the root).
+    pub fn sibling_index(&self, id: NodeId) -> usize {
+        let mut index = 0;
+        let mut current = self.node(id).prev_sibling;
+        while current != NIL {
+            index += 1;
+            current = self.nodes[current as usize].prev_sibling;
+        }
+        index
+    }
+
+    /// Depth of `id`, counting the root as depth 1.
+    pub fn depth(&self, id: NodeId) -> usize {
+        1 + self.ancestors(id).count()
+    }
+
+    /// Height of the subtree rooted at `id`, counting `id` itself
+    /// (a leaf has height 1).
+    pub fn node_height(&self, id: NodeId) -> usize {
+        1 + self
+            .children(id)
+            .map(|c| self.node_height(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Height of the whole tree (a single-node tree has height 1).
+    pub fn height(&self) -> usize {
+        self.node_height(self.root())
+    }
+
+    /// Number of nodes in the subtree rooted at `id`, including `id`.
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        1 + self
+            .children(id)
+            .map(|c| self.subtree_size(c))
+            .sum::<usize>()
+    }
+
+    /// Number of leaves of the whole tree.
+    pub fn leaf_count(&self) -> usize {
+        self.preorder().filter(|&n| self.is_leaf(n)).count()
+    }
+
+    /// Changes the label of `id` (the *relabel* edit operation).
+    pub fn relabel(&mut self, id: NodeId, label: LabelId) {
+        self.node_mut(id).label = label;
+    }
+
+    /// Appends a new node labeled `label` as the last child of `parent`.
+    pub fn add_child(&mut self, parent: NodeId, label: LabelId) -> NodeId {
+        let new_raw = self.alloc(label);
+        let new = NodeId(new_raw);
+        let old_last = self.node(parent).last_child;
+        {
+            let data = &mut self.nodes[new_raw as usize];
+            data.parent = parent.0;
+            data.prev_sibling = old_last;
+        }
+        if old_last == NIL {
+            self.node_mut(parent).first_child = new_raw;
+        } else {
+            self.nodes[old_last as usize].next_sibling = new_raw;
+        }
+        self.node_mut(parent).last_child = new_raw;
+        new
+    }
+
+    /// Inserts a new node labeled `label` as the child of `parent` at
+    /// position `index` (existing children at `index` and later shift right).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::ChildIndexOutOfRange`] if `index` exceeds the
+    /// current number of children.
+    pub fn insert_child_at(
+        &mut self,
+        parent: NodeId,
+        index: usize,
+        label: LabelId,
+    ) -> Result<NodeId, TreeError> {
+        let degree = self.degree(parent);
+        if index > degree {
+            return Err(TreeError::ChildIndexOutOfRange {
+                index,
+                degree,
+                node: parent.0,
+            });
+        }
+        if index == degree {
+            return Ok(self.add_child(parent, label));
+        }
+        let successor = self.child_at(parent, index).expect("index < degree");
+        let new_raw = self.alloc(label);
+        let pred = self.node(successor).prev_sibling;
+        {
+            let data = &mut self.nodes[new_raw as usize];
+            data.parent = parent.0;
+            data.prev_sibling = pred;
+            data.next_sibling = successor.0;
+        }
+        self.node_mut(successor).prev_sibling = new_raw;
+        if pred == NIL {
+            self.node_mut(parent).first_child = new_raw;
+        } else {
+            self.nodes[pred as usize].next_sibling = new_raw;
+        }
+        Ok(NodeId(new_raw))
+    }
+
+    /// The *insert* edit operation: inserts a new node labeled `label` under
+    /// `parent`, adopting the consecutive run of `count` children of `parent`
+    /// starting at child position `start` as the new node's children.
+    ///
+    /// With `count == 0` this inserts a new leaf at position `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::ChildRangeOutOfRange`] if `start + count` exceeds
+    /// the number of children of `parent`.
+    pub fn insert_above_children(
+        &mut self,
+        parent: NodeId,
+        label: LabelId,
+        start: usize,
+        count: usize,
+    ) -> Result<NodeId, TreeError> {
+        let degree = self.degree(parent);
+        if start + count > degree {
+            return Err(TreeError::ChildRangeOutOfRange {
+                start,
+                count,
+                degree,
+                node: parent.0,
+            });
+        }
+        if count == 0 {
+            return self.insert_child_at(parent, start, label);
+        }
+        let first = self.child_at(parent, start).expect("range checked");
+        let last = self.child_at(parent, start + count - 1).expect("range checked");
+        let before = self.node(first).prev_sibling;
+        let after = self.node(last).next_sibling;
+
+        let new_raw = self.alloc(label);
+        {
+            let data = &mut self.nodes[new_raw as usize];
+            data.parent = parent.0;
+            data.prev_sibling = before;
+            data.next_sibling = after;
+            data.first_child = first.0;
+            data.last_child = last.0;
+        }
+        if before == NIL {
+            self.node_mut(parent).first_child = new_raw;
+        } else {
+            self.nodes[before as usize].next_sibling = new_raw;
+        }
+        if after == NIL {
+            self.node_mut(parent).last_child = new_raw;
+        } else {
+            self.nodes[after as usize].prev_sibling = new_raw;
+        }
+        // Reparent the adopted run.
+        self.node_mut(first).prev_sibling = NIL;
+        self.node_mut(last).next_sibling = NIL;
+        let mut cursor = first.0;
+        loop {
+            self.nodes[cursor as usize].parent = new_raw;
+            if cursor == last.0 {
+                break;
+            }
+            cursor = self.nodes[cursor as usize].next_sibling;
+        }
+        Ok(NodeId(new_raw))
+    }
+
+    /// The *delete* edit operation: removes `id`, splicing its children into
+    /// its former position among its parent's children.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::CannotDeleteRoot`] when `id` is the root (the
+    /// Zhang–Shasha edit model never deletes the root of a tree).
+    pub fn remove_node(&mut self, id: NodeId) -> Result<(), TreeError> {
+        if id.0 == self.root {
+            return Err(TreeError::CannotDeleteRoot);
+        }
+        let NodeData {
+            parent,
+            first_child,
+            last_child,
+            next_sibling,
+            prev_sibling,
+            ..
+        } = *self.node(id);
+        debug_assert_ne!(parent, NIL);
+
+        // Reparent children.
+        let mut cursor = first_child;
+        while cursor != NIL {
+            self.nodes[cursor as usize].parent = parent;
+            cursor = self.nodes[cursor as usize].next_sibling;
+        }
+
+        let (splice_head, splice_tail) = if first_child == NIL {
+            (next_sibling, prev_sibling)
+        } else {
+            (first_child, last_child)
+        };
+
+        // Link the left boundary.
+        if prev_sibling == NIL {
+            self.nodes[parent as usize].first_child = splice_head;
+        } else if first_child == NIL {
+            self.nodes[prev_sibling as usize].next_sibling = next_sibling;
+        } else {
+            self.nodes[prev_sibling as usize].next_sibling = first_child;
+            self.nodes[first_child as usize].prev_sibling = prev_sibling;
+        }
+        // Link the right boundary.
+        if next_sibling == NIL {
+            self.nodes[parent as usize].last_child = splice_tail;
+        } else if first_child == NIL {
+            self.nodes[next_sibling as usize].prev_sibling = prev_sibling;
+        } else {
+            self.nodes[last_child as usize].next_sibling = next_sibling;
+            self.nodes[next_sibling as usize].prev_sibling = last_child;
+        }
+        // Fix dangling edges when the node was first/last among its siblings
+        // and had children (handled above), or had no children and no
+        // siblings on one side (heads set to NIL correctly by splice_head).
+        if first_child == NIL && prev_sibling == NIL && next_sibling != NIL {
+            self.nodes[next_sibling as usize].prev_sibling = NIL;
+        }
+        if first_child == NIL && next_sibling == NIL && prev_sibling != NIL {
+            self.nodes[prev_sibling as usize].next_sibling = NIL;
+        }
+        if first_child != NIL && prev_sibling == NIL {
+            self.nodes[first_child as usize].prev_sibling = NIL;
+        }
+        if first_child != NIL && next_sibling == NIL {
+            self.nodes[last_child as usize].next_sibling = NIL;
+        }
+
+        let data = &mut self.nodes[id.index()];
+        data.alive = false;
+        data.parent = NIL;
+        data.first_child = NIL;
+        data.last_child = NIL;
+        data.next_sibling = NIL;
+        data.prev_sibling = NIL;
+        self.live -= 1;
+        Ok(())
+    }
+
+    fn alloc(&mut self, label: LabelId) -> u32 {
+        let raw = u32::try_from(self.nodes.len()).expect("tree too large");
+        self.nodes.push(NodeData::new(label));
+        self.live += 1;
+        raw
+    }
+
+    /// Rebuilds the tree with a dense arena (no tombstones) in preorder node
+    /// layout. Node ids are re-assigned; the returned tree is structurally
+    /// equal to `self`.
+    pub fn compact(&self) -> Tree {
+        let mut out = Tree::with_capacity(self.label(self.root()), self.len());
+        let mut stack: Vec<(NodeId, NodeId)> = self
+            .children(self.root())
+            .map(|c| (c, out.root()))
+            .collect::<Vec<_>>();
+        stack.reverse();
+        while let Some((old, new_parent)) = stack.pop() {
+            let new = out.add_child(new_parent, self.label(old));
+            let mut kids: Vec<_> = self.children(old).map(|c| (c, new)).collect();
+            kids.reverse();
+            stack.extend(kids);
+        }
+        out
+    }
+
+    /// Checks internal link consistency; used by tests and debug assertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::Corrupt`] describing the first inconsistency
+    /// found, if any.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        let corrupt = |what: &str| TreeError::Corrupt(what.to_owned());
+        if !self.nodes[self.root as usize].alive {
+            return Err(corrupt("dead root"));
+        }
+        if self.nodes[self.root as usize].parent != NIL {
+            return Err(corrupt("root has a parent"));
+        }
+        let mut seen = 0usize;
+        let mut stack = vec![NodeId(self.root)];
+        while let Some(id) = stack.pop() {
+            seen += 1;
+            if seen > self.len() {
+                return Err(corrupt("cycle or overcount in child links"));
+            }
+            let data = &self.nodes[id.index()];
+            if !data.alive {
+                return Err(corrupt("link to dead node"));
+            }
+            let mut prev = NIL;
+            let mut cursor = data.first_child;
+            while cursor != NIL {
+                let child = &self.nodes[cursor as usize];
+                if !child.alive {
+                    return Err(corrupt("dead child"));
+                }
+                if child.parent != id.0 {
+                    return Err(corrupt("child parent link mismatch"));
+                }
+                if child.prev_sibling != prev {
+                    return Err(corrupt("prev_sibling link mismatch"));
+                }
+                stack.push(NodeId(cursor));
+                prev = cursor;
+                cursor = child.next_sibling;
+            }
+            if data.last_child != prev {
+                return Err(corrupt("last_child link mismatch"));
+            }
+        }
+        if seen != self.len() {
+            return Err(corrupt("live count mismatch"));
+        }
+        Ok(())
+    }
+}
+
+/// Order-sensitive structural equality on labels and shape.
+impl PartialEq for Tree {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let mut stack = vec![(self.root(), other.root())];
+        while let Some((a, b)) = stack.pop() {
+            if self.label(a) != other.label(b) {
+                return false;
+            }
+            let mut ca = self.children(a);
+            let mut cb = other.children(b);
+            loop {
+                match (ca.next(), cb.next()) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) => stack.push((x, y)),
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Eq for Tree {}
+
+/// Iterator over a node's children, left to right.
+#[derive(Debug, Clone)]
+pub struct Children<'a> {
+    tree: &'a Tree,
+    next: u32,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next == NIL {
+            return None;
+        }
+        let id = NodeId(self.next);
+        self.next = self.tree.nodes[id.index()].next_sibling;
+        Some(id)
+    }
+}
+
+/// Iterator over a node's proper ancestors, nearest first.
+#[derive(Debug, Clone)]
+pub struct Ancestors<'a> {
+    tree: &'a Tree,
+    next: u32,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next == NIL {
+            return None;
+        }
+        let id = NodeId(self.next);
+        self.next = self.tree.nodes[id.index()].parent;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelInterner;
+
+    fn labels(n: usize) -> (LabelInterner, Vec<LabelId>) {
+        let mut interner = LabelInterner::new();
+        let ids = (0..n)
+            .map(|i| interner.intern(&format!("l{i}")))
+            .collect();
+        (interner, ids)
+    }
+
+    /// Builds the paper's example tree T1 from Fig. 1:
+    /// a(b(c(d)) b e) — root a; children b, b, e; first b has child c; c has child d.
+    fn paper_t1() -> (Tree, Vec<LabelId>) {
+        let mut interner = LabelInterner::new();
+        let (a, b, c, d, e) = (
+            interner.intern("a"),
+            interner.intern("b"),
+            interner.intern("c"),
+            interner.intern("d"),
+            interner.intern("e"),
+        );
+        let mut t = Tree::new(a);
+        let root = t.root();
+        let n_b1 = t.add_child(root, b);
+        t.add_child(root, b);
+        t.add_child(root, e);
+        let n_c = t.add_child(n_b1, c);
+        t.add_child(n_c, d);
+        (t, vec![a, b, c, d, e])
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (t, ls) = paper_t1();
+        t.validate().unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.degree(t.root()), 3);
+        let kids: Vec<_> = t.children(t.root()).map(|c| t.label(c)).collect();
+        assert_eq!(kids, vec![ls[1], ls[1], ls[4]]);
+        let b1 = t.first_child(t.root()).unwrap();
+        assert_eq!(t.depth(b1), 2);
+        let c = t.first_child(b1).unwrap();
+        let d = t.first_child(c).unwrap();
+        assert_eq!(t.depth(d), 4);
+        assert!(t.is_leaf(d));
+        assert_eq!(t.node_height(b1), 3);
+        assert_eq!(t.subtree_size(b1), 3);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.parent(t.root()), None);
+        assert_eq!(t.ancestors(d).count(), 3);
+    }
+
+    #[test]
+    fn sibling_navigation() {
+        let (t, _) = paper_t1();
+        let b1 = t.first_child(t.root()).unwrap();
+        let b2 = t.next_sibling(b1).unwrap();
+        let e = t.next_sibling(b2).unwrap();
+        assert_eq!(t.next_sibling(e), None);
+        assert_eq!(t.prev_sibling(e), Some(b2));
+        assert_eq!(t.prev_sibling(b1), None);
+        assert_eq!(t.last_child(t.root()), Some(e));
+        assert_eq!(t.sibling_index(b1), 0);
+        assert_eq!(t.sibling_index(e), 2);
+        assert_eq!(t.child_at(t.root(), 1), Some(b2));
+        assert_eq!(t.child_at(t.root(), 3), None);
+    }
+
+    #[test]
+    fn relabel_changes_only_label() {
+        let (mut t, ls) = paper_t1();
+        let b1 = t.first_child(t.root()).unwrap();
+        t.relabel(b1, ls[4]);
+        assert_eq!(t.label(b1), ls[4]);
+        assert_eq!(t.len(), 6);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_inner_node_splices_children() {
+        // The paper's Fig. 1 example: deleting the first b of T1 gives T2's
+        // shape: a(c(d) b e).
+        let (mut t, ls) = paper_t1();
+        let b1 = t.first_child(t.root()).unwrap();
+        t.remove_node(b1).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.len(), 5);
+        let kids: Vec<_> = t.children(t.root()).map(|c| t.label(c)).collect();
+        assert_eq!(kids, vec![ls[2], ls[1], ls[4]]);
+        let c = t.first_child(t.root()).unwrap();
+        assert_eq!(t.label(t.first_child(c).unwrap()), ls[3]);
+    }
+
+    #[test]
+    fn delete_leaf() {
+        let (mut t, ls) = paper_t1();
+        let b1 = t.first_child(t.root()).unwrap();
+        let c = t.first_child(b1).unwrap();
+        let d = t.first_child(c).unwrap();
+        t.remove_node(d).unwrap();
+        t.validate().unwrap();
+        assert!(t.is_leaf(c));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.label(c), ls[2]);
+    }
+
+    #[test]
+    fn delete_middle_leaf_keeps_sibling_links() {
+        let (mut t, _) = paper_t1();
+        let b1 = t.first_child(t.root()).unwrap();
+        let b2 = t.next_sibling(b1).unwrap();
+        t.remove_node(b2).unwrap();
+        t.validate().unwrap();
+        let e = t.next_sibling(b1).unwrap();
+        assert_eq!(t.prev_sibling(e), Some(b1));
+        assert_eq!(t.degree(t.root()), 2);
+    }
+
+    #[test]
+    fn delete_last_child_with_children() {
+        let (mut t, ls) = paper_t1();
+        let e = t.last_child(t.root()).unwrap();
+        // Give e two children, then delete e: children must splice at tail.
+        let x = t.add_child(e, ls[0]);
+        let y = t.add_child(e, ls[2]);
+        t.remove_node(e).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.last_child(t.root()), Some(y));
+        assert_eq!(t.parent(x), Some(t.root()));
+        let kids: Vec<_> = t.children(t.root()).collect();
+        assert_eq!(kids.len(), 4);
+    }
+
+    #[test]
+    fn cannot_delete_root() {
+        let (mut t, _) = paper_t1();
+        assert!(matches!(
+            t.remove_node(t.root()),
+            Err(TreeError::CannotDeleteRoot)
+        ));
+    }
+
+    #[test]
+    fn insert_leaf_at_position() {
+        let (mut t, ls) = paper_t1();
+        let new = t.insert_child_at(t.root(), 1, ls[3]).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.sibling_index(new), 1);
+        assert_eq!(t.degree(t.root()), 4);
+        assert!(t.is_leaf(new));
+        assert!(t
+            .insert_child_at(t.root(), 9, ls[3])
+            .is_err());
+    }
+
+    #[test]
+    fn insert_above_children_adopts_run() {
+        // Insert x under root adopting children 1..3 (second b and e).
+        let (mut t, ls) = paper_t1();
+        let x = t
+            .insert_above_children(t.root(), ls[3], 1, 2)
+            .unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.degree(t.root()), 2);
+        assert_eq!(t.degree(x), 2);
+        let adopted: Vec<_> = t.children(x).map(|c| t.label(c)).collect();
+        assert_eq!(adopted, vec![ls[1], ls[4]]);
+        assert_eq!(t.sibling_index(x), 1);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn insert_above_all_children() {
+        let (mut t, ls) = paper_t1();
+        let x = t
+            .insert_above_children(t.root(), ls[0], 0, 3)
+            .unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.degree(t.root()), 1);
+        assert_eq!(t.first_child(t.root()), Some(x));
+        assert_eq!(t.degree(x), 3);
+    }
+
+    #[test]
+    fn insert_above_zero_children_is_leaf_insert() {
+        let (mut t, ls) = paper_t1();
+        let x = t
+            .insert_above_children(t.root(), ls[0], 3, 0)
+            .unwrap();
+        assert!(t.is_leaf(x));
+        assert_eq!(t.sibling_index(x), 3);
+        assert!(t.insert_above_children(t.root(), ls[0], 3, 2).is_err());
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrip_preserves_structure() {
+        let (t0, ls) = paper_t1();
+        let mut t = t0.clone();
+        let x = t
+            .insert_above_children(t.root(), ls[3], 0, 2)
+            .unwrap();
+        t.validate().unwrap();
+        t.remove_node(x).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t, t0);
+    }
+
+    #[test]
+    fn compact_after_deletions() {
+        let (mut t, _) = paper_t1();
+        let b1 = t.first_child(t.root()).unwrap();
+        t.remove_node(b1).unwrap();
+        let compacted = t.compact();
+        compacted.validate().unwrap();
+        assert_eq!(compacted.len(), 5);
+        assert_eq!(compacted, t);
+        // Dense arena after compaction.
+        assert_eq!(compacted.nodes.len(), 5);
+    }
+
+    #[test]
+    fn structural_equality_is_order_sensitive() {
+        let (_, ls) = labels(3);
+        let mut t1 = Tree::new(ls[0]);
+        t1.add_child(t1.root(), ls[1]);
+        t1.add_child(t1.root(), ls[2]);
+        let mut t2 = Tree::new(ls[0]);
+        t2.add_child(t2.root(), ls[2]);
+        t2.add_child(t2.root(), ls[1]);
+        assert_ne!(t1, t2);
+        let mut t3 = Tree::new(ls[0]);
+        t3.add_child(t3.root(), ls[1]);
+        t3.add_child(t3.root(), ls[2]);
+        assert_eq!(t1, t3);
+    }
+
+    #[test]
+    fn deleted_node_not_contained() {
+        let (mut t, _) = paper_t1();
+        let b1 = t.first_child(t.root()).unwrap();
+        assert!(t.contains(b1));
+        t.remove_node(b1).unwrap();
+        assert!(!t.contains(b1));
+        assert!(t.contains(t.root()));
+    }
+
+}

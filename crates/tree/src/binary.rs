@@ -1,0 +1,290 @@
+//! The (normalized) binary-tree representation of a tree (paper §2.3, §3.2).
+//!
+//! The left-child/right-sibling correspondence makes the binary tree
+//! representation `B(T)` implicit in the arena links:
+//!
+//! * the binary **left** child of a node is its **first child** in `T`;
+//! * the binary **right** child of a node is its **next sibling** in `T`.
+//!
+//! The *normalized* representation pads every missing child with an `ε`
+//! node so that every original node has exactly two binary children
+//! (Fig. 2 of the paper). [`BinaryView`] exposes that navigation without
+//! materializing anything; [`Tree::to_normalized_binary_tree`] materializes
+//! it for display and tests.
+
+use crate::arena::{NodeId, Tree};
+use crate::label::LabelId;
+
+/// A position in the normalized binary tree `B(T)`: either an original node
+/// of `T` or an appended `ε` padding node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryNode {
+    /// An original node of `T`.
+    Real(NodeId),
+    /// An appended `ε` node (all its binary children are `ε` too).
+    Epsilon,
+}
+
+impl BinaryNode {
+    /// Whether this is an `ε` padding node.
+    #[inline]
+    pub fn is_epsilon(self) -> bool {
+        matches!(self, BinaryNode::Epsilon)
+    }
+}
+
+/// Zero-cost navigation of the normalized binary representation of a tree.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_tree::{BinaryNode, BinaryView, LabelId, LabelInterner, Tree};
+///
+/// let mut interner = LabelInterner::new();
+/// let a = interner.intern("a");
+/// let b = interner.intern("b");
+/// let mut tree = Tree::new(a);
+/// tree.add_child(tree.root(), b);
+///
+/// let view = BinaryView::new(&tree);
+/// let root = BinaryNode::Real(tree.root());
+/// assert_eq!(view.label(view.left(root)), b);
+/// assert_eq!(view.label(view.right(root)), LabelId::EPSILON); // root has no sibling
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryView<'a> {
+    tree: &'a Tree,
+}
+
+impl<'a> BinaryView<'a> {
+    /// Creates a view over `tree`.
+    pub fn new(tree: &'a Tree) -> Self {
+        BinaryView { tree }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &'a Tree {
+        self.tree
+    }
+
+    /// Root of `B(T)` (same node as the root of `T`).
+    pub fn root(&self) -> BinaryNode {
+        BinaryNode::Real(self.tree.root())
+    }
+
+    /// Binary left child: first child in `T`, or `ε`.
+    pub fn left(&self, node: BinaryNode) -> BinaryNode {
+        match node {
+            BinaryNode::Real(id) => self
+                .tree
+                .first_child(id)
+                .map_or(BinaryNode::Epsilon, BinaryNode::Real),
+            BinaryNode::Epsilon => BinaryNode::Epsilon,
+        }
+    }
+
+    /// Binary right child: next sibling in `T`, or `ε`.
+    pub fn right(&self, node: BinaryNode) -> BinaryNode {
+        match node {
+            BinaryNode::Real(id) => self
+                .tree
+                .next_sibling(id)
+                .map_or(BinaryNode::Epsilon, BinaryNode::Real),
+            BinaryNode::Epsilon => BinaryNode::Epsilon,
+        }
+    }
+
+    /// Label of a binary node (`ε` nodes carry [`LabelId::EPSILON`]).
+    pub fn label(&self, node: BinaryNode) -> LabelId {
+        match node {
+            BinaryNode::Real(id) => self.tree.label(id),
+            BinaryNode::Epsilon => LabelId::EPSILON,
+        }
+    }
+
+    /// The two-level binary branch rooted at `id`
+    /// (Definition 2: `BiB(u) = ⟨label(u), label(left), label(right)⟩`).
+    pub fn branch(&self, id: NodeId) -> [LabelId; 3] {
+        let node = BinaryNode::Real(id);
+        [
+            self.label(node),
+            self.label(self.left(node)),
+            self.label(self.right(node)),
+        ]
+    }
+
+    /// Writes the preorder label sequence of the perfect binary subtree of
+    /// height `q − 1` rooted at `id` into `out` (the *q-level binary branch*,
+    /// Definition 5). `out` is cleared first; its final length is `2^q − 1`.
+    pub fn q_branch_into(&self, id: NodeId, q: usize, out: &mut Vec<LabelId>) {
+        assert!(q >= 1, "q-level branches require q >= 1");
+        out.clear();
+        self.q_branch_rec(BinaryNode::Real(id), q, out);
+    }
+
+    fn q_branch_rec(&self, node: BinaryNode, levels: usize, out: &mut Vec<LabelId>) {
+        out.push(self.label(node));
+        if levels > 1 {
+            self.q_branch_rec(self.left(node), levels - 1, out);
+            self.q_branch_rec(self.right(node), levels - 1, out);
+        }
+    }
+}
+
+impl Tree {
+    /// Materializes the normalized binary representation `B(T)` as a tree
+    /// whose every original node has exactly two children (left, right) and
+    /// whose padding nodes are labeled [`LabelId::EPSILON`] — the shape shown
+    /// in Fig. 2 of the paper. Intended for display, tests and teaching; all
+    /// algorithms use [`BinaryView`] instead.
+    pub fn to_normalized_binary_tree(&self) -> Tree {
+        let view = BinaryView::new(self);
+        let mut out = Tree::with_capacity(self.label(self.root()), self.len() * 2 + 1);
+        let mut stack = vec![(view.root(), out.root())];
+        while let Some((node, target)) = stack.pop() {
+            if node.is_epsilon() {
+                continue;
+            }
+            let left = view.left(node);
+            let right = view.right(node);
+            let lchild = out.add_child(target, view.label(left));
+            let rchild = out.add_child(target, view.label(right));
+            stack.push((left, lchild));
+            stack.push((right, rchild));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelInterner;
+
+    /// A tree in the spirit of the paper's Fig. 1 T1: a( b(c, d), b, e ).
+    fn fig1_t1(interner: &mut LabelInterner) -> Tree {
+        let (a, b, c, d, e) = (
+            interner.intern("a"),
+            interner.intern("b"),
+            interner.intern("c"),
+            interner.intern("d"),
+            interner.intern("e"),
+        );
+        let mut t = Tree::new(a);
+        let root = t.root();
+        let nb1 = t.add_child(root, b);
+        t.add_child(root, b);
+        t.add_child(root, e);
+        t.add_child(nb1, c);
+        t.add_child(nb1, d);
+        t
+    }
+
+    #[test]
+    fn left_is_first_child_right_is_next_sibling() {
+        let mut interner = LabelInterner::new();
+        let t = fig1_t1(&mut interner);
+        let view = BinaryView::new(&t);
+        let root = view.root();
+        let b1 = view.left(root);
+        assert_eq!(view.label(b1), interner.get("b").unwrap());
+        assert!(view.right(root).is_epsilon(), "root has no sibling");
+        let c = view.left(b1);
+        assert_eq!(view.label(c), interner.get("c").unwrap());
+        let b2 = view.right(b1);
+        assert_eq!(view.label(b2), interner.get("b").unwrap());
+        let e = view.right(b2);
+        assert_eq!(view.label(e), interner.get("e").unwrap());
+        assert!(view.left(e).is_epsilon());
+        assert!(view.right(e).is_epsilon());
+    }
+
+    #[test]
+    fn epsilon_children_are_epsilon() {
+        let mut interner = LabelInterner::new();
+        let t = fig1_t1(&mut interner);
+        let view = BinaryView::new(&t);
+        assert!(view.left(BinaryNode::Epsilon).is_epsilon());
+        assert!(view.right(BinaryNode::Epsilon).is_epsilon());
+        assert_eq!(view.label(BinaryNode::Epsilon), LabelId::EPSILON);
+    }
+
+    #[test]
+    fn two_level_branch_matches_definition() {
+        let mut interner = LabelInterner::new();
+        let t = fig1_t1(&mut interner);
+        let view = BinaryView::new(&t);
+        let (a, b, c, e) = (
+            interner.get("a").unwrap(),
+            interner.get("b").unwrap(),
+            interner.get("c").unwrap(),
+            interner.get("e").unwrap(),
+        );
+        assert_eq!(view.branch(t.root()), [a, b, LabelId::EPSILON]);
+        let b1 = t.first_child(t.root()).unwrap();
+        assert_eq!(view.branch(b1), [b, c, b]);
+        let last = t.last_child(t.root()).unwrap();
+        assert_eq!(view.branch(last), [e, LabelId::EPSILON, LabelId::EPSILON]);
+    }
+
+    #[test]
+    fn q_branch_q2_equals_two_level_branch() {
+        let mut interner = LabelInterner::new();
+        let t = fig1_t1(&mut interner);
+        let view = BinaryView::new(&t);
+        let mut buffer = Vec::new();
+        for node in t.preorder() {
+            view.q_branch_into(node, 2, &mut buffer);
+            assert_eq!(buffer.as_slice(), view.branch(node).as_slice());
+        }
+    }
+
+    #[test]
+    fn q_branch_has_length_two_pow_q_minus_one() {
+        let mut interner = LabelInterner::new();
+        let t = fig1_t1(&mut interner);
+        let view = BinaryView::new(&t);
+        let mut buffer = Vec::new();
+        for q in 1..=5 {
+            view.q_branch_into(t.root(), q, &mut buffer);
+            assert_eq!(buffer.len(), (1 << q) - 1);
+        }
+    }
+
+    #[test]
+    fn q_branch_pads_with_epsilon_below_leaves() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("a");
+        let t = Tree::new(a);
+        let view = BinaryView::new(&t);
+        let mut buffer = Vec::new();
+        view.q_branch_into(t.root(), 3, &mut buffer);
+        // Preorder of the perfect height-2 binary tree: root, L, LL, LR, R, RL, RR.
+        assert_eq!(buffer[0], a);
+        assert!(buffer[1..].iter().all(|l| l.is_epsilon()));
+        assert_eq!(buffer.len(), 7);
+    }
+
+    #[test]
+    fn normalized_binary_tree_is_full_with_epsilon_leaves() {
+        let mut interner = LabelInterner::new();
+        let t = fig1_t1(&mut interner);
+        let binary = t.to_normalized_binary_tree();
+        binary.validate().unwrap();
+        // Every original node has exactly 2 children; ε nodes are leaves.
+        let mut real = 0;
+        let mut eps = 0;
+        for node in binary.preorder() {
+            if binary.label(node).is_epsilon() {
+                assert!(binary.is_leaf(node));
+                eps += 1;
+            } else {
+                assert_eq!(binary.degree(node), 2);
+                real += 1;
+            }
+        }
+        assert_eq!(real, t.len());
+        // A full binary tree with n internal nodes has n + 1 leaves.
+        assert_eq!(eps, t.len() + 1);
+    }
+}

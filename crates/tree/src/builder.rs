@@ -1,0 +1,199 @@
+//! Incremental, nesting-based tree construction.
+
+use crate::arena::{NodeId, Tree};
+use crate::error::TreeError;
+use crate::label::{LabelId, LabelInterner};
+
+/// Builds a [`Tree`] through nested `open` / `close` calls.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_tree::{LabelInterner, TreeBuilder};
+///
+/// let mut interner = LabelInterner::new();
+/// let mut builder = TreeBuilder::new();
+/// builder.open(interner.intern("a"));
+/// builder.open(interner.intern("b"));
+/// builder.leaf(interner.intern("c"));
+/// builder.close().unwrap();
+/// builder.close().unwrap();
+/// let tree = builder.finish().unwrap();
+/// assert_eq!(tree.len(), 3);
+/// assert_eq!(tree.height(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    tree: Option<Tree>,
+    stack: Vec<NodeId>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TreeBuilder {
+            tree: None,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Opens a node; subsequent nodes become its children until [`close`].
+    ///
+    /// The first `open` creates the root. Returns the new node's id.
+    ///
+    /// [`close`]: TreeBuilder::close
+    ///
+    /// # Panics
+    ///
+    /// Panics when opening a second root (i.e., the root was already closed).
+    pub fn open(&mut self, label: LabelId) -> NodeId {
+        match (&mut self.tree, self.stack.last()) {
+            (None, _) => {
+                let tree = Tree::new(label);
+                let root = tree.root();
+                self.tree = Some(tree);
+                self.stack.push(root);
+                root
+            }
+            (Some(tree), Some(&parent)) => {
+                let id = tree.add_child(parent, label);
+                self.stack.push(id);
+                id
+            }
+            (Some(_), None) => panic!("TreeBuilder: cannot open a second root"),
+        }
+    }
+
+    /// Adds a leaf child to the currently open node (open + immediate close).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no node is open and a root already exists.
+    pub fn leaf(&mut self, label: LabelId) -> NodeId {
+        let id = self.open(label);
+        self.close().expect("leaf: just opened");
+        id
+    }
+
+    /// Closes the most recently opened node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnbalancedBuilder`] if no node is open.
+    pub fn close(&mut self) -> Result<(), TreeError> {
+        self.stack
+            .pop()
+            .map(|_| ())
+            .ok_or(TreeError::UnbalancedBuilder { open: 0 })
+    }
+
+    /// Number of nodes currently open.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Id of the currently open node, if any.
+    pub fn current(&self) -> Option<NodeId> {
+        self.stack.last().copied()
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnbalancedBuilder`] if nodes are still open or no
+    /// root was ever created.
+    pub fn finish(self) -> Result<Tree, TreeError> {
+        if !self.stack.is_empty() {
+            return Err(TreeError::UnbalancedBuilder {
+                open: self.stack.len(),
+            });
+        }
+        self.tree.ok_or(TreeError::UnbalancedBuilder { open: 0 })
+    }
+}
+
+/// Convenience: builds a tree from a nested-tuple-like description in tests
+/// and examples, interning labels on the fly.
+///
+/// `spec` is a bracket expression such as `"a(b(c) d)"`; see
+/// [`crate::parse::bracket`] for the grammar.
+pub fn tree_from_bracket(
+    interner: &mut LabelInterner,
+    spec: &str,
+) -> Result<Tree, crate::error::ParseError> {
+    crate::parse::bracket::parse(interner, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_tree() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        let mut builder = TreeBuilder::new();
+        let root = builder.open(a);
+        builder.leaf(b);
+        builder.open(b);
+        builder.leaf(a);
+        builder.close().unwrap();
+        builder.close().unwrap();
+        let tree = builder.finish().unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.root(), root);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.degree(tree.root()), 2);
+    }
+
+    #[test]
+    fn finish_with_open_nodes_errors() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("a");
+        let mut builder = TreeBuilder::new();
+        builder.open(a);
+        assert!(matches!(
+            builder.finish(),
+            Err(TreeError::UnbalancedBuilder { open: 1 })
+        ));
+    }
+
+    #[test]
+    fn close_without_open_errors() {
+        let mut builder = TreeBuilder::new();
+        assert!(builder.close().is_err());
+    }
+
+    #[test]
+    fn finish_without_root_errors() {
+        let builder = TreeBuilder::new();
+        assert!(builder.finish().is_err());
+    }
+
+    #[test]
+    fn depth_and_current_track_nesting() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("a");
+        let mut builder = TreeBuilder::new();
+        assert_eq!(builder.depth(), 0);
+        assert_eq!(builder.current(), None);
+        let root = builder.open(a);
+        assert_eq!(builder.depth(), 1);
+        assert_eq!(builder.current(), Some(root));
+        builder.close().unwrap();
+        assert_eq!(builder.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "second root")]
+    fn second_root_panics() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("a");
+        let mut builder = TreeBuilder::new();
+        builder.open(a);
+        builder.close().unwrap();
+        builder.open(a);
+    }
+}

@@ -1,0 +1,352 @@
+//! Compact binary on-disk format for tree datasets.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "TSF1"                         4 bytes
+//! labels  count:u32, then per label      (skips the reserved ε slot)
+//!         len:u32 + UTF-8 bytes
+//! trees   count:u32, then per tree
+//!         node_count:u32, then node_count × (label:u32, child_count:u32)
+//!         in preorder
+//! ```
+//!
+//! The preorder `(label, child_count)` stream reconstructs each tree
+//! exactly (structure and labels); tombstones from deleted nodes are
+//! compacted away on encode. Decoding validates the magic, every label
+//! reference and the per-tree node counts, and fails cleanly on truncated
+//! or corrupted input.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::arena::Tree;
+use crate::forest::Forest;
+use crate::label::{LabelId, LabelInterner};
+
+/// File magic: "TSF1" (TreeSim Forest, version 1).
+pub const MAGIC: [u8; 4] = *b"TSF1";
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input does not start with [`MAGIC`].
+    BadMagic,
+    /// The input ended prematurely.
+    Truncated {
+        /// What was being read.
+        reading: &'static str,
+    },
+    /// A label string is not valid UTF-8.
+    BadLabelUtf8,
+    /// A node references a label id outside the encoded label table.
+    LabelOutOfRange {
+        /// The offending raw label id.
+        label: u32,
+    },
+    /// A tree declared more nodes than its preorder stream provides, or a
+    /// child count points past the node stream.
+    InconsistentTree,
+    /// Trailing bytes after a complete dataset.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a treesim dataset (bad magic)"),
+            CodecError::Truncated { reading } => write!(f, "truncated input while reading {reading}"),
+            CodecError::BadLabelUtf8 => write!(f, "label table contains invalid UTF-8"),
+            CodecError::LabelOutOfRange { label } => {
+                write!(f, "node references unknown label id {label}")
+            }
+            CodecError::InconsistentTree => write!(f, "inconsistent tree node stream"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing byte(s) after dataset")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes a forest into the binary format.
+pub fn encode_forest(forest: &Forest) -> Bytes {
+    let mut out = BytesMut::with_capacity(64 + forest.stats().total_nodes * 8);
+    out.put_slice(&MAGIC);
+
+    // Label table, skipping the reserved ε slot (id 0).
+    let labels: Vec<&str> = forest
+        .interner()
+        .iter()
+        .skip(1)
+        .map(|(_, name)| name)
+        .collect();
+    out.put_u32_le(labels.len() as u32);
+    for name in labels {
+        out.put_u32_le(name.len() as u32);
+        out.put_slice(name.as_bytes());
+    }
+
+    out.put_u32_le(forest.len() as u32);
+    for (_, tree) in forest.iter() {
+        out.put_u32_le(tree.len() as u32);
+        for node in tree.preorder() {
+            out.put_u32_le(tree.label(node).as_u32());
+            out.put_u32_le(tree.degree(node) as u32);
+        }
+    }
+    out.freeze()
+}
+
+/// Decodes a forest from the binary format.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] describing the first structural problem.
+pub fn decode_forest(mut input: &[u8]) -> Result<Forest, CodecError> {
+    let buf = &mut input;
+    if buf.remaining() < 4 || buf.copy_to_bytes(4).as_ref() != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+
+    let mut interner = LabelInterner::new();
+    let label_count = read_count(buf, "label count", 4)?;
+    let mut table = Vec::with_capacity(label_count + 1);
+    table.push(LabelId::EPSILON);
+    for _ in 0..label_count {
+        let len = read_u32(buf, "label length")? as usize;
+        if buf.remaining() < len {
+            return Err(CodecError::Truncated { reading: "label bytes" });
+        }
+        let raw = buf.copy_to_bytes(len);
+        let name = std::str::from_utf8(&raw).map_err(|_| CodecError::BadLabelUtf8)?;
+        table.push(interner.intern(name));
+    }
+
+    let tree_count = read_count(buf, "tree count", 4)?;
+    let mut trees = Vec::with_capacity(tree_count);
+    for _ in 0..tree_count {
+        let node_count = read_count(buf, "node count", 8)?;
+        if node_count == 0 {
+            return Err(CodecError::InconsistentTree);
+        }
+        trees.push(decode_tree(buf, node_count, &table)?);
+    }
+    if buf.has_remaining() {
+        return Err(CodecError::TrailingBytes {
+            remaining: buf.remaining(),
+        });
+    }
+    Ok(Forest::from_parts(interner, trees))
+}
+
+fn decode_tree(
+    buf: &mut &[u8],
+    node_count: usize,
+    table: &[LabelId],
+) -> Result<Tree, CodecError> {
+    let (root_label, root_degree) = read_node(buf, table)?;
+    let mut tree = Tree::with_capacity(root_label, node_count);
+    // Stack of (parent, remaining children to attach).
+    let mut stack = vec![(tree.root(), root_degree)];
+    let mut read = 1usize;
+    while let Some(&mut (parent, ref mut remaining)) = stack.last_mut() {
+        if *remaining == 0 {
+            stack.pop();
+            continue;
+        }
+        *remaining -= 1;
+        if read == node_count {
+            return Err(CodecError::InconsistentTree);
+        }
+        let (label, degree) = read_node(buf, table)?;
+        let node = tree.add_child(parent, label);
+        read += 1;
+        stack.push((node, degree));
+    }
+    if read != node_count {
+        return Err(CodecError::InconsistentTree);
+    }
+    Ok(tree)
+}
+
+fn read_node(buf: &mut &[u8], table: &[LabelId]) -> Result<(LabelId, u32), CodecError> {
+    let raw_label = read_u32(buf, "node label")?;
+    let degree = read_u32(buf, "node degree")?;
+    let label = *table
+        .get(raw_label as usize)
+        .ok_or(CodecError::LabelOutOfRange { label: raw_label })?;
+    Ok((label, degree))
+}
+
+fn read_u32(buf: &mut &[u8], reading: &'static str) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated { reading });
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Reads a count whose items each occupy at least `bytes_per_item` bytes;
+/// counts implying more data than remains are rejected *before* any
+/// allocation (corrupted length fields must not trigger huge reserves).
+fn read_count(
+    buf: &mut &[u8],
+    reading: &'static str,
+    bytes_per_item: usize,
+) -> Result<usize, CodecError> {
+    let count = read_u32(buf, reading)? as usize;
+    if count.saturating_mul(bytes_per_item) > buf.remaining() {
+        return Err(CodecError::Truncated { reading });
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_forest() -> Forest {
+        let mut forest = Forest::new();
+        forest.parse_bracket("a(b(c d) b e)").unwrap();
+        forest.parse_bracket("x").unwrap();
+        forest.parse_bracket("a('label with spaces'(α β) a)").unwrap();
+        forest
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_labels() {
+        let forest = sample_forest();
+        let encoded = encode_forest(&forest);
+        let decoded = decode_forest(&encoded).unwrap();
+        assert_eq!(decoded.len(), forest.len());
+        for ((_, a), (_, b)) in forest.iter().zip(decoded.iter()) {
+            assert_eq!(a.len(), b.len());
+            // Structural equality via rendered bracket strings (label ids
+            // may be permuted between interners).
+            assert_eq!(
+                crate::parse::bracket::to_string(a, forest.interner()),
+                crate::parse::bracket::to_string(b, decoded.interner())
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_after_deletions_compacts() {
+        let mut forest = Forest::new();
+        forest.parse_bracket("a(b(c) d)").unwrap();
+        // Mutate: delete a node, leaving a tombstone in the arena.
+        let id = crate::forest::TreeId(0);
+        let victim = forest.tree(id).first_child(forest.tree(id).root()).unwrap();
+        let mut tree = forest.tree(id).clone();
+        tree.remove_node(victim).unwrap();
+        let mut mutated = Forest::from_parts(forest.interner().clone(), vec![tree]);
+        let decoded = decode_forest(&encode_forest(&mutated)).unwrap();
+        assert_eq!(decoded.tree(id).len(), 3);
+        decoded.tree(id).validate().unwrap();
+        // Round-trip again to ensure stability.
+        mutated = decoded;
+        let again = decode_forest(&encode_forest(&mutated)).unwrap();
+        assert_eq!(again.tree(id).len(), 3);
+    }
+
+    #[test]
+    fn empty_forest_roundtrip() {
+        let forest = Forest::new();
+        let decoded = decode_forest(&encode_forest(&forest)).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_forest(b"NOPE").unwrap_err(), CodecError::BadMagic);
+        assert_eq!(decode_forest(b"").unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let encoded = encode_forest(&sample_forest());
+        for cut in 1..encoded.len() {
+            let result = decode_forest(&encoded[..cut]);
+            assert!(result.is_err(), "accepted a {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_forest(&sample_forest()).to_vec();
+        bytes.push(0);
+        assert_eq!(
+            decode_forest(&bytes).unwrap_err(),
+            CodecError::TrailingBytes { remaining: 1 }
+        );
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        // Single tree, single node referencing label id 9 (only ε + 1 label).
+        let mut bytes = BytesMut::new();
+        bytes.put_slice(&MAGIC);
+        bytes.put_u32_le(1); // one label
+        bytes.put_u32_le(1);
+        bytes.put_slice(b"a");
+        bytes.put_u32_le(1); // one tree
+        bytes.put_u32_le(1); // one node
+        bytes.put_u32_le(9); // bogus label
+        bytes.put_u32_le(0);
+        assert_eq!(
+            decode_forest(&bytes).unwrap_err(),
+            CodecError::LabelOutOfRange { label: 9 }
+        );
+    }
+
+    #[test]
+    fn inconsistent_node_counts_rejected() {
+        // Tree claims 2 nodes but the root has degree 0.
+        let mut bytes = BytesMut::new();
+        bytes.put_slice(&MAGIC);
+        bytes.put_u32_le(1);
+        bytes.put_u32_le(1);
+        bytes.put_slice(b"a");
+        bytes.put_u32_le(1);
+        bytes.put_u32_le(2); // claims two nodes
+        bytes.put_u32_le(1); // root label "a"
+        bytes.put_u32_le(0); // …but no children
+        // Rejected either as truncated (count sanity) or inconsistent.
+        assert!(decode_forest(&bytes).is_err());
+        // And a zero-node tree is invalid.
+        let mut bytes = BytesMut::new();
+        bytes.put_slice(&MAGIC);
+        bytes.put_u32_le(0);
+        bytes.put_u32_le(1);
+        bytes.put_u32_le(0);
+        assert_eq!(decode_forest(&bytes).unwrap_err(), CodecError::InconsistentTree);
+    }
+
+    #[test]
+    fn invalid_utf8_label_rejected() {
+        let mut bytes = BytesMut::new();
+        bytes.put_slice(&MAGIC);
+        bytes.put_u32_le(1);
+        bytes.put_u32_le(2);
+        bytes.put_slice(&[0xff, 0xfe]);
+        bytes.put_u32_le(0);
+        assert_eq!(decode_forest(&bytes).unwrap_err(), CodecError::BadLabelUtf8);
+    }
+
+    #[test]
+    fn errors_display() {
+        for error in [
+            CodecError::BadMagic,
+            CodecError::Truncated { reading: "x" },
+            CodecError::BadLabelUtf8,
+            CodecError::LabelOutOfRange { label: 3 },
+            CodecError::InconsistentTree,
+            CodecError::TrailingBytes { remaining: 2 },
+        ] {
+            assert!(!error.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Error types of the tree crate.
+
+use std::fmt;
+
+/// Errors raised by structural tree operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The Zhang–Shasha edit model never deletes the root of a tree.
+    CannotDeleteRoot,
+    /// A child index beyond the node's degree was requested.
+    ChildIndexOutOfRange {
+        /// Requested position.
+        index: usize,
+        /// Node degree at the time of the call.
+        degree: usize,
+        /// Raw id of the parent node.
+        node: u32,
+    },
+    /// A consecutive child range beyond the node's degree was requested.
+    ChildRangeOutOfRange {
+        /// First adopted child position.
+        start: usize,
+        /// Number of adopted children.
+        count: usize,
+        /// Node degree at the time of the call.
+        degree: usize,
+        /// Raw id of the parent node.
+        node: u32,
+    },
+    /// Builder misuse: `close` without a matching `open`, or `finish` with
+    /// open nodes remaining.
+    UnbalancedBuilder {
+        /// Number of nodes still open.
+        open: usize,
+    },
+    /// Internal link-structure inconsistency detected by [`crate::Tree::validate`].
+    Corrupt(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::CannotDeleteRoot => write!(f, "cannot delete the root node"),
+            TreeError::ChildIndexOutOfRange {
+                index,
+                degree,
+                node,
+            } => write!(
+                f,
+                "child index {index} out of range for node n{node} with degree {degree}"
+            ),
+            TreeError::ChildRangeOutOfRange {
+                start,
+                count,
+                degree,
+                node,
+            } => write!(
+                f,
+                "child range {start}..{} out of range for node n{node} with degree {degree}",
+                start + count
+            ),
+            TreeError::UnbalancedBuilder { open } => {
+                write!(f, "unbalanced tree builder: {open} node(s) still open")
+            }
+            TreeError::Corrupt(what) => write!(f, "corrupt tree structure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Errors raised by the bracket-notation and XML parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input ended before the tree was complete.
+    UnexpectedEof {
+        /// What the parser was expecting.
+        expected: &'static str,
+    },
+    /// An unexpected character was found.
+    UnexpectedChar {
+        /// Byte offset into the input.
+        offset: usize,
+        /// The offending character.
+        found: char,
+        /// What the parser was expecting.
+        expected: &'static str,
+    },
+    /// The document contains no root element / label.
+    Empty,
+    /// Trailing input after a complete tree.
+    TrailingInput {
+        /// Byte offset where the trailing input begins.
+        offset: usize,
+    },
+    /// A closing XML tag does not match the open element.
+    MismatchedTag {
+        /// Byte offset of the closing tag.
+        offset: usize,
+        /// Name of the element being closed.
+        expected: String,
+        /// Name found in the closing tag.
+        found: String,
+    },
+    /// An unknown or malformed XML entity reference.
+    BadEntity {
+        /// Byte offset of the entity.
+        offset: usize,
+    },
+    /// A label is empty or contains characters the format cannot represent.
+    BadLabel {
+        /// Byte offset of the label.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            ParseError::UnexpectedChar {
+                offset,
+                found,
+                expected,
+            } => write!(
+                f,
+                "unexpected character {found:?} at offset {offset}, expected {expected}"
+            ),
+            ParseError::Empty => write!(f, "input contains no tree"),
+            ParseError::TrailingInput { offset } => {
+                write!(f, "trailing input after complete tree at offset {offset}")
+            }
+            ParseError::MismatchedTag {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "mismatched closing tag </{found}> at offset {offset}, expected </{expected}>"
+            ),
+            ParseError::BadEntity { offset } => {
+                write!(f, "unknown or malformed entity at offset {offset}")
+            }
+            ParseError::BadLabel { offset } => write!(f, "bad label at offset {offset}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_meaningfully() {
+        let messages = [
+            TreeError::CannotDeleteRoot.to_string(),
+            TreeError::ChildIndexOutOfRange {
+                index: 5,
+                degree: 2,
+                node: 3,
+            }
+            .to_string(),
+            TreeError::ChildRangeOutOfRange {
+                start: 1,
+                count: 4,
+                degree: 2,
+                node: 0,
+            }
+            .to_string(),
+            TreeError::UnbalancedBuilder { open: 2 }.to_string(),
+            TreeError::Corrupt("x".into()).to_string(),
+        ];
+        for message in messages {
+            assert!(!message.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_errors_format_meaningfully() {
+        let err = ParseError::MismatchedTag {
+            offset: 7,
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        assert!(err.to_string().contains("</b>"));
+        assert!(err.to_string().contains("</a>"));
+    }
+}

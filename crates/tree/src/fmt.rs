@@ -1,0 +1,92 @@
+//! Human-readable tree rendering.
+
+use std::fmt::Write as _;
+
+use crate::arena::{NodeId, Tree};
+use crate::label::LabelInterner;
+
+/// Renders `tree` as an indented ASCII outline, one node per line.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_tree::{fmt::render_outline, parse::bracket, LabelInterner};
+///
+/// let mut interner = LabelInterner::new();
+/// let tree = bracket::parse(&mut interner, "a(b(c) d)").unwrap();
+/// let outline = render_outline(&tree, &interner);
+/// assert!(outline.contains("a"));
+/// assert!(outline.lines().count() == 4);
+/// ```
+pub fn render_outline(tree: &Tree, interner: &LabelInterner) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", interner.resolve(tree.label(tree.root())));
+    let children: Vec<_> = tree.children(tree.root()).collect();
+    for (i, child) in children.iter().enumerate() {
+        render_node(tree, interner, *child, "", i + 1 == children.len(), &mut out);
+    }
+    out
+}
+
+fn render_node(
+    tree: &Tree,
+    interner: &LabelInterner,
+    node: NodeId,
+    prefix: &str,
+    is_last: bool,
+    out: &mut String,
+) {
+    let connector = if is_last { "└── " } else { "├── " };
+    let _ = writeln!(
+        out,
+        "{prefix}{connector}{}",
+        interner.resolve(tree.label(node))
+    );
+    let children: Vec<_> = tree.children(node).collect();
+    let child_prefix = if is_last {
+        format!("{prefix}    ")
+    } else {
+        format!("{prefix}│   ")
+    };
+    for (i, child) in children.iter().enumerate() {
+        render_node(
+            tree,
+            interner,
+            *child,
+            &child_prefix,
+            i + 1 == children.len(),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::bracket;
+
+    #[test]
+    fn outline_has_one_line_per_node() {
+        let mut interner = LabelInterner::new();
+        let tree = bracket::parse(&mut interner, "a(b(c d) e)").unwrap();
+        let outline = render_outline(&tree, &interner);
+        assert_eq!(outline.lines().count(), tree.len());
+        assert!(outline.starts_with("a\n"));
+    }
+
+    #[test]
+    fn single_node_outline() {
+        let mut interner = LabelInterner::new();
+        let tree = bracket::parse(&mut interner, "solo").unwrap();
+        assert_eq!(render_outline(&tree, &interner), "solo\n");
+    }
+
+    #[test]
+    fn last_child_uses_corner_connector() {
+        let mut interner = LabelInterner::new();
+        let tree = bracket::parse(&mut interner, "a(b c)").unwrap();
+        let outline = render_outline(&tree, &interner);
+        assert!(outline.contains("├── b"));
+        assert!(outline.contains("└── c"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Datasets of trees sharing one label interner.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arena::Tree;
+use crate::label::LabelInterner;
+
+/// Index of a tree within a [`Forest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TreeId(pub u32);
+
+impl TreeId {
+    /// Raw index of this tree in its forest.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dataset `D` of rooted, ordered, labeled trees sharing a label universe.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_tree::{parse::bracket, Forest};
+///
+/// let mut forest = Forest::new();
+/// forest.parse_bracket("a(b c)").unwrap();
+/// forest.parse_bracket("a(b)").unwrap();
+/// assert_eq!(forest.len(), 2);
+/// let stats = forest.stats();
+/// assert_eq!(stats.total_nodes, 5);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Forest {
+    interner: LabelInterner,
+    trees: Vec<Tree>,
+}
+
+/// Shape statistics of a forest (the quantities quoted for DBLP in §5:
+/// average size 10.15, average depth 2.902).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestStats {
+    /// Number of trees.
+    pub tree_count: usize,
+    /// Sum of tree sizes.
+    pub total_nodes: usize,
+    /// Mean tree size.
+    pub avg_size: f64,
+    /// Largest tree size.
+    pub max_size: usize,
+    /// Mean over trees of the mean node depth (root depth 1).
+    pub avg_depth: f64,
+    /// Mean tree height.
+    pub avg_height: f64,
+    /// Mean node fanout over internal nodes (0 if none).
+    pub avg_fanout: f64,
+    /// Number of distinct labels used (excluding `ε`).
+    pub distinct_labels: usize,
+}
+
+impl Forest {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Forest {
+            interner: LabelInterner::new(),
+            trees: Vec::new(),
+        }
+    }
+
+    /// Creates a forest from parts (e.g., a generator's output).
+    pub fn from_parts(interner: LabelInterner, trees: Vec<Tree>) -> Self {
+        Forest { interner, trees }
+    }
+
+    /// The shared label interner.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Mutable access to the interner (e.g., to intern query labels).
+    pub fn interner_mut(&mut self) -> &mut LabelInterner {
+        &mut self.interner
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Adds a tree, returning its id. The tree must use labels interned in
+    /// this forest's interner.
+    pub fn push(&mut self, tree: Tree) -> TreeId {
+        let id = TreeId(u32::try_from(self.trees.len()).expect("forest too large"));
+        self.trees.push(tree);
+        id
+    }
+
+    /// The tree with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn tree(&self, id: TreeId) -> &Tree {
+        &self.trees[id.index()]
+    }
+
+    /// The tree with the given id, if present.
+    pub fn get(&self, id: TreeId) -> Option<&Tree> {
+        self.trees.get(id.index())
+    }
+
+    /// Iterates over `(id, tree)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TreeId, &Tree)> {
+        self.trees
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TreeId(i as u32), t))
+    }
+
+    /// All trees as a slice.
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// Parses a bracket-notation tree and adds it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ParseError`] from the parser.
+    pub fn parse_bracket(&mut self, spec: &str) -> Result<TreeId, crate::error::ParseError> {
+        let tree = crate::parse::bracket::parse(&mut self.interner, spec)?;
+        Ok(self.push(tree))
+    }
+
+    /// Parses an XML document and adds it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ParseError`] from the parser.
+    pub fn parse_xml(
+        &mut self,
+        doc: &str,
+        options: crate::parse::xml::XmlOptions,
+    ) -> Result<TreeId, crate::error::ParseError> {
+        let tree = crate::parse::xml::parse(&mut self.interner, doc, options)?;
+        Ok(self.push(tree))
+    }
+
+    /// Computes shape statistics over all trees.
+    pub fn stats(&self) -> ForestStats {
+        let tree_count = self.trees.len();
+        let mut total_nodes = 0usize;
+        let mut max_size = 0usize;
+        let mut depth_sum = 0.0f64;
+        let mut height_sum = 0usize;
+        let mut fanout_sum = 0usize;
+        let mut internal_nodes = 0usize;
+        let mut used = std::collections::HashSet::new();
+        for tree in &self.trees {
+            let n = tree.len();
+            total_nodes += n;
+            max_size = max_size.max(n);
+            height_sum += tree.height();
+            let mut tree_depth_sum = 0usize;
+            for node in tree.preorder() {
+                tree_depth_sum += tree.depth(node);
+                let degree = tree.degree(node);
+                if degree > 0 {
+                    fanout_sum += degree;
+                    internal_nodes += 1;
+                }
+                used.insert(tree.label(node));
+            }
+            depth_sum += tree_depth_sum as f64 / n as f64;
+        }
+        let denom = tree_count.max(1) as f64;
+        ForestStats {
+            tree_count,
+            total_nodes,
+            avg_size: total_nodes as f64 / denom,
+            max_size,
+            avg_depth: depth_sum / denom,
+            avg_height: height_sum as f64 / denom,
+            avg_fanout: if internal_nodes == 0 {
+                0.0
+            } else {
+                fanout_sum as f64 / internal_nodes as f64
+            },
+            distinct_labels: used.len(),
+        }
+    }
+}
+
+impl std::ops::Index<TreeId> for Forest {
+    type Output = Tree;
+
+    fn index(&self, id: TreeId) -> &Tree {
+        self.tree(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut forest = Forest::new();
+        let id0 = forest.parse_bracket("a(b)").unwrap();
+        let id1 = forest.parse_bracket("c").unwrap();
+        assert_eq!(id0, TreeId(0));
+        assert_eq!(id1, TreeId(1));
+        assert_eq!(forest.len(), 2);
+        assert!(!forest.is_empty());
+        assert_eq!(forest[id0].len(), 2);
+        assert_eq!(forest.get(TreeId(5)), None);
+        assert_eq!(forest.iter().count(), 2);
+        assert_eq!(forest.trees().len(), 2);
+    }
+
+    #[test]
+    fn stats_on_known_forest() {
+        let mut forest = Forest::new();
+        // a(b c): depths 1,2,2 → avg 5/3; height 2; fanout: one internal node with 2.
+        forest.parse_bracket("a(b c)").unwrap();
+        // a: single node, depth 1, height 1, no internal nodes.
+        forest.parse_bracket("a").unwrap();
+        let stats = forest.stats();
+        assert_eq!(stats.tree_count, 2);
+        assert_eq!(stats.total_nodes, 4);
+        assert_eq!(stats.max_size, 3);
+        assert!((stats.avg_size - 2.0).abs() < 1e-12);
+        assert!((stats.avg_depth - (5.0 / 3.0 + 1.0) / 2.0).abs() < 1e-12);
+        assert!((stats.avg_height - 1.5).abs() < 1e-12);
+        assert!((stats.avg_fanout - 2.0).abs() < 1e-12);
+        assert_eq!(stats.distinct_labels, 3);
+    }
+
+    #[test]
+    fn empty_forest_stats() {
+        let forest = Forest::new();
+        let stats = forest.stats();
+        assert_eq!(stats.tree_count, 0);
+        assert_eq!(stats.total_nodes, 0);
+        assert_eq!(stats.avg_size, 0.0);
+        assert_eq!(stats.avg_fanout, 0.0);
+    }
+
+    #[test]
+    fn shared_interner_across_trees() {
+        let mut forest = Forest::new();
+        let a = forest.parse_bracket("x(y)").unwrap();
+        let b = forest.parse_bracket("y(x)").unwrap();
+        let ta = &forest[a];
+        let tb = &forest[b];
+        assert_eq!(
+            ta.label(ta.root()),
+            tb.label(tb.first_child(tb.root()).unwrap())
+        );
+    }
+
+    #[test]
+    fn xml_into_forest() {
+        let mut forest = Forest::new();
+        let id = forest
+            .parse_xml(
+                "<article><title/></article>",
+                crate::parse::xml::XmlOptions::STRUCTURE_ONLY,
+            )
+            .unwrap();
+        assert_eq!(forest[id].len(), 2);
+    }
+}

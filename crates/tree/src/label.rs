@@ -1,0 +1,210 @@
+//! Label identifiers and the string interner shared by a dataset.
+//!
+//! Trees store compact [`LabelId`]s instead of strings; a [`LabelInterner`]
+//! owns the bidirectional mapping. The id `0` is reserved for the `ε`
+//! (epsilon) label used by the normalized binary-tree representation of the
+//! paper (nodes appended to make the binary tree full). `ε` never appears as
+//! the label of a real tree node.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Compact identifier of an interned node label.
+///
+/// `LabelId::EPSILON` (id 0) is reserved for the `ε` padding label of the
+/// normalized binary-tree representation and is never returned by
+/// [`LabelInterner::intern`] for user strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LabelId(pub(crate) u32);
+
+impl LabelId {
+    /// The reserved `ε` label of normalized binary trees.
+    pub const EPSILON: LabelId = LabelId(0);
+
+    /// Raw numeric value of this id.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a label id from a raw value previously obtained via
+    /// [`LabelId::as_u32`].
+    #[inline]
+    pub const fn from_u32(raw: u32) -> Self {
+        LabelId(raw)
+    }
+
+    /// Whether this is the reserved `ε` label.
+    #[inline]
+    pub const fn is_epsilon(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between label strings and [`LabelId`]s.
+///
+/// One interner is shared by all trees of a dataset so that equal strings in
+/// different trees compare equal as ids. Slot 0 always holds `"ε"`.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_tree::LabelInterner;
+///
+/// let mut interner = LabelInterner::new();
+/// let a = interner.intern("article");
+/// assert_eq!(interner.intern("article"), a);
+/// assert_eq!(interner.resolve(a), "article");
+/// assert_eq!(interner.len(), 2); // "ε" + "article"
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelInterner {
+    map: HashMap<Box<str>, LabelId>,
+    names: Vec<Box<str>>,
+}
+
+impl LabelInterner {
+    /// Creates an interner containing only the reserved `ε` label.
+    pub fn new() -> Self {
+        let mut interner = LabelInterner {
+            map: HashMap::new(),
+            names: Vec::new(),
+        };
+        let eps: Box<str> = "ε".into();
+        interner.map.insert(eps.clone(), LabelId::EPSILON);
+        interner.names.push(eps);
+        interner
+    }
+
+    /// Interns `name`, returning its stable id.
+    ///
+    /// The literal string `"ε"` maps to [`LabelId::EPSILON`].
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = LabelId(u32::try_from(self.names.len()).expect("label universe overflow"));
+        let boxed: Box<str> = name.into();
+        self.map.insert(boxed.clone(), id);
+        self.names.push(boxed);
+        id
+    }
+
+    /// Looks up a label without interning it.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.map.get(name).copied()
+    }
+
+    /// Returns the string for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Returns the string for `id` if it belongs to this interner.
+    pub fn try_resolve(&self, id: LabelId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(AsRef::as_ref)
+    }
+
+    /// Number of interned labels, including the reserved `ε`.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner holds only the reserved `ε` label.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Iterates over `(id, name)` pairs in id order, including `ε`.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LabelId(i as u32), s.as_ref()))
+    }
+}
+
+impl Default for LabelInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_is_reserved_slot_zero() {
+        let interner = LabelInterner::new();
+        assert_eq!(interner.resolve(LabelId::EPSILON), "ε");
+        assert!(LabelId::EPSILON.is_epsilon());
+        assert_eq!(interner.len(), 1);
+        assert!(interner.is_empty());
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        assert_eq!(a, LabelId(1));
+        assert_eq!(b, LabelId(2));
+        assert_eq!(interner.intern("a"), a);
+        assert_eq!(interner.len(), 3);
+        assert!(!interner.is_empty());
+    }
+
+    #[test]
+    fn literal_epsilon_maps_to_reserved_id() {
+        let mut interner = LabelInterner::new();
+        assert_eq!(interner.intern("ε"), LabelId::EPSILON);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut interner = LabelInterner::new();
+        assert_eq!(interner.get("x"), None);
+        let x = interner.intern("x");
+        assert_eq!(interner.get("x"), Some(x));
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut interner = LabelInterner::new();
+        let names = ["article", "author", "title", "year"];
+        let ids: Vec<_> = names.iter().map(|n| interner.intern(n)).collect();
+        for (name, id) in names.iter().zip(&ids) {
+            assert_eq!(interner.resolve(*id), *name);
+        }
+        assert_eq!(interner.try_resolve(LabelId(999)), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut interner = LabelInterner::new();
+        interner.intern("b");
+        interner.intern("a");
+        let collected: Vec<_> = interner.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(collected, vec!["ε", "b", "a"]);
+    }
+
+    #[test]
+    fn raw_conversion_roundtrip() {
+        let id = LabelId::from_u32(42);
+        assert_eq!(id.as_u32(), 42);
+        assert!(!id.is_epsilon());
+    }
+}

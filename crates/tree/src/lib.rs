@@ -1,0 +1,54 @@
+//! Arena-based rooted, ordered, labeled trees — the substrate of the
+//! `treesim` workspace.
+//!
+//! This crate provides:
+//!
+//! * [`Tree`]: an arena tree with first-child / next-sibling links and the
+//!   three edit operations of the Zhang–Shasha model (relabel, delete,
+//!   insert-above-children);
+//! * [`LabelInterner`] / [`LabelId`]: a shared label universe with the
+//!   reserved `ε` label of the paper's normalized binary representation;
+//! * [`BinaryView`]: the left-child/right-sibling (normalized binary tree)
+//!   view used to extract binary branches;
+//! * traversals and 1-based pre/postorder [`Positions`];
+//! * parsers for bracket notation and a minimal XML subset;
+//! * [`Forest`]: a dataset container with shape statistics.
+//!
+//! # Quick start
+//!
+//! ```
+//! use treesim_tree::{parse::bracket, BinaryView, Forest};
+//!
+//! let mut forest = Forest::new();
+//! let id = forest.parse_bracket("a(b(c d) b e)").unwrap();
+//! let tree = &forest[id];
+//! let view = BinaryView::new(tree);
+//! // The binary branch of the root: ⟨a, first-child=b, sibling=ε⟩.
+//! let branch = view.branch(tree.root());
+//! assert_eq!(forest.interner().resolve(branch[0]), "a");
+//! assert_eq!(forest.interner().resolve(branch[1]), "b");
+//! assert!(branch[2].is_epsilon());
+//! ```
+
+#![warn(missing_docs)]
+
+mod arena;
+mod builder;
+mod error;
+mod label;
+
+pub mod binary;
+pub mod codec;
+pub mod fmt;
+pub mod forest;
+pub mod navigate;
+pub mod parse;
+pub mod traversal;
+
+pub use arena::{Ancestors, Children, NodeId, Tree};
+pub use binary::{BinaryNode, BinaryView};
+pub use builder::{tree_from_bracket, TreeBuilder};
+pub use error::{ParseError, TreeError};
+pub use forest::{Forest, ForestStats, TreeId};
+pub use label::{LabelId, LabelInterner};
+pub use traversal::{Bfs, Positions, Postorder, Preorder};

@@ -1,0 +1,155 @@
+//! Higher-level navigation: lowest common ancestors, node paths and
+//! subtree iterators — conveniences for applications built on the search
+//! results (diff display, XPath-ish addressing, pattern anchoring).
+
+use crate::arena::{NodeId, Tree};
+
+impl Tree {
+    /// The lowest common ancestor of `a` and `b` (either node itself when
+    /// one is an ancestor of the other; the root in the worst case).
+    pub fn lowest_common_ancestor(&self, a: NodeId, b: NodeId) -> NodeId {
+        let depth_a = self.depth(a);
+        let depth_b = self.depth(b);
+        let (mut deep, mut shallow, mut gap) = if depth_a >= depth_b {
+            (a, b, depth_a - depth_b)
+        } else {
+            (b, a, depth_b - depth_a)
+        };
+        while gap > 0 {
+            deep = self.parent(deep).expect("depth accounting");
+            gap -= 1;
+        }
+        while deep != shallow {
+            deep = self.parent(deep).expect("roots coincide");
+            shallow = self.parent(shallow).expect("roots coincide");
+        }
+        deep
+    }
+
+    /// Whether `ancestor` is `node` or a proper ancestor of it.
+    pub fn is_ancestor_or_self(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut cursor = Some(node);
+        while let Some(current) = cursor {
+            if current == ancestor {
+                return true;
+            }
+            cursor = self.parent(current);
+        }
+        false
+    }
+
+    /// The root-to-node path as child indices (empty for the root) — a
+    /// stable structural address usable across structurally equal trees.
+    pub fn path_from_root(&self, node: NodeId) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cursor = node;
+        while let Some(parent) = self.parent(cursor) {
+            path.push(self.sibling_index(cursor));
+            cursor = parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Resolves a child-index path produced by [`Tree::path_from_root`].
+    pub fn resolve_path(&self, path: &[usize]) -> Option<NodeId> {
+        let mut cursor = self.root();
+        for &index in path {
+            cursor = self.child_at(cursor, index)?;
+        }
+        Some(cursor)
+    }
+
+    /// Clones the subtree rooted at `node` into a standalone tree.
+    pub fn subtree_to_tree(&self, node: NodeId) -> Tree {
+        let mut out = Tree::with_capacity(self.label(node), self.subtree_size(node));
+        let mut stack: Vec<(NodeId, NodeId)> =
+            self.children(node).map(|c| (c, out.root())).collect();
+        stack.reverse();
+        while let Some((old, new_parent)) = stack.pop() {
+            let copy = out.add_child(new_parent, self.label(old));
+            let before = stack.len();
+            stack.extend(self.children(old).map(|c| (c, copy)));
+            stack[before..].reverse();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelInterner;
+    use crate::parse::bracket;
+
+    fn tree() -> (Tree, LabelInterner) {
+        let mut interner = LabelInterner::new();
+        let t = bracket::parse(&mut interner, "a(b(c d(e)) f(g) h)").unwrap();
+        (t, interner)
+    }
+
+    fn by_name(tree: &Tree, interner: &LabelInterner, name: &str) -> NodeId {
+        let label = interner.get(name).unwrap();
+        tree.preorder().find(|&n| tree.label(n) == label).unwrap()
+    }
+
+    #[test]
+    fn lca_cases() {
+        let (t, i) = tree();
+        let (c, e, g, b, h) = (
+            by_name(&t, &i, "c"),
+            by_name(&t, &i, "e"),
+            by_name(&t, &i, "g"),
+            by_name(&t, &i, "b"),
+            by_name(&t, &i, "h"),
+        );
+        assert_eq!(t.lowest_common_ancestor(c, e), b);
+        assert_eq!(t.lowest_common_ancestor(e, g), t.root());
+        assert_eq!(t.lowest_common_ancestor(b, e), b, "ancestor of the other");
+        assert_eq!(t.lowest_common_ancestor(h, h), h, "self");
+        assert_eq!(t.lowest_common_ancestor(t.root(), g), t.root());
+    }
+
+    #[test]
+    fn ancestry_checks() {
+        let (t, i) = tree();
+        let (b, e, f) = (
+            by_name(&t, &i, "b"),
+            by_name(&t, &i, "e"),
+            by_name(&t, &i, "f"),
+        );
+        assert!(t.is_ancestor_or_self(b, e));
+        assert!(t.is_ancestor_or_self(t.root(), e));
+        assert!(t.is_ancestor_or_self(e, e));
+        assert!(!t.is_ancestor_or_self(f, e));
+        assert!(!t.is_ancestor_or_self(e, b));
+    }
+
+    #[test]
+    fn paths_roundtrip_for_every_node() {
+        let (t, _) = tree();
+        for node in t.preorder() {
+            let path = t.path_from_root(node);
+            assert_eq!(t.resolve_path(&path), Some(node));
+        }
+        assert_eq!(t.path_from_root(t.root()), Vec::<usize>::new());
+        assert_eq!(t.resolve_path(&[9]), None);
+        assert_eq!(t.resolve_path(&[0, 1, 0]), {
+            let (t2, i2) = tree();
+            Some(by_name(&t2, &i2, "e"))
+        });
+    }
+
+    #[test]
+    fn subtree_extraction() {
+        let (t, i) = tree();
+        let b = by_name(&t, &i, "b");
+        let sub = t.subtree_to_tree(b);
+        sub.validate().unwrap();
+        assert_eq!(sub.len(), 4);
+        assert_eq!(crate::parse::bracket::to_string(&sub, &i), "b(c d(e))");
+        // Extracting the root clones the whole tree.
+        let whole = t.subtree_to_tree(t.root());
+        assert_eq!(whole, t);
+    }
+}

@@ -1,0 +1,361 @@
+//! Bracket notation for rooted, ordered, labeled trees.
+//!
+//! Grammar (whitespace between tokens is ignored):
+//!
+//! ```text
+//! tree     := label children?
+//! children := '(' tree+ ')'
+//! label    := quoted | bare
+//! bare     := one or more characters other than '(', ')', '\'', whitespace
+//! quoted   := '\'' (any char; '\'' and '\\' escaped with '\\')* '\''
+//! ```
+//!
+//! Examples: `a`, `a(b c)`, `article(author title year)`,
+//! `'a label with spaces'('(weird)')`.
+
+use crate::arena::Tree;
+use crate::error::ParseError;
+use crate::label::{LabelId, LabelInterner};
+
+/// Parses a single tree in bracket notation.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem found.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_tree::{parse::bracket, LabelInterner};
+///
+/// let mut interner = LabelInterner::new();
+/// let tree = bracket::parse(&mut interner, "a(b(c d) b e)").unwrap();
+/// assert_eq!(tree.len(), 6);
+/// assert_eq!(tree.degree(tree.root()), 3);
+/// ```
+pub fn parse(interner: &mut LabelInterner, input: &str) -> Result<Tree, ParseError> {
+    let mut parser = Parser {
+        interner,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    if parser.at_end() {
+        return Err(ParseError::Empty);
+    }
+    let tree = parser.tree()?;
+    parser.skip_ws();
+    if !parser.at_end() {
+        return Err(ParseError::TrailingInput { offset: parser.pos });
+    }
+    Ok(tree)
+}
+
+/// Parses a whitespace/newline-separated sequence of trees (one dataset).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for the first malformed tree.
+pub fn parse_many(interner: &mut LabelInterner, input: &str) -> Result<Vec<Tree>, ParseError> {
+    let mut parser = Parser {
+        interner,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let mut trees = Vec::new();
+    loop {
+        parser.skip_ws();
+        if parser.at_end() {
+            break;
+        }
+        trees.push(parser.tree()?);
+    }
+    Ok(trees)
+}
+
+/// Serializes a tree to bracket notation (inverse of [`parse`]).
+pub fn to_string(tree: &Tree, interner: &LabelInterner) -> String {
+    let mut out = String::with_capacity(tree.len() * 4);
+    write_node(tree, interner, tree.root(), &mut out);
+    out
+}
+
+fn write_node(
+    tree: &Tree,
+    interner: &LabelInterner,
+    node: crate::arena::NodeId,
+    out: &mut String,
+) {
+    write_label(interner.resolve(tree.label(node)), out);
+    if !tree.is_leaf(node) {
+        out.push('(');
+        for (i, child) in tree.children(node).enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            write_node(tree, interner, child, out);
+        }
+        out.push(')');
+    }
+}
+
+fn write_label(label: &str, out: &mut String) {
+    let needs_quoting = label.is_empty()
+        || label
+            .chars()
+            .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | '\''));
+    if needs_quoting {
+        out.push('\'');
+        for c in label.chars() {
+            if matches!(c, '\'' | '\\') {
+                out.push('\\');
+            }
+            out.push(c);
+        }
+        out.push('\'');
+    } else {
+        out.push_str(label);
+    }
+}
+
+struct Parser<'a> {
+    interner: &'a mut LabelInterner,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn tree(&mut self) -> Result<Tree, ParseError> {
+        let label = self.label()?;
+        let mut tree = Tree::new(label);
+        let root = tree.root();
+        self.children(&mut tree, root)?;
+        Ok(tree)
+    }
+
+    fn children(
+        &mut self,
+        tree: &mut Tree,
+        parent: crate::arena::NodeId,
+    ) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() != Some(b'(') {
+            return Ok(());
+        }
+        self.pos += 1; // consume '('
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b')') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                None => {
+                    return Err(ParseError::UnexpectedEof {
+                        expected: "')' or a child label",
+                    })
+                }
+                Some(_) => {
+                    let label = self.label()?;
+                    let child = tree.add_child(parent, label);
+                    self.children(tree, child)?;
+                }
+            }
+        }
+    }
+
+    fn label(&mut self) -> Result<LabelId, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(ParseError::UnexpectedEof { expected: "a label" }),
+            Some(b'\'') => self.quoted_label(),
+            Some(b'(') | Some(b')') => Err(ParseError::UnexpectedChar {
+                offset: self.pos,
+                found: self.bytes[self.pos] as char,
+                expected: "a label",
+            }),
+            Some(_) => self.bare_label(),
+        }
+    }
+
+    fn bare_label(&mut self) -> Result<LabelId, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() || matches!(b, b'(' | b')' | b'\'') {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError::BadLabel { offset: start })?;
+        Ok(self.interner.intern(text))
+    }
+
+    fn quoted_label(&mut self) -> Result<LabelId, ParseError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(ParseError::UnexpectedEof {
+                        expected: "closing quote",
+                    })
+                }
+                Some(b'\'') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(escaped @ (b'\'' | b'\\')) => {
+                            text.push(escaped as char);
+                            self.pos += 1;
+                        }
+                        _ => return Err(ParseError::BadLabel { offset: start }),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar value.
+                    let remainder = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| ParseError::BadLabel { offset: self.pos })?;
+                    let c = remainder.chars().next().expect("peek returned Some");
+                    text.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        Ok(self.interner.intern(&text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(spec: &str) -> String {
+        let mut interner = LabelInterner::new();
+        let tree = parse(&mut interner, spec).unwrap();
+        tree.validate().unwrap();
+        to_string(&tree, &interner)
+    }
+
+    #[test]
+    fn single_node() {
+        assert_eq!(roundtrip("a"), "a");
+    }
+
+    #[test]
+    fn nested() {
+        assert_eq!(roundtrip("a(b(c d) b e)"), "a(b(c d) b e)");
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        assert_eq!(roundtrip("  a ( b(  c )\n d )  "), "a(b(c) d)");
+    }
+
+    #[test]
+    fn quoted_labels() {
+        assert_eq!(roundtrip("'a b'('x(y)' 'it\\'s')"), "'a b'('x(y)' 'it\\'s')");
+    }
+
+    #[test]
+    fn unicode_labels() {
+        assert_eq!(roundtrip("α(β γ)"), "α(β γ)");
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let mut interner = LabelInterner::new();
+        assert_eq!(parse(&mut interner, "   "), Err(ParseError::Empty));
+    }
+
+    #[test]
+    fn trailing_input_errors() {
+        let mut interner = LabelInterner::new();
+        assert!(matches!(
+            parse(&mut interner, "a b"),
+            Err(ParseError::TrailingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn unclosed_children_errors() {
+        let mut interner = LabelInterner::new();
+        assert!(matches!(
+            parse(&mut interner, "a(b"),
+            Err(ParseError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn stray_paren_errors() {
+        let mut interner = LabelInterner::new();
+        assert!(matches!(
+            parse(&mut interner, "(a)"),
+            Err(ParseError::UnexpectedChar { .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        let mut interner = LabelInterner::new();
+        assert!(matches!(
+            parse(&mut interner, "'abc"),
+            Err(ParseError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_escape_errors() {
+        let mut interner = LabelInterner::new();
+        assert!(matches!(
+            parse(&mut interner, "'a\\x'"),
+            Err(ParseError::BadLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_many_reads_dataset() {
+        let mut interner = LabelInterner::new();
+        let trees = parse_many(&mut interner, "a(b)\n a(c)\n\n a").unwrap();
+        assert_eq!(trees.len(), 3);
+        assert_eq!(trees[0].len(), 2);
+        assert_eq!(trees[2].len(), 1);
+    }
+
+    #[test]
+    fn parse_many_empty_is_empty() {
+        let mut interner = LabelInterner::new();
+        assert!(parse_many(&mut interner, " \n ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn shared_labels_intern_to_same_ids() {
+        let mut interner = LabelInterner::new();
+        let t1 = parse(&mut interner, "a(b)").unwrap();
+        let t2 = parse(&mut interner, "b(a)").unwrap();
+        assert_eq!(t1.label(t1.root()), t2.label(t2.first_child(t2.root()).unwrap()));
+    }
+
+    #[test]
+    fn empty_label_quoted_roundtrip() {
+        assert_eq!(roundtrip("''(a)"), "''(a)");
+    }
+}

@@ -1,0 +1,173 @@
+//! Dot-bracket notation for RNA secondary structures.
+//!
+//! The paper motivates tree similarity with RNA secondary structures: a
+//! folded molecule is naturally a rooted ordered tree. In dot-bracket
+//! notation, `(`/`)` delimit a base pair (an internal `pair` node) and `.`
+//! is an unpaired base (a `base` leaf); the whole structure hangs under a
+//! synthetic `rna` root.
+//!
+//! ```text
+//! ((..((...))..))   ⇒   rna(pair(pair(base base pair(base base base) base base)))
+//! ```
+
+use crate::arena::{NodeId, Tree};
+use crate::error::ParseError;
+use crate::label::LabelInterner;
+
+/// Label used for the synthetic root.
+pub const ROOT_LABEL: &str = "rna";
+/// Label used for paired positions.
+pub const PAIR_LABEL: &str = "pair";
+/// Label used for unpaired bases.
+pub const BASE_LABEL: &str = "base";
+
+/// Parses a dot-bracket string into its structure tree.
+///
+/// # Errors
+///
+/// Returns [`ParseError::UnexpectedChar`] for symbols outside `(.)` and
+/// [`ParseError::UnexpectedEof`] / [`ParseError::TrailingInput`] for
+/// unbalanced brackets.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_tree::{parse::dot_bracket, LabelInterner};
+///
+/// let mut interner = LabelInterner::new();
+/// let tree = dot_bracket::parse(&mut interner, "((..))").unwrap();
+/// assert_eq!(tree.len(), 5); // rna, pair, pair, base, base
+/// assert_eq!(tree.height(), 4);
+/// ```
+pub fn parse(interner: &mut LabelInterner, structure: &str) -> Result<Tree, ParseError> {
+    let root_label = interner.intern(ROOT_LABEL);
+    let pair = interner.intern(PAIR_LABEL);
+    let base = interner.intern(BASE_LABEL);
+    let mut tree = Tree::with_capacity(root_label, structure.len() + 1);
+    let mut stack: Vec<NodeId> = vec![tree.root()];
+    for (offset, symbol) in structure.char_indices() {
+        let top = *stack.last().expect("stack holds at least the root");
+        match symbol {
+            '(' => stack.push(tree.add_child(top, pair)),
+            ')' => {
+                if stack.len() == 1 {
+                    return Err(ParseError::TrailingInput { offset });
+                }
+                stack.pop();
+            }
+            '.' => {
+                tree.add_child(top, base);
+            }
+            other if other.is_whitespace() => {}
+            other => {
+                return Err(ParseError::UnexpectedChar {
+                    offset,
+                    found: other,
+                    expected: "'(', ')' or '.'",
+                })
+            }
+        }
+    }
+    if stack.len() != 1 {
+        return Err(ParseError::UnexpectedEof {
+            expected: "closing ')'",
+        });
+    }
+    Ok(tree)
+}
+
+/// Serializes a structure tree back to dot-bracket notation (inverse of
+/// [`parse`] for trees it produced).
+pub fn to_string(tree: &Tree, interner: &LabelInterner) -> String {
+    let pair = interner.get(PAIR_LABEL);
+    let mut out = String::new();
+    fn walk(
+        tree: &Tree,
+        node: NodeId,
+        pair: Option<crate::label::LabelId>,
+        out: &mut String,
+    ) {
+        for child in tree.children(node) {
+            if Some(tree.label(child)) == pair {
+                out.push('(');
+                walk(tree, child, pair, out);
+                out.push(')');
+            } else {
+                out.push('.');
+            }
+        }
+    }
+    walk(tree, tree.root(), pair, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(structure: &str) -> String {
+        let mut interner = LabelInterner::new();
+        let tree = parse(&mut interner, structure).unwrap();
+        tree.validate().unwrap();
+        to_string(&tree, &interner)
+    }
+
+    #[test]
+    fn simple_structures_roundtrip() {
+        for s in [
+            "",
+            "...",
+            "((..))",
+            "((((....))))",
+            "((..((...))..((...))..))",
+            "(((..(((...)))..)))",
+        ] {
+            assert_eq!(roundtrip(s), s);
+        }
+    }
+
+    #[test]
+    fn node_counts() {
+        let mut interner = LabelInterner::new();
+        let tree = parse(&mut interner, "(.)").unwrap();
+        // rna + pair + base
+        assert_eq!(tree.len(), 3);
+        let hairpin = parse(&mut interner, "((((....))))").unwrap();
+        assert_eq!(hairpin.len(), 1 + 4 + 4);
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        assert_eq!(roundtrip("(( .. ))".replace(' ', "").as_str()), "((..))");
+        let mut interner = LabelInterner::new();
+        let tree = parse(&mut interner, "(( .. ))").unwrap();
+        assert_eq!(to_string(&tree, &interner), "((..))");
+    }
+
+    #[test]
+    fn unbalanced_structures_error() {
+        let mut interner = LabelInterner::new();
+        assert!(matches!(
+            parse(&mut interner, "(("),
+            Err(ParseError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            parse(&mut interner, "())"),
+            Err(ParseError::TrailingInput { .. })
+        ));
+        assert!(matches!(
+            parse(&mut interner, "(x)"),
+            Err(ParseError::UnexpectedChar { .. })
+        ));
+    }
+
+    #[test]
+    fn similar_structures_have_small_edit_distance_shape() {
+        // Not a distance test (that lives in treesim-edit), just that small
+        // structural tweaks produce small tree differences.
+        let mut interner = LabelInterner::new();
+        let a = parse(&mut interner, "((((....))))").unwrap();
+        let b = parse(&mut interner, "((((.....))))").unwrap();
+        assert_eq!(b.len(), a.len() + 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Parsers producing [`crate::Tree`]s from textual formats.
+//!
+//! * [`bracket`] — compact bracket notation `a(b(c) d)` used by tests,
+//!   examples and the CLI;
+//! * [`xml`] — a minimal, dependency-free XML subset parser sufficient for
+//!   DBLP-style bibliographic records;
+//! * [`dot_bracket`] — RNA secondary structures in dot-bracket notation.
+
+pub mod bracket;
+pub mod dot_bracket;
+pub mod xml;

@@ -1,0 +1,768 @@
+//! A minimal, dependency-free XML subset parser producing labeled trees.
+//!
+//! Supported: elements, attributes (optionally turned into child nodes),
+//! text content (optionally turned into leaf nodes), self-closing tags,
+//! comments, processing instructions, XML declarations, CDATA sections and
+//! the five predefined entities plus decimal/hex character references.
+//!
+//! Not supported (not needed for DBLP-style data): DTDs with internal
+//! subsets beyond skipping, namespaces (prefixes are kept verbatim in the
+//! label) and full well-formedness validation.
+
+use crate::arena::{NodeId, Tree};
+use crate::error::ParseError;
+use crate::label::LabelInterner;
+
+/// Controls how XML constructs map to tree nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XmlOptions {
+    /// Create a leaf node per non-whitespace text run, labeled with the
+    /// (entity-decoded, whitespace-trimmed) text.
+    pub include_text: bool,
+    /// Create a child node per attribute, labeled `@name`, with the value as
+    /// a leaf child when `include_text` is set.
+    pub include_attributes: bool,
+}
+
+impl XmlOptions {
+    /// Structure-only trees: element tags become labels, text and attributes
+    /// are dropped. This is the common setting for structural similarity.
+    pub const STRUCTURE_ONLY: XmlOptions = XmlOptions {
+        include_text: false,
+        include_attributes: false,
+    };
+
+    /// Elements and text content (the shape used for DBLP records, where the
+    /// content of `author`, `title`, … carries label information).
+    pub const WITH_TEXT: XmlOptions = XmlOptions {
+        include_text: true,
+        include_attributes: false,
+    };
+
+    /// Everything: elements, attributes and text.
+    pub const FULL: XmlOptions = XmlOptions {
+        include_text: true,
+        include_attributes: true,
+    };
+}
+
+impl Default for XmlOptions {
+    fn default() -> Self {
+        XmlOptions::WITH_TEXT
+    }
+}
+
+/// Parses one XML document into a tree rooted at its document element.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_tree::{parse::xml, LabelInterner};
+///
+/// let mut interner = LabelInterner::new();
+/// let doc = "<article key='x'><author>A. U. Thor</author><title>T</title></article>";
+/// let tree = xml::parse(&mut interner, doc, xml::XmlOptions::WITH_TEXT).unwrap();
+/// assert_eq!(interner.resolve(tree.label(tree.root())), "article");
+/// assert_eq!(tree.len(), 5); // article, author, text, title, text
+/// ```
+pub fn parse(
+    interner: &mut LabelInterner,
+    input: &str,
+    options: XmlOptions,
+) -> Result<Tree, ParseError> {
+    let mut parser = XmlParser {
+        interner,
+        bytes: input.as_bytes(),
+        pos: 0,
+        options,
+    };
+    parser.skip_misc()?;
+    if parser.at_end() {
+        return Err(ParseError::Empty);
+    }
+    let tree = parser.element(None)?.expect("element after skip_misc");
+    parser.skip_misc()?;
+    if !parser.at_end() {
+        return Err(ParseError::TrailingInput { offset: parser.pos });
+    }
+    Ok(tree)
+}
+
+/// Parses a concatenation of XML documents (e.g., one DBLP record per line).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for the first malformed document.
+pub fn parse_many(
+    interner: &mut LabelInterner,
+    input: &str,
+    options: XmlOptions,
+) -> Result<Vec<Tree>, ParseError> {
+    let mut parser = XmlParser {
+        interner,
+        bytes: input.as_bytes(),
+        pos: 0,
+        options,
+    };
+    let mut trees = Vec::new();
+    loop {
+        parser.skip_misc()?;
+        if parser.at_end() {
+            break;
+        }
+        trees.push(parser.element(None)?.expect("element after skip_misc"));
+    }
+    Ok(trees)
+}
+
+/// Serializes a tree back to XML. Nodes labeled `@name` become attributes of
+/// their parent when their only child is a leaf (or they are leaves); other
+/// leaves parsed from text (heuristically: any leaf whose label contains
+/// whitespace or that the caller created from text) are emitted as element
+/// content only when `options.include_text` was used — this writer simply
+/// emits every node as an element, which is lossless for
+/// [`XmlOptions::STRUCTURE_ONLY`] trees and a faithful structural rendering
+/// otherwise.
+pub fn to_string(tree: &Tree, interner: &LabelInterner) -> String {
+    let mut out = String::with_capacity(tree.len() * 16);
+    write_element(tree, interner, tree.root(), &mut out);
+    out
+}
+
+fn write_element(tree: &Tree, interner: &LabelInterner, node: NodeId, out: &mut String) {
+    let label = interner.resolve(tree.label(node));
+    out.push('<');
+    push_escaped(label, out);
+    if tree.is_leaf(node) {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in tree.children(node) {
+        write_element(tree, interner, child, out);
+    }
+    out.push_str("</");
+    push_escaped(label, out);
+    out.push('>');
+}
+
+fn push_escaped(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Serializes a tree to XML, re-interpreting the conventions of
+/// [`XmlOptions::WITH_TEXT`] / [`XmlOptions::FULL`] parsing:
+///
+/// * a leaf whose label is **not** a well-formed XML element name (spaces,
+///   leading digits, slashes, …) is emitted as *text content* of its
+///   parent;
+/// * a node labeled `@name` is emitted as an *attribute* of its parent,
+///   its value being its single leaf child's label (or empty);
+/// * everything else is an element.
+///
+/// `parse(to_string_with_text(t), WITH_TEXT)` reproduces `t` whenever `t`
+/// came from `parse(_, WITH_TEXT)` and its text labels are not themselves
+/// valid element names (e.g. DBLP author/title/year values).
+pub fn to_string_with_text(tree: &Tree, interner: &LabelInterner) -> String {
+    let mut out = String::with_capacity(tree.len() * 16);
+    write_element_with_text(tree, interner, tree.root(), &mut out);
+    out
+}
+
+fn is_xml_name(text: &str) -> bool {
+    let mut chars = text.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+}
+
+fn write_element_with_text(
+    tree: &Tree,
+    interner: &LabelInterner,
+    node: NodeId,
+    out: &mut String,
+) {
+    let label = interner.resolve(tree.label(node));
+    out.push('<');
+    out.push_str(label);
+    // Attributes first: children labeled @name.
+    let mut content_children = Vec::new();
+    for child in tree.children(node) {
+        let child_label = interner.resolve(tree.label(child));
+        if let Some(name) = child_label.strip_prefix('@') {
+            out.push(' ');
+            out.push_str(name);
+            out.push_str("=\"");
+            if let Some(value) = tree.first_child(child) {
+                push_escaped(interner.resolve(tree.label(value)), out);
+            }
+            out.push('"');
+        } else {
+            content_children.push(child);
+        }
+    }
+    if content_children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in content_children {
+        let child_label = interner.resolve(tree.label(child));
+        if tree.is_leaf(child) && !is_xml_name(child_label) {
+            push_escaped(child_label, out);
+        } else {
+            write_element_with_text(tree, interner, child, out);
+        }
+    }
+    out.push_str("</");
+    out.push_str(label);
+    out.push('>');
+}
+
+struct XmlParser<'a> {
+    interner: &'a mut LabelInterner,
+    bytes: &'a [u8],
+    pos: usize,
+    options: XmlOptions,
+}
+
+impl XmlParser<'_> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.bytes[self.pos..].starts_with(prefix.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, PIs, XML declarations and DOCTYPE.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                // Skip to the matching '>' (no internal-subset nesting).
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &str) -> Result<(), ParseError> {
+        let haystack = &self.bytes[self.pos..];
+        match find_subslice(haystack, terminator.as_bytes()) {
+            Some(offset) => {
+                self.pos += offset + terminator.len();
+                Ok(())
+            }
+            None => Err(ParseError::UnexpectedEof {
+                expected: "construct terminator",
+            }),
+        }
+    }
+
+    /// Parses one element. When `into` is `Some((tree, parent))`, attaches
+    /// the element under `parent`; otherwise creates and returns a new tree.
+    fn element(
+        &mut self,
+        mut into: Option<(&mut Tree, NodeId)>,
+    ) -> Result<Option<Tree>, ParseError> {
+        if self.peek() != Some(b'<') {
+            return Err(ParseError::UnexpectedChar {
+                offset: self.pos,
+                found: self.peek().map_or('\0', |b| b as char),
+                expected: "'<'",
+            });
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let label = self.interner.intern(&name);
+
+        let mut owned: Option<Tree> = None;
+        let node = match &mut into {
+            Some((tree, parent)) => tree.add_child(*parent, label),
+            None => {
+                let tree = Tree::new(label);
+                let root = tree.root();
+                owned = Some(tree);
+                root
+            }
+        };
+        // A local mutable borrow resolving to whichever tree we're filling.
+        macro_rules! tree_mut {
+            () => {
+                match (&mut owned, &mut into) {
+                    (Some(t), _) => &mut *t,
+                    (None, Some((t, _))) => &mut **t,
+                    (None, None) => unreachable!(),
+                }
+            };
+        }
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        return Ok(owned);
+                    }
+                    return Err(ParseError::UnexpectedChar {
+                        offset: self.pos,
+                        found: self.peek().map_or('\0', |b| b as char),
+                        expected: "'>' after '/'",
+                    });
+                }
+                Some(_) => {
+                    let (attr_name, attr_value) = self.attribute()?;
+                    if self.options.include_attributes {
+                        let tree = tree_mut!();
+                        let attr_label = self.interner.intern(&format!("@{attr_name}"));
+                        let attr_node = tree.add_child(node, attr_label);
+                        if self.options.include_text && !attr_value.is_empty() {
+                            let value_label = self.interner.intern(&attr_value);
+                            tree.add_child(attr_node, value_label);
+                        }
+                    }
+                }
+                None => {
+                    return Err(ParseError::UnexpectedEof {
+                        expected: "'>' or attribute",
+                    })
+                }
+            }
+        }
+
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                let start = self.pos + "<![CDATA[".len();
+                let haystack = &self.bytes[start..];
+                let end = find_subslice(haystack, b"]]>").ok_or(ParseError::UnexpectedEof {
+                    expected: "']]>'",
+                })?;
+                let text = std::str::from_utf8(&haystack[..end])
+                    .map_err(|_| ParseError::BadLabel { offset: start })?
+                    .trim()
+                    .to_owned();
+                self.pos = start + end + 3;
+                if self.options.include_text && !text.is_empty() {
+                    let tree = tree_mut!();
+                    let text_label = self.interner.intern(&text);
+                    tree.add_child(node, text_label);
+                }
+                continue;
+            }
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+                continue;
+            }
+            if self.starts_with("</") {
+                let close_offset = self.pos;
+                self.pos += 2;
+                let close_name = self.name()?;
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(ParseError::UnexpectedChar {
+                        offset: self.pos,
+                        found: self.peek().map_or('\0', |b| b as char),
+                        expected: "'>' in closing tag",
+                    });
+                }
+                self.pos += 1;
+                if close_name != name {
+                    return Err(ParseError::MismatchedTag {
+                        offset: close_offset,
+                        expected: name,
+                        found: close_name,
+                    });
+                }
+                return Ok(owned);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let tree = tree_mut!();
+                    self.element(Some((tree, node)))?;
+                }
+                Some(_) => {
+                    let text = self.text_run()?;
+                    if self.options.include_text && !text.is_empty() {
+                        let tree = tree_mut!();
+                        let text_label = self.interner.intern(&text);
+                        tree.add_child(node, text_label);
+                    }
+                }
+                None => {
+                    return Err(ParseError::UnexpectedEof {
+                        expected: "element content or closing tag",
+                    })
+                }
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() || matches!(b, b'>' | b'/' | b'=') {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(ParseError::BadLabel { offset: start });
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map(str::to_owned)
+            .map_err(|_| ParseError::BadLabel { offset: start })
+    }
+
+    fn attribute(&mut self) -> Result<(String, String), ParseError> {
+        let name = self.name()?;
+        self.skip_ws();
+        if self.peek() != Some(b'=') {
+            // Attribute without value (HTML-ish); tolerate.
+            return Ok((name, String::new()));
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => {
+                return Err(ParseError::UnexpectedChar {
+                    offset: self.pos,
+                    found: self.peek().map_or('\0', |b| b as char),
+                    expected: "quoted attribute value",
+                })
+            }
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.at_end() {
+            return Err(ParseError::UnexpectedEof {
+                expected: "closing attribute quote",
+            });
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError::BadLabel { offset: start })?;
+        let value = decode_entities(raw, start)?;
+        self.pos += 1; // closing quote
+        Ok((name, value))
+    }
+
+    fn text_run(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError::BadLabel { offset: start })?;
+        Ok(decode_entities(raw, start)?.trim().to_owned())
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+fn decode_entities(raw: &str, base_offset: usize) -> Result<String, ParseError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    let mut consumed = 0usize;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or(ParseError::BadEntity {
+            offset: base_offset + consumed + amp,
+        })?;
+        let entity = &after[..semi];
+        let decoded: String = match entity {
+            "lt" => "<".into(),
+            "gt" => ">".into(),
+            "amp" => "&".into(),
+            "quot" => "\"".into(),
+            "apos" => "'".into(),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
+                    ParseError::BadEntity {
+                        offset: base_offset + consumed + amp,
+                    }
+                })?;
+                char::from_u32(code)
+                    .ok_or(ParseError::BadEntity {
+                        offset: base_offset + consumed + amp,
+                    })?
+                    .to_string()
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..].parse().map_err(|_| ParseError::BadEntity {
+                    offset: base_offset + consumed + amp,
+                })?;
+                char::from_u32(code)
+                    .ok_or(ParseError::BadEntity {
+                        offset: base_offset + consumed + amp,
+                    })?
+                    .to_string()
+            }
+            _ => {
+                return Err(ParseError::BadEntity {
+                    offset: base_offset + consumed + amp,
+                })
+            }
+        };
+        out.push_str(&decoded);
+        let advance = amp + 1 + semi + 1;
+        consumed += advance;
+        rest = &rest[advance..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(doc: &str, options: XmlOptions) -> (Tree, LabelInterner) {
+        let mut interner = LabelInterner::new();
+        let tree = parse(&mut interner, doc, options).unwrap();
+        tree.validate().unwrap();
+        (tree, interner)
+    }
+
+    #[test]
+    fn structure_only_drops_text_and_attributes() {
+        let (tree, interner) = parse_one(
+            "<article key='1'><author>Jane Doe</author><title>Trees</title></article>",
+            XmlOptions::STRUCTURE_ONLY,
+        );
+        assert_eq!(tree.len(), 3);
+        let labels: Vec<_> = tree
+            .preorder()
+            .map(|n| interner.resolve(tree.label(n)).to_owned())
+            .collect();
+        assert_eq!(labels, vec!["article", "author", "title"]);
+    }
+
+    #[test]
+    fn with_text_creates_text_leaves() {
+        let (tree, interner) = parse_one(
+            "<article><author>Jane Doe</author></article>",
+            XmlOptions::WITH_TEXT,
+        );
+        assert_eq!(tree.len(), 3);
+        let author = tree.first_child(tree.root()).unwrap();
+        let text = tree.first_child(author).unwrap();
+        assert_eq!(interner.resolve(tree.label(text)), "Jane Doe");
+    }
+
+    #[test]
+    fn full_options_include_attributes() {
+        let (tree, interner) = parse_one(
+            "<article key=\"conf/x\" mdate='2004-01-01'/>",
+            XmlOptions::FULL,
+        );
+        assert_eq!(tree.degree(tree.root()), 2);
+        let attr = tree.first_child(tree.root()).unwrap();
+        assert_eq!(interner.resolve(tree.label(attr)), "@key");
+        let value = tree.first_child(attr).unwrap();
+        assert_eq!(interner.resolve(tree.label(value)), "conf/x");
+    }
+
+    #[test]
+    fn self_closing_and_nested_mix() {
+        let (tree, _) = parse_one(
+            "<a><b/><c><d/></c><b></b></a>",
+            XmlOptions::STRUCTURE_ONLY,
+        );
+        assert_eq!(tree.len(), 5);
+        assert_eq!(tree.degree(tree.root()), 3);
+    }
+
+    #[test]
+    fn declaration_comment_doctype_skipped() {
+        let doc = "<?xml version=\"1.0\"?><!DOCTYPE dblp><!-- hi --><a><!-- inner --><b/></a>";
+        let (tree, _) = parse_one(doc, XmlOptions::STRUCTURE_ONLY);
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let (tree, interner) = parse_one(
+            "<t><![CDATA[x < y & z]]></t>",
+            XmlOptions::WITH_TEXT,
+        );
+        let text = tree.first_child(tree.root()).unwrap();
+        assert_eq!(interner.resolve(tree.label(text)), "x < y & z");
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let (tree, interner) = parse_one(
+            "<t>&lt;a&gt; &amp; &#65;&#x42;</t>",
+            XmlOptions::WITH_TEXT,
+        );
+        let text = tree.first_child(tree.root()).unwrap();
+        assert_eq!(interner.resolve(tree.label(text)), "<a> & AB");
+    }
+
+    #[test]
+    fn mismatched_tag_errors() {
+        let mut interner = LabelInterner::new();
+        assert!(matches!(
+            parse(&mut interner, "<a><b></a></b>", XmlOptions::STRUCTURE_ONLY),
+            Err(ParseError::MismatchedTag { .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_document_errors() {
+        let mut interner = LabelInterner::new();
+        assert!(matches!(
+            parse(&mut interner, "<a><b/>", XmlOptions::STRUCTURE_ONLY),
+            Err(ParseError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_entity_errors() {
+        let mut interner = LabelInterner::new();
+        assert!(matches!(
+            parse(&mut interner, "<a>&bogus;</a>", XmlOptions::WITH_TEXT),
+            Err(ParseError::BadEntity { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let mut interner = LabelInterner::new();
+        assert_eq!(
+            parse(&mut interner, "  ", XmlOptions::STRUCTURE_ONLY),
+            Err(ParseError::Empty)
+        );
+    }
+
+    #[test]
+    fn trailing_content_errors() {
+        let mut interner = LabelInterner::new();
+        assert!(matches!(
+            parse(&mut interner, "<a/><b/>", XmlOptions::STRUCTURE_ONLY),
+            Err(ParseError::TrailingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_many_reads_record_stream() {
+        let mut interner = LabelInterner::new();
+        let docs = "<article><author/></article>\n<inproceedings><title/></inproceedings>";
+        let trees = parse_many(&mut interner, docs, XmlOptions::STRUCTURE_ONLY).unwrap();
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].len(), 2);
+    }
+
+    #[test]
+    fn writer_roundtrip_structure_only() {
+        let doc = "<a><b/><c><d/></c></a>";
+        let mut interner = LabelInterner::new();
+        let tree = parse(&mut interner, doc, XmlOptions::STRUCTURE_ONLY).unwrap();
+        let emitted = to_string(&tree, &interner);
+        let tree2 = parse(&mut interner, &emitted, XmlOptions::STRUCTURE_ONLY).unwrap();
+        assert_eq!(tree, tree2);
+    }
+
+    #[test]
+    fn text_aware_writer_roundtrips_with_text_trees() {
+        let docs = [
+            "<article><author>Jane Doe</author><title>graph mining 101</title><year>1999</year></article>",
+            "<t>x  y</t>",
+            "<a><b/><c>12-34</c></a>",
+        ];
+        let mut interner = LabelInterner::new();
+        for doc in docs {
+            let tree = parse(&mut interner, doc, XmlOptions::WITH_TEXT).unwrap();
+            let emitted = to_string_with_text(&tree, &interner);
+            let reparsed = parse(&mut interner, &emitted, XmlOptions::WITH_TEXT).unwrap();
+            assert_eq!(reparsed, tree, "round trip failed for {doc}");
+        }
+    }
+
+    #[test]
+    fn text_aware_writer_roundtrips_attributes() {
+        let doc = "<article key=\"conf/x\" mdate=\"2004-01-01\"><author>A B</author></article>";
+        let mut interner = LabelInterner::new();
+        let tree = parse(&mut interner, doc, XmlOptions::FULL).unwrap();
+        let emitted = to_string_with_text(&tree, &interner);
+        let reparsed = parse(&mut interner, &emitted, XmlOptions::FULL).unwrap();
+        assert_eq!(reparsed, tree);
+    }
+
+    #[test]
+    fn text_with_specials_is_escaped() {
+        let mut interner = LabelInterner::new();
+        let tree = parse(&mut interner, "<t>a &lt;&amp;&gt; b</t>", XmlOptions::WITH_TEXT).unwrap();
+        let emitted = to_string_with_text(&tree, &interner);
+        assert!(emitted.contains("&lt;"));
+        assert!(emitted.contains("&amp;"));
+        let reparsed = parse(&mut interner, &emitted, XmlOptions::WITH_TEXT).unwrap();
+        assert_eq!(reparsed, tree);
+    }
+
+    #[test]
+    fn whitespace_only_text_ignored() {
+        let (tree, _) = parse_one("<a>\n  <b/>\n</a>", XmlOptions::WITH_TEXT);
+        assert_eq!(tree.len(), 2);
+    }
+}

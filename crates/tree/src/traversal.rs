@@ -1,0 +1,260 @@
+//! Tree traversals and position numbering.
+//!
+//! The positional binary branch distance of the paper (§4.2) keys each
+//! branch occurrence by the 1-based position of its root node in the
+//! preorder and postorder traversal sequences of the original tree;
+//! [`Positions`] computes both numberings in one pass.
+
+use crate::arena::{NodeId, Tree};
+
+impl Tree {
+    /// Depth-first, left-to-right (preorder) iterator over live nodes.
+    pub fn preorder(&self) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![self.root()],
+        }
+    }
+
+    /// Postorder (children before parent, left to right) iterator.
+    pub fn postorder(&self) -> Postorder<'_> {
+        Postorder {
+            tree: self,
+            stack: vec![(self.root(), false)],
+        }
+    }
+
+    /// Breadth-first (level order) iterator.
+    pub fn bfs(&self) -> Bfs<'_> {
+        Bfs {
+            tree: self,
+            queue: std::collections::VecDeque::from([self.root()]),
+        }
+    }
+
+    /// Preorder iterator over the subtree rooted at `root`.
+    pub fn preorder_from(&self, root: NodeId) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![root],
+        }
+    }
+
+    /// Computes the 1-based preorder and postorder position of every node.
+    pub fn positions(&self) -> Positions {
+        Positions::new(self)
+    }
+}
+
+/// Preorder iterator; see [`Tree::preorder`].
+#[derive(Debug, Clone)]
+pub struct Preorder<'a> {
+    tree: &'a Tree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let before = self.stack.len();
+        for child in self.tree.children(id) {
+            self.stack.push(child);
+        }
+        self.stack[before..].reverse();
+        Some(id)
+    }
+}
+
+/// Postorder iterator; see [`Tree::postorder`].
+#[derive(Debug, Clone)]
+pub struct Postorder<'a> {
+    tree: &'a Tree,
+    stack: Vec<(NodeId, bool)>,
+}
+
+impl Iterator for Postorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while let Some((id, expanded)) = self.stack.pop() {
+            if expanded {
+                return Some(id);
+            }
+            self.stack.push((id, true));
+            let before = self.stack.len();
+            for child in self.tree.children(id) {
+                self.stack.push((child, false));
+            }
+            self.stack[before..].reverse();
+        }
+        None
+    }
+}
+
+/// Breadth-first iterator; see [`Tree::bfs`].
+#[derive(Debug, Clone)]
+pub struct Bfs<'a> {
+    tree: &'a Tree,
+    queue: std::collections::VecDeque<NodeId>,
+}
+
+impl Iterator for Bfs<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.queue.pop_front()?;
+        self.queue.extend(self.tree.children(id));
+        Some(id)
+    }
+}
+
+/// 1-based preorder and postorder numbering of a tree's nodes.
+///
+/// Indexed by [`NodeId`]; positions of nodes deleted from the tree are 0.
+#[derive(Debug, Clone)]
+pub struct Positions {
+    pre: Vec<u32>,
+    post: Vec<u32>,
+}
+
+impl Positions {
+    fn new(tree: &Tree) -> Self {
+        let capacity = tree.arena_len();
+        let mut pre = vec![0u32; capacity];
+        let mut post = vec![0u32; capacity];
+        for (i, id) in tree.preorder().enumerate() {
+            pre[id.index()] = i as u32 + 1;
+        }
+        for (i, id) in tree.postorder().enumerate() {
+            post[id.index()] = i as u32 + 1;
+        }
+        Positions { pre, post }
+    }
+
+    /// 1-based preorder position of `id`.
+    #[inline]
+    pub fn pre(&self, id: NodeId) -> u32 {
+        self.pre[id.index()]
+    }
+
+    /// 1-based postorder position of `id`.
+    #[inline]
+    pub fn post(&self, id: NodeId) -> u32 {
+        self.post[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelInterner;
+
+    /// Fig. 1 tree T1: a(b(c(d)) b e).
+    fn t1() -> (Tree, LabelInterner) {
+        let mut interner = LabelInterner::new();
+        let (a, b, c, d, e) = (
+            interner.intern("a"),
+            interner.intern("b"),
+            interner.intern("c"),
+            interner.intern("d"),
+            interner.intern("e"),
+        );
+        let mut t = Tree::new(a);
+        let root = t.root();
+        let nb1 = t.add_child(root, b);
+        t.add_child(root, b);
+        t.add_child(root, e);
+        let nc = t.add_child(nb1, c);
+        t.add_child(nc, d);
+        (t, interner)
+    }
+
+    #[test]
+    fn preorder_visits_parent_first() {
+        let (t, interner) = t1();
+        let labels: Vec<_> = t
+            .preorder()
+            .map(|n| interner.resolve(t.label(n)).to_owned())
+            .collect();
+        assert_eq!(labels, vec!["a", "b", "c", "d", "b", "e"]);
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let (t, interner) = t1();
+        let labels: Vec<_> = t
+            .postorder()
+            .map(|n| interner.resolve(t.label(n)).to_owned())
+            .collect();
+        assert_eq!(labels, vec!["d", "c", "b", "b", "e", "a"]);
+    }
+
+    #[test]
+    fn bfs_visits_level_by_level() {
+        let (t, interner) = t1();
+        let labels: Vec<_> = t
+            .bfs()
+            .map(|n| interner.resolve(t.label(n)).to_owned())
+            .collect();
+        assert_eq!(labels, vec!["a", "b", "b", "e", "c", "d"]);
+    }
+
+    #[test]
+    fn traversals_cover_all_nodes_once() {
+        let (t, _) = t1();
+        assert_eq!(t.preorder().count(), t.len());
+        assert_eq!(t.postorder().count(), t.len());
+        assert_eq!(t.bfs().count(), t.len());
+    }
+
+    #[test]
+    fn traversals_skip_deleted_nodes() {
+        let (mut t, _) = t1();
+        let b1 = t.first_child(t.root()).unwrap();
+        t.remove_node(b1).unwrap();
+        assert_eq!(t.preorder().count(), 5);
+        assert_eq!(t.postorder().count(), 5);
+        assert_eq!(t.bfs().count(), 5);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_consistent() {
+        let (t, _) = t1();
+        let pos = t.positions();
+        let root = t.root();
+        assert_eq!(pos.pre(root), 1);
+        assert_eq!(pos.post(root), t.len() as u32);
+        // Every preorder position is distinct and in 1..=n.
+        let mut seen: Vec<u32> = t.preorder().map(|n| pos.pre(n)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=t.len() as u32).collect::<Vec<_>>());
+        let mut seen_post: Vec<u32> = t.preorder().map(|n| pos.post(n)).collect();
+        seen_post.sort_unstable();
+        assert_eq!(seen_post, (1..=t.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ancestor_has_smaller_pre_and_larger_post() {
+        let (t, _) = t1();
+        let pos = t.positions();
+        for node in t.preorder() {
+            for anc in t.ancestors(node) {
+                assert!(pos.pre(anc) < pos.pre(node));
+                assert!(pos.post(anc) > pos.post(node));
+            }
+        }
+    }
+
+    #[test]
+    fn preorder_from_subtree() {
+        let (t, interner) = t1();
+        let b1 = t.first_child(t.root()).unwrap();
+        let labels: Vec<_> = t
+            .preorder_from(b1)
+            .map(|n| interner.resolve(t.label(n)).to_owned())
+            .collect();
+        assert_eq!(labels, vec!["b", "c", "d"]);
+    }
+}

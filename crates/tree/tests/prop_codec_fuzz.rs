@@ -1,0 +1,53 @@
+//! Fuzz-style property tests: the binary codecs must reject arbitrary and
+//! corrupted input with an error — never panic, never loop.
+
+use proptest::prelude::*;
+use treesim_tree::codec::{decode_forest, encode_forest};
+use treesim_tree::Forest;
+
+fn sample_forest() -> Forest {
+    let mut forest = Forest::new();
+    forest.parse_bracket("a(b(c d) e)").unwrap();
+    forest.parse_bracket("x(y)").unwrap();
+    forest
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_forest(&bytes);
+    }
+
+    /// Arbitrary bytes with a valid magic prefix never panic either.
+    #[test]
+    fn magic_prefixed_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut input = b"TSF1".to_vec();
+        input.extend(bytes);
+        let _ = decode_forest(&input);
+    }
+
+    /// Single-byte corruption of a valid file either decodes to *some*
+    /// valid forest or errors — never panics.
+    #[test]
+    fn corrupted_valid_file_never_panics(position in 0usize..64, value in any::<u8>()) {
+        let mut bytes = encode_forest(&sample_forest()).to_vec();
+        let index = position % bytes.len();
+        bytes[index] = value;
+        if let Ok(forest) = decode_forest(&bytes) {
+            for (_, tree) in forest.iter() {
+                tree.validate().unwrap();
+            }
+        }
+    }
+
+    /// Truncation at any point errors cleanly.
+    #[test]
+    fn truncation_never_panics(cut in 0usize..64) {
+        let bytes = encode_forest(&sample_forest());
+        let cut = cut % bytes.len();
+        prop_assert!(decode_forest(&bytes[..cut]).is_err());
+    }
+}

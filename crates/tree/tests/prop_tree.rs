@@ -1,0 +1,111 @@
+//! Property tests for the tree substrate: parser/codec round-trips and
+//! structural invariants over randomly generated trees.
+
+use proptest::prelude::*;
+use treesim_tree::{codec, parse::bracket, Forest, LabelInterner, Tree};
+
+/// Proptest strategy: a random tree as a nested bracket expression built
+/// from a small label alphabet.
+fn arbitrary_tree() -> impl Strategy<Value = String> {
+    let leaf = prop::sample::select(vec!["a", "b", "c", "d", "long_label", "x1"])
+        .prop_map(str::to_owned);
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            prop::sample::select(vec!["a", "b", "c", "r"]),
+            prop::collection::vec(inner, 1..4),
+        )
+            .prop_map(|(label, children)| format!("{label}({})", children.join(" ")))
+    })
+}
+
+fn parse(spec: &str) -> (Tree, LabelInterner) {
+    let mut interner = LabelInterner::new();
+    let tree = bracket::parse(&mut interner, spec).unwrap();
+    (tree, interner)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse ∘ print = identity on the printed form.
+    #[test]
+    fn bracket_roundtrip(spec in arbitrary_tree()) {
+        let (tree, interner) = parse(&spec);
+        tree.validate().unwrap();
+        let printed = bracket::to_string(&tree, &interner);
+        let (reparsed, interner2) = parse(&printed);
+        prop_assert_eq!(bracket::to_string(&reparsed, &interner2), printed);
+        prop_assert_eq!(reparsed.len(), tree.len());
+    }
+
+    /// Binary codec round-trip preserves the rendered tree.
+    #[test]
+    fn codec_roundtrip(specs in prop::collection::vec(arbitrary_tree(), 1..6)) {
+        let mut forest = Forest::new();
+        for spec in &specs {
+            forest.parse_bracket(spec).unwrap();
+        }
+        let decoded = codec::decode_forest(&codec::encode_forest(&forest)).unwrap();
+        prop_assert_eq!(decoded.len(), forest.len());
+        for ((_, a), (_, b)) in forest.iter().zip(decoded.iter()) {
+            prop_assert_eq!(
+                bracket::to_string(a, forest.interner()),
+                bracket::to_string(b, decoded.interner())
+            );
+        }
+    }
+
+    /// Traversal invariants: counts, orders and position relations.
+    #[test]
+    fn traversal_invariants(spec in arbitrary_tree()) {
+        let (tree, _) = parse(&spec);
+        let n = tree.len();
+        prop_assert_eq!(tree.preorder().count(), n);
+        prop_assert_eq!(tree.postorder().count(), n);
+        prop_assert_eq!(tree.bfs().count(), n);
+        prop_assert_eq!(tree.subtree_size(tree.root()), n);
+        prop_assert!(tree.height() <= n);
+        prop_assert!(tree.leaf_count() >= 1);
+
+        let positions = tree.positions();
+        for node in tree.preorder() {
+            // Children positions relate to their parent's.
+            for child in tree.children(node) {
+                prop_assert!(positions.pre(child) > positions.pre(node));
+                prop_assert!(positions.post(child) < positions.post(node));
+                prop_assert_eq!(tree.parent(child), Some(node));
+            }
+            // depth/height bounds.
+            prop_assert!(tree.depth(node) <= tree.height());
+            prop_assert!(tree.node_height(node) + tree.depth(node) <= n + 1);
+        }
+    }
+
+    /// XML writer round-trips structure-only trees.
+    #[test]
+    fn xml_roundtrip_structure(spec in arbitrary_tree()) {
+        use treesim_tree::parse::xml;
+        let (tree, interner) = parse(&spec);
+        let doc = xml::to_string(&tree, &interner);
+        let mut interner2 = interner.clone();
+        let reparsed = xml::parse(&mut interner2, &doc, xml::XmlOptions::STRUCTURE_ONLY).unwrap();
+        prop_assert_eq!(&reparsed, &tree);
+    }
+
+    /// Every node except the root can be deleted, and the tree stays valid.
+    #[test]
+    fn deletion_keeps_validity(spec in arbitrary_tree(), victim_seed in 0usize..100) {
+        let (mut tree, _) = parse(&spec);
+        if tree.len() > 1 {
+            let victims: Vec<_> = tree.preorder().skip(1).collect();
+            let victim = victims[victim_seed % victims.len()];
+            let before = tree.len();
+            tree.remove_node(victim).unwrap();
+            tree.validate().unwrap();
+            prop_assert_eq!(tree.len(), before - 1);
+            let compacted = tree.compact();
+            compacted.validate().unwrap();
+            prop_assert_eq!(&compacted, &tree);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: binary branch vectors, lower bounds and similarity search.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use treesim::prelude::*;
+
+fn main() {
+    // ── 1. Build a small dataset of rooted, ordered, labeled trees. ──────
+    let mut forest = Forest::new();
+    let specs = [
+        "a(b(c(d)) b e)", // the paper's running example T1
+        "a(c(d) b e)",    // T2 = T1 with the first b deleted
+        "a(b(c(d)) b e f)",
+        "a(b c)",
+        "x(y z)",
+        "a(e b(c(d)) b)", // T1 with siblings rotated
+    ];
+    for spec in specs {
+        forest.parse_bracket(spec).unwrap();
+    }
+
+    // ── 2. The transformation: trees → binary branch vectors. ────────────
+    let t1 = forest.tree(TreeId(0));
+    let t2 = forest.tree(TreeId(1));
+    let mut vocab = BranchVocab::new(2); // two-level binary branches
+    let v1 = PositionalVector::build(t1, &mut vocab);
+    let v2 = PositionalVector::build(t2, &mut vocab);
+
+    let bdist = v1.bdist(&v2);
+    let edist = edit_distance(t1, t2);
+    println!("T1 = {}", specs[0]);
+    println!("T2 = {}", specs[1]);
+    println!("binary branch distance BDist(T1,T2) = {bdist}");
+    println!("tree edit distance     EDist(T1,T2) = {edist}");
+    println!("Theorem 3.2 guarantee:  BDist ≤ 5·EDist  ({bdist} ≤ {})", 5 * edist);
+    println!(
+        "plain lower bound  ⌈BDist/5⌉        = {}",
+        bdist.div_ceil(5)
+    );
+    println!(
+        "positional bound   propt            = {} (≤ EDist = {edist})",
+        v1.optimistic_bound(&v2)
+    );
+
+    // ── 3. Filter-and-refine similarity search. ──────────────────────────
+    let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+    let engine = SearchEngine::new(&forest, filter);
+
+    let (neighbors, stats) = engine.knn(t1, 3);
+    println!("\n3-NN of T1:");
+    for n in &neighbors {
+        println!(
+            "  tree {:>2}  distance {}  ({})",
+            n.tree.0, n.distance, specs[n.tree.index()]
+        );
+    }
+    println!(
+        "accessed {}/{} trees ({:.1}%) — the filter pruned the rest",
+        stats.refined,
+        stats.dataset_size,
+        stats.accessed_percent()
+    );
+
+    let (in_range, _) = engine.range(t1, 1);
+    println!("\ntrees within edit distance 1 of T1:");
+    for n in &in_range {
+        println!("  tree {:>2}  distance {}", n.tree.0, n.distance);
+    }
+}

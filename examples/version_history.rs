@@ -1,0 +1,85 @@
+//! Document version management — the paper's versioning motivation: given
+//! a repository of structured-document revisions, find the revisions
+//! closest to an edited working copy, and show how the q-level resolution
+//! knob (Theorem 3.3) trades filter precision for vector size.
+//!
+//! ```text
+//! cargo run --example version_history
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treesim::datagen::mutate::apply_random_ops;
+use treesim::prelude::*;
+
+fn main() {
+    // ── 1. A revision history: each version is a few edits from its parent.
+    let mut forest = Forest::new();
+    let base_spec = "doc(head(title meta) body(sec(p p) sec(p fig(img cap)) sec(p p p)))";
+    forest.parse_bracket(base_spec).unwrap();
+
+    let labels: Vec<LabelId> = forest
+        .interner()
+        .iter()
+        .map(|(id, _)| id)
+        .filter(|id| !id.is_epsilon())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let versions = 40usize;
+    for v in 1..versions {
+        let parent = forest.tree(TreeId((v - 1) as u32)).clone();
+        let (child, _) = apply_random_ops(&parent, 2, &labels, &mut rng);
+        forest.push(child);
+    }
+    println!("revision history: {} versions of {base_spec}", forest.len());
+
+    // ── 2. A working copy: version 20 with three more local edits. ───────
+    let working = {
+        let v20 = forest.tree(TreeId(20)).clone();
+        apply_random_ops(&v20, 3, &labels, &mut rng).0
+    };
+
+    // ── 3. Which stored revisions are closest? ───────────────────────────
+    let engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let (closest, stats) = engine.knn(&working, 5);
+    println!("\n5 revisions closest to the working copy:");
+    for hit in &closest {
+        println!("  v{:<3} edit distance {}", hit.tree.0, hit.distance);
+    }
+    println!(
+        "accessed {:.1}% of the history (the lower bound pruned the rest)",
+        stats.accessed_percent()
+    );
+
+    // ── 4. What changed? Recover the optimal edit script (diff). ─────────
+    let nearest = forest.tree(closest[0].tree).clone();
+    let applied = treesim::edit::diff(&nearest, &working, &UnitCost);
+    println!(
+        "\ndiff v{} → working copy: {} operations",
+        closest[0].tree.0,
+        applied.ops.len()
+    );
+    for op in applied.ops.iter().take(6) {
+        println!("  {op:?}");
+    }
+    assert_eq!(applied.result, working, "the script reproduces the working copy");
+
+    // ── 5. The resolution knob: BDist_q tightens as q grows. ─────────────
+    println!("\nq-level resolution (Theorem 3.3: BDist_q ≤ [4(q−1)+1]·EDist):");
+    let v0 = forest.tree(TreeId(0));
+    let v_last = forest.tree(TreeId((versions - 1) as u32));
+    let edist = edit_distance(v0, v_last);
+    println!("  EDist(v0, v{}) = {edist}", versions - 1);
+    for q in 2..=4 {
+        let bdist = binary_branch_distance(v0, v_last, q);
+        let factor = treesim::core::bound_factor(q);
+        println!(
+            "  q={q}: BDist_q = {bdist:>3}  factor {factor:>2}  ⇒ lower bound {}",
+            bdist.div_ceil(factor)
+        );
+        assert!(bdist <= factor * edist);
+    }
+}

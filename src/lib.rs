@@ -1,0 +1,66 @@
+//! # treesim — similarity evaluation on tree-structured data
+//!
+//! A Rust implementation of *Similarity Evaluation on Tree-structured Data*
+//! (Yang, Kalnis, Tung — SIGMOD 2005): the **binary branch embedding** of
+//! rooted, ordered, labeled trees into L1 vector space, whose distance
+//! lower-bounds the tree edit distance and drives a filter-and-refine
+//! similarity search engine.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tree`] | `treesim-tree` | arena trees, interner, parsers, binary view, datasets |
+//! | [`edit`] | `treesim-edit` | Zhang–Shasha edit distance, cost models, bounds |
+//! | [`core`] | `treesim-core` | binary branch vectors, q-level branches, positional bounds, inverted file index |
+//! | [`histogram`] | `treesim-histogram` | the histogram-filter baseline |
+//! | [`datagen`] | `treesim-datagen` | the paper's synthetic + DBLP-style generators |
+//! | [`search`] | `treesim-search` | filter-and-refine k-NN / range engine |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use treesim::prelude::*;
+//!
+//! // A dataset of XML-ish trees.
+//! let mut forest = Forest::new();
+//! forest.parse_bracket("article(author title year journal)").unwrap();
+//! forest.parse_bracket("article(author author title year)").unwrap();
+//! forest.parse_bracket("book(author title publisher)").unwrap();
+//!
+//! // Index it with the paper's binary branch filter and search.
+//! let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+//! let engine = SearchEngine::new(&forest, filter);
+//! let (hits, stats) = engine.knn(forest.tree(TreeId(0)), 2);
+//! assert_eq!(hits[0].distance, 0); // the query itself
+//! assert!(stats.refined <= forest.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use treesim_core as core;
+pub use treesim_datagen as datagen;
+pub use treesim_edit as edit;
+pub use treesim_histogram as histogram;
+pub use treesim_search as search;
+pub use treesim_tree as tree;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use treesim_core::{
+        binary_branch_distance, BranchVector, BranchVocab, InvertedFileIndex, PositionalVector,
+        QueryVocab,
+    };
+    pub use treesim_edit::{
+        diff, edit_distance, edit_distance_with, edit_mapping, TreeInfo, UnitCost, ZsWorkspace,
+    };
+    pub use treesim_histogram::HistogramVector;
+    pub use treesim_search::{
+        similarity_join, similarity_self_join, subtree_search, threshold_clusters,
+        BiBranchFilter, BiBranchMode, Clustering, DynamicIndex, Filter, HistogramFilter,
+        KnnClassifier, MaxFilter, Neighbor, NoFilter, SearchEngine, SearchStats,
+    };
+    pub use treesim_tree::{
+        BinaryView, Forest, LabelId, LabelInterner, NodeId, Tree, TreeBuilder, TreeId,
+    };
+}

@@ -1,0 +1,201 @@
+//! End-to-end pipeline tests spanning every crate: generate → parse →
+//! index → search → verify against brute force.
+
+use treesim::datagen::dblp::{generate_forest, DblpConfig};
+use treesim::datagen::normal::Normal;
+use treesim::datagen::synthetic::{generate, SyntheticConfig};
+use treesim::prelude::*;
+use treesim::tree::parse::xml::XmlOptions;
+
+fn synthetic_forest(trees: usize, seed: u64) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(3.0, 0.8),
+        size: Normal::new(20.0, 4.0),
+        label_count: 8,
+        decay: 0.1,
+        seed_count: 5,
+        tree_count: trees,
+        rng_seed: seed,
+    })
+}
+
+fn brute_force_knn(forest: &Forest, query: &Tree, k: usize) -> Vec<u64> {
+    let mut distances: Vec<u64> = forest
+        .iter()
+        .map(|(_, t)| edit_distance(query, t))
+        .collect();
+    distances.sort_unstable();
+    distances.truncate(k);
+    distances
+}
+
+#[test]
+fn synthetic_pipeline_bibranch_knn_equals_brute_force() {
+    let forest = synthetic_forest(80, 11);
+    let engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    for query_id in [0u32, 17, 42, 79] {
+        let query = forest.tree(TreeId(query_id));
+        let (hits, stats) = engine.knn(query, 7);
+        let got: Vec<u64> = hits.iter().map(|n| n.distance).collect();
+        assert_eq!(got, brute_force_knn(&forest, query, 7));
+        assert!(stats.refined <= forest.len());
+        assert!(stats.refined >= hits.len());
+    }
+}
+
+#[test]
+fn synthetic_pipeline_all_filters_agree_on_range() {
+    let forest = synthetic_forest(60, 12);
+    let query = forest.tree(TreeId(33));
+    let tau = 6u32;
+
+    let bibranch = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let plain = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Plain),
+    );
+    let histo = SearchEngine::new(&forest, HistogramFilter::build(&forest));
+    let sequential = SearchEngine::new(&forest, NoFilter::build(&forest));
+
+    let reference: Vec<(TreeId, u64)> = sequential
+        .range(query, tau)
+        .0
+        .into_iter()
+        .map(|n| (n.tree, n.distance))
+        .collect();
+    for engine_results in [
+        bibranch.range(query, tau).0,
+        plain.range(query, tau).0,
+        histo.range(query, tau).0,
+    ] {
+        let got: Vec<(TreeId, u64)> = engine_results.into_iter().map(|n| (n.tree, n.distance)).collect();
+        assert_eq!(got, reference);
+    }
+}
+
+#[test]
+fn xml_ingestion_to_search() {
+    let mut forest = Forest::new();
+    let docs = [
+        "<article><author>A</author><title>trees</title><year>2004</year></article>",
+        "<article><author>A</author><title>trees</title><year>2005</year></article>",
+        "<article><author>B</author><author>C</author><title>graphs</title></article>",
+        "<inproceedings><author>A</author><title>trees</title><booktitle>X</booktitle></inproceedings>",
+    ];
+    for doc in docs {
+        forest.parse_xml(doc, XmlOptions::WITH_TEXT).unwrap();
+    }
+    let engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let (hits, _) = engine.knn(forest.tree(TreeId(0)), 2);
+    assert_eq!(hits[0].tree, TreeId(0));
+    assert_eq!(hits[0].distance, 0);
+    // The year-only variant is the nearest non-identical record.
+    assert_eq!(hits[1].tree, TreeId(1));
+    assert_eq!(hits[1].distance, 1);
+}
+
+#[test]
+fn dblp_dataset_statistics_and_search() {
+    let forest = generate_forest(&DblpConfig::with_count(300, 99));
+    let stats = forest.stats();
+    assert!((8.0..13.0).contains(&stats.avg_size));
+    assert!(stats.avg_height <= 3.0);
+
+    let engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let query = forest.tree(TreeId(100));
+    let (hits, stats) = engine.knn(query, 5);
+    assert_eq!(hits.len(), 5);
+    assert_eq!(hits[0].distance, 0);
+    // Clustered data: the 5 nearest records are close, and the filter
+    // avoids refining most of the dataset.
+    assert!(hits[4].distance <= 8);
+    assert!(
+        stats.accessed_percent() < 60.0,
+        "accessed {:.1}%",
+        stats.accessed_percent()
+    );
+}
+
+#[test]
+fn inverted_file_index_drives_the_same_results() {
+    let forest = synthetic_forest(40, 13);
+    let index = InvertedFileIndex::build(&forest, 2);
+    assert_eq!(index.posting_count(), forest.stats().total_nodes);
+
+    let via_index = SearchEngine::new(
+        &forest,
+        BiBranchFilter::from_index(&index, BiBranchMode::Positional),
+    );
+    let direct = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let query = forest.tree(TreeId(5));
+    let a: Vec<u64> = via_index.knn(query, 5).0.iter().map(|n| n.distance).collect();
+    let b: Vec<u64> = direct.knn(query, 5).0.iter().map(|n| n.distance).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn q_level_engines_are_all_complete() {
+    let forest = synthetic_forest(40, 14);
+    let query = forest.tree(TreeId(7));
+    let reference = brute_force_knn(&forest, query, 5);
+    for q in 2..=4 {
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, q, BiBranchMode::Positional),
+        );
+        let got: Vec<u64> = engine.knn(query, 5).0.iter().map(|n| n.distance).collect();
+        assert_eq!(got, reference, "q={q}");
+    }
+}
+
+#[test]
+fn bracket_file_roundtrip_preserves_search_results() {
+    let forest = synthetic_forest(30, 15);
+    // Serialize to bracket text and re-parse into a fresh forest.
+    let mut text = String::new();
+    for (_, tree) in forest.iter() {
+        text.push_str(&treesim::tree::parse::bracket::to_string(
+            tree,
+            forest.interner(),
+        ));
+        text.push('\n');
+    }
+    let mut reloaded = Forest::new();
+    {
+        let mut interner = reloaded.interner().clone();
+        for tree in treesim::tree::parse::bracket::parse_many(&mut interner, &text).unwrap() {
+            reloaded.push(tree);
+        }
+        *reloaded.interner_mut() = interner;
+    }
+    assert_eq!(reloaded.len(), forest.len());
+
+    let engine_a = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let engine_b = SearchEngine::new(
+        &reloaded,
+        BiBranchFilter::build(&reloaded, 2, BiBranchMode::Positional),
+    );
+    let qa = forest.tree(TreeId(3));
+    let qb = reloaded.tree(TreeId(3));
+    let a: Vec<u64> = engine_a.knn(qa, 4).0.iter().map(|n| n.distance).collect();
+    let b: Vec<u64> = engine_b.knn(qb, 4).0.iter().map(|n| n.distance).collect();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,114 @@
+//! Cross-crate integration tests for the extension APIs: edit scripts,
+//! subtree pattern search, dynamic indexing, joins and persistence working
+//! together on one realistic corpus.
+
+use treesim::datagen::dblp::{generate_forest, DblpConfig};
+use treesim::datagen::zaki::{self, ZakiConfig};
+use treesim::prelude::*;
+use treesim::search::{closest_pairs, similarity_self_join};
+
+#[test]
+fn diff_pipeline_on_dblp_records() {
+    let forest = generate_forest(&DblpConfig::with_count(40, 5));
+    // Diff every record against its cluster predecessor; scripts must
+    // reproduce the target with exactly EDist operations.
+    for i in 1..10u32 {
+        let t1 = forest.tree(TreeId(i - 1));
+        let t2 = forest.tree(TreeId(i));
+        let applied = treesim::edit::diff(t1, t2, &UnitCost);
+        assert_eq!(&applied.result, t2);
+        assert_eq!(applied.ops.len() as u64, edit_distance(t1, t2));
+    }
+}
+
+#[test]
+fn subtree_search_inside_a_zaki_master() {
+    let (master, forest) = zaki::generate(&ZakiConfig {
+        master_size: 120,
+        max_fanout: 4,
+        label_count: 5,
+        inclusion_probability: 0.8,
+        tree_count: 3,
+        min_tree_size: 8,
+        rng_seed: 3,
+    });
+    // Every derived tree's root matches the master's root subtree family;
+    // searching the master for a derived tree must find at least one
+    // subtree within a modest radius (the derivation only pruned nodes).
+    let derived = forest.tree(TreeId(0));
+    let tau = (master.len() - derived.len()) as u32;
+    let (matches, stats) =
+        treesim::search::subtree_search(&master, derived, tau.min(40), 2);
+    assert!(
+        !matches.is_empty(),
+        "a pruned copy must match inside its master"
+    );
+    assert!(stats.refined <= stats.candidates);
+}
+
+#[test]
+fn dynamic_index_ingest_then_persist_dataset() {
+    // Ingest records one by one, query mid-stream, then persist the forest
+    // with the binary codec and verify results survive the round trip.
+    let source = generate_forest(&DblpConfig::with_count(60, 8));
+    let mut index = treesim::search::DynamicIndex::from_forest(source.clone(), 2);
+    let query = source.tree(TreeId(30)).clone();
+    let (before, _) = index.knn(&query, 5);
+
+    let bytes = treesim::tree::codec::encode_forest(index.forest());
+    let reloaded = treesim::tree::codec::decode_forest(&bytes).unwrap();
+    let engine = SearchEngine::new(
+        &reloaded,
+        BiBranchFilter::build(&reloaded, 2, BiBranchMode::Positional),
+    );
+    // Re-express the query in the reloaded interner via bracket round trip.
+    let rendered = treesim::tree::parse::bracket::to_string(&query, source.interner());
+    let mut reloaded2 = reloaded.clone();
+    let query2 = {
+        let mut interner = reloaded2.interner().clone();
+        let t = treesim::tree::parse::bracket::parse(&mut interner, &rendered).unwrap();
+        *reloaded2.interner_mut() = interner;
+        t
+    };
+    let engine2 = SearchEngine::new(
+        &reloaded2,
+        BiBranchFilter::build(&reloaded2, 2, BiBranchMode::Positional),
+    );
+    drop(engine);
+    let (after, _) = engine2.knn(&query2, 5);
+    let before_d: Vec<u64> = before.iter().map(|n| n.distance).collect();
+    let after_d: Vec<u64> = after.iter().map(|n| n.distance).collect();
+    assert_eq!(before_d, after_d);
+}
+
+#[test]
+fn closest_pairs_agree_with_join_floor() {
+    let forest = generate_forest(&DblpConfig::with_count(50, 2));
+    let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+    let (top, _) = closest_pairs(&forest, &filter, 5);
+    assert_eq!(top.len(), 5);
+    // Every top pair must also appear in a τ-join at its own distance.
+    let tau = top.last().unwrap().distance as u32;
+    let (joined, _) = similarity_self_join(&forest, &filter, tau);
+    for pair in &top {
+        assert!(
+            joined
+                .iter()
+                .any(|j| j.left == pair.left && j.right == pair.right),
+            "top pair missing from the join"
+        );
+    }
+    // Distances ascend.
+    assert!(top.windows(2).all(|w| w[0].distance <= w[1].distance));
+}
+
+#[test]
+fn incremental_vectors_agree_with_filter_bounds() {
+    use treesim::core::IncrementalTree;
+    let forest = generate_forest(&DblpConfig::with_count(10, 11));
+    let a = forest.tree(TreeId(0)).clone();
+    let b = forest.tree(TreeId(5)).clone();
+    let inc_a = IncrementalTree::new(a.clone(), 2);
+    let inc_b = IncrementalTree::new(b.clone(), 2);
+    assert_eq!(inc_a.bdist(&inc_b), binary_branch_distance(&a, &b, 2));
+}

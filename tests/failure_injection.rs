@@ -1,0 +1,151 @@
+//! Failure injection and degenerate inputs across the public API.
+
+use treesim::prelude::*;
+use treesim::tree::parse::xml::XmlOptions;
+use treesim::tree::ParseError;
+
+#[test]
+fn malformed_bracket_inputs_error_cleanly() {
+    let mut forest = Forest::new();
+    for bad in ["", "   ", "(", "a(b", "a)b", "'unclosed", "a b"] {
+        assert!(
+            forest.parse_bracket(bad).is_err(),
+            "accepted malformed input {bad:?}"
+        );
+    }
+    assert!(forest.is_empty(), "failed parses must not pollute the forest");
+}
+
+#[test]
+fn malformed_xml_inputs_error_cleanly() {
+    let mut forest = Forest::new();
+    for bad in [
+        "",
+        "<a>",
+        "<a></b>",
+        "<a attr=></a>",
+        "<a>&nope;</a>",
+        "<a/><trailing/>",
+    ] {
+        let result = forest.parse_xml(bad, XmlOptions::WITH_TEXT);
+        if bad == "<a/><trailing/>" {
+            assert!(matches!(result, Err(ParseError::TrailingInput { .. })));
+        } else {
+            assert!(result.is_err(), "accepted malformed XML {bad:?}");
+        }
+    }
+}
+
+#[test]
+fn single_node_trees_everywhere() {
+    let mut forest = Forest::new();
+    forest.parse_bracket("a").unwrap();
+    forest.parse_bracket("b").unwrap();
+    forest.parse_bracket("a").unwrap();
+
+    let engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let (hits, _) = engine.knn(forest.tree(TreeId(0)), 3);
+    assert_eq!(hits.len(), 3);
+    assert_eq!(hits[0].distance, 0);
+    assert_eq!(hits[1].distance, 0); // the duplicate "a"
+    assert_eq!(hits[2].distance, 1); // relabel to "b"
+
+    let (in_range, _) = engine.range(forest.tree(TreeId(1)), 0);
+    assert_eq!(in_range.len(), 1);
+}
+
+#[test]
+fn extreme_shapes_deep_chain_vs_flat_star() {
+    let mut forest = Forest::new();
+    let chain = format!("{}a{}", "a(".repeat(99), ")".repeat(99));
+    let star = format!("a({})", "a ".repeat(99));
+    forest.parse_bracket(&chain).unwrap();
+    forest.parse_bracket(&star).unwrap();
+    let t_chain = forest.tree(TreeId(0));
+    let t_star = forest.tree(TreeId(1));
+    assert_eq!(t_chain.len(), 100);
+    assert_eq!(t_star.len(), 100);
+    assert_eq!(t_chain.height(), 100);
+    assert_eq!(t_star.height(), 2);
+
+    let edist = edit_distance(t_chain, t_star);
+    let mut vocab = BranchVocab::new(2);
+    let v1 = PositionalVector::build(t_chain, &mut vocab);
+    let v2 = PositionalVector::build(t_star, &mut vocab);
+    assert!(v1.bdist(&v2) <= 5 * edist);
+    assert!(v1.optimistic_bound(&v2) <= edist);
+    // The height difference alone shows these are ~98 edits apart.
+    assert!(edist >= 98);
+}
+
+#[test]
+fn query_with_labels_unknown_to_the_dataset() {
+    let mut forest = Forest::new();
+    forest.parse_bracket("a(b c)").unwrap();
+    forest.parse_bracket("a(b d)").unwrap();
+    // The query uses labels never seen at indexing time.
+    let query = {
+        let mut interner = forest.interner().clone();
+        let t = treesim::tree::parse::bracket::parse(&mut interner, "zz(yy xx)").unwrap();
+        *forest.interner_mut() = interner;
+        t
+    };
+    let engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let (hits, _) = engine.knn(&query, 2);
+    assert_eq!(hits.len(), 2);
+    for hit in &hits {
+        assert_eq!(
+            hit.distance,
+            edit_distance(&query, forest.tree(hit.tree)),
+            "distances must stay exact for out-of-vocabulary queries"
+        );
+    }
+}
+
+#[test]
+fn knn_edge_cases() {
+    let mut forest = Forest::new();
+    forest.parse_bracket("a(b)").unwrap();
+    let engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let query = forest.tree(TreeId(0));
+    assert!(engine.knn(query, 0).0.is_empty());
+    assert_eq!(engine.knn(query, 10).0.len(), 1);
+    let (hits, stats) = engine.range(query, 1000);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(stats.results, 1);
+}
+
+#[test]
+fn builder_misuse_is_detected() {
+    let mut builder = TreeBuilder::new();
+    assert!(builder.close().is_err());
+    let mut interner = LabelInterner::new();
+    builder.open(interner.intern("a"));
+    assert!(builder.finish().is_err());
+}
+
+#[test]
+fn deleting_every_deletable_node_leaves_the_root() {
+    let mut forest = Forest::new();
+    forest.parse_bracket("a(b(c d) e(f))").unwrap();
+    let mut tree = forest.tree(TreeId(0)).clone();
+    loop {
+        let victim = tree.preorder().find(|&n| n != tree.root());
+        match victim {
+            Some(node) => tree.remove_node(node).unwrap(),
+            None => break,
+        }
+        tree.validate().unwrap();
+    }
+    assert_eq!(tree.len(), 1);
+    assert!(tree.remove_node(tree.root()).is_err());
+}

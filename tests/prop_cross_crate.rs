@@ -1,0 +1,116 @@
+//! Workspace-wide property tests: every lower-bound provider in the system
+//! is validated at once against the exact edit distance, and the full
+//! engine is validated against brute force with out-of-dataset queries.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use treesim::datagen::mutate::apply_random_ops;
+use treesim::datagen::normal::Normal;
+use treesim::datagen::synthetic::{generate, SyntheticConfig};
+use treesim::prelude::*;
+
+fn random_forest(seed: u64, count: usize, size_mean: f64) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(2.5, 1.0),
+        size: Normal::new(size_mean, 3.0),
+        label_count: 5,
+        decay: 0.25,
+        seed_count: 3.min(count),
+        tree_count: count,
+        rng_seed: seed,
+    })
+}
+
+/// Every bound the workspace can produce for a pair of trees.
+fn all_lower_bounds(t1: &Tree, t2: &Tree) -> Vec<(String, u64)> {
+    let mut bounds = Vec::new();
+    for q in 2..=4usize {
+        let mut vocab = BranchVocab::new(q);
+        let v1 = PositionalVector::build(t1, &mut vocab);
+        let v2 = PositionalVector::build(t2, &mut vocab);
+        bounds.push((
+            format!("bdist(q={q})/factor"),
+            v1.bdist(&v2).div_ceil(treesim::core::bound_factor(q)),
+        ));
+        bounds.push((format!("propt(q={q})"), v1.optimistic_bound(&v2)));
+    }
+    let h1 = HistogramVector::build(t1);
+    let h2 = HistogramVector::build(t2);
+    bounds.push(("histogram".into(), h1.lower_bound(&h2)));
+    bounds.push((
+        "size/height/leaf".into(),
+        treesim::edit::bounds::combined_lower_bound(t1, t2),
+    ));
+    bounds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every lower bound in the system respects the exact distance.
+    #[test]
+    fn all_bounds_below_edit_distance(seed in 0u64..100_000) {
+        let forest = random_forest(seed, 2, 10.0);
+        let t1 = forest.tree(TreeId(0));
+        let t2 = forest.tree(TreeId(1));
+        let edist = edit_distance(t1, t2);
+        for (name, bound) in all_lower_bounds(t1, t2) {
+            prop_assert!(bound <= edist, "{name}: {bound} > EDist {edist}");
+        }
+    }
+
+    /// …including after arbitrary edit sequences.
+    #[test]
+    fn all_bounds_after_k_ops(seed in 0u64..100_000, k in 0usize..6) {
+        let forest = random_forest(seed, 1, 12.0);
+        let t1 = forest.tree(TreeId(0));
+        let labels: Vec<LabelId> = forest
+            .interner()
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|id| !id.is_epsilon())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let (t2, ops) = apply_random_ops(t1, k, &labels, &mut rng);
+        for (name, bound) in all_lower_bounds(t1, &t2) {
+            prop_assert!(
+                bound <= ops.len() as u64,
+                "{name}: {bound} > k {}",
+                ops.len()
+            );
+        }
+    }
+
+    /// The engine answers queries that are not dataset members exactly.
+    #[test]
+    fn engine_exact_for_external_queries(seed in 0u64..100_000) {
+        let forest = random_forest(seed, 15, 9.0);
+        let labels: Vec<LabelId> = forest
+            .interner()
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|id| !id.is_epsilon())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe11e);
+        let (query, _) = apply_random_ops(forest.tree(TreeId(0)), 4, &labels, &mut rng);
+
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let mut truth: Vec<u64> = forest
+            .iter()
+            .map(|(_, t)| edit_distance(&query, t))
+            .collect();
+        truth.sort_unstable();
+
+        let got: Vec<u64> = engine.knn(&query, 6).0.iter().map(|n| n.distance).collect();
+        prop_assert_eq!(&got[..], &truth[..6]);
+
+        let tau = truth[3] as u32;
+        let (range_hits, _) = engine.range(&query, tau);
+        let expected = truth.iter().filter(|&&d| d <= u64::from(tau)).count();
+        prop_assert_eq!(range_hits.len(), expected);
+    }
+}
