@@ -67,18 +67,14 @@ fn bench_distances(c: &mut Criterion) {
         );
 
         // Vectorization cost (per comparison when done from scratch).
-        group.bench_with_input(
-            BenchmarkId::new("vectorize", size as u64),
-            &size,
-            |b, _| {
-                b.iter(|| {
-                    let mut vocab = BranchVocab::new(2);
-                    let a = PositionalVector::build(black_box(t1), &mut vocab);
-                    let b2 = PositionalVector::build(black_box(t2), &mut vocab);
-                    black_box(a.bdist(&b2))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("vectorize", size as u64), &size, |b, _| {
+            b.iter(|| {
+                let mut vocab = BranchVocab::new(2);
+                let a = PositionalVector::build(black_box(t1), &mut vocab);
+                let b2 = PositionalVector::build(black_box(t2), &mut vocab);
+                black_box(a.bdist(&b2))
+            })
+        });
     }
     group.finish();
 }

@@ -25,7 +25,10 @@ fn main() {
             "--full" => scale = Scale::full(),
             "--smoke" => scale = Scale::smoke(),
             "--markdown" => {
-                markdown_path = Some(args.next().unwrap_or_else(|| usage("--markdown needs a path")));
+                markdown_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--markdown needs a path")),
+                );
             }
             "--help" | "-h" => usage(""),
             "all" => figures.extend(ALL_FIGURES.iter().map(|s| s.to_string())),

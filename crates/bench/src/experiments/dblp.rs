@@ -14,7 +14,9 @@
 use treesim_datagen::dblp::{generate_forest, DblpConfig};
 use treesim_tree::Forest;
 
-use crate::experiments::{annotate_scale, method_row, run_all_methods, sample_queries, METHOD_HEADERS};
+use crate::experiments::{
+    annotate_scale, method_row, run_all_methods, sample_queries, METHOD_HEADERS,
+};
 use crate::runner::QueryMode;
 use crate::scale::Scale;
 use crate::table::Table;

@@ -44,7 +44,11 @@ pub fn distance_distribution(scale: &Scale) -> Table {
     let mut headers: Vec<String> = vec!["measure".to_owned()];
     headers.extend((1..=MAX_DISTANCE).map(|d| format!("≤{d}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new("fig15", "Data Distribution on Distance (DBLP)", &header_refs);
+    let mut table = Table::new(
+        "fig15",
+        "Data Distribution on Distance (DBLP)",
+        &header_refs,
+    );
     for row in rows {
         let mut cells = vec![row.measure.to_owned()];
         cells.extend(row.cumulative.iter().map(|&p| f2(p)));
@@ -75,7 +79,8 @@ pub fn compute_rows(forest: &Forest, queries: &[treesim_tree::TreeId]) -> Vec<Di
         })
         .collect();
 
-    let measures: [&'static str; 5] = ["Edit", "Histo", "BiBranch(2)", "BiBranch(3)", "BiBranch(4)"];
+    let measures: [&'static str; 5] =
+        ["Edit", "Histo", "BiBranch(2)", "BiBranch(3)", "BiBranch(4)"];
     let mut counts = vec![vec![0u64; MAX_DISTANCE as usize]; measures.len()];
     let mut workspace = ZsWorkspace::new();
     let mut pairs = 0u64;
@@ -141,10 +146,7 @@ mod tests {
         for row in &rows {
             assert_eq!(row.cumulative.len(), MAX_DISTANCE as usize);
             // Cumulative: non-decreasing in the threshold.
-            assert!(row
-                .cumulative
-                .windows(2)
-                .all(|w| w[0] <= w[1] + 1e-9));
+            assert!(row.cumulative.windows(2).all(|w| w[0] <= w[1] + 1e-9));
         }
         // Every lower bound admits at least as much data as Edit at every
         // threshold (bounds underestimate distance).

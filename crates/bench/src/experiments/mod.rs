@@ -137,9 +137,7 @@ mod tests {
         assert!(outcome.bibranch.accessed_percent <= 100.0);
         // All methods return the same result sets, hence equal result %.
         assert!((outcome.bibranch.result_percent - outcome.histo.result_percent).abs() < 1e-9);
-        assert!(
-            (outcome.bibranch.result_percent - outcome.sequential.result_percent).abs() < 1e-9
-        );
+        assert!((outcome.bibranch.result_percent - outcome.sequential.result_percent).abs() < 1e-9);
     }
 
     #[test]

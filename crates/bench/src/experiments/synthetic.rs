@@ -62,10 +62,7 @@ fn sweep(
         let (mode_enum, param) = match mode {
             SweepMode::RangeAvgOverFive => {
                 let (avg, tau) = estimate_range_radius(&forest, scale, hash_salt(id, &x));
-                (
-                    QueryMode::Range(tau),
-                    format!("τ={tau} (avg≈{avg:.1})"),
-                )
+                (QueryMode::Range(tau), format!("τ={tau} (avg≈{avg:.1})"))
             }
             SweepMode::KnnQuarterPercent => {
                 let k = scale.knn_k();
@@ -111,7 +108,9 @@ pub fn fanout_sweep(scale: &Scale, mode: SweepMode) -> Table {
 /// Figure 9 (range) / Figure 10 (k-NN): tree size mean ∈ {25, 50, 75, 125}.
 pub fn size_sweep(scale: &Scale, mode: SweepMode) -> Table {
     let (id, title, kind) = match mode {
-        SweepMode::RangeAvgOverFive => ("fig9", "Sensitivity to Tree Size — Range Queries", "range"),
+        SweepMode::RangeAvgOverFive => {
+            ("fig9", "Sensitivity to Tree Size — Range Queries", "range")
+        }
         SweepMode::KnnQuarterPercent => ("fig10", "Sensitivity to Tree Size — k-NN Queries", "knn"),
     };
     let points = [25.0, 50.0, 75.0, 125.0]
@@ -132,9 +131,11 @@ pub fn size_sweep(scale: &Scale, mode: SweepMode) -> Table {
 /// Figure 11 (range) / Figure 12 (k-NN): label count ∈ {8, 16, 32, 64}.
 pub fn label_sweep(scale: &Scale, mode: SweepMode) -> Table {
     let (id, title, kind) = match mode {
-        SweepMode::RangeAvgOverFive => {
-            ("fig11", "Sensitivity to Label Count — Range Queries", "range")
-        }
+        SweepMode::RangeAvgOverFive => (
+            "fig11",
+            "Sensitivity to Label Count — Range Queries",
+            "range",
+        ),
         SweepMode::KnnQuarterPercent => {
             ("fig12", "Sensitivity to Label Count — k-NN Queries", "knn")
         }

@@ -39,6 +39,7 @@ pub fn run_figure(id: &str, scale: &Scale) -> Option<Table> {
         "ablation-q" => experiments::ablation::q_level_ablation(scale),
         "ablation-bound" => experiments::ablation::bound_mode_ablation(scale),
         "ablation-scale" => experiments::ablation::scalability_ablation(scale),
+        "ablation-cascade" => experiments::ablation::cascade_ablation(scale),
         _ => return None,
     };
     Some(table)
@@ -50,7 +51,12 @@ pub const ALL_FIGURES: [&str; 9] = [
 ];
 
 /// Extra ablation experiments beyond the paper (design-choice studies).
-pub const ABLATIONS: [&str; 3] = ["ablation-q", "ablation-bound", "ablation-scale"];
+pub const ABLATIONS: [&str; 4] = [
+    "ablation-q",
+    "ablation-bound",
+    "ablation-scale",
+    "ablation-cascade",
+];
 
 #[cfg(test)]
 mod tests {

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use treesim_search::{Filter, SearchEngine, SearchStats};
+use treesim_search::{AveragedStage, Filter, SearchEngine, SearchStats};
 use treesim_tree::TreeId;
 
 /// The two query types of the evaluation.
@@ -28,12 +28,21 @@ pub struct MethodSummary {
     pub filter_time: Duration,
     /// Mean per-query refinement time.
     pub refine_time: Duration,
+    /// Mean per-stage cascade breakdown (coarsest first; empty when the
+    /// filter runs a single stage).
+    pub stages: Vec<AveragedStage>,
 }
 
 impl MethodSummary {
     /// Mean total per-query time.
     pub fn total_time(&self) -> Duration {
         self.filter_time + self.refine_time
+    }
+
+    /// Mean bounds computed per query at the final (most expensive)
+    /// cascade stage — for the positional filter, `propt` binary searches.
+    pub fn final_stage_evaluated(&self) -> f64 {
+        self.stages.last().map_or(0.0, |s| s.avg_evaluated)
     }
 }
 
@@ -83,7 +92,6 @@ where
     for stats in &totals {
         grand.accumulate(stats);
     }
-    grand.dataset_size = forest.len();
     let averaged = grand.averaged(queries.len());
     MethodSummary {
         name: engine.filter().name(),
@@ -91,6 +99,7 @@ where
         result_percent: averaged.avg_result_percent,
         filter_time: averaged.avg_filter_time,
         refine_time: averaged.avg_refine_time,
+        stages: averaged.avg_stages,
     }
 }
 
@@ -144,5 +153,9 @@ mod tests {
         let summary = run_workload(&engine, &queries, QueryMode::Knn(2));
         assert!(summary.accessed_percent > 0.0);
         assert!(summary.total_time() >= summary.filter_time);
+        // The cascade breakdown reaches the workload summary.
+        assert_eq!(summary.stages.len(), 3);
+        assert_eq!(summary.stages[0].name, "size");
+        assert!(summary.final_stage_evaluated() <= forest.len() as f64);
     }
 }

@@ -180,7 +180,10 @@ fn join(args: &Args) -> Result<(), String> {
     let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
     let (pairs, stats) = treesim_search::similarity_self_join(&forest, &filter, tau);
     for pair in pairs.iter().take(limit) {
-        println!("{:>6} ≈ {:<6} d={}", pair.left.0, pair.right.0, pair.distance);
+        println!(
+            "{:>6} ≈ {:<6} d={}",
+            pair.left.0, pair.right.0, pair.distance
+        );
     }
     if pairs.len() > limit {
         println!("… and {} more pairs", pairs.len() - limit);
@@ -239,18 +242,25 @@ fn search(args: &Args, kind: SearchKind) -> Result<(), String> {
             };
             run(&forest, filter, &query, args, &kind)?
         }
-        "histo" => run(&forest, HistogramFilter::build(&forest), &query, args, &kind)?,
+        "histo" => run(
+            &forest,
+            HistogramFilter::build(&forest),
+            &query,
+            args,
+            &kind,
+        )?,
         "none" => run(&forest, NoFilter::build(&forest), &query, args, &kind)?,
         other => return Err(format!("unknown filter {other:?}")),
     };
 
     for neighbor in &results {
-        let rendered = treesim_tree::parse::bracket::to_string(
-            forest.tree(neighbor.tree),
-            forest.interner(),
-        );
+        let rendered =
+            treesim_tree::parse::bracket::to_string(forest.tree(neighbor.tree), forest.interner());
         let shown: String = rendered.chars().take(70).collect();
-        println!("{:>6}  d={:<4} {}", neighbor.tree.0, neighbor.distance, shown);
+        println!(
+            "{:>6}  d={:<4} {}",
+            neighbor.tree.0, neighbor.distance, shown
+        );
     }
     println!(
         "-- {} results; accessed {}/{} trees ({:.2}%); filter {:?}, refine {:?}",
@@ -261,6 +271,16 @@ fn search(args: &Args, kind: SearchKind) -> Result<(), String> {
         stats.filter_time,
         stats.refine_time,
     );
+    // Per-stage cascade funnel: how many candidates each bound stage saw
+    // and how many it eliminated before the next, more expensive one.
+    if stats.stages.len() > 1 {
+        for stage in &stats.stages {
+            println!(
+                "--   stage {:>6}: evaluated {:>6}, pruned {:>6} ({:?})",
+                stage.name, stage.evaluated, stage.pruned, stage.time
+            );
+        }
+    }
     Ok(())
 }
 
@@ -323,10 +343,7 @@ mod tests {
         ]))
         .unwrap();
         dispatch(&argv(&["stats", data_str])).unwrap();
-        dispatch(&argv(&[
-            "knn", data_str, "--query", "0(1 2)", "--k", "3",
-        ]))
-        .unwrap();
+        dispatch(&argv(&["knn", data_str, "--query", "0(1 2)", "--k", "3"])).unwrap();
         dispatch(&argv(&[
             "range", data_str, "--query", "0(1 2)", "--tau", "4", "--filter", "histo",
         ]))
@@ -345,8 +362,12 @@ mod tests {
         let brackets = dir.join("c.trees");
         let binary = dir.join("c.tsf");
         std::fs::write(&brackets, "a(b c)\na(b)\n").unwrap();
-        dispatch(&argv(&["convert", brackets.to_str().unwrap(), binary.to_str().unwrap()]))
-            .unwrap();
+        dispatch(&argv(&[
+            "convert",
+            brackets.to_str().unwrap(),
+            binary.to_str().unwrap(),
+        ]))
+        .unwrap();
         dispatch(&argv(&["stats", binary.to_str().unwrap()])).unwrap();
         dispatch(&argv(&[
             "knn",
@@ -422,8 +443,15 @@ mod tests {
         let data_str = data.to_str().unwrap();
         dispatch(&argv(&["gen-dblp", "--out", data_str, "--records", "10"])).unwrap();
         dispatch(&argv(&["stats", data_str])).unwrap();
-        dispatch(&argv(&["knn", data_str, "--query", "article(author title)", "--k", "2"]))
-            .unwrap();
+        dispatch(&argv(&[
+            "knn",
+            data_str,
+            "--query",
+            "article(author title)",
+            "--k",
+            "2",
+        ]))
+        .unwrap();
         std::fs::remove_file(&data).ok();
     }
 
@@ -438,10 +466,7 @@ mod tests {
             "knn", data_str, "--query", "a", "--filter", "bogus"
         ]))
         .is_err());
-        assert!(dispatch(&argv(&[
-            "knn", data_str, "--query", "a", "--level", "1"
-        ]))
-        .is_err());
+        assert!(dispatch(&argv(&["knn", data_str, "--query", "a", "--level", "1"])).is_err());
         std::fs::remove_file(&data).ok();
     }
 }

@@ -17,8 +17,7 @@ pub fn load_forest(path: &str) -> Result<Forest, String> {
         }
         return Ok(forest);
     }
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     forest_from_str(path, &content)
 }
 
@@ -89,8 +88,7 @@ mod tests {
 
     #[test]
     fn xml_detection() {
-        let forest =
-            forest_from_str("d.xml", "<a><b/></a><c><d>t</d></c>").unwrap();
+        let forest = forest_from_str("d.xml", "<a><b/></a><c><d>t</d></c>").unwrap();
         assert_eq!(forest.len(), 2);
         assert_eq!(forest.tree(treesim_tree::TreeId(1)).len(), 3);
     }

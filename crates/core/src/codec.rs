@@ -254,7 +254,10 @@ mod tests {
         bytes.put_u32_le(1); // q = 1 invalid
         bytes.put_u32_le(0);
         bytes.put_u32_le(0);
-        assert_eq!(decode_index(&bytes).unwrap_err(), IndexCodecError::BadHeader);
+        assert_eq!(
+            decode_index(&bytes).unwrap_err(),
+            IndexCodecError::BadHeader
+        );
     }
 
     #[test]

@@ -93,6 +93,13 @@ impl PositionalVector {
         &self.entries
     }
 
+    /// The O(1) size lower bound `| |T1| − |T2| |` — the coarsest stage of
+    /// the engine's bound cascade, and the starting positional range
+    /// `pr_min` of [`PositionalVector::optimistic_bound`].
+    pub fn size_bound(&self, other: &PositionalVector) -> u64 {
+        u64::from(self.tree_size.abs_diff(other.tree_size))
+    }
+
     /// Plain binary branch distance (counts only) — equals
     /// `pos_bdist(other, pr)` for any `pr ≥ max(|T1|, |T2|)`.
     pub fn bdist(&self, other: &PositionalVector) -> u64 {
@@ -129,8 +136,7 @@ impl PositionalVector {
                 }
                 std::cmp::Ordering::Equal => {
                     let matched = matcher(&a.positions, &b.positions) as u64;
-                    distance += a.positions.len() as u64 + b.positions.len() as u64
-                        - 2 * matched;
+                    distance += a.positions.len() as u64 + b.positions.len() as u64 - 2 * matched;
                     i += 1;
                     j += 1;
                 }
@@ -330,10 +336,7 @@ mod tests {
                 assert!(entry.branch > p);
             }
             previous = Some(entry.branch);
-            assert!(entry
-                .positions
-                .windows(2)
-                .all(|w| w[0].0 <= w[1].0));
+            assert!(entry.positions.windows(2).all(|w| w[0].0 <= w[1].0));
         }
     }
 }

@@ -23,10 +23,7 @@ impl BranchVector {
     /// Builds the vector of `tree`, interning new branches into `vocab`.
     pub fn build(tree: &Tree, vocab: &mut BranchVocab) -> Self {
         let occurrences = extract_branches(tree, vocab.q());
-        let mut ids: Vec<BranchId> = occurrences
-            .iter()
-            .map(|o| vocab.intern(&o.key))
-            .collect();
+        let mut ids: Vec<BranchId> = occurrences.iter().map(|o| vocab.intern(&o.key)).collect();
         Self::from_ids(vocab.q(), &mut ids)
     }
 

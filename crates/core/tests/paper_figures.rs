@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 
-use treesim_core::{extract_branches, BranchVocab, BranchVector, PositionalVector};
+use treesim_core::{extract_branches, BranchVector, BranchVocab, PositionalVector};
 use treesim_edit::edit_distance;
 use treesim_tree::{parse::bracket, LabelId, LabelInterner, Tree};
 
@@ -51,7 +51,16 @@ fn figure_2_positions_match() {
         .collect();
     assert_eq!(
         tags1,
-        vec![(1, 8), (2, 3), (3, 1), (4, 2), (5, 6), (6, 4), (7, 5), (8, 7)]
+        vec![
+            (1, 8),
+            (2, 3),
+            (3, 1),
+            (4, 2),
+            (5, 6),
+            (6, 4),
+            (7, 5),
+            (8, 7)
+        ]
     );
     let tags2: Vec<(u32, u32)> = extract_branches(&t2, 2)
         .iter()

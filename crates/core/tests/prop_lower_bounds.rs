@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use treesim_core::{BranchVocab, BranchVector, PositionalVector};
+use treesim_core::{BranchVector, BranchVocab, PositionalVector};
 use treesim_datagen::mutate::apply_random_ops;
 use treesim_datagen::normal::Normal;
 use treesim_datagen::synthetic::{generate, SyntheticConfig};

@@ -52,42 +52,120 @@ impl DblpConfig {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "Wei", "Jane", "Rakesh", "Maria", "Panos", "Rui", "Anthony", "Divesh", "Nick", "Laura",
-    "Hans", "Petra", "Kaizhong", "Dennis", "Esko", "Luis", "Minos", "Amit", "Karin", "Thomas",
-    "Surajit", "Jennifer", "Michael", "Elena", "David", "Sonia", "Jorma", "Erkki", "Gonzalo",
-    "Edgar",
+    "Wei", "Jane", "Rakesh", "Maria", "Panos", "Rui", "Anthony", "Divesh", "Nick", "Laura", "Hans",
+    "Petra", "Kaizhong", "Dennis", "Esko", "Luis", "Minos", "Amit", "Karin", "Thomas", "Surajit",
+    "Jennifer", "Michael", "Elena", "David", "Sonia", "Jorma", "Erkki", "Gonzalo", "Edgar",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Yang", "Kalnis", "Tung", "Zhang", "Shasha", "Ukkonen", "Gravano", "Koudas", "Srivastava",
-    "Garofalakis", "Kumar", "Kailing", "Kriegel", "Seidl", "Guha", "Jagadish", "Navarro",
-    "Chavez", "Selkow", "Tarhio", "Sutinen", "Wang", "Tao", "Muthukrishnan", "Ipeirotis",
-    "Aggarwal", "Wolf", "Yu", "Mamoulis", "Cheung",
+    "Yang",
+    "Kalnis",
+    "Tung",
+    "Zhang",
+    "Shasha",
+    "Ukkonen",
+    "Gravano",
+    "Koudas",
+    "Srivastava",
+    "Garofalakis",
+    "Kumar",
+    "Kailing",
+    "Kriegel",
+    "Seidl",
+    "Guha",
+    "Jagadish",
+    "Navarro",
+    "Chavez",
+    "Selkow",
+    "Tarhio",
+    "Sutinen",
+    "Wang",
+    "Tao",
+    "Muthukrishnan",
+    "Ipeirotis",
+    "Aggarwal",
+    "Wolf",
+    "Yu",
+    "Mamoulis",
+    "Cheung",
 ];
 
 const TITLE_WORDS: &[&str] = &[
-    "similarity", "evaluation", "tree", "structured", "data", "efficient", "search", "index",
-    "approximate", "join", "query", "processing", "edit", "distance", "embedding", "filtering",
-    "xml", "streams", "hierarchical", "databases", "matching", "patterns", "algorithms", "fast",
-    "scalable", "mining", "clustering", "nearest", "neighbor", "metric",
+    "similarity",
+    "evaluation",
+    "tree",
+    "structured",
+    "data",
+    "efficient",
+    "search",
+    "index",
+    "approximate",
+    "join",
+    "query",
+    "processing",
+    "edit",
+    "distance",
+    "embedding",
+    "filtering",
+    "xml",
+    "streams",
+    "hierarchical",
+    "databases",
+    "matching",
+    "patterns",
+    "algorithms",
+    "fast",
+    "scalable",
+    "mining",
+    "clustering",
+    "nearest",
+    "neighbor",
+    "metric",
 ];
 
 const JOURNALS: &[&str] = &[
-    "VLDB J.", "TODS", "TKDE", "SIAM J. Comput.", "Inf. Process. Lett.", "Theor. Comput. Sci.",
-    "Pattern Recognition", "ACM Comput. Surv.", "Algorithmica", "Inf. Syst.",
+    "VLDB J.",
+    "TODS",
+    "TKDE",
+    "SIAM J. Comput.",
+    "Inf. Process. Lett.",
+    "Theor. Comput. Sci.",
+    "Pattern Recognition",
+    "ACM Comput. Surv.",
+    "Algorithmica",
+    "Inf. Syst.",
 ];
 
 const BOOKTITLES: &[&str] = &[
-    "SIGMOD Conference", "VLDB", "ICDE", "EDBT", "PODS", "KDD", "CIKM", "SWAT", "SODA", "STOC",
-    "ICDT", "WWW",
+    "SIGMOD Conference",
+    "VLDB",
+    "ICDE",
+    "EDBT",
+    "PODS",
+    "KDD",
+    "CIKM",
+    "SWAT",
+    "SODA",
+    "STOC",
+    "ICDT",
+    "WWW",
 ];
 
 const PUBLISHERS: &[&str] = &[
-    "Springer", "ACM Press", "Morgan Kaufmann", "IEEE Computer Society", "Addison-Wesley",
+    "Springer",
+    "ACM Press",
+    "Morgan Kaufmann",
+    "IEEE Computer Society",
+    "Addison-Wesley",
 ];
 
 const SCHOOLS: &[&str] = &[
-    "NUS", "Stanford University", "MIT", "CMU", "ETH Zurich", "TU Munich",
+    "NUS",
+    "Stanford University",
+    "MIT",
+    "CMU",
+    "ETH Zurich",
+    "TU Munich",
 ];
 
 /// One generated record: its kind tag and rendered XML.

@@ -32,7 +32,10 @@ impl Normal {
     ///
     /// Panics if `sd` is negative or not finite.
     pub fn new(mean: f64, sd: f64) -> Self {
-        assert!(sd >= 0.0 && sd.is_finite(), "standard deviation must be ≥ 0");
+        assert!(
+            sd >= 0.0 && sd.is_finite(),
+            "standard deviation must be ≥ 0"
+        );
         assert!(mean.is_finite(), "mean must be finite");
         Normal { mean, sd }
     }

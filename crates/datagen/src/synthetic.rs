@@ -100,11 +100,7 @@ pub fn generate(config: &SyntheticConfig) -> Forest {
 }
 
 /// Grows one seed tree breadth-first (phase 1 of the generator).
-fn grow_seed<R: Rng + ?Sized>(
-    config: &SyntheticConfig,
-    labels: &[LabelId],
-    rng: &mut R,
-) -> Tree {
+fn grow_seed<R: Rng + ?Sized>(config: &SyntheticConfig, labels: &[LabelId], rng: &mut R) -> Tree {
     let max_size = config.size.sample_clamped_usize(rng, 1, 1_000_000);
     let root_label = labels[rng.random_range(0..labels.len())];
     let mut tree = Tree::with_capacity(root_label, max_size);

@@ -12,11 +12,7 @@ use treesim_tree::{Forest, Tree, TreeId};
 /// Samples `count` distinct query tree ids uniformly from the forest.
 ///
 /// If `count >= forest.len()`, all ids are returned (shuffled).
-pub fn sample_queries<R: Rng + ?Sized>(
-    forest: &Forest,
-    count: usize,
-    rng: &mut R,
-) -> Vec<TreeId> {
+pub fn sample_queries<R: Rng + ?Sized>(forest: &Forest, count: usize, rng: &mut R) -> Vec<TreeId> {
     let mut ids: Vec<TreeId> = forest.iter().map(|(id, _)| id).collect();
     // Partial Fisher–Yates: shuffle the first `count` positions.
     let take = count.min(ids.len());
@@ -72,9 +68,7 @@ mod tests {
     fn forest(n: usize) -> Forest {
         let mut forest = Forest::new();
         for i in 0..n {
-            forest
-                .parse_bracket(&format!("a(b{} c)", i % 5))
-                .unwrap();
+            forest.parse_bracket(&format!("a(b{} c)", i % 5)).unwrap();
         }
         forest
     }

@@ -78,7 +78,10 @@ pub fn generate(config: &ZakiConfig) -> (Tree, Forest) {
 }
 
 fn grow_master<R: Rng + ?Sized>(config: &ZakiConfig, labels: &[LabelId], rng: &mut R) -> Tree {
-    let mut tree = Tree::with_capacity(labels[rng.random_range(0..labels.len())], config.master_size);
+    let mut tree = Tree::with_capacity(
+        labels[rng.random_range(0..labels.len())],
+        config.master_size,
+    );
     // Attach each new node under a random existing node with spare fanout.
     let mut open: Vec<NodeId> = vec![tree.root()];
     while tree.len() < config.master_size && !open.is_empty() {
@@ -119,12 +122,7 @@ fn prune_copy<R: Rng + ?Sized>(master: &Tree, probability: f64, rng: &mut R) -> 
 /// pruned copy (test oracle; greedy left-to-right matching suffices for
 /// this generator's outputs, which preserve child order).
 pub fn is_pruned_copy(master: &Tree, derived: &Tree) -> bool {
-    fn embeds(
-        master: &Tree,
-        m: NodeId,
-        derived: &Tree,
-        d: NodeId,
-    ) -> bool {
+    fn embeds(master: &Tree, m: NodeId, derived: &Tree, d: NodeId) -> bool {
         if master.label(m) != derived.label(d) {
             return false;
         }
@@ -208,8 +206,7 @@ mod tests {
     #[test]
     fn oracle_rejects_non_copies() {
         let mut interner = LabelInterner::new();
-        let master =
-            treesim_tree::parse::bracket::parse(&mut interner, "a(b(c) d)").unwrap();
+        let master = treesim_tree::parse::bracket::parse(&mut interner, "a(b(c) d)").unwrap();
         let yes = treesim_tree::parse::bracket::parse(&mut interner, "a(b d)").unwrap();
         let no = treesim_tree::parse::bracket::parse(&mut interner, "a(d b)").unwrap();
         let deeper = treesim_tree::parse::bracket::parse(&mut interner, "a(b(c(x)))").unwrap();

@@ -63,13 +63,13 @@ impl<'a, C: CostModel> Solver<'a, C> {
         }
         let mut del_tree = vec![0u64; t1.arena_len()];
         for &n in &post1 {
-            del_tree[n.index()] = cost.delete(t1.label(n))
-                + t1.children(n).map(|c| del_tree[c.index()]).sum::<u64>();
+            del_tree[n.index()] =
+                cost.delete(t1.label(n)) + t1.children(n).map(|c| del_tree[c.index()]).sum::<u64>();
         }
         let mut ins_tree = vec![0u64; t2.arena_len()];
         for &n in &post2 {
-            ins_tree[n.index()] = cost.insert(t2.label(n))
-                + t2.children(n).map(|c| ins_tree[c.index()]).sum::<u64>();
+            ins_tree[n.index()] =
+                cost.insert(t2.label(n)) + t2.children(n).map(|c| ins_tree[c.index()]).sum::<u64>();
         }
         let n1 = post1.len();
         let n2 = post2.len();
@@ -281,7 +281,10 @@ mod tests {
             let zs = edit_distance(&t1, &t2);
             let constrained = constrained_distance(&t1, &t2);
             let selkow = selkow_distance(&t1, &t2);
-            assert!(zs <= constrained && constrained <= selkow, "{x} vs {y}: zs={zs} c={constrained} s={selkow}");
+            assert!(
+                zs <= constrained && constrained <= selkow,
+                "{x} vs {y}: zs={zs} c={constrained} s={selkow}"
+            );
         }
     }
 }

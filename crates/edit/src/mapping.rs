@@ -87,15 +87,11 @@ pub fn edit_mapping<C: CostModel>(t1: &Tree, t2: &Tree, cost: &C) -> EditMapping
         // Backtrack from (root1, root2) down to the empty boundary.
         let (mut i, mut j) = (root1, root2);
         while i >= l1 || j >= l2 {
-            if i >= l1
-                && fd[at(i, j)] == fd[at(i - 1, j)] + cost.delete(info1.label_at(i - 1))
-            {
+            if i >= l1 && fd[at(i, j)] == fd[at(i - 1, j)] + cost.delete(info1.label_at(i - 1)) {
                 i -= 1; // node i deleted
                 continue;
             }
-            if j >= l2
-                && fd[at(i, j)] == fd[at(i, j - 1)] + cost.insert(info2.label_at(j - 1))
-            {
+            if j >= l2 && fd[at(i, j)] == fd[at(i, j - 1)] + cost.insert(info2.label_at(j - 1)) {
                 j -= 1; // node j inserted
                 continue;
             }
@@ -256,8 +252,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         for seed in 0..30u32 {
             let base = bracket::parse(&mut interner, "l0(l1(l2 l3) l1 l2(l3))").unwrap();
-            let (mutated, _) =
-                treesim_datagen::mutate::apply_random_ops(&base, (seed % 5) as usize, &labels, &mut rng);
+            let (mutated, _) = treesim_datagen::mutate::apply_random_ops(
+                &base,
+                (seed % 5) as usize,
+                &labels,
+                &mut rng,
+            );
             let mapping = edit_mapping(&base, &mutated, &UnitCost);
             assert_valid(&mapping, &base, &mutated);
         }

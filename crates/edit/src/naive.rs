@@ -15,14 +15,7 @@ use crate::cost::CostModel;
 /// Intended for trees of at most a few dozen nodes (tests only).
 pub fn naive_edit_distance<C: CostModel>(t1: &Tree, t2: &Tree, cost: &C) -> u64 {
     let mut memo = HashMap::new();
-    forest_distance(
-        t1,
-        t2,
-        &[t1.root()],
-        &[t2.root()],
-        cost,
-        &mut memo,
-    )
+    forest_distance(t1, t2, &[t1.root()], &[t2.root()], cost, &mut memo)
 }
 
 type Memo = HashMap<(Vec<NodeId>, Vec<NodeId>), u64>;
@@ -38,10 +31,16 @@ fn forest_distance<C: CostModel>(
     memo: &mut Memo,
 ) -> u64 {
     if f1.is_empty() {
-        return f2.iter().map(|&n| subtree_cost(t2, n, |l| cost.insert(l))).sum();
+        return f2
+            .iter()
+            .map(|&n| subtree_cost(t2, n, |l| cost.insert(l)))
+            .sum();
     }
     if f2.is_empty() {
-        return f1.iter().map(|&n| subtree_cost(t1, n, |l| cost.delete(l))).sum();
+        return f1
+            .iter()
+            .map(|&n| subtree_cost(t1, n, |l| cost.delete(l)))
+            .sum();
     }
     let key = (f1.to_vec(), f2.to_vec());
     if let Some(&hit) = memo.get(&key) {
@@ -54,14 +53,12 @@ fn forest_distance<C: CostModel>(
     // Option 1: delete v — its children join the forest in its place.
     let mut f1_minus_v: Vec<NodeId> = rest1.to_vec();
     f1_minus_v.extend(t1.children(v));
-    let delete = forest_distance(t1, t2, &f1_minus_v, f2, cost, memo)
-        + cost.delete(t1.label(v));
+    let delete = forest_distance(t1, t2, &f1_minus_v, f2, cost, memo) + cost.delete(t1.label(v));
 
     // Option 2: insert w.
     let mut f2_minus_w: Vec<NodeId> = rest2.to_vec();
     f2_minus_w.extend(t2.children(w));
-    let insert = forest_distance(t1, t2, f1, &f2_minus_w, cost, memo)
-        + cost.insert(t2.label(w));
+    let insert = forest_distance(t1, t2, f1, &f2_minus_w, cost, memo) + cost.insert(t2.label(w));
 
     // Option 3: match v with w — the rest-forests and the child-forests are
     // solved independently.
@@ -76,7 +73,11 @@ fn forest_distance<C: CostModel>(
     best
 }
 
-fn subtree_cost<F: Fn(treesim_tree::LabelId) -> u64>(tree: &Tree, root: NodeId, per_node: F) -> u64 {
+fn subtree_cost<F: Fn(treesim_tree::LabelId) -> u64>(
+    tree: &Tree,
+    root: NodeId,
+    per_node: F,
+) -> u64 {
     tree.preorder_from(root)
         .map(|n| per_node(tree.label(n)))
         .sum()

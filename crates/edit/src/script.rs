@@ -191,10 +191,8 @@ fn wrapped_copy(tree: &Tree) -> (Tree, Vec<NodeId>) {
     translation[tree.root().index()] = root_copy;
     // Preorder clone preserving child order (stack pops the leftmost
     // pending node first).
-    let mut stack: Vec<(NodeId, NodeId)> = tree
-        .children(tree.root())
-        .map(|c| (c, root_copy))
-        .collect();
+    let mut stack: Vec<(NodeId, NodeId)> =
+        tree.children(tree.root()).map(|c| (c, root_copy)).collect();
     stack.reverse();
     while let Some((old, new_parent)) = stack.pop() {
         let copy = wrapped.add_child(new_parent, tree.label(old));
@@ -209,8 +207,7 @@ fn wrapped_copy(tree: &Tree) -> (Tree, Vec<NodeId>) {
 /// Clones the subtree rooted at `node` into a fresh dense tree.
 fn subtree_copy(tree: &Tree, node: NodeId) -> Tree {
     let mut out = Tree::with_capacity(tree.label(node), tree.subtree_size(node));
-    let mut stack: Vec<(NodeId, NodeId)> =
-        tree.children(node).map(|c| (c, out.root())).collect();
+    let mut stack: Vec<(NodeId, NodeId)> = tree.children(node).map(|c| (c, out.root())).collect();
     stack.reverse();
     while let Some((old, new_parent)) = stack.pop() {
         let copy = out.add_child(new_parent, tree.label(old));
@@ -255,11 +252,7 @@ fn following_present_sibling(
 }
 
 /// The leftmost present node in the subtree rooted at `s` (itself included).
-fn first_present(
-    t2: &Tree,
-    s: NodeId,
-    counterpart: &HashMap<NodeId, NodeId>,
-) -> Option<NodeId> {
+fn first_present(t2: &Tree, s: NodeId, counterpart: &HashMap<NodeId, NodeId>) -> Option<NodeId> {
     if let Some(&node) = counterpart.get(&s) {
         return Some(node);
     }

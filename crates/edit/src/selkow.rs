@@ -37,11 +37,8 @@ pub fn selkow_distance_with<C: CostModel>(t1: &Tree, t2: &Tree, cost: &C) -> u64
 fn subtree_costs<F: Fn(treesim_tree::LabelId) -> u64>(tree: &Tree, per_node: F) -> Vec<u64> {
     let mut costs = vec![0u64; tree.arena_len()];
     for node in tree.postorder() {
-        costs[node.index()] = per_node(tree.label(node))
-            + tree
-                .children(node)
-                .map(|c| costs[c.index()])
-                .sum::<u64>();
+        costs[node.index()] =
+            per_node(tree.label(node)) + tree.children(node).map(|c| costs[c.index()]).sum::<u64>();
     }
     costs
 }

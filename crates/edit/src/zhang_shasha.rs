@@ -190,12 +190,10 @@ fn compute_treedist<C: CostModel>(
 
     fd[at(l1 - 1, l2 - 1)] = 0;
     for i in l1..=i_hi {
-        fd[at(i, l2 - 1)] =
-            fd[at(i - 1, l2 - 1)] + cost.delete(info1.label_at(i - 1));
+        fd[at(i, l2 - 1)] = fd[at(i - 1, l2 - 1)] + cost.delete(info1.label_at(i - 1));
     }
     for j in l2..=j_hi {
-        fd[at(l1 - 1, j)] =
-            fd[at(l1 - 1, j - 1)] + cost.insert(info2.label_at(j - 1));
+        fd[at(l1 - 1, j)] = fd[at(l1 - 1, j - 1)] + cost.insert(info2.label_at(j - 1));
     }
     for i in l1..=i_hi {
         let li = info1.leftmost_leaf(i - 1) + 1;
@@ -346,7 +344,7 @@ mod tests {
         assert_eq!(info.leftmost_leaf(2), 1); // c → b
         assert_eq!(info.leftmost_leaf(3), 0); // d → a
         assert_eq!(info.leftmost_leaf(5), 0); // f → a
-        // Keyroots: largest postorder index per distinct lml: {a:5, b:2, e:4}.
+                                              // Keyroots: largest postorder index per distinct lml: {a:5, b:2, e:4}.
         assert_eq!(info.keyroots(), &[2, 4, 5]);
     }
 

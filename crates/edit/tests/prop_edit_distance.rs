@@ -138,3 +138,57 @@ proptest! {
         prop_assert_eq!(applied.ops.len() as u64, edit_distance(t1, t2));
     }
 }
+
+/// Seed 2852 was once pinned by proptest (see the committed
+/// `.proptest-regressions` file) as a shrunk failure of this suite. The
+/// triage could not reproduce a violation: every property above passes at
+/// seed 2852 directly, and release-mode sweeps over the full `0..10_000`
+/// seed space (plus weighted-cost oracle comparison and multi-stream
+/// `apply_random_ops` stress) find no counterexample. The regression file
+/// cannot be replayed byte-for-byte here — the inputs it pins depend on the
+/// original proptest RNG streams — so this test pins the seed explicitly,
+/// independent of any strategy implementation, to keep the case covered.
+#[test]
+fn seed_2852_pinned_regression() {
+    let seed = 2852u64;
+
+    let forest = small_forest(seed, 7.0, 4, 2);
+    let t1 = forest.tree(treesim_tree::TreeId(0));
+    let t2 = forest.tree(treesim_tree::TreeId(1));
+    assert_eq!(
+        edit_distance(t1, t2),
+        naive_edit_distance(t1, t2, &UnitCost)
+    );
+
+    let forest = small_forest(seed, 12.0, 6, 1);
+    let base = forest.tree(treesim_tree::TreeId(0));
+    let labels = forest_labels(&forest);
+    for k in 0..8usize {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(k as u64));
+        let (mutated, ops) = apply_random_ops(base, k, &labels, &mut rng);
+        assert!(edit_distance(base, &mutated) <= ops.len() as u64, "k = {k}");
+    }
+
+    let forest = small_forest(seed, 9.0, 5, 2);
+    let t1 = forest.tree(treesim_tree::TreeId(0));
+    let t2 = forest.tree(treesim_tree::TreeId(1));
+    assert_eq!(edit_distance(t1, t1), 0);
+    assert_eq!(edit_distance(t1, t2), edit_distance(t2, t1));
+
+    let forest = small_forest(seed, 8.0, 4, 2);
+    let t1 = forest.tree(treesim_tree::TreeId(0));
+    let t2 = forest.tree(treesim_tree::TreeId(1));
+    let zs = edit_distance(t1, t2);
+    let constrained = constrained_distance(t1, t2);
+    let selkow = selkow_distance(t1, t2);
+    assert!(zs <= constrained && constrained <= selkow);
+    let mapping = treesim_edit::edit_mapping(t1, t2, &UnitCost);
+    assert_eq!(mapping.cost, zs);
+
+    let forest = small_forest(seed, 9.0, 4, 2);
+    let t1 = forest.tree(treesim_tree::TreeId(0));
+    let t2 = forest.tree(treesim_tree::TreeId(1));
+    let applied = treesim_edit::diff(t1, t2, &UnitCost);
+    assert_eq!(&applied.result, t2);
+    assert_eq!(applied.ops.len() as u64, edit_distance(t1, t2));
+}

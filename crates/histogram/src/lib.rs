@@ -89,8 +89,14 @@ impl Histogram {
                 }
             }
         }
-        distance += self.entries[i..].iter().map(|&(_, c)| u64::from(c)).sum::<u64>();
-        distance += other.entries[j..].iter().map(|&(_, c)| u64::from(c)).sum::<u64>();
+        distance += self.entries[i..]
+            .iter()
+            .map(|&(_, c)| u64::from(c))
+            .sum::<u64>();
+        distance += other.entries[j..]
+            .iter()
+            .map(|&(_, c)| u64::from(c))
+            .sum::<u64>();
         distance
     }
 }

@@ -61,8 +61,11 @@ impl<'a, F: Filter, C: Clone + Eq + Hash> KnnClassifier<'a, F, C> {
             .min_by(|a, b| {
                 // Most votes first; then smallest total distance; then the
                 // class of the nearest neighbor.
-                (std::cmp::Reverse(a.1 .0), a.1 .1, a.1 .2)
-                    .cmp(&(std::cmp::Reverse(b.1 .0), b.1 .1, b.1 .2))
+                (std::cmp::Reverse(a.1 .0), a.1 .1, a.1 .2).cmp(&(
+                    std::cmp::Reverse(b.1 .0),
+                    b.1 .1,
+                    b.1 .2,
+                ))
             })
             .map(|(class, _)| class.clone());
         (winner, stats)
@@ -115,8 +118,7 @@ mod tests {
 
         let deep_query = {
             let mut interner = query_forest.interner().clone();
-            let t =
-                treesim_tree::parse::bracket::parse(&mut interner, "a(b(c(d(g))))").unwrap();
+            let t = treesim_tree::parse::bracket::parse(&mut interner, "a(b(c(d(g))))").unwrap();
             *query_forest.interner_mut() = interner;
             t
         };

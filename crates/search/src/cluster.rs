@@ -126,7 +126,10 @@ mod tests {
         let clustering = threshold_clusters(&engine, 2);
         assert_eq!(clustering.len(), 3);
         assert!(!clustering.is_empty());
-        assert_eq!(clustering.clusters[0], vec![TreeId(0), TreeId(1), TreeId(2)]);
+        assert_eq!(
+            clustering.clusters[0],
+            vec![TreeId(0), TreeId(1), TreeId(2)]
+        );
         assert_eq!(clustering.clusters[1], vec![TreeId(3), TreeId(4)]);
         assert_eq!(clustering.clusters[2], vec![TreeId(5)]);
         assert_eq!(clustering.cluster_of(TreeId(4)), 1);

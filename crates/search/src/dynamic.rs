@@ -5,8 +5,11 @@
 //!
 //! Appending a tree costs one branch extraction (`O(|T|)`) plus the
 //! Zhang–Shasha precomputation; queries are identical in results to an
-//! engine rebuilt from scratch (tested).
+//! engine rebuilt from scratch (tested). Queries run the same two-cheapest
+//! stages of the positional bound cascade as the static engine: the O(1)
+//! size difference screens candidates before any `propt` binary search.
 
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use treesim_core::{BranchVocab, PositionalVector};
@@ -14,7 +17,7 @@ use treesim_edit::{zhang_shasha, TreeInfo, UnitCost, ZsWorkspace};
 use treesim_tree::{Forest, LabelInterner, Tree, TreeId};
 
 use crate::engine::Neighbor;
-use crate::stats::SearchStats;
+use crate::stats::{SearchStats, StageStats};
 
 /// An appendable similarity index over rooted, ordered, labeled trees.
 ///
@@ -121,45 +124,62 @@ impl DynamicIndex {
     }
 
     /// k-nearest neighbors of `query` (same semantics as
-    /// [`crate::SearchEngine::knn`]).
+    /// [`crate::SearchEngine::knn`], including smallest-id tie-breaking).
+    ///
+    /// Candidates escalate lazily: every tree gets the O(1) size bound
+    /// first, and only the candidates whose size bound is among the
+    /// smallest outstanding ones pay for the `propt` positional bound.
     pub fn knn(&self, query: &Tree, k: usize) -> (Vec<Neighbor>, SearchStats) {
         let mut stats = SearchStats {
             dataset_size: self.len(),
+            stages: vec![StageStats::named("size"), StageStats::named("propt")],
             ..Default::default()
         };
         if k == 0 || self.is_empty() {
             return (Vec::new(), stats);
         }
         let query_vector = self.query_vector(query);
-        let mut bounds: Vec<(u64, u32)> = self
+        // Escalation heap keyed by (bound, next stage, id): stage 1 is the
+        // propt positional bound, stage 2 means "fully bounded, refine".
+        let mut escalation: BinaryHeap<Reverse<(u64, usize, u32)>> = self
             .vectors
             .iter()
             .enumerate()
-            .map(|(i, v)| (query_vector.optimistic_bound(v), i as u32))
+            .map(|(i, v)| Reverse((query_vector.size_bound(v), 1, i as u32)))
             .collect();
-        bounds.sort_unstable();
+        stats.stages[0].evaluated = self.len();
 
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
         let mut heap: BinaryHeap<(u64, u32)> = BinaryHeap::with_capacity(k + 1);
-        for &(bound, raw) in &bounds {
+        while let Some(&Reverse((bound, next_stage, raw))) = escalation.peek() {
             if heap.len() == k {
                 let &(worst, _) = heap.peek().expect("heap full");
                 if bound > worst {
                     break;
                 }
             }
-            let distance = zhang_shasha(
-                &query_info,
-                &self.infos[raw as usize],
-                &UnitCost,
-                &mut workspace,
-            );
-            stats.refined += 1;
-            heap.push((distance, raw));
-            if heap.len() > k {
-                heap.pop();
+            escalation.pop();
+            if next_stage == 1 {
+                let sharper = query_vector.optimistic_bound(&self.vectors[raw as usize]);
+                stats.stages[1].evaluated += 1;
+                escalation.push(Reverse((bound.max(sharper), 2, raw)));
+            } else {
+                let distance = zhang_shasha(
+                    &query_info,
+                    &self.infos[raw as usize],
+                    &UnitCost,
+                    &mut workspace,
+                );
+                stats.refined += 1;
+                heap.push((distance, raw));
+                if heap.len() > k {
+                    heap.pop();
+                }
             }
+        }
+        for &Reverse((_, next_stage, _)) in escalation.iter() {
+            stats.stages[next_stage - 1].pruned += 1;
         }
         let mut results: Vec<Neighbor> = heap
             .into_iter()
@@ -177,22 +197,27 @@ impl DynamicIndex {
     pub fn range(&self, query: &Tree, tau: u32) -> (Vec<Neighbor>, SearchStats) {
         let mut stats = SearchStats {
             dataset_size: self.len(),
+            stages: vec![StageStats::named("size"), StageStats::named("propt")],
             ..Default::default()
         };
         let query_vector = self.query_vector(query);
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
         let mut results = Vec::new();
+        stats.stages[0].evaluated = self.len();
         for (raw, vector) in self.vectors.iter().enumerate() {
-            if query_vector.exceeds_range(vector, tau) {
+            // Size screen first: skip the positional merge entirely when
+            // the O(1) bound already exceeds τ.
+            if query_vector.size_bound(vector) > u64::from(tau) {
+                stats.stages[0].pruned += 1;
                 continue;
             }
-            let distance = zhang_shasha(
-                &query_info,
-                &self.infos[raw],
-                &UnitCost,
-                &mut workspace,
-            );
+            stats.stages[1].evaluated += 1;
+            if query_vector.exceeds_range(vector, tau) {
+                stats.stages[1].pruned += 1;
+                continue;
+            }
+            let distance = zhang_shasha(&query_info, &self.infos[raw], &UnitCost, &mut workspace);
             stats.refined += 1;
             if distance <= u64::from(tau) {
                 results.push(Neighbor {

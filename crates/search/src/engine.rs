@@ -1,17 +1,32 @@
-//! The filter-and-refine similarity search engine (Algorithm 2 and §4.3).
+//! The filter-and-refine similarity search engine (Algorithm 2 and §4.3),
+//! with a staged lower-bound cascade and scoped-thread batch execution.
 //!
 //! * **k-NN** follows the optimal multi-step strategy of Seidl & Kriegel
-//!   \[13\], which the paper adopts: compute the lower bound to every tree,
-//!   process candidates in ascending bound order, refine with the real
-//!   Zhang–Shasha distance, and stop as soon as the next lower bound
-//!   exceeds the current k-th distance — completeness is guaranteed by the
-//!   lower-bound property.
-//! * **Range queries** refine exactly the candidates the filter cannot
-//!   prune at radius `τ`.
+//!   \[13\], which the paper adopts: process candidates in ascending
+//!   lower-bound order, refine with the real Zhang–Shasha distance, and
+//!   stop as soon as the next lower bound exceeds the current k-th
+//!   distance — completeness is guaranteed by the lower-bound property.
+//!   Bounds are evaluated **lazily through the filter's cascade**
+//!   ([`Filter::stage_bound`]): every candidate starts with the coarsest
+//!   stage (for the positional filter, the O(1) size difference) and only
+//!   escalates to the next, more expensive stage when its current bound is
+//!   the smallest outstanding one. Candidates pruned by a cheap stage
+//!   never pay for `⌈BDist/5⌉` merges or `propt` binary searches.
+//! * **Range queries** sweep the cascade stage by stage, discarding at
+//!   each stage every candidate whose bound already exceeds `τ`, and
+//!   refine only the survivors of the final (sharpest) stage.
 //!
-//! Per-tree Zhang–Shasha precomputation ([`TreeInfo`]) is cached at engine
-//! construction, and one scratch workspace is reused across refinements.
+//! Both return results **bit-identical** to an exhaustive sequential scan
+//! (ties broken by ascending [`TreeId`]); the cascade only changes how
+//! much work the filtering step performs. Per-stage candidate counts,
+//! prune counts and wall-clock live in [`SearchStats::stages`].
+//!
+//! Per-tree Zhang–Shasha precomputation ([`TreeInfo`]) is parallelized
+//! across scoped threads at engine construction, and the batch entry
+//! points ([`SearchEngine::knn_batch`], [`SearchEngine::range_batch`])
+//! fan independent queries out over a scoped thread pool.
 
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
@@ -19,7 +34,7 @@ use treesim_edit::{zhang_shasha, CostModel, TreeInfo, UnitCost, ZsWorkspace};
 use treesim_tree::{Forest, Tree, TreeId};
 
 use crate::filter::Filter;
-use crate::stats::SearchStats;
+use crate::stats::{SearchStats, StageStats};
 
 /// One query answer: a tree and its exact edit distance to the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +45,15 @@ pub struct Neighbor {
     pub distance: u64,
 }
 
+/// Picks a worker count for scoped-thread fan-out: the available
+/// parallelism, capped by the number of work items.
+fn default_threads(work_items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(work_items.max(1))
+}
+
 /// A similarity search engine over a fixed dataset with a pluggable filter
 /// and cost model.
 ///
@@ -37,6 +61,13 @@ pub struct Neighbor {
 /// [`CostModel`] the engine scales them by
 /// [`CostModel::min_operation_cost`] (§2.1 of the paper: the approach
 /// extends to general costs given a lower bound on per-operation cost).
+///
+/// # Determinism
+///
+/// For fixed inputs every query method is fully deterministic: results
+/// are sorted by `(distance, tree id)` and k-NN tie-breaking keeps the
+/// **smallest tree ids** among equal distances, regardless of filter,
+/// cascade shape, or thread count.
 pub struct SearchEngine<'a, F: Filter, C: CostModel = UnitCost> {
     forest: &'a Forest,
     filter: F,
@@ -46,16 +77,48 @@ pub struct SearchEngine<'a, F: Filter, C: CostModel = UnitCost> {
 
 impl<'a, F: Filter> SearchEngine<'a, F, UnitCost> {
     /// Builds a unit-cost engine: the filter indexes the dataset and the
-    /// Zhang–Shasha per-tree tables are precomputed.
+    /// Zhang–Shasha per-tree tables are precomputed (in parallel).
     pub fn new(forest: &'a Forest, filter: F) -> Self {
         Self::with_cost(forest, filter, UnitCost)
     }
 }
 
 impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
-    /// Builds an engine refining with an arbitrary cost model.
+    /// Builds an engine refining with an arbitrary cost model. The
+    /// per-tree [`TreeInfo`] precomputation fans out across all available
+    /// cores.
     pub fn with_cost(forest: &'a Forest, filter: F, cost: C) -> Self {
-        let infos = forest.iter().map(|(_, t)| TreeInfo::new(t)).collect();
+        Self::with_cost_threads(forest, filter, cost, default_threads(forest.len()))
+    }
+
+    /// Like [`SearchEngine::with_cost`] with an explicit worker count
+    /// (`threads = 1` recovers the fully serial build). The assembled
+    /// engine is identical regardless of `threads`.
+    pub fn with_cost_threads(forest: &'a Forest, filter: F, cost: C, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let trees: Vec<&Tree> = forest.iter().map(|(_, t)| t).collect();
+        let chunk_size = trees.len().div_ceil(threads).max(1);
+        // Parallel precomputation, sequential in-order assembly — same
+        // scheme as `InvertedFileIndex::build_parallel`, so `infos[i]`
+        // always belongs to `TreeId(i)`.
+        let infos: Vec<TreeInfo> = if threads == 1 || trees.len() <= 1 {
+            trees.iter().map(|t| TreeInfo::new(t)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = trees
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk.iter().map(|t| TreeInfo::new(t)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("tree-info thread panicked"))
+                    .collect()
+            })
+        };
         SearchEngine {
             forest,
             filter,
@@ -85,12 +148,31 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         zhang_shasha(query_info, &self.infos[id.index()], &self.cost, workspace)
     }
 
+    fn stage_accumulators(&self) -> Vec<StageStats> {
+        (0..self.filter.stages())
+            .map(|s| StageStats::named(self.filter.stage_name(s)))
+            .collect()
+    }
+
     /// k-nearest-neighbor query (Algorithm 2). Returns up to `k` neighbors
-    /// in ascending distance order (ties broken by tree id) and the query
+    /// in ascending distance order — ties broken by **smallest tree id**,
+    /// a guarantee the tie-handling tests pin down — and the query
     /// statistics.
+    ///
+    /// Candidates escalate lazily through the filter's bound cascade: an
+    /// escalation heap keyed by `(bound, stage, id)` always advances the
+    /// candidate with the smallest outstanding bound, either sharpening
+    /// its bound with the next cascade stage or (once fully bounded)
+    /// refining it. When the smallest outstanding bound exceeds the
+    /// current k-th distance, no remaining candidate — at any stage — can
+    /// enter the result, and the search stops. The comparison is strict
+    /// (`>`), so candidates whose bound *equals* the current k-th distance
+    /// are still refined; dropping them could lose a tied neighbor with a
+    /// smaller id.
     pub fn knn(&self, query: &Tree, k: usize) -> (Vec<Neighbor>, SearchStats) {
         let mut stats = SearchStats {
             dataset_size: self.forest.len(),
+            stages: self.stage_accumulators(),
             ..Default::default()
         };
         if k == 0 || self.forest.is_empty() {
@@ -99,35 +181,67 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
 
         let filter_start = Instant::now();
         let scale = self.bound_scale();
+        let stage_count = self.filter.stages();
         let query_artifact = self.filter.prepare_query(query);
-        let mut bounds: Vec<(u64, TreeId)> = self
+
+        // Stage 0 for every tree, in bulk. The heap keys escalations by
+        // (bound, next stage, id): of equally bounded entries the one with
+        // fewer stages left runs first, reaching refinement sooner.
+        let stage0_start = Instant::now();
+        let mut escalation: BinaryHeap<Reverse<(u64, usize, TreeId)>> = self
             .forest
             .iter()
-            .map(|(id, _)| (self.filter.lower_bound(&query_artifact, id) * scale, id))
+            .map(|(id, _)| {
+                Reverse((
+                    self.filter.stage_bound(&query_artifact, id, 0) * scale,
+                    1,
+                    id,
+                ))
+            })
             .collect();
-        bounds.sort_unstable();
-        stats.filter_time = filter_start.elapsed();
+        stats.stages[0].evaluated = self.forest.len();
+        stats.stages[0].time = stage0_start.elapsed();
 
-        let refine_start = Instant::now();
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
-        // Max-heap of the k best (distance, tree) pairs seen so far.
+        let mut refine_time = std::time::Duration::ZERO;
+        // Max-heap of the k best (distance, tree) pairs seen so far; the
+        // push-then-pop below evicts the largest (distance, id), so among
+        // equal distances the smallest ids survive.
         let mut heap: BinaryHeap<(u64, TreeId)> = BinaryHeap::with_capacity(k + 1);
-        for &(bound, id) in &bounds {
+        while let Some(&Reverse((bound, next_stage, id))) = escalation.peek() {
             if heap.len() == k {
                 let &(worst, _) = heap.peek().expect("heap full");
                 if bound > worst {
-                    break; // no remaining candidate can improve the result
+                    break; // no outstanding candidate can improve the result
                 }
             }
-            let distance = self.refine(&query_info, id, &mut workspace);
-            stats.refined += 1;
-            heap.push((distance, id));
-            if heap.len() > k {
-                heap.pop();
+            escalation.pop();
+            if next_stage < stage_count {
+                // Sharpen with the next cascade stage; keep the running
+                // max (stages need not be pointwise monotone).
+                let stage_start = Instant::now();
+                let sharper = self.filter.stage_bound(&query_artifact, id, next_stage) * scale;
+                stats.stages[next_stage].time += stage_start.elapsed();
+                stats.stages[next_stage].evaluated += 1;
+                escalation.push(Reverse((bound.max(sharper), next_stage + 1, id)));
+            } else {
+                let refine_start = Instant::now();
+                let distance = self.refine(&query_info, id, &mut workspace);
+                refine_time += refine_start.elapsed();
+                stats.refined += 1;
+                heap.push((distance, id));
+                if heap.len() > k {
+                    heap.pop();
+                }
             }
         }
-        stats.refine_time = refine_start.elapsed();
+        // Whatever is still queued was pruned by its last evaluated stage.
+        for &Reverse((_, next_stage, _)) in escalation.iter() {
+            stats.stages[next_stage - 1].pruned += 1;
+        }
+        stats.filter_time = filter_start.elapsed() - refine_time;
+        stats.refine_time = refine_time;
 
         let mut results: Vec<Neighbor> = heap
             .into_iter()
@@ -140,22 +254,40 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
 
     /// Range query: all trees within edit distance `tau` of `query`,
     /// ascending by distance (ties by tree id).
+    ///
+    /// The candidate set is narrowed stage by stage: stage `s` drops every
+    /// candidate whose stage-`s` bound already exceeds `τ`, and only the
+    /// final-stage survivors are refined. The final stage uses the
+    /// filter's sharpest range predicate ([`Filter::prunes_range`], which
+    /// for the positional filter adds the Proposition 4.2 test at
+    /// `pr = τ` on top of the `propt` bound).
     pub fn range(&self, query: &Tree, tau: u32) -> (Vec<Neighbor>, SearchStats) {
         let mut stats = SearchStats {
             dataset_size: self.forest.len(),
+            stages: self.stage_accumulators(),
             ..Default::default()
         };
         let filter_start = Instant::now();
+        let stage_count = self.filter.stages();
         let query_artifact = self.filter.prepare_query(query);
         // Filters prune in operation counts: EDist_cost ≥ ops · scale, so a
         // candidate is safe to drop when ops > ⌊tau / scale⌋.
         let ops_tau = u32::try_from(u64::from(tau) / self.bound_scale()).unwrap_or(u32::MAX);
-        let candidates: Vec<TreeId> = self
-            .forest
-            .iter()
-            .filter(|&(id, _)| !self.filter.prunes_range(&query_artifact, id, ops_tau))
-            .map(|(id, _)| id)
-            .collect();
+        let mut candidates: Vec<TreeId> = self.forest.iter().map(|(id, _)| id).collect();
+        for stage in 0..stage_count {
+            let stage_start = Instant::now();
+            let before = candidates.len();
+            if stage + 1 == stage_count {
+                candidates.retain(|&id| !self.filter.prunes_range(&query_artifact, id, ops_tau));
+            } else {
+                candidates.retain(|&id| {
+                    self.filter.stage_bound(&query_artifact, id, stage) <= u64::from(ops_tau)
+                });
+            }
+            stats.stages[stage].evaluated = before;
+            stats.stages[stage].pruned = before - candidates.len();
+            stats.stages[stage].time = stage_start.elapsed();
+        }
         stats.filter_time = filter_start.elapsed();
 
         let refine_start = Instant::now();
@@ -176,10 +308,94 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
     }
 }
 
+impl<F, C> SearchEngine<'_, F, C>
+where
+    F: Filter + Sync,
+    C: CostModel + Sync,
+{
+    /// Answers many k-NN queries, fanning out over all available cores.
+    /// Results are in query order and each is identical to what
+    /// [`SearchEngine::knn`] returns for that query alone.
+    pub fn knn_batch(&self, queries: &[&Tree], k: usize) -> Vec<(Vec<Neighbor>, SearchStats)> {
+        self.knn_batch_threads(queries, k, default_threads(queries.len()))
+    }
+
+    /// [`SearchEngine::knn_batch`] with an explicit worker count.
+    pub fn knn_batch_threads(
+        &self,
+        queries: &[&Tree],
+        k: usize,
+        threads: usize,
+    ) -> Vec<(Vec<Neighbor>, SearchStats)> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        let mut results = self.batch(queries, threads, |query| self.knn(query, k));
+        Self::stamp_threads(&mut results, threads);
+        results
+    }
+
+    /// Answers many range queries, fanning out over all available cores.
+    /// Results are in query order and each is identical to what
+    /// [`SearchEngine::range`] returns for that query alone.
+    pub fn range_batch(&self, queries: &[&Tree], tau: u32) -> Vec<(Vec<Neighbor>, SearchStats)> {
+        self.range_batch_threads(queries, tau, default_threads(queries.len()))
+    }
+
+    /// [`SearchEngine::range_batch`] with an explicit worker count.
+    pub fn range_batch_threads(
+        &self,
+        queries: &[&Tree],
+        tau: u32,
+        threads: usize,
+    ) -> Vec<(Vec<Neighbor>, SearchStats)> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        let mut results = self.batch(queries, threads, |query| self.range(query, tau));
+        Self::stamp_threads(&mut results, threads);
+        results
+    }
+
+    /// Shared batch driver: splits `queries` into `threads` contiguous
+    /// chunks, answers each chunk on a scoped worker thread, and stitches
+    /// the per-query results back together in input order. Each worker
+    /// prepares its own query artifacts and Zhang–Shasha workspace, so no
+    /// state is shared beyond the immutable engine.
+    fn batch<R, Run>(&self, queries: &[&Tree], threads: usize, run: Run) -> Vec<(Vec<Neighbor>, R)>
+    where
+        R: Send,
+        Run: Fn(&Tree) -> (Vec<Neighbor>, R) + Sync,
+    {
+        let threads = threads.clamp(1, queries.len().max(1));
+        let chunk_size = queries.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            let run = &run;
+            let handles: Vec<_> = queries
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(|q| run(q)).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch query thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Stamps `threads` into a batch's per-query stats (the batch APIs
+    /// report the pool size they actually used).
+    fn stamp_threads(results: &mut [(Vec<Neighbor>, SearchStats)], threads: usize) {
+        for (_, stats) in results {
+            stats.threads = threads;
+        }
+    }
+
+    /// Worker count the auto-sizing batch APIs would use for `n` queries.
+    pub fn batch_threads_for(&self, n: usize) -> usize {
+        default_threads(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::filter::{BiBranchFilter, BiBranchMode, HistogramFilter, NoFilter};
+    use crate::filter::{BiBranchFilter, BiBranchMode, HistogramFilter, MaxFilter, NoFilter};
     use treesim_edit::edit_distance;
 
     fn forest() -> Forest {
@@ -232,6 +448,47 @@ mod tests {
     }
 
     #[test]
+    fn knn_ties_keep_smallest_ids() {
+        // Three exact duplicates: every k must return the k smallest ids.
+        let mut forest = Forest::new();
+        for spec in ["a(b c)", "a(b c)", "a(b c)", "x(y z)", "a(b d)"] {
+            forest.parse_bracket(spec).unwrap();
+        }
+        for build_filter in 0..2 {
+            let results_for = |k: usize| -> Vec<(TreeId, u64)> {
+                let query = forest.tree(TreeId(1));
+                let neighbors = if build_filter == 0 {
+                    let engine = SearchEngine::new(
+                        &forest,
+                        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+                    );
+                    engine.knn(query, k).0
+                } else {
+                    let engine = SearchEngine::new(&forest, NoFilter::build(&forest));
+                    engine.knn(query, k).0
+                };
+                neighbors.iter().map(|n| (n.tree, n.distance)).collect()
+            };
+            assert_eq!(results_for(1), vec![(TreeId(0), 0)]);
+            assert_eq!(results_for(2), vec![(TreeId(0), 0), (TreeId(1), 0)]);
+            assert_eq!(
+                results_for(3),
+                vec![(TreeId(0), 0), (TreeId(1), 0), (TreeId(2), 0)]
+            );
+            // A tie at the boundary distance: ids decide who enters.
+            assert_eq!(
+                results_for(4),
+                vec![
+                    (TreeId(0), 0),
+                    (TreeId(1), 0),
+                    (TreeId(2), 0),
+                    (TreeId(4), 1)
+                ]
+            );
+        }
+    }
+
+    #[test]
     fn knn_self_query_returns_self_first() {
         let forest = forest();
         let engine = SearchEngine::new(
@@ -274,6 +531,67 @@ mod tests {
     }
 
     #[test]
+    fn cascade_stage_stats_are_consistent() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        for (_, query) in forest.iter() {
+            let (_, stats) = engine.range(query, 1);
+            assert_eq!(stats.stages.len(), 3);
+            assert_eq!(stats.stages[0].name, "size");
+            assert_eq!(stats.stages[0].evaluated, forest.len());
+            // Survivors of stage s are exactly what stage s+1 evaluates.
+            for pair in stats.stages.windows(2) {
+                assert_eq!(pair[0].survivors(), pair[1].evaluated);
+            }
+            // Final-stage survivors are the refinement candidates.
+            assert_eq!(stats.stages.last().unwrap().survivors(), stats.refined);
+
+            let (_, stats) = engine.knn(query, 2);
+            assert_eq!(stats.stages.len(), 3);
+            assert_eq!(stats.stages[0].evaluated, forest.len());
+            // Lazy escalation: later stages never evaluate more than
+            // earlier ones, and propt computations never exceed the
+            // dataset size (the pre-cascade behavior).
+            for pair in stats.stages.windows(2) {
+                assert!(pair[1].evaluated <= pair[0].evaluated);
+            }
+            assert!(stats.final_stage_evaluated() <= forest.len());
+            // Every candidate is accounted for: refined or pruned at some
+            // stage.
+            let pruned: usize = stats.stages.iter().map(|s| s.pruned).sum();
+            assert_eq!(pruned + stats.refined, forest.len());
+        }
+    }
+
+    #[test]
+    fn cascade_saves_final_stage_work() {
+        // A query far from most of the dataset: the size stage alone
+        // prunes, so strictly fewer propt bounds than trees are computed.
+        let mut forest = forest();
+        for i in 0..8 {
+            forest
+                .parse_bracket(&format!("z{i}(w x y v u t s r p o n m l)"))
+                .unwrap();
+        }
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let (_, stats) = engine.knn(forest.tree(TreeId(6)), 1);
+        assert!(
+            stats.final_stage_evaluated() < forest.len(),
+            "cascade should skip propt for size-pruned candidates: {} vs {}",
+            stats.final_stage_evaluated(),
+            forest.len()
+        );
+        let (_, stats) = engine.range(forest.tree(TreeId(6)), 1);
+        assert!(stats.final_stage_evaluated() < forest.len());
+    }
+
+    #[test]
     fn histogram_engine_is_also_complete() {
         let forest = forest();
         let engine = SearchEngine::new(&forest, HistogramFilter::build(&forest));
@@ -286,12 +604,42 @@ mod tests {
     }
 
     #[test]
+    fn stacked_filter_cascade_is_complete() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            MaxFilter {
+                first: BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+                second: HistogramFilter::build(&forest),
+            },
+        );
+        for (_, query) in forest.iter() {
+            let (got, stats) = engine.knn(query, 4);
+            let expected = sequential_knn(&forest, query, 4);
+            assert_eq!(
+                got.iter().map(|n| n.distance).collect::<Vec<_>>(),
+                expected.iter().map(|n| n.distance).collect::<Vec<_>>()
+            );
+            assert_eq!(stats.stages.len(), 3);
+            for tau in 0..=4 {
+                let (hits, _) = engine.range(query, tau);
+                let want = forest
+                    .iter()
+                    .filter(|(_, t)| edit_distance(query, t) <= u64::from(tau))
+                    .count();
+                assert_eq!(hits.len(), want);
+            }
+        }
+    }
+
+    #[test]
     fn no_filter_refines_everything_for_range() {
         let forest = forest();
         let engine = SearchEngine::new(&forest, NoFilter::build(&forest));
         let (_, stats) = engine.range(forest.tree(TreeId(0)), 2);
         assert_eq!(stats.refined, forest.len());
         assert!((stats.accessed_percent() - 100.0).abs() < 1e-12);
+        assert_eq!(stats.stages.len(), 1);
     }
 
     #[test]
@@ -408,5 +756,98 @@ mod tests {
         );
         let (_, stats) = engine.range(forest.tree(TreeId(6)), 2);
         assert!(stats.refined < forest.len(), "filter pruned nothing");
+    }
+
+    #[test]
+    fn serial_and_parallel_construction_agree() {
+        let forest = forest();
+        let serial = SearchEngine::with_cost_threads(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+            UnitCost,
+            1,
+        );
+        let parallel = SearchEngine::with_cost_threads(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+            UnitCost,
+            4,
+        );
+        for (_, query) in forest.iter() {
+            let (a, _) = serial.knn(query, 4);
+            let (b, _) = parallel.knn(query, 4);
+            assert_eq!(
+                a.iter().map(|n| (n.tree, n.distance)).collect::<Vec<_>>(),
+                b.iter().map(|n| (n.tree, n.distance)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_queries_match_single_queries() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let queries: Vec<&Tree> = forest.iter().map(|(_, t)| t).collect();
+        for threads in [1usize, 2, 4, 16] {
+            let knn_batch = engine.knn_batch_threads(&queries, 3, threads);
+            let range_batch = engine.range_batch_threads(&queries, 2, threads);
+            assert_eq!(knn_batch.len(), queries.len());
+            assert_eq!(range_batch.len(), queries.len());
+            for (i, query) in queries.iter().enumerate() {
+                let (single, single_stats) = engine.knn(query, 3);
+                assert_eq!(
+                    knn_batch[i]
+                        .0
+                        .iter()
+                        .map(|n| (n.tree, n.distance))
+                        .collect::<Vec<_>>(),
+                    single
+                        .iter()
+                        .map(|n| (n.tree, n.distance))
+                        .collect::<Vec<_>>(),
+                    "threads={threads} query={i}"
+                );
+                // The cascade is deterministic, so even the work counters
+                // agree between batch and single execution.
+                assert_eq!(knn_batch[i].1.threads, threads.min(queries.len()));
+                assert_eq!(knn_batch[i].1.refined, single_stats.refined);
+                assert_eq!(
+                    knn_batch[i].1.final_stage_evaluated(),
+                    single_stats.final_stage_evaluated()
+                );
+
+                let (single, _) = engine.range(query, 2);
+                assert_eq!(
+                    range_batch[i]
+                        .0
+                        .iter()
+                        .map(|n| (n.tree, n.distance))
+                        .collect::<Vec<_>>(),
+                    single
+                        .iter()
+                        .map(|n| (n.tree, n.distance))
+                        .collect::<Vec<_>>(),
+                    "threads={threads} query={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_empty_and_auto_threads() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let none: Vec<&Tree> = Vec::new();
+        assert!(engine.knn_batch(&none, 3).is_empty());
+        assert!(engine.range_batch(&none, 1).is_empty());
+        assert!(engine.batch_threads_for(100) >= 1);
+        let queries: Vec<&Tree> = forest.iter().map(|(_, t)| t).take(2).collect();
+        assert_eq!(engine.knn_batch(&queries, 1).len(), 2);
     }
 }

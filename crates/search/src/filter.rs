@@ -24,6 +24,31 @@ pub trait Filter {
     /// A lower bound on `EDist(query, candidate)`.
     fn lower_bound(&self, query: &Self::Query, candidate: TreeId) -> u64;
 
+    /// Number of cascade stages, coarsest (cheapest) first. Stage
+    /// `stages() − 1` must compute [`Filter::lower_bound`]; earlier stages
+    /// may be arbitrarily looser but must each be valid lower bounds of
+    /// `EDist(query, candidate)` on their own — the engine prunes on any
+    /// of them.
+    fn stages(&self) -> usize {
+        1
+    }
+
+    /// Short name of cascade stage `stage`, for per-stage reporting.
+    fn stage_name(&self, stage: usize) -> &'static str {
+        debug_assert!(stage < self.stages());
+        self.name()
+    }
+
+    /// The stage-`stage` lower bound on `EDist(query, candidate)`.
+    ///
+    /// Stages need not be pointwise monotone (a cheap stage may exceed a
+    /// later one on some pairs); the engine keeps the running maximum,
+    /// which is itself a valid lower bound.
+    fn stage_bound(&self, query: &Self::Query, candidate: TreeId, stage: usize) -> u64 {
+        debug_assert!(stage < self.stages());
+        self.lower_bound(query, candidate)
+    }
+
     /// Range-query pruning: `true` only if `EDist(query, candidate) > tau`
     /// is certain. The default tests the generic lower bound; filters with
     /// sharper range predicates (Proposition 4.2) override this.
@@ -108,6 +133,33 @@ impl Filter for BiBranchFilter {
         }
     }
 
+    /// Cascade: O(1) size difference, then `⌈BDist/(4(q−1)+1)⌉` (one
+    /// sorted-entry merge), then — in positional mode — the `propt` binary
+    /// search of §4.2, which only unpruned candidates reach.
+    fn stages(&self) -> usize {
+        match self.mode {
+            BiBranchMode::Plain => 2,
+            BiBranchMode::Positional => 3,
+        }
+    }
+
+    fn stage_name(&self, stage: usize) -> &'static str {
+        match stage {
+            0 => "size",
+            1 => "bdist",
+            _ => "propt",
+        }
+    }
+
+    fn stage_bound(&self, query: &PositionalVector, candidate: TreeId, stage: usize) -> u64 {
+        let data = &self.vectors[candidate.index()];
+        match stage {
+            0 => query.size_bound(data),
+            1 => treesim_core::edit_lower_bound(query.bdist(data), self.q()),
+            _ => query.optimistic_bound(data),
+        }
+    }
+
     fn prunes_range(&self, query: &PositionalVector, candidate: TreeId, tau: u32) -> bool {
         let data = &self.vectors[candidate.index()];
         match self.mode {
@@ -186,6 +238,26 @@ impl Filter for HistogramFilter {
     fn lower_bound(&self, query: &HistogramVector, candidate: TreeId) -> u64 {
         query.lower_bound(&self.vectors[candidate.index()])
     }
+
+    /// Cascade: O(1) size difference, then the full histogram bound.
+    fn stages(&self) -> usize {
+        2
+    }
+
+    fn stage_name(&self, stage: usize) -> &'static str {
+        match stage {
+            0 => "size",
+            _ => "histo",
+        }
+    }
+
+    fn stage_bound(&self, query: &HistogramVector, candidate: TreeId, stage: usize) -> u64 {
+        let data = &self.vectors[candidate.index()];
+        match stage {
+            0 => u64::from(query.size.abs_diff(data.size)),
+            _ => query.lower_bound(data),
+        }
+    }
 }
 
 /// The no-op filter: a lower bound of 0 everywhere, turning the engine into
@@ -256,6 +328,36 @@ impl<A: Filter, B: Filter> Filter for MaxFilter<A, B> {
             .max(self.second.lower_bound(&query.1, candidate))
     }
 
+    /// Components' cascades run aligned from the *end*, so the final stage
+    /// is `max(first.lower_bound, second.lower_bound)` = `lower_bound` and
+    /// the shorter cascade simply starts later.
+    fn stages(&self) -> usize {
+        self.first.stages().max(self.second.stages())
+    }
+
+    fn stage_name(&self, stage: usize) -> &'static str {
+        // Attribute the stage to the longer cascade (ties: first).
+        if self.first.stages() >= self.second.stages() {
+            self.first.stage_name(stage)
+        } else {
+            self.second.stage_name(stage)
+        }
+    }
+
+    fn stage_bound(&self, query: &Self::Query, candidate: TreeId, stage: usize) -> u64 {
+        let total = self.stages();
+        let mut bound = 0u64;
+        let offset = total - self.first.stages();
+        if stage >= offset {
+            bound = bound.max(self.first.stage_bound(&query.0, candidate, stage - offset));
+        }
+        let offset = total - self.second.stages();
+        if stage >= offset {
+            bound = bound.max(self.second.stage_bound(&query.1, candidate, stage - offset));
+        }
+        bound
+    }
+
     fn prunes_range(&self, query: &Self::Query, candidate: TreeId, tau: u32) -> bool {
         self.first.prunes_range(&query.0, candidate, tau)
             || self.second.prunes_range(&query.1, candidate, tau)
@@ -282,6 +384,7 @@ mod tests {
     }
 
     fn check_filter<F: Filter>(filter: &F, forest: &Forest) {
+        assert!(filter.stages() >= 1);
         for (_, query_tree) in forest.iter() {
             let query = filter.prepare_query(query_tree);
             for (id, data_tree) in forest.iter() {
@@ -290,6 +393,23 @@ mod tests {
                 assert!(
                     bound <= edist,
                     "{}: bound {bound} > EDist {edist}",
+                    filter.name()
+                );
+                // Every cascade stage is a sound lower bound on its own,
+                // and the final stage computes lower_bound exactly.
+                for stage in 0..filter.stages() {
+                    let staged = filter.stage_bound(&query, id, stage);
+                    assert!(
+                        staged <= edist,
+                        "{} stage {stage} ({}): bound {staged} > EDist {edist}",
+                        filter.name(),
+                        filter.stage_name(stage),
+                    );
+                }
+                assert_eq!(
+                    filter.stage_bound(&query, id, filter.stages() - 1),
+                    bound,
+                    "{}: final stage must equal lower_bound",
                     filter.name()
                 );
                 for tau in 0..=4u32 {
@@ -374,6 +494,50 @@ mod tests {
         let sq = plain.prepare_query(query_tree);
         for (id, _) in forest.iter() {
             assert!(positional.lower_bound(&pq, id) >= plain.lower_bound(&sq, id));
+        }
+    }
+
+    #[test]
+    fn cascade_shapes() {
+        let forest = forest();
+        let positional = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+        assert_eq!(positional.stages(), 3);
+        assert_eq!(
+            (0..3).map(|s| positional.stage_name(s)).collect::<Vec<_>>(),
+            vec!["size", "bdist", "propt"]
+        );
+        let plain = BiBranchFilter::build(&forest, 2, BiBranchMode::Plain);
+        assert_eq!(plain.stages(), 2);
+        assert_eq!(plain.stage_name(1), "bdist");
+        let histogram = HistogramFilter::build(&forest);
+        assert_eq!(histogram.stages(), 2);
+        assert_eq!(histogram.stage_name(0), "size");
+        let none = NoFilter::build(&forest);
+        assert_eq!(none.stages(), 1);
+        let stacked = MaxFilter {
+            first: BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+            second: HistogramFilter::build(&forest),
+        };
+        assert_eq!(stacked.stages(), 3);
+        assert_eq!(stacked.stage_name(2), "propt");
+    }
+
+    #[test]
+    fn positional_cascade_is_monotone() {
+        // For the positional bi-branch filter specifically, later stages
+        // are pointwise at least as tight: propt ≥ ⌈BDist/5⌉ and
+        // propt ≥ pr_min = size difference.
+        let forest = forest();
+        let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+        for (_, query_tree) in forest.iter() {
+            let query = filter.prepare_query(query_tree);
+            for (id, _) in forest.iter() {
+                let size = filter.stage_bound(&query, id, 0);
+                let bdist = filter.stage_bound(&query, id, 1);
+                let propt = filter.stage_bound(&query, id, 2);
+                assert!(propt >= size, "propt {propt} < size bound {size}");
+                assert!(propt >= bdist, "propt {propt} < bdist bound {bdist}");
+            }
         }
     }
 

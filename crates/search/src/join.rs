@@ -188,7 +188,11 @@ fn join_partitions<F: Filter>(
             );
             if distance <= u64::from(tau) {
                 stats.pairs_joined += 1;
-                let (a, b) = if right.is_none() && r < l { (r, l) } else { (l, r) };
+                let (a, b) = if right.is_none() && r < l {
+                    (r, l)
+                } else {
+                    (l, r)
+                };
                 results.push(JoinPair {
                     left: a,
                     right: b,
@@ -245,8 +249,10 @@ mod tests {
         for tau in [0u32, 1, 2, 4] {
             let (pairs, stats) = similarity_self_join(&forest, &filter, tau);
             let expected = brute_force_pairs(&forest, tau);
-            let got: Vec<(TreeId, TreeId, u64)> =
-                pairs.iter().map(|p| (p.left, p.right, p.distance)).collect();
+            let got: Vec<(TreeId, TreeId, u64)> = pairs
+                .iter()
+                .map(|p| (p.left, p.right, p.distance))
+                .collect();
             assert_eq!(got, expected, "τ={tau}");
             assert_eq!(stats.pairs_joined, expected.len());
             assert!(stats.pairs_refined <= stats.pairs_considered);

@@ -46,5 +46,5 @@ pub use dynamic::DynamicIndex;
 pub use engine::{Neighbor, SearchEngine};
 pub use filter::{BiBranchFilter, BiBranchMode, Filter, HistogramFilter, MaxFilter, NoFilter};
 pub use join::{closest_pairs, similarity_join, similarity_self_join, JoinPair, JoinStats};
-pub use stats::{AveragedStats, SearchStats};
+pub use stats::{AveragedStage, AveragedStats, SearchStats, StageStats};
 pub use subtree::{subtree_search, SubtreeMatch, SubtreeStats};

@@ -1,9 +1,43 @@
-//! Per-query statistics — the quantities reported in the paper's figures.
+//! Per-query statistics — the quantities reported in the paper's figures,
+//! plus per-stage observability for the staged bound cascade.
 
 use std::time::Duration;
 
-/// Measurements collected while answering one similarity query.
+/// Measurements for one stage of the lower-bound cascade.
+///
+/// A cascade evaluates bounds coarsest-first; a candidate only reaches
+/// stage `s + 1` if stage `s` could not prune it, so `evaluated` is
+/// non-increasing across stages and `evaluated − pruned` of the final
+/// stage is the refinement candidate set.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage name ("size", "bdist", "propt", …).
+    pub name: &'static str,
+    /// Candidates whose bound was computed at this stage.
+    pub evaluated: usize,
+    /// Candidates this stage eliminated (never saw later stages).
+    pub pruned: usize,
+    /// Wall-clock time spent computing this stage's bounds.
+    pub time: Duration,
+}
+
+impl StageStats {
+    /// A fresh accumulator for the named stage.
+    pub fn named(name: &'static str) -> Self {
+        StageStats {
+            name,
+            ..Default::default()
+        }
+    }
+
+    /// Candidates that survived this stage.
+    pub fn survivors(&self) -> usize {
+        self.evaluated.saturating_sub(self.pruned)
+    }
+}
+
+/// Measurements collected while answering one similarity query.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchStats {
     /// Number of trees in the dataset.
     pub dataset_size: usize,
@@ -12,10 +46,30 @@ pub struct SearchStats {
     pub refined: usize,
     /// Trees in the final result set (true positives).
     pub results: usize,
-    /// Time spent computing lower bounds.
+    /// Time spent computing lower bounds (all cascade stages).
     pub filter_time: Duration,
     /// Time spent computing real edit distances.
     pub refine_time: Duration,
+    /// Per-stage cascade breakdown, coarsest stage first. Empty for
+    /// engines that do not run a cascade.
+    pub stages: Vec<StageStats>,
+    /// Worker threads that produced these numbers (1 for a single query;
+    /// the batch APIs record the pool size).
+    pub threads: usize,
+}
+
+impl Default for SearchStats {
+    fn default() -> Self {
+        SearchStats {
+            dataset_size: 0,
+            refined: 0,
+            results: 0,
+            filter_time: Duration::ZERO,
+            refine_time: Duration::ZERO,
+            stages: Vec::new(),
+            threads: 1,
+        }
+    }
 }
 
 impl SearchStats {
@@ -41,13 +95,53 @@ impl SearchStats {
         self.filter_time + self.refine_time
     }
 
+    /// Bounds computed at the final (most expensive) cascade stage — for
+    /// the positional filter, the number of `propt` binary searches.
+    pub fn final_stage_evaluated(&self) -> usize {
+        self.stages.last().map_or(0, |s| s.evaluated)
+    }
+
     /// Accumulates another query's stats (for workload averages).
+    ///
+    /// Accumulation only makes sense across queries against the **same
+    /// dataset**: `accessed_percent`/`result_percent` divide by one shared
+    /// `dataset_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sides carry a non-zero `dataset_size` and they
+    /// disagree (mixing stats from different datasets). A zero
+    /// `dataset_size` means "not yet attributed" (the `Default`
+    /// accumulator) and adopts the other side's size.
     pub fn accumulate(&mut self, other: &SearchStats) {
-        self.dataset_size = other.dataset_size;
+        if self.dataset_size == 0 {
+            self.dataset_size = other.dataset_size;
+        } else if other.dataset_size != 0 {
+            assert_eq!(
+                self.dataset_size, other.dataset_size,
+                "accumulating stats from different datasets"
+            );
+        }
         self.refined += other.refined;
         self.results += other.results;
         self.filter_time += other.filter_time;
         self.refine_time += other.refine_time;
+        self.threads = self.threads.max(other.threads);
+        if self.stages.is_empty() {
+            self.stages = other.stages.clone();
+        } else if !other.stages.is_empty() {
+            assert_eq!(
+                self.stages.len(),
+                other.stages.len(),
+                "accumulating stats from different cascades"
+            );
+            for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+                debug_assert_eq!(mine.name, theirs.name, "cascade stage order changed");
+                mine.evaluated += theirs.evaluated;
+                mine.pruned += theirs.pruned;
+                mine.time += theirs.time;
+            }
+        }
     }
 
     /// Divides accumulated counters by the number of queries.
@@ -62,8 +156,31 @@ impl SearchStats {
             avg_result_percent: self.result_percent() / q,
             avg_filter_time: self.filter_time.div_f64(q),
             avg_refine_time: self.refine_time.div_f64(q),
+            avg_stages: self
+                .stages
+                .iter()
+                .map(|s| AveragedStage {
+                    name: s.name,
+                    avg_evaluated: s.evaluated as f64 / q,
+                    avg_pruned: s.pruned as f64 / q,
+                    avg_time: s.time.div_f64(q),
+                })
+                .collect(),
         }
     }
+}
+
+/// One cascade stage averaged over a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragedStage {
+    /// Stage name.
+    pub name: &'static str,
+    /// Mean bounds computed per query at this stage.
+    pub avg_evaluated: f64,
+    /// Mean candidates pruned per query at this stage.
+    pub avg_pruned: f64,
+    /// Mean wall-clock per query at this stage.
+    pub avg_time: Duration,
 }
 
 /// Workload-averaged statistics (the paper averages over 100 queries).
@@ -85,6 +202,8 @@ pub struct AveragedStats {
     pub avg_filter_time: Duration,
     /// Mean refinement time per query.
     pub avg_refine_time: Duration,
+    /// Mean per-stage cascade breakdown.
+    pub avg_stages: Vec<AveragedStage>,
 }
 
 impl AveragedStats {
@@ -115,6 +234,7 @@ mod tests {
         let stats = SearchStats::default();
         assert_eq!(stats.accessed_percent(), 0.0);
         assert_eq!(stats.result_percent(), 0.0);
+        assert_eq!(stats.final_stage_evaluated(), 0);
     }
 
     #[test]
@@ -127,12 +247,73 @@ mod tests {
                 results: 5,
                 filter_time: Duration::from_millis(2),
                 refine_time: Duration::from_millis(8),
+                ..Default::default()
             });
         }
         assert_eq!(total.refined, 30);
+        assert_eq!(total.dataset_size, 100);
         let averaged = total.averaged(2);
         assert!((averaged.avg_refined - 15.0).abs() < 1e-12);
         assert!((averaged.avg_accessed_percent - 15.0).abs() < 1e-12);
         assert_eq!(averaged.avg_total_time(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn accumulate_merges_stages() {
+        let per_query = |evaluated, pruned| SearchStats {
+            dataset_size: 50,
+            stages: vec![
+                StageStats {
+                    name: "size",
+                    evaluated,
+                    pruned,
+                    time: Duration::from_micros(3),
+                },
+                StageStats {
+                    name: "propt",
+                    evaluated: evaluated - pruned,
+                    pruned: 1,
+                    time: Duration::from_micros(9),
+                },
+            ],
+            ..Default::default()
+        };
+        let mut total = SearchStats::default();
+        total.accumulate(&per_query(50, 30));
+        total.accumulate(&per_query(50, 10));
+        assert_eq!(total.stages[0].evaluated, 100);
+        assert_eq!(total.stages[0].pruned, 40);
+        assert_eq!(total.stages[1].evaluated, 60);
+        assert_eq!(total.final_stage_evaluated(), 60);
+        assert_eq!(total.stages[0].survivors(), 60);
+        let averaged = total.averaged(2);
+        assert_eq!(averaged.avg_stages.len(), 2);
+        assert!((averaged.avg_stages[0].avg_evaluated - 50.0).abs() < 1e-12);
+        assert!((averaged.avg_stages[1].avg_pruned - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different datasets")]
+    fn accumulate_rejects_mixed_datasets() {
+        let mut total = SearchStats {
+            dataset_size: 10,
+            ..Default::default()
+        };
+        total.accumulate(&SearchStats {
+            dataset_size: 20,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn accumulate_tracks_thread_pool_size() {
+        let mut total = SearchStats::default();
+        assert_eq!(total.threads, 1);
+        total.accumulate(&SearchStats {
+            dataset_size: 5,
+            threads: 4,
+            ..Default::default()
+        });
+        assert_eq!(total.threads, 4);
     }
 }

@@ -123,10 +123,7 @@ mod tests {
 
     #[test]
     fn exact_occurrences_found() {
-        let (document, pattern, _) = setup(
-            "root(sec(p(x y)) sec(p(x y) p(x z)) p(x y))",
-            "p(x y)",
-        );
+        let (document, pattern, _) = setup("root(sec(p(x y)) sec(p(x y) p(x z)) p(x y))", "p(x y)");
         let (matches, stats) = subtree_search(&document, &pattern, 0, 2);
         assert_eq!(matches.len(), 3);
         assert!(matches.iter().all(|m| m.distance == 0));

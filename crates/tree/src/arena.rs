@@ -382,7 +382,9 @@ impl Tree {
             return self.insert_child_at(parent, start, label);
         }
         let first = self.child_at(parent, start).expect("range checked");
-        let last = self.child_at(parent, start + count - 1).expect("range checked");
+        let last = self
+            .child_at(parent, start + count - 1)
+            .expect("range checked");
         let before = self.node(first).prev_sibling;
         let after = self.node(last).next_sibling;
 
@@ -651,9 +653,7 @@ mod tests {
 
     fn labels(n: usize) -> (LabelInterner, Vec<LabelId>) {
         let mut interner = LabelInterner::new();
-        let ids = (0..n)
-            .map(|i| interner.intern(&format!("l{i}")))
-            .collect();
+        let ids = (0..n).map(|i| interner.intern(&format!("l{i}"))).collect();
         (interner, ids)
     }
 
@@ -798,18 +798,14 @@ mod tests {
         assert_eq!(t.sibling_index(new), 1);
         assert_eq!(t.degree(t.root()), 4);
         assert!(t.is_leaf(new));
-        assert!(t
-            .insert_child_at(t.root(), 9, ls[3])
-            .is_err());
+        assert!(t.insert_child_at(t.root(), 9, ls[3]).is_err());
     }
 
     #[test]
     fn insert_above_children_adopts_run() {
         // Insert x under root adopting children 1..3 (second b and e).
         let (mut t, ls) = paper_t1();
-        let x = t
-            .insert_above_children(t.root(), ls[3], 1, 2)
-            .unwrap();
+        let x = t.insert_above_children(t.root(), ls[3], 1, 2).unwrap();
         t.validate().unwrap();
         assert_eq!(t.degree(t.root()), 2);
         assert_eq!(t.degree(x), 2);
@@ -822,9 +818,7 @@ mod tests {
     #[test]
     fn insert_above_all_children() {
         let (mut t, ls) = paper_t1();
-        let x = t
-            .insert_above_children(t.root(), ls[0], 0, 3)
-            .unwrap();
+        let x = t.insert_above_children(t.root(), ls[0], 0, 3).unwrap();
         t.validate().unwrap();
         assert_eq!(t.degree(t.root()), 1);
         assert_eq!(t.first_child(t.root()), Some(x));
@@ -834,9 +828,7 @@ mod tests {
     #[test]
     fn insert_above_zero_children_is_leaf_insert() {
         let (mut t, ls) = paper_t1();
-        let x = t
-            .insert_above_children(t.root(), ls[0], 3, 0)
-            .unwrap();
+        let x = t.insert_above_children(t.root(), ls[0], 3, 0).unwrap();
         assert!(t.is_leaf(x));
         assert_eq!(t.sibling_index(x), 3);
         assert!(t.insert_above_children(t.root(), ls[0], 3, 2).is_err());
@@ -846,9 +838,7 @@ mod tests {
     fn insert_then_delete_roundtrip_preserves_structure() {
         let (t0, ls) = paper_t1();
         let mut t = t0.clone();
-        let x = t
-            .insert_above_children(t.root(), ls[3], 0, 2)
-            .unwrap();
+        let x = t.insert_above_children(t.root(), ls[3], 0, 2).unwrap();
         t.validate().unwrap();
         t.remove_node(x).unwrap();
         t.validate().unwrap();
@@ -893,5 +883,4 @@ mod tests {
         assert!(!t.contains(b1));
         assert!(t.contains(t.root()));
     }
-
 }

@@ -57,7 +57,9 @@ impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::BadMagic => write!(f, "not a treesim dataset (bad magic)"),
-            CodecError::Truncated { reading } => write!(f, "truncated input while reading {reading}"),
+            CodecError::Truncated { reading } => {
+                write!(f, "truncated input while reading {reading}")
+            }
             CodecError::BadLabelUtf8 => write!(f, "label table contains invalid UTF-8"),
             CodecError::LabelOutOfRange { label } => {
                 write!(f, "node references unknown label id {label}")
@@ -119,7 +121,9 @@ pub fn decode_forest(mut input: &[u8]) -> Result<Forest, CodecError> {
     for _ in 0..label_count {
         let len = read_u32(buf, "label length")? as usize;
         if buf.remaining() < len {
-            return Err(CodecError::Truncated { reading: "label bytes" });
+            return Err(CodecError::Truncated {
+                reading: "label bytes",
+            });
         }
         let raw = buf.copy_to_bytes(len);
         let name = std::str::from_utf8(&raw).map_err(|_| CodecError::BadLabelUtf8)?;
@@ -143,11 +147,7 @@ pub fn decode_forest(mut input: &[u8]) -> Result<Forest, CodecError> {
     Ok(Forest::from_parts(interner, trees))
 }
 
-fn decode_tree(
-    buf: &mut &[u8],
-    node_count: usize,
-    table: &[LabelId],
-) -> Result<Tree, CodecError> {
+fn decode_tree(buf: &mut &[u8], node_count: usize, table: &[LabelId]) -> Result<Tree, CodecError> {
     let (root_label, root_degree) = read_node(buf, table)?;
     let mut tree = Tree::with_capacity(root_label, node_count);
     // Stack of (parent, remaining children to attach).
@@ -212,7 +212,9 @@ mod tests {
         let mut forest = Forest::new();
         forest.parse_bracket("a(b(c d) b e)").unwrap();
         forest.parse_bracket("x").unwrap();
-        forest.parse_bracket("a('label with spaces'(α β) a)").unwrap();
+        forest
+            .parse_bracket("a('label with spaces'(α β) a)")
+            .unwrap();
         forest
     }
 
@@ -314,7 +316,7 @@ mod tests {
         bytes.put_u32_le(2); // claims two nodes
         bytes.put_u32_le(1); // root label "a"
         bytes.put_u32_le(0); // …but no children
-        // Rejected either as truncated (count sanity) or inconsistent.
+                             // Rejected either as truncated (count sanity) or inconsistent.
         assert!(decode_forest(&bytes).is_err());
         // And a zero-node tree is invalid.
         let mut bytes = BytesMut::new();
@@ -322,7 +324,10 @@ mod tests {
         bytes.put_u32_le(0);
         bytes.put_u32_le(1);
         bytes.put_u32_le(0);
-        assert_eq!(decode_forest(&bytes).unwrap_err(), CodecError::InconsistentTree);
+        assert_eq!(
+            decode_forest(&bytes).unwrap_err(),
+            CodecError::InconsistentTree
+        );
     }
 
     #[test]

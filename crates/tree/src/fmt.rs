@@ -23,7 +23,14 @@ pub fn render_outline(tree: &Tree, interner: &LabelInterner) -> String {
     let _ = writeln!(out, "{}", interner.resolve(tree.label(tree.root())));
     let children: Vec<_> = tree.children(tree.root()).collect();
     for (i, child) in children.iter().enumerate() {
-        render_node(tree, interner, *child, "", i + 1 == children.len(), &mut out);
+        render_node(
+            tree,
+            interner,
+            *child,
+            "",
+            i + 1 == children.len(),
+            &mut out,
+        );
     }
     out
 }

@@ -80,12 +80,7 @@ pub fn to_string(tree: &Tree, interner: &LabelInterner) -> String {
     out
 }
 
-fn write_node(
-    tree: &Tree,
-    interner: &LabelInterner,
-    node: crate::arena::NodeId,
-    out: &mut String,
-) {
+fn write_node(tree: &Tree, interner: &LabelInterner, node: crate::arena::NodeId, out: &mut String) {
     write_label(interner.resolve(tree.label(node)), out);
     if !tree.is_leaf(node) {
         out.push('(');
@@ -181,7 +176,9 @@ impl Parser<'_> {
     fn label(&mut self) -> Result<LabelId, ParseError> {
         self.skip_ws();
         match self.peek() {
-            None => Err(ParseError::UnexpectedEof { expected: "a label" }),
+            None => Err(ParseError::UnexpectedEof {
+                expected: "a label",
+            }),
             Some(b'\'') => self.quoted_label(),
             Some(b'(') | Some(b')') => Err(ParseError::UnexpectedChar {
                 offset: self.pos,
@@ -272,7 +269,10 @@ mod tests {
 
     #[test]
     fn quoted_labels() {
-        assert_eq!(roundtrip("'a b'('x(y)' 'it\\'s')"), "'a b'('x(y)' 'it\\'s')");
+        assert_eq!(
+            roundtrip("'a b'('x(y)' 'it\\'s')"),
+            "'a b'('x(y)' 'it\\'s')"
+        );
     }
 
     #[test]
@@ -351,7 +351,10 @@ mod tests {
         let mut interner = LabelInterner::new();
         let t1 = parse(&mut interner, "a(b)").unwrap();
         let t2 = parse(&mut interner, "b(a)").unwrap();
-        assert_eq!(t1.label(t1.root()), t2.label(t2.first_child(t2.root()).unwrap()));
+        assert_eq!(
+            t1.label(t1.root()),
+            t2.label(t2.first_child(t2.root()).unwrap())
+        );
     }
 
     #[test]

@@ -81,12 +81,7 @@ pub fn parse(interner: &mut LabelInterner, structure: &str) -> Result<Tree, Pars
 pub fn to_string(tree: &Tree, interner: &LabelInterner) -> String {
     let pair = interner.get(PAIR_LABEL);
     let mut out = String::new();
-    fn walk(
-        tree: &Tree,
-        node: NodeId,
-        pair: Option<crate::label::LabelId>,
-        out: &mut String,
-    ) {
+    fn walk(tree: &Tree, node: NodeId, pair: Option<crate::label::LabelId>, out: &mut String) {
         for child in tree.children(node) {
             if Some(tree.label(child)) == pair {
                 out.push('(');

@@ -191,12 +191,7 @@ fn is_xml_name(text: &str) -> bool {
     chars.all(|c| c.is_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
 }
 
-fn write_element_with_text(
-    tree: &Tree,
-    interner: &LabelInterner,
-    node: NodeId,
-    out: &mut String,
-) {
+fn write_element_with_text(tree: &Tree, interner: &LabelInterner, node: NodeId, out: &mut String) {
     let label = interner.resolve(tree.label(node));
     out.push('<');
     out.push_str(label);
@@ -377,9 +372,8 @@ impl XmlParser<'_> {
             if self.starts_with("<![CDATA[") {
                 let start = self.pos + "<![CDATA[".len();
                 let haystack = &self.bytes[start..];
-                let end = find_subslice(haystack, b"]]>").ok_or(ParseError::UnexpectedEof {
-                    expected: "']]>'",
-                })?;
+                let end = find_subslice(haystack, b"]]>")
+                    .ok_or(ParseError::UnexpectedEof { expected: "']]>'" })?;
                 let text = std::str::from_utf8(&haystack[..end])
                     .map_err(|_| ParseError::BadLabel { offset: start })?
                     .trim()
@@ -536,11 +530,10 @@ fn decode_entities(raw: &str, base_offset: usize) -> Result<String, ParseError> 
             "quot" => "\"".into(),
             "apos" => "'".into(),
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
-                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
-                    ParseError::BadEntity {
+                let code =
+                    u32::from_str_radix(&entity[2..], 16).map_err(|_| ParseError::BadEntity {
                         offset: base_offset + consumed + amp,
-                    }
-                })?;
+                    })?;
                 char::from_u32(code)
                     .ok_or(ParseError::BadEntity {
                         offset: base_offset + consumed + amp,
@@ -624,10 +617,7 @@ mod tests {
 
     #[test]
     fn self_closing_and_nested_mix() {
-        let (tree, _) = parse_one(
-            "<a><b/><c><d/></c><b></b></a>",
-            XmlOptions::STRUCTURE_ONLY,
-        );
+        let (tree, _) = parse_one("<a><b/><c><d/></c><b></b></a>", XmlOptions::STRUCTURE_ONLY);
         assert_eq!(tree.len(), 5);
         assert_eq!(tree.degree(tree.root()), 3);
     }
@@ -641,20 +631,15 @@ mod tests {
 
     #[test]
     fn cdata_becomes_text() {
-        let (tree, interner) = parse_one(
-            "<t><![CDATA[x < y & z]]></t>",
-            XmlOptions::WITH_TEXT,
-        );
+        let (tree, interner) = parse_one("<t><![CDATA[x < y & z]]></t>", XmlOptions::WITH_TEXT);
         let text = tree.first_child(tree.root()).unwrap();
         assert_eq!(interner.resolve(tree.label(text)), "x < y & z");
     }
 
     #[test]
     fn entities_decoded() {
-        let (tree, interner) = parse_one(
-            "<t>&lt;a&gt; &amp; &#65;&#x42;</t>",
-            XmlOptions::WITH_TEXT,
-        );
+        let (tree, interner) =
+            parse_one("<t>&lt;a&gt; &amp; &#65;&#x42;</t>", XmlOptions::WITH_TEXT);
         let text = tree.first_child(tree.root()).unwrap();
         assert_eq!(interner.resolve(tree.label(text)), "<a> & AB");
     }
@@ -752,7 +737,12 @@ mod tests {
     #[test]
     fn text_with_specials_is_escaped() {
         let mut interner = LabelInterner::new();
-        let tree = parse(&mut interner, "<t>a &lt;&amp;&gt; b</t>", XmlOptions::WITH_TEXT).unwrap();
+        let tree = parse(
+            &mut interner,
+            "<t>a &lt;&amp;&gt; b</t>",
+            XmlOptions::WITH_TEXT,
+        )
+        .unwrap();
         let emitted = to_string_with_text(&tree, &interner);
         assert!(emitted.contains("&lt;"));
         assert!(emitted.contains("&amp;"));

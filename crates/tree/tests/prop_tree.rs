@@ -7,8 +7,8 @@ use treesim_tree::{codec, parse::bracket, Forest, LabelInterner, Tree};
 /// Proptest strategy: a random tree as a nested bracket expression built
 /// from a small label alphabet.
 fn arbitrary_tree() -> impl Strategy<Value = String> {
-    let leaf = prop::sample::select(vec!["a", "b", "c", "d", "long_label", "x1"])
-        .prop_map(str::to_owned);
+    let leaf =
+        prop::sample::select(vec!["a", "b", "c", "d", "long_label", "x1"]).prop_map(str::to_owned);
     leaf.prop_recursive(4, 24, 4, |inner| {
         (
             prop::sample::select(vec!["a", "b", "c", "r"]),

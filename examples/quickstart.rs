@@ -34,7 +34,10 @@ fn main() {
     println!("T2 = {}", specs[1]);
     println!("binary branch distance BDist(T1,T2) = {bdist}");
     println!("tree edit distance     EDist(T1,T2) = {edist}");
-    println!("Theorem 3.2 guarantee:  BDist ≤ 5·EDist  ({bdist} ≤ {})", 5 * edist);
+    println!(
+        "Theorem 3.2 guarantee:  BDist ≤ 5·EDist  ({bdist} ≤ {})",
+        5 * edist
+    );
     println!(
         "plain lower bound  ⌈BDist/5⌉        = {}",
         bdist.div_ceil(5)
@@ -53,7 +56,9 @@ fn main() {
     for n in &neighbors {
         println!(
             "  tree {:>2}  distance {}  ({})",
-            n.tree.0, n.distance, specs[n.tree.index()]
+            n.tree.0,
+            n.distance,
+            specs[n.tree.index()]
         );
     }
     println!(

@@ -110,5 +110,9 @@ fn main() {
     );
 
     // Each family should form one cluster.
-    assert_eq!(clusters.len(), families.len(), "expected one cluster per family");
+    assert_eq!(
+        clusters.len(),
+        families.len(),
+        "expected one cluster per family"
+    );
 }

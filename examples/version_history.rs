@@ -65,7 +65,10 @@ fn main() {
     for op in applied.ops.iter().take(6) {
         println!("  {op:?}");
     }
-    assert_eq!(applied.result, working, "the script reproduces the working copy");
+    assert_eq!(
+        applied.result, working,
+        "the script reproduces the working copy"
+    );
 
     // ── 5. The resolution knob: BDist_q tightens as q grows. ─────────────
     println!("\nq-level resolution (Theorem 3.3: BDist_q ≤ [4(q−1)+1]·EDist):");

@@ -15,7 +15,9 @@ fn main() {
     let mut forest = Forest::new();
     let records = generate_records(&DblpConfig::with_count(500, 42));
     for record in &records {
-        forest.parse_xml(&record.xml, XmlOptions::WITH_TEXT).unwrap();
+        forest
+            .parse_xml(&record.xml, XmlOptions::WITH_TEXT)
+            .unwrap();
     }
     let stats = forest.stats();
     println!(
@@ -53,7 +55,11 @@ fn main() {
     println!("\ntop-5 most similar records:");
     for hit in &hits {
         let kind = records[hit.tree.index()].kind;
-        let marker = if hit.tree.index() == 17 { "  ← the original" } else { "" };
+        let marker = if hit.tree.index() == 17 {
+            "  ← the original"
+        } else {
+            ""
+        };
         println!(
             "  record {:>3} ({kind:>13})  edit distance {}{marker}",
             hit.tree.0, hit.distance

@@ -56,9 +56,9 @@ pub mod prelude {
     };
     pub use treesim_histogram::HistogramVector;
     pub use treesim_search::{
-        similarity_join, similarity_self_join, subtree_search, threshold_clusters,
-        BiBranchFilter, BiBranchMode, Clustering, DynamicIndex, Filter, HistogramFilter,
-        KnnClassifier, MaxFilter, Neighbor, NoFilter, SearchEngine, SearchStats,
+        similarity_join, similarity_self_join, subtree_search, threshold_clusters, BiBranchFilter,
+        BiBranchMode, Clustering, DynamicIndex, Filter, HistogramFilter, KnnClassifier, MaxFilter,
+        Neighbor, NoFilter, SearchEngine, SearchStats,
     };
     pub use treesim_tree::{
         BinaryView, Forest, LabelId, LabelInterner, NodeId, Tree, TreeBuilder, TreeId,

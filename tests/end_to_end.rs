@@ -74,7 +74,10 @@ fn synthetic_pipeline_all_filters_agree_on_range() {
         plain.range(query, tau).0,
         histo.range(query, tau).0,
     ] {
-        let got: Vec<(TreeId, u64)> = engine_results.into_iter().map(|n| (n.tree, n.distance)).collect();
+        let got: Vec<(TreeId, u64)> = engine_results
+            .into_iter()
+            .map(|n| (n.tree, n.distance))
+            .collect();
         assert_eq!(got, reference);
     }
 }
@@ -143,7 +146,12 @@ fn inverted_file_index_drives_the_same_results() {
         BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
     );
     let query = forest.tree(TreeId(5));
-    let a: Vec<u64> = via_index.knn(query, 5).0.iter().map(|n| n.distance).collect();
+    let a: Vec<u64> = via_index
+        .knn(query, 5)
+        .0
+        .iter()
+        .map(|n| n.distance)
+        .collect();
     let b: Vec<u64> = direct.knn(query, 5).0.iter().map(|n| n.distance).collect();
     assert_eq!(a, b);
 }

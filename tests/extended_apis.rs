@@ -32,13 +32,15 @@ fn subtree_search_inside_a_zaki_master() {
         min_tree_size: 8,
         rng_seed: 3,
     });
-    // Every derived tree's root matches the master's root subtree family;
-    // searching the master for a derived tree must find at least one
-    // subtree within a modest radius (the derivation only pruned nodes).
+    // Every derived tree is the master with some subtrees pruned, so the
+    // master's own root subtree is within exactly `pruned node count` =
+    // `|master| − |derived|` deletions of the derived tree. That size gap
+    // is the only guaranteed match radius: capping τ below it (as an
+    // earlier version of this test did with `.min(40)`) makes the
+    // assertion depend on how aggressively this particular seed pruned.
     let derived = forest.tree(TreeId(0));
     let tau = (master.len() - derived.len()) as u32;
-    let (matches, stats) =
-        treesim::search::subtree_search(&master, derived, tau.min(40), 2);
+    let (matches, stats) = treesim::search::subtree_search(&master, derived, tau, 2);
     assert!(
         !matches.is_empty(),
         "a pruned copy must match inside its master"
@@ -51,7 +53,7 @@ fn dynamic_index_ingest_then_persist_dataset() {
     // Ingest records one by one, query mid-stream, then persist the forest
     // with the binary codec and verify results survive the round trip.
     let source = generate_forest(&DblpConfig::with_count(60, 8));
-    let mut index = treesim::search::DynamicIndex::from_forest(source.clone(), 2);
+    let index = treesim::search::DynamicIndex::from_forest(source.clone(), 2);
     let query = source.tree(TreeId(30)).clone();
     let (before, _) = index.knn(&query, 5);
 

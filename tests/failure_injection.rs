@@ -13,7 +13,10 @@ fn malformed_bracket_inputs_error_cleanly() {
             "accepted malformed input {bad:?}"
         );
     }
-    assert!(forest.is_empty(), "failed parses must not pollute the forest");
+    assert!(
+        forest.is_empty(),
+        "failed parses must not pollute the forest"
+    );
 }
 
 #[test]

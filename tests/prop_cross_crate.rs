@@ -82,6 +82,90 @@ proptest! {
         }
     }
 
+    /// The staged bound cascade and the batch-parallel drivers return
+    /// exactly what a filterless sequential scan returns — same distances
+    /// AND same tree ids (smallest-id tie-breaking) — for every
+    /// [`BiBranchMode`] and q ∈ {2, 3}.
+    #[test]
+    fn cascade_and_batch_match_sequential_scan(seed in 0u64..100_000) {
+        let forest = random_forest(seed, 12, 8.0);
+        let baseline = SearchEngine::new(&forest, NoFilter::build(&forest));
+        let queries: Vec<&Tree> = forest.iter().map(|(_, t)| t).collect();
+        let k = 4usize;
+        let tau = 3u32;
+
+        // Ground truth once per query, via the filterless engine.
+        let knn_truth: Vec<Vec<(TreeId, u64)>> = queries
+            .iter()
+            .map(|q| baseline.knn(q, k).0.iter().map(|n| (n.tree, n.distance)).collect())
+            .collect();
+        let range_truth: Vec<Vec<(TreeId, u64)>> = queries
+            .iter()
+            .map(|q| baseline.range(q, tau).0.iter().map(|n| (n.tree, n.distance)).collect())
+            .collect();
+
+        for q in [2usize, 3] {
+            for mode in [BiBranchMode::Plain, BiBranchMode::Positional] {
+                let engine = SearchEngine::new(&forest, BiBranchFilter::build(&forest, q, mode));
+                for (i, query) in queries.iter().enumerate() {
+                    let (knn, stats) = engine.knn(query, k);
+                    let got: Vec<(TreeId, u64)> =
+                        knn.iter().map(|n| (n.tree, n.distance)).collect();
+                    prop_assert_eq!(&got, &knn_truth[i], "knn q={} mode={:?}", q, mode);
+                    // The cascade never does MORE final-stage work than the
+                    // dataset size (the pre-cascade ceiling).
+                    prop_assert!(stats.final_stage_evaluated() <= forest.len());
+
+                    let (range, _) = engine.range(query, tau);
+                    let got: Vec<(TreeId, u64)> =
+                        range.iter().map(|n| (n.tree, n.distance)).collect();
+                    prop_assert_eq!(&got, &range_truth[i], "range q={} mode={:?}", q, mode);
+                }
+                // Batch-parallel drivers agree with per-query truth too.
+                let knn_batch = engine.knn_batch_threads(&queries, k, 3);
+                let range_batch = engine.range_batch_threads(&queries, tau, 3);
+                for i in 0..queries.len() {
+                    let got: Vec<(TreeId, u64)> =
+                        knn_batch[i].0.iter().map(|n| (n.tree, n.distance)).collect();
+                    prop_assert_eq!(&got, &knn_truth[i], "batch knn q={} mode={:?}", q, mode);
+                    let got: Vec<(TreeId, u64)> =
+                        range_batch[i].0.iter().map(|n| (n.tree, n.distance)).collect();
+                    prop_assert_eq!(&got, &range_truth[i], "batch range q={} mode={:?}", q, mode);
+                }
+            }
+        }
+    }
+
+    /// The cascade stays exact under a non-unit cost model: the engine
+    /// scales operation-count bounds by the minimum operation cost, and
+    /// results must match a weighted filterless scan, ids included.
+    #[test]
+    fn weighted_cascade_matches_weighted_scan(seed in 0u64..100_000) {
+        use treesim::edit::WeightedCost;
+        let forest = random_forest(seed, 10, 8.0);
+        let weighted = WeightedCost { relabel: 3, delete: 2, insert: 2 };
+        let baseline = SearchEngine::with_cost(&forest, NoFilter::build(&forest), weighted);
+        let engine = SearchEngine::with_cost(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+            weighted,
+        );
+        for (_, query) in forest.iter() {
+            let want: Vec<(TreeId, u64)> = baseline
+                .knn(query, 5).0.iter().map(|n| (n.tree, n.distance)).collect();
+            let got: Vec<(TreeId, u64)> = engine
+                .knn(query, 5).0.iter().map(|n| (n.tree, n.distance)).collect();
+            prop_assert_eq!(&got, &want);
+            for tau in [0u32, 4, 9] {
+                let want: Vec<(TreeId, u64)> = baseline
+                    .range(query, tau).0.iter().map(|n| (n.tree, n.distance)).collect();
+                let got: Vec<(TreeId, u64)> = engine
+                    .range(query, tau).0.iter().map(|n| (n.tree, n.distance)).collect();
+                prop_assert_eq!(&got, &want, "τ={}", tau);
+            }
+        }
+    }
+
     /// The engine answers queries that are not dataset members exactly.
     #[test]
     fn engine_exact_for_external_queries(seed in 0u64..100_000) {

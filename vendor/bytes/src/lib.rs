@@ -1,0 +1,224 @@
+//! Offline stand-in for the `bytes` crate, providing exactly the subset the
+//! treesim binary codecs use: [`Bytes`], [`BytesMut`], [`Buf`] (implemented
+//! for `&[u8]`) and [`BufMut`] (implemented for [`BytesMut`]).
+//!
+//! Unlike the real crate there is no reference-counted zero-copy sharing:
+//! [`Bytes`] owns a plain `Vec<u8>`. The codecs only append, freeze, and
+//! scan — semantics are identical for that usage.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (owning; no zero-copy sharing in this stub).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Vec::new() }
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes `len` bytes into an owned [`Bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `len` bytes remain (as in the real crate).
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain (as in the real crate).
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "copy_to_bytes past end of buffer");
+        let (head, tail) = self.split_at(len);
+        let out = Bytes::copy_from_slice(head);
+        *self = tail;
+        out
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.len() >= 4, "get_u32_le past end of buffer");
+        let (head, tail) = self.split_at(4);
+        let value = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+        *self = tail;
+        value
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(!self.is_empty(), "get_u8 past end of buffer");
+        let value = self[0];
+        *self = &self[1..];
+        value
+    }
+}
+
+/// Append access to a byte buffer.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u32_le(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u8(&mut self, value: u8) {
+        self.data.push(value);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_u32_le(&mut self, value: u32) {
+        self.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32_and_slices() {
+        let mut out = BytesMut::with_capacity(16);
+        out.put_slice(b"MAGC");
+        out.put_u32_le(0xdead_beef);
+        out.put_u8(7);
+        let frozen = out.freeze();
+        assert_eq!(frozen.len(), 9);
+
+        let mut cursor: &[u8] = &frozen;
+        assert!(cursor.has_remaining());
+        assert_eq!(cursor.copy_to_bytes(4).as_ref(), b"MAGC");
+        assert_eq!(cursor.get_u32_le(), 0xdead_beef);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn to_vec_and_indexing_via_deref() {
+        let bytes = Bytes::from(vec![1, 2, 3, 4]);
+        assert_eq!(bytes.to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(&bytes[..2], &[1, 2]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`, used because this build environment has
+//! no network access to crates.io.
+//!
+//! The repository derives `Serialize`/`Deserialize` on a handful of index
+//! types for API compatibility but never serializes through serde (the
+//! on-disk formats are the hand-written codecs in `treesim-tree` and
+//! `treesim-core`). The traits here are therefore empty markers with
+//! blanket impls, and the derive macros expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

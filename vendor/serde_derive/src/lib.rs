@@ -1,0 +1,23 @@
+//! No-op stand-in for `serde_derive`, used because this build environment
+//! has no network access to crates.io.
+//!
+//! The repository only ever *derives* `Serialize`/`Deserialize` — nothing
+//! serializes values through serde (the binary codecs are hand-written on
+//! top of `bytes`). The companion `serde` stub provides blanket trait
+//! impls, so these derives can expand to nothing at all.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde` stub's blanket impl already covers the
+/// deriving type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `serde` stub's blanket impl already covers the
+/// deriving type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
