@@ -3,12 +3,14 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [FIGURE...] [--full] [--markdown PATH]
+//! experiments [FIGURE...] [--full] [--markdown PATH] [--metrics-out PATH]
 //!
-//! FIGURE      fig7 … fig15, or "all" (default: all)
-//! --full      the paper's scale (2000 trees, 100 queries); default is a
-//!             quick scale that finishes in minutes
-//! --markdown  also append the results as Markdown to PATH
+//! FIGURE        fig7 … fig15, or "all" (default: all)
+//! --full        the paper's scale (2000 trees, 100 queries); default is a
+//!               quick scale that finishes in minutes
+//! --markdown    also append the results as Markdown to PATH
+//! --metrics-out write the run's cascade funnel + full metrics snapshot as
+//!               JSON to PATH (the BENCH_cascade.json schema)
 //! ```
 
 use std::io::Write;
@@ -19,6 +21,7 @@ fn main() {
     let mut figures: Vec<String> = Vec::new();
     let mut scale = Scale::quick();
     let mut markdown_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,6 +31,12 @@ fn main() {
                 markdown_path = Some(
                     args.next()
                         .unwrap_or_else(|| usage("--markdown needs a path")),
+                );
+            }
+            "--metrics-out" => {
+                metrics_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--metrics-out needs a path")),
                 );
             }
             "--help" | "-h" => usage(""),
@@ -68,12 +77,21 @@ fn main() {
         write!(file, "{markdown}").expect("write markdown");
         println!("markdown appended to {path}");
     }
+
+    if let Some(path) = metrics_path {
+        let report = treesim_bench::cascade_report(&scale, &figures);
+        std::fs::write(&path, report.to_string_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("metrics snapshot written to {path}");
+    }
 }
 
 fn usage(message: &str) -> ! {
     if !message.is_empty() {
         eprintln!("error: {message}");
     }
-    eprintln!("usage: experiments [fig7..fig15|ablation-q|ablation-bound|all|ablations]... [--full|--smoke] [--markdown PATH]");
+    eprintln!("usage: experiments [fig7..fig15|ablation-q|ablation-bound|all|ablations]... [--full|--smoke] [--markdown PATH] [--metrics-out PATH]");
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }

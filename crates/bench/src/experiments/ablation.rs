@@ -219,6 +219,17 @@ pub fn cascade_ablation(scale: &Scale) -> Table {
                 ms(stage.avg_time),
             ]);
         }
+        // The same funnel, rendered by AveragedStage's Display impl (the
+        // format the CLI prints) so table and CLI reports stay in sync.
+        table.push_note(format!(
+            "{workload}: {}",
+            summary
+                .stages
+                .iter()
+                .map(|stage| stage.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
     }
 
     // Batch scaling: identical per-query work, wall-clock divided across

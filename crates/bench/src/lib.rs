@@ -15,10 +15,12 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod table;
 
+pub use report::cascade_report;
 pub use runner::{run_workload, MethodSummary, QueryMode};
 pub use scale::Scale;
 pub use table::Table;

@@ -1,0 +1,150 @@
+//! The `BENCH_cascade.json` report: a machine-readable snapshot of the
+//! cascade funnel and every metric the run accumulated, written by the
+//! `experiments` binary under `--metrics-out PATH`.
+//!
+//! Schema (`treesim-bench-cascade/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "treesim-bench-cascade/v1",
+//!   "scale": { "dataset_size": 60, "query_count": 6, ... },
+//!   "figures": ["ablation-cascade"],
+//!   "funnel": [ { "stage": "size", "evaluated": 720, "pruned": 310 }, ... ],
+//!   "metrics": { "counters": [...], "gauges": [...], "histograms": [...] }
+//! }
+//! ```
+//!
+//! `funnel` lists the global `cascade.<stage>.evaluated` / `.pruned`
+//! counters in cascade order ([`CASCADE_STAGES`]), keeping only the stages
+//! the run actually exercised; `metrics` embeds the full
+//! [`MetricsSnapshot`] (so latency histograms like `cascade.propt.us`,
+//! `refine.zs.us` and `engine.knn.filter.us` ride along and round-trip via
+//! [`MetricsSnapshot::from_json`]).
+
+use treesim_obs::{Json, MetricsSnapshot};
+
+use crate::scale::Scale;
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "treesim-bench-cascade/v1";
+
+/// Every cascade stage name any built-in filter can report, coarsest
+/// first — the order the `funnel` array uses.
+pub const CASCADE_STAGES: [&str; 4] = ["size", "bdist", "propt", "histo"];
+
+/// Builds the report from the *current* global metrics registry.
+pub fn cascade_report(scale: &Scale, figures: &[String]) -> Json {
+    report_from_snapshot(scale, figures, &treesim_obs::metrics::snapshot())
+}
+
+/// Builds the report from an explicit snapshot (deterministic, for tests).
+pub fn report_from_snapshot(scale: &Scale, figures: &[String], snapshot: &MetricsSnapshot) -> Json {
+    let funnel: Vec<Json> = CASCADE_STAGES
+        .iter()
+        .filter_map(|stage| {
+            let evaluated = snapshot.counter(&format!("cascade.{stage}.evaluated"))?;
+            let pruned = snapshot
+                .counter(&format!("cascade.{stage}.pruned"))
+                .unwrap_or(0);
+            Some(Json::obj(vec![
+                ("stage", Json::Str((*stage).to_owned())),
+                ("evaluated", Json::U64(evaluated)),
+                ("pruned", Json::U64(pruned)),
+            ]))
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::Str(SCHEMA.to_owned())),
+        (
+            "scale",
+            Json::obj(vec![
+                ("dataset_size", Json::U64(scale.dataset_size as u64)),
+                ("query_count", Json::U64(scale.query_count as u64)),
+                (
+                    "distance_sample_pairs",
+                    Json::U64(scale.distance_sample_pairs as u64),
+                ),
+                ("rng_seed", Json::U64(scale.rng_seed)),
+            ]),
+        ),
+        (
+            "figures",
+            Json::Arr(figures.iter().map(|f| Json::Str(f.clone())).collect()),
+        ),
+        ("funnel", Json::Arr(funnel)),
+        ("metrics", snapshot.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_workload, QueryMode};
+    use treesim_search::{BiBranchFilter, BiBranchMode, SearchEngine};
+    use treesim_tree::Forest;
+
+    #[test]
+    fn report_carries_funnel_and_roundtrips() {
+        let mut forest = Forest::new();
+        for i in 0..12 {
+            forest
+                .parse_bracket(&format!("a(b{} c(d) e)", i % 3))
+                .unwrap();
+        }
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let queries: Vec<treesim_tree::TreeId> = (0..3).map(treesim_tree::TreeId).collect();
+        run_workload(&engine, &queries, QueryMode::Knn(2));
+
+        let scale = Scale::smoke();
+        let figures = vec!["ablation-cascade".to_owned()];
+        let report = cascade_report(&scale, &figures);
+        assert_eq!(
+            report.get("schema").and_then(Json::as_str),
+            Some(SCHEMA),
+            "schema id"
+        );
+        assert_eq!(
+            report
+                .get("scale")
+                .and_then(|s| s.get("dataset_size"))
+                .and_then(Json::as_u64),
+            Some(scale.dataset_size as u64)
+        );
+        let funnel = report.get("funnel").and_then(Json::as_array).unwrap();
+        // The positional cascade ran, so at least size/bdist/propt exist —
+        // in cascade order, with a non-increasing evaluated sequence only
+        // guaranteed per query, but globally every stage must be present.
+        let stages: Vec<&str> = funnel
+            .iter()
+            .map(|row| row.get("stage").and_then(Json::as_str).unwrap())
+            .collect();
+        for required in ["size", "bdist", "propt"] {
+            assert!(stages.contains(&required), "missing stage {required}");
+        }
+        let order: Vec<usize> = stages
+            .iter()
+            .map(|s| CASCADE_STAGES.iter().position(|c| c == s).unwrap())
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "funnel out of order");
+        for row in funnel {
+            assert!(row.get("evaluated").and_then(Json::as_u64).is_some());
+        }
+
+        // The embedded metrics object is a full, round-trippable snapshot.
+        let metrics = report.get("metrics").unwrap();
+        let snapshot = MetricsSnapshot::from_json(metrics).unwrap();
+        for (stage, row) in stages.iter().zip(funnel) {
+            assert_eq!(
+                snapshot.counter(&format!("cascade.{stage}.evaluated")),
+                row.get("evaluated").and_then(Json::as_u64),
+                "funnel and snapshot disagree on {stage}"
+            );
+        }
+        // And the whole report survives a text round-trip.
+        let text = report.to_string_pretty();
+        assert_eq!(treesim_obs::parse_json(&text).unwrap(), report);
+    }
+}

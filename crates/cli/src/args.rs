@@ -11,18 +11,24 @@ pub struct Args {
 
 impl Args {
     /// Splits `argv` into positionals and flags. `-k` is accepted as an
-    /// alias for `--k`. A flag without a following value is an error.
+    /// alias for `--k`, and `--flag=value` as an alias for `--flag value`.
+    /// A flag without a value is an error.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
         let mut args = Args::default();
         let mut i = 0;
         while i < argv.len() {
             let token = &argv[i];
             if let Some(name) = token.strip_prefix("--").or_else(|| token.strip_prefix('-')) {
-                let value = argv
-                    .get(i + 1)
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
-                args.flags.insert(name.to_owned(), value.clone());
-                i += 2;
+                if let Some((name, value)) = name.split_once('=') {
+                    args.flags.insert(name.to_owned(), value.to_owned());
+                    i += 1;
+                } else {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    args.flags.insert(name.to_owned(), value.clone());
+                    i += 2;
+                }
             } else {
                 args.positional.push(token.clone());
                 i += 1;
@@ -84,6 +90,15 @@ mod tests {
     #[test]
     fn flag_without_value_errors() {
         assert!(Args::parse(&argv(&["--tau"])).is_err());
+    }
+
+    #[test]
+    fn equals_syntax_binds_value() {
+        let args = Args::parse(&argv(&["--trace=json", "-k=5", "--query=a(b=c)"])).unwrap();
+        assert_eq!(args.get("trace"), Some("json"));
+        assert_eq!(args.get("k"), Some("5"));
+        // Only the first '=' splits; the rest belongs to the value.
+        assert_eq!(args.get("query"), Some("a(b=c)"));
     }
 
     #[test]

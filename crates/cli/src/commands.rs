@@ -28,6 +28,11 @@ USAGE:
   treesim join   FILE [--tau 2] [--limit 20]  (approximate self-join / dedup)
   treesim help
 
+Observability (any command):
+  --trace pretty|json     stream span/event traces to stderr
+  --metrics FILE          write the metrics snapshot (counters, gauges,
+                          histograms) as JSON after the command finishes
+
 Dataset files ending in .xml are concatenated XML documents; anything else
 is whitespace-separated bracket notation such as  a(b(c d) e) .";
 
@@ -36,7 +41,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let command = argv.first().map(String::as_str).unwrap_or("help");
     let rest = if argv.is_empty() { &[] } else { &argv[1..] };
     let args = Args::parse(rest)?;
-    match command {
+    configure_tracing(&args)?;
+    let outcome = match command {
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -51,7 +57,35 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "range" => search(&args, SearchKind::Range),
         "join" => join(&args),
         other => Err(format!("unknown command {other:?}")),
+    };
+    // Snapshot even on command failure: partial funnels are still useful.
+    if let Some(path) = args.get("metrics") {
+        write_metrics(path)?;
     }
+    outcome
+}
+
+/// Installs the span sink requested by `--trace pretty|json` (traces go to
+/// stderr so they never mix with command output on stdout).
+fn configure_tracing(args: &Args) -> Result<(), String> {
+    match args.get("trace") {
+        None => Ok(()),
+        Some("pretty") => {
+            treesim_obs::install_sink(std::sync::Arc::new(treesim_obs::PrettySink));
+            Ok(())
+        }
+        Some("json") => {
+            treesim_obs::install_sink(std::sync::Arc::new(treesim_obs::JsonLinesSink::stderr()));
+            Ok(())
+        }
+        Some(other) => Err(format!("--trace: unknown mode {other:?} (pretty|json)")),
+    }
+}
+
+/// Writes the global metrics snapshot (`--metrics FILE`) as pretty JSON.
+fn write_metrics(path: &str) -> Result<(), String> {
+    let snapshot = treesim_obs::metrics::snapshot();
+    std::fs::write(path, snapshot.to_json_string()).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn gen_synthetic(args: &Args) -> Result<(), String> {
@@ -262,25 +296,9 @@ fn search(args: &Args, kind: SearchKind) -> Result<(), String> {
             neighbor.tree.0, neighbor.distance, shown
         );
     }
-    println!(
-        "-- {} results; accessed {}/{} trees ({:.2}%); filter {:?}, refine {:?}",
-        results.len(),
-        stats.refined,
-        stats.dataset_size,
-        stats.accessed_percent(),
-        stats.filter_time,
-        stats.refine_time,
-    );
-    // Per-stage cascade funnel: how many candidates each bound stage saw
-    // and how many it eliminated before the next, more expensive one.
-    if stats.stages.len() > 1 {
-        for stage in &stats.stages {
-            println!(
-                "--   stage {:>6}: evaluated {:>6}, pruned {:>6} ({:?})",
-                stage.name, stage.evaluated, stage.pruned, stage.time
-            );
-        }
-    }
+    // Summary plus — for multi-stage cascades — the per-stage funnel,
+    // rendered by SearchStats' Display impl (shared with the bench tables).
+    println!("{stats}");
     Ok(())
 }
 
@@ -453,6 +471,42 @@ mod tests {
         ]))
         .unwrap();
         std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn trace_and_metrics_flags() {
+        let dir = std::env::temp_dir().join("treesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("obs.trees");
+        let metrics = dir.join("obs-metrics.json");
+        std::fs::write(&data, "a(b c)\na(b d)\nx(y z)\n").unwrap();
+        let data_str = data.to_str().unwrap();
+        let metrics_str = metrics.to_str().unwrap();
+        dispatch(&argv(&[
+            "knn",
+            data_str,
+            "--query",
+            "a(b c)",
+            "--k",
+            "2",
+            "--trace=json",
+            "--metrics",
+            metrics_str,
+        ]))
+        .unwrap();
+        treesim_obs::clear_sink();
+        // The emitted snapshot parses back and contains the knn funnel.
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let snapshot = treesim_obs::MetricsSnapshot::from_json_str(&text).unwrap();
+        assert!(snapshot.counter("engine.knn.queries").unwrap() >= 1);
+        assert!(snapshot.counter("cascade.size.evaluated").unwrap() >= 3);
+        // Unknown trace modes are rejected.
+        assert!(dispatch(&argv(&[
+            "knn", data_str, "--query", "a", "--trace", "verbose"
+        ]))
+        .is_err());
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&metrics).ok();
     }
 
     #[test]

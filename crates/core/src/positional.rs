@@ -161,16 +161,25 @@ impl PositionalVector {
     /// is the size bound itself; otherwise the predicate fails at
     /// `propt − 1`, so by Proposition 4.2 `EDist > propt − 1`.
     pub fn optimistic_bound(&self, other: &PositionalVector) -> u64 {
+        self.optimistic_bound_counted(other).0
+    }
+
+    /// [`PositionalVector::optimistic_bound`] plus the number of binary
+    /// search iterations it took (0 when the predicate already holds at
+    /// `pr_min`) — the cost driver the `cascade.propt.iters` histogram
+    /// tracks.
+    pub fn optimistic_bound_counted(&self, other: &PositionalVector) -> (u64, u32) {
         let factor = bound_factor(self.q);
         let pr_min = self.tree_size.abs_diff(other.tree_size);
         let pr_max = self.tree_size.max(other.tree_size);
         if self.pos_bdist(other, pr_min) <= factor * u64::from(pr_min) {
-            return u64::from(pr_min);
+            return (u64::from(pr_min), 0);
         }
         // Binary search the smallest satisfying pr in (pr_min, pr_max].
         // The predicate is monotone: PosBDist is non-increasing in pr while
         // factor·pr increases.
         let (mut lo, mut hi) = (pr_min + 1, pr_max);
+        let mut iterations = 0u32;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             if self.pos_bdist(other, mid) <= factor * u64::from(mid) {
@@ -178,12 +187,13 @@ impl PositionalVector {
             } else {
                 lo = mid + 1;
             }
+            iterations += 1;
         }
         debug_assert!(
             self.pos_bdist(other, lo) <= factor * u64::from(lo),
             "predicate must hold at pr_max"
         );
-        u64::from(lo)
+        (u64::from(lo), iterations)
     }
 
     /// Range-query pruning test (§4.3): prune `other` from a query with
@@ -265,6 +275,32 @@ mod tests {
                 "propt {propt} < BDist/5 {bdist_bound} on {x} vs {y}"
             );
         }
+    }
+
+    #[test]
+    fn counted_bound_matches_and_bounds_iterations() {
+        let cases = [
+            ("a(b(c(d)) b e)", "a(c(d) b e)"),
+            ("a(b c)", "x(y z)"),
+            ("a", "a(b(c(d)))"),
+            ("a(b c d e f)", "a(f e d c b)"),
+            ("a(b c)", "a(b c)"),
+        ];
+        for (x, y) in cases {
+            let (v1, v2, t1, t2) = vectors(x, y, 2);
+            let (bound, iterations) = v1.optimistic_bound_counted(&v2);
+            assert_eq!(bound, v1.optimistic_bound(&v2), "{x} vs {y}");
+            // A binary search over (pr_min, pr_max] takes at most
+            // ⌈log2(range)⌉ + 1 probes; tree sizes bound the range.
+            let range = t1.len().max(t2.len()) as u32 + 1;
+            assert!(
+                iterations <= range.ilog2() + 2,
+                "{iterations} iterations for range {range} on {x} vs {y}"
+            );
+        }
+        // Identical trees satisfy the predicate at pr_min = 0 immediately.
+        let (v1, v2, _, _) = vectors("a(b c)", "a(b c)", 2);
+        assert_eq!(v1.optimistic_bound_counted(&v2), (0, 0));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! `treesim-obs` — first-party observability for the treesim workspace:
+//! a global lock-free metrics registry and lightweight span tracing.
+//!
+//! The build environment has no network access to crates.io, so — like the
+//! stand-ins under `vendor/` — this is hand-rolled on `std` alone rather
+//! than an import of `tracing`/`metrics`. It provides exactly what the
+//! cascade, refinement and bench pipelines need:
+//!
+//! * **Metrics** ([`mod@metrics`]): atomic [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket log₂ [`Histogram`]s registered by name, snapshotable to
+//!   a [`MetricsSnapshot`] that round-trips through JSON (the
+//!   `BENCH_*.json` perf-trajectory format).
+//! * **Spans** ([`mod@span`]): RAII [`span!`] guards that record
+//!   wall-clock into `<name>.us` histograms, a point [`event!`] macro, and
+//!   a pluggable [`Sink`] with three impls — [`PrettySink`] (stderr),
+//!   [`JsonLinesSink`], and [`TestSink`] for assertions. With no sink
+//!   installed the only cost is the histogram update (one relaxed atomic
+//!   bool guards everything else).
+//!
+//! # Naming scheme
+//!
+//! Dotted lowercase paths, coarse-to-fine: `engine.knn.*` /
+//! `engine.range.*` for query-level measures, `cascade.<stage>.*`
+//! (`size`, `bdist`, `propt`, `histo`) for per-stage funnel counters,
+//! `refine.zs.*` for Zhang–Shasha refinement, `dynamic.*` for the
+//! appendable index. Histograms of durations end in `.us` (microseconds).
+//!
+//! # Example
+//!
+//! ```
+//! let queries = treesim_obs::counter!("example.queries");
+//! {
+//!     let _span = treesim_obs::span!("example.query", k = 5);
+//!     queries.inc();
+//! }
+//! let snap = treesim_obs::metrics::snapshot();
+//! assert!(snap.counter("example.queries").unwrap() >= 1);
+//! assert!(snap.histogram("example.query.us").unwrap().count >= 1);
+//! // The snapshot round-trips through JSON:
+//! let text = snap.to_json_string();
+//! assert_eq!(
+//!     treesim_obs::MetricsSnapshot::from_json_str(&text).unwrap(),
+//!     snap,
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use json::{parse as parse_json, Json, JsonError};
+pub use metrics::{
+    bucket_index, bucket_upper_edge, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram,
+    HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use span::{
+    clear_sink, current_depth, current_spans, install_sink, sink_active, Event, EventKind,
+    JsonLinesSink, OwnedEvent, PrettySink, Sink, SpanGuard, TestSink,
+};
+
+/// Resolves (and caches per call-site) the counter named by a string
+/// literal. Expands to `&'static Counter`; the registry lookup happens
+/// once, after which use is a single relaxed atomic add.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// Resolves (and caches per call-site) the gauge named by a string literal.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// Resolves (and caches per call-site) the histogram named by a string
+/// literal.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+/// Opens an RAII span: `let _span = span!("engine.knn");` or
+/// `span!("cascade.stage", name = stage, k = 5)`.
+///
+/// The guard records wall-clock into the `<name>.us` histogram when
+/// dropped. Field values are formatted with `Display` — and only when a
+/// sink is installed, so uninstrumented runs never pay for formatting.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::SpanGuard::enter(
+            $name,
+            $crate::histogram!(::std::concat!($name, ".us")),
+            ::std::vec::Vec::new(),
+        )
+    };
+    ($name:literal, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::SpanGuard::enter(
+            $name,
+            $crate::histogram!(::std::concat!($name, ".us")),
+            if $crate::sink_active() {
+                ::std::vec![$((::std::stringify!($key), ::std::format!("{}", $value))),+]
+            } else {
+                ::std::vec::Vec::new()
+            },
+        )
+    };
+}
+
+/// Emits a point event to the installed sink (no-op without one):
+/// `event!("engine.knn.done", results = n)`. Field values are only
+/// formatted when a sink is installed.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::span::emit_event($name, &[])
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::sink_active() {
+            $crate::span::emit_event(
+                $name,
+                &[$((::std::stringify!($key), ::std::format!("{}", $value))),+],
+            )
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_cache_handles_per_call_site() {
+        let a = counter!("test.lib.macro_counter");
+        let b = counter!("test.lib.macro_counter");
+        // Two call-sites, one registered metric.
+        assert!(std::ptr::eq(a, b));
+        let g = gauge!("test.lib.macro_gauge");
+        g.set(1);
+        let h = histogram!("test.lib.macro_hist");
+        h.record(2);
+        assert!(h.count() >= 1);
+    }
+
+    #[test]
+    fn span_macro_records_named_histogram() {
+        {
+            let _span = span!("test.lib.span_macro");
+        }
+        let h = crate::metrics::histogram("test.lib.span_macro.us");
+        assert!(h.count() >= 1);
+    }
+}

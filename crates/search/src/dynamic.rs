@@ -96,11 +96,19 @@ impl DynamicIndex {
 
     /// Appends a tree (labels must come from this index's interner) and
     /// returns its id. The tree is immediately searchable.
+    ///
+    /// Observability: bumps the `dynamic.push` counter, keeps the
+    /// `dynamic.trees` gauge at the index size, and records the append
+    /// cost (vectorization + Zhang–Shasha tables) in `dynamic.push.us`.
     pub fn push(&mut self, tree: Tree) -> TreeId {
+        let _span = treesim_obs::span!("dynamic.push", nodes = tree.len());
+        treesim_obs::counter!("dynamic.push").inc();
         self.vectors
             .push(PositionalVector::build(&tree, &mut self.vocab));
         self.infos.push(TreeInfo::new(&tree));
-        self.forest.push(tree)
+        let id = self.forest.push(tree);
+        treesim_obs::gauge!("dynamic.trees").set(self.len() as i64);
+        id
     }
 
     /// Parses and appends a bracket-notation tree.
@@ -130,12 +138,14 @@ impl DynamicIndex {
     /// first, and only the candidates whose size bound is among the
     /// smallest outstanding ones pay for the `propt` positional bound.
     pub fn knn(&self, query: &Tree, k: usize) -> (Vec<Neighbor>, SearchStats) {
+        let _span = treesim_obs::span!("dynamic.knn", k = k, dataset = self.len());
         let mut stats = SearchStats {
             dataset_size: self.len(),
             stages: vec![StageStats::named("size"), StageStats::named("propt")],
             ..Default::default()
         };
         if k == 0 || self.is_empty() {
+            stats.record_metrics("dynamic.knn");
             return (Vec::new(), stats);
         }
         let query_vector = self.query_vector(query);
@@ -190,11 +200,13 @@ impl DynamicIndex {
             .collect();
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         stats.results = results.len();
+        stats.record_metrics("dynamic.knn");
         (results, stats)
     }
 
     /// Range query (same semantics as [`crate::SearchEngine::range`]).
     pub fn range(&self, query: &Tree, tau: u32) -> (Vec<Neighbor>, SearchStats) {
+        let _span = treesim_obs::span!("dynamic.range", tau = tau, dataset = self.len());
         let mut stats = SearchStats {
             dataset_size: self.len(),
             stages: vec![StageStats::named("size"), StageStats::named("propt")],
@@ -228,6 +240,7 @@ impl DynamicIndex {
         }
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         stats.results = results.len();
+        stats.record_metrics("dynamic.range");
         (results, stats)
     }
 }

@@ -144,8 +144,18 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
     }
 
     /// Exact edit distance between `query_info` and dataset tree `id`.
+    ///
+    /// Each call records the problem size (total nodes on both sides) into
+    /// the `refine.zs.nodes` histogram and its wall-clock into
+    /// `refine.zs.us` — the refinement cost profile of §4.3.
     fn refine(&self, query_info: &TreeInfo, id: TreeId, workspace: &mut ZsWorkspace) -> u64 {
-        zhang_shasha(query_info, &self.infos[id.index()], &self.cost, workspace)
+        let data_info = &self.infos[id.index()];
+        treesim_obs::histogram!("refine.zs.nodes")
+            .record((query_info.len() + data_info.len()) as u64);
+        let start = Instant::now();
+        let distance = zhang_shasha(query_info, data_info, &self.cost, workspace);
+        treesim_obs::histogram!("refine.zs.us").record_duration(start.elapsed());
+        distance
     }
 
     fn stage_accumulators(&self) -> Vec<StageStats> {
@@ -170,12 +180,14 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
     /// are still refined; dropping them could lose a tied neighbor with a
     /// smaller id.
     pub fn knn(&self, query: &Tree, k: usize) -> (Vec<Neighbor>, SearchStats) {
+        let _span = treesim_obs::span!("engine.knn", k = k, dataset = self.forest.len());
         let mut stats = SearchStats {
             dataset_size: self.forest.len(),
             stages: self.stage_accumulators(),
             ..Default::default()
         };
         if k == 0 || self.forest.is_empty() {
+            stats.record_metrics("engine.knn");
             return (Vec::new(), stats);
         }
 
@@ -249,6 +261,7 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
             .collect();
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         stats.results = results.len();
+        stats.record_metrics("engine.knn");
         (results, stats)
     }
 
@@ -262,6 +275,7 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
     /// for the positional filter adds the Proposition 4.2 test at
     /// `pr = τ` on top of the `propt` bound).
     pub fn range(&self, query: &Tree, tau: u32) -> (Vec<Neighbor>, SearchStats) {
+        let _span = treesim_obs::span!("engine.range", tau = tau, dataset = self.forest.len());
         let mut stats = SearchStats {
             dataset_size: self.forest.len(),
             stages: self.stage_accumulators(),
@@ -304,6 +318,7 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         stats.refine_time = refine_start.elapsed();
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         stats.results = results.len();
+        stats.record_metrics("engine.range");
         (results, stats)
     }
 }
@@ -358,6 +373,11 @@ where
     /// the per-query results back together in input order. Each worker
     /// prepares its own query artifacts and Zhang–Shasha workspace, so no
     /// state is shared beyond the immutable engine.
+    ///
+    /// Each worker runs under an `engine.batch.worker` span (carrying its
+    /// index and chunk size), the `engine.batch.workers.active` gauge
+    /// tracks live workers, and `engine.batch.pending` drains from the
+    /// batch size to zero as queries complete.
     fn batch<R, Run>(&self, queries: &[&Tree], threads: usize, run: Run) -> Vec<(Vec<Neighbor>, R)>
     where
         R: Send,
@@ -365,11 +385,35 @@ where
     {
         let threads = threads.clamp(1, queries.len().max(1));
         let chunk_size = queries.len().div_ceil(threads).max(1);
+        let _span = treesim_obs::span!("engine.batch", queries = queries.len(), workers = threads);
+        let pending = treesim_obs::gauge!("engine.batch.pending");
+        let active = treesim_obs::gauge!("engine.batch.workers.active");
+        pending.add(queries.len() as i64);
         std::thread::scope(|scope| {
             let run = &run;
             let handles: Vec<_> = queries
                 .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || chunk.iter().map(|q| run(q)).collect::<Vec<_>>()))
+                .enumerate()
+                .map(|(worker, chunk)| {
+                    scope.spawn(move || {
+                        let _span = treesim_obs::span!(
+                            "engine.batch.worker",
+                            worker = worker,
+                            queries = chunk.len()
+                        );
+                        active.add(1);
+                        let answers = chunk
+                            .iter()
+                            .map(|q| {
+                                let answer = run(q);
+                                pending.sub(1);
+                                answer
+                            })
+                            .collect::<Vec<_>>();
+                        active.sub(1);
+                        answers
+                    })
+                })
                 .collect();
             handles
                 .into_iter()

@@ -108,6 +108,14 @@ impl BiBranchFilter {
     pub fn vector(&self, tree: TreeId) -> &PositionalVector {
         &self.vectors[tree.index()]
     }
+
+    /// The `propt` bound, recording how many binary-search iterations the
+    /// §4.2 probe took into the `cascade.propt.iters` histogram.
+    fn propt_bound(query: &PositionalVector, data: &PositionalVector) -> u64 {
+        let (bound, iterations) = query.optimistic_bound_counted(data);
+        treesim_obs::histogram!("cascade.propt.iters").record(u64::from(iterations));
+        bound
+    }
 }
 
 impl Filter for BiBranchFilter {
@@ -129,7 +137,7 @@ impl Filter for BiBranchFilter {
         let data = &self.vectors[candidate.index()];
         match self.mode {
             BiBranchMode::Plain => treesim_core::edit_lower_bound(query.bdist(data), self.q()),
-            BiBranchMode::Positional => query.optimistic_bound(data),
+            BiBranchMode::Positional => Self::propt_bound(query, data),
         }
     }
 
@@ -156,7 +164,7 @@ impl Filter for BiBranchFilter {
         match stage {
             0 => query.size_bound(data),
             1 => treesim_core::edit_lower_bound(query.bdist(data), self.q()),
-            _ => query.optimistic_bound(data),
+            _ => Self::propt_bound(query, data),
         }
     }
 

@@ -1,6 +1,13 @@
 //! Per-query statistics — the quantities reported in the paper's figures,
 //! plus per-stage observability for the staged bound cascade.
+//!
+//! [`SearchStats`] is the *per-call* record handed back with every query;
+//! [`SearchStats::record_metrics`] additionally flushes it into the global
+//! `treesim-obs` registry so long-running processes accumulate
+//! process-wide funnels (`cascade.<stage>.evaluated`/`.pruned`) and
+//! latency histograms without holding onto individual stats.
 
+use std::fmt;
 use std::time::Duration;
 
 /// Measurements for one stage of the lower-bound cascade.
@@ -136,11 +143,34 @@ impl SearchStats {
                 "accumulating stats from different cascades"
             );
             for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
-                debug_assert_eq!(mine.name, theirs.name, "cascade stage order changed");
+                assert_eq!(mine.name, theirs.name, "cascade stage order changed");
                 mine.evaluated += theirs.evaluated;
                 mine.pruned += theirs.pruned;
                 mine.time += theirs.time;
             }
+        }
+    }
+
+    /// Flushes this query's counters into the global `treesim-obs`
+    /// registry under `prefix` (`"engine.knn"`, `"engine.range"`,
+    /// `"dynamic.knn"`, …): per-prefix query/refined/result counters and
+    /// filter/refine latency histograms, plus the shared per-stage funnel
+    /// counters `cascade.<stage>.evaluated` / `cascade.<stage>.pruned`
+    /// and `cascade.<stage>.us` time histograms.
+    ///
+    /// Metric recording never changes query results; it only accumulates
+    /// what already happened.
+    pub fn record_metrics(&self, prefix: &str) {
+        use treesim_obs::metrics::{counter, histogram};
+        counter(&format!("{prefix}.queries")).inc();
+        counter(&format!("{prefix}.refined")).add(self.refined as u64);
+        counter(&format!("{prefix}.results")).add(self.results as u64);
+        histogram(&format!("{prefix}.filter.us")).record_duration(self.filter_time);
+        histogram(&format!("{prefix}.refine.us")).record_duration(self.refine_time);
+        for stage in &self.stages {
+            counter(&format!("cascade.{}.evaluated", stage.name)).add(stage.evaluated as u64);
+            counter(&format!("cascade.{}.pruned", stage.name)).add(stage.pruned as u64);
+            histogram(&format!("cascade.{}.us", stage.name)).record_duration(stage.time);
         }
     }
 
@@ -167,6 +197,40 @@ impl SearchStats {
                 })
                 .collect(),
         }
+    }
+}
+
+impl fmt::Display for StageStats {
+    /// One funnel line: `stage   size: evaluated     60, pruned     40 (1.2µs)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage {:>6}: evaluated {:>6}, pruned {:>6} ({:.1?})",
+            self.name, self.evaluated, self.pruned, self.time
+        )
+    }
+}
+
+impl fmt::Display for SearchStats {
+    /// The CLI/report rendering: a summary line, then — for multi-stage
+    /// cascades — one indented funnel line per stage. No trailing newline.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "-- {} results; accessed {}/{} trees ({:.2}%); filter {:.1?}, refine {:.1?}",
+            self.results,
+            self.refined,
+            self.dataset_size,
+            self.accessed_percent(),
+            self.filter_time,
+            self.refine_time,
+        )?;
+        if self.stages.len() > 1 {
+            for stage in &self.stages {
+                write!(f, "\n--   {stage}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -210,6 +274,42 @@ impl AveragedStats {
     /// Mean total time per query.
     pub fn avg_total_time(&self) -> Duration {
         self.avg_filter_time + self.avg_refine_time
+    }
+}
+
+impl fmt::Display for AveragedStage {
+    /// One averaged funnel line:
+    /// `stage   size: avg evaluated    400.00, avg pruned    340.00 (1.2µs)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage {:>6}: avg evaluated {:>9.2}, avg pruned {:>9.2} ({:.1?})",
+            self.name, self.avg_evaluated, self.avg_pruned, self.avg_time
+        )
+    }
+}
+
+impl fmt::Display for AveragedStats {
+    /// Workload rendering: one summary line, then — for multi-stage
+    /// cascades — one indented funnel line per stage. No trailing newline.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "-- {} queries over {} trees; avg accessed {:.2}% ({:.1} trees), avg results {:.1}; avg filter {:.1?}, avg refine {:.1?}",
+            self.queries,
+            self.dataset_size,
+            self.avg_accessed_percent,
+            self.avg_refined,
+            self.avg_results,
+            self.avg_filter_time,
+            self.avg_refine_time,
+        )?;
+        if self.avg_stages.len() > 1 {
+            for stage in &self.avg_stages {
+                write!(f, "\n--   {stage}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -303,6 +403,85 @@ mod tests {
             dataset_size: 20,
             ..Default::default()
         });
+    }
+
+    #[test]
+    fn display_renders_summary_and_funnel() {
+        let stats = SearchStats {
+            dataset_size: 200,
+            refined: 10,
+            results: 5,
+            filter_time: Duration::from_micros(120),
+            refine_time: Duration::from_micros(480),
+            stages: vec![
+                StageStats {
+                    name: "size",
+                    evaluated: 200,
+                    pruned: 150,
+                    time: Duration::from_micros(20),
+                },
+                StageStats {
+                    name: "propt",
+                    evaluated: 50,
+                    pruned: 40,
+                    time: Duration::from_micros(100),
+                },
+            ],
+            threads: 1,
+        };
+        let rendered = format!("{stats}");
+        assert!(rendered.starts_with("-- 5 results; accessed 10/200 trees (5.00%)"));
+        assert!(rendered.contains("stage   size: evaluated    200, pruned    150"));
+        assert!(rendered.contains("stage  propt: evaluated     50, pruned     40"));
+        assert!(!rendered.ends_with('\n'));
+
+        // Single-stage engines render just the summary line.
+        let mut flat = stats.clone();
+        flat.stages.truncate(1);
+        assert!(!format!("{flat}").contains("stage"));
+
+        let averaged = stats.averaged(2);
+        let rendered = format!("{averaged}");
+        assert!(rendered.starts_with("-- 2 queries over 200 trees"));
+        assert!(rendered.contains("avg evaluated    100.00"));
+        assert!(rendered.contains("avg pruned     20.00"));
+    }
+
+    #[test]
+    fn record_metrics_accumulates_funnel_counters() {
+        let stats = SearchStats {
+            dataset_size: 100,
+            refined: 7,
+            results: 3,
+            stages: vec![
+                StageStats {
+                    name: "size",
+                    evaluated: 100,
+                    pruned: 80,
+                    time: Duration::from_micros(5),
+                },
+                StageStats {
+                    name: "propt",
+                    evaluated: 20,
+                    pruned: 13,
+                    time: Duration::from_micros(15),
+                },
+            ],
+            ..Default::default()
+        };
+        let before = treesim_obs::metrics::snapshot();
+        stats.record_metrics("test.stats");
+        let after = treesim_obs::metrics::snapshot();
+        assert_eq!(after.counter_delta(&before, "test.stats.queries"), 1);
+        assert_eq!(after.counter_delta(&before, "test.stats.refined"), 7);
+        assert_eq!(after.counter_delta(&before, "test.stats.results"), 3);
+        // The shared cascade funnel counters may also be bumped by engine
+        // tests running in parallel, so deltas are lower bounds here.
+        assert!(after.counter_delta(&before, "cascade.size.evaluated") >= 100);
+        assert!(after.counter_delta(&before, "cascade.propt.pruned") >= 13);
+        assert!(after
+            .histogram("test.stats.filter.us")
+            .is_some_and(|h| h.count >= 1));
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Global-metrics integration: the `treesim-obs` registry must agree with
+//! the per-query [`SearchStats`] funnel.
+//!
+//! This file deliberately holds a SINGLE test: cargo runs each integration
+//! test file in its own process, so nothing else touches the global
+//! registry here, and delta assertions can be exact. (Do not add more
+//! `#[test]` functions — they would run as parallel threads of this
+//! process and race on the globals, and the final `metrics::reset()`
+//! would corrupt their deltas.)
+
+use treesim_obs::MetricsSnapshot;
+use treesim_search::{BiBranchFilter, BiBranchMode, DynamicIndex, SearchEngine};
+use treesim_tree::{Forest, Tree, TreeId};
+
+fn histogram_count(snapshot: &MetricsSnapshot, name: &str) -> u64 {
+    snapshot.histogram(name).map_or(0, |h| h.count)
+}
+
+#[test]
+fn registry_matches_search_stats_exactly() {
+    let mut forest = Forest::new();
+    for i in 0..16 {
+        forest
+            .parse_bracket(&format!("a(b{} c(d{}) e)", i % 4, i % 3))
+            .unwrap();
+    }
+    let engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let query = forest.tree(TreeId(0));
+
+    // --- one knn query: exact per-stage funnel deltas -------------------
+    let before = treesim_obs::metrics::snapshot();
+    let (_, stats) = engine.knn(query, 3);
+    let after = treesim_obs::metrics::snapshot();
+
+    assert_eq!(after.counter_delta(&before, "engine.knn.queries"), 1);
+    assert_eq!(
+        after.counter_delta(&before, "engine.knn.refined"),
+        stats.refined as u64
+    );
+    assert_eq!(
+        after.counter_delta(&before, "engine.knn.results"),
+        stats.results as u64
+    );
+    for stage in &stats.stages {
+        assert_eq!(
+            after.counter_delta(&before, &format!("cascade.{}.evaluated", stage.name)),
+            stage.evaluated as u64,
+            "cascade.{}.evaluated disagrees with SearchStats",
+            stage.name
+        );
+        assert_eq!(
+            after.counter_delta(&before, &format!("cascade.{}.pruned", stage.name)),
+            stage.pruned as u64,
+            "cascade.{}.pruned disagrees with SearchStats",
+            stage.name
+        );
+    }
+    // One Zhang–Shasha size/latency sample per refined candidate, one
+    // propt iteration sample per final-stage bound.
+    assert_eq!(
+        histogram_count(&after, "refine.zs.nodes") - histogram_count(&before, "refine.zs.nodes"),
+        stats.refined as u64
+    );
+    assert_eq!(
+        histogram_count(&after, "refine.zs.us") - histogram_count(&before, "refine.zs.us"),
+        stats.refined as u64
+    );
+    assert_eq!(
+        histogram_count(&after, "cascade.propt.iters")
+            - histogram_count(&before, "cascade.propt.iters"),
+        stats.final_stage_evaluated() as u64
+    );
+    assert_eq!(histogram_count(&after, "engine.knn.us"), 1);
+
+    // --- one range query ------------------------------------------------
+    let before = treesim_obs::metrics::snapshot();
+    let (_, stats) = engine.range(query, 2);
+    let after = treesim_obs::metrics::snapshot();
+    assert_eq!(after.counter_delta(&before, "engine.range.queries"), 1);
+    for stage in &stats.stages {
+        assert_eq!(
+            after.counter_delta(&before, &format!("cascade.{}.evaluated", stage.name)),
+            stage.evaluated as u64
+        );
+    }
+
+    // --- batch: totals equal the per-query sums, gauges drain to zero ---
+    let queries: Vec<&Tree> = forest.iter().map(|(_, t)| t).take(6).collect();
+    let before = treesim_obs::metrics::snapshot();
+    let batch = engine.knn_batch_threads(&queries, 2, 3);
+    let after = treesim_obs::metrics::snapshot();
+    assert_eq!(
+        after.counter_delta(&before, "engine.knn.queries"),
+        queries.len() as u64
+    );
+    let refined_total: usize = batch.iter().map(|(_, s)| s.refined).sum();
+    assert_eq!(
+        after.counter_delta(&before, "engine.knn.refined"),
+        refined_total as u64
+    );
+    assert_eq!(after.gauge("engine.batch.pending"), Some(0));
+    assert_eq!(after.gauge("engine.batch.workers.active"), Some(0));
+    assert_eq!(
+        histogram_count(&after, "engine.batch.worker.us")
+            - histogram_count(&before, "engine.batch.worker.us"),
+        3
+    );
+
+    // --- dynamic index: push counter and size gauge ---------------------
+    let mut dynamic = DynamicIndex::new(2);
+    dynamic.push_bracket("a(b c)").unwrap();
+    dynamic.push_bracket("a(b d)").unwrap();
+    let snapshot = treesim_obs::metrics::snapshot();
+    assert_eq!(snapshot.counter("dynamic.push"), Some(2));
+    assert_eq!(snapshot.gauge("dynamic.trees"), Some(2));
+    let probe = dynamic.forest().tree(TreeId(0));
+    let before = treesim_obs::metrics::snapshot();
+    let (_, dyn_stats) = dynamic.knn(probe, 1);
+    dynamic.range(probe, 1);
+    let after = treesim_obs::metrics::snapshot();
+    assert_eq!(after.counter_delta(&before, "dynamic.knn.queries"), 1);
+    assert_eq!(after.counter_delta(&before, "dynamic.range.queries"), 1);
+    assert_eq!(
+        after.counter_delta(&before, "dynamic.knn.refined"),
+        dyn_stats.refined as u64
+    );
+
+    // --- reset wipes values but keeps registrations ---------------------
+    treesim_obs::metrics::reset();
+    let wiped = treesim_obs::metrics::snapshot();
+    assert_eq!(wiped.counter("engine.knn.queries"), Some(0));
+    assert_eq!(wiped.counter("dynamic.push"), Some(0));
+    assert_eq!(wiped.gauge("dynamic.trees"), Some(0));
+    assert_eq!(histogram_count(&wiped, "refine.zs.us"), 0);
+}

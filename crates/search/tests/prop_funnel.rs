@@ -1,0 +1,98 @@
+//! Property tests for the observability layer: cascade funnel accounting
+//! invariants, and the guarantee that span sinks never change query
+//! results (observation is passive).
+
+use proptest::prelude::*;
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_search::{BiBranchFilter, BiBranchMode, Neighbor, SearchEngine};
+use treesim_tree::{Forest, TreeId};
+
+fn random_forest(seed: u64, count: usize) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(2.5, 1.0),
+        size: Normal::new(9.0, 3.0),
+        label_count: 4,
+        decay: 0.3,
+        seed_count: 3.min(count),
+        tree_count: count,
+        rng_seed: seed,
+    })
+}
+
+fn positional_engine(forest: &Forest) -> SearchEngine<'_, BiBranchFilter> {
+    SearchEngine::new(
+        forest,
+        BiBranchFilter::build(forest, 2, BiBranchMode::Positional),
+    )
+}
+
+fn keyed(results: &[Neighbor]) -> Vec<(TreeId, u64)> {
+    results.iter().map(|n| (n.tree, n.distance)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Range sweeps narrow stage by stage: what survives stage `s` is
+    /// exactly what stage `s + 1` evaluates, and the final stage's
+    /// survivors are exactly the refinement set.
+    #[test]
+    fn range_funnel_telescopes(seed in 0u64..10_000, tau in 0u32..6) {
+        let forest = random_forest(seed, 14);
+        let engine = positional_engine(&forest);
+        let query = forest.tree(TreeId((seed % forest.len() as u64) as u32));
+        let (_, stats) = engine.range(query, tau);
+        prop_assert!(stats.stages.len() > 1);
+        prop_assert_eq!(stats.stages[0].evaluated, forest.len());
+        for pair in stats.stages.windows(2) {
+            prop_assert_eq!(pair[1].evaluated, pair[0].survivors());
+        }
+        prop_assert_eq!(stats.stages.last().unwrap().survivors(), stats.refined);
+    }
+
+    /// k-NN escalation accounts for every tree exactly once: each
+    /// candidate is either refined or pruned at exactly one stage.
+    #[test]
+    fn knn_accounts_for_every_candidate(seed in 0u64..10_000, k in 1usize..6) {
+        let forest = random_forest(seed, 14);
+        let engine = positional_engine(&forest);
+        let query = forest.tree(TreeId((seed % forest.len() as u64) as u32));
+        let (_, stats) = engine.knn(query, k);
+        let pruned: usize = stats.stages.iter().map(|s| s.pruned).sum();
+        prop_assert_eq!(pruned + stats.refined, forest.len());
+        // Lazy escalation: later stages never evaluate more candidates.
+        for pair in stats.stages.windows(2) {
+            prop_assert!(pair[1].evaluated <= pair[0].evaluated);
+        }
+    }
+
+    /// Installing or removing a span sink never changes results: the
+    /// neighbor lists (ids AND distances) are identical with no sink,
+    /// with a TestSink capturing every event, and after removal.
+    #[test]
+    fn sink_never_changes_results(seed in 0u64..10_000, k in 1usize..5, tau in 0u32..5) {
+        let forest = random_forest(seed, 12);
+        let engine = positional_engine(&forest);
+        let query = forest.tree(TreeId((seed % forest.len() as u64) as u32));
+
+        let bare_knn = keyed(&engine.knn(query, k).0);
+        let bare_range = keyed(&engine.range(query, tau).0);
+
+        let sink = treesim_obs::TestSink::new();
+        treesim_obs::install_sink(sink.clone());
+        let observed_knn = keyed(&engine.knn(query, k).0);
+        let observed_range = keyed(&engine.range(query, tau).0);
+        let captured = sink.events().len();
+        treesim_obs::clear_sink();
+
+        let after_knn = keyed(&engine.knn(query, k).0);
+        let after_range = keyed(&engine.range(query, tau).0);
+
+        prop_assert!(captured >= 2, "sink saw no span events");
+        prop_assert_eq!(&observed_knn, &bare_knn, "sink changed knn results");
+        prop_assert_eq!(&observed_range, &bare_range, "sink changed range results");
+        prop_assert_eq!(&after_knn, &bare_knn, "sink removal changed knn results");
+        prop_assert_eq!(&after_range, &bare_range, "sink removal changed range results");
+    }
+}
