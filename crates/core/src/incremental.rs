@@ -114,14 +114,10 @@ impl IncrementalTree {
                 anchors.extend(self.anchors_around(first_adopted));
             }
         }
-        let mut created = None;
-        self.with_anchor_diff(&anchors, |tree| {
-            created = Some(
-                tree.insert_above_children(parent, label, start, count)
-                    .expect("validated above"),
-            );
+        let new_node = self.with_anchor_diff(&anchors, |tree| {
+            tree.insert_above_children(parent, label, start, count)
+                .expect("validated above")
         });
-        let new_node = created.expect("closure ran");
         // Account for the new node's own branch.
         self.add_branch_of(new_node);
         Ok(new_node)
@@ -183,9 +179,14 @@ impl IncrementalTree {
     }
 
     /// Removes the old branches of `anchors`, applies `mutate`, re-adds
-    /// the new branches of the surviving anchors. Duplicates in `anchors`
-    /// (unioned chains share ancestors) are removed first.
-    fn with_anchor_diff<M: FnOnce(&mut Tree)>(&mut self, anchors: &[NodeId], mutate: M) {
+    /// the new branches of the surviving anchors and returns `mutate`'s
+    /// result. Duplicates in `anchors` (unioned chains share ancestors)
+    /// are removed first.
+    fn with_anchor_diff<T, M: FnOnce(&mut Tree) -> T>(
+        &mut self,
+        anchors: &[NodeId],
+        mutate: M,
+    ) -> T {
         let mut anchors: Vec<NodeId> = anchors.to_vec();
         anchors.sort_unstable();
         anchors.dedup();
@@ -195,12 +196,13 @@ impl IncrementalTree {
                 self.remove_branch_of(anchor);
             }
         }
-        mutate(&mut self.tree);
+        let result = mutate(&mut self.tree);
         for &anchor in anchors {
             if self.tree.contains(anchor) {
                 self.add_branch_of(anchor);
             }
         }
+        result
     }
 
     fn branch_key_of(&self, node: NodeId) -> Vec<LabelId> {

@@ -26,7 +26,9 @@ fn compatible(x: Pos, y: Pos, pr: u32) -> bool {
 
 #[inline]
 fn co_sorted(list: &[Pos]) -> bool {
-    list.windows(2).all(|w| w[0].1 <= w[1].1)
+    list.iter()
+        .zip(list.iter().skip(1))
+        .all(|(a, b)| a.1 <= b.1)
 }
 
 /// Size of the maximum matching between `xs` and `ys` under window `pr`.
@@ -37,8 +39,8 @@ pub fn max_matching(xs: &[Pos], ys: &[Pos], pr: u32) -> usize {
     if xs.is_empty() || ys.is_empty() {
         return 0;
     }
-    debug_assert!(xs.windows(2).all(|w| w[0].0 <= w[1].0));
-    debug_assert!(ys.windows(2).all(|w| w[0].0 <= w[1].0));
+    debug_assert!(xs.iter().zip(xs.iter().skip(1)).all(|(a, b)| a.0 <= b.0));
+    debug_assert!(ys.iter().zip(ys.iter().skip(1)).all(|(a, b)| a.0 <= b.0));
     if co_sorted(xs) && co_sorted(ys) {
         greedy_convex(xs, ys, pr)
     } else {

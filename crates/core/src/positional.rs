@@ -173,6 +173,7 @@ impl PositionalVector {
         let pr_min = self.tree_size.abs_diff(other.tree_size);
         let pr_max = self.tree_size.max(other.tree_size);
         if self.pos_bdist(other, pr_min) <= factor * u64::from(pr_min) {
+            self.check_cascade_order(other, u64::from(pr_min));
             return (u64::from(pr_min), 0);
         }
         // Binary search the smallest satisfying pr in (pr_min, pr_max].
@@ -193,7 +194,25 @@ impl PositionalVector {
             self.pos_bdist(other, lo) <= factor * u64::from(lo),
             "predicate must hold at pr_max"
         );
+        self.check_cascade_order(other, u64::from(lo));
         (u64::from(lo), iterations)
+    }
+
+    /// `strict-checks` invariant: the cascade is ordered —
+    /// `⌈BDist/factor⌉ ≤ propt` (Theorem 4.1 composed with Proposition
+    /// 4.2), so the optimistic bound never undercuts the plain branch
+    /// bound it refines. A violation here means a filter stage would
+    /// prune trees a later stage still admits.
+    #[inline]
+    #[allow(unused_variables)]
+    fn check_cascade_order(&self, other: &PositionalVector, propt: u64) {
+        #[cfg(feature = "strict-checks")]
+        debug_assert!(
+            crate::branch::edit_lower_bound(self.bdist(other), self.q) <= propt,
+            "cascade order violated: ceil(BDist/{}) = {} > propt = {propt}",
+            bound_factor(self.q),
+            crate::branch::edit_lower_bound(self.bdist(other), self.q),
+        );
     }
 
     /// Range-query pruning test (§4.3): prune `other` from a query with

@@ -47,8 +47,9 @@ fn forest_distance<C: CostModel>(
         return hit;
     }
 
-    let (&v, rest1) = f1.split_last().expect("checked nonempty");
-    let (&w, rest2) = f2.split_last().expect("checked nonempty");
+    let (Some((&v, rest1)), Some((&w, rest2))) = (f1.split_last(), f2.split_last()) else {
+        unreachable!("both forests checked nonempty above");
+    };
 
     // Option 1: delete v — its children join the forest in its place.
     let mut f1_minus_v: Vec<NodeId> = rest1.to_vec();

@@ -24,6 +24,12 @@
 //! (`size`, `bdist`, `propt`, `histo`) for per-stage funnel counters,
 //! `refine.zs.*` for Zhang–Shasha refinement, `dynamic.*` for the
 //! appendable index. Histograms of durations end in `.us` (microseconds).
+//! The scheme is a checked contract, not a convention: [`mod@naming`]
+//! holds the grammar ([`naming::KNOWN_PREFIXES`],
+//! [`naming::CASCADE_STAGES`], [`naming::validate_metric_name`]), the
+//! `xtask analyze` metric-name lint enforces it statically over every
+//! name literal, and a cross-crate integration test validates every name
+//! the engine actually emits.
 //!
 //! # Example
 //!
@@ -48,6 +54,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod naming;
 pub mod span;
 
 pub use json::{parse as parse_json, Json, JsonError};

@@ -535,14 +535,14 @@ impl MetricsSnapshot {
         for h in arr_field(value, "histograms")? {
             let mut buckets = Vec::new();
             for pair in arr_field(&h, "buckets")? {
-                let pair = pair
+                let [index, count] = pair
                     .as_array()
-                    .ok_or_else(|| bad("bucket must be a pair"))?;
-                if pair.len() != 2 {
+                    .ok_or_else(|| bad("bucket must be a pair"))?
+                else {
                     return Err(bad("bucket must be a pair"));
-                }
-                let index = pair[0].as_u64().ok_or_else(|| bad("bucket index"))?;
-                let count = pair[1].as_u64().ok_or_else(|| bad("bucket count"))?;
+                };
+                let index = index.as_u64().ok_or_else(|| bad("bucket index"))?;
+                let count = count.as_u64().ok_or_else(|| bad("bucket count"))?;
                 buckets.push((
                     u8::try_from(index).map_err(|_| bad("bucket index out of range"))?,
                     count,

@@ -100,11 +100,21 @@ pub fn clear_sink() {
     *sink_slot().write().expect("sink lock poisoned") = None;
 }
 
-/// Whether a sink is installed (one relaxed atomic load — the hot-path
+/// Whether a sink is installed (one `Acquire` atomic load — the hot-path
 /// guard that keeps uninstrumented runs near-free).
 #[inline]
 pub fn sink_active() -> bool {
-    SINK_ACTIVE.load(Ordering::Relaxed)
+    // Happens-before edge: this `Acquire` load pairs with the `Release`
+    // stores in `install_sink`/`clear_sink`, so a thread that observes
+    // `true` also observes the sink written into the slot before the flag
+    // was raised. The slot's `RwLock` independently synchronizes the
+    // subsequent read, so `Relaxed` would not be *unsound* here — the
+    // worst case is emitting against a stale slot state — but the
+    // `Acquire`/`Release` pairing makes the flag self-contained instead of
+    // leaning on the lock, at no measurable cost on x86 (plain load) or
+    // AArch64 (`ldar`). See DESIGN.md §9 for the interleaving argument;
+    // the `xtask analyze` atomics-audit lint pins this pairing.
+    SINK_ACTIVE.load(Ordering::Acquire)
 }
 
 fn emit(event: &Event<'_>) {

@@ -157,14 +157,15 @@ impl DynamicIndex {
             .enumerate()
             .map(|(i, v)| Reverse((query_vector.size_bound(v), 1, i as u32)))
             .collect();
-        stats.stages[0].evaluated = self.len();
+        if let Some(stage0) = stats.stages.first_mut() {
+            stage0.evaluated = self.len();
+        }
 
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
         let mut heap: BinaryHeap<(u64, u32)> = BinaryHeap::with_capacity(k + 1);
         while let Some(&Reverse((bound, next_stage, raw))) = escalation.peek() {
-            if heap.len() == k {
-                let &(worst, _) = heap.peek().expect("heap full");
+            if let Some(&(worst, _)) = heap.peek().filter(|_| heap.len() == k) {
                 if bound > worst {
                     break;
                 }
@@ -172,7 +173,9 @@ impl DynamicIndex {
             escalation.pop();
             if next_stage == 1 {
                 let sharper = query_vector.optimistic_bound(&self.vectors[raw as usize]);
-                stats.stages[1].evaluated += 1;
+                if let Some(stage1) = stats.stages.get_mut(1) {
+                    stage1.evaluated += 1;
+                }
                 escalation.push(Reverse((bound.max(sharper), 2, raw)));
             } else {
                 let distance = zhang_shasha(
@@ -216,17 +219,20 @@ impl DynamicIndex {
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
         let mut results = Vec::new();
-        stats.stages[0].evaluated = self.len();
+        let [stage_size, stage_propt] = &mut stats.stages[..] else {
+            unreachable!("constructed with exactly two stages above")
+        };
+        stage_size.evaluated = self.len();
         for (raw, vector) in self.vectors.iter().enumerate() {
             // Size screen first: skip the positional merge entirely when
             // the O(1) bound already exceeds τ.
             if query_vector.size_bound(vector) > u64::from(tau) {
-                stats.stages[0].pruned += 1;
+                stage_size.pruned += 1;
                 continue;
             }
-            stats.stages[1].evaluated += 1;
+            stage_propt.evaluated += 1;
             if query_vector.exceeds_range(vector, tau) {
-                stats.stages[1].pruned += 1;
+                stage_propt.pruned += 1;
                 continue;
             }
             let distance = zhang_shasha(&query_info, &self.infos[raw], &UnitCost, &mut workspace);

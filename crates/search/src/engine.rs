@@ -211,8 +211,10 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
                 ))
             })
             .collect();
-        stats.stages[0].evaluated = self.forest.len();
-        stats.stages[0].time = stage0_start.elapsed();
+        if let Some(stage0) = stats.stages.first_mut() {
+            stage0.evaluated = self.forest.len();
+            stage0.time = stage0_start.elapsed();
+        }
 
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
@@ -222,8 +224,7 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         // equal distances the smallest ids survive.
         let mut heap: BinaryHeap<(u64, TreeId)> = BinaryHeap::with_capacity(k + 1);
         while let Some(&Reverse((bound, next_stage, id))) = escalation.peek() {
-            if heap.len() == k {
-                let &(worst, _) = heap.peek().expect("heap full");
+            if let Some(&(worst, _)) = heap.peek().filter(|_| heap.len() == k) {
                 if bound > worst {
                     break; // no outstanding candidate can improve the result
                 }

@@ -299,6 +299,13 @@ impl Filter for NoFilter {
         "Sequential"
     }
 
+    fn stage_name(&self, _stage: usize) -> &'static str {
+        // The metric-name contract requires stage names from
+        // `treesim_obs::naming::CASCADE_STAGES` (the default would leak
+        // the display name "Sequential" into `cascade.*` metrics).
+        "scan"
+    }
+
     fn prepare_query(&self, _query: &Tree) {}
 
     fn lower_bound(&self, _query: &(), _candidate: TreeId) -> u64 {

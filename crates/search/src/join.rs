@@ -115,8 +115,7 @@ pub fn closest_pairs<F: Filter>(
     let mut heap: std::collections::BinaryHeap<(u64, TreeId, TreeId)> =
         std::collections::BinaryHeap::with_capacity(k + 1);
     for &(bound, l, r) in &bounds {
-        if heap.len() == k {
-            let &(worst, _, _) = heap.peek().expect("heap full");
+        if let Some(&(worst, _, _)) = heap.peek().filter(|_| heap.len() == k) {
             if bound > worst {
                 break;
             }

@@ -1,0 +1,438 @@
+//! Lint infrastructure: the per-file source model ([`SourceFile`] with
+//! tokens, `#[cfg(test)]`/`#[test]` region masking and inline
+//! `// treesim-lint: allow(<id>)` directives), [`Finding`]s, and the
+//! machine-readable allowlist file (`analyze.allow`).
+
+use crate::lex::{lex, Token, TokenKind};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the analyzer (exit 1).
+    Error,
+    /// Reported but never fails the run (unused allowlist entries).
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One diagnostic produced by a lint pass.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable lint id (`panic-surface`, `atomics-audit`, …).
+    pub lint: &'static str,
+    /// Severity (errors fail the run).
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The trimmed source line the finding points at.
+    pub snippet: String,
+}
+
+/// A lexed source file plus the derived masks lints need.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Full source text.
+    pub src: String,
+    /// Token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// `(line, lint-id)` pairs from inline allow directives.
+    allows: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes test regions and allow directives.
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let test_regions = test_regions(&tokens);
+        let allows = allow_directives(&tokens);
+        SourceFile {
+            path: path.to_owned(),
+            src: src.to_owned(),
+            tokens,
+            test_regions,
+            allows,
+        }
+    }
+
+    /// Whether byte offset `offset` falls inside test-only code.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    /// Whether `lint` is allowed on `line` by an inline directive on the
+    /// same line or the line directly above.
+    pub fn allowed_inline(&self, lint: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, id)| (*l == line || *l + 1 == line) && id == lint)
+    }
+
+    /// The trimmed text of 1-based `line`.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.src
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+    }
+
+    /// Builds a finding at `token`, unless it is inline-allowed.
+    pub fn finding(&self, lint: &'static str, token: &Token, message: String) -> Option<Finding> {
+        if self.allowed_inline(lint, token.line) {
+            return None;
+        }
+        Some(Finding {
+            lint,
+            severity: Severity::Error,
+            path: self.path.clone(),
+            line: token.line,
+            col: token.col,
+            message,
+            snippet: self.line_text(token.line).to_owned(),
+        })
+    }
+
+    /// Index of the next non-trivia token at or after `i`.
+    pub fn next_code(&self, mut i: usize) -> Option<usize> {
+        while let Some(t) = self.tokens.get(i) {
+            if !t.is_trivia() {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Index of the previous non-trivia token strictly before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.tokens[j].is_trivia())
+    }
+}
+
+/// Extracts `(line, id)` pairs from `// treesim-lint: allow(a, b)`
+/// comments.
+fn allow_directives(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut allows = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Comment && t.kind != TokenKind::DocComment {
+            continue;
+        }
+        let Some(rest) = t.value.split("treesim-lint:").nth(1) else {
+            continue;
+        };
+        let Some(args) = rest
+            .trim_start()
+            .strip_prefix("allow(")
+            .and_then(|s| s.split(')').next())
+        else {
+            continue;
+        };
+        for id in args.split(',') {
+            let id = id.trim();
+            if !id.is_empty() {
+                allows.push((t.line, id.to_owned()));
+            }
+        }
+    }
+    allows
+}
+
+/// Computes byte ranges of items annotated `#[test]`, `#[cfg(test)]` or
+/// any attribute mentioning the `test` ident (e.g. `#[cfg(all(test, …))]`,
+/// `#[bench]` is matched via its own name below).
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_trivia())
+        .collect();
+    let mut k = 0usize;
+    while k < code.len() {
+        let i = code[k];
+        if tokens[i].is_punct('#') && code.get(k + 1).is_some_and(|&j| tokens[j].is_punct('[')) {
+            // Collect the attribute token span [start_k, end_k].
+            let mut depth = 0usize;
+            let mut end_k = k + 1;
+            let mut is_test_attr = false;
+            while end_k < code.len() {
+                let t = &tokens[code[end_k]];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("test") || t.is_ident("bench") {
+                    is_test_attr = true;
+                }
+                end_k += 1;
+            }
+            if is_test_attr {
+                // Mask from the attribute to the end of the annotated item:
+                // past further attributes and the signature to the first
+                // `{`…matching `}` (or a `;` before any body).
+                let start_offset = tokens[i].start;
+                let mut m = end_k + 1;
+                let mut brace_depth = 0usize;
+                let mut entered = false;
+                while m < code.len() {
+                    let t = &tokens[code[m]];
+                    if t.is_punct('{') {
+                        brace_depth += 1;
+                        entered = true;
+                    } else if t.is_punct('}') {
+                        brace_depth = brace_depth.saturating_sub(1);
+                        if entered && brace_depth == 0 {
+                            break;
+                        }
+                    } else if t.is_punct(';') && !entered {
+                        break;
+                    }
+                    m += 1;
+                }
+                let end_offset = code
+                    .get(m)
+                    .map_or(tokens.last().map_or(0, |t| t.end), |&j| tokens[j].end);
+                regions.push((start_offset, end_offset));
+                k = m + 1;
+                continue;
+            }
+            k = end_k + 1;
+            continue;
+        }
+        k += 1;
+    }
+    regions
+}
+
+/// One entry of the `analyze.allow` file.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Lint id the entry silences.
+    pub lint: String,
+    /// Workspace-relative file the entry applies to.
+    pub path: String,
+    /// Substring the finding's source line must contain.
+    pub pattern: String,
+    /// Why the finding is acceptable (required).
+    pub justification: String,
+    /// Line of the entry in `analyze.allow` (for unused-entry reports).
+    pub line: u32,
+}
+
+/// The parsed allowlist plus use tracking.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// All entries in file order.
+    pub entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Parses the `analyze.allow` format: one entry per non-comment line,
+    /// `<lint-id> <path> "<substring>" <justification…>`.
+    /// Returns the allowlist and any parse errors as findings.
+    pub fn parse(text: &str) -> (Allowlist, Vec<Finding>) {
+        let mut list = Allowlist::default();
+        let mut errors = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let line_no = idx as u32 + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parse_error = |message: String| Finding {
+                lint: "allowlist",
+                severity: Severity::Error,
+                path: "analyze.allow".to_owned(),
+                line: line_no,
+                col: 1,
+                message,
+                snippet: line.to_owned(),
+            };
+            let mut head = line.splitn(3, char::is_whitespace);
+            let (Some(lint), Some(path), Some(rest)) = (head.next(), head.next(), head.next())
+            else {
+                errors.push(parse_error(
+                    "expected `<lint-id> <path> \"<substring>\" <justification>`".to_owned(),
+                ));
+                continue;
+            };
+            let rest = rest.trim_start();
+            let Some(after_quote) = rest.strip_prefix('"') else {
+                errors.push(parse_error(
+                    "third field must be a double-quoted substring".to_owned(),
+                ));
+                continue;
+            };
+            let Some(close) = after_quote.find('"') else {
+                errors.push(parse_error("unterminated substring".to_owned()));
+                continue;
+            };
+            let pattern = &after_quote[..close];
+            let justification = after_quote[close + 1..].trim();
+            if justification.is_empty() {
+                errors.push(parse_error(
+                    "allowlist entries require a justification".to_owned(),
+                ));
+                continue;
+            }
+            list.entries.push(AllowEntry {
+                lint: lint.to_owned(),
+                path: path.to_owned(),
+                pattern: pattern.to_owned(),
+                justification: justification.to_owned(),
+                line: line_no,
+            });
+        }
+        list.used = vec![false; list.entries.len()];
+        (list, errors)
+    }
+
+    /// Whether `finding` is covered by an entry (marks the entry used).
+    pub fn covers(&mut self, finding: &Finding) -> bool {
+        let mut hit = false;
+        for (entry, used) in self.entries.iter().zip(self.used.iter_mut()) {
+            if entry.lint == finding.lint
+                && entry.path == finding.path
+                && finding.snippet.contains(&entry.pattern)
+            {
+                *used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Warning findings for entries that never matched anything.
+    pub fn unused(&self) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|&(_, used)| !used)
+            .map(|(entry, _)| Finding {
+                lint: "allowlist",
+                severity: Severity::Warning,
+                path: "analyze.allow".to_owned(),
+                line: entry.line,
+                col: 1,
+                message: format!(
+                    "unused allowlist entry ({} @ {} \"{}\", justified: {}) — remove it \
+                     or fix the pattern",
+                    entry.lint, entry.path, entry.pattern, entry.justification
+                ),
+                snippet: String::new(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_masks_cfg_test_module() {
+        let file = SourceFile::parse(
+            "x.rs",
+            "fn live() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n\
+             fn live2() {}\n",
+        );
+        let live = file.tokens.iter().find(|t| t.is_ident("live")).unwrap();
+        assert!(!file.in_test_code(live.start));
+        let masked = file.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert!(file.in_test_code(masked.start));
+        let live2 = file.tokens.iter().find(|t| t.is_ident("live2")).unwrap();
+        assert!(!file.in_test_code(live2.start));
+    }
+
+    #[test]
+    fn test_region_masks_test_fn_and_attr_only_items() {
+        let file = SourceFile::parse(
+            "x.rs",
+            "#[test]\nfn check() { a.unwrap(); }\n\
+             #[cfg(test)]\nuse std::fmt;\n\
+             #[derive(Debug)]\nstruct S { field: u32 }\n",
+        );
+        let a = file.tokens.iter().find(|t| t.is_ident("a")).unwrap();
+        assert!(file.in_test_code(a.start));
+        let fmt = file.tokens.iter().find(|t| t.is_ident("fmt")).unwrap();
+        assert!(file.in_test_code(fmt.start));
+        let field = file.tokens.iter().find(|t| t.is_ident("field")).unwrap();
+        assert!(!file.in_test_code(field.start), "derive is not a test attr");
+    }
+
+    #[test]
+    fn inline_allow_same_and_next_line() {
+        let file = SourceFile::parse(
+            "x.rs",
+            "// treesim-lint: allow(panic-surface)\nfn a() {}\n\
+             fn b() {} // treesim-lint: allow(atomics-audit, doc-coverage)\n",
+        );
+        assert!(file.allowed_inline("panic-surface", 2));
+        assert!(!file.allowed_inline("panic-surface", 3));
+        assert!(file.allowed_inline("atomics-audit", 3));
+        assert!(file.allowed_inline("doc-coverage", 3));
+        assert!(file.allowed_inline("doc-coverage", 4));
+    }
+
+    #[test]
+    fn allowlist_parses_matches_and_tracks_use() {
+        let (mut list, errors) = Allowlist::parse(
+            "# comment\n\
+             \n\
+             panic-surface crates/obs/src/metrics.rs \"poisoned\" lock poisoning is fatal\n\
+             doc-coverage crates/tree/src/lib.rs \"pub fn secret\" internal API\n",
+        );
+        assert!(errors.is_empty());
+        assert_eq!(list.entries.len(), 2);
+        let finding = Finding {
+            lint: "panic-surface",
+            severity: Severity::Error,
+            path: "crates/obs/src/metrics.rs".to_owned(),
+            line: 10,
+            col: 5,
+            message: String::new(),
+            snippet: ".lock().expect(\"metrics registry poisoned\");".to_owned(),
+        };
+        assert!(list.covers(&finding));
+        let unused = list.unused();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].severity, Severity::Warning);
+        assert!(unused[0].message.contains("pub fn secret"));
+    }
+
+    #[test]
+    fn allowlist_rejects_malformed_lines() {
+        for bad in [
+            "panic-surface only-two-fields",
+            "panic-surface a.rs no-quotes here",
+            "panic-surface a.rs \"unterminated",
+            "panic-surface a.rs \"ok\"", // missing justification
+        ] {
+            let (_, errors) = Allowlist::parse(bad);
+            assert_eq!(errors.len(), 1, "{bad}");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! `doc-coverage`: every `pub` item in a library crate carries a doc
+//! comment.
+//!
+//! Checked items: `pub fn` / `struct` / `enum` / `trait` / `const` /
+//! `static` / `type` / `union` / `mod` and `pub` struct fields.
+//! `pub(crate)` / `pub(super)` are not public API and are skipped, as are
+//! `pub use` re-exports (their targets are checked where they are
+//! defined). A `pub mod name;` declaration is satisfied by either a
+//! `///` comment at the declaration or inner `//!` docs at the top of the
+//! module file (the house style) — the lint resolves `name.rs` /
+//! `name/mod.rs` next to the declaring file.
+
+use std::path::Path;
+
+use super::{is_library_src, Lint};
+use crate::lex::TokenKind;
+use crate::lint::{Finding, SourceFile};
+
+/// Keywords introducing a documentable item after `pub`.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "const", "static", "type", "union", "unsafe", "async",
+    "extern",
+];
+
+/// The `doc-coverage` pass.
+#[derive(Debug, Default)]
+pub struct DocCoverage {
+    /// Filesystem root for resolving `pub mod name;` declarations; tests
+    /// leave it unset and exercise the unresolved path.
+    pub root: Option<std::path::PathBuf>,
+}
+
+impl Lint for DocCoverage {
+    fn id(&self) -> &'static str {
+        "doc-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "every pub item in library crates carries a doc comment"
+    }
+
+    fn check_file(&mut self, file: &SourceFile) -> Vec<Finding> {
+        if !is_library_src(&file.path) {
+            return Vec::new();
+        }
+        let mut findings = Vec::new();
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if !t.is_ident("pub") || file.in_test_code(t.start) {
+                continue;
+            }
+            let Some(n1) = file.next_code(i + 1) else {
+                continue;
+            };
+            let next = &file.tokens[n1];
+            if next.is_punct('(') {
+                continue; // pub(crate) / pub(super): not public API
+            }
+            if next.kind != TokenKind::Ident {
+                continue;
+            }
+            let item = if next.value == "use" {
+                continue; // re-exports document at the definition site
+            } else if next.value == "mod" {
+                "mod"
+            } else if ITEM_KEYWORDS.contains(&next.value.as_str()) {
+                "item"
+            } else {
+                // `pub name: Type` — a struct field.
+                match file.next_code(n1 + 1) {
+                    Some(n2) if file.tokens[n2].is_punct(':') => "field",
+                    _ => continue,
+                }
+            };
+            if has_preceding_doc(file, i) {
+                continue;
+            }
+            if item == "mod" && self.mod_has_inner_docs(file, n1) {
+                continue;
+            }
+            let what = match item {
+                "mod" => {
+                    let name = file
+                        .next_code(n1 + 1)
+                        .map_or(String::new(), |n2| file.tokens[n2].value.clone());
+                    format!("pub mod {name} (no /// here and no //! in the module file)")
+                }
+                "field" => format!("pub field `{}`", next.value),
+                _ => format!("pub {} `{}`", next.value, item_name(file, n1)),
+            };
+            findings.extend(file.finding(self.id(), t, format!("{what} is missing a doc comment")));
+        }
+        findings
+    }
+}
+
+impl DocCoverage {
+    /// For `pub mod <name> ;` at keyword index `mod_idx`, resolve the
+    /// module file next to `file` and check it starts with `//!` docs.
+    fn mod_has_inner_docs(&self, file: &SourceFile, mod_idx: usize) -> bool {
+        let Some(root) = &self.root else { return false };
+        let Some(name_idx) = file.next_code(mod_idx + 1) else {
+            return false;
+        };
+        let name = &file.tokens[name_idx].value;
+        // Only the declaration form `pub mod name;` resolves to a file.
+        if !file
+            .next_code(name_idx + 1)
+            .is_some_and(|s| file.tokens[s].is_punct(';'))
+        {
+            return false;
+        }
+        let dir = Path::new(&file.path).parent().unwrap_or(Path::new(""));
+        for candidate in [
+            dir.join(format!("{name}.rs")),
+            dir.join(name).join("mod.rs"),
+        ] {
+            if let Ok(src) = std::fs::read_to_string(root.join(&candidate)) {
+                let tokens = crate::lex::lex(&src);
+                return tokens.first().is_some_and(|t| {
+                    t.kind == TokenKind::DocComment
+                        && (t.value.starts_with("//!") || t.value.starts_with("/*!"))
+                });
+            }
+        }
+        false
+    }
+}
+
+/// Whether the item starting at token index `pub_idx` has a doc comment
+/// directly above (attributes like `#[derive(…)]` may sit between).
+fn has_preceding_doc(file: &SourceFile, pub_idx: usize) -> bool {
+    let mut i = pub_idx;
+    while i > 0 {
+        i -= 1;
+        let t = &file.tokens[i];
+        match t.kind {
+            TokenKind::DocComment => return true,
+            TokenKind::Comment => continue,
+            TokenKind::Punct if t.is_punct(']') => {
+                // Skip one attribute group backwards: `#[ … ]`.
+                let mut depth = 1usize;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    if file.tokens[i].is_punct(']') {
+                        depth += 1;
+                    } else if file.tokens[i].is_punct('[') {
+                        depth -= 1;
+                    }
+                }
+                // Consume the leading `#` (and inner-attribute `!`).
+                while i > 0
+                    && (file.tokens[i - 1].is_punct('#') || file.tokens[i - 1].is_punct('!'))
+                {
+                    i -= 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// The name of the item whose first keyword is at code index `kw_idx`
+/// (skips qualifier keywords: `pub unsafe fn name`).
+fn item_name(file: &SourceFile, kw_idx: usize) -> String {
+    let mut i = kw_idx;
+    loop {
+        let Some(n) = file.next_code(i + 1) else {
+            return String::new();
+        };
+        let t = &file.tokens[n];
+        if t.kind == TokenKind::Ident && !ITEM_KEYWORDS.contains(&t.value.as_str()) {
+            return t.value.clone();
+        }
+        if t.kind != TokenKind::Ident && !t.is_punct('"') {
+            return String::new(); // `extern "C" fn` etc. — keep scanning past strings
+        }
+        i = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::SourceFile;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        DocCoverage::default().check_file(&SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn documented_items_pass() {
+        let findings = run(
+            "crates/tree/src/arena.rs",
+            "/// A tree.\n\
+             #[derive(Debug, Clone)]\n\
+             pub struct Tree {\n\
+                 /// Node count.\n\
+                 pub len: usize,\n\
+                 private: u32,\n\
+             }\n\
+             /// Builds.\n\
+             pub fn build() -> Tree { todo_impl() }\n\
+             /// Speed.\n\
+             pub const FAST: bool = true;\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_docs_are_flagged_per_item() {
+        let findings = run(
+            "crates/histogram/src/lib.rs",
+            "pub struct Histogram {\n\
+                 pub bins: usize,\n\
+             }\n\
+             pub fn build() {}\n\
+             pub mod helpers;\n",
+        );
+        assert_eq!(findings.len(), 4, "{findings:?}");
+        assert!(findings[0].message.contains("pub struct `Histogram`"));
+        assert!(findings[1].message.contains("pub field `bins`"));
+        assert!(findings[2].message.contains("pub fn `build`"));
+        assert!(findings[3].message.contains("pub mod helpers"));
+    }
+
+    #[test]
+    fn restricted_visibility_and_reexports_are_skipped() {
+        let findings = run(
+            "crates/search/src/lib.rs",
+            "pub(crate) fn internal() {}\n\
+             pub(super) struct Hidden;\n\
+             pub use engine::Engine;\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn doc_must_be_adjacent_not_anywhere() {
+        let findings = run(
+            "crates/edit/src/lib.rs",
+            "/// Doc for a.\n\
+             pub fn a() {}\n\
+             pub fn b() {}\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`b`"));
+    }
+
+    #[test]
+    fn qualifier_keywords_are_skipped_in_names() {
+        let findings = run(
+            "crates/core/src/lib.rs",
+            "pub unsafe fn danger() {}\npub async fn later() {}\n",
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("`danger`"));
+        assert!(findings[1].message.contains("`later`"));
+    }
+
+    #[test]
+    fn inline_allow_and_test_code() {
+        let findings = run(
+            "crates/obs/src/lib.rs",
+            "// treesim-lint: allow(doc-coverage)\n\
+             pub fn undocumented_but_allowed() {}\n\
+             #[cfg(test)]\nmod tests { pub fn helper() {} }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn mod_with_inner_docs_resolves_via_root() {
+        let dir = std::env::temp_dir().join("treesim-xtask-doc-test");
+        let src_dir = dir.join("crates/tree/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("documented.rs"),
+            "//! Inner docs.\npub fn x() {}\n",
+        )
+        .unwrap();
+        std::fs::write(src_dir.join("bare.rs"), "pub fn y() {}\n").unwrap();
+        let mut lint = DocCoverage {
+            root: Some(dir.clone()),
+        };
+        let file = SourceFile::parse(
+            "crates/tree/src/lib.rs",
+            "pub mod documented;\npub mod bare;\n",
+        );
+        let findings = lint.check_file(&file);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("pub mod bare"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,47 @@
+//! The lint registry: every pass gets the full token stream of each
+//! in-scope file ([`Lint::check_file`]) and a cross-file finalizer
+//! ([`Lint::finish`]) for whole-workspace contracts.
+
+pub mod atomics;
+pub mod doc_coverage;
+pub mod metric_names;
+pub mod panic_surface;
+
+use crate::lint::{Finding, SourceFile};
+
+/// Library crates whose non-test code must be panic-free and fully
+/// documented (the engine surface; binaries may still `expect`).
+pub const LIBRARY_CRATES: &[&str] = &["tree", "core", "edit", "histogram", "search", "obs"];
+
+/// Whether `path` (workspace-relative) is library-crate source.
+pub fn is_library_src(path: &str) -> bool {
+    LIBRARY_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// One analyzer pass.
+pub trait Lint {
+    /// Stable id used in reports, inline allows and `analyze.allow`.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--help` and the summary table.
+    fn description(&self) -> &'static str;
+    /// Checks one file (the lint decides whether `file.path` is in scope).
+    fn check_file(&mut self, file: &SourceFile) -> Vec<Finding>;
+    /// Emits findings that need cross-file state (after all files).
+    fn finish(&mut self) -> Vec<Finding> {
+        Vec::new()
+    }
+}
+
+/// All passes, in report order. `root` is the workspace root used by
+/// passes that need to resolve files on disk (doc-coverage's `pub mod`
+/// handling).
+pub fn all(root: Option<std::path::PathBuf>) -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(panic_surface::PanicSurface),
+        Box::new(atomics::AtomicsAudit),
+        Box::new(metric_names::MetricNames::default()),
+        Box::new(doc_coverage::DocCoverage { root }),
+    ]
+}

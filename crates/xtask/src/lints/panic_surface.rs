@@ -1,0 +1,218 @@
+//! `panic-surface`: library crates must not panic in non-test code.
+//!
+//! Flags `.unwrap()` / `.expect(…)`, the `panic!` / `todo!` /
+//! `unimplemented!` macros, and indexing by integer literal (`xs[0]`) in
+//! the `src/` trees of the library crates. `unreachable!` and
+//! `debug_assert!` are deliberately *not* flagged: they document
+//! invariants rather than introduce failure modes on reachable paths.
+//! Triaged exceptions carry an inline
+//! `// treesim-lint: allow(panic-surface)` or an `analyze.allow` entry
+//! with a justification.
+
+use super::{is_library_src, Lint};
+use crate::lex::TokenKind;
+use crate::lint::{Finding, SourceFile};
+
+/// Macro names that are always a panic site.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// The `panic-surface` pass.
+#[derive(Debug, Default)]
+pub struct PanicSurface;
+
+impl Lint for PanicSurface {
+    fn id(&self) -> &'static str {
+        "panic-surface"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo!/indexing-by-literal in library non-test code"
+    }
+
+    fn check_file(&mut self, file: &SourceFile) -> Vec<Finding> {
+        if !is_library_src(&file.path) {
+            return Vec::new();
+        }
+        let mut findings = Vec::new();
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if t.kind != TokenKind::Ident || file.in_test_code(t.start) {
+                continue;
+            }
+            // `.unwrap()` / `.expect(` — method calls only.
+            if (t.value == "unwrap" || t.value == "expect")
+                && file
+                    .prev_code(i)
+                    .is_some_and(|p| file.tokens[p].is_punct('.'))
+                && file
+                    .next_code(i + 1)
+                    .is_some_and(|n| file.tokens[n].is_punct('('))
+            {
+                findings.extend(file.finding(
+                    self.id(),
+                    t,
+                    format!(
+                        ".{}() can panic — return a Result, move the invariant behind \
+                         debug_assert!, or allowlist with a justification",
+                        t.value
+                    ),
+                ));
+                continue;
+            }
+            // panic!/todo!/unimplemented!
+            if PANIC_MACROS.contains(&t.value.as_str())
+                && file
+                    .next_code(i + 1)
+                    .is_some_and(|n| file.tokens[n].is_punct('!'))
+            {
+                findings.extend(file.finding(
+                    self.id(),
+                    t,
+                    format!("{}! in library code — return an error instead", t.value),
+                ));
+                continue;
+            }
+        }
+        // Indexing by integer literal: `expr[3]` where expr ends in an
+        // ident, `)` or `]`. Array types/literals (`[u8; 4]`, `[0; n]`)
+        // never have such a preceding token.
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if !t.is_punct('[') || file.in_test_code(t.start) {
+                continue;
+            }
+            let indexable_before = file.prev_code(i).is_some_and(|p| {
+                let prev = &file.tokens[p];
+                prev.kind == TokenKind::Ident && !is_keyword(&prev.value)
+                    || prev.is_punct(')')
+                    || prev.is_punct(']')
+            });
+            if !indexable_before {
+                continue;
+            }
+            let Some(n1) = file.next_code(i + 1) else {
+                continue;
+            };
+            let Some(n2) = file.next_code(n1 + 1) else {
+                continue;
+            };
+            if file.tokens[n1].kind == TokenKind::Number && file.tokens[n2].is_punct(']') {
+                findings.extend(file.finding(
+                    self.id(),
+                    &file.tokens[n1],
+                    format!(
+                        "indexing by literal `[{}]` can panic — use .get({}) or restructure",
+                        file.tokens[n1].value, file.tokens[n1].value
+                    ),
+                ));
+            }
+        }
+        findings
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`return [0]`, `break`, match arm `=> [0]`, …).
+fn is_keyword(ident: &str) -> bool {
+    matches!(
+        ident,
+        "return" | "break" | "else" | "in" | "match" | "if" | "while" | "loop" | "move" | "as"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        PanicSurface.check_file(&SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let findings = run(
+            "crates/search/src/engine.rs",
+            "fn f(x: Option<u32>) -> u32 {\n\
+                 let a = x.unwrap();\n\
+                 let b = x.expect(\"msg\");\n\
+                 if a == 0 { panic!(\"boom\"); }\n\
+                 todo!()\n\
+             }\n",
+        );
+        assert_eq!(findings.len(), 4, "{findings:?}");
+        assert!(findings.iter().all(|f| f.lint == "panic-surface"));
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].snippet.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn flags_indexing_by_literal_only() {
+        let findings = run(
+            "crates/core/src/vector.rs",
+            "fn f(xs: &[u32], i: usize) -> u32 {\n\
+                 let bad = xs[0];\n\
+                 let also_bad = (xs)[1];\n\
+                 let fine = xs[i];\n\
+                 let arr: [u8; 4] = [0; 4];\n\
+                 let lit = [1, 2, 3];\n\
+                 bad + also_bad + fine + arr[i] as u32 + lit[i]\n\
+             }\n",
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("[0]"));
+        assert!(findings[1].message.contains("[1]"));
+    }
+
+    #[test]
+    fn unwrap_or_and_field_access_are_fine() {
+        let findings = run(
+            "crates/tree/src/arena.rs",
+            "fn f(x: Option<u32>, t: (u32, u32)) -> u32 {\n\
+                 x.unwrap_or(0) + x.unwrap_or_else(|| 1) + t.0\n\
+             }\n\
+             fn expect_this(unwrap: u32) -> u32 { unwrap }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_code_and_other_crates_are_out_of_scope() {
+        let in_tests = run(
+            "crates/search/src/engine.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); }\n}\n",
+        );
+        assert!(in_tests.is_empty(), "{in_tests:?}");
+        let cli = run("crates/cli/src/main.rs", "fn f() { None::<u32>.unwrap(); }");
+        assert!(cli.is_empty(), "binaries may panic");
+        let integration = run(
+            "crates/search/tests/prop_engine.rs",
+            "fn f() { None::<u32>.unwrap(); }",
+        );
+        assert!(integration.is_empty(), "tests dir is out of scope");
+    }
+
+    #[test]
+    fn inline_allow_silences_a_site() {
+        let findings = run(
+            "crates/obs/src/metrics.rs",
+            "fn f(m: std::sync::Mutex<u32>) {\n\
+                 // lock poisoning is unrecoverable by design\n\
+                 // treesim-lint: allow(panic-surface)\n\
+                 let _ = m.lock().expect(\"poisoned\");\n\
+                 let _ = m.lock().expect(\"still flagged\");\n\
+             }\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].snippet.contains("still flagged"));
+    }
+
+    #[test]
+    fn strings_and_docs_never_trigger() {
+        let findings = run(
+            "crates/edit/src/lib.rs",
+            "/// Call `.unwrap()` on the result — panic!(no).\n\
+             fn f() -> &'static str { \"x.unwrap() panic! todo!\" }\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,302 @@
+//! `xtask` — first-party workspace tooling.
+//!
+//! The only subcommand today is `analyze`: a static analyzer over the
+//! workspace's own sources that enforces the repo's written invariants
+//! (panic-free library crates, audited atomics, the metric-name contract,
+//! doc coverage on public API). It is a required CI step; run it locally
+//! with:
+//!
+//! ```text
+//! cargo run -p xtask -- analyze
+//! ```
+//!
+//! See README.md § "Analyzer" for the lint catalogue and escape hatches.
+
+mod lex;
+mod lint;
+mod lints;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use treesim_obs::json::Json;
+
+use lint::{Allowlist, Finding, Severity, SourceFile};
+
+/// Name of the allowlist file at the workspace root.
+const ALLOWLIST_FILE: &str = "analyze.allow";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if command != "analyze" {
+        eprintln!("unknown subcommand `{command}`\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--root requires a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    match analyze(&root, json) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("xtask analyze: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo run -p xtask -- analyze [--json] [--root <path>]";
+
+/// The workspace root, derived from this crate's manifest directory
+/// (`crates/xtask` → two levels up).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or(manifest.clone(), Path::to_path_buf)
+}
+
+/// Runs every lint over every workspace source file. Returns `Ok(true)`
+/// when no (non-allowlisted) error findings remain.
+fn analyze(root: &Path, json: bool) -> Result<bool, String> {
+    let files = collect_sources(root)?;
+    let mut lints = lints::all(Some(root.to_path_buf()));
+
+    let allow_text = std::fs::read_to_string(root.join(ALLOWLIST_FILE)).unwrap_or_default();
+    let (mut allowlist, mut findings) = Allowlist::parse(&allow_text);
+
+    let mut scanned = 0usize;
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let file = SourceFile::parse(rel, &src);
+        scanned += 1;
+        for lint in &mut lints {
+            findings.extend(lint.check_file(&file));
+        }
+    }
+    for lint in &mut lints {
+        findings.extend(lint.finish());
+    }
+
+    // Split off findings the allowlist covers; unused entries come back
+    // as warnings so stale suppressions rot visibly, not silently.
+    let mut reported: Vec<Finding> = Vec::new();
+    let mut allowed = 0usize;
+    for finding in findings {
+        if finding.severity == Severity::Error && allowlist.covers(&finding) {
+            allowed += 1;
+        } else {
+            reported.push(finding);
+        }
+    }
+    reported.extend(allowlist.unused());
+    reported
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.lint).cmp(&(&b.path, b.line, b.col, b.lint)));
+    let errors = reported
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+
+    if json {
+        println!("{}", report_json(&lints, &reported, scanned, allowed));
+    } else {
+        report_text(&lints, &reported, scanned, allowed);
+    }
+    Ok(errors == 0)
+}
+
+/// Every `.rs` file under `crates/*/{src,tests,benches}` plus build
+/// scripts, workspace-relative with forward slashes. `vendor/` is
+/// third-party and exempt.
+fn collect_sources(root: &Path) -> Result<Vec<String>, String> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries.flatten() {
+        let crate_dir = entry.path();
+        if !crate_dir.is_dir() {
+            continue;
+        }
+        for sub in ["src", "tests", "benches"] {
+            walk_rs(&crate_dir.join(sub), &mut files);
+        }
+        let build = crate_dir.join("build.rs");
+        if build.is_file() {
+            files.push(build);
+        }
+    }
+    let mut rel: Vec<String> = files
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(|p| {
+            p.components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op if absent).
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Human-readable report: findings then the per-lint summary table.
+fn report_text(
+    lints: &[Box<dyn lints::Lint>],
+    findings: &[Finding],
+    scanned: usize,
+    allowed: usize,
+) {
+    for f in findings {
+        println!(
+            "{}: {}:{}:{}: [{}] {}",
+            f.severity.label(),
+            f.path,
+            f.line,
+            f.col,
+            f.lint,
+            f.message
+        );
+        if !f.snippet.is_empty() {
+            println!("    | {}", f.snippet);
+        }
+    }
+    if !findings.is_empty() {
+        println!();
+    }
+    let counts = count_by_lint(findings);
+    let width = lints
+        .iter()
+        .map(|l| l.id().len())
+        .chain(["allowlist".len()])
+        .max()
+        .unwrap_or(0);
+    println!("lint summary ({scanned} files scanned, {allowed} finding(s) allowlisted):");
+    for lint in lints {
+        let (errors, warnings) = counts.get(lint.id()).copied().unwrap_or((0, 0));
+        let status = if errors > 0 {
+            format!("{errors} error(s)")
+        } else if warnings > 0 {
+            format!("{warnings} warning(s)")
+        } else {
+            "ok".to_owned()
+        };
+        println!(
+            "  {:width$}  {status:12}  {}",
+            lint.id(),
+            lint.description()
+        );
+    }
+    if let Some(&(errors, warnings)) = counts.get("allowlist") {
+        println!(
+            "  {:width$}  {errors} error(s), {warnings} warning(s)  {ALLOWLIST_FILE} hygiene",
+            "allowlist"
+        );
+    }
+    let total_errors: usize = counts.values().map(|&(e, _)| e).sum();
+    if total_errors == 0 {
+        println!("analyze: clean");
+    } else {
+        println!("analyze: {total_errors} error(s) — fix, inline-allow, or add a justified {ALLOWLIST_FILE} entry");
+    }
+}
+
+/// `(errors, warnings)` per lint id.
+fn count_by_lint(findings: &[Finding]) -> BTreeMap<&'static str, (usize, usize)> {
+    let mut counts: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    for f in findings {
+        let slot = counts.entry(f.lint).or_default();
+        match f.severity {
+            Severity::Error => slot.0 += 1,
+            Severity::Warning => slot.1 += 1,
+        }
+    }
+    counts
+}
+
+/// Machine-readable report (one JSON object on stdout).
+fn report_json(
+    lints: &[Box<dyn lints::Lint>],
+    findings: &[Finding],
+    scanned: usize,
+    allowed: usize,
+) -> String {
+    let counts = count_by_lint(findings);
+    let summary = lints
+        .iter()
+        .map(|lint| {
+            let (errors, warnings) = counts.get(lint.id()).copied().unwrap_or((0, 0));
+            Json::obj(vec![
+                ("lint", Json::Str(lint.id().to_owned())),
+                ("errors", Json::U64(errors as u64)),
+                ("warnings", Json::U64(warnings as u64)),
+            ])
+        })
+        .collect();
+    let items = findings
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("lint", Json::Str(f.lint.to_owned())),
+                ("severity", Json::Str(f.severity.label().to_owned())),
+                ("path", Json::Str(f.path.clone())),
+                ("line", Json::U64(u64::from(f.line))),
+                ("col", Json::U64(u64::from(f.col))),
+                ("message", Json::Str(f.message.clone())),
+                ("snippet", Json::Str(f.snippet.clone())),
+            ])
+        })
+        .collect();
+    let total_errors: usize = counts.values().map(|&(e, _)| e).sum();
+    Json::obj(vec![
+        ("files_scanned", Json::U64(scanned as u64)),
+        ("allowlisted", Json::U64(allowed as u64)),
+        ("errors", Json::U64(total_errors as u64)),
+        ("summary", Json::Arr(summary)),
+        ("findings", Json::Arr(items)),
+    ])
+    .to_string_pretty()
+}
