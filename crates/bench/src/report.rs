@@ -10,7 +10,8 @@
 //!   "scale": { "dataset_size": 60, "query_count": 6, ... },
 //!   "figures": ["ablation-cascade"],
 //!   "funnel": [ { "stage": "size", "evaluated": 720, "pruned": 310 }, ... ],
-//!   "metrics": { "counters": [...], "gauges": [...], "histograms": [...] }
+//!   "metrics": { "counters": [...], "gauges": [...], "histograms": [...] },
+//!   "recorder": { "held": 40, "recorded_total": 640, "wall_us": {...}, ... }
 //! }
 //! ```
 //!
@@ -19,8 +20,14 @@
 //! the run actually exercised; `metrics` embeds the full
 //! [`MetricsSnapshot`] (so latency histograms like `cascade.propt.us`,
 //! `refine.zs.us` and `engine.knn.filter.us` ride along and round-trip via
-//! [`MetricsSnapshot::from_json`]).
+//! [`MetricsSnapshot::from_json`]). `recorder` summarizes the global query
+//! flight recorder at report time: ring occupancy, per-kind query counts,
+//! and exact wall-time quantiles over the records still held (the tail of
+//! the run — the recorder is a bounded ring, not a full log).
 
+use std::collections::BTreeMap;
+
+use treesim_obs::recorder::FlightRecorder;
 use treesim_obs::{Json, MetricsSnapshot};
 
 use crate::scale::Scale;
@@ -32,9 +39,67 @@ pub const SCHEMA: &str = "treesim-bench-cascade/v1";
 /// first — the order the `funnel` array uses.
 pub const CASCADE_STAGES: [&str; 4] = ["size", "bdist", "propt", "histo"];
 
-/// Builds the report from the *current* global metrics registry.
+/// Builds the report from the *current* global metrics registry and
+/// flight recorder.
 pub fn cascade_report(scale: &Scale, figures: &[String]) -> Json {
-    report_from_snapshot(scale, figures, &treesim_obs::metrics::snapshot())
+    let mut report = report_from_snapshot(scale, figures, &treesim_obs::metrics::snapshot());
+    if let Json::Obj(entries) = &mut report {
+        entries.push((
+            "recorder".to_owned(),
+            recorder_summary(treesim_obs::recorder::global()),
+        ));
+    }
+    report
+}
+
+/// Summarizes a flight recorder: ring occupancy, per-kind counts, and
+/// exact wall-time quantiles over the records currently held. Held
+/// records are the *tail* of the run (bounded ring), so the quantiles
+/// describe recent queries, not necessarily the whole workload.
+pub fn recorder_summary(recorder: &FlightRecorder) -> Json {
+    let records = recorder.records();
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut batch = 0u64;
+    let mut walls: Vec<u64> = Vec::with_capacity(records.len());
+    for record in &records {
+        *by_kind.entry(record.kind.label()).or_insert(0) += 1;
+        if record.batch {
+            batch += 1;
+        }
+        walls.push(record.wall_us);
+    }
+    walls.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if walls.is_empty() {
+            return 0;
+        }
+        let rank = ((q * walls.len() as f64).ceil() as usize).clamp(1, walls.len());
+        walls[rank - 1]
+    };
+    Json::obj(vec![
+        ("capacity", Json::U64(recorder.capacity() as u64)),
+        ("held", Json::U64(records.len() as u64)),
+        ("recorded_total", Json::U64(recorder.recorded_total())),
+        ("batch_queries", Json::U64(batch)),
+        (
+            "kinds",
+            Json::obj(
+                by_kind
+                    .into_iter()
+                    .map(|(kind, count)| (kind, Json::U64(count)))
+                    .collect(),
+            ),
+        ),
+        (
+            "wall_us",
+            Json::obj(vec![
+                ("p50", Json::U64(quantile(0.50))),
+                ("p90", Json::U64(quantile(0.90))),
+                ("p99", Json::U64(quantile(0.99))),
+                ("max", Json::U64(walls.last().copied().unwrap_or(0))),
+            ]),
+        ),
+    ])
 }
 
 /// Builds the report from an explicit snapshot (deterministic, for tests).
@@ -146,5 +211,53 @@ mod tests {
         // And the whole report survives a text round-trip.
         let text = report.to_string_pretty();
         assert_eq!(treesim_obs::parse_json(&text).unwrap(), report);
+    }
+
+    #[test]
+    fn recorder_summary_rides_along() {
+        let mut forest = Forest::new();
+        for i in 0..10 {
+            forest.parse_bracket(&format!("r(x{} y)", i % 2)).unwrap();
+        }
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let queries: Vec<treesim_tree::TreeId> = (0..4).map(treesim_tree::TreeId).collect();
+        run_workload(&engine, &queries, QueryMode::Knn(2));
+
+        let report = cascade_report(&Scale::smoke(), &[]);
+        let recorder = report.get("recorder").expect("recorder section");
+        // The global recorder is shared with other tests in this binary,
+        // so assert lower bounds and internal consistency, not exact counts.
+        let held = recorder.get("held").and_then(Json::as_u64).unwrap();
+        let total = recorder
+            .get("recorded_total")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let capacity = recorder.get("capacity").and_then(Json::as_u64).unwrap();
+        assert!(held >= queries.len() as u64, "our queries were recorded");
+        assert!(total >= held, "total never trails occupancy");
+        assert!(held <= capacity, "ring is bounded");
+        let knn = recorder
+            .get("kinds")
+            .and_then(|k| k.get("knn"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        assert!(knn >= queries.len() as u64);
+        let wall = recorder.get("wall_us").expect("wall quantiles");
+        let p50 = wall.get("p50").and_then(Json::as_u64).unwrap();
+        let p99 = wall.get("p99").and_then(Json::as_u64).unwrap();
+        let max = wall.get("max").and_then(Json::as_u64).unwrap();
+        assert!(p50 <= p99 && p99 <= max, "quantiles are monotone");
+    }
+
+    #[test]
+    fn recorder_summary_of_empty_recorder_is_zeroed() {
+        let recorder = FlightRecorder::with_capacity(8);
+        let summary = recorder_summary(&recorder);
+        assert_eq!(summary.get("held").and_then(Json::as_u64), Some(0));
+        let wall = summary.get("wall_us").unwrap();
+        assert_eq!(wall.get("p99").and_then(Json::as_u64), Some(0));
     }
 }

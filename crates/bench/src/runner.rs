@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use treesim_search::{AveragedStage, Filter, SearchEngine, SearchStats};
+use treesim_search::{AveragedStage, Filter, LatencyBuckets, SearchEngine, SearchStats};
 use treesim_tree::TreeId;
 
 /// The two query types of the evaluation.
@@ -31,6 +31,9 @@ pub struct MethodSummary {
     /// Mean per-stage cascade breakdown (coarsest first; empty when the
     /// filter runs a single stage).
     pub stages: Vec<AveragedStage>,
+    /// Per-query wall-time distribution (one sample per query), for
+    /// tail-latency reporting beyond the means above.
+    pub latency: LatencyBuckets,
 }
 
 impl MethodSummary {
@@ -100,6 +103,7 @@ where
         filter_time: averaged.avg_filter_time,
         refine_time: averaged.avg_refine_time,
         stages: averaged.avg_stages,
+        latency: averaged.latency,
     }
 }
 
@@ -157,5 +161,9 @@ mod tests {
         assert_eq!(summary.stages.len(), 3);
         assert_eq!(summary.stages[0].name, "size");
         assert!(summary.final_stage_evaluated() <= forest.len() as f64);
+        // One latency sample per query, with monotone quantiles.
+        assert_eq!(summary.latency.count(), queries.len() as u64);
+        assert!(summary.latency.p50_us() <= summary.latency.p99_us());
+        assert!(summary.latency.p99_us() <= summary.latency.max_us());
     }
 }

@@ -26,6 +26,10 @@ USAGE:
   treesim knn    FILE --query TREE [--k 5]   [--filter bibranch|plain|histo|none] [--level 2] [--index IDX.tsi]
   treesim range  FILE --query TREE [--tau 3] [--filter bibranch|plain|histo|none] [--level 2] [--index IDX.tsi]
   treesim join   FILE [--tau 2] [--limit 20]  (approximate self-join / dedup)
+  treesim explain FILE --query TREE [--k 5 | --tau T] [--filter ...] [--level 2]
+                        [--limit 40]   (per-candidate cascade EXPLAIN table)
+  treesim serve-metrics [FILE] [--addr 127.0.0.1:9891] [--warm 25] [--k 5]
+                        (HTTP exporter: /metrics, /snapshot.json, /recorder.json)
   treesim help
 
 Observability (any command):
@@ -56,6 +60,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "knn" => search(&args, SearchKind::Knn),
         "range" => search(&args, SearchKind::Range),
         "join" => join(&args),
+        "explain" => explain(&args),
+        "serve-metrics" => serve_metrics(&args),
         other => Err(format!("unknown command {other:?}")),
     };
     // Snapshot even on command failure: partial funnels are still useful.
@@ -316,6 +322,108 @@ fn run<F: treesim_search::Filter>(
     })
 }
 
+/// `treesim explain`: replay one query with the recording observer and
+/// print the per-candidate cascade table. `--tau T` explains a range
+/// query; otherwise `--k` (default 5) explains a k-NN query.
+fn explain(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("explain needs a dataset file")?;
+    let mut forest = io::load_forest(path)?;
+    let query = io::parse_query(&mut forest, args.require("query")?)?;
+    let filter_name = args.get("filter").unwrap_or("bibranch");
+    let level = args.get_or("level", 2usize)?;
+    if level < 2 {
+        return Err("--level must be ≥ 2".into());
+    }
+    let limit = args.get_or("limit", 40usize)?;
+    let report = match filter_name {
+        "bibranch" => explain_with(
+            &forest,
+            BiBranchFilter::build(&forest, level, BiBranchMode::Positional),
+            &query,
+            args,
+        )?,
+        "plain" => explain_with(
+            &forest,
+            BiBranchFilter::build(&forest, level, BiBranchMode::Plain),
+            &query,
+            args,
+        )?,
+        "histo" => explain_with(&forest, HistogramFilter::build(&forest), &query, args)?,
+        "none" => explain_with(&forest, NoFilter::build(&forest), &query, args)?,
+        other => return Err(format!("unknown filter {other:?}")),
+    };
+    print!("{}", report.render(limit));
+    // The EXPLAIN contract: per-candidate verdicts telescope exactly to
+    // the SearchStats funnel of the same query.
+    if let Err((stage, from_verdicts, from_stats)) = report.check_consistency() {
+        return Err(format!(
+            "EXPLAIN inconsistency at stage {stage}: verdicts say \
+             (evaluated, pruned) = {from_verdicts:?} but stats say {from_stats:?}"
+        ));
+    }
+    println!("-- verdicts telescope to the stats funnel (checked)");
+    println!("{}", report.stats);
+    Ok(())
+}
+
+fn explain_with<F: treesim_search::Filter>(
+    forest: &Forest,
+    filter: F,
+    query: &Tree,
+    args: &Args,
+) -> Result<treesim_search::ExplainReport, String> {
+    let engine = SearchEngine::new(forest, filter);
+    Ok(match args.get("tau") {
+        Some(_) => engine.explain_range(query, args.get_or("tau", 3u32)?),
+        None => engine.explain_knn(query, args.get_or("k", 5usize)?),
+    })
+}
+
+/// `treesim serve-metrics`: expose the metrics registry and flight
+/// recorder over HTTP. With a dataset argument, first answers `--warm`
+/// k-NN queries (a batch, so recorder entries are batch-tagged) to
+/// populate the `cascade.*` / `refine.*` / `recorder.*` families.
+#[cfg(feature = "server")]
+fn serve_metrics(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.positional(0) {
+        let forest = io::load_forest(path)?;
+        let warm = args.get_or("warm", 25usize)?;
+        let k = args.get_or("k", 5usize)?;
+        if warm > 0 && !forest.is_empty() {
+            let filter = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+            let engine = SearchEngine::new(&forest, filter);
+            let queries: Vec<&Tree> = forest.iter().map(|(_, t)| t).take(warm).collect();
+            engine.knn_batch(&queries, k);
+            println!(
+                "warmed metrics with {} k-NN queries (k={k}) over {} trees",
+                queries.len(),
+                forest.len()
+            );
+        }
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:9891");
+    let server =
+        treesim_obs::MetricsServer::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| format!("cannot resolve local address: {e}"))?;
+    println!("serving http://{local}/metrics  (also /snapshot.json, /recorder.json)");
+    server
+        .serve_forever()
+        .map_err(|e| format!("metrics server failed: {e}"))
+}
+
+/// Stub when the `server` feature is off: the subcommand exists but
+/// explains how to get it.
+#[cfg(not(feature = "server"))]
+fn serve_metrics(_args: &Args) -> Result<(), String> {
+    Err(
+        "this binary was built without the `server` feature; rebuild with \
+         `cargo build -p treesim-cli --features server`"
+            .into(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,6 +615,54 @@ mod tests {
         .is_err());
         std::fs::remove_file(&data).ok();
         std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn explain_prints_consistent_table() {
+        let dir = std::env::temp_dir().join("treesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("explain.trees");
+        std::fs::write(&data, "a(b c)\na(b d)\na(b(c) d)\nx(y z)\nq(r(s t))\n").unwrap();
+        let data_str = data.to_str().unwrap();
+        // knn mode (default), range mode (--tau), every filter, and a
+        // row-limited rendering all succeed — the dispatch itself runs
+        // check_consistency and errors on any funnel mismatch.
+        dispatch(&argv(&[
+            "explain", data_str, "--query", "a(b c)", "--k", "2",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "explain", data_str, "--query", "a(b c)", "--tau", "2",
+        ]))
+        .unwrap();
+        for filter in ["plain", "histo", "none"] {
+            dispatch(&argv(&[
+                "explain", data_str, "--query", "a(b c)", "--filter", filter,
+            ]))
+            .unwrap();
+        }
+        dispatch(&argv(&[
+            "explain", data_str, "--query", "a(b c)", "--limit", "1",
+        ]))
+        .unwrap();
+        // Missing dataset / bad filter are rejected.
+        assert!(dispatch(&argv(&["explain"])).is_err());
+        assert!(dispatch(&argv(&[
+            "explain", data_str, "--query", "a", "--filter", "bogus"
+        ]))
+        .is_err());
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[cfg(feature = "server")]
+    #[test]
+    fn serve_metrics_rejects_bad_addr() {
+        assert!(dispatch(&argv(&[
+            "serve-metrics",
+            "--addr",
+            "definitely:not:an:addr"
+        ]))
+        .is_err());
     }
 
     #[test]

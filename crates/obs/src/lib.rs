@@ -16,6 +16,13 @@
 //!   [`JsonLinesSink`], and [`TestSink`] for assertions. With no sink
 //!   installed the only cost is the histogram update (one relaxed atomic
 //!   bool guards everything else).
+//! * **Flight recorder** ([`mod@recorder`]): an always-on, bounded,
+//!   sharded ring of structured per-query [`QueryRecord`]s — the
+//!   query-level complement to the aggregate registry. O(capacity)
+//!   memory, allocation-free recording after warm-up, drainable to JSON.
+//! * **Exporter** ([`mod@server`] + [`mod@prometheus`]): a std-only
+//!   `TcpListener` HTTP endpoint serving `/metrics` (Prometheus text
+//!   exposition 0.0.4), `/snapshot.json` and `/recorder.json`.
 //!
 //! # Naming scheme
 //!
@@ -55,6 +62,9 @@
 pub mod json;
 pub mod metrics;
 pub mod naming;
+pub mod prometheus;
+pub mod recorder;
+pub mod server;
 pub mod span;
 
 pub use json::{parse as parse_json, Json, JsonError};
@@ -62,6 +72,8 @@ pub use metrics::{
     bucket_index, bucket_upper_edge, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram,
     HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
+pub use recorder::{BatchContext, FlightRecorder, QueryKind, QueryRecord, StageRecord};
+pub use server::{MetricsServer, ServerHandle};
 pub use span::{
     clear_sink, current_depth, current_spans, install_sink, sink_active, Event, EventKind,
     JsonLinesSink, OwnedEvent, PrettySink, Sink, SpanGuard, TestSink,

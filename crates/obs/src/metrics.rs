@@ -374,6 +374,44 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`q` ∈ [0, 1]) from the log₂ buckets.
+    ///
+    /// Walks the cumulative bucket counts to the bucket containing the
+    /// rank-`⌈q·count⌉` sample and returns that bucket's inclusive upper
+    /// edge, clamped to the observed max. Because bucket `i ≥ 1` spans
+    /// `[2^(i−1), 2^i)`, the estimate overshoots the true quantile by at
+    /// most a factor of 2 (see DESIGN §Observability). Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(i, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper_edge(usize::from(i)).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Estimated median ([`HistogramSnapshot::quantile`] at 0.5).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Estimated 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.9)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 /// A point-in-time capture of the whole registry, JSON round-trippable.
@@ -623,6 +661,38 @@ mod tests {
         let total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, 4);
         assert!((snap.mean() - 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let h = histogram("test.metrics.quantiles");
+        // 90 small samples (bucket 3: values in [4, 8)) and 10 large
+        // (bucket 11: values in [1024, 2048)).
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        let snap = h.snapshot();
+        // p50 and p90 land in the small bucket (upper edge 7); p99 lands
+        // in the large bucket, clamped to the observed max.
+        assert_eq!(snap.p50(), 7);
+        assert_eq!(snap.p90(), 7);
+        assert_eq!(snap.p99(), 1500);
+        assert_eq!(snap.quantile(1.0), 1500);
+        // Degenerate cases.
+        let empty = HistogramSnapshot {
+            name: "test.metrics.empty".to_owned(),
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.p50(), 0);
+        let single = histogram("test.metrics.quantiles_single");
+        single.record(100);
+        assert_eq!(single.snapshot().p50(), 100); // clamped to max
     }
 
     #[test]

@@ -21,7 +21,9 @@
 /// Top-level name prefixes with a defined meaning. Adding a subsystem
 /// means adding its prefix here *and* documenting it in the README
 /// Observability table — the analyzer rejects unknown prefixes.
-pub const KNOWN_PREFIXES: &[&str] = &["cascade", "refine", "engine", "batch", "dynamic"];
+pub const KNOWN_PREFIXES: &[&str] = &[
+    "cascade", "refine", "engine", "batch", "dynamic", "recorder", "server",
+];
 
 /// The namespace reserved for metrics created inside `#[cfg(test)]` code
 /// and test binaries. Production code must never emit names under it.
@@ -108,6 +110,18 @@ pub fn validate_metric_name(name: &str, allow_test: bool) -> Result<(), NameErro
     Ok(())
 }
 
+/// The Prometheus exposition form of a registry name: dots become
+/// underscores (the exposition grammar allows `[a-zA-Z_:][a-zA-Z0-9_:]*`
+/// and dots are illegal). Because registry segments are `[a-z][a-z0-9_]*`
+/// the result is always a valid exposition name; the mapping is not
+/// injective in general (`a.b_c` and `a_b.c` collide) but the underscore
+/// convention in our registry names (`.us` suffixes, `workers_active`
+/// style) never produces a collision — the `xtask` metric-name lint
+/// checks sanitized uniqueness over every literal.
+pub fn prometheus_name(name: &str) -> String {
+    name.replace('.', "_")
+}
+
 /// Validates a name *template* as it appears in source: `{…}` format
 /// placeholders (e.g. `"{prefix}.filter.us"`, `"cascade.{}.evaluated"`)
 /// act as wildcard segments that match any valid expansion. A placeholder
@@ -149,6 +163,9 @@ mod tests {
             "refine.zs.nodes",
             "dynamic.push",
             "batch.pending",
+            "recorder.recorded",
+            "recorder.overwritten",
+            "server.requests",
         ] {
             assert_eq!(validate_metric_name(name, false), Ok(()), "{name}");
         }
@@ -194,6 +211,23 @@ mod tests {
         // Errors render with context.
         let message = NameError::UnknownStage("warp".to_owned()).to_string();
         assert!(message.contains("warp") && message.contains("size|bdist|propt|histo"));
+    }
+
+    #[test]
+    fn prometheus_names_are_exposition_legal() {
+        assert_eq!(
+            prometheus_name("engine.knn.filter.us"),
+            "engine_knn_filter_us"
+        );
+        assert_eq!(prometheus_name("recorder.recorded"), "recorder_recorded");
+        // Any valid registry name sanitizes to the exposition grammar
+        // [a-zA-Z_:][a-zA-Z0-9_:]*.
+        for name in ["cascade.size.evaluated", "engine.batch.workers.active"] {
+            let p = prometheus_name(name);
+            let mut chars = p.chars();
+            assert!(matches!(chars.next(), Some('a'..='z' | '_')));
+            assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
     }
 
     #[test]

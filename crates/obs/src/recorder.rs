@@ -1,0 +1,499 @@
+//! The query flight recorder: a fixed-capacity, always-on ring buffer of
+//! structured per-query [`QueryRecord`]s.
+//!
+//! Aggregate counters answer "how is the system doing"; the recorder
+//! answers "why was *this* query slow". Every engine / batch / dynamic
+//! query path deposits one [`QueryRecord`] — kind, parameter, per-stage
+//! funnel counts, propt binary-search iterations, refine count and
+//! Zhang–Shasha node total, wall time, result summary — into the global
+//! ring. Memory is O(capacity) forever: the ring is sharded across
+//! mutexes, every shard's slot vector is preallocated at construction,
+//! and [`QueryRecord`] is `Copy`, so recording a query after warm-up is a
+//! shard-mutex lock plus a slot overwrite — no allocation on the hot
+//! path. When the ring is full the oldest records are overwritten
+//! (`recorder.overwritten` counts the evictions).
+//!
+//! Two thread-locals thread per-query context through code that never
+//! sees the record being assembled: a propt-iteration accumulator (the
+//! binary search in the propt bound runs deep inside the filter) and a
+//! batch-context depth (so records emitted by `knn_batch` worker threads
+//! are tagged as batch work).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::json::Json;
+
+/// Capacity of the global recorder ring ([`global`]).
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Number of mutex shards; records are spread by id so concurrent batch
+/// workers rarely contend on the same lock.
+const SHARDS: usize = 8;
+
+/// Maximum number of cascade stages a record can carry (the deepest
+/// filter cascade today is size → bdist → propt, plus one spare).
+pub const MAX_STAGES: usize = 4;
+
+/// Which query path produced a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// `SearchEngine::knn` (or a `knn_batch` worker).
+    Knn,
+    /// `SearchEngine::range`.
+    Range,
+    /// `DynamicIndex::knn`.
+    DynamicKnn,
+    /// `DynamicIndex::range`.
+    DynamicRange,
+}
+
+impl QueryKind {
+    /// Stable lowercase label used in JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::Knn => "knn",
+            QueryKind::Range => "range",
+            QueryKind::DynamicKnn => "dynamic_knn",
+            QueryKind::DynamicRange => "dynamic_range",
+        }
+    }
+}
+
+/// Funnel counts for one cascade stage of one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageRecord {
+    /// Stage name (a `naming::CASCADE_STAGES` member).
+    pub name: &'static str,
+    /// Candidates whose bound this stage computed.
+    pub evaluated: u64,
+    /// Candidates this stage eliminated.
+    pub pruned: u64,
+}
+
+/// One query's flight record. `Copy` with a fixed-size stage array so ring
+/// slots can be overwritten without allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRecord {
+    /// Monotone sequence id assigned by the recorder (0 until recorded).
+    pub id: u64,
+    /// Which query path ran.
+    pub kind: QueryKind,
+    /// True when the query ran inside a batch driver worker.
+    pub batch: bool,
+    /// `k` for knn queries, `τ` for range queries.
+    pub param: u64,
+    /// Trees in the searched dataset.
+    pub dataset: u64,
+    /// Per-stage funnel counts; only the first `stage_count` are valid.
+    pub stages: [StageRecord; MAX_STAGES],
+    /// Number of valid entries in `stages`.
+    pub stage_count: u8,
+    /// Binary-search iterations spent in propt bounds for this query.
+    pub propt_iters: u64,
+    /// Candidates that reached exact Zhang–Shasha refinement.
+    pub refined: u64,
+    /// Total tree nodes touched by refinement (sum over refined pairs).
+    pub zs_nodes: u64,
+    /// Result-set size.
+    pub results: u64,
+    /// Best (smallest) result distance, if any result was returned.
+    pub best: Option<u64>,
+    /// Worst (largest) result distance, if any result was returned.
+    pub worst: Option<u64>,
+    /// Wall-clock time of the whole query in microseconds.
+    pub wall_us: u64,
+}
+
+impl QueryRecord {
+    /// A blank record for `kind`; the caller fills in what it measured.
+    pub fn new(kind: QueryKind) -> QueryRecord {
+        QueryRecord {
+            id: 0,
+            kind,
+            batch: false,
+            param: 0,
+            dataset: 0,
+            stages: [StageRecord::default(); MAX_STAGES],
+            stage_count: 0,
+            propt_iters: 0,
+            refined: 0,
+            zs_nodes: 0,
+            results: 0,
+            best: None,
+            worst: None,
+            wall_us: 0,
+        }
+    }
+
+    /// Appends a stage's funnel counts (ignored beyond [`MAX_STAGES`]).
+    pub fn push_stage(&mut self, name: &'static str, evaluated: u64, pruned: u64) {
+        let i = usize::from(self.stage_count);
+        if let Some(slot) = self.stages.get_mut(i) {
+            *slot = StageRecord {
+                name,
+                evaluated,
+                pruned,
+            };
+            self.stage_count += 1;
+        }
+    }
+
+    /// The valid prefix of the stage array.
+    pub fn stages(&self) -> &[StageRecord] {
+        let n = usize::from(self.stage_count).min(MAX_STAGES);
+        self.stages.get(..n).unwrap_or(&[])
+    }
+
+    /// Serializes one record to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let stages = self
+            .stages()
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("name", Json::Str(s.name.to_owned())),
+                    ("evaluated", Json::U64(s.evaluated)),
+                    ("pruned", Json::U64(s.pruned)),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("id", Json::U64(self.id)),
+            ("kind", Json::Str(self.kind.label().to_owned())),
+            ("batch", Json::Bool(self.batch)),
+            ("param", Json::U64(self.param)),
+            ("dataset", Json::U64(self.dataset)),
+            ("stages", Json::Arr(stages)),
+            ("propt_iters", Json::U64(self.propt_iters)),
+            ("refined", Json::U64(self.refined)),
+            ("zs_nodes", Json::U64(self.zs_nodes)),
+            ("results", Json::U64(self.results)),
+        ];
+        if let Some(best) = self.best {
+            fields.push(("best", Json::U64(best)));
+        }
+        if let Some(worst) = self.worst {
+            fields.push(("worst", Json::U64(worst)));
+        }
+        fields.push(("wall_us", Json::U64(self.wall_us)));
+        Json::obj(fields)
+    }
+}
+
+/// One mutex shard: a preallocated slot vector used as an overwrite ring.
+#[derive(Debug)]
+struct Shard {
+    slots: Vec<Option<QueryRecord>>,
+    /// Next slot to (over)write.
+    next: usize,
+}
+
+/// A bounded, sharded flight recorder. See the module docs for the
+/// memory/locking contract; [`global`] is the always-on instance every
+/// query path records into.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    shards: Vec<Mutex<Shard>>,
+    capacity: usize,
+    sequence: AtomicU64,
+}
+
+/// Mutex poisoning only means another thread panicked mid-record; the
+/// slot data is plain `Copy` state, so recover the guard rather than
+/// propagating the panic into an unrelated query.
+fn recover<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` records (rounded up to a
+    /// multiple of the shard count, minimum one slot per shard).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        let shards = (0..SHARDS)
+            .map(|_| {
+                Mutex::new(Shard {
+                    slots: vec![None; per_shard],
+                    next: 0,
+                })
+            })
+            .collect();
+        FlightRecorder {
+            shards,
+            capacity: per_shard * SHARDS,
+            sequence: AtomicU64::new(0),
+        }
+    }
+
+    /// Total record slots across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| recover(s).slots.iter().filter(|r| r.is_some()).count())
+            .sum()
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deposits `record`, assigning and returning its sequence id. The
+    /// oldest record in the target shard is overwritten when full.
+    pub fn record(&self, mut record: QueryRecord) -> u64 {
+        // Relaxed is enough: fetch_add is an atomic RMW, so ids are unique
+        // and monotone; no other memory is published through the counter.
+        let id = self.sequence.fetch_add(1, Ordering::Relaxed) + 1;
+        record.id = id;
+        let shard_index = (id as usize) % self.shards.len();
+        let mut evicted = false;
+        if let Some(shard) = self.shards.get(shard_index) {
+            let mut guard = recover(shard);
+            let next = guard.next;
+            if let Some(slot) = guard.slots.get_mut(next) {
+                evicted = slot.is_some();
+                *slot = Some(record);
+            }
+            guard.next = (next + 1) % guard.slots.len().max(1);
+        }
+        crate::metrics::counter("recorder.recorded").inc();
+        if evicted {
+            crate::metrics::counter("recorder.overwritten").inc();
+        }
+        id
+    }
+
+    /// Copies out every held record, sorted by id (oldest first). The
+    /// ring keeps its contents — this is what `/recorder.json` serves.
+    pub fn records(&self) -> Vec<QueryRecord> {
+        let mut out: Vec<QueryRecord> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                recover(s)
+                    .slots
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Removes and returns every held record, sorted by id.
+    pub fn drain(&self) -> Vec<QueryRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut guard = recover(shard);
+            for slot in &mut guard.slots {
+                if let Some(record) = slot.take() {
+                    out.push(record);
+                }
+            }
+            guard.next = 0;
+        }
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Total records ever deposited (including overwritten ones).
+    pub fn recorded_total(&self) -> u64 {
+        self.sequence.load(Ordering::Relaxed)
+    }
+
+    /// Serializes the held records to the `/recorder.json` document.
+    pub fn to_json(&self) -> Json {
+        let records = self.records();
+        Json::obj(vec![
+            ("schema", Json::Str("treesim-recorder/v1".to_owned())),
+            ("capacity", Json::U64(self.capacity as u64)),
+            ("recorded_total", Json::U64(self.recorded_total())),
+            ("held", Json::U64(records.len() as u64)),
+            (
+                "records",
+                Json::Arr(records.iter().map(QueryRecord::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The always-on global recorder ([`DEFAULT_CAPACITY`] slots).
+pub fn global() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        crate::metrics::gauge("recorder.capacity").set(DEFAULT_CAPACITY as i64);
+        FlightRecorder::with_capacity(DEFAULT_CAPACITY)
+    })
+}
+
+/// Deposits `record` into the global recorder, stamping the batch flag
+/// from the thread's batch context. Returns the assigned id.
+pub fn record_query(mut record: QueryRecord) -> u64 {
+    record.batch = in_batch();
+    global().record(record)
+}
+
+thread_local! {
+    /// Propt binary-search iterations accumulated since the last `take`.
+    static PROPT_ITERS: Cell<u64> = const { Cell::new(0) };
+    /// Nesting depth of batch drivers on this thread.
+    static BATCH_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Adds `n` propt binary-search iterations to this thread's per-query
+/// accumulator (called from deep inside the filter bound).
+pub fn propt_iters_add(n: u64) {
+    PROPT_ITERS.with(|c| c.set(c.get().saturating_add(n)));
+}
+
+/// Reads and resets this thread's propt-iteration accumulator. Query
+/// paths call it once at query start (to discard stale state) and once at
+/// the end (to stamp the record).
+pub fn propt_iters_take() -> u64 {
+    PROPT_ITERS.with(|c| c.replace(0))
+}
+
+/// Whether this thread is currently inside a batch driver.
+pub fn in_batch() -> bool {
+    BATCH_DEPTH.with(|c| c.get() > 0)
+}
+
+/// RAII marker a batch driver holds for the duration of its workers'
+/// query loop; queries recorded while one is live are tagged `batch`.
+#[derive(Debug)]
+pub struct BatchContext(());
+
+impl BatchContext {
+    /// Enters batch context on this thread.
+    pub fn enter() -> BatchContext {
+        BATCH_DEPTH.with(|c| c.set(c.get().saturating_add(1)));
+        BatchContext(())
+    }
+}
+
+impl Drop for BatchContext {
+    fn drop(&mut self) {
+        BATCH_DEPTH.with(|c| c.set(c.get().saturating_sub(1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: QueryKind, param: u64) -> QueryRecord {
+        let mut r = QueryRecord::new(kind);
+        r.param = param;
+        r.dataset = 100;
+        r.push_stage("size", 100, 40);
+        r.push_stage("propt", 60, 50);
+        r.refined = 10;
+        r.results = 3;
+        r.best = Some(2);
+        r.worst = Some(7);
+        r.wall_us = 123;
+        r
+    }
+
+    #[test]
+    fn records_are_held_and_sorted() {
+        let rec = FlightRecorder::with_capacity(64);
+        for i in 0..10 {
+            rec.record(sample(QueryKind::Knn, i));
+        }
+        assert_eq!(rec.len(), 10);
+        let held = rec.records();
+        assert_eq!(held.len(), 10);
+        assert!(held.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(rec.recorded_total(), 10);
+        // records() does not consume…
+        assert_eq!(rec.len(), 10);
+        // …drain() does.
+        assert_eq!(rec.drain().len(), 10);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_hold_under_overflow() {
+        let rec = FlightRecorder::with_capacity(16);
+        assert_eq!(rec.capacity(), 16);
+        for i in 0..100 {
+            rec.record(sample(QueryKind::Range, i));
+        }
+        assert_eq!(rec.len(), 16);
+        let held = rec.records();
+        // The survivors are the newest 16 ids (ring semantics per shard).
+        assert!(held.iter().all(|r| r.id > 100 - 16));
+        assert_eq!(rec.recorded_total(), 100);
+    }
+
+    #[test]
+    fn stage_array_is_bounded() {
+        let mut r = QueryRecord::new(QueryKind::Knn);
+        for _ in 0..10 {
+            r.push_stage("size", 1, 1);
+        }
+        assert_eq!(r.stages().len(), MAX_STAGES);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let rec = FlightRecorder::with_capacity(8);
+        rec.record(sample(QueryKind::DynamicKnn, 5));
+        let doc = rec.to_json();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("treesim-recorder/v1")
+        );
+        assert_eq!(doc.get("held").and_then(Json::as_u64), Some(1));
+        let records = doc.get("records").and_then(Json::as_array).unwrap();
+        let r = &records[0];
+        assert_eq!(r.get("kind").and_then(Json::as_str), Some("dynamic_knn"));
+        assert_eq!(r.get("best").and_then(Json::as_u64), Some(2));
+        let stages = r.get("stages").and_then(Json::as_array).unwrap();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].get("name").and_then(Json::as_str), Some("size"));
+    }
+
+    #[test]
+    fn propt_accumulator_and_batch_context() {
+        assert_eq!(propt_iters_take(), 0);
+        propt_iters_add(3);
+        propt_iters_add(4);
+        assert_eq!(propt_iters_take(), 7);
+        assert_eq!(propt_iters_take(), 0);
+
+        assert!(!in_batch());
+        {
+            let _outer = BatchContext::enter();
+            assert!(in_batch());
+            {
+                let _inner = BatchContext::enter();
+                assert!(in_batch());
+            }
+            assert!(in_batch());
+        }
+        assert!(!in_batch());
+    }
+
+    #[test]
+    fn global_recorder_tags_batch_records() {
+        let before = global().recorded_total();
+        let _ctx = BatchContext::enter();
+        let id = record_query(sample(QueryKind::Knn, 2));
+        assert!(id > before);
+        let held = global().records();
+        let mine = held.iter().find(|r| r.id == id).unwrap();
+        assert!(mine.batch);
+    }
+}

@@ -11,12 +11,14 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use treesim_core::{BranchVocab, PositionalVector};
 use treesim_edit::{zhang_shasha, TreeInfo, UnitCost, ZsWorkspace};
+use treesim_obs::recorder::{self, QueryKind};
 use treesim_tree::{Forest, LabelInterner, Tree, TreeId};
 
-use crate::engine::Neighbor;
+use crate::engine::{emit_record, Neighbor};
 use crate::stats::{SearchStats, StageStats};
 
 /// An appendable similarity index over rooted, ordered, labeled trees.
@@ -139,6 +141,8 @@ impl DynamicIndex {
     /// smallest outstanding ones pay for the `propt` positional bound.
     pub fn knn(&self, query: &Tree, k: usize) -> (Vec<Neighbor>, SearchStats) {
         let _span = treesim_obs::span!("dynamic.knn", k = k, dataset = self.len());
+        let wall_start = Instant::now();
+        recorder::propt_iters_take(); // discard any stale accumulation
         let mut stats = SearchStats {
             dataset_size: self.len(),
             stages: vec![StageStats::named("size"), StageStats::named("propt")],
@@ -146,6 +150,14 @@ impl DynamicIndex {
         };
         if k == 0 || self.is_empty() {
             stats.record_metrics("dynamic.knn");
+            emit_record(
+                QueryKind::DynamicKnn,
+                k as u64,
+                &stats,
+                &[],
+                0,
+                wall_start.elapsed(),
+            );
             return (Vec::new(), stats);
         }
         let query_vector = self.query_vector(query);
@@ -163,6 +175,7 @@ impl DynamicIndex {
 
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
+        let mut zs_nodes = 0u64;
         let mut heap: BinaryHeap<(u64, u32)> = BinaryHeap::with_capacity(k + 1);
         while let Some(&Reverse((bound, next_stage, raw))) = escalation.peek() {
             if let Some(&(worst, _)) = heap.peek().filter(|_| heap.len() == k) {
@@ -172,18 +185,16 @@ impl DynamicIndex {
             }
             escalation.pop();
             if next_stage == 1 {
-                let sharper = query_vector.optimistic_bound(&self.vectors[raw as usize]);
+                let sharper =
+                    crate::filter::propt_bound(&query_vector, &self.vectors[raw as usize]);
                 if let Some(stage1) = stats.stages.get_mut(1) {
                     stage1.evaluated += 1;
                 }
                 escalation.push(Reverse((bound.max(sharper), 2, raw)));
             } else {
-                let distance = zhang_shasha(
-                    &query_info,
-                    &self.infos[raw as usize],
-                    &UnitCost,
-                    &mut workspace,
-                );
+                let data_info = &self.infos[raw as usize];
+                zs_nodes += (query_info.len() + data_info.len()) as u64;
+                let distance = zhang_shasha(&query_info, data_info, &UnitCost, &mut workspace);
                 stats.refined += 1;
                 heap.push((distance, raw));
                 if heap.len() > k {
@@ -204,12 +215,22 @@ impl DynamicIndex {
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         stats.results = results.len();
         stats.record_metrics("dynamic.knn");
+        emit_record(
+            QueryKind::DynamicKnn,
+            k as u64,
+            &stats,
+            &results,
+            zs_nodes,
+            wall_start.elapsed(),
+        );
         (results, stats)
     }
 
     /// Range query (same semantics as [`crate::SearchEngine::range`]).
     pub fn range(&self, query: &Tree, tau: u32) -> (Vec<Neighbor>, SearchStats) {
         let _span = treesim_obs::span!("dynamic.range", tau = tau, dataset = self.len());
+        let wall_start = Instant::now();
+        recorder::propt_iters_take(); // discard any stale accumulation
         let mut stats = SearchStats {
             dataset_size: self.len(),
             stages: vec![StageStats::named("size"), StageStats::named("propt")],
@@ -218,6 +239,7 @@ impl DynamicIndex {
         let query_vector = self.query_vector(query);
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
+        let mut zs_nodes = 0u64;
         let mut results = Vec::new();
         let [stage_size, stage_propt] = &mut stats.stages[..] else {
             unreachable!("constructed with exactly two stages above")
@@ -235,7 +257,9 @@ impl DynamicIndex {
                 stage_propt.pruned += 1;
                 continue;
             }
-            let distance = zhang_shasha(&query_info, &self.infos[raw], &UnitCost, &mut workspace);
+            let data_info = &self.infos[raw];
+            zs_nodes += (query_info.len() + data_info.len()) as u64;
+            let distance = zhang_shasha(&query_info, data_info, &UnitCost, &mut workspace);
             stats.refined += 1;
             if distance <= u64::from(tau) {
                 results.push(Neighbor {
@@ -247,6 +271,14 @@ impl DynamicIndex {
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         stats.results = results.len();
         stats.record_metrics("dynamic.range");
+        emit_record(
+            QueryKind::DynamicRange,
+            u64::from(tau),
+            &stats,
+            &results,
+            zs_nodes,
+            wall_start.elapsed(),
+        );
         (results, stats)
     }
 }

@@ -31,10 +31,57 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use treesim_edit::{zhang_shasha, CostModel, TreeInfo, UnitCost, ZsWorkspace};
+use treesim_obs::recorder::{self, QueryKind, QueryRecord};
 use treesim_tree::{Forest, Tree, TreeId};
 
 use crate::filter::Filter;
 use crate::stats::{SearchStats, StageStats};
+
+/// Per-candidate hooks the EXPLAIN replay taps into. The production path
+/// runs with the no-op `()` impl, so the hooks cost nothing there; the
+/// query cores call them at exactly the points the per-query
+/// [`SearchStats`] counters are bumped, which is what makes EXPLAIN
+/// verdicts telescope to the stats funnel.
+pub(crate) trait QueryObserver {
+    /// A cascade stage computed `bound` (scaled to cost space) for `id`.
+    fn on_stage_bound(&mut self, _id: TreeId, _stage: usize, _bound: u64) {}
+    /// `id` was eliminated at `stage`; `bound` is the value that did it.
+    fn on_pruned(&mut self, _id: TreeId, _stage: usize, _bound: u64) {}
+    /// The final-stage range predicate examined `id`.
+    fn on_range_checked(&mut self, _id: TreeId, _stage: usize) {}
+    /// The final-stage range predicate certified `EDist > τ` for `id`.
+    fn on_range_pruned(&mut self, _id: TreeId, _stage: usize) {}
+    /// `id` was refined to exact distance `distance`.
+    fn on_refined(&mut self, _id: TreeId, _distance: u64) {}
+}
+
+/// The production observer: all hooks are no-ops.
+impl QueryObserver for () {}
+
+/// Assembles and deposits the flight record for one finished query.
+pub(crate) fn emit_record(
+    kind: QueryKind,
+    param: u64,
+    stats: &SearchStats,
+    results: &[Neighbor],
+    zs_nodes: u64,
+    wall: std::time::Duration,
+) {
+    let mut record = QueryRecord::new(kind);
+    record.param = param;
+    record.dataset = stats.dataset_size as u64;
+    for stage in &stats.stages {
+        record.push_stage(stage.name, stage.evaluated as u64, stage.pruned as u64);
+    }
+    record.propt_iters = recorder::propt_iters_take();
+    record.refined = stats.refined as u64;
+    record.zs_nodes = zs_nodes;
+    record.results = results.len() as u64;
+    record.best = results.first().map(|n| n.distance);
+    record.worst = results.last().map(|n| n.distance);
+    record.wall_us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+    recorder::record_query(record);
+}
 
 /// One query answer: a tree and its exact edit distance to the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,11 +194,20 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
     ///
     /// Each call records the problem size (total nodes on both sides) into
     /// the `refine.zs.nodes` histogram and its wall-clock into
-    /// `refine.zs.us` — the refinement cost profile of §4.3.
-    fn refine(&self, query_info: &TreeInfo, id: TreeId, workspace: &mut ZsWorkspace) -> u64 {
+    /// `refine.zs.us` — the refinement cost profile of §4.3. The node
+    /// count also accumulates into `zs_nodes` (the flight record's
+    /// per-query refinement-volume total).
+    fn refine(
+        &self,
+        query_info: &TreeInfo,
+        id: TreeId,
+        workspace: &mut ZsWorkspace,
+        zs_nodes: &mut u64,
+    ) -> u64 {
         let data_info = &self.infos[id.index()];
-        treesim_obs::histogram!("refine.zs.nodes")
-            .record((query_info.len() + data_info.len()) as u64);
+        let nodes = (query_info.len() + data_info.len()) as u64;
+        treesim_obs::histogram!("refine.zs.nodes").record(nodes);
+        *zs_nodes += nodes;
         let start = Instant::now();
         let distance = zhang_shasha(query_info, data_info, &self.cost, workspace);
         treesim_obs::histogram!("refine.zs.us").record_duration(start.elapsed());
@@ -180,7 +236,21 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
     /// are still refined; dropping them could lose a tied neighbor with a
     /// smaller id.
     pub fn knn(&self, query: &Tree, k: usize) -> (Vec<Neighbor>, SearchStats) {
+        self.knn_observed(query, k, &mut ())
+    }
+
+    /// The k-NN core, parameterized over a [`QueryObserver`] (the
+    /// production path passes `&mut ()`, EXPLAIN passes a recording
+    /// observer — the algorithm is byte-for-byte the same either way).
+    pub(crate) fn knn_observed<O: QueryObserver>(
+        &self,
+        query: &Tree,
+        k: usize,
+        observer: &mut O,
+    ) -> (Vec<Neighbor>, SearchStats) {
         let _span = treesim_obs::span!("engine.knn", k = k, dataset = self.forest.len());
+        let wall_start = Instant::now();
+        recorder::propt_iters_take(); // discard any stale accumulation
         let mut stats = SearchStats {
             dataset_size: self.forest.len(),
             stages: self.stage_accumulators(),
@@ -188,6 +258,14 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         };
         if k == 0 || self.forest.is_empty() {
             stats.record_metrics("engine.knn");
+            emit_record(
+                QueryKind::Knn,
+                k as u64,
+                &stats,
+                &[],
+                0,
+                wall_start.elapsed(),
+            );
             return (Vec::new(), stats);
         }
 
@@ -200,17 +278,13 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         // (bound, next stage, id): of equally bounded entries the one with
         // fewer stages left runs first, reaching refinement sooner.
         let stage0_start = Instant::now();
-        let mut escalation: BinaryHeap<Reverse<(u64, usize, TreeId)>> = self
-            .forest
-            .iter()
-            .map(|(id, _)| {
-                Reverse((
-                    self.filter.stage_bound(&query_artifact, id, 0) * scale,
-                    1,
-                    id,
-                ))
-            })
-            .collect();
+        let mut escalation: BinaryHeap<Reverse<(u64, usize, TreeId)>> =
+            BinaryHeap::with_capacity(self.forest.len());
+        for (id, _) in self.forest.iter() {
+            let bound = self.filter.stage_bound(&query_artifact, id, 0) * scale;
+            observer.on_stage_bound(id, 0, bound);
+            escalation.push(Reverse((bound, 1, id)));
+        }
         if let Some(stage0) = stats.stages.first_mut() {
             stage0.evaluated = self.forest.len();
             stage0.time = stage0_start.elapsed();
@@ -219,6 +293,7 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
         let mut refine_time = std::time::Duration::ZERO;
+        let mut zs_nodes = 0u64;
         // Max-heap of the k best (distance, tree) pairs seen so far; the
         // push-then-pop below evicts the largest (distance, id), so among
         // equal distances the smallest ids survive.
@@ -237,12 +312,14 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
                 let sharper = self.filter.stage_bound(&query_artifact, id, next_stage) * scale;
                 stats.stages[next_stage].time += stage_start.elapsed();
                 stats.stages[next_stage].evaluated += 1;
+                observer.on_stage_bound(id, next_stage, sharper);
                 escalation.push(Reverse((bound.max(sharper), next_stage + 1, id)));
             } else {
                 let refine_start = Instant::now();
-                let distance = self.refine(&query_info, id, &mut workspace);
+                let distance = self.refine(&query_info, id, &mut workspace, &mut zs_nodes);
                 refine_time += refine_start.elapsed();
                 stats.refined += 1;
+                observer.on_refined(id, distance);
                 heap.push((distance, id));
                 if heap.len() > k {
                     heap.pop();
@@ -250,8 +327,9 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
             }
         }
         // Whatever is still queued was pruned by its last evaluated stage.
-        for &Reverse((_, next_stage, _)) in escalation.iter() {
+        for &Reverse((bound, next_stage, id)) in escalation.iter() {
             stats.stages[next_stage - 1].pruned += 1;
+            observer.on_pruned(id, next_stage - 1, bound);
         }
         stats.filter_time = filter_start.elapsed() - refine_time;
         stats.refine_time = refine_time;
@@ -263,6 +341,14 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         stats.results = results.len();
         stats.record_metrics("engine.knn");
+        emit_record(
+            QueryKind::Knn,
+            k as u64,
+            &stats,
+            &results,
+            zs_nodes,
+            wall_start.elapsed(),
+        );
         (results, stats)
     }
 
@@ -276,13 +362,27 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
     /// for the positional filter adds the Proposition 4.2 test at
     /// `pr = τ` on top of the `propt` bound).
     pub fn range(&self, query: &Tree, tau: u32) -> (Vec<Neighbor>, SearchStats) {
+        self.range_observed(query, tau, &mut ())
+    }
+
+    /// The range core, parameterized over a [`QueryObserver`] exactly like
+    /// [`SearchEngine::knn_observed`].
+    pub(crate) fn range_observed<O: QueryObserver>(
+        &self,
+        query: &Tree,
+        tau: u32,
+        observer: &mut O,
+    ) -> (Vec<Neighbor>, SearchStats) {
         let _span = treesim_obs::span!("engine.range", tau = tau, dataset = self.forest.len());
+        let wall_start = Instant::now();
+        recorder::propt_iters_take(); // discard any stale accumulation
         let mut stats = SearchStats {
             dataset_size: self.forest.len(),
             stages: self.stage_accumulators(),
             ..Default::default()
         };
         let filter_start = Instant::now();
+        let scale = self.bound_scale();
         let stage_count = self.filter.stages();
         let query_artifact = self.filter.prepare_query(query);
         // Filters prune in operation counts: EDist_cost ≥ ops · scale, so a
@@ -293,10 +393,24 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
             let stage_start = Instant::now();
             let before = candidates.len();
             if stage + 1 == stage_count {
-                candidates.retain(|&id| !self.filter.prunes_range(&query_artifact, id, ops_tau));
+                candidates.retain(|&id| {
+                    observer.on_range_checked(id, stage);
+                    let pruned = self.filter.prunes_range(&query_artifact, id, ops_tau);
+                    if pruned {
+                        observer.on_range_pruned(id, stage);
+                    }
+                    !pruned
+                });
             } else {
                 candidates.retain(|&id| {
-                    self.filter.stage_bound(&query_artifact, id, stage) <= u64::from(ops_tau)
+                    let bound = self.filter.stage_bound(&query_artifact, id, stage) * scale;
+                    observer.on_stage_bound(id, stage, bound);
+                    if bound <= u64::from(ops_tau) * scale {
+                        true
+                    } else {
+                        observer.on_pruned(id, stage, bound);
+                        false
+                    }
                 });
             }
             stats.stages[stage].evaluated = before;
@@ -308,10 +422,12 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         let refine_start = Instant::now();
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
+        let mut zs_nodes = 0u64;
         let mut results = Vec::new();
         for id in candidates {
-            let distance = self.refine(&query_info, id, &mut workspace);
+            let distance = self.refine(&query_info, id, &mut workspace, &mut zs_nodes);
             stats.refined += 1;
+            observer.on_refined(id, distance);
             if distance <= u64::from(tau) {
                 results.push(Neighbor { tree: id, distance });
             }
@@ -320,7 +436,73 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         stats.results = results.len();
         stats.record_metrics("engine.range");
+        emit_record(
+            QueryKind::Range,
+            u64::from(tau),
+            &stats,
+            &results,
+            zs_nodes,
+            wall_start.elapsed(),
+        );
         (results, stats)
+    }
+
+    /// Cascade stage names, coarsest first.
+    fn stage_names(&self) -> Vec<&'static str> {
+        (0..self.filter.stages())
+            .map(|s| self.filter.stage_name(s))
+            .collect()
+    }
+
+    /// EXPLAIN for a k-NN query: replays [`SearchEngine::knn`] through the
+    /// same core with a recording observer and returns a per-candidate
+    /// report — which stage pruned each dataset tree (and the bound value
+    /// that did it), or its refined distance. The report's `stats` and
+    /// `results` are identical to a production `knn` call, and the
+    /// per-candidate verdicts telescope exactly to the stats funnel
+    /// ([`crate::explain::ExplainReport::check_consistency`]).
+    ///
+    /// The replay runs the real query path, so it also updates the global
+    /// metrics registry and deposits a flight record.
+    pub fn explain_knn(&self, query: &Tree, k: usize) -> crate::explain::ExplainReport {
+        let mut observer = crate::explain::ExplainObserver::new();
+        let (results, stats) = self.knn_observed(query, k, &mut observer);
+        let candidates = observer.into_candidates(&results, |_| 0);
+        crate::explain::ExplainReport {
+            kind: "knn",
+            param: k as u64,
+            stats,
+            results,
+            stage_names: self.stage_names(),
+            candidates,
+        }
+    }
+
+    /// EXPLAIN for a range query; see [`SearchEngine::explain_knn`].
+    ///
+    /// The final cascade stage prunes through a predicate
+    /// ([`Filter::prunes_range`]) that certifies `EDist > τ` without
+    /// materializing a bound, so for predicate-pruned candidates the
+    /// report recomputes that stage's generic lower bound afterwards,
+    /// purely for display — the replay's statistics stay identical to a
+    /// production [`SearchEngine::range`] call.
+    pub fn explain_range(&self, query: &Tree, tau: u32) -> crate::explain::ExplainReport {
+        let mut observer = crate::explain::ExplainObserver::new();
+        let (results, stats) = self.range_observed(query, tau, &mut observer);
+        let scale = self.bound_scale();
+        let last_stage = self.filter.stages() - 1;
+        let query_artifact = self.filter.prepare_query(query);
+        let candidates = observer.into_candidates(&results, |id| {
+            self.filter.stage_bound(&query_artifact, id, last_stage) * scale
+        });
+        crate::explain::ExplainReport {
+            kind: "range",
+            param: u64::from(tau),
+            stats,
+            results,
+            stage_names: self.stage_names(),
+            candidates,
+        }
     }
 }
 
@@ -402,6 +584,10 @@ where
                             worker = worker,
                             queries = chunk.len()
                         );
+                        // Flight records deposited by this worker's queries
+                        // are tagged as batch work (thread-local context,
+                        // so it must be entered on the worker thread).
+                        let _batch = recorder::BatchContext::enter();
                         active.add(1);
                         let answers = chunk
                             .iter()

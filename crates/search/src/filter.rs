@@ -109,13 +109,22 @@ impl BiBranchFilter {
         &self.vectors[tree.index()]
     }
 
-    /// The `propt` bound, recording how many binary-search iterations the
-    /// §4.2 probe took into the `cascade.propt.iters` histogram.
+    /// The `propt` bound (see [`propt_bound`]).
     fn propt_bound(query: &PositionalVector, data: &PositionalVector) -> u64 {
-        let (bound, iterations) = query.optimistic_bound_counted(data);
-        treesim_obs::histogram!("cascade.propt.iters").record(u64::from(iterations));
-        bound
+        propt_bound(query, data)
     }
+}
+
+/// The `propt` bound with observability: records how many binary-search
+/// iterations the §4.2 probe took into the `cascade.propt.iters`
+/// histogram and into the flight recorder's per-query thread-local
+/// accumulator. Shared by [`BiBranchFilter`] and the dynamic index so
+/// every propt evaluation is counted the same way.
+pub(crate) fn propt_bound(query: &PositionalVector, data: &PositionalVector) -> u64 {
+    let (bound, iterations) = query.optimistic_bound_counted(data);
+    treesim_obs::histogram!("cascade.propt.iters").record(u64::from(iterations));
+    treesim_obs::recorder::propt_iters_add(u64::from(iterations));
+    bound
 }
 
 impl Filter for BiBranchFilter {

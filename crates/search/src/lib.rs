@@ -35,6 +35,7 @@ pub mod classify;
 pub mod cluster;
 pub mod dynamic;
 pub mod engine;
+pub mod explain;
 pub mod filter;
 pub mod join;
 pub mod stats;
@@ -44,7 +45,8 @@ pub use classify::KnnClassifier;
 pub use cluster::{threshold_clusters, Clustering};
 pub use dynamic::DynamicIndex;
 pub use engine::{Neighbor, SearchEngine};
+pub use explain::{CandidateExplain, ExplainReport, StageEval, Verdict};
 pub use filter::{BiBranchFilter, BiBranchMode, Filter, HistogramFilter, MaxFilter, NoFilter};
 pub use join::{closest_pairs, similarity_join, similarity_self_join, JoinPair, JoinStats};
-pub use stats::{AveragedStage, AveragedStats, SearchStats, StageStats};
+pub use stats::{AveragedStage, AveragedStats, LatencyBuckets, SearchStats, StageStats};
 pub use subtree::{subtree_search, SubtreeMatch, SubtreeStats};

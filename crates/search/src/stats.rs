@@ -43,6 +43,101 @@ impl StageStats {
     }
 }
 
+/// A sparse log₂ histogram of per-query total latencies (microseconds),
+/// sharing `treesim-obs`'s bucket geometry ([`treesim_obs::bucket_index`]
+/// / [`treesim_obs::bucket_upper_edge`]), so its quantiles carry the same
+/// factor-of-2 error bound as the registry's histograms.
+///
+/// Empty on a fresh per-query [`SearchStats`];
+/// [`SearchStats::accumulate`] records one sample per accumulated query
+/// (or merges buckets when accumulating pre-accumulated totals), so
+/// workload accumulators grow a latency distribution for free and
+/// [`AveragedStats`] can report tail latencies, not just means.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyBuckets {
+    /// `(bucket index, count)` pairs, ascending by index, counts > 0.
+    buckets: Vec<(u8, u64)>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyBuckets {
+    /// Records one query latency (in microseconds).
+    pub fn record_micros(&mut self, us: u64) {
+        let index = treesim_obs::bucket_index(us) as u8;
+        match self.buckets.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (index, 1)),
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(us);
+        self.max = self.max.max(us);
+    }
+
+    /// Merges another accumulator's samples into this one.
+    pub fn merge(&mut self, other: &LatencyBuckets) {
+        for &(index, count) in &other.buckets {
+            match self.buckets.binary_search_by_key(&index, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += count,
+                Err(pos) => self.buckets.insert(pos, (index, count)),
+            }
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The largest recorded latency (µs); 0 when empty.
+    pub fn max_us(&self) -> u64 {
+        self.max
+    }
+
+    /// Estimated `q`-quantile latency in microseconds (same estimator as
+    /// [`treesim_obs::HistogramSnapshot::quantile`]: the upper edge of
+    /// the bucket holding the rank-`⌈q·count⌉` sample, clamped to the
+    /// observed maximum). Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(index, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return treesim_obs::bucket_upper_edge(usize::from(index)).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency estimate (µs).
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 90th-percentile latency estimate (µs).
+    pub fn p90_us(&self) -> u64 {
+        self.quantile_us(0.90)
+    }
+
+    /// 99th-percentile latency estimate (µs).
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+}
+
 /// Measurements collected while answering one similarity query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchStats {
@@ -63,6 +158,10 @@ pub struct SearchStats {
     /// Worker threads that produced these numbers (1 for a single query;
     /// the batch APIs record the pool size).
     pub threads: usize,
+    /// Per-query total-latency distribution. Empty on a single query's
+    /// stats; populated by [`SearchStats::accumulate`] (one sample per
+    /// accumulated query), so workload totals carry p50/p90/p99 tails.
+    pub latency: LatencyBuckets,
 }
 
 impl Default for SearchStats {
@@ -75,6 +174,7 @@ impl Default for SearchStats {
             refine_time: Duration::ZERO,
             stages: Vec::new(),
             threads: 1,
+            latency: LatencyBuckets::default(),
         }
     }
 }
@@ -134,6 +234,14 @@ impl SearchStats {
         self.filter_time += other.filter_time;
         self.refine_time += other.refine_time;
         self.threads = self.threads.max(other.threads);
+        if other.latency.is_empty() {
+            // `other` is one query's stats: its total time is one sample.
+            self.latency
+                .record_micros(u64::try_from(other.total_time().as_micros()).unwrap_or(u64::MAX));
+        } else {
+            // `other` is itself an accumulator: merge its distribution.
+            self.latency.merge(&other.latency);
+        }
         if self.stages.is_empty() {
             self.stages = other.stages.clone();
         } else if !other.stages.is_empty() {
@@ -196,6 +304,7 @@ impl SearchStats {
                     avg_time: s.time.div_f64(q),
                 })
                 .collect(),
+            latency: self.latency.clone(),
         }
     }
 }
@@ -225,6 +334,15 @@ impl fmt::Display for SearchStats {
             self.filter_time,
             self.refine_time,
         )?;
+        if !self.latency.is_empty() {
+            write!(
+                f,
+                "; latency p50 {}µs, p90 {}µs, p99 {}µs",
+                self.latency.p50_us(),
+                self.latency.p90_us(),
+                self.latency.p99_us(),
+            )?;
+        }
         if self.stages.len() > 1 {
             for stage in &self.stages {
                 write!(f, "\n--   {stage}")?;
@@ -268,6 +386,9 @@ pub struct AveragedStats {
     pub avg_refine_time: Duration,
     /// Mean per-stage cascade breakdown.
     pub avg_stages: Vec<AveragedStage>,
+    /// The accumulated per-query latency distribution (quantiles are not
+    /// averaged — they come straight from the accumulator's buckets).
+    pub latency: LatencyBuckets,
 }
 
 impl AveragedStats {
@@ -304,6 +425,17 @@ impl fmt::Display for AveragedStats {
             self.avg_filter_time,
             self.avg_refine_time,
         )?;
+        if !self.latency.is_empty() {
+            write!(
+                f,
+                "\n--   latency p50 {}µs, p90 {}µs, p99 {}µs (max {}µs over {} samples)",
+                self.latency.p50_us(),
+                self.latency.p90_us(),
+                self.latency.p99_us(),
+                self.latency.max_us(),
+                self.latency.count(),
+            )?;
+        }
         if self.avg_stages.len() > 1 {
             for stage in &self.avg_stages {
                 write!(f, "\n--   {stage}")?;
@@ -428,6 +560,7 @@ mod tests {
                 },
             ],
             threads: 1,
+            latency: LatencyBuckets::default(),
         };
         let rendered = format!("{stats}");
         assert!(rendered.starts_with("-- 5 results; accessed 10/200 trees (5.00%)"));
@@ -482,6 +615,64 @@ mod tests {
         assert!(after
             .histogram("test.stats.filter.us")
             .is_some_and(|h| h.count >= 1));
+    }
+
+    #[test]
+    fn accumulate_builds_latency_distribution() {
+        let mut total = SearchStats::default();
+        assert!(total.latency.is_empty());
+        // 9 fast queries (~100µs) and one slow outlier (~100ms).
+        for _ in 0..9 {
+            total.accumulate(&SearchStats {
+                dataset_size: 50,
+                filter_time: Duration::from_micros(40),
+                refine_time: Duration::from_micros(60),
+                ..Default::default()
+            });
+        }
+        total.accumulate(&SearchStats {
+            dataset_size: 50,
+            refine_time: Duration::from_millis(100),
+            ..Default::default()
+        });
+        assert_eq!(total.latency.count(), 10);
+        assert_eq!(total.latency.max_us(), 100_000);
+        // p50/p90 land in the fast bucket (log₂ upper edge ≥ the 100µs
+        // sample), p99 is the outlier clamped to the observed max.
+        assert!(total.latency.p50_us() >= 100 && total.latency.p50_us() < 100_000);
+        assert_eq!(total.latency.p90_us(), total.latency.p50_us());
+        assert_eq!(total.latency.p99_us(), 100_000);
+
+        // Merging two accumulators combines distributions.
+        let mut grand = SearchStats::default();
+        grand.accumulate(&total);
+        grand.accumulate(&total);
+        assert_eq!(grand.latency.count(), 20);
+        assert_eq!(grand.latency.p99_us(), 100_000);
+
+        // The averaged view carries the distribution and renders it.
+        let averaged = total.averaged(10);
+        let rendered = format!("{averaged}");
+        assert!(rendered.contains("latency p50"), "{rendered}");
+        assert!(rendered.contains("p99 100000µs"), "{rendered}");
+
+        // Per-query stats (empty buckets) never render a latency clause.
+        assert!(!format!("{}", SearchStats::default()).contains("latency"));
+        let rendered = format!("{total}");
+        assert!(rendered.contains("latency p50"), "{rendered}");
+    }
+
+    #[test]
+    fn latency_quantiles_edge_cases() {
+        let empty = LatencyBuckets::default();
+        assert_eq!(empty.quantile_us(0.5), 0);
+        assert_eq!(empty.count(), 0);
+        let mut one = LatencyBuckets::default();
+        one.record_micros(250);
+        assert_eq!(one.p50_us(), 250);
+        assert_eq!(one.p99_us(), 250);
+        assert_eq!(one.quantile_us(0.0), 250); // rank clamps to 1
+        assert_eq!(one.quantile_us(1.0), 250);
     }
 
     #[test]

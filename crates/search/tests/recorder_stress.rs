@@ -1,0 +1,112 @@
+//! Flight-recorder integration under real multi-threaded batch traffic.
+//!
+//! This file deliberately holds a SINGLE test: cargo runs each integration
+//! test file in its own process, so nothing else touches the global
+//! recorder here and the drain-based assertions can be exact. (Do not add
+//! more `#[test]` functions — they would race on the global ring.)
+
+use treesim_obs::recorder::{self, QueryKind};
+use treesim_search::{BiBranchFilter, BiBranchMode, SearchEngine};
+use treesim_tree::{Forest, Tree, TreeId};
+
+const STAGE_ORDER: [&str; 3] = ["size", "bdist", "propt"];
+
+#[test]
+fn batch_queries_record_completely_and_the_ring_stays_bounded() {
+    let mut forest = Forest::new();
+    for i in 0..50 {
+        forest
+            .parse_bracket(&format!("a(b{} c(d{} f) e{})", i % 5, i % 3, i % 7))
+            .unwrap();
+    }
+    let engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let recorder = recorder::global();
+    let k = 3usize;
+
+    // --- phase A: fewer queries than capacity → exact accounting --------
+    recorder.drain();
+    let total_before = recorder.recorded_total();
+    let queries: Vec<&Tree> = (0..200)
+        .map(|i| forest.tree(TreeId((i % forest.len()) as u32)))
+        .collect();
+    let outcomes = engine.knn_batch_threads(&queries, k, 8);
+    assert_eq!(outcomes.len(), queries.len());
+
+    assert_eq!(
+        recorder.recorded_total() - total_before,
+        queries.len() as u64,
+        "one record per batch query"
+    );
+    let records = recorder.drain();
+    assert_eq!(records.len(), queries.len());
+
+    // Every record is complete and internally consistent — a torn write
+    // (fields from two different queries) would break these invariants.
+    let mut ids: Vec<u64> = Vec::with_capacity(records.len());
+    for record in &records {
+        ids.push(record.id);
+        assert_eq!(record.kind.label(), QueryKind::Knn.label());
+        assert!(record.batch, "batch flag set on worker-thread queries");
+        assert_eq!(record.param, k as u64);
+        assert_eq!(record.dataset, forest.len() as u64);
+        assert!(record.results <= k as u64);
+        assert!(
+            record.refined >= record.results,
+            "results come from refinement"
+        );
+        if let (Some(best), Some(worst)) = (record.best, record.worst) {
+            assert!(best <= worst);
+        }
+        let stages = record.stages();
+        assert_eq!(stages.len(), STAGE_ORDER.len());
+        for (stage, expected) in stages.iter().zip(STAGE_ORDER) {
+            assert_eq!(stage.name, expected, "cascade stages in order");
+            assert!(stage.evaluated >= stage.pruned);
+        }
+        // The funnel telescopes: a candidate reaches stage i+1 only by
+        // surviving stage i.
+        for pair in stages.windows(2) {
+            assert!(pair[1].evaluated <= pair[0].evaluated - pair[0].pruned);
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), records.len(), "sequence ids are unique");
+
+    // Aggregate funnel totals across records equal the per-query
+    // SearchStats the batch returned (order-independent comparison).
+    for (index, expected_stage) in STAGE_ORDER.iter().enumerate() {
+        let recorded: u64 = records.iter().map(|r| r.stages()[index].evaluated).sum();
+        let stats: u64 = outcomes
+            .iter()
+            .map(|(_, s)| s.stages[index].evaluated as u64)
+            .sum();
+        assert_eq!(recorded, stats, "{expected_stage} evaluated totals");
+    }
+    let recorded_refined: u64 = records.iter().map(|r| r.refined).sum();
+    let stats_refined: u64 = outcomes.iter().map(|(_, s)| s.refined as u64).sum();
+    assert_eq!(recorded_refined, stats_refined);
+
+    // --- phase B: overflow the ring → bounded occupancy, total intact ---
+    let capacity = recorder.capacity();
+    let overflow = capacity + 200;
+    let total_before = recorder.recorded_total();
+    let queries: Vec<&Tree> = (0..overflow)
+        .map(|i| forest.tree(TreeId((i % forest.len()) as u32)))
+        .collect();
+    engine.knn_batch_threads(&queries, k, 8);
+    assert_eq!(
+        recorder.recorded_total() - total_before,
+        overflow as u64,
+        "overwritten records still count toward the total"
+    );
+    assert_eq!(recorder.len(), capacity, "ring occupancy is capped");
+    let snapshot = treesim_obs::metrics::snapshot();
+    assert!(
+        snapshot.counter("recorder.overwritten").unwrap_or(0) >= 200,
+        "overflow shows up as overwritten records"
+    );
+}

@@ -1,0 +1,398 @@
+//! `xtask bench-compare`: regression gate over two `BENCH_cascade.json`
+//! reports (schema `treesim-bench-cascade/v1`).
+//!
+//! Compares a committed baseline against a freshly generated report and
+//! fails (nonzero exit) when any *work* metric regressed by more than the
+//! threshold (default 25 %):
+//!
+//! * per-stage funnel `evaluated` counts, normalized per query — the
+//!   deterministic core of the cascade's effectiveness;
+//! * `engine.*.refined` / `dynamic.*.refined` counters per query — false
+//!   positives that survived to Zhang–Shasha;
+//! * mean microseconds of every `*.us` latency histogram present in both
+//!   reports — wall-clock, hence noisy: CI runs this step as
+//!   informational (`continue-on-error`), the funnel counters are the
+//!   hard gate.
+//!
+//! "Bigger is worse" holds for everything compared; prune counts are
+//! deliberately skipped (pruning *more* is an improvement, and pruning
+//! less already surfaces as the next stage's `evaluated` increase).
+
+use treesim_obs::json::Json;
+
+/// Maximum tolerated relative increase, in percent.
+pub const DEFAULT_THRESHOLD_PERCENT: f64 = 25.0;
+
+/// One compared quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// What was compared (e.g. `funnel.propt.evaluated/query`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// New value.
+    pub new: f64,
+    /// Relative change in percent (positive = regression direction).
+    pub change_percent: f64,
+    /// Whether the change exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Every quantity compared, in report order.
+    pub deltas: Vec<Delta>,
+    /// Quantities present in only one report (informational).
+    pub skipped: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether no compared quantity regressed past the threshold.
+    pub fn clean(&self) -> bool {
+        self.deltas.iter().all(|d| !d.regressed)
+    }
+}
+
+fn get_u64(json: &Json, path: &[&str]) -> Option<u64> {
+    let mut node = json;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_u64()
+}
+
+fn query_count(report: &Json) -> Result<f64, String> {
+    let count = get_u64(report, &["scale", "query_count"])
+        .ok_or("report has no scale.query_count — not a treesim-bench-cascade/v1 report?")?;
+    if count == 0 {
+        return Err("scale.query_count is 0".into());
+    }
+    Ok(count as f64)
+}
+
+/// Funnel rows as `(stage, evaluated)` pairs.
+fn funnel_evaluated(report: &Json) -> Vec<(String, u64)> {
+    report
+        .get("funnel")
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| {
+                    let stage = row.get("stage")?.as_str()?.to_owned();
+                    let evaluated = row.get("evaluated")?.as_u64()?;
+                    Some((stage, evaluated))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// `<name> → value` for every `*.refined` counter in the embedded
+/// metrics snapshot.
+fn refined_counters(report: &Json) -> Vec<(String, u64)> {
+    report
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| {
+                    let name = row.get("name")?.as_str()?;
+                    if !name.ends_with(".refined") {
+                        return None;
+                    }
+                    Some((name.to_owned(), row.get("value")?.as_u64()?))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// `<name> → mean µs` for every `*.us` histogram with samples.
+fn latency_means(report: &Json) -> Vec<(String, f64)> {
+    report
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| {
+                    let name = row.get("name")?.as_str()?;
+                    if !name.ends_with(".us") {
+                        return None;
+                    }
+                    let count = row.get("count")?.as_u64()?;
+                    if count == 0 {
+                        return None;
+                    }
+                    let sum = row.get("sum")?.as_u64()?;
+                    Some((name.to_owned(), sum as f64 / count as f64))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn delta(metric: String, baseline: f64, new: f64, threshold_percent: f64) -> Delta {
+    let change_percent = if baseline > 0.0 {
+        (new - baseline) / baseline * 100.0
+    } else if new > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    Delta {
+        metric,
+        baseline,
+        new,
+        change_percent,
+        regressed: change_percent > threshold_percent,
+    }
+}
+
+/// Pairs two `(name, value)` lists by name, recording one-sided names in
+/// `skipped`.
+fn paired(
+    baseline: Vec<(String, f64)>,
+    new: Vec<(String, f64)>,
+    skipped: &mut Vec<String>,
+) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for (name, b) in &baseline {
+        match new.iter().find(|(n, _)| n == name) {
+            Some((_, v)) => out.push((name.clone(), *b, *v)),
+            None => skipped.push(format!("{name} (baseline only)")),
+        }
+    }
+    for (name, _) in &new {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            skipped.push(format!("{name} (new only)"));
+        }
+    }
+    out
+}
+
+/// Compares two parsed reports.
+pub fn compare(baseline: &Json, new: &Json, threshold_percent: f64) -> Result<Comparison, String> {
+    for (label, report) in [("baseline", baseline), ("new", new)] {
+        match report.get("schema").and_then(Json::as_str) {
+            Some("treesim-bench-cascade/v1") => {}
+            Some(other) => return Err(format!("{label}: unsupported schema {other:?}")),
+            None => return Err(format!("{label}: missing schema field")),
+        }
+    }
+    let base_queries = query_count(baseline)?;
+    let new_queries = query_count(new)?;
+    let mut skipped = Vec::new();
+    let mut deltas = Vec::new();
+
+    // Funnel evaluated counts, per query (scale-independent).
+    let base_funnel: Vec<(String, f64)> = funnel_evaluated(baseline)
+        .into_iter()
+        .map(|(s, v)| (s, v as f64 / base_queries))
+        .collect();
+    let new_funnel: Vec<(String, f64)> = funnel_evaluated(new)
+        .into_iter()
+        .map(|(s, v)| (s, v as f64 / new_queries))
+        .collect();
+    for (stage, b, n) in paired(base_funnel, new_funnel, &mut skipped) {
+        deltas.push(delta(
+            format!("funnel.{stage}.evaluated/query"),
+            b,
+            n,
+            threshold_percent,
+        ));
+    }
+
+    // Refinement volume per query.
+    let base_refined: Vec<(String, f64)> = refined_counters(baseline)
+        .into_iter()
+        .map(|(s, v)| (s, v as f64 / base_queries))
+        .collect();
+    let new_refined: Vec<(String, f64)> = refined_counters(new)
+        .into_iter()
+        .map(|(s, v)| (s, v as f64 / new_queries))
+        .collect();
+    for (name, b, n) in paired(base_refined, new_refined, &mut skipped) {
+        deltas.push(delta(format!("{name}/query"), b, n, threshold_percent));
+    }
+
+    // Latency histogram means (already per-sample, no normalization).
+    for (name, b, n) in paired(latency_means(baseline), latency_means(new), &mut skipped) {
+        deltas.push(delta(format!("{name} mean"), b, n, threshold_percent));
+    }
+
+    if deltas.is_empty() {
+        return Err("nothing comparable between the two reports".into());
+    }
+    Ok(Comparison { deltas, skipped })
+}
+
+/// CLI entry: loads both files, compares, prints a table. Returns
+/// `Ok(true)` when clean.
+pub fn run(baseline_path: &str, new_path: &str, threshold_percent: f64) -> Result<bool, String> {
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        treesim_obs::parse_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let comparison = compare(&load(baseline_path)?, &load(new_path)?, threshold_percent)?;
+    println!("bench-compare: {baseline_path} → {new_path} (threshold +{threshold_percent}%)");
+    for d in &comparison.deltas {
+        let marker = if d.regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "  {:9}  {:<40} {:>12.2} → {:>12.2}  ({:+.1}%)",
+            marker, d.metric, d.baseline, d.new, d.change_percent
+        );
+    }
+    for s in &comparison.skipped {
+        println!("  skipped    {s}");
+    }
+    let regressions = comparison.deltas.iter().filter(|d| d.regressed).count();
+    if regressions == 0 {
+        println!(
+            "bench-compare: clean ({} metrics compared)",
+            comparison.deltas.len()
+        );
+    } else {
+        println!(
+            "bench-compare: {regressions} regression(s) past +{threshold_percent}% — \
+             investigate or regenerate the baseline if the change is intended"
+        );
+    }
+    Ok(comparison.clean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(queries: u64, propt_evaluated: u64, refined: u64, zs_mean: u64) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str("treesim-bench-cascade/v1".to_owned())),
+            (
+                "scale",
+                Json::obj(vec![
+                    ("dataset_size", Json::U64(60)),
+                    ("query_count", Json::U64(queries)),
+                ]),
+            ),
+            (
+                "funnel",
+                Json::Arr(vec![
+                    Json::obj(vec![
+                        ("stage", Json::Str("size".to_owned())),
+                        ("evaluated", Json::U64(queries * 60)),
+                        ("pruned", Json::U64(queries * 40)),
+                    ]),
+                    Json::obj(vec![
+                        ("stage", Json::Str("propt".to_owned())),
+                        ("evaluated", Json::U64(propt_evaluated)),
+                        ("pruned", Json::U64(2)),
+                    ]),
+                ]),
+            ),
+            (
+                "metrics",
+                Json::obj(vec![
+                    (
+                        "counters",
+                        Json::Arr(vec![Json::obj(vec![
+                            ("name", Json::Str("engine.knn.refined".to_owned())),
+                            ("value", Json::U64(refined)),
+                        ])]),
+                    ),
+                    ("gauges", Json::Arr(vec![])),
+                    (
+                        "histograms",
+                        Json::Arr(vec![Json::obj(vec![
+                            ("name", Json::Str("refine.zs.us".to_owned())),
+                            ("count", Json::U64(10)),
+                            ("sum", Json::U64(zs_mean * 10)),
+                        ])]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let a = report(6, 120, 30, 50);
+        let comparison = compare(&a, &a, DEFAULT_THRESHOLD_PERCENT).unwrap();
+        assert!(comparison.clean());
+        assert!(comparison.skipped.is_empty());
+        // size + propt funnel rows, one refined counter, one latency mean.
+        assert_eq!(comparison.deltas.len(), 4);
+        assert!(comparison.deltas.iter().all(|d| d.change_percent == 0.0));
+    }
+
+    #[test]
+    fn per_query_normalization_absorbs_scale_changes() {
+        // Twice the queries, twice the totals: no regression.
+        let comparison = compare(
+            &report(6, 120, 30, 50),
+            &report(12, 240, 60, 50),
+            DEFAULT_THRESHOLD_PERCENT,
+        )
+        .unwrap();
+        assert!(comparison.clean(), "{:?}", comparison.deltas);
+    }
+
+    #[test]
+    fn funnel_blowup_regresses() {
+        let comparison = compare(
+            &report(6, 120, 30, 50),
+            &report(6, 160, 30, 50), // +33% propt evaluations
+            DEFAULT_THRESHOLD_PERCENT,
+        )
+        .unwrap();
+        assert!(!comparison.clean());
+        let bad: Vec<&Delta> = comparison.deltas.iter().filter(|d| d.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "funnel.propt.evaluated/query");
+    }
+
+    #[test]
+    fn latency_regression_and_threshold_override() {
+        let base = report(6, 120, 30, 50);
+        let slow = report(6, 120, 30, 70); // +40% mean refine latency
+        assert!(!compare(&base, &slow, 25.0).unwrap().clean());
+        assert!(compare(&base, &slow, 50.0).unwrap().clean());
+        // Improvements never regress.
+        assert!(compare(&slow, &base, 25.0).unwrap().clean());
+    }
+
+    #[test]
+    fn schema_and_scale_are_validated() {
+        let bad = Json::obj(vec![("schema", Json::Str("other/v9".to_owned()))]);
+        assert!(compare(&bad, &bad, 25.0).is_err());
+        let no_schema = Json::obj(vec![]);
+        assert!(compare(&no_schema, &no_schema, 25.0).is_err());
+    }
+
+    #[test]
+    fn one_sided_metrics_are_skipped_not_compared() {
+        let mut b = report(6, 120, 30, 50);
+        // Drop the baseline histograms so refine.zs.us exists on one side.
+        if let Json::Obj(entries) = &mut b {
+            for (key, value) in entries.iter_mut() {
+                if key == "metrics" {
+                    if let Json::Obj(metric_entries) = value {
+                        for (metric_key, metric_value) in metric_entries.iter_mut() {
+                            if metric_key == "histograms" {
+                                *metric_value = Json::Arr(Vec::new());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let comparison = compare(&b, &report(6, 120, 30, 50), 25.0).unwrap();
+        assert!(comparison.clean());
+        assert!(comparison
+            .skipped
+            .iter()
+            .any(|s| s.contains("refine.zs.us")));
+    }
+}

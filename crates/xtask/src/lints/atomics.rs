@@ -31,6 +31,11 @@ const OBS_ALLOWED: &[(&str, &[&str])] = &[
     // Acquire hot-path load, so observing `true` implies the sink slot
     // write is visible (see DESIGN.md §9 for the interleaving argument).
     ("crates/obs/src/span.rs", &["Release", "Acquire"]),
+    // The flight recorder's only atomic is the sequence-id counter:
+    // fetch_add is an atomic RMW, so Relaxed already guarantees unique
+    // monotone ids, and no other memory is published through the counter
+    // (record contents travel under the shard mutex).
+    ("crates/obs/src/recorder.rs", &["Relaxed"]),
 ];
 
 /// Atomic ordering names (as written after `Ordering::`).

@@ -16,10 +16,18 @@
 //! a member, and every member must be returned by some `stage_name`
 //! implementation — so the table, the filters and the metric names cannot
 //! drift apart without a finding.
+//!
+//! The `/metrics` exporter renders registry names through
+//! `naming::prometheus_name` (dots → underscores), which is not injective
+//! when segments themselves contain underscores: `engine.knn_filter.us`
+//! and `engine.knn.filter.us` would silently merge into one exposition
+//! series. This lint therefore also checks **sanitized uniqueness**:
+//! every pair of distinct concrete name literals must stay distinct after
+//! sanitization — the guarantee `naming::prometheus_name`'s docs promise.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use treesim_obs::naming::{validate_metric_template, CASCADE_STAGES};
+use treesim_obs::naming::{prometheus_name, validate_metric_template, CASCADE_STAGES};
 
 use super::Lint;
 use crate::lex::TokenKind;
@@ -42,6 +50,9 @@ pub struct MetricNames {
     stages_returned: BTreeSet<String>,
     /// Where the first `fn stage_name` was seen (anchor for finish()).
     stage_fn_site: Option<(String, u32, u32)>,
+    /// Prometheus-sanitized name → the first concrete literal (and its
+    /// site) that produced it, for cross-file collision detection.
+    sanitized_seen: BTreeMap<String, (String, String, u32, u32)>,
 }
 
 /// Crates whose sources emit metrics (obs itself is the registry and is
@@ -94,15 +105,39 @@ impl Lint for MetricNames {
                     continue;
                 }
                 if let Some(name_tok) = first_str_in_first_arg(file, open) {
-                    if let Err(e) = validate_metric_template(&file.tokens[name_tok].value) {
+                    let name = file.tokens[name_tok].value.clone();
+                    if let Err(e) = validate_metric_template(&name) {
                         findings.extend(file.finding(
                             self.id(),
                             &file.tokens[name_tok],
-                            format!(
-                                "metric name {:?} violates the naming contract: {e}",
-                                file.tokens[name_tok].value
-                            ),
+                            format!("metric name {name:?} violates the naming contract: {e}"),
                         ));
+                    } else if !name.contains('{') {
+                        // Concrete literal: its Prometheus-sanitized form
+                        // (dots → underscores) must stay unique, or two
+                        // registry series merge on /metrics.
+                        let sanitized = prometheus_name(&name);
+                        let token = &file.tokens[name_tok];
+                        match self.sanitized_seen.get(&sanitized) {
+                            Some((other, path, line, _)) if *other != name => {
+                                findings.extend(file.finding(
+                                    self.id(),
+                                    token,
+                                    format!(
+                                        "metric names {name:?} and {other:?} ({path}:{line}) \
+                                         both sanitize to Prometheus name {sanitized:?} — the \
+                                         /metrics exporter would merge them; rename one"
+                                    ),
+                                ));
+                            }
+                            Some(_) => {}
+                            None => {
+                                self.sanitized_seen.insert(
+                                    sanitized,
+                                    (name, file.path.clone(), token.line, token.col),
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -350,6 +385,31 @@ mod tests {
             "fn f(name: &str) { counter(name).inc(); }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn sanitized_collisions_are_flagged_across_files() {
+        let mut lint = MetricNames::default();
+        let a = lint.check_file(&SourceFile::parse(
+            "crates/search/src/engine.rs",
+            r#"fn f() { treesim_obs::counter!("engine.knn.queries").inc(); }"#,
+        ));
+        assert!(a.is_empty(), "{a:?}");
+        // The same literal at another site is the same series — fine.
+        let b = lint.check_file(&SourceFile::parse(
+            "crates/cli/src/commands.rs",
+            r#"fn g() { treesim_obs::counter!("engine.knn.queries").inc(); }"#,
+        ));
+        assert!(b.is_empty(), "{b:?}");
+        // A *different* dotted name with the same Prometheus form merges
+        // two series on /metrics — flagged, pointing at the first site.
+        let c = lint.check_file(&SourceFile::parse(
+            "crates/bench/src/report.rs",
+            r#"fn h() { treesim_obs::counter!("engine.knn_queries").inc(); }"#,
+        ));
+        assert_eq!(c.len(), 1, "{c:?}");
+        assert!(c[0].message.contains("engine_knn_queries"));
+        assert!(c[0].message.contains("crates/search/src/engine.rs"));
     }
 
     #[test]

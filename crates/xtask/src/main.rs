@@ -1,17 +1,24 @@
 //! `xtask` — first-party workspace tooling.
 //!
-//! The only subcommand today is `analyze`: a static analyzer over the
-//! workspace's own sources that enforces the repo's written invariants
-//! (panic-free library crates, audited atomics, the metric-name contract,
-//! doc coverage on public API). It is a required CI step; run it locally
-//! with:
+//! Subcommands:
+//!
+//! * `analyze` — a static analyzer over the workspace's own sources that
+//!   enforces the repo's written invariants (panic-free library crates,
+//!   audited atomics, the metric-name contract incl. Prometheus-sanitized
+//!   uniqueness, doc coverage on public API). Required CI step.
+//! * `bench-compare <baseline.json> <new.json> [--threshold N]` — perf
+//!   regression gate over two `BENCH_cascade.json` reports: fails when a
+//!   funnel/refinement/latency metric regressed by more than N % (default
+//!   25). Informational CI step (wall-clock latencies are noisy).
 //!
 //! ```text
 //! cargo run -p xtask -- analyze
+//! cargo run -p xtask -- bench-compare BENCH_cascade.json target/BENCH_new.json
 //! ```
 //!
 //! See README.md § "Analyzer" for the lint catalogue and escape hatches.
 
+mod bench_compare;
 mod lex;
 mod lint;
 mod lints;
@@ -33,6 +40,9 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if command == "bench-compare" {
+        return bench_compare_main(args);
+    }
     if command != "analyze" {
         eprintln!("unknown subcommand `{command}`\n{USAGE}");
         return ExitCode::FAILURE;
@@ -71,7 +81,43 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo run -p xtask -- analyze [--json] [--root <path>]";
+const USAGE: &str = "usage: cargo run -p xtask -- analyze [--json] [--root <path>]
+       cargo run -p xtask -- bench-compare <baseline.json> <new.json> [--threshold <percent>]";
+
+/// Parses `bench-compare` arguments and runs the comparison.
+fn bench_compare_main(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = bench_compare::DEFAULT_THRESHOLD_PERCENT;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(value) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--threshold requires a number (percent)\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                threshold = value;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let [baseline, new] = positional.as_slice() else {
+        eprintln!("bench-compare needs exactly two report paths\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match bench_compare::run(baseline, new, threshold) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("xtask bench-compare: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 /// The workspace root, derived from this crate's manifest directory
 /// (`crates/xtask` → two levels up).
