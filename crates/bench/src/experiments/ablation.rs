@@ -11,11 +11,14 @@
 
 use treesim_datagen::normal::Normal;
 use treesim_datagen::synthetic::{generate, SyntheticConfig};
-use treesim_search::{BiBranchFilter, BiBranchMode, HistogramFilter, MaxFilter, SearchEngine};
+use treesim_search::{
+    BiBranchFilter, BiBranchMode, HistogramFilter, MaxFilter, PostingsFilter, SearchEngine,
+    ShardedEngine, ShardedForest,
+};
 use treesim_tree::Forest;
 
 use crate::experiments::{estimate_range_radius, sample_queries};
-use crate::runner::{run_workload, QueryMode};
+use crate::runner::{run_workload, MethodSummary, QueryMode};
 use crate::scale::Scale;
 use crate::table::{f2, ms, Table};
 
@@ -262,6 +265,155 @@ pub fn cascade_ablation(scale: &Scale) -> Table {
     table
 }
 
+/// One table row per cascade stage of `summary`.
+fn push_funnel_rows(table: &mut Table, engine: &str, workload: &str, summary: &MethodSummary) {
+    for stage in &summary.stages {
+        table.push_row(vec![
+            engine.to_owned(),
+            workload.to_owned(),
+            stage.name.to_owned(),
+            f2(stage.avg_evaluated),
+            f2(stage.avg_pruned),
+            ms(stage.avg_time),
+        ]);
+    }
+}
+
+/// Ablation E: the inverted-list stage −1 candidate generator, and shard
+/// scaling.
+///
+/// Side-by-side funnels of the plain positional cascade (size → bdist →
+/// propt) and the postings-fronted cascade (postings → size → bdist →
+/// propt) on the same workload. Because the stage −1 bound equals the
+/// exact BDist bound and runs *first*, every candidate it prunes never
+/// reaches the `bdist` merge: `bdist` avg bounds must not exceed the
+/// plain cascade's, with identical results. The shard rows then answer
+/// the same k-NN workload through [`ShardedEngine`] at S ∈ {1, 2, 4},
+/// reporting wall-clock for the whole query set (per-query work is
+/// identical; only wall-clock drops with more cores).
+pub fn postings_ablation(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "ablation-postings",
+        "Ablation: inverted-list stage -1 (postings) and shard scaling",
+        &[
+            "engine",
+            "workload",
+            "stage",
+            "avg bounds",
+            "avg pruned",
+            "ms",
+        ],
+    );
+    let forest = synthetic(scale);
+    let query_ids = sample_queries(&forest, scale, 0x9057);
+    let (_, tau) = estimate_range_radius(&forest, scale, 0x9057);
+    let k = scale.knn_k();
+
+    let bibranch_engine = SearchEngine::new(
+        &forest,
+        BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+    );
+    let postings_engine = SearchEngine::new(&forest, PostingsFilter::build(&forest, 2));
+    for (workload, mode) in [
+        (format!("knn k={k}"), QueryMode::Knn(k)),
+        (format!("range τ={tau}"), QueryMode::Range(tau)),
+    ] {
+        let plain = run_workload(&bibranch_engine, &query_ids, mode);
+        let fronted = run_workload(&postings_engine, &query_ids, mode);
+        push_funnel_rows(&mut table, "BiBranch", &workload, &plain);
+        push_funnel_rows(&mut table, "Postings", &workload, &fronted);
+    }
+
+    // Shard scaling: identical answers, wall-clock split across workers.
+    let queries: Vec<&treesim_tree::Tree> = query_ids.iter().map(|&id| forest.tree(id)).collect();
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|q| postings_engine.knn(q, k).0)
+        .collect();
+    for shards in [1usize, 2, 4] {
+        let sharded_forest = ShardedForest::split(&forest, shards);
+        let sharded = ShardedEngine::new(&sharded_forest, |s| PostingsFilter::build(s, 2));
+        let start = std::time::Instant::now();
+        let answers: Vec<_> = queries.iter().map(|q| sharded.knn(q, k).0).collect();
+        let wall = start.elapsed();
+        assert_eq!(answers, reference, "sharded results diverged at S={shards}");
+        table.push_row(vec![
+            format!("sharded ×{shards}"),
+            format!("knn k={k}"),
+            "all".to_owned(),
+            "-".to_owned(),
+            "-".to_owned(),
+            ms(wall),
+        ]);
+    }
+
+    table.push_note(format!(
+        "dataset = {} trees; stage -1 prunes before the ⌈BDist/5⌉ merge, so the Postings engine's bdist avg bounds must not exceed BiBranch's; sharded rows are total wall-clock for {} k-NN queries, results identical at every S ({} core(s) available)",
+        forest.len(),
+        queries.len(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    table
+}
+
+/// Label-skewed synthetic data: many labels, aggressive decay mutation, so
+/// per-tree label histograms are discriminative (the regime where the
+/// histogram bound can pay for itself).
+fn label_skewed(scale: &Scale) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(3.0, 0.8),
+        size: Normal::new(30.0, 5.0),
+        label_count: 64,
+        decay: 0.4,
+        seed_count: 6,
+        tree_count: scale.dataset_size,
+        rng_seed: scale.rng_seed ^ 0x5eed,
+    })
+}
+
+/// Ablation F: the label-histogram bound as a built-in cascade stage.
+///
+/// [`PostingsFilter::with_histogram`] inserts a `histo` stage between
+/// `size` and `bdist`. On label-skewed data this measures how many
+/// candidates the O(bins) histogram intersection removes before the more
+/// expensive `bdist` merge runs — the evidence for (or against) wiring it
+/// into the default cascade (recorded in EXPERIMENTS.md).
+pub fn histo_stage_ablation(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "ablation-histo",
+        "Ablation: label-histogram stage on label-skewed data",
+        &[
+            "engine",
+            "workload",
+            "stage",
+            "avg bounds",
+            "avg pruned",
+            "ms",
+        ],
+    );
+    let forest = label_skewed(scale);
+    let query_ids = sample_queries(&forest, scale, 0x815);
+    let (_, tau) = estimate_range_radius(&forest, scale, 0x815);
+    let k = scale.knn_k();
+
+    let plain_engine = SearchEngine::new(&forest, PostingsFilter::build(&forest, 2));
+    let histo_engine = SearchEngine::new(&forest, PostingsFilter::with_histogram(&forest, 2));
+    for (workload, mode) in [
+        (format!("knn k={k}"), QueryMode::Knn(k)),
+        (format!("range τ={tau}"), QueryMode::Range(tau)),
+    ] {
+        let plain = run_workload(&plain_engine, &query_ids, mode);
+        let with_histo = run_workload(&histo_engine, &query_ids, mode);
+        push_funnel_rows(&mut table, "Postings", &workload, &plain);
+        push_funnel_rows(&mut table, "Postings+histo", &workload, &with_histo);
+    }
+    table.push_note(format!(
+        "dataset = {} trees (L64 D0.4 — label-skewed); the histo stage sits between size and bdist: its avg pruned column is the work the bdist merge is spared; verdict recorded in EXPERIMENTS.md",
+        forest.len()
+    ));
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +444,70 @@ mod tests {
         let stacked: f64 = table.rows[2][1].parse().unwrap();
         assert!(positional <= plain + 1e-9);
         assert!(stacked <= positional + 1e-9);
+    }
+
+    #[test]
+    fn postings_ablation_demonstrates_bdist_savings() {
+        let table = postings_ablation(&Scale::smoke());
+        // 2 workloads × (3 BiBranch stages + 4 Postings stages) + 3 shard rows.
+        assert_eq!(table.rows.len(), 17);
+        // Range workload (deterministic sweep): the stage −1 generator
+        // prunes before the ⌈BDist/5⌉ merge, so the Postings engine
+        // evaluates strictly fewer bdist bounds than the plain cascade.
+        let bdist = |engine: &str, workload_prefix: &str| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0] == engine && r[1].starts_with(workload_prefix) && r[2] == "bdist")
+                .expect("bdist row present")[3]
+                .parse()
+                .unwrap()
+        };
+        let plain = bdist("BiBranch", "range");
+        let fronted = bdist("Postings", "range");
+        assert!(
+            fronted < plain,
+            "postings saved no bdist work: {fronted} vs {plain}"
+        );
+        // The shard rows cover S = 1, 2, 4 (result equality is asserted
+        // inside postings_ablation itself).
+        let shard_rows = table
+            .rows
+            .iter()
+            .filter(|r| r[0].starts_with("sharded"))
+            .count();
+        assert_eq!(shard_rows, 3);
+    }
+
+    #[test]
+    fn histo_ablation_measures_the_extra_stage() {
+        let table = histo_stage_ablation(&Scale::smoke());
+        // 2 workloads × (4 + 5 stages).
+        assert_eq!(table.rows.len(), 18);
+        let stages = |engine: &str, workload_prefix: &str| -> Vec<String> {
+            table
+                .rows
+                .iter()
+                .filter(|r| r[0] == engine && r[1].starts_with(workload_prefix))
+                .map(|r| r[2].clone())
+                .collect()
+        };
+        assert_eq!(
+            stages("Postings+histo", "range"),
+            vec!["postings", "size", "histo", "bdist", "propt"]
+        );
+        // On the deterministic range sweep the histo stage can only spare
+        // bdist work, never add to it.
+        let bdist = |engine: &str| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0] == engine && r[1].starts_with("range") && r[2] == "bdist")
+                .expect("bdist row present")[3]
+                .parse()
+                .unwrap()
+        };
+        assert!(bdist("Postings+histo") <= bdist("Postings") + 1e-9);
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub fn run_figure(id: &str, scale: &Scale) -> Option<Table> {
         "ablation-bound" => experiments::ablation::bound_mode_ablation(scale),
         "ablation-scale" => experiments::ablation::scalability_ablation(scale),
         "ablation-cascade" => experiments::ablation::cascade_ablation(scale),
+        "ablation-postings" => experiments::ablation::postings_ablation(scale),
+        "ablation-histo" => experiments::ablation::histo_stage_ablation(scale),
         _ => return None,
     };
     Some(table)
@@ -53,11 +55,13 @@ pub const ALL_FIGURES: [&str; 9] = [
 ];
 
 /// Extra ablation experiments beyond the paper (design-choice studies).
-pub const ABLATIONS: [&str; 4] = [
+pub const ABLATIONS: [&str; 6] = [
     "ablation-q",
     "ablation-bound",
     "ablation-scale",
     "ablation-cascade",
+    "ablation-postings",
+    "ablation-histo",
 ];
 
 #[cfg(test)]

@@ -36,8 +36,10 @@ use crate::scale::Scale;
 pub const SCHEMA: &str = "treesim-bench-cascade/v1";
 
 /// Every cascade stage name any built-in filter can report, coarsest
-/// first — the order the `funnel` array uses.
-pub const CASCADE_STAGES: [&str; 4] = ["size", "bdist", "propt", "histo"];
+/// first — the order the `funnel` array uses. `postings` leads: the
+/// inverted-list stage −1 generator runs before every per-candidate
+/// bound.
+pub const CASCADE_STAGES: [&str; 5] = ["postings", "size", "bdist", "propt", "histo"];
 
 /// Builds the report from the *current* global metrics registry and
 /// flight recorder.

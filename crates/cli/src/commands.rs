@@ -5,7 +5,8 @@ use treesim_datagen::normal::Normal;
 use treesim_datagen::synthetic::{self, SyntheticConfig};
 use treesim_edit::edit_distance;
 use treesim_search::{
-    BiBranchFilter, BiBranchMode, HistogramFilter, Neighbor, NoFilter, SearchEngine, SearchStats,
+    BiBranchFilter, BiBranchMode, HistogramFilter, Neighbor, NoFilter, PostingsFilter,
+    SearchEngine, SearchStats, ShardedEngine, ShardedForest,
 };
 use treesim_tree::{Forest, Tree};
 
@@ -23,14 +24,21 @@ USAGE:
   treesim index  FILE --out IDX.tsi [--level 2]   (persist the inverted file index)
   treesim stats  FILE
   treesim dist   TREE1 TREE2            (bracket notation, shared labels)
-  treesim knn    FILE --query TREE [--k 5]   [--filter bibranch|plain|histo|none] [--level 2] [--index IDX.tsi]
-  treesim range  FILE --query TREE [--tau 3] [--filter bibranch|plain|histo|none] [--level 2] [--index IDX.tsi]
+  treesim knn    FILE --query TREE [--k 5]   [--filter bibranch|postings|plain|histo|none]
+                        [--level 2] [--index IDX.tsi] [--shards 1]
+  treesim range  FILE --query TREE [--tau 3] [--filter bibranch|postings|plain|histo|none]
+                        [--level 2] [--index IDX.tsi] [--shards 1]
   treesim join   FILE [--tau 2] [--limit 20]  (approximate self-join / dedup)
   treesim explain FILE --query TREE [--k 5 | --tau T] [--filter ...] [--level 2]
-                        [--limit 40]   (per-candidate cascade EXPLAIN table)
+                        [--shards 1] [--limit 40]   (per-candidate cascade EXPLAIN table)
   treesim serve-metrics [FILE] [--addr 127.0.0.1:9891] [--warm 25] [--k 5]
                         (HTTP exporter: /metrics, /snapshot.json, /recorder.json)
   treesim help
+
+Filters: `bibranch` is the paper's positional cascade; `postings` fronts it
+with the inverted-list stage -1 candidate generator. `--shards S` (S > 1)
+partitions the dataset and answers on every shard concurrently — results
+are identical, the printed funnel is the per-shard sum.
 
 Observability (any command):
   --trace pretty|json     stream span/event traces to stderr
@@ -267,30 +275,77 @@ fn search(args: &Args, kind: SearchKind) -> Result<(), String> {
         }
         None => None,
     };
-    let (results, stats) = match filter_name {
-        "bibranch" => {
-            let filter = match &prebuilt_index {
-                Some(index) => BiBranchFilter::from_index(index, BiBranchMode::Positional),
-                None => BiBranchFilter::build(&forest, level, BiBranchMode::Positional),
-            };
-            run(&forest, filter, &query, args, &kind)?
+    let shards = args.get_or("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be ≥ 1".into());
+    }
+    let (results, stats) = if shards > 1 {
+        if prebuilt_index.is_some() {
+            return Err(
+                "--index cannot be combined with --shards (each shard builds its own in-memory index)"
+                    .into(),
+            );
         }
-        "plain" => {
-            let filter = match &prebuilt_index {
-                Some(index) => BiBranchFilter::from_index(index, BiBranchMode::Plain),
-                None => BiBranchFilter::build(&forest, level, BiBranchMode::Plain),
-            };
-            run(&forest, filter, &query, args, &kind)?
+        let sharded = ShardedForest::split(&forest, shards);
+        match filter_name {
+            "bibranch" => run_sharded(
+                &sharded,
+                |shard| BiBranchFilter::build(shard, level, BiBranchMode::Positional),
+                &query,
+                args,
+                &kind,
+            )?,
+            "plain" => run_sharded(
+                &sharded,
+                |shard| BiBranchFilter::build(shard, level, BiBranchMode::Plain),
+                &query,
+                args,
+                &kind,
+            )?,
+            "postings" => run_sharded(
+                &sharded,
+                |shard| PostingsFilter::build(shard, level),
+                &query,
+                args,
+                &kind,
+            )?,
+            "histo" => run_sharded(&sharded, HistogramFilter::build, &query, args, &kind)?,
+            "none" => run_sharded(&sharded, NoFilter::build, &query, args, &kind)?,
+            other => return Err(format!("unknown filter {other:?}")),
         }
-        "histo" => run(
-            &forest,
-            HistogramFilter::build(&forest),
-            &query,
-            args,
-            &kind,
-        )?,
-        "none" => run(&forest, NoFilter::build(&forest), &query, args, &kind)?,
-        other => return Err(format!("unknown filter {other:?}")),
+    } else {
+        match filter_name {
+            "bibranch" => {
+                let filter = match &prebuilt_index {
+                    Some(index) => BiBranchFilter::from_index(index, BiBranchMode::Positional),
+                    None => BiBranchFilter::build(&forest, level, BiBranchMode::Positional),
+                };
+                run(&forest, filter, &query, args, &kind)?
+            }
+            "plain" => {
+                let filter = match &prebuilt_index {
+                    Some(index) => BiBranchFilter::from_index(index, BiBranchMode::Plain),
+                    None => BiBranchFilter::build(&forest, level, BiBranchMode::Plain),
+                };
+                run(&forest, filter, &query, args, &kind)?
+            }
+            "postings" => {
+                let filter = match &prebuilt_index {
+                    Some(index) => PostingsFilter::from_index(index.clone()),
+                    None => PostingsFilter::build(&forest, level),
+                };
+                run(&forest, filter, &query, args, &kind)?
+            }
+            "histo" => run(
+                &forest,
+                HistogramFilter::build(&forest),
+                &query,
+                args,
+                &kind,
+            )?,
+            "none" => run(&forest, NoFilter::build(&forest), &query, args, &kind)?,
+            other => return Err(format!("unknown filter {other:?}")),
+        }
     };
 
     for neighbor in &results {
@@ -322,6 +377,22 @@ fn run<F: treesim_search::Filter>(
     })
 }
 
+/// Like [`run`], but over a sharded forest: one engine per shard, the
+/// query answered on every shard concurrently and the heaps merged.
+fn run_sharded<F: treesim_search::Filter + Send + Sync>(
+    sharded: &ShardedForest,
+    build: impl Fn(&Forest) -> F + Sync,
+    query: &Tree,
+    args: &Args,
+    kind: &SearchKind,
+) -> Result<(Vec<Neighbor>, SearchStats), String> {
+    let engine = ShardedEngine::new(sharded, build);
+    Ok(match kind {
+        SearchKind::Knn => engine.knn(query, args.get_or("k", 5usize)?),
+        SearchKind::Range => engine.range(query, args.get_or("tau", 3u32)?),
+    })
+}
+
 /// `treesim explain`: replay one query with the recording observer and
 /// print the per-candidate cascade table. `--tau T` explains a range
 /// query; otherwise `--k` (default 5) explains a k-NN query.
@@ -335,22 +406,56 @@ fn explain(args: &Args) -> Result<(), String> {
         return Err("--level must be ≥ 2".into());
     }
     let limit = args.get_or("limit", 40usize)?;
-    let report = match filter_name {
-        "bibranch" => explain_with(
-            &forest,
-            BiBranchFilter::build(&forest, level, BiBranchMode::Positional),
-            &query,
-            args,
-        )?,
-        "plain" => explain_with(
-            &forest,
-            BiBranchFilter::build(&forest, level, BiBranchMode::Plain),
-            &query,
-            args,
-        )?,
-        "histo" => explain_with(&forest, HistogramFilter::build(&forest), &query, args)?,
-        "none" => explain_with(&forest, NoFilter::build(&forest), &query, args)?,
-        other => return Err(format!("unknown filter {other:?}")),
+    let shards = args.get_or("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be ≥ 1".into());
+    }
+    let report = if shards > 1 {
+        let sharded = ShardedForest::split(&forest, shards);
+        match filter_name {
+            "bibranch" => explain_sharded(
+                &sharded,
+                |shard| BiBranchFilter::build(shard, level, BiBranchMode::Positional),
+                &query,
+                args,
+            )?,
+            "plain" => explain_sharded(
+                &sharded,
+                |shard| BiBranchFilter::build(shard, level, BiBranchMode::Plain),
+                &query,
+                args,
+            )?,
+            "postings" => explain_sharded(
+                &sharded,
+                |shard| PostingsFilter::build(shard, level),
+                &query,
+                args,
+            )?,
+            "histo" => explain_sharded(&sharded, HistogramFilter::build, &query, args)?,
+            "none" => explain_sharded(&sharded, NoFilter::build, &query, args)?,
+            other => return Err(format!("unknown filter {other:?}")),
+        }
+    } else {
+        match filter_name {
+            "bibranch" => explain_with(
+                &forest,
+                BiBranchFilter::build(&forest, level, BiBranchMode::Positional),
+                &query,
+                args,
+            )?,
+            "plain" => explain_with(
+                &forest,
+                BiBranchFilter::build(&forest, level, BiBranchMode::Plain),
+                &query,
+                args,
+            )?,
+            "postings" => {
+                explain_with(&forest, PostingsFilter::build(&forest, level), &query, args)?
+            }
+            "histo" => explain_with(&forest, HistogramFilter::build(&forest), &query, args)?,
+            "none" => explain_with(&forest, NoFilter::build(&forest), &query, args)?,
+            other => return Err(format!("unknown filter {other:?}")),
+        }
     };
     print!("{}", report.render(limit));
     // The EXPLAIN contract: per-candidate verdicts telescope exactly to
@@ -373,6 +478,21 @@ fn explain_with<F: treesim_search::Filter>(
     args: &Args,
 ) -> Result<treesim_search::ExplainReport, String> {
     let engine = SearchEngine::new(forest, filter);
+    Ok(match args.get("tau") {
+        Some(_) => engine.explain_range(query, args.get_or("tau", 3u32)?),
+        None => engine.explain_knn(query, args.get_or("k", 5usize)?),
+    })
+}
+
+/// [`explain_with`] over a sharded forest: per-shard EXPLAIN observers,
+/// stitched into one globally-indexed report.
+fn explain_sharded<F: treesim_search::Filter + Send + Sync>(
+    sharded: &ShardedForest,
+    build: impl Fn(&Forest) -> F + Sync,
+    query: &Tree,
+    args: &Args,
+) -> Result<treesim_search::ExplainReport, String> {
+    let engine = ShardedEngine::new(sharded, build);
     Ok(match args.get("tau") {
         Some(_) => engine.explain_range(query, args.get_or("tau", 3u32)?),
         None => engine.explain_knn(query, args.get_or("k", 5usize)?),
@@ -663,6 +783,77 @@ mod tests {
             "definitely:not:an:addr"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn postings_filter_and_sharded_search() {
+        let dir = std::env::temp_dir().join("treesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("postings.trees");
+        std::fs::write(
+            &data,
+            "a(b c)\na(b d)\na(b(c) d)\nx(y z)\nq(r(s t))\na(b c e)\n",
+        )
+        .unwrap();
+        let data_str = data.to_str().unwrap();
+        // The postings cascade answers both query kinds, single and sharded.
+        dispatch(&argv(&[
+            "knn", data_str, "--query", "a(b c)", "--k", "3", "--filter", "postings",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "range", data_str, "--query", "a(b c)", "--tau", "2", "--filter", "postings",
+            "--shards", "3",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "knn", data_str, "--query", "a(b c)", "--k", "2", "--shards", "2",
+        ]))
+        .unwrap();
+        // Sharded EXPLAIN runs its consistency check inside dispatch.
+        dispatch(&argv(&[
+            "explain", data_str, "--query", "a(b c)", "--filter", "postings", "--shards", "3",
+        ]))
+        .unwrap();
+        // A prebuilt index drives the postings filter too.
+        let index = dir.join("postings.tsi");
+        dispatch(&argv(&[
+            "index",
+            data_str,
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "knn",
+            data_str,
+            "--query",
+            "a(b c)",
+            "--filter",
+            "postings",
+            "--index",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Invalid shard counts / flag combinations are rejected.
+        assert!(dispatch(&argv(&["knn", data_str, "--query", "a", "--shards", "0"])).is_err());
+        assert!(dispatch(&argv(&[
+            "knn",
+            data_str,
+            "--query",
+            "a",
+            "--shards",
+            "2",
+            "--index",
+            index.to_str().unwrap(),
+        ]))
+        .is_err());
+        assert!(dispatch(&argv(&[
+            "explain", data_str, "--query", "a", "--shards", "0"
+        ]))
+        .is_err());
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&index).ok();
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! construction (Algorithm 1) is a single pass over the dataset followed by
 //! a scan of the index; both are `O(Σ|Tᵢ|)` time and space.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use serde::{Deserialize, Serialize};
 use treesim_tree::{Forest, LabelId, TreeId};
 
@@ -14,6 +17,65 @@ use crate::matching::Pos;
 use crate::positional::PositionalVector;
 use crate::vector::BranchVector;
 use crate::vocab::{BranchId, BranchVocab};
+
+/// K-way merge of per-branch posting runs, accumulating per-tree shared
+/// branch mass `Σ_b min(count_q(b), count_t(b))`.
+///
+/// Each run is `(query_count, postings)` for one of the query's branches:
+/// `query_count` occurrences on the query side and an iterator of
+/// `(tree, count)` pairs **sorted by tree id** (the inverted-list order
+/// [`InvertedFileIndex`] maintains). The output is sorted by tree id and
+/// contains exactly the trees that share at least one branch with the
+/// query — trees sharing nothing never appear, which is what makes the
+/// postings candidate generator sub-linear on selective queries.
+///
+/// The `min` clamp makes the accumulated mass exactly the shared-mass term
+/// of the binary branch distance:
+/// `BDist(q,t) = |BRV(q)| + |BRV(t)| − 2·Σ_b min(count_q(b), count_t(b))`,
+/// so a caller holding the total masses recovers `BDist` itself (see
+/// DESIGN §10).
+pub fn merge_shared_mass<I>(runs: Vec<(u32, I)>) -> Vec<(TreeId, u64)>
+where
+    I: Iterator<Item = (TreeId, u32)>,
+{
+    // Cursor state per run: the pending (tree, count) head plus the rest.
+    let mut cursors: Vec<(u32, I)> = Vec::with_capacity(runs.len());
+    let mut heap: BinaryHeap<Reverse<(TreeId, usize)>> = BinaryHeap::with_capacity(runs.len());
+    let mut heads: Vec<Option<(TreeId, u32)>> = Vec::with_capacity(runs.len());
+    for (query_count, mut run) in runs {
+        let head = run.next();
+        let index = cursors.len();
+        cursors.push((query_count, run));
+        heads.push(head);
+        if let Some((tree, _)) = head {
+            heap.push(Reverse((tree, index)));
+        }
+    }
+    let mut out: Vec<(TreeId, u64)> = Vec::new();
+    while let Some(Reverse((tree, index))) = heap.pop() {
+        let Some((head_tree, count)) = heads.get(index).copied().flatten() else {
+            continue;
+        };
+        debug_assert_eq!(head_tree, tree, "heap key drifted from cursor head");
+        let Some((query_count, run)) = cursors.get_mut(index) else {
+            continue;
+        };
+        let shared = u64::from(count.min(*query_count));
+        match out.last_mut() {
+            Some((last, mass)) if *last == tree => *mass += shared,
+            _ => out.push((tree, shared)),
+        }
+        let next = run.next();
+        if let Some((next_tree, _)) = next {
+            debug_assert!(next_tree > tree, "posting run not sorted by tree id");
+            heap.push(Reverse((next_tree, index)));
+        }
+        if let Some(slot) = heads.get_mut(index) {
+            *slot = next;
+        }
+    }
+    out
+}
 
 /// One inverted-list component: a tree containing the branch, with counts
 /// and positions.
@@ -219,6 +281,30 @@ impl InvertedFileIndex {
             .collect()
     }
 
+    /// Per-tree shared branch mass `Σ_b min(count_q(b), count_t(b))`
+    /// between a query's branch multiset and every indexed tree, via a
+    /// k-way merge of the query branches' inverted lists
+    /// ([`merge_shared_mass`]).
+    ///
+    /// `query_counts` maps each of the query's **in-vocabulary** branches
+    /// to its occurrence count; out-of-vocabulary query branches have
+    /// empty inverted lists by definition and contribute zero shared
+    /// mass, so omitting them is exact. `BranchId`s past the vocabulary
+    /// (a [`crate::vocab::QueryVocab`] extension) are skipped for the
+    /// same reason. The result is sorted by tree id and omits trees that
+    /// share no branch with the query.
+    pub fn shared_branch_mass(&self, query_counts: &[(BranchId, u32)]) -> Vec<(TreeId, u64)> {
+        let runs: Vec<(u32, _)> = query_counts
+            .iter()
+            .filter(|(branch, _)| branch.index() < self.postings.len())
+            .map(|&(branch, count)| {
+                let list = self.postings(branch);
+                (count, list.iter().map(|p| (p.tree, p.count())))
+            })
+            .collect();
+        merge_shared_mass(runs)
+    }
+
     /// Total number of postings (≈ total nodes in the dataset) — the
     /// `O(Σ|Tᵢ|)` space bound of §4.4.
     pub fn posting_count(&self) -> usize {
@@ -324,6 +410,84 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    /// In-vocabulary branch counts of `tree` under `index`'s frozen
+    /// vocabulary, plus the total branch mass (= node count, which also
+    /// covers out-of-vocabulary branches).
+    fn query_counts(
+        index: &InvertedFileIndex,
+        tree: &treesim_tree::Tree,
+    ) -> (Vec<(BranchId, u32)>, u64) {
+        let mut query_vocab = crate::vocab::QueryVocab::new(index.vocab());
+        let vector = PositionalVector::build_query(tree, &mut query_vocab);
+        let base = index.vocab().len();
+        let counts = vector
+            .entries()
+            .iter()
+            .filter(|e| e.branch.index() < base)
+            .map(|e| (e.branch, e.positions.len() as u32))
+            .collect();
+        (counts, u64::from(vector.tree_size()))
+    }
+
+    #[test]
+    fn shared_mass_recovers_exact_bdist() {
+        let forest = forest();
+        let index = InvertedFileIndex::build(&forest, 2);
+        let vectors = index.positional_vectors();
+        for (query_id, query_tree) in forest.iter() {
+            let (counts, total_q) = query_counts(&index, query_tree);
+            let shared = index.shared_branch_mass(&counts);
+            assert!(shared.windows(2).all(|w| w[0].0 < w[1].0), "unsorted");
+            for (tree_id, _) in forest.iter() {
+                let mass = shared
+                    .binary_search_by_key(&tree_id, |&(t, _)| t)
+                    .map(|i| shared[i].1)
+                    .unwrap_or(0);
+                let est = total_q + u64::from(index.tree_size(tree_id)) - 2 * mass;
+                let exact = vectors[query_id.index()].bdist(&vectors[tree_id.index()]);
+                assert_eq!(est, exact, "query {query_id:?} vs {tree_id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_mass_skips_oov_and_unshared_trees() {
+        let mut forest = forest();
+        // A tree sharing no branch with the others.
+        forest.parse_bracket("p(q r)").unwrap();
+        let index = {
+            // Index only the first three trees; the fourth becomes a
+            // query whose branches are 100% out of vocabulary.
+            let mut small = Forest::new();
+            *small.interner_mut() = forest.interner().clone();
+            for (_, tree) in forest.iter().take(3) {
+                small.push(tree.clone());
+            }
+            InvertedFileIndex::build(&small, 2)
+        };
+        let oov_query = forest.tree(TreeId(3));
+        let (counts, total) = query_counts(&index, oov_query);
+        assert!(counts.is_empty(), "every query branch should be novel");
+        assert_eq!(total, 3);
+        assert!(index.shared_branch_mass(&counts).is_empty());
+        // Ids beyond the vocabulary are ignored rather than panicking.
+        let bogus = vec![(BranchId(index.vocab().len() as u32 + 7), 2)];
+        assert!(index.shared_branch_mass(&bogus).is_empty());
+    }
+
+    #[test]
+    fn merge_kernel_handles_duplicate_trees_across_runs() {
+        // Two runs both naming tree 1: masses accumulate, min-clamped.
+        let runs = vec![
+            (2u32, vec![(TreeId(0), 5u32), (TreeId(1), 1)].into_iter()),
+            (3u32, vec![(TreeId(1), 4u32), (TreeId(2), 3)].into_iter()),
+        ];
+        let merged = merge_shared_mass(runs);
+        assert_eq!(merged, vec![(TreeId(0), 2), (TreeId(1), 4), (TreeId(2), 3)]);
+        let empty: Vec<(u32, std::vec::IntoIter<(TreeId, u32)>)> = Vec::new();
+        assert!(merge_shared_mass(empty).is_empty());
     }
 
     #[test]

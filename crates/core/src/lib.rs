@@ -48,7 +48,7 @@ pub mod vector;
 pub mod vocab;
 
 pub use branch::{bound_factor, edit_lower_bound, extract_branches, BranchOccurrence};
-pub use ifi::{InvertedFileIndex, Posting};
+pub use ifi::{merge_shared_mass, InvertedFileIndex, Posting};
 pub use incremental::IncrementalTree;
 pub use positional::{PosEntry, PositionalVector};
 pub use vector::{binary_branch_distance, BranchVector};

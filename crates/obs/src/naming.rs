@@ -22,7 +22,7 @@
 /// means adding its prefix here *and* documenting it in the README
 /// Observability table — the analyzer rejects unknown prefixes.
 pub const KNOWN_PREFIXES: &[&str] = &[
-    "cascade", "refine", "engine", "batch", "dynamic", "recorder", "server",
+    "cascade", "refine", "engine", "batch", "dynamic", "recorder", "server", "shard",
 ];
 
 /// The namespace reserved for metrics created inside `#[cfg(test)]` code
@@ -32,11 +32,12 @@ pub const TEST_PREFIX: &str = "test";
 /// Every cascade stage name any [`Filter::stage_name`] implementation may
 /// return. `cascade.<stage>.*` metric names are only valid for these
 /// stages: the cheap `size` screen, the paper's `bdist`/`propt` binary
-/// branch bounds, the `histo` baseline, and the `scan` pseudo-stage of
-/// the sequential-scan (no-filter) baseline.
+/// branch bounds, the `histo` baseline, the `scan` pseudo-stage of the
+/// sequential-scan (no-filter) baseline, and the `postings` inverted-list
+/// candidate generator (stage −1 of the default cascade).
 ///
 /// [`Filter::stage_name`]: https://docs.rs/treesim-search
-pub const CASCADE_STAGES: &[&str] = &["size", "bdist", "propt", "histo", "scan"];
+pub const CASCADE_STAGES: &[&str] = &["size", "bdist", "propt", "histo", "scan", "postings"];
 
 /// Why a name failed [`validate_metric_name`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +161,9 @@ mod tests {
             "engine.batch.workers.active",
             "cascade.size.evaluated",
             "cascade.propt.iters",
+            "cascade.postings.evaluated",
+            "shard.knn.queries",
+            "shard.workers.active",
             "refine.zs.nodes",
             "dynamic.push",
             "batch.pending",

@@ -33,8 +33,9 @@ pub const DEFAULT_CAPACITY: usize = 1024;
 const SHARDS: usize = 8;
 
 /// Maximum number of cascade stages a record can carry (the deepest
-/// filter cascade today is size → bdist → propt, plus one spare).
-pub const MAX_STAGES: usize = 4;
+/// filter cascade today is postings → size → histo → bdist → propt, plus
+/// one spare).
+pub const MAX_STAGES: usize = 6;
 
 /// Which query path produced a record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,10 @@ pub enum QueryKind {
     DynamicKnn,
     /// `DynamicIndex::range`.
     DynamicRange,
+    /// `ShardedEngine::knn` (one record for the merged query).
+    ShardedKnn,
+    /// `ShardedEngine::range` (one record for the merged query).
+    ShardedRange,
 }
 
 impl QueryKind {
@@ -57,6 +62,8 @@ impl QueryKind {
             QueryKind::Range => "range",
             QueryKind::DynamicKnn => "dynamic_knn",
             QueryKind::DynamicRange => "dynamic_range",
+            QueryKind::ShardedKnn => "sharded_knn",
+            QueryKind::ShardedRange => "sharded_range",
         }
     }
 }

@@ -4,10 +4,16 @@
 //! many).
 //!
 //! Appending a tree costs one branch extraction (`O(|T|)`) plus the
-//! Zhang–Shasha precomputation; queries are identical in results to an
-//! engine rebuilt from scratch (tested). Queries run the same two-cheapest
-//! stages of the positional bound cascade as the static engine: the O(1)
-//! size difference screens candidates before any `propt` binary search.
+//! Zhang–Shasha precomputation **plus one posting-list append per distinct
+//! branch**: the index maintains the same per-branch posting lists as the
+//! static [`treesim_core::InvertedFileIndex`], extended incrementally —
+//! pushes append to the affected lists instead of rebuilding the index
+//! (tree ids only ever grow, so every list stays a sorted run). Queries
+//! are identical in results to an engine rebuilt from scratch (tested)
+//! and run a three-stage cascade mirroring the static
+//! [`crate::PostingsFilter`]: the stage −1 `postings` bound (k-way merge
+//! of the query's posting lists), the O(1) `size` screen, then the
+//! `propt` positional bound.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -42,6 +48,11 @@ pub struct DynamicIndex {
     vocab: BranchVocab,
     vectors: Vec<PositionalVector>,
     infos: Vec<TreeInfo>,
+    /// Per-branch posting lists, indexed by branch raw id:
+    /// `(tree raw id, branch count)`, ascending by tree id — the
+    /// incrementally-maintained counterpart of
+    /// [`treesim_core::InvertedFileIndex`]'s postings.
+    postings: Vec<Vec<(u32, u32)>>,
 }
 
 impl DynamicIndex {
@@ -56,6 +67,7 @@ impl DynamicIndex {
             vocab: BranchVocab::new(q),
             vectors: Vec::new(),
             infos: Vec::new(),
+            postings: Vec::new(),
         }
     }
 
@@ -105,8 +117,19 @@ impl DynamicIndex {
     pub fn push(&mut self, tree: Tree) -> TreeId {
         let _span = treesim_obs::span!("dynamic.push", nodes = tree.len());
         treesim_obs::counter!("dynamic.push").inc();
-        self.vectors
-            .push(PositionalVector::build(&tree, &mut self.vocab));
+        let vector = PositionalVector::build(&tree, &mut self.vocab);
+        // Extend the postings stage in place: each of the new tree's
+        // distinct branches appends one posting to its list. The new
+        // tree's id is the largest so far, so every list stays sorted —
+        // no rebuild, no re-sort.
+        let raw = self.forest.len() as u32;
+        if self.postings.len() < self.vocab.len() {
+            self.postings.resize(self.vocab.len(), Vec::new());
+        }
+        for entry in vector.entries() {
+            self.postings[entry.branch.index()].push((raw, entry.positions.len() as u32));
+        }
+        self.vectors.push(vector);
         self.infos.push(TreeInfo::new(&tree));
         let id = self.forest.push(tree);
         treesim_obs::gauge!("dynamic.trees").set(self.len() as i64);
@@ -133,19 +156,62 @@ impl DynamicIndex {
         PositionalVector::build_query(query, &mut query_vocab)
     }
 
+    /// K-way merges the query's posting lists into the per-tree shared
+    /// branch mass table (ascending by tree id); see
+    /// [`treesim_core::merge_shared_mass`]. Out-of-vocabulary query
+    /// branches have no list and are skipped — their mass stays in
+    /// `|BRV(q)|`, which keeps the stage −1 bound sound.
+    fn shared_mass(&self, query_vector: &PositionalVector) -> Vec<(TreeId, u64)> {
+        let runs: Vec<(u32, _)> = query_vector
+            .entries()
+            .iter()
+            .filter(|entry| entry.branch.index() < self.postings.len())
+            .map(|entry| {
+                (
+                    entry.positions.len() as u32,
+                    self.postings[entry.branch.index()]
+                        .iter()
+                        .map(|&(tree, count)| (TreeId(tree), count)),
+                )
+            })
+            .collect();
+        treesim_core::merge_shared_mass(runs)
+    }
+
+    /// The stage −1 bound for one candidate:
+    /// `⌈(|BRV(q)| + |BRV(t)| − 2·shared) / (4(q−1)+1)⌉`.
+    fn postings_bound(&self, shared: &[(TreeId, u64)], total: u64, raw: u32) -> u64 {
+        let mass = match shared.binary_search_by_key(&TreeId(raw), |&(tree, _)| tree) {
+            Ok(found) => shared[found].1,
+            Err(_) => 0,
+        };
+        let data_size = u64::from(self.vectors[raw as usize].tree_size());
+        treesim_core::edit_lower_bound(total + data_size - 2 * mass, self.vocab.q())
+    }
+
+    fn stage_accumulators() -> Vec<StageStats> {
+        vec![
+            StageStats::named("postings"),
+            StageStats::named("size"),
+            StageStats::named("propt"),
+        ]
+    }
+
     /// k-nearest neighbors of `query` (same semantics as
     /// [`crate::SearchEngine::knn`], including smallest-id tie-breaking).
     ///
-    /// Candidates escalate lazily: every tree gets the O(1) size bound
-    /// first, and only the candidates whose size bound is among the
-    /// smallest outstanding ones pay for the `propt` positional bound.
+    /// Candidates escalate lazily: every tree gets the stage −1 postings
+    /// bound first (one k-way posting merge for the whole query, then an
+    /// O(log candidates) lookup per tree), and only the candidates whose
+    /// bound is among the smallest outstanding ones pay for the O(1)
+    /// size screen and then the `propt` positional bound.
     pub fn knn(&self, query: &Tree, k: usize) -> (Vec<Neighbor>, SearchStats) {
         let _span = treesim_obs::span!("dynamic.knn", k = k, dataset = self.len());
         let wall_start = Instant::now();
         recorder::propt_iters_take(); // discard any stale accumulation
         let mut stats = SearchStats {
             dataset_size: self.len(),
-            stages: vec![StageStats::named("size"), StageStats::named("propt")],
+            stages: Self::stage_accumulators(),
             ..Default::default()
         };
         if k == 0 || self.is_empty() {
@@ -161,13 +227,16 @@ impl DynamicIndex {
             return (Vec::new(), stats);
         }
         let query_vector = self.query_vector(query);
-        // Escalation heap keyed by (bound, next stage, id): stage 1 is the
-        // propt positional bound, stage 2 means "fully bounded, refine".
-        let mut escalation: BinaryHeap<Reverse<(u64, usize, u32)>> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(i, v)| Reverse((query_vector.size_bound(v), 1, i as u32)))
+        let shared = self.shared_mass(&query_vector);
+        let total = u64::from(query_vector.tree_size());
+        // Escalation heap keyed by (bound, next stage, id): stage 1 is
+        // the size screen, stage 2 the propt positional bound, stage 3
+        // means "fully bounded, refine".
+        let mut escalation: BinaryHeap<Reverse<(u64, usize, u32)>> = (0..self.vectors.len())
+            .map(|i| {
+                let raw = i as u32;
+                Reverse((self.postings_bound(&shared, total, raw), 1, raw))
+            })
             .collect();
         if let Some(stage0) = stats.stages.first_mut() {
             stage0.evaluated = self.len();
@@ -185,12 +254,18 @@ impl DynamicIndex {
             }
             escalation.pop();
             if next_stage == 1 {
-                let sharper =
-                    crate::filter::propt_bound(&query_vector, &self.vectors[raw as usize]);
+                let sharper = query_vector.size_bound(&self.vectors[raw as usize]);
                 if let Some(stage1) = stats.stages.get_mut(1) {
                     stage1.evaluated += 1;
                 }
                 escalation.push(Reverse((bound.max(sharper), 2, raw)));
+            } else if next_stage == 2 {
+                let sharper =
+                    crate::filter::propt_bound(&query_vector, &self.vectors[raw as usize]);
+                if let Some(stage2) = stats.stages.get_mut(2) {
+                    stage2.evaluated += 1;
+                }
+                escalation.push(Reverse((bound.max(sharper), 3, raw)));
             } else {
                 let data_info = &self.infos[raw as usize];
                 zs_nodes += (query_info.len() + data_info.len()) as u64;
@@ -233,21 +308,30 @@ impl DynamicIndex {
         recorder::propt_iters_take(); // discard any stale accumulation
         let mut stats = SearchStats {
             dataset_size: self.len(),
-            stages: vec![StageStats::named("size"), StageStats::named("propt")],
+            stages: Self::stage_accumulators(),
             ..Default::default()
         };
         let query_vector = self.query_vector(query);
+        let shared = self.shared_mass(&query_vector);
+        let total = u64::from(query_vector.tree_size());
         let query_info = TreeInfo::new(query);
         let mut workspace = ZsWorkspace::new();
         let mut zs_nodes = 0u64;
         let mut results = Vec::new();
-        let [stage_size, stage_propt] = &mut stats.stages[..] else {
-            unreachable!("constructed with exactly two stages above")
+        let [stage_postings, stage_size, stage_propt] = &mut stats.stages[..] else {
+            unreachable!("constructed with exactly three stages above")
         };
-        stage_size.evaluated = self.len();
+        stage_postings.evaluated = self.len();
         for (raw, vector) in self.vectors.iter().enumerate() {
-            // Size screen first: skip the positional merge entirely when
-            // the O(1) bound already exceeds τ.
+            // Stage −1 first: the postings bound needs no access to the
+            // candidate's vector beyond its stored size.
+            if self.postings_bound(&shared, total, raw as u32) > u64::from(tau) {
+                stage_postings.pruned += 1;
+                continue;
+            }
+            stage_size.evaluated += 1;
+            // Then the O(1) size screen, skipping the positional merge
+            // entirely when it already exceeds τ.
             if query_vector.size_bound(vector) > u64::from(tau) {
                 stage_size.pruned += 1;
                 continue;
@@ -376,6 +460,73 @@ mod tests {
         let (hits, _) = index.range(query, 5);
         assert!(hits.is_empty());
         assert!(format!("{index:?}").contains("DynamicIndex"));
+    }
+
+    #[test]
+    fn interleaved_pushes_extend_postings_stage() {
+        // The satellite contract: pushes must extend the postings stage
+        // incrementally (never a rebuild), and every query in between
+        // runs the full three-stage cascade with correct results and a
+        // telescoping funnel.
+        let mut index = DynamicIndex::new(2);
+        let mut forest = Forest::new();
+        for (round, spec) in specs().iter().enumerate() {
+            index.push_bracket(spec).unwrap();
+            forest.parse_bracket(spec).unwrap();
+            let engine =
+                SearchEngine::new(&forest, crate::filter::PostingsFilter::build(&forest, 2));
+            for (_, query) in forest.iter() {
+                let (hits, stats) = index.knn(query, 2);
+                assert_eq!(
+                    stats.stages.iter().map(|s| s.name).collect::<Vec<_>>(),
+                    vec!["postings", "size", "propt"],
+                    "round {round}"
+                );
+                assert_eq!(stats.stages[0].evaluated, forest.len());
+                let (want, _) = engine.knn(query, 2);
+                assert_eq!(
+                    hits.iter().map(|n| n.distance).collect::<Vec<_>>(),
+                    want.iter().map(|n| n.distance).collect::<Vec<_>>(),
+                    "round {round}"
+                );
+
+                let (range_hits, range_stats) = index.range(query, 2);
+                let (range_want, _) = engine.range(query, 2);
+                assert_eq!(
+                    range_hits
+                        .iter()
+                        .map(|n| (n.tree, n.distance))
+                        .collect::<Vec<_>>(),
+                    range_want
+                        .iter()
+                        .map(|n| (n.tree, n.distance))
+                        .collect::<Vec<_>>(),
+                );
+                assert_eq!(range_stats.stages[0].name, "postings");
+                for pair in range_stats.stages.windows(2) {
+                    assert_eq!(pair[0].survivors(), pair[1].evaluated);
+                }
+                assert_eq!(
+                    range_stats.stages.last().unwrap().survivors(),
+                    range_stats.refined
+                );
+            }
+        }
+        // The posting lists are sorted runs (the merge kernel's input
+        // contract) and cover exactly the pushed trees' branch masses.
+        let total_mass: usize = index
+            .postings
+            .iter()
+            .flatten()
+            .map(|&(_, c)| c as usize)
+            .sum();
+        let node_total: usize = index.forest.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(total_mass, node_total);
+        for list in &index.postings {
+            for pair in list.windows(2) {
+                assert!(pair[0].0 < pair[1].0, "posting run out of order");
+            }
+        }
     }
 
     #[test]

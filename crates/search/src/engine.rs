@@ -239,9 +239,11 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         self.knn_observed(query, k, &mut ())
     }
 
-    /// The k-NN core, parameterized over a [`QueryObserver`] (the
-    /// production path passes `&mut ()`, EXPLAIN passes a recording
-    /// observer — the algorithm is byte-for-byte the same either way).
+    /// The observed k-NN entry point: wraps [`SearchEngine::knn_core`]
+    /// with the query span, the `engine.knn.*` metrics flush and the
+    /// flight record deposit. The production path passes `&mut ()`,
+    /// EXPLAIN passes a recording observer — the algorithm is
+    /// byte-for-byte the same either way.
     pub(crate) fn knn_observed<O: QueryObserver>(
         &self,
         query: &Tree,
@@ -251,22 +253,39 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         let _span = treesim_obs::span!("engine.knn", k = k, dataset = self.forest.len());
         let wall_start = Instant::now();
         recorder::propt_iters_take(); // discard any stale accumulation
+        let (results, stats, zs_nodes) = self.knn_core(query, k, observer);
+        stats.record_metrics("engine.knn");
+        emit_record(
+            QueryKind::Knn,
+            k as u64,
+            &stats,
+            &results,
+            zs_nodes,
+            wall_start.elapsed(),
+        );
+        (results, stats)
+    }
+
+    /// The bare k-NN algorithm: answers the query and fills the per-query
+    /// [`SearchStats`], but emits **nothing** — no span, no registry
+    /// metrics, no flight record. [`SearchEngine::knn_observed`] adds the
+    /// emission for the single-engine path; the sharded engine runs this
+    /// core on per-shard worker threads and emits once for the merged
+    /// query. Also returns the total Zhang–Shasha problem size (nodes)
+    /// refined, for the flight record.
+    pub(crate) fn knn_core<O: QueryObserver>(
+        &self,
+        query: &Tree,
+        k: usize,
+        observer: &mut O,
+    ) -> (Vec<Neighbor>, SearchStats, u64) {
         let mut stats = SearchStats {
             dataset_size: self.forest.len(),
             stages: self.stage_accumulators(),
             ..Default::default()
         };
         if k == 0 || self.forest.is_empty() {
-            stats.record_metrics("engine.knn");
-            emit_record(
-                QueryKind::Knn,
-                k as u64,
-                &stats,
-                &[],
-                0,
-                wall_start.elapsed(),
-            );
-            return (Vec::new(), stats);
+            return (Vec::new(), stats, 0);
         }
 
         let filter_start = Instant::now();
@@ -340,16 +359,7 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
             .collect();
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         stats.results = results.len();
-        stats.record_metrics("engine.knn");
-        emit_record(
-            QueryKind::Knn,
-            k as u64,
-            &stats,
-            &results,
-            zs_nodes,
-            wall_start.elapsed(),
-        );
-        (results, stats)
+        (results, stats, zs_nodes)
     }
 
     /// Range query: all trees within edit distance `tau` of `query`,
@@ -365,8 +375,9 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         self.range_observed(query, tau, &mut ())
     }
 
-    /// The range core, parameterized over a [`QueryObserver`] exactly like
-    /// [`SearchEngine::knn_observed`].
+    /// The observed range entry point, mirroring
+    /// [`SearchEngine::knn_observed`]: emission around
+    /// [`SearchEngine::range_core`].
     pub(crate) fn range_observed<O: QueryObserver>(
         &self,
         query: &Tree,
@@ -376,6 +387,27 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         let _span = treesim_obs::span!("engine.range", tau = tau, dataset = self.forest.len());
         let wall_start = Instant::now();
         recorder::propt_iters_take(); // discard any stale accumulation
+        let (results, stats, zs_nodes) = self.range_core(query, tau, observer);
+        stats.record_metrics("engine.range");
+        emit_record(
+            QueryKind::Range,
+            u64::from(tau),
+            &stats,
+            &results,
+            zs_nodes,
+            wall_start.elapsed(),
+        );
+        (results, stats)
+    }
+
+    /// The bare range algorithm — emission-free like
+    /// [`SearchEngine::knn_core`], for the same sharded reuse.
+    pub(crate) fn range_core<O: QueryObserver>(
+        &self,
+        query: &Tree,
+        tau: u32,
+        observer: &mut O,
+    ) -> (Vec<Neighbor>, SearchStats, u64) {
         let mut stats = SearchStats {
             dataset_size: self.forest.len(),
             stages: self.stage_accumulators(),
@@ -435,16 +467,7 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         stats.refine_time = refine_start.elapsed();
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         stats.results = results.len();
-        stats.record_metrics("engine.range");
-        emit_record(
-            QueryKind::Range,
-            u64::from(tau),
-            &stats,
-            &results,
-            zs_nodes,
-            wall_start.elapsed(),
-        );
-        (results, stats)
+        (results, stats, zs_nodes)
     }
 
     /// Cascade stage names, coarsest first.

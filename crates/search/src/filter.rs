@@ -188,6 +188,225 @@ impl Filter for BiBranchFilter {
     }
 }
 
+/// The paper's space-matching bin budget (§5): the total histogram
+/// dimensionality per tree equals the average binary branch vector size
+/// plus twice the average tree size. Shared by [`HistogramFilter::build`]
+/// and [`PostingsFilter::with_histogram`] so both price the histogram
+/// stage identically.
+fn paper_matched_budget(forest: &Forest) -> BinBudget {
+    let stats = forest.stats();
+    // Average number of nonzero branch-vector dimensions per tree.
+    let mut vocab = treesim_core::BranchVocab::new(2);
+    let total_dims: usize = forest
+        .iter()
+        .map(|(_, t)| treesim_core::BranchVector::build(t, &mut vocab).nonzero_dims())
+        .sum();
+    let avg_dims = total_dims as f64 / forest.len().max(1) as f64;
+    BinBudget::paper_matched(avg_dims, stats.avg_size)
+}
+
+/// The default production filter: the positional cascade of
+/// [`BiBranchFilter`] fronted by a **stage −1 inverted-list candidate
+/// generator**. At query time the query's branch posting lists are k-way
+/// merged ([`InvertedFileIndex::shared_branch_mass`]) into a sorted
+/// per-tree shared-branch-mass table, from which stage 0 derives
+///
+/// ```text
+/// BDist(q, t) ≥ |BRV(q)| + |BRV(t)| − 2·shared(q, t)
+/// ```
+///
+/// without ever touching the candidate's vector (DESIGN §10). With
+/// min-clamped shared mass the inequality is an *equality*, so the stage
+/// is exactly as tight as the `bdist` stage at posting-merge cost, and
+/// trees sharing no branch with the query are bounded from their stored
+/// size alone. Out-of-vocabulary query branches have no posting list and
+/// therefore contribute zero to `shared` — but their mass stays in
+/// `|BRV(q)|`, which keeps the bound sound (the no-false-negative edge
+/// case the `strict-checks` assertion pins down).
+#[derive(Debug)]
+pub struct PostingsFilter {
+    index: InvertedFileIndex,
+    vectors: Vec<PositionalVector>,
+    histograms: Option<(Vec<HistogramVector>, BinBudget)>,
+}
+
+/// Per-query artifact of [`PostingsFilter`]: the query vector plus the
+/// merged posting table.
+#[derive(Debug)]
+pub struct PostingsQuery {
+    vector: PositionalVector,
+    histogram: Option<HistogramVector>,
+    /// `(tree, Σ_b min(count_q(b), count_t(b)))`, ascending by tree id;
+    /// trees absent from every query posting list are absent here and
+    /// share mass 0.
+    shared: Vec<(TreeId, u64)>,
+    /// `|BRV(q)|` — total query branch mass, OOV branches included.
+    total: u64,
+}
+
+impl PostingsQuery {
+    /// Number of trees sharing at least one branch with the query.
+    pub fn candidate_count(&self) -> usize {
+        self.shared.len()
+    }
+}
+
+impl PostingsFilter {
+    /// Indexes `forest` with q-level branches (Algorithm 1) and keeps the
+    /// inverted file index for posting-list candidate generation.
+    pub fn build(forest: &Forest, q: usize) -> Self {
+        Self::from_index(InvertedFileIndex::build(forest, q))
+    }
+
+    /// Like [`PostingsFilter::build`], additionally wiring the label
+    /// histogram bound in as a cascade stage between `size` and `bdist`
+    /// (ROADMAP item #2; see EXPERIMENTS.md §histo for when it pays).
+    pub fn with_histogram(forest: &Forest, q: usize) -> Self {
+        let budget = paper_matched_budget(forest);
+        let vectors = forest
+            .iter()
+            .map(|(_, tree)| HistogramVector::build_bucketed(tree, budget))
+            .collect();
+        PostingsFilter {
+            histograms: Some((vectors, budget)),
+            ..Self::build(forest, q)
+        }
+    }
+
+    /// Builds from an existing inverted file index, taking ownership.
+    pub fn from_index(index: InvertedFileIndex) -> Self {
+        PostingsFilter {
+            vectors: index.positional_vectors(),
+            index,
+            histograms: None,
+        }
+    }
+
+    /// The branch level `q`.
+    pub fn q(&self) -> usize {
+        self.index.q()
+    }
+
+    /// Whether the histogram stage is part of the cascade.
+    pub fn has_histogram(&self) -> bool {
+        self.histograms.is_some()
+    }
+
+    /// The dataset vector of `tree` (for inspection / experiments).
+    pub fn vector(&self, tree: TreeId) -> &PositionalVector {
+        &self.vectors[tree.index()]
+    }
+
+    /// The stage-0 bound: `|BRV(q)| + |BRV(t)| − 2·shared(q, t)` scaled to
+    /// edit operations. O(log candidates) per tree — one binary search
+    /// into the merged posting table.
+    fn postings_bound(&self, query: &PostingsQuery, candidate: TreeId) -> u64 {
+        let shared = match query
+            .shared
+            .binary_search_by_key(&candidate, |&(tree, _)| tree)
+        {
+            Ok(found) => query.shared[found].1,
+            Err(_) => 0,
+        };
+        let bdist_floor = query.total + u64::from(self.index.tree_size(candidate)) - 2 * shared;
+        #[cfg(feature = "strict-checks")]
+        debug_assert!(
+            bdist_floor <= query.vector.bdist(&self.vectors[candidate.index()]),
+            "stage -1 bound {bdist_floor} above exact BDist {} for tree {candidate:?} \
+             (OOV query mass must never enter shared)",
+            query.vector.bdist(&self.vectors[candidate.index()]),
+        );
+        treesim_core::edit_lower_bound(bdist_floor, self.q())
+    }
+}
+
+impl Filter for PostingsFilter {
+    type Query = PostingsQuery;
+
+    fn name(&self) -> &'static str {
+        match self.histograms {
+            Some(_) => "Postings+histo",
+            None => "Postings",
+        }
+    }
+
+    fn prepare_query(&self, query: &Tree) -> PostingsQuery {
+        let mut query_vocab = QueryVocab::new(self.index.vocab());
+        let vector = PositionalVector::build_query(query, &mut query_vocab);
+        let counts: Vec<(treesim_core::BranchId, u32)> = vector
+            .entries()
+            .iter()
+            .map(|entry| (entry.branch, entry.positions.len() as u32))
+            .collect();
+        let shared = self.index.shared_branch_mass(&counts);
+        treesim_obs::histogram!("cascade.postings.candidates").record(shared.len() as u64);
+        PostingsQuery {
+            total: u64::from(vector.tree_size()),
+            shared,
+            histogram: self
+                .histograms
+                .as_ref()
+                .map(|(_, budget)| HistogramVector::build_bucketed(query, *budget)),
+            vector,
+        }
+    }
+
+    fn lower_bound(&self, query: &PostingsQuery, candidate: TreeId) -> u64 {
+        propt_bound(&query.vector, &self.vectors[candidate.index()])
+    }
+
+    /// Cascade: the posting-merge bound, the O(1) size screen, optionally
+    /// the label histogram, then `⌈BDist/(4(q−1)+1)⌉` and the `propt`
+    /// binary search of §4.2. (`postings` and `bdist` are pointwise equal
+    /// under min-clamped shared mass; keeping both stages makes the funnel
+    /// report how much of the pruning needed no per-candidate vector work.)
+    fn stages(&self) -> usize {
+        match self.histograms {
+            Some(_) => 5,
+            None => 4,
+        }
+    }
+
+    fn stage_name(&self, stage: usize) -> &'static str {
+        match (stage, self.histograms.is_some()) {
+            (0, _) => "postings",
+            (1, _) => "size",
+            (2, true) => "histo",
+            (2, false) | (3, true) => "bdist",
+            _ => "propt",
+        }
+    }
+
+    fn stage_bound(&self, query: &PostingsQuery, candidate: TreeId, stage: usize) -> u64 {
+        let data = &self.vectors[candidate.index()];
+        match (stage, self.histograms.is_some()) {
+            (0, _) => self.postings_bound(query, candidate),
+            (1, _) => query.vector.size_bound(data),
+            (2, true) => match (&self.histograms, &query.histogram) {
+                (Some((vectors, _)), Some(histogram)) => {
+                    histogram.lower_bound(&vectors[candidate.index()])
+                }
+                _ => unreachable!("histo stage without histograms"),
+            },
+            (2, false) | (3, true) => {
+                treesim_core::edit_lower_bound(query.vector.bdist(data), self.q())
+            }
+            _ => propt_bound(&query.vector, data),
+        }
+    }
+
+    fn prunes_range(&self, query: &PostingsQuery, candidate: TreeId, tau: u32) -> bool {
+        if let (Some((vectors, _)), Some(histogram)) = (&self.histograms, &query.histogram) {
+            if histogram.lower_bound(&vectors[candidate.index()]) > u64::from(tau) {
+                return true;
+            }
+        }
+        query
+            .vector
+            .exceeds_range(&self.vectors[candidate.index()], tau)
+    }
+}
+
 /// The baseline histogram filter (Kailing et al., reference \[7\]).
 #[derive(Debug)]
 pub struct HistogramFilter {
@@ -196,22 +415,12 @@ pub struct HistogramFilter {
 }
 
 impl HistogramFilter {
-    /// Builds the histograms under the paper's space-matching rule: the
-    /// total histogram dimensionality per tree equals the average binary
-    /// branch vector size plus twice the average tree size (§5). On small
-    /// label universes this is effectively exact; on label-rich data it
-    /// blurs the label histogram, as in the paper's evaluation.
+    /// Builds the histograms under the paper's space-matching rule (§5,
+    /// `paper_matched_budget`). On small label universes this is
+    /// effectively exact; on label-rich data it blurs the label histogram,
+    /// as in the paper's evaluation.
     pub fn build(forest: &Forest) -> Self {
-        let stats = forest.stats();
-        // Average number of nonzero branch-vector dimensions per tree.
-        let mut vocab = treesim_core::BranchVocab::new(2);
-        let total_dims: usize = forest
-            .iter()
-            .map(|(_, t)| treesim_core::BranchVector::build(t, &mut vocab).nonzero_dims())
-            .sum();
-        let avg_dims = total_dims as f64 / forest.len().max(1) as f64;
-        let budget = BinBudget::paper_matched(avg_dims, stats.avg_size);
-        Self::build_with_budget(forest, budget)
+        Self::build_with_budget(forest, paper_matched_budget(forest))
     }
 
     /// Builds exact (unbucketed) histograms.
@@ -470,6 +679,78 @@ mod tests {
     }
 
     #[test]
+    fn postings_filter_is_sound() {
+        let forest = forest();
+        let filter = PostingsFilter::build(&forest, 2);
+        assert_eq!(filter.name(), "Postings");
+        assert_eq!(filter.q(), 2);
+        assert!(!filter.has_histogram());
+        check_filter(&filter, &forest);
+    }
+
+    #[test]
+    fn postings_with_histogram_is_sound() {
+        let forest = forest();
+        let filter = PostingsFilter::with_histogram(&forest, 2);
+        assert_eq!(filter.name(), "Postings+histo");
+        assert!(filter.has_histogram());
+        check_filter(&filter, &forest);
+    }
+
+    #[test]
+    fn postings_stage_equals_bdist_stage() {
+        // With min-clamped shared mass the posting-merge identity
+        // |BRV(q)| + |BRV(t)| − 2·Σ min(count_q, count_t) = BDist(q, t)
+        // is exact, so stage −1 must be pointwise equal to the bdist stage
+        // (which recomputes BDist from the candidate's vector).
+        let forest = forest();
+        let filter = PostingsFilter::build(&forest, 2);
+        let bibranch = BiBranchFilter::build(&forest, 2, BiBranchMode::Positional);
+        for (_, query_tree) in forest.iter() {
+            let query = filter.prepare_query(query_tree);
+            let bquery = bibranch.prepare_query(query_tree);
+            for (id, _) in forest.iter() {
+                assert_eq!(
+                    filter.stage_bound(&query, id, 0),
+                    bibranch.stage_bound(&bquery, id, 1),
+                    "postings bound diverged from bdist for tree {id:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn postings_oov_query_keeps_guarantee() {
+        // A query whose branches are 100% out-of-vocabulary: the merged
+        // posting table is empty, yet every stage bound must stay a sound
+        // lower bound (the unmatched query mass is accounted via |BRV(q)|).
+        let mut forest = forest();
+        let query = {
+            let mut interner = forest.interner().clone();
+            let t = treesim_tree::parse::bracket::parse(&mut interner, "m(n(o) p q)").unwrap();
+            *forest.interner_mut() = interner;
+            t
+        };
+        let filter = PostingsFilter::build(&forest, 2);
+        let artifact = filter.prepare_query(&query);
+        assert_eq!(
+            artifact.candidate_count(),
+            0,
+            "OOV query generated candidates"
+        );
+        for (id, data_tree) in forest.iter() {
+            let edist = edit_distance(&query, data_tree);
+            for stage in 0..filter.stages() {
+                let bound = filter.stage_bound(&artifact, id, stage);
+                assert!(
+                    bound <= edist,
+                    "stage {stage} bound {bound} > EDist {edist} on an OOV query"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn histogram_filter_is_sound() {
         let forest = forest();
         let filter = HistogramFilter::build(&forest);
@@ -544,6 +825,20 @@ mod tests {
         };
         assert_eq!(stacked.stages(), 3);
         assert_eq!(stacked.stage_name(2), "propt");
+        let postings = PostingsFilter::build(&forest, 2);
+        assert_eq!(postings.stages(), 4);
+        assert_eq!(
+            (0..4).map(|s| postings.stage_name(s)).collect::<Vec<_>>(),
+            vec!["postings", "size", "bdist", "propt"]
+        );
+        let postings_histo = PostingsFilter::with_histogram(&forest, 2);
+        assert_eq!(postings_histo.stages(), 5);
+        assert_eq!(
+            (0..5)
+                .map(|s| postings_histo.stage_name(s))
+                .collect::<Vec<_>>(),
+            vec!["postings", "size", "histo", "bdist", "propt"]
+        );
     }
 
     #[test]

@@ -5,11 +5,17 @@
 //! [`treesim_tree::Forest`], refining candidates with the exact Zhang–Shasha
 //! edit distance. Filters:
 //!
+//! * [`PostingsFilter`] — the positional cascade fronted by the
+//!   inverted-list stage −1 candidate generator (the default);
 //! * [`BiBranchFilter`] — the paper's binary branch lower bounds (plain or
 //!   positional);
 //! * [`HistogramFilter`] — the Kailing et al. baseline;
 //! * [`NoFilter`] — the sequential-scan baseline;
 //! * [`MaxFilter`] — pointwise maximum of two filters (ablations).
+//!
+//! [`ShardedEngine`] partitions the forest ([`ShardedForest::split`])
+//! and answers each query on every shard concurrently, merging the
+//! per-shard heaps into the identical result set.
 //!
 //! # Example
 //!
@@ -38,6 +44,7 @@ pub mod engine;
 pub mod explain;
 pub mod filter;
 pub mod join;
+pub mod sharded;
 pub mod stats;
 pub mod subtree;
 
@@ -46,7 +53,11 @@ pub use cluster::{threshold_clusters, Clustering};
 pub use dynamic::DynamicIndex;
 pub use engine::{Neighbor, SearchEngine};
 pub use explain::{CandidateExplain, ExplainReport, StageEval, Verdict};
-pub use filter::{BiBranchFilter, BiBranchMode, Filter, HistogramFilter, MaxFilter, NoFilter};
+pub use filter::{
+    BiBranchFilter, BiBranchMode, Filter, HistogramFilter, MaxFilter, NoFilter, PostingsFilter,
+    PostingsQuery,
+};
 pub use join::{closest_pairs, similarity_join, similarity_self_join, JoinPair, JoinStats};
+pub use sharded::{ShardedEngine, ShardedForest};
 pub use stats::{AveragedStage, AveragedStats, LatencyBuckets, SearchStats, StageStats};
 pub use subtree::{subtree_search, SubtreeMatch, SubtreeStats};

@@ -13,7 +13,8 @@
 
 use treesim_obs::naming::{is_test_name, validate_metric_name, CASCADE_STAGES, KNOWN_PREFIXES};
 use treesim_search::{
-    BiBranchFilter, BiBranchMode, DynamicIndex, Filter, HistogramFilter, NoFilter, SearchEngine,
+    BiBranchFilter, BiBranchMode, DynamicIndex, Filter, HistogramFilter, NoFilter, PostingsFilter,
+    SearchEngine, ShardedEngine, ShardedForest,
 };
 use treesim_tree::Forest;
 
@@ -59,6 +60,23 @@ fn every_emitted_metric_name_parses_under_the_grammar() {
     );
     drive_engine(&forest, HistogramFilter::build(&forest));
     drive_engine(&forest, NoFilter::build(&forest));
+    drive_engine(&forest, PostingsFilter::build(&forest, 2));
+    drive_engine(&forest, PostingsFilter::with_histogram(&forest, 2));
+
+    // Sharded execution materializes the `shard.*` namespace.
+    let sharded = ShardedForest::split(&forest, 3);
+    let engine = ShardedEngine::new(&sharded, |shard| PostingsFilter::build(shard, 2));
+    let query = forest.tree(treesim_tree::TreeId(0));
+    let (hits, stats) = engine.knn(query, 3);
+    assert!(!hits.is_empty());
+    stats.record_metrics("shard.knn");
+    let (hits, stats) = engine.range(query, 2);
+    assert!(!hits.is_empty());
+    stats.record_metrics("shard.range");
+    let report = engine.explain_knn(query, 2);
+    report
+        .check_consistency()
+        .expect("sharded explain telescopes");
 
     let mut index = DynamicIndex::new(2);
     for spec in ["a(b c)", "a(b(c) c)", "a(c)"] {
@@ -103,9 +121,18 @@ fn filter_stage_names_match_the_contract_table() {
     let plain = BiBranchFilter::build(&forest, 2, BiBranchMode::Plain);
     let histogram = HistogramFilter::build(&forest);
     let scan = NoFilter::build(&forest);
+    let postings = PostingsFilter::build(&forest, 2);
+    let postings_histo = PostingsFilter::with_histogram(&forest, 2);
 
     let mut seen = std::collections::BTreeSet::new();
-    for filter in [&positional as &dyn StageNames, &plain, &histogram, &scan] {
+    for filter in [
+        &positional as &dyn StageNames,
+        &plain,
+        &histogram,
+        &scan,
+        &postings,
+        &postings_histo,
+    ] {
         for stage in 0..filter.stage_count() {
             let name = filter.stage(stage);
             assert!(

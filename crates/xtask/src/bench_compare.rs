@@ -10,9 +10,9 @@
 //! * `engine.*.refined` / `dynamic.*.refined` counters per query — false
 //!   positives that survived to Zhang–Shasha;
 //! * mean microseconds of every `*.us` latency histogram present in both
-//!   reports — wall-clock, hence noisy: CI runs this step as
-//!   informational (`continue-on-error`), the funnel counters are the
-//!   hard gate.
+//!   reports — wall-clock, hence noisy. `--counters-only` omits this
+//!   class; CI gates on the deterministic funnel/refinement counters
+//!   with that flag and leaves latency comparison to local runs.
 //!
 //! "Bigger is worse" holds for everything compared; prune counts are
 //! deliberately skipped (pruning *more* is an improvement, and pruning
@@ -173,8 +173,15 @@ fn paired(
     out
 }
 
-/// Compares two parsed reports.
-pub fn compare(baseline: &Json, new: &Json, threshold_percent: f64) -> Result<Comparison, String> {
+/// Compares two parsed reports. With `counters_only`, wall-clock latency
+/// histograms are left out and only the deterministic funnel /
+/// refinement counters are gated.
+pub fn compare(
+    baseline: &Json,
+    new: &Json,
+    threshold_percent: f64,
+    counters_only: bool,
+) -> Result<Comparison, String> {
     for (label, report) in [("baseline", baseline), ("new", new)] {
         match report.get("schema").and_then(Json::as_str) {
             Some("treesim-bench-cascade/v1") => {}
@@ -219,8 +226,10 @@ pub fn compare(baseline: &Json, new: &Json, threshold_percent: f64) -> Result<Co
     }
 
     // Latency histogram means (already per-sample, no normalization).
-    for (name, b, n) in paired(latency_means(baseline), latency_means(new), &mut skipped) {
-        deltas.push(delta(format!("{name} mean"), b, n, threshold_percent));
+    if !counters_only {
+        for (name, b, n) in paired(latency_means(baseline), latency_means(new), &mut skipped) {
+            deltas.push(delta(format!("{name} mean"), b, n, threshold_percent));
+        }
     }
 
     if deltas.is_empty() {
@@ -231,13 +240,24 @@ pub fn compare(baseline: &Json, new: &Json, threshold_percent: f64) -> Result<Co
 
 /// CLI entry: loads both files, compares, prints a table. Returns
 /// `Ok(true)` when clean.
-pub fn run(baseline_path: &str, new_path: &str, threshold_percent: f64) -> Result<bool, String> {
+pub fn run(
+    baseline_path: &str,
+    new_path: &str,
+    threshold_percent: f64,
+    counters_only: bool,
+) -> Result<bool, String> {
     let load = |path: &str| -> Result<Json, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         treesim_obs::parse_json(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let comparison = compare(&load(baseline_path)?, &load(new_path)?, threshold_percent)?;
-    println!("bench-compare: {baseline_path} → {new_path} (threshold +{threshold_percent}%)");
+    let comparison = compare(
+        &load(baseline_path)?,
+        &load(new_path)?,
+        threshold_percent,
+        counters_only,
+    )?;
+    let mode = if counters_only { ", counters only" } else { "" };
+    println!("bench-compare: {baseline_path} → {new_path} (threshold +{threshold_percent}%{mode})");
     for d in &comparison.deltas {
         let marker = if d.regressed { "REGRESSED" } else { "ok" };
         println!(
@@ -319,7 +339,7 @@ mod tests {
     #[test]
     fn identical_reports_are_clean() {
         let a = report(6, 120, 30, 50);
-        let comparison = compare(&a, &a, DEFAULT_THRESHOLD_PERCENT).unwrap();
+        let comparison = compare(&a, &a, DEFAULT_THRESHOLD_PERCENT, false).unwrap();
         assert!(comparison.clean());
         assert!(comparison.skipped.is_empty());
         // size + propt funnel rows, one refined counter, one latency mean.
@@ -334,6 +354,7 @@ mod tests {
             &report(6, 120, 30, 50),
             &report(12, 240, 60, 50),
             DEFAULT_THRESHOLD_PERCENT,
+            false,
         )
         .unwrap();
         assert!(comparison.clean(), "{:?}", comparison.deltas);
@@ -345,6 +366,7 @@ mod tests {
             &report(6, 120, 30, 50),
             &report(6, 160, 30, 50), // +33% propt evaluations
             DEFAULT_THRESHOLD_PERCENT,
+            false,
         )
         .unwrap();
         assert!(!comparison.clean());
@@ -357,18 +379,32 @@ mod tests {
     fn latency_regression_and_threshold_override() {
         let base = report(6, 120, 30, 50);
         let slow = report(6, 120, 30, 70); // +40% mean refine latency
-        assert!(!compare(&base, &slow, 25.0).unwrap().clean());
-        assert!(compare(&base, &slow, 50.0).unwrap().clean());
+        assert!(!compare(&base, &slow, 25.0, false).unwrap().clean());
+        assert!(compare(&base, &slow, 50.0, false).unwrap().clean());
         // Improvements never regress.
-        assert!(compare(&slow, &base, 25.0).unwrap().clean());
+        assert!(compare(&slow, &base, 25.0, false).unwrap().clean());
+    }
+
+    #[test]
+    fn counters_only_ignores_latency_noise() {
+        let base = report(6, 120, 30, 50);
+        let slow = report(6, 120, 30, 70); // +40% mean refine latency
+        let comparison = compare(&base, &slow, 25.0, true).unwrap();
+        assert!(comparison.clean(), "{:?}", comparison.deltas);
+        // Only the funnel rows and the refined counter are compared.
+        assert_eq!(comparison.deltas.len(), 3);
+        assert!(comparison.deltas.iter().all(|d| !d.metric.contains(".us")));
+        // Counter regressions still gate.
+        let worse = report(6, 120, 60, 50); // 2× refined
+        assert!(!compare(&base, &worse, 25.0, true).unwrap().clean());
     }
 
     #[test]
     fn schema_and_scale_are_validated() {
         let bad = Json::obj(vec![("schema", Json::Str("other/v9".to_owned()))]);
-        assert!(compare(&bad, &bad, 25.0).is_err());
+        assert!(compare(&bad, &bad, 25.0, false).is_err());
         let no_schema = Json::obj(vec![]);
-        assert!(compare(&no_schema, &no_schema, 25.0).is_err());
+        assert!(compare(&no_schema, &no_schema, 25.0, false).is_err());
     }
 
     #[test]
@@ -388,7 +424,7 @@ mod tests {
                 }
             }
         }
-        let comparison = compare(&b, &report(6, 120, 30, 50), 25.0).unwrap();
+        let comparison = compare(&b, &report(6, 120, 30, 50), 25.0, false).unwrap();
         assert!(comparison.clean());
         assert!(comparison
             .skipped

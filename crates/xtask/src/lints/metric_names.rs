@@ -345,12 +345,14 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("\"warp\""));
         assert_eq!(lint.stages(), vec!["bdist".to_owned(), "size".to_owned()]);
-        // propt, histo and scan were never returned → finish() findings.
+        // propt, histo, scan and postings were never returned →
+        // finish() findings.
         let missing = lint.finish();
-        assert_eq!(missing.len(), 3, "{missing:?}");
+        assert_eq!(missing.len(), 4, "{missing:?}");
         assert!(missing.iter().any(|f| f.message.contains("\"propt\"")));
         assert!(missing.iter().any(|f| f.message.contains("\"histo\"")));
         assert!(missing.iter().any(|f| f.message.contains("\"scan\"")));
+        assert!(missing.iter().any(|f| f.message.contains("\"postings\"")));
     }
 
     #[test]
@@ -360,7 +362,7 @@ mod tests {
             "crates/search/src/filter.rs",
             r#"
             fn stage_name(&self, stage: usize) -> &'static str {
-                match stage { 0 => "size", 1 => "bdist", 2 => "histo", 3 => "scan", _ => "propt" }
+                match stage { 0 => "postings", 1 => "size", 2 => "bdist", 3 => "histo", 4 => "scan", _ => "propt" }
             }
             "#,
         ));

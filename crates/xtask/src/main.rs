@@ -6,10 +6,13 @@
 //!   enforces the repo's written invariants (panic-free library crates,
 //!   audited atomics, the metric-name contract incl. Prometheus-sanitized
 //!   uniqueness, doc coverage on public API). Required CI step.
-//! * `bench-compare <baseline.json> <new.json> [--threshold N]` — perf
-//!   regression gate over two `BENCH_cascade.json` reports: fails when a
-//!   funnel/refinement/latency metric regressed by more than N % (default
-//!   25). Informational CI step (wall-clock latencies are noisy).
+//! * `bench-compare <baseline.json> <new.json> [--threshold N]
+//!   [--counters-only]` — perf regression gate over two
+//!   `BENCH_cascade.json` reports: fails when a funnel/refinement/latency
+//!   metric regressed by more than N % (default 25). CI runs it with
+//!   `--counters-only`, gating on the deterministic funnel and
+//!   refinement counters while leaving noisy wall-clock latencies to
+//!   local runs. Required CI step.
 //!
 //! ```text
 //! cargo run -p xtask -- analyze
@@ -82,15 +85,18 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: cargo run -p xtask -- analyze [--json] [--root <path>]
-       cargo run -p xtask -- bench-compare <baseline.json> <new.json> [--threshold <percent>]";
+       cargo run -p xtask -- bench-compare <baseline.json> <new.json> \
+[--threshold <percent>] [--counters-only]";
 
 /// Parses `bench-compare` arguments and runs the comparison.
 fn bench_compare_main(args: impl Iterator<Item = String>) -> ExitCode {
     let mut positional: Vec<String> = Vec::new();
     let mut threshold = bench_compare::DEFAULT_THRESHOLD_PERCENT;
+    let mut counters_only = false;
     let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--counters-only" => counters_only = true,
             "--threshold" => {
                 let Some(value) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
                     eprintln!("--threshold requires a number (percent)\n{USAGE}");
@@ -109,7 +115,7 @@ fn bench_compare_main(args: impl Iterator<Item = String>) -> ExitCode {
         eprintln!("bench-compare needs exactly two report paths\n{USAGE}");
         return ExitCode::FAILURE;
     };
-    match bench_compare::run(baseline, new, threshold) {
+    match bench_compare::run(baseline, new, threshold, counters_only) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(message) => {
