@@ -237,11 +237,12 @@ fn join(args: &Args) -> Result<(), String> {
         println!("… and {} more pairs", pairs.len() - limit);
     }
     println!(
-        "-- τ={tau}: {} pairs; {} candidates considered, {} refined ({:.2}%)",
+        "-- τ={tau}: {} pairs; {} candidates considered, {} refined ({:.2}%), {} cut off at τ",
         stats.pairs_joined,
         stats.pairs_considered,
         stats.pairs_refined,
-        stats.refine_fraction() * 100.0
+        stats.refine_fraction() * 100.0,
+        stats.pairs_cutoff
     );
     Ok(())
 }

@@ -1,0 +1,445 @@
+//! Threshold-aware ("bounded") Zhang–Shasha.
+//!
+//! [`bounded_zhang_shasha`] answers the *decision-plus-value* question the
+//! filter-and-refine cascade actually asks: given a live budget `τ` (the
+//! range radius, the current k-th heap distance, a join radius), return the
+//! exact distance when it is `≤ τ` and `None` as soon as the distance
+//! provably exceeds `τ` — without paying for DP cells the budget already
+//! rules out. The pruning ideas follow the bounded-TED line of work
+//! (Jin, ICALP 2021; see PAPERS.md): with unit-ish costs a budget `τ`
+//! confines the interesting part of each forest-distance table to a band of
+//! width `O(τ)` around the diagonal.
+//!
+//! Three pruning layers, all exact (no false dismissals — see DESIGN §11):
+//!
+//! 1. **Entry cutoff**: the whole-tree size / height / leaf-count lower
+//!    bounds of [`crate::bounds`] are checked before any DP memory is
+//!    touched; if any exceeds `τ` the keyroot loop exits at iteration zero.
+//! 2. **Subproblem skip**: a keyroot pair `(k1, k2)` only ever *writes*
+//!    tree-distance cells for node pairs on its leftmost-leaf chains. If
+//!    every such pair is unusable — its global prefix gap
+//!    `|lml(k1) − lml(k2)|`, or the minimum global suffix gap over the
+//!    subproblem's index rectangle, already exceeds the budget — the whole
+//!    forest-distance subproblem is skipped.
+//! 3. **Band pruning**: inside a subproblem, a forest pair whose sizes
+//!    differ by more than `B = ⌊τ / min_op⌋` costs more than `τ`; only the
+//!    `|di − dj| ≤ B` band is computed, and every read outside the band (or
+//!    of a tree-distance cell whose size / height / prefix / suffix gap
+//!    exceeds `B`) yields the sentinel `τ + 1` instead of touching memory.
+//!
+//! The key invariant is that every computed cell `c` satisfies
+//! `c ≥ min(true, τ + 1)`, with equality `c = true` on every cell a
+//! `≤ τ` derivation of the root can reach — so `Some(d)` is always the true
+//! distance and `None` is returned iff the true distance exceeds `τ`.
+
+use treesim_tree::Tree;
+
+use crate::cost::{CostModel, UnitCost};
+use crate::zhang_shasha::{zhang_shasha, TreeInfo, ZsWorkspace};
+
+/// Work accounting for one [`bounded_zhang_shasha`] call.
+///
+/// `cells_computed + cells_skipped == cells_full` always holds, where a
+/// "cell" is one inner-loop iteration of the classic DP (the unit
+/// `refine.zs.nodes` is derived from).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundedStats {
+    /// Forest-distance cells actually evaluated.
+    pub cells_computed: u64,
+    /// Cells the band / subproblem pruning skipped.
+    pub cells_skipped: u64,
+    /// Whole keyroot subproblems skipped without touching the matrices.
+    pub subproblems_skipped: u64,
+    /// Cells the unbounded DP would have evaluated for this tree pair.
+    pub cells_full: u64,
+    /// Whether the call returned `None` (distance proven `> τ`).
+    pub cutoff: bool,
+}
+
+/// Unit-cost bounded tree edit distance.
+///
+/// Returns `Some(d)` with the exact Zhang–Shasha distance `d` when
+/// `d ≤ tau`, and `None` iff the true distance exceeds `tau`.
+///
+/// # Examples
+///
+/// ```
+/// use treesim_edit::ted_bounded;
+/// use treesim_tree::{parse::bracket, LabelInterner};
+///
+/// let mut interner = LabelInterner::new();
+/// let t1 = bracket::parse(&mut interner, "a(b(c d) e)").unwrap();
+/// let t2 = bracket::parse(&mut interner, "a(b(c x) e)").unwrap();
+/// assert_eq!(ted_bounded(&t1, &t2, 5), Some(1));
+/// assert_eq!(ted_bounded(&t1, &t2, 0), None);
+/// ```
+pub fn ted_bounded(t1: &Tree, t2: &Tree, tau: u64) -> Option<u64> {
+    let info1 = TreeInfo::new(t1);
+    let info2 = TreeInfo::new(t2);
+    let mut workspace = ZsWorkspace::new();
+    bounded_zhang_shasha(&info1, &info2, &UnitCost, tau, &mut workspace).0
+}
+
+/// Bounded Zhang–Shasha over precomputed [`TreeInfo`]s, reusing `workspace`.
+///
+/// Semantics match [`ted_bounded`] generalized to any [`CostModel`]: the
+/// first component is `Some(d)` with the exact distance iff `d ≤ tau`, else
+/// `None`; the second reports how much of the DP was actually evaluated.
+pub fn bounded_zhang_shasha<C: CostModel>(
+    info1: &TreeInfo,
+    info2: &TreeInfo,
+    cost: &C,
+    tau: u64,
+    workspace: &mut ZsWorkspace,
+) -> (Option<u64>, BoundedStats) {
+    let n1 = info1.len();
+    let n2 = info2.len();
+    let cells_full = full_cells(info1, info2);
+    let min_op = cost.min_operation_cost().max(1);
+    // Any pair of index sets whose cardinalities differ by more than `band`
+    // is more than `tau` apart: gap > band ⇔ gap · min_op > tau.
+    let band = tau / min_op;
+
+    let mut stats = BoundedStats {
+        cells_full,
+        ..BoundedStats::default()
+    };
+
+    // Entry cutoff: whole-tree lower bounds, no DP memory touched.
+    let size_gap = (n1 as u64).abs_diff(n2 as u64);
+    let height_gap = info1.height_at(n1 - 1).abs_diff(info2.height_at(n2 - 1));
+    let leaf_gap = (info1.leaf_count() as u64).abs_diff(info2.leaf_count() as u64);
+    if size_gap > band || height_gap > band || leaf_gap > band {
+        stats.cells_skipped = cells_full;
+        stats.cutoff = true;
+        return (None, stats);
+    }
+
+    // Fast path: the band covers every cell, so the bounded DP degenerates
+    // to the classic one; run it without per-cell guard overhead.
+    if band >= n1.max(n2) as u64 {
+        let d = zhang_shasha(info1, info2, cost, workspace);
+        stats.cells_computed = cells_full;
+        if d > tau {
+            stats.cutoff = true;
+            return (None, stats);
+        }
+        return (Some(d), stats);
+    }
+
+    // `inf` is the smallest sentinel that still proves "> tau"; using it
+    // (rather than a huge constant) keeps saturating arithmetic exact for
+    // any cost scale. Every guarded read substitutes `inf` for the cell.
+    let inf = tau.saturating_add(1);
+    let b = band as usize; // band < max(n1, n2) here, so this fits.
+
+    let stride = n2 + 1;
+    let (td, fd) = workspace.matrices();
+    td.clear();
+    td.resize((n1 + 1) * stride, inf);
+    fd.clear();
+    fd.resize((n1 + 1) * stride, inf);
+
+    for &k1 in info1.keyroots() {
+        for &k2 in info2.keyroots() {
+            let region = info1.subtree_size(k1) as u64 * info2.subtree_size(k2) as u64;
+            if skip_subproblem(info1, info2, k1, k2, band) {
+                stats.subproblems_skipped += 1;
+                stats.cells_skipped += region;
+                continue;
+            }
+            let computed =
+                compute_bounded_treedist(info1, info2, k1, k2, cost, td, fd, stride, b, inf);
+            stats.cells_computed += computed;
+            stats.cells_skipped += region - computed;
+        }
+    }
+
+    let d = td[n1 * stride + n2];
+    if d > tau {
+        stats.cutoff = true;
+        (None, stats)
+    } else {
+        (Some(d), stats)
+    }
+}
+
+/// Cells the unbounded DP evaluates: one per (node-in-keyroot-subtree) pair,
+/// which factors into a product of per-tree keyroot subtree-size sums.
+fn full_cells(info1: &TreeInfo, info2: &TreeInfo) -> u64 {
+    let sum = |info: &TreeInfo| -> u64 {
+        info.keyroots()
+            .iter()
+            .map(|&k| info.subtree_size(k) as u64)
+            .sum()
+    };
+    sum(info1) * sum(info2)
+}
+
+/// Whether keyroot subproblem `(k1, k2)` can be skipped entirely.
+///
+/// The subproblem only writes tree-distance cells `(a, b)` with
+/// `lml(a) = lml(k1)`, `lml(b) = lml(k2)` (its leftmost-leaf chains). Any
+/// global mapping of cost `≤ τ` that matches such a pair must map the `lml`
+/// prefixes onto each other and the postorder suffixes onto each other, so
+/// if the prefix gap — or the *minimum* suffix gap over the whole index
+/// rectangle — exceeds the band, none of those cells can participate in a
+/// `≤ τ` derivation and the guarded reads will never look at them.
+fn skip_subproblem(info1: &TreeInfo, info2: &TreeInfo, k1: usize, k2: usize, band: u64) -> bool {
+    let l1 = info1.leftmost_leaf(k1);
+    let l2 = info2.leftmost_leaf(k2);
+    if (l1 as u64).abs_diff(l2 as u64) > band {
+        return true;
+    }
+    // Suffix gap of a cell (a, b) is |(n1 − a) − (n2 − b)| = |D − (a − b)|
+    // with D = n1 − n2; over the rectangle, a − b spans [l1 − k2, k1 − l2].
+    let d = info1.len() as i64 - info2.len() as i64;
+    let lo = l1 as i64 - k2 as i64;
+    let hi = k1 as i64 - l2 as i64;
+    let min_suffix_gap = if d < lo {
+        (lo - d) as u64
+    } else if d > hi {
+        (d - hi) as u64
+    } else {
+        0
+    };
+    min_suffix_gap > band
+}
+
+/// Banded version of `compute_treedist` for keyroot pair `(k1, k2)`.
+///
+/// Returns the number of cells evaluated. All reads are guarded: a read
+/// outside the `|di − dj| ≤ band` diagonal band — or of a tree-distance
+/// cell whose size / height / prefix / suffix gap exceeds the band — yields
+/// `inf` instead of memory, which makes skipped subproblems, pruned rows,
+/// and out-of-band stale cells invisible to the recurrence.
+#[allow(clippy::too_many_arguments)]
+fn compute_bounded_treedist<C: CostModel>(
+    info1: &TreeInfo,
+    info2: &TreeInfo,
+    k1: usize,
+    k2: usize,
+    cost: &C,
+    td: &mut [u64],
+    fd: &mut [u64],
+    stride: usize,
+    band: usize,
+    inf: u64,
+) -> u64 {
+    let n1 = info1.len();
+    let n2 = info2.len();
+    // 1-based postorder ranges [l1 .. k1+1] × [l2 .. k2+1], as in the
+    // classic DP; index 0 is the empty-forest boundary.
+    let l1 = info1.leftmost_leaf(k1) + 1;
+    let l2 = info2.leftmost_leaf(k2) + 1;
+    let i_hi = k1 + 1;
+    let j_hi = k2 + 1;
+    let at = |i: usize, j: usize| i * stride + j;
+    // Band coordinates: di = i − (l1 − 1), dj = j − (l2 − 1) are the left
+    // forest sizes; fd(i, j) ≥ |di − dj| · min_op, so outside the band the
+    // cell is provably > tau.
+    let in_band = |i: usize, j: usize| {
+        let di = i - (l1 - 1);
+        let dj = j - (l2 - 1);
+        di.abs_diff(dj) <= band
+    };
+    let fd_read = |fd: &[u64], i: usize, j: usize| {
+        if in_band(i, j) {
+            fd[at(i, j)]
+        } else {
+            inf
+        }
+    };
+    // Guarded tree-distance read for 1-based node pair (a, b): each gap is
+    // a lower bound (scaled by min_op) on either the subtree distance
+    // itself (size, height) or on any global mapping that matches a ↔ b
+    // (prefix, suffix) — see DESIGN §11.
+    let td_read = |td: &[u64], a: usize, b: usize| {
+        let (a0, b0) = (a - 1, b - 1);
+        let size_gap = (info1.subtree_size(a0) as u64).abs_diff(info2.subtree_size(b0) as u64);
+        let height_gap = info1.height_at(a0).abs_diff(info2.height_at(b0));
+        let prefix_gap = (info1.leftmost_leaf(a0) as u64).abs_diff(info2.leftmost_leaf(b0) as u64);
+        let suffix_gap = ((n1 - a) as u64).abs_diff((n2 - b) as u64);
+        let band = band as u64;
+        if size_gap > band || height_gap > band || prefix_gap > band || suffix_gap > band {
+            inf
+        } else {
+            td[at(a, b)]
+        }
+    };
+
+    fd[at(l1 - 1, l2 - 1)] = 0;
+    for i in l1..=i_hi {
+        if i - (l1 - 1) > band {
+            break;
+        }
+        fd[at(i, l2 - 1)] =
+            fd[at(i - 1, l2 - 1)].saturating_add(cost.delete(info1.label_at(i - 1)));
+    }
+    for j in l2..=j_hi {
+        if j - (l2 - 1) > band {
+            break;
+        }
+        fd[at(l1 - 1, j)] =
+            fd[at(l1 - 1, j - 1)].saturating_add(cost.insert(info2.label_at(j - 1)));
+    }
+
+    let mut computed = 0u64;
+    for i in l1..=i_hi {
+        let di = i - (l1 - 1);
+        // dj must lie in [di − band, di + band]; translate back to j.
+        let j_lo = (l2 - 1 + di.saturating_sub(band)).max(l2);
+        let j_hi_row = (l2 - 1 + di + band).min(j_hi);
+        if j_lo > j_hi_row {
+            // di − band already exceeds the widest dj; rows below only
+            // drift further from the band.
+            break;
+        }
+        let li = info1.leftmost_leaf(i - 1) + 1;
+        let del_cost = cost.delete(info1.label_at(i - 1));
+        for j in j_lo..=j_hi_row {
+            computed += 1;
+            let lj = info2.leftmost_leaf(j - 1) + 1;
+            let del = fd_read(fd, i - 1, j).saturating_add(del_cost);
+            let ins = fd_read(fd, i, j - 1).saturating_add(cost.insert(info2.label_at(j - 1)));
+            if li == l1 && lj == l2 {
+                let rel = fd_read(fd, i - 1, j - 1)
+                    .saturating_add(cost.relabel(info1.label_at(i - 1), info2.label_at(j - 1)));
+                let best = del.min(ins).min(rel);
+                fd[at(i, j)] = best;
+                td[at(i, j)] = best;
+            } else {
+                let split = fd_read(fd, li - 1, lj - 1).saturating_add(td_read(td, i, j));
+                fd[at(i, j)] = del.min(ins).min(split);
+            }
+        }
+    }
+    computed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zhang_shasha::edit_distance;
+    use treesim_tree::{parse::bracket, LabelInterner};
+
+    fn parse_pair(a: &str, b: &str) -> (Tree, Tree) {
+        let mut interner = LabelInterner::new();
+        let t1 = bracket::parse(&mut interner, a).unwrap();
+        let t2 = bracket::parse(&mut interner, b).unwrap();
+        (t1, t2)
+    }
+
+    fn check_all_taus(a: &str, b: &str) {
+        let (t1, t2) = parse_pair(a, b);
+        let d = edit_distance(&t1, &t2);
+        for tau in [0, d.saturating_sub(1), d, d + 1, u64::MAX] {
+            let got = ted_bounded(&t1, &t2, tau);
+            if tau >= d {
+                assert_eq!(got, Some(d), "{a} vs {b} at tau={tau}");
+            } else {
+                assert_eq!(got, None, "{a} vs {b} at tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_unbounded_across_thresholds() {
+        check_all_taus("a(b(c d) b e)", "a(b(c d) b e)");
+        check_all_taus("a", "b");
+        check_all_taus("a(b c)", "a(x(b c))");
+        check_all_taus("f(d(a c(b)) e)", "f(c(d(a b)) e)");
+        check_all_taus("a(b(c(d(e))))", "e(d(c(b(a))))");
+        check_all_taus("a(b c d e f)", "a(b(c(d(e(f)))))");
+        check_all_taus("r(a b c)", "r(x(y(z)) a b c)");
+    }
+
+    #[test]
+    fn deep_chains_and_skew() {
+        // Degenerate keyroot structure: left chains have a single keyroot,
+        // right chains one keyroot per node.
+        check_all_taus("a(a(a(a(a))))", "a(a(a))");
+        check_all_taus("a(b a(b a(b)))", "a(b a(b))");
+        check_all_taus("a(a(a(a)) b)", "b(a a(a(a)))");
+    }
+
+    #[test]
+    fn entry_cutoff_skips_all_cells() {
+        let (t1, t2) = parse_pair("a(b(c(d(e(f(g))))))", "a");
+        let info1 = TreeInfo::new(&t1);
+        let info2 = TreeInfo::new(&t2);
+        let mut ws = ZsWorkspace::new();
+        let (res, stats) = bounded_zhang_shasha(&info1, &info2, &UnitCost, 2, &mut ws);
+        assert_eq!(res, None);
+        assert!(stats.cutoff);
+        assert_eq!(stats.cells_computed, 0);
+        assert_eq!(stats.cells_skipped, stats.cells_full);
+    }
+
+    #[test]
+    fn tight_budget_prunes_cells() {
+        let (t1, t2) = parse_pair(
+            "r(a(b c d) e(f g h) i(j k l) m(n o p))",
+            "r(a(b c d) e(f g h) i(j k l) m(n o q))",
+        );
+        let info1 = TreeInfo::new(&t1);
+        let info2 = TreeInfo::new(&t2);
+        let mut ws = ZsWorkspace::new();
+        let (res, stats) = bounded_zhang_shasha(&info1, &info2, &UnitCost, 1, &mut ws);
+        assert_eq!(res, Some(1));
+        assert!(!stats.cutoff);
+        assert!(stats.cells_computed < stats.cells_full);
+        assert_eq!(stats.cells_computed + stats.cells_skipped, stats.cells_full);
+    }
+
+    #[test]
+    fn generous_budget_takes_fast_path() {
+        let (t1, t2) = parse_pair("a(b c)", "a(b d)");
+        let info1 = TreeInfo::new(&t1);
+        let info2 = TreeInfo::new(&t2);
+        let mut ws = ZsWorkspace::new();
+        let (res, stats) = bounded_zhang_shasha(&info1, &info2, &UnitCost, u64::MAX, &mut ws);
+        assert_eq!(res, Some(1));
+        assert_eq!(stats.cells_computed, stats.cells_full);
+        assert_eq!(stats.cells_skipped, 0);
+    }
+
+    #[test]
+    fn weighted_costs_respect_budget() {
+        use crate::cost::WeightedCost;
+        let model = WeightedCost {
+            relabel: 2,
+            delete: 3,
+            insert: 5,
+        };
+        let (t1, t2) = parse_pair("a(b c)", "a(x y(z))");
+        let info1 = TreeInfo::new(&t1);
+        let info2 = TreeInfo::new(&t2);
+        let mut ws = ZsWorkspace::new();
+        let full = zhang_shasha(&info1, &info2, &model, &mut ws);
+        for tau in [0, full.saturating_sub(1), full, full + 1, u64::MAX] {
+            let (res, _) = bounded_zhang_shasha(&info1, &info2, &model, tau, &mut ws);
+            if tau >= full {
+                assert_eq!(res, Some(full), "tau={tau}");
+            } else {
+                assert_eq!(res, None, "tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean_across_budgets() {
+        // A bounded run leaves `inf` sentinels in the matrices; the next
+        // run (bounded or not) must not observe them.
+        let (t1, t2) = parse_pair("a(b(c d) e)", "x(y z)");
+        let info1 = TreeInfo::new(&t1);
+        let info2 = TreeInfo::new(&t2);
+        let mut ws = ZsWorkspace::new();
+        let full = zhang_shasha(&info1, &info2, &UnitCost, &mut ws);
+        let (r1, _) = bounded_zhang_shasha(&info1, &info2, &UnitCost, 0, &mut ws);
+        assert_eq!(r1, None);
+        let (r2, _) = bounded_zhang_shasha(&info1, &info2, &UnitCost, full, &mut ws);
+        assert_eq!(r2, Some(full));
+        assert_eq!(zhang_shasha(&info1, &info2, &UnitCost, &mut ws), full);
+    }
+}

@@ -4,6 +4,8 @@
 //! * [`zhang_shasha`](mod@zhang_shasha): the classic Zhang–Shasha dynamic program
 //!   (reference \[23\] of the paper) with reusable per-tree precomputation
 //!   ([`TreeInfo`]) and scratch space ([`ZsWorkspace`]);
+//! * [`bounded`]: threshold-aware Zhang–Shasha ([`ted_bounded`]) that stops
+//!   paying for DP cells once a live budget `τ` rules them out;
 //! * [`cost`]: pluggable edit-operation cost models ([`UnitCost`] is the
 //!   paper's setting);
 //! * [`bounds`]: O(1) lower/upper bounds used to cheapen filtering further;
@@ -23,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bounded;
 pub mod bounds;
 pub mod constrained;
 pub mod cost;
@@ -32,6 +35,7 @@ pub mod script;
 pub mod selkow;
 pub mod zhang_shasha;
 
+pub use bounded::{bounded_zhang_shasha, ted_bounded, BoundedStats};
 pub use constrained::{constrained_distance, constrained_distance_with};
 pub use cost::{CostModel, UnitCost, WeightedCost};
 pub use mapping::{edit_mapping, EditMapping};

@@ -23,6 +23,12 @@ pub struct TreeInfo {
     keyroots: Vec<usize>,
     /// Original node ids in postorder, for mapping recovery.
     ids: Vec<NodeId>,
+    /// `heights[i]` = height (nodes on the longest downward path, so a
+    /// leaf has height 1) of the subtree rooted at postorder index `i`.
+    /// Used by the bounded DP's height guards ([`crate::bounded`]).
+    heights: Vec<u64>,
+    /// Number of leaves, for the O(1) leaf-count cutoff of the bounded DP.
+    leaves: usize,
 }
 
 impl TreeInfo {
@@ -32,8 +38,12 @@ impl TreeInfo {
         let mut labels = Vec::with_capacity(n);
         let mut ids = Vec::with_capacity(n);
         let mut lml = vec![0usize; n];
-        // Postorder index per node, to resolve first-child lookups.
+        let mut heights = Vec::with_capacity(n);
+        // Postorder index per node, to resolve first-child lookups, and
+        // the running subtree height per arena slot (children precede
+        // parents in postorder, so a node's slot is final when visited).
         let mut post_index = vec![usize::MAX; tree.arena_len()];
+        let mut height_of = vec![1u64; tree.arena_len()];
         for (i, node) in tree.postorder().enumerate() {
             post_index[node.index()] = i;
             labels.push(tree.label(node));
@@ -44,7 +54,14 @@ impl TreeInfo {
                 Some(first) => lml[post_index[first.index()]],
                 None => i,
             };
+            let h = height_of[node.index()];
+            heights.push(h);
+            if let Some(parent) = tree.parent(node) {
+                let slot = &mut height_of[parent.index()];
+                *slot = (*slot).max(h + 1);
+            }
         }
+        let leaves = lml.iter().enumerate().filter(|&(i, &l)| l == i).count();
         // LR-keyroots: nodes with no proper ancestor sharing their leftmost
         // leaf — equivalently, for each distinct lml value keep the largest
         // postorder index that attains it.
@@ -59,6 +76,8 @@ impl TreeInfo {
             lml,
             keyroots,
             ids,
+            heights,
+            leaves,
         }
     }
 
@@ -91,6 +110,23 @@ impl TreeInfo {
     pub fn keyroots(&self) -> &[usize] {
         &self.keyroots
     }
+
+    /// Height (nodes on the longest downward path; a leaf has height 1)
+    /// of the subtree rooted at 0-based postorder position `i`.
+    pub fn height_at(&self, i: usize) -> u64 {
+        self.heights[i]
+    }
+
+    /// Number of nodes in the subtree rooted at 0-based postorder
+    /// position `i` (postorder index minus leftmost-leaf index, plus one).
+    pub fn subtree_size(&self, i: usize) -> usize {
+        i - self.lml[i] + 1
+    }
+
+    /// Number of leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves
+    }
 }
 
 /// Workspace for repeated Zhang–Shasha runs; reusing it avoids reallocating
@@ -111,6 +147,12 @@ impl ZsWorkspace {
     /// pair); used by mapping recovery.
     pub(crate) fn treedist_snapshot(&self) -> &[u64] {
         &self.treedist
+    }
+
+    /// Mutable access to the `(treedist, forestdist)` matrices for the
+    /// bounded DP ([`crate::bounded`]), which shares this workspace.
+    pub(crate) fn matrices(&mut self) -> (&mut Vec<u64>, &mut Vec<u64>) {
+        (&mut self.treedist, &mut self.forestdist)
     }
 }
 

@@ -1,0 +1,151 @@
+//! Property tests for the bounded (threshold-aware) Zhang–Shasha:
+//! `ted_bounded(t1, t2, τ)` must return `Some(d)` iff the unbounded
+//! distance is `d ≤ τ` and `None` iff it exceeds `τ`, for every budget
+//! shape the cascade can hand it — including the degenerate-keyroot chains
+//! that stress the subproblem-skip logic.
+
+use proptest::prelude::*;
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_edit::bounded::bounded_zhang_shasha;
+use treesim_edit::zhang_shasha::{zhang_shasha, TreeInfo, ZsWorkspace};
+use treesim_edit::{edit_distance, ted_bounded, UnitCost, WeightedCost};
+use treesim_tree::{parse::bracket, Forest, LabelInterner, Tree, TreeId};
+
+fn small_forest(seed: u64, size_mean: f64, labels: u32, count: usize) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(2.0, 1.0),
+        size: Normal::new(size_mean, 2.0),
+        label_count: labels,
+        decay: 0.2,
+        seed_count: 2.min(count),
+        tree_count: count,
+        rng_seed: seed,
+    })
+}
+
+/// The tau values the satellite calls out: 0, d−1, d, d+1, ∞.
+fn boundary_taus(d: u64) -> [u64; 5] {
+    [0, d.saturating_sub(1), d, d + 1, u64::MAX]
+}
+
+fn assert_bounded_semantics(t1: &Tree, t2: &Tree, ctx: &str) {
+    let d = edit_distance(t1, t2);
+    for tau in boundary_taus(d) {
+        let got = ted_bounded(t1, t2, tau);
+        let want = if d <= tau { Some(d) } else { None };
+        assert_eq!(got, want, "{ctx}: tau={tau}, unbounded d={d}");
+    }
+}
+
+/// A chain tree `a(a(a(...)))` of the given depth — a single keyroot on
+/// the left spine, which degenerates the keyroot decomposition.
+fn chain(depth: usize, label: &str) -> Tree {
+    let mut interner = LabelInterner::new();
+    let mut s = String::new();
+    for _ in 0..depth.saturating_sub(1) {
+        s.push_str(label);
+        s.push('(');
+    }
+    s.push_str(label);
+    s.push_str(&")".repeat(depth.saturating_sub(1)));
+    bracket::parse(&mut interner, &s).unwrap()
+}
+
+/// A right-comb `a(b a(b a(...)))`: every spine node is a keyroot, the
+/// opposite degeneracy from `chain`.
+fn comb(depth: usize) -> Tree {
+    let mut interner = LabelInterner::new();
+    let mut s = String::new();
+    for _ in 0..depth.saturating_sub(1) {
+        s.push_str("a(b ");
+    }
+    s.push('a');
+    s.push_str(&")".repeat(depth.saturating_sub(1)));
+    bracket::parse(&mut interner, &s).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Some(d)` iff `zhang_shasha == d ≤ τ`, `None` iff the distance
+    /// exceeds τ, on synthetic tree pairs at the boundary budgets.
+    #[test]
+    fn bounded_matches_unbounded_at_boundaries(seed in 0u64..10_000) {
+        let forest = small_forest(seed, 8.0, 4, 2);
+        let t1 = forest.tree(TreeId(0));
+        let t2 = forest.tree(TreeId(1));
+        assert_bounded_semantics(t1, t2, "synthetic");
+    }
+
+    /// Same contract on deep/skewed trees whose keyroot decomposition is
+    /// degenerate (single-keyroot left chains vs one-keyroot-per-node
+    /// right combs), which exercises the subproblem-skip paths.
+    #[test]
+    fn bounded_handles_degenerate_keyroots(d1 in 1usize..14, d2 in 1usize..14) {
+        assert_bounded_semantics(&chain(d1, "a"), &chain(d2, "a"), "chain/chain");
+        assert_bounded_semantics(&chain(d1, "a"), &chain(d2, "b"), "chain/relabel");
+        assert_bounded_semantics(&chain(d1, "a"), &comb(d2), "chain/comb");
+        assert_bounded_semantics(&comb(d1), &comb(d2), "comb/comb");
+    }
+
+    /// Every tau in [0, d + 2] — not just the boundaries — agrees with the
+    /// unbounded oracle, and the work accounting is conserved.
+    #[test]
+    fn bounded_agrees_for_every_tau(seed in 0u64..10_000) {
+        let forest = small_forest(seed, 6.0, 3, 2);
+        let info1 = TreeInfo::new(forest.tree(TreeId(0)));
+        let info2 = TreeInfo::new(forest.tree(TreeId(1)));
+        let mut ws = ZsWorkspace::new();
+        let d = zhang_shasha(&info1, &info2, &UnitCost, &mut ws);
+        for tau in 0..=d + 2 {
+            let (res, stats) = bounded_zhang_shasha(&info1, &info2, &UnitCost, tau, &mut ws);
+            let want = if d <= tau { Some(d) } else { None };
+            prop_assert_eq!(res, want, "tau={}, d={}", tau, d);
+            prop_assert_eq!(stats.cutoff, res.is_none());
+            prop_assert_eq!(
+                stats.cells_computed + stats.cells_skipped,
+                stats.cells_full
+            );
+        }
+    }
+
+    /// The contract holds for non-unit costs, where the band is scaled by
+    /// the model's minimum operation cost.
+    #[test]
+    fn bounded_respects_weighted_costs(
+        seed in 0u64..10_000,
+        relabel in 1u64..6,
+        delete in 1u64..6,
+        insert in 1u64..6,
+    ) {
+        let model = WeightedCost { relabel, delete, insert };
+        let forest = small_forest(seed, 6.0, 4, 2);
+        let info1 = TreeInfo::new(forest.tree(TreeId(0)));
+        let info2 = TreeInfo::new(forest.tree(TreeId(1)));
+        let mut ws = ZsWorkspace::new();
+        let d = zhang_shasha(&info1, &info2, &model, &mut ws);
+        for tau in boundary_taus(d) {
+            let (res, _) = bounded_zhang_shasha(&info1, &info2, &model, tau, &mut ws);
+            let want = if d <= tau { Some(d) } else { None };
+            prop_assert_eq!(res, want, "tau={}, d={}", tau, d);
+        }
+    }
+
+    /// Bounded runs never do more cell work than the full DP, and a zero
+    /// budget between different-rooted trees does essentially none.
+    #[test]
+    fn bounded_never_exceeds_full_work(seed in 0u64..10_000) {
+        let forest = small_forest(seed, 8.0, 4, 2);
+        let info1 = TreeInfo::new(forest.tree(TreeId(0)));
+        let info2 = TreeInfo::new(forest.tree(TreeId(1)));
+        let mut ws = ZsWorkspace::new();
+        let d = zhang_shasha(&info1, &info2, &UnitCost, &mut ws);
+        if d > 0 {
+            let (res, stats) =
+                bounded_zhang_shasha(&info1, &info2, &UnitCost, d - 1, &mut ws);
+            prop_assert_eq!(res, None);
+            prop_assert!(stats.cells_computed <= stats.cells_full);
+        }
+    }
+}

@@ -22,7 +22,7 @@
 /// means adding its prefix here *and* documenting it in the README
 /// Observability table — the analyzer rejects unknown prefixes.
 pub const KNOWN_PREFIXES: &[&str] = &[
-    "cascade", "refine", "engine", "batch", "dynamic", "recorder", "server", "shard",
+    "cascade", "refine", "engine", "batch", "dynamic", "recorder", "server", "shard", "join",
 ];
 
 /// The namespace reserved for metrics created inside `#[cfg(test)]` code
@@ -165,6 +165,14 @@ mod tests {
             "shard.knn.queries",
             "shard.workers.active",
             "refine.zs.nodes",
+            "refine.bounded.cutoffs",
+            "refine.bounded.bands_skipped",
+            "join.pairs.considered",
+            "join.pairs.refined",
+            "join.pairs.joined",
+            "join.pairs.cutoffs",
+            "join.cells_skipped",
+            "join.queries",
             "dynamic.push",
             "batch.pending",
             "recorder.recorded",

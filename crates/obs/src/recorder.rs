@@ -101,7 +101,14 @@ pub struct QueryRecord {
     pub propt_iters: u64,
     /// Candidates that reached exact Zhang–Shasha refinement.
     pub refined: u64,
-    /// Total tree nodes touched by refinement (sum over refined pairs).
+    /// Of `refined`, how many the bounded DP cut off at the live budget
+    /// (distance proven beyond τ / the k-th heap distance, not computed).
+    pub refine_cutoffs: u64,
+    /// DP cells the bounded refinement's band / subproblem pruning skipped
+    /// across this query's refinements.
+    pub bands_skipped: u64,
+    /// Effective tree nodes touched by refinement (sum over refined pairs,
+    /// scaled by the fraction of DP cells the bounded DP evaluated).
     pub zs_nodes: u64,
     /// Result-set size.
     pub results: u64,
@@ -126,6 +133,8 @@ impl QueryRecord {
             stage_count: 0,
             propt_iters: 0,
             refined: 0,
+            refine_cutoffs: 0,
+            bands_skipped: 0,
             zs_nodes: 0,
             results: 0,
             best: None,
@@ -175,6 +184,8 @@ impl QueryRecord {
             ("stages", Json::Arr(stages)),
             ("propt_iters", Json::U64(self.propt_iters)),
             ("refined", Json::U64(self.refined)),
+            ("refine_cutoffs", Json::U64(self.refine_cutoffs)),
+            ("bands_skipped", Json::U64(self.bands_skipped)),
             ("zs_nodes", Json::U64(self.zs_nodes)),
             ("results", Json::U64(self.results)),
         ];

@@ -20,12 +20,56 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use treesim_core::{BranchVocab, PositionalVector};
-use treesim_edit::{zhang_shasha, TreeInfo, UnitCost, ZsWorkspace};
+use treesim_edit::{bounded_zhang_shasha, TreeInfo, UnitCost, ZsWorkspace};
 use treesim_obs::recorder::{self, QueryKind};
 use treesim_tree::{Forest, LabelInterner, Tree, TreeId};
 
 use crate::engine::{emit_record, Neighbor};
 use crate::stats::{SearchStats, StageStats};
+
+/// Bounded refinement of one candidate, mirroring the static engine's
+/// `SearchEngine::refine`: `Some(d)` is the exact distance iff `d ≤
+/// budget`, `None` means the distance provably exceeds the budget. Feeds
+/// the same `refine.zs.nodes` effective-volume histogram and
+/// `refine.bounded.{cutoffs,bands_skipped}` counters, and the matching
+/// [`SearchStats`] fields.
+fn refine_bounded(
+    query_info: &TreeInfo,
+    data_info: &TreeInfo,
+    budget: u64,
+    workspace: &mut ZsWorkspace,
+    zs_nodes: &mut u64,
+    cutoffs: &mut usize,
+    bands_skipped: &mut u64,
+) -> Option<u64> {
+    let (distance, bounded) =
+        bounded_zhang_shasha(query_info, data_info, &UnitCost, budget, workspace);
+    #[cfg(feature = "strict-checks")]
+    {
+        let oracle =
+            treesim_edit::zhang_shasha(query_info, data_info, &UnitCost, &mut ZsWorkspace::new());
+        match distance {
+            Some(d) => debug_assert_eq!(d, oracle, "bounded DP disagrees with oracle"),
+            None => debug_assert!(
+                oracle > budget,
+                "bounded DP cut off a within-budget pair: oracle {oracle} ≤ budget {budget}"
+            ),
+        }
+    }
+    let nodes = (query_info.len() + data_info.len()) as u64;
+    let effective = (nodes * bounded.cells_computed)
+        .checked_div(bounded.cells_full)
+        .unwrap_or(0);
+    treesim_obs::histogram!("refine.zs.nodes").record(effective);
+    *zs_nodes += effective;
+    *bands_skipped += bounded.cells_skipped;
+    treesim_obs::counter!("refine.bounded.bands_skipped").add(bounded.cells_skipped);
+    if distance.is_none() {
+        *cutoffs += 1;
+        treesim_obs::counter!("refine.bounded.cutoffs").inc();
+    }
+    distance
+}
 
 /// An appendable similarity index over rooted, ordered, labeled trees.
 ///
@@ -268,12 +312,28 @@ impl DynamicIndex {
                 escalation.push(Reverse((bound.max(sharper), 3, raw)));
             } else {
                 let data_info = &self.infos[raw as usize];
-                zs_nodes += (query_info.len() + data_info.len()) as u64;
-                let distance = zhang_shasha(&query_info, data_info, &UnitCost, &mut workspace);
+                // Same live budget as the static core: the current k-th
+                // distance once the heap is full (equal distances still
+                // need the exact value for id tie-breaking).
+                let budget = match heap.peek() {
+                    Some(&(worst, _)) if heap.len() == k => worst,
+                    _ => u64::MAX,
+                };
+                let refined = refine_bounded(
+                    &query_info,
+                    data_info,
+                    budget,
+                    &mut workspace,
+                    &mut zs_nodes,
+                    &mut stats.refine_cutoffs,
+                    &mut stats.refine_bands_skipped,
+                );
                 stats.refined += 1;
-                heap.push((distance, raw));
-                if heap.len() > k {
-                    heap.pop();
+                if let Some(distance) = refined {
+                    heap.push((distance, raw));
+                    if heap.len() > k {
+                        heap.pop();
+                    }
                 }
             }
         }
@@ -342,10 +402,18 @@ impl DynamicIndex {
                 continue;
             }
             let data_info = &self.infos[raw];
-            zs_nodes += (query_info.len() + data_info.len()) as u64;
-            let distance = zhang_shasha(&query_info, data_info, &UnitCost, &mut workspace);
+            // τ is the refinement budget: `Some(d)` already implies a hit.
+            let refined = refine_bounded(
+                &query_info,
+                data_info,
+                u64::from(tau),
+                &mut workspace,
+                &mut zs_nodes,
+                &mut stats.refine_cutoffs,
+                &mut stats.refine_bands_skipped,
+            );
             stats.refined += 1;
-            if distance <= u64::from(tau) {
+            if let Some(distance) = refined {
                 results.push(Neighbor {
                     tree: TreeId(raw as u32),
                     distance,

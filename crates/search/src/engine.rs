@@ -30,7 +30,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
-use treesim_edit::{zhang_shasha, CostModel, TreeInfo, UnitCost, ZsWorkspace};
+use treesim_edit::{bounded_zhang_shasha, CostModel, TreeInfo, UnitCost, ZsWorkspace};
 use treesim_obs::recorder::{self, QueryKind, QueryRecord};
 use treesim_tree::{Forest, Tree, TreeId};
 
@@ -53,6 +53,9 @@ pub(crate) trait QueryObserver {
     fn on_range_pruned(&mut self, _id: TreeId, _stage: usize) {}
     /// `id` was refined to exact distance `distance`.
     fn on_refined(&mut self, _id: TreeId, _distance: u64) {}
+    /// `id` reached refinement but the bounded DP proved its distance
+    /// exceeds the live budget `budget` without computing it exactly.
+    fn on_refine_cutoff(&mut self, _id: TreeId, _budget: u64) {}
 }
 
 /// The production observer: all hooks are no-ops.
@@ -75,6 +78,8 @@ pub(crate) fn emit_record(
     }
     record.propt_iters = recorder::propt_iters_take();
     record.refined = stats.refined as u64;
+    record.refine_cutoffs = stats.refine_cutoffs as u64;
+    record.bands_skipped = stats.refine_bands_skipped;
     record.zs_nodes = zs_nodes;
     record.results = results.len() as u64;
     record.best = results.first().map(|n| n.distance);
@@ -190,27 +195,62 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         &self.filter
     }
 
-    /// Exact edit distance between `query_info` and dataset tree `id`.
+    /// Edit distance between `query_info` and dataset tree `id`, bounded
+    /// by the caller's live `budget` (the range τ or the current k-th heap
+    /// distance). Returns `Some(d)` with the exact distance iff `d ≤
+    /// budget`; `None` means the distance provably exceeds the budget (a
+    /// *cutoff* — the candidate cannot affect the result).
     ///
-    /// Each call records the problem size (total nodes on both sides) into
-    /// the `refine.zs.nodes` histogram and its wall-clock into
-    /// `refine.zs.us` — the refinement cost profile of §4.3. The node
-    /// count also accumulates into `zs_nodes` (the flight record's
-    /// per-query refinement-volume total).
+    /// Each call records its **effective refinement volume** into the
+    /// `refine.zs.nodes` histogram — the problem size (total nodes on both
+    /// sides) scaled by the fraction of DP cells the bounded DP actually
+    /// evaluated, so budget savings show up in the §4.3 cost profile — and
+    /// its wall-clock into `refine.zs.us`. The volume also accumulates
+    /// into `zs_nodes` (the flight record's per-query total); cutoffs and
+    /// skipped cells feed the `refine.bounded.{cutoffs,bands_skipped}`
+    /// counters and the matching [`SearchStats`] fields.
     fn refine(
         &self,
         query_info: &TreeInfo,
         id: TreeId,
+        budget: u64,
         workspace: &mut ZsWorkspace,
         zs_nodes: &mut u64,
-    ) -> u64 {
+        stats: &mut SearchStats,
+    ) -> Option<u64> {
         let data_info = &self.infos[id.index()];
-        let nodes = (query_info.len() + data_info.len()) as u64;
-        treesim_obs::histogram!("refine.zs.nodes").record(nodes);
-        *zs_nodes += nodes;
         let start = Instant::now();
-        let distance = zhang_shasha(query_info, data_info, &self.cost, workspace);
+        let (distance, bounded) =
+            bounded_zhang_shasha(query_info, data_info, &self.cost, budget, workspace);
         treesim_obs::histogram!("refine.zs.us").record_duration(start.elapsed());
+        #[cfg(feature = "strict-checks")]
+        {
+            let oracle = treesim_edit::zhang_shasha(
+                query_info,
+                data_info,
+                &self.cost,
+                &mut ZsWorkspace::new(),
+            );
+            match distance {
+                Some(d) => debug_assert_eq!(d, oracle, "bounded DP disagrees with oracle"),
+                None => debug_assert!(
+                    oracle > budget,
+                    "bounded DP cut off a within-budget pair: oracle {oracle} ≤ budget {budget}"
+                ),
+            }
+        }
+        let nodes = (query_info.len() + data_info.len()) as u64;
+        let effective = (nodes * bounded.cells_computed)
+            .checked_div(bounded.cells_full)
+            .unwrap_or(0);
+        treesim_obs::histogram!("refine.zs.nodes").record(effective);
+        *zs_nodes += effective;
+        stats.refine_bands_skipped += bounded.cells_skipped;
+        treesim_obs::counter!("refine.bounded.bands_skipped").add(bounded.cells_skipped);
+        if distance.is_none() {
+            stats.refine_cutoffs += 1;
+            treesim_obs::counter!("refine.bounded.cutoffs").inc();
+        }
         distance
     }
 
@@ -334,14 +374,35 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
                 observer.on_stage_bound(id, next_stage, sharper);
                 escalation.push(Reverse((bound.max(sharper), next_stage + 1, id)));
             } else {
+                // The live budget is the current k-th distance once the
+                // heap is full: a candidate strictly beyond it would be
+                // pushed and immediately evicted, so the bounded DP may
+                // cut it off; at exactly the budget the exact distance is
+                // still needed for the `(distance, id)` tie-break.
+                let budget = match heap.peek() {
+                    Some(&(worst, _)) if heap.len() == k => worst,
+                    _ => u64::MAX,
+                };
                 let refine_start = Instant::now();
-                let distance = self.refine(&query_info, id, &mut workspace, &mut zs_nodes);
+                let refined = self.refine(
+                    &query_info,
+                    id,
+                    budget,
+                    &mut workspace,
+                    &mut zs_nodes,
+                    &mut stats,
+                );
                 refine_time += refine_start.elapsed();
                 stats.refined += 1;
-                observer.on_refined(id, distance);
-                heap.push((distance, id));
-                if heap.len() > k {
-                    heap.pop();
+                match refined {
+                    Some(distance) => {
+                        observer.on_refined(id, distance);
+                        heap.push((distance, id));
+                        if heap.len() > k {
+                            heap.pop();
+                        }
+                    }
+                    None => observer.on_refine_cutoff(id, budget),
                 }
             }
         }
@@ -457,11 +518,24 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         let mut zs_nodes = 0u64;
         let mut results = Vec::new();
         for id in candidates {
-            let distance = self.refine(&query_info, id, &mut workspace, &mut zs_nodes);
+            // The range radius is the refinement budget: `Some(d)` implies
+            // `d ≤ τ` (a hit), `None` is exactly the old `distance > τ`
+            // rejection without paying for the full DP.
+            let refined = self.refine(
+                &query_info,
+                id,
+                u64::from(tau),
+                &mut workspace,
+                &mut zs_nodes,
+                &mut stats,
+            );
             stats.refined += 1;
-            observer.on_refined(id, distance);
-            if distance <= u64::from(tau) {
-                results.push(Neighbor { tree: id, distance });
+            match refined {
+                Some(distance) => {
+                    observer.on_refined(id, distance);
+                    results.push(Neighbor { tree: id, distance });
+                }
+                None => observer.on_refine_cutoff(id, u64::from(tau)),
             }
         }
         stats.refine_time = refine_start.elapsed();

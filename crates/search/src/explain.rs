@@ -60,6 +60,16 @@ pub enum Verdict {
         /// Whether the candidate made the final result set.
         in_result: bool,
     },
+    /// Survived the cascade and entered refinement, but the bounded DP
+    /// ([`treesim_edit::bounded_zhang_shasha`]) proved the exact distance
+    /// exceeds the live threshold `budget` (the running k-th distance, or
+    /// τ) without finishing the computation. Counts as *refined* in the
+    /// funnel — the candidate was not stage-pruned — but carries no exact
+    /// distance.
+    RefineCutoff {
+        /// The live threshold the distance provably exceeds.
+        budget: u64,
+    },
 }
 
 /// One dataset tree's EXPLAIN row: the bounds each stage computed for it
@@ -108,7 +118,7 @@ impl ExplainReport {
             let pruned_stage = match candidate.verdict {
                 Verdict::Pruned { stage, .. } => Some(stage),
                 Verdict::PrunedByRangePredicate { stage, .. } => Some(stage),
-                Verdict::Refined { .. } => None,
+                Verdict::Refined { .. } | Verdict::RefineCutoff { .. } => None,
             };
             if let Some(stage) = pruned_stage {
                 if let Some(slot) = totals.get_mut(stage) {
@@ -192,6 +202,7 @@ impl ExplainReport {
                     "refined d={distance} {}",
                     if in_result { "[hit]" } else { "[miss]" }
                 ),
+                Verdict::RefineCutoff { budget } => format!("refine cut off (d > {budget})"),
             };
             let _ = writeln!(out, "  {verdict}");
         }
@@ -290,6 +301,10 @@ impl QueryObserver for ExplainObserver {
             in_result: false,
         });
     }
+
+    fn on_refine_cutoff(&mut self, id: TreeId, budget: u64) {
+        self.row(id).1 = Some(Verdict::RefineCutoff { budget });
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +379,36 @@ mod tests {
                 report.check_consistency().unwrap();
             }
         }
+    }
+
+    #[test]
+    fn cutoff_verdicts_telescope_like_refined() {
+        let forest = forest();
+        let engine = SearchEngine::new(
+            &forest,
+            BiBranchFilter::build(&forest, 2, BiBranchMode::Positional),
+        );
+        let mut saw_cutoff = false;
+        for (_, query) in forest.iter() {
+            for tau in 0..=2u32 {
+                let report = engine.explain_range(query, tau);
+                let (plain, plain_stats) = engine.range(query, tau);
+                assert_eq!(report.results, plain);
+                report.check_consistency().unwrap();
+                let cutoffs = report
+                    .candidates
+                    .iter()
+                    .filter(|c| matches!(c.verdict, Verdict::RefineCutoff { .. }))
+                    .count();
+                assert_eq!(cutoffs, plain_stats.refine_cutoffs);
+                if cutoffs > 0 {
+                    saw_cutoff = true;
+                    let rendered = report.render(usize::MAX);
+                    assert!(rendered.contains("refine cut off"));
+                }
+            }
+        }
+        assert!(saw_cutoff, "expected at least one refinement cutoff");
     }
 
     #[test]

@@ -382,6 +382,8 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
                 distance: n.distance,
             }));
             stats.refined += shard_stats.refined;
+            stats.refine_cutoffs += shard_stats.refine_cutoffs;
+            stats.refine_bands_skipped += shard_stats.refine_bands_skipped;
             stats.filter_time += shard_stats.filter_time;
             stats.refine_time += shard_stats.refine_time;
             if stats.stages.is_empty() {

@@ -144,8 +144,16 @@ pub struct SearchStats {
     /// Number of trees in the dataset.
     pub dataset_size: usize,
     /// Trees whose real edit distance was computed (true + false positives —
-    /// the "% of accessed data" numerator of Figures 7–14).
+    /// the "% of accessed data" numerator of Figures 7–14). Includes
+    /// refinements the bounded DP cut off at the budget.
     pub refined: usize,
+    /// Refinements the bounded Zhang–Shasha cut off at the live budget:
+    /// the distance was proven `> τ` (or beyond the current k-th heap
+    /// distance) without being computed exactly. Always `≤ refined`.
+    pub refine_cutoffs: usize,
+    /// DP cells the bounded refinement skipped via its band / subproblem
+    /// pruning, summed over this query's refinements.
+    pub refine_bands_skipped: u64,
     /// Trees in the final result set (true positives).
     pub results: usize,
     /// Time spent computing lower bounds (all cascade stages).
@@ -169,6 +177,8 @@ impl Default for SearchStats {
         SearchStats {
             dataset_size: 0,
             refined: 0,
+            refine_cutoffs: 0,
+            refine_bands_skipped: 0,
             results: 0,
             filter_time: Duration::ZERO,
             refine_time: Duration::ZERO,
@@ -230,6 +240,8 @@ impl SearchStats {
             );
         }
         self.refined += other.refined;
+        self.refine_cutoffs += other.refine_cutoffs;
+        self.refine_bands_skipped += other.refine_bands_skipped;
         self.results += other.results;
         self.filter_time += other.filter_time;
         self.refine_time += other.refine_time;
@@ -272,6 +284,7 @@ impl SearchStats {
         use treesim_obs::metrics::{counter, histogram};
         counter(&format!("{prefix}.queries")).inc();
         counter(&format!("{prefix}.refined")).add(self.refined as u64);
+        counter(&format!("{prefix}.cutoffs")).add(self.refine_cutoffs as u64);
         counter(&format!("{prefix}.results")).add(self.results as u64);
         histogram(&format!("{prefix}.filter.us")).record_duration(self.filter_time);
         histogram(&format!("{prefix}.refine.us")).record_duration(self.refine_time);
@@ -334,6 +347,13 @@ impl fmt::Display for SearchStats {
             self.filter_time,
             self.refine_time,
         )?;
+        if self.refine_cutoffs > 0 {
+            write!(
+                f,
+                "; {} refinements cut off at τ ({} cells skipped)",
+                self.refine_cutoffs, self.refine_bands_skipped,
+            )?;
+        }
         if !self.latency.is_empty() {
             write!(
                 f,
@@ -525,6 +545,30 @@ mod tests {
     }
 
     #[test]
+    fn accumulate_sums_cutoff_fields_and_display_reports_them() {
+        let mut total = SearchStats::default();
+        for (cutoffs, bands) in [(3usize, 40u64), (2, 17)] {
+            total.accumulate(&SearchStats {
+                dataset_size: 100,
+                refined: 10,
+                refine_cutoffs: cutoffs,
+                refine_bands_skipped: bands,
+                ..Default::default()
+            });
+        }
+        assert_eq!(total.refine_cutoffs, 5);
+        assert_eq!(total.refine_bands_skipped, 57);
+        let rendered = format!("{total}");
+        assert!(
+            rendered.contains("5 refinements cut off") && rendered.contains("57 cells skipped"),
+            "missing cutoff clause in: {rendered}"
+        );
+        // The clause is omitted entirely when no refinement was cut off.
+        let quiet = format!("{}", SearchStats::default());
+        assert!(!quiet.contains("cut off"));
+    }
+
+    #[test]
     #[should_panic(expected = "different datasets")]
     fn accumulate_rejects_mixed_datasets() {
         let mut total = SearchStats {
@@ -542,6 +586,8 @@ mod tests {
         let stats = SearchStats {
             dataset_size: 200,
             refined: 10,
+            refine_cutoffs: 0,
+            refine_bands_skipped: 0,
             results: 5,
             filter_time: Duration::from_micros(120),
             refine_time: Duration::from_micros(480),

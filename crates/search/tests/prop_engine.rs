@@ -6,7 +6,7 @@ use treesim_datagen::normal::Normal;
 use treesim_datagen::synthetic::{generate, SyntheticConfig};
 use treesim_edit::edit_distance;
 use treesim_search::{
-    BiBranchFilter, BiBranchMode, Filter, HistogramFilter, MaxFilter, SearchEngine,
+    BiBranchFilter, BiBranchMode, Filter, HistogramFilter, MaxFilter, NoFilter, SearchEngine,
 };
 use treesim_tree::{Forest, TreeId};
 
@@ -58,6 +58,33 @@ fn check_engine<F: Filter>(forest: &Forest, filter: F, seed: u64) -> Result<(), 
         }
     }
     Ok(())
+}
+
+/// The bounded refinement's τ-cutoffs are observable and change nothing:
+/// a sequential scan refines every tree, so at a small radius most
+/// refinements are cut off at τ — and the results still equal brute force
+/// (each surviving refinement also passes the strict-checks oracle).
+#[test]
+fn range_cutoffs_populate_without_changing_results() {
+    let forest = random_forest(7, 40);
+    let engine = SearchEngine::new(&forest, NoFilter::build(&forest));
+    let query = forest.tree(TreeId(0));
+    let (got, stats) = engine.range(query, 1);
+    assert!(stats.refine_cutoffs > 0, "expected τ-cutoffs: {stats:?}");
+    assert_eq!(stats.refined, forest.len(), "scan refines everything");
+    let want: Vec<(u64, TreeId)> = {
+        let mut w: Vec<(u64, TreeId)> = forest
+            .iter()
+            .map(|(id, t)| (edit_distance(query, t), id))
+            .filter(|&(d, _)| d <= 1)
+            .collect();
+        w.sort_unstable();
+        w
+    };
+    assert_eq!(got.len(), want.len());
+    for (n, &(d, id)) in got.iter().zip(&want) {
+        assert_eq!((n.distance, n.tree), (d, id));
+    }
 }
 
 proptest! {

@@ -37,14 +37,26 @@ fn check_report(
         prop_assert_eq!(a.tree, b.tree);
         prop_assert_eq!(a.distance, b.distance);
     }
-    // Refined verdicts account for every refinement; in-result marks
-    // account for every result.
+    // Refined-or-cutoff verdicts account for every refinement attempt
+    // (`stats.refined` counts τ-cutoffs too — the candidate was not
+    // stage-pruned); in-result marks account for every result.
     let refined = report
         .candidates
         .iter()
-        .filter(|c| matches!(c.verdict, Verdict::Refined { .. }))
+        .filter(|c| {
+            matches!(
+                c.verdict,
+                Verdict::Refined { .. } | Verdict::RefineCutoff { .. }
+            )
+        })
         .count();
     prop_assert_eq!(refined, report.stats.refined);
+    let cutoffs = report
+        .candidates
+        .iter()
+        .filter(|c| matches!(c.verdict, Verdict::RefineCutoff { .. }))
+        .count();
+    prop_assert_eq!(cutoffs, report.stats.refine_cutoffs);
     let in_result = report
         .candidates
         .iter()

@@ -9,6 +9,9 @@
 //!   deterministic core of the cascade's effectiveness;
 //! * `engine.*.refined` / `dynamic.*.refined` counters per query — false
 //!   positives that survived to Zhang–Shasha;
+//! * the `refine.zs.nodes` histogram sum per query — the effective
+//!   refinement DP volume (node product scaled by the fraction of cells
+//!   the bounded DP actually computed), deterministic for pinned seeds;
 //! * mean microseconds of every `*.us` latency histogram present in both
 //!   reports — wall-clock, hence noisy. `--counters-only` omits this
 //!   class; CI gates on the deterministic funnel/refinement counters
@@ -103,6 +106,29 @@ fn refined_counters(report: &Json) -> Vec<(String, u64)> {
                         return None;
                     }
                     Some((name.to_owned(), row.get("value")?.as_u64()?))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// `<name> → total` for the deterministic refinement-volume histogram
+/// (`refine.zs.nodes`): the effective DP volume the run paid, gated per
+/// query alongside the counters (it is seed-deterministic, unlike the
+/// `*.us` wall-clock histograms).
+fn refine_volume(report: &Json) -> Vec<(String, u64)> {
+    report
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| {
+                    let name = row.get("name")?.as_str()?;
+                    if name != "refine.zs.nodes" {
+                        return None;
+                    }
+                    Some((name.to_owned(), row.get("sum")?.as_u64()?))
                 })
                 .collect()
         })
@@ -225,6 +251,20 @@ pub fn compare(
         deltas.push(delta(format!("{name}/query"), b, n, threshold_percent));
     }
 
+    // Effective refinement DP volume per query (deterministic — gated
+    // even in --counters-only mode).
+    let base_volume: Vec<(String, f64)> = refine_volume(baseline)
+        .into_iter()
+        .map(|(s, v)| (s, v as f64 / base_queries))
+        .collect();
+    let new_volume: Vec<(String, f64)> = refine_volume(new)
+        .into_iter()
+        .map(|(s, v)| (s, v as f64 / new_queries))
+        .collect();
+    for (name, b, n) in paired(base_volume, new_volume, &mut skipped) {
+        deltas.push(delta(format!("{name} sum/query"), b, n, threshold_percent));
+    }
+
     // Latency histogram means (already per-sample, no normalization).
     if !counters_only {
         for (name, b, n) in paired(latency_means(baseline), latency_means(new), &mut skipped) {
@@ -288,6 +328,16 @@ mod tests {
     use super::*;
 
     fn report(queries: u64, propt_evaluated: u64, refined: u64, zs_mean: u64) -> Json {
+        report_with_volume(queries, propt_evaluated, refined, zs_mean, queries * 400)
+    }
+
+    fn report_with_volume(
+        queries: u64,
+        propt_evaluated: u64,
+        refined: u64,
+        zs_mean: u64,
+        zs_nodes: u64,
+    ) -> Json {
         Json::obj(vec![
             ("schema", Json::Str("treesim-bench-cascade/v1".to_owned())),
             (
@@ -325,11 +375,18 @@ mod tests {
                     ("gauges", Json::Arr(vec![])),
                     (
                         "histograms",
-                        Json::Arr(vec![Json::obj(vec![
-                            ("name", Json::Str("refine.zs.us".to_owned())),
-                            ("count", Json::U64(10)),
-                            ("sum", Json::U64(zs_mean * 10)),
-                        ])]),
+                        Json::Arr(vec![
+                            Json::obj(vec![
+                                ("name", Json::Str("refine.zs.us".to_owned())),
+                                ("count", Json::U64(10)),
+                                ("sum", Json::U64(zs_mean * 10)),
+                            ]),
+                            Json::obj(vec![
+                                ("name", Json::Str("refine.zs.nodes".to_owned())),
+                                ("count", Json::U64(10)),
+                                ("sum", Json::U64(zs_nodes)),
+                            ]),
+                        ]),
                     ),
                 ]),
             ),
@@ -342,8 +399,9 @@ mod tests {
         let comparison = compare(&a, &a, DEFAULT_THRESHOLD_PERCENT, false).unwrap();
         assert!(comparison.clean());
         assert!(comparison.skipped.is_empty());
-        // size + propt funnel rows, one refined counter, one latency mean.
-        assert_eq!(comparison.deltas.len(), 4);
+        // size + propt funnel rows, one refined counter, the zs.nodes
+        // volume, one latency mean.
+        assert_eq!(comparison.deltas.len(), 5);
         assert!(comparison.deltas.iter().all(|d| d.change_percent == 0.0));
     }
 
@@ -391,12 +449,26 @@ mod tests {
         let slow = report(6, 120, 30, 70); // +40% mean refine latency
         let comparison = compare(&base, &slow, 25.0, true).unwrap();
         assert!(comparison.clean(), "{:?}", comparison.deltas);
-        // Only the funnel rows and the refined counter are compared.
-        assert_eq!(comparison.deltas.len(), 3);
+        // Only the funnel rows, the refined counter, and the zs.nodes
+        // volume are compared.
+        assert_eq!(comparison.deltas.len(), 4);
         assert!(comparison.deltas.iter().all(|d| !d.metric.contains(".us")));
         // Counter regressions still gate.
         let worse = report(6, 120, 60, 50); // 2× refined
         assert!(!compare(&base, &worse, 25.0, true).unwrap().clean());
+    }
+
+    #[test]
+    fn refinement_volume_gates_even_counters_only() {
+        let base = report_with_volume(6, 120, 30, 50, 2400);
+        let bloated = report_with_volume(6, 120, 30, 50, 3600); // +50% DP volume
+        let comparison = compare(&base, &bloated, 25.0, true).unwrap();
+        assert!(!comparison.clean());
+        let bad: Vec<&Delta> = comparison.deltas.iter().filter(|d| d.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "refine.zs.nodes sum/query");
+        // A volume drop (the bounded DP working) never regresses.
+        assert!(compare(&bloated, &base, 25.0, true).unwrap().clean());
     }
 
     #[test]
