@@ -31,8 +31,11 @@ USAGE:
   treesim join   FILE [--tau 2] [--limit 20]  (approximate self-join / dedup)
   treesim explain FILE --query TREE [--k 5 | --tau T] [--filter ...] [--level 2]
                         [--shards 1] [--limit 40]   (per-candidate cascade EXPLAIN table)
+  treesim trace  FILE --query TREE [--k 5 | --tau T] [--filter ...] [--level 2]
+                        [--shards 1]   (answer one query, print its span tree)
   treesim serve-metrics [FILE] [--addr 127.0.0.1:9891] [--warm 25] [--k 5]
-                        (HTTP exporter: /metrics, /snapshot.json, /recorder.json)
+                        (HTTP exporter: /metrics, /snapshot.json, /recorder.json,
+                         /trace.json — retained span trees, Chrome trace-event format)
   treesim help
 
 Filters: `bibranch` is the paper's positional cascade; `postings` fronts it
@@ -69,6 +72,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "range" => search(&args, SearchKind::Range),
         "join" => join(&args),
         "explain" => explain(&args),
+        "trace" => trace_query(&args),
         "serve-metrics" => serve_metrics(&args),
         other => Err(format!("unknown command {other:?}")),
     };
@@ -500,6 +504,30 @@ fn explain_sharded<F: treesim_search::Filter + Send + Sync>(
     })
 }
 
+/// `treesim trace`: answer one query (same flags as `knn`/`range` — a
+/// `--tau` makes it a range query) with trace retention forced on, then
+/// print the reassembled span tree with per-span total/self times.
+fn trace_query(args: &Args) -> Result<(), String> {
+    // Retain every trace for this run: the CLI answers one query per
+    // process, so the sampler's 1-in-N lottery would usually drop the
+    // only trace there is.
+    treesim_obs::trace::set_sample_every(1);
+    let kind = if args.get("tau").is_some() {
+        SearchKind::Range
+    } else {
+        SearchKind::Knn
+    };
+    search(args, kind)?;
+    let trace = treesim_obs::trace::latest()
+        .ok_or("no trace was retained — the query produced no spans")?;
+    print!("{}", trace.render_tree());
+    println!(
+        "-- serve this tree in Chrome trace-event format: \
+         `treesim serve-metrics` → /trace.json (chrome://tracing, Perfetto)"
+    );
+    Ok(())
+}
+
 /// `treesim serve-metrics`: expose the metrics registry and flight
 /// recorder over HTTP. With a dataset argument, first answers `--warm`
 /// k-NN queries (a batch, so recorder entries are batch-tagged) to
@@ -528,7 +556,7 @@ fn serve_metrics(args: &Args) -> Result<(), String> {
     let local = server
         .local_addr()
         .map_err(|e| format!("cannot resolve local address: {e}"))?;
-    println!("serving http://{local}/metrics  (also /snapshot.json, /recorder.json)");
+    println!("serving http://{local}/metrics  (also /snapshot.json, /recorder.json, /trace.json)");
     server
         .serve_forever()
         .map_err(|e| format!("metrics server failed: {e}"))
@@ -772,6 +800,33 @@ mod tests {
             "explain", data_str, "--query", "a", "--filter", "bogus"
         ]))
         .is_err());
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn trace_command_prints_span_tree() {
+        let dir = std::env::temp_dir().join("treesim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("trace.trees");
+        std::fs::write(&data, "a(b c)\na(b d)\na(b(c) d)\nx(y z)\nq(r(s t))\n").unwrap();
+        let data_str = data.to_str().unwrap();
+        dispatch(&argv(&["trace", data_str, "--query", "a(b c)", "--k", "2"])).unwrap();
+        assert!(treesim_obs::trace::retained()
+            .iter()
+            .any(|t| t.root() == "engine.knn"));
+        // A τ makes it a range query; sharded queries trace too, with the
+        // shard workers joining the coordinator's tree.
+        dispatch(&argv(&[
+            "trace", data_str, "--query", "a(b c)", "--tau", "2", "--shards", "2",
+        ]))
+        .unwrap();
+        let sharded = treesim_obs::trace::retained()
+            .into_iter()
+            .rev()
+            .find(|t| t.root() == "shard.range")
+            .expect("sharded trace retained");
+        assert!(sharded.spans.iter().any(|s| s.name == "shard.worker"));
+        assert!(dispatch(&argv(&["trace"])).is_err());
         std::fs::remove_file(&data).ok();
     }
 

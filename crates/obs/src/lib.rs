@@ -22,7 +22,16 @@
 //!   memory, allocation-free recording after warm-up, drainable to JSON.
 //! * **Exporter** ([`mod@server`] + [`mod@prometheus`]): a std-only
 //!   `TcpListener` HTTP endpoint serving `/metrics` (Prometheus text
-//!   exposition 0.0.4), `/snapshot.json` and `/recorder.json`.
+//!   exposition 0.0.4), `/snapshot.json`, `/recorder.json` and
+//!   `/trace.json` (Chrome trace-event format).
+//! * **Traces** ([`mod@trace`]): per-query span *trees* — every span
+//!   entered while a [`trace::start_trace`] capture is live (including on
+//!   worker threads that joined via a [`trace::TraceHandle`]) carries a
+//!   parent id and is reassembled into a [`trace::Trace`] held in a
+//!   bounded ring, exportable as Chrome trace-event JSON or an indented
+//!   tree. Latency histograms stamp the current trace id into the bucket
+//!   each sample lands in (**exemplars**), linking `/metrics` tails back
+//!   to a concrete recorded query.
 //!
 //! # Naming scheme
 //!
@@ -30,7 +39,9 @@
 //! `engine.range.*` for query-level measures, `cascade.<stage>.*`
 //! (`size`, `bdist`, `propt`, `histo`) for per-stage funnel counters,
 //! `refine.zs.*` for Zhang–Shasha refinement, `dynamic.*` for the
-//! appendable index. Histograms of durations end in `.us` (microseconds).
+//! appendable index, `cluster.*`/`classify.*` for the similarity
+//! applications, and `trace.*` for the trace layer itself. Histograms of
+//! durations end in `.us` (microseconds).
 //! The scheme is a checked contract, not a convention: [`mod@naming`]
 //! holds the grammar ([`naming::KNOWN_PREFIXES`],
 //! [`naming::CASCADE_STAGES`], [`naming::validate_metric_name`]), the
@@ -66,6 +77,7 @@ pub mod prometheus;
 pub mod recorder;
 pub mod server;
 pub mod span;
+pub mod trace;
 
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{
@@ -78,6 +90,7 @@ pub use span::{
     clear_sink, current_depth, current_spans, install_sink, sink_active, Event, EventKind,
     JsonLinesSink, OwnedEvent, PrettySink, Sink, SpanGuard, TestSink,
 };
+pub use trace::{current_trace_id, start_trace, trace_active, Trace, TraceGuard, TraceSpan};
 
 /// Resolves (and caches per call-site) the counter named by a string
 /// literal. Expands to `&'static Counter`; the registry lookup happens
@@ -114,8 +127,9 @@ macro_rules! histogram {
 /// `span!("cascade.stage", name = stage, k = 5)`.
 ///
 /// The guard records wall-clock into the `<name>.us` histogram when
-/// dropped. Field values are formatted with `Display` — and only when a
-/// sink is installed, so uninstrumented runs never pay for formatting.
+/// dropped. Field values are formatted with `Display` — and only when
+/// someone will see them (a sink is installed or a trace capture is live
+/// on this thread), so uninstrumented runs never pay for formatting.
 #[macro_export]
 macro_rules! span {
     ($name:literal) => {
@@ -129,7 +143,7 @@ macro_rules! span {
         $crate::SpanGuard::enter(
             $name,
             $crate::histogram!(::std::concat!($name, ".us")),
-            if $crate::sink_active() {
+            if $crate::sink_active() || $crate::trace_active() {
                 ::std::vec![$((::std::stringify!($key), ::std::format!("{}", $value))),+]
             } else {
                 ::std::vec::Vec::new()

@@ -121,6 +121,10 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Exemplars: per bucket, the id of the last trace (see
+    /// [`crate::trace`]) whose sample landed there, 0 when none — the
+    /// link from a latency tail in `/metrics` to a recorded span tree.
+    exemplars: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 /// Bucket index of a sample: 0 for 0, otherwise `64 − leading_zeros(v)`
@@ -153,6 +157,7 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -161,13 +166,20 @@ impl Histogram {
         &self.name
     }
 
-    /// Records one sample.
+    /// Records one sample. When a trace capture is live on this thread,
+    /// the bucket additionally remembers the trace id as its exemplar
+    /// (one thread-local read plus one relaxed store — free otherwise).
     #[inline]
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let bucket = bucket_index(v);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        let trace_id = crate::trace::current_trace_id();
+        if trace_id != 0 {
+            self.exemplars[bucket].store(trace_id, Ordering::Relaxed);
+        }
     }
 
     /// Records a duration in microseconds (the convention for `*.us`
@@ -209,6 +221,9 @@ impl Histogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        for exemplar in &self.exemplars {
+            exemplar.store(0, Ordering::Relaxed);
+        }
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -224,6 +239,15 @@ impl Histogram {
                 .filter_map(|(i, b)| {
                     let v = b.load(Ordering::Relaxed);
                     (v > 0).then_some((i as u8, v))
+                })
+                .collect(),
+            exemplars: self
+                .exemplars
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| {
+                    let id = e.load(Ordering::Relaxed);
+                    (id > 0).then_some((i as u8, id))
                 })
                 .collect(),
         }
@@ -363,6 +387,9 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// `(bucket index, sample count)` for each non-empty bucket.
     pub buckets: Vec<(u8, u64)>,
+    /// `(bucket index, trace id)` exemplars: the last traced query whose
+    /// sample landed in each bucket (empty when no trace was live).
+    pub exemplars: Vec<(u8, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -411,6 +438,14 @@ impl HistogramSnapshot {
     /// Estimated 99th percentile.
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
+    }
+
+    /// The exemplar trace id recorded for bucket `i`, if any.
+    pub fn exemplar(&self, i: u8) -> Option<u64> {
+        self.exemplars
+            .iter()
+            .find(|&&(bucket, _)| bucket == i)
+            .map(|&(_, id)| id)
     }
 }
 
@@ -495,7 +530,7 @@ impl MetricsSnapshot {
                     self.histograms
                         .iter()
                         .map(|h| {
-                            Json::obj(vec![
+                            let mut fields = vec![
                                 ("name", Json::Str(h.name.clone())),
                                 ("count", Json::U64(h.count)),
                                 ("sum", Json::U64(h.sum)),
@@ -514,7 +549,28 @@ impl MetricsSnapshot {
                                             .collect(),
                                     ),
                                 ),
-                            ])
+                            ];
+                            // Omitted when empty so traced and untraced
+                            // runs of the same workload serialize alike
+                            // (committed BENCH_*.json baselines predate
+                            // exemplars).
+                            if !h.exemplars.is_empty() {
+                                fields.push((
+                                    "exemplars",
+                                    Json::Arr(
+                                        h.exemplars
+                                            .iter()
+                                            .map(|&(i, id)| {
+                                                Json::Arr(vec![
+                                                    Json::U64(u64::from(i)),
+                                                    Json::U64(id),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ));
+                            }
+                            Json::obj(fields)
                         })
                         .collect(),
                 ),
@@ -571,27 +627,35 @@ impl MetricsSnapshot {
             });
         }
         for h in arr_field(value, "histograms")? {
-            let mut buckets = Vec::new();
-            for pair in arr_field(&h, "buckets")? {
-                let [index, count] = pair
-                    .as_array()
-                    .ok_or_else(|| bad("bucket must be a pair"))?
-                else {
-                    return Err(bad("bucket must be a pair"));
-                };
-                let index = index.as_u64().ok_or_else(|| bad("bucket index"))?;
-                let count = count.as_u64().ok_or_else(|| bad("bucket count"))?;
-                buckets.push((
-                    u8::try_from(index).map_err(|_| bad("bucket index out of range"))?,
-                    count,
-                ));
-            }
+            let pairs = |key: &'static str, required: bool| -> Result<Vec<(u8, u64)>, JsonError> {
+                if !required && h.get(key).is_none() {
+                    return Ok(Vec::new());
+                }
+                let mut out = Vec::new();
+                for pair in arr_field(&h, key)? {
+                    let [index, second] = pair
+                        .as_array()
+                        .ok_or_else(|| bad(&format!("{key} entry must be a pair")))?
+                    else {
+                        return Err(bad(&format!("{key} entry must be a pair")));
+                    };
+                    let index = index.as_u64().ok_or_else(|| bad("bucket index"))?;
+                    let second = second.as_u64().ok_or_else(|| bad("bucket value"))?;
+                    out.push((
+                        u8::try_from(index).map_err(|_| bad("bucket index out of range"))?,
+                        second,
+                    ));
+                }
+                Ok(out)
+            };
             snapshot.histograms.push(HistogramSnapshot {
                 name: str_field(&h, "name")?,
                 count: u64_field(&h, "count")?,
                 sum: u64_field(&h, "sum")?,
                 max: u64_field(&h, "max")?,
-                buckets,
+                buckets: pairs("buckets", true)?,
+                // Optional: absent in pre-trace-layer baselines.
+                exemplars: pairs("exemplars", false)?,
             });
         }
         Ok(snapshot)
@@ -688,6 +752,7 @@ mod tests {
             sum: 0,
             max: 0,
             buckets: Vec::new(),
+            exemplars: Vec::new(),
         };
         assert_eq!(empty.p50(), 0);
         let single = histogram("test.metrics.quantiles_single");
@@ -709,6 +774,45 @@ mod tests {
         let text = snap.to_json_string();
         let parsed = MetricsSnapshot::from_json_str(&text).unwrap();
         assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn exemplars_stamp_the_current_trace_and_round_trip() {
+        let h = histogram("test.metrics.exemplars");
+        h.record(100); // no trace live → no exemplar
+        assert!(h.snapshot().exemplars.is_empty());
+        let id = {
+            let trace = crate::trace::start_trace();
+            h.record(100);
+            trace.id()
+        };
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplar(bucket_index(100) as u8), Some(id));
+        // The exemplars key survives the snapshot JSON round-trip…
+        let full = snapshot();
+        let parsed = MetricsSnapshot::from_json_str(&full.to_json_string()).unwrap();
+        assert_eq!(
+            parsed
+                .histogram("test.metrics.exemplars")
+                .unwrap()
+                .exemplars,
+            snap.exemplars,
+        );
+        // …and untraced histograms serialize without it (baseline compat).
+        let text = h0_json_text("test.metrics.untraced");
+        assert!(!text.contains("\"exemplars\""), "{text}");
+    }
+
+    fn h0_json_text(name: &str) -> String {
+        histogram(name).record(1);
+        let snap = snapshot();
+        let h = snap.histogram(name).unwrap();
+        let only = MetricsSnapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: vec![h.clone()],
+        };
+        only.to_json_string()
     }
 
     #[test]

@@ -23,6 +23,7 @@
 /// Observability table — the analyzer rejects unknown prefixes.
 pub const KNOWN_PREFIXES: &[&str] = &[
     "cascade", "refine", "engine", "batch", "dynamic", "recorder", "server", "shard", "join",
+    "cluster", "classify", "trace",
 ];
 
 /// The namespace reserved for metrics created inside `#[cfg(test)]` code
@@ -177,7 +178,17 @@ mod tests {
             "batch.pending",
             "recorder.recorded",
             "recorder.overwritten",
+            "recorder.dropped.knn",
+            "recorder.dropped.sharded_range",
             "server.requests",
+            "cluster.queries",
+            "cluster.clusters",
+            "classify.queries",
+            "trace.captured",
+            "trace.retained",
+            "trace.evicted",
+            "trace.spans.dropped",
+            "trace.ring.capacity",
         ] {
             assert_eq!(validate_metric_name(name, false), Ok(()), "{name}");
         }

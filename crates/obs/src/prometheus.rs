@@ -10,6 +10,13 @@
 //! ([`crate::bucket_upper_edge`]) is exactly an exposition `le` bound —
 //! plus `_sum` / `_count`, and the estimated p50/p90/p99 as `#` comment
 //! lines (native quantile series belong to summaries, not histograms).
+//! Buckets with a recorded exemplar (the last trace id that landed there,
+//! see [`crate::trace`]) add one more `#` comment line mapping each
+//! bucket's upper edge to the trace id — the breadcrumb from a `/metrics`
+//! latency tail to the matching span tree in `/trace.json`. Comment lines
+//! keep the document inside the 0.0.4 grammar (scrapers skip them; the
+//! richer OpenMetrics `# {trace_id=…}` exemplar syntax is not valid
+//! 0.0.4).
 
 use crate::metrics::{bucket_upper_edge, MetricsSnapshot};
 use crate::naming::prometheus_name;
@@ -51,6 +58,21 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
             h.p90(),
             h.p99()
         ));
+        if !h.exemplars.is_empty() {
+            let pairs: Vec<String> = h
+                .exemplars
+                .iter()
+                .map(|&(i, id)| {
+                    let le = bucket_upper_edge(usize::from(i));
+                    if le == u64::MAX {
+                        format!("le=\"+Inf\" trace={id}")
+                    } else {
+                        format!("le=\"{le}\" trace={id}")
+                    }
+                })
+                .collect();
+            out.push_str(&format!("# {name} exemplars: {}\n", pairs.join(" ")));
+        }
     }
     out
 }
@@ -77,6 +99,7 @@ mod tests {
                 max: 100,
                 // One zero, one in [2,4), two in [64,128).
                 buckets: vec![(0, 1), (2, 1), (7, 2)],
+                exemplars: vec![(7, 42)],
             }],
         }
     }
@@ -95,6 +118,15 @@ mod tests {
         assert!(text.contains("engine_knn_filter_us_sum 110\n"));
         assert!(text.contains("engine_knn_filter_us_count 4\n"));
         assert!(text.contains("p50="));
+        // The exemplar renders as a comment mapping bucket edge → trace.
+        assert!(text.contains("# engine_knn_filter_us exemplars: le=\"127\" trace=42\n"));
+    }
+
+    #[test]
+    fn histograms_without_exemplars_render_no_exemplar_line() {
+        let mut snap = sample_snapshot();
+        snap.histograms[0].exemplars.clear();
+        assert!(!render(&snap).contains("exemplars"));
     }
 
     #[test]

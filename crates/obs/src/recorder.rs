@@ -11,7 +11,10 @@
 //! and [`QueryRecord`] is `Copy`, so recording a query after warm-up is a
 //! shard-mutex lock plus a slot overwrite — no allocation on the hot
 //! path. When the ring is full the oldest records are overwritten
-//! (`recorder.overwritten` counts the evictions).
+//! (`recorder.overwritten` counts the evictions overall,
+//! `recorder.dropped.<kind>` breaks them down by the evicted record's
+//! kind — both in `/metrics` and in the `/recorder.json` `dropped`
+//! object).
 //!
 //! Two thread-locals thread per-query context through code that never
 //! sees the record being assembled: a propt-iteration accumulator (the
@@ -55,6 +58,16 @@ pub enum QueryKind {
 }
 
 impl QueryKind {
+    /// Every kind, in [`QueryKind::index`] order.
+    pub const ALL: [QueryKind; 6] = [
+        QueryKind::Knn,
+        QueryKind::Range,
+        QueryKind::DynamicKnn,
+        QueryKind::DynamicRange,
+        QueryKind::ShardedKnn,
+        QueryKind::ShardedRange,
+    ];
+
     /// Stable lowercase label used in JSON output.
     pub fn label(self) -> &'static str {
         match self {
@@ -64,6 +77,18 @@ impl QueryKind {
             QueryKind::DynamicRange => "dynamic_range",
             QueryKind::ShardedKnn => "sharded_knn",
             QueryKind::ShardedRange => "sharded_range",
+        }
+    }
+
+    /// Dense index into per-kind count arrays (matches [`QueryKind::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            QueryKind::Knn => 0,
+            QueryKind::Range => 1,
+            QueryKind::DynamicKnn => 2,
+            QueryKind::DynamicRange => 3,
+            QueryKind::ShardedKnn => 4,
+            QueryKind::ShardedRange => 5,
         }
     }
 }
@@ -118,6 +143,11 @@ pub struct QueryRecord {
     pub worst: Option<u64>,
     /// Wall-clock time of the whole query in microseconds.
     pub wall_us: u64,
+    /// Id of the trace captured for this query (see [`crate::trace`]);
+    /// 0 when the query ran without a live capture. Whether the trace is
+    /// still pullable from the trace ring depends on the sampler's
+    /// retention decision and subsequent evictions.
+    pub trace_id: u64,
 }
 
 impl QueryRecord {
@@ -140,6 +170,7 @@ impl QueryRecord {
             best: None,
             worst: None,
             wall_us: 0,
+            trace_id: 0,
         }
     }
 
@@ -196,6 +227,9 @@ impl QueryRecord {
             fields.push(("worst", Json::U64(worst)));
         }
         fields.push(("wall_us", Json::U64(self.wall_us)));
+        if self.trace_id != 0 {
+            fields.push(("trace_id", Json::U64(self.trace_id)));
+        }
         Json::obj(fields)
     }
 }
@@ -216,6 +250,10 @@ pub struct FlightRecorder {
     shards: Vec<Mutex<Shard>>,
     capacity: usize,
     sequence: AtomicU64,
+    /// Records overwritten before anyone read them, by the *evicted*
+    /// record's kind (index = [`QueryKind::index`]) — tells which query
+    /// populations the bounded ring is losing.
+    dropped: [AtomicU64; QueryKind::ALL.len()],
 }
 
 /// Mutex poisoning only means another thread panicked mid-record; the
@@ -243,6 +281,7 @@ impl FlightRecorder {
             shards,
             capacity: per_shard * SHARDS,
             sequence: AtomicU64::new(0),
+            dropped: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -272,21 +311,37 @@ impl FlightRecorder {
         let id = self.sequence.fetch_add(1, Ordering::Relaxed) + 1;
         record.id = id;
         let shard_index = (id as usize) % self.shards.len();
-        let mut evicted = false;
+        let mut evicted = None;
         if let Some(shard) = self.shards.get(shard_index) {
             let mut guard = recover(shard);
             let next = guard.next;
             if let Some(slot) = guard.slots.get_mut(next) {
-                evicted = slot.is_some();
+                evicted = slot.map(|old| old.kind);
                 *slot = Some(record);
             }
             guard.next = (next + 1) % guard.slots.len().max(1);
         }
         crate::metrics::counter("recorder.recorded").inc();
-        if evicted {
+        if let Some(kind) = evicted {
+            if let Some(per_kind) = self.dropped.get(kind.index()) {
+                per_kind.fetch_add(1, Ordering::Relaxed);
+            }
             crate::metrics::counter("recorder.overwritten").inc();
+            dropped_counter(kind).inc();
         }
         id
+    }
+
+    /// Records overwritten before being read, by evicted-record kind.
+    pub fn dropped_by_kind(&self) -> Vec<(QueryKind, u64)> {
+        QueryKind::ALL
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &kind)| {
+                let n = self.dropped.get(i)?.load(Ordering::Relaxed);
+                (n > 0).then_some((kind, n))
+            })
+            .collect()
     }
 
     /// Copies out every held record, sorted by id (oldest first). The
@@ -338,10 +393,32 @@ impl FlightRecorder {
             ("recorded_total", Json::U64(self.recorded_total())),
             ("held", Json::U64(records.len() as u64)),
             (
+                "dropped",
+                Json::obj(
+                    self.dropped_by_kind()
+                        .into_iter()
+                        .map(|(kind, n)| (kind.label(), Json::U64(n)))
+                        .collect(),
+                ),
+            ),
+            (
                 "records",
                 Json::Arr(records.iter().map(QueryRecord::to_json).collect()),
             ),
         ])
+    }
+}
+
+/// The global `recorder.dropped.<kind>` counter for `kind` (cached: the
+/// registry lookup happens once per kind, not once per eviction).
+fn dropped_counter(kind: QueryKind) -> &'static crate::metrics::Counter {
+    match kind {
+        QueryKind::Knn => crate::counter!("recorder.dropped.knn"),
+        QueryKind::Range => crate::counter!("recorder.dropped.range"),
+        QueryKind::DynamicKnn => crate::counter!("recorder.dropped.dynamic_knn"),
+        QueryKind::DynamicRange => crate::counter!("recorder.dropped.dynamic_range"),
+        QueryKind::ShardedKnn => crate::counter!("recorder.dropped.sharded_knn"),
+        QueryKind::ShardedRange => crate::counter!("recorder.dropped.sharded_range"),
     }
 }
 
@@ -350,14 +427,23 @@ pub fn global() -> &'static FlightRecorder {
     static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
     GLOBAL.get_or_init(|| {
         crate::metrics::gauge("recorder.capacity").set(DEFAULT_CAPACITY as i64);
+        // Pre-register the per-kind drop counters so the Prometheus
+        // export shows them (at 0) before the first eviction.
+        for kind in QueryKind::ALL {
+            dropped_counter(kind);
+        }
         FlightRecorder::with_capacity(DEFAULT_CAPACITY)
     })
 }
 
 /// Deposits `record` into the global recorder, stamping the batch flag
-/// from the thread's batch context. Returns the assigned id.
+/// from the thread's batch context and the live trace id (if the caller
+/// didn't already). Returns the assigned id.
 pub fn record_query(mut record: QueryRecord) -> u64 {
     record.batch = in_batch();
+    if record.trace_id == 0 {
+        record.trace_id = crate::trace::current_trace_id();
+    }
     global().record(record)
 }
 
@@ -453,6 +539,17 @@ mod tests {
         // The survivors are the newest 16 ids (ring semantics per shard).
         assert!(held.iter().all(|r| r.id > 100 - 16));
         assert_eq!(rec.recorded_total(), 100);
+        // 84 evictions, all of them range records, and the per-kind
+        // breakdown lands in the JSON document.
+        assert_eq!(rec.dropped_by_kind(), vec![(QueryKind::Range, 84)]);
+        let doc = rec.to_json();
+        assert_eq!(
+            doc.get("dropped")
+                .and_then(|d| d.get("range"))
+                .and_then(Json::as_u64),
+            Some(84)
+        );
+        assert_eq!(doc.get("dropped").and_then(|d| d.get("knn")), None);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! A tiny std-only metrics HTTP server — the first brick of the
 //! ROADMAP's service front-end.
 //!
-//! One [`std::net::TcpListener`], one handler thread, three routes:
+//! One [`std::net::TcpListener`], one handler thread, four routes:
 //!
 //! * `GET /metrics` — the registry in Prometheus text exposition format
 //!   ([`crate::prometheus::render`]).
 //! * `GET /snapshot.json` — [`crate::metrics::snapshot`] as JSON.
 //! * `GET /recorder.json` — the global flight recorder's held records.
+//! * `GET /trace.json` — the retained per-query span trees in Chrome
+//!   trace-event format ([`crate::trace::chrome_trace_json`]); save it
+//!   and load it in `chrome://tracing` or Perfetto.
 //!
 //! HTTP support is deliberately minimal (HTTP/1.0-style: read the request
 //! line, answer, close) — scrapers and `curl` are the only intended
@@ -161,10 +164,15 @@ fn respond(path: &str) -> (&'static str, &'static str, String) {
             "application/json",
             recorder::global().to_json().to_string_pretty(),
         ),
+        "/trace.json" => (
+            "200 OK",
+            "application/json",
+            crate::trace::chrome_trace_json().to_string_pretty(),
+        ),
         _ => (
             "404 Not Found",
             "text/plain",
-            "404: try /metrics, /snapshot.json or /recorder.json\n".to_owned(),
+            "404: try /metrics, /snapshot.json, /recorder.json or /trace.json\n".to_owned(),
         ),
     }
 }
@@ -205,8 +213,37 @@ mod tests {
             Some("treesim-recorder/v1")
         );
 
-        let (head, _) = get(addr, "/nope");
+        // Create one guaranteed-retained trace, then pull it back out of
+        // the endpoint as Chrome trace-event JSON. The sampler knob is
+        // global state shared with the trace tests — serialize.
+        let _trace_lock = crate::trace::test_lock();
+        crate::trace::set_sample_every(1);
+        let trace_id = {
+            let trace = crate::trace::start_trace();
+            let _span = crate::span!("test.server.traced");
+            trace.id()
+        };
+        let (head, body) = get(addr, "/trace.json");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        let doc = crate::json::parse(&body).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(crate::Json::as_array)
+            .expect("traceEvents array");
+        let mine = events
+            .iter()
+            .find(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("trace"))
+                    .and_then(crate::Json::as_u64)
+                    == Some(trace_id)
+            })
+            .expect("the retained trace is served");
+        assert_eq!(mine.get("ph").and_then(crate::Json::as_str), Some("X"));
+
+        let (head, body) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+        assert!(body.contains("/trace.json"), "{body}");
 
         handle.shutdown();
         // The listener is gone (connect may briefly succeed on some

@@ -138,13 +138,19 @@ pub fn current_spans() -> Vec<&'static str> {
 }
 
 /// An RAII span: created by [`crate::span!`], records `<name>.us` on drop
-/// and notifies the sink (if any) on enter and exit.
+/// and notifies the sink (if any) on enter and exit. When a trace capture
+/// is live on this thread (see [`crate::trace`]), the span additionally
+/// deposits a [`crate::trace::TraceSpan`] into the query's span tree.
 #[must_use = "a span guard measures until it is dropped"]
 pub struct SpanGuard {
     name: &'static str,
     histogram: &'static Histogram,
     start: Instant,
     fields: Vec<(&'static str, String)>,
+    /// Whether this span opened a trace capture frame. Remembered at
+    /// enter so a trace that starts mid-span never pops a frame this
+    /// guard did not push.
+    traced: bool,
 }
 
 impl SpanGuard {
@@ -160,6 +166,7 @@ impl SpanGuard {
             stack.push(name);
             stack.len() - 1
         });
+        let traced = crate::trace::on_span_enter(name);
         if sink_active() {
             emit(&Event {
                 kind: EventKind::SpanEnter,
@@ -174,6 +181,16 @@ impl SpanGuard {
             histogram,
             start: Instant::now(),
             fields,
+            traced,
+        }
+    }
+
+    /// Attaches a field discovered after enter (a result count, a
+    /// verdict). The value closure only runs when someone will see the
+    /// field — a sink is installed or the span is being traced.
+    pub fn push_field(&mut self, key: &'static str, value: impl FnOnce() -> String) {
+        if self.traced || sink_active() {
+            self.fields.push((key, value()));
         }
     }
 }
@@ -187,6 +204,9 @@ impl Drop for SpanGuard {
             stack.pop();
             stack.len()
         });
+        if self.traced {
+            crate::trace::on_span_exit(self.name, &self.fields);
+        }
         if sink_active() {
             emit(&Event {
                 kind: EventKind::SpanExit,

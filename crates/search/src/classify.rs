@@ -1,6 +1,10 @@
 //! k-NN classification over tree-structured data — another §1 motivation
 //! (e.g., predicting the function of an RNA molecule from structurally
 //! similar molecules of known function).
+//!
+//! Observability: each classification emits a `classify.knn` span (one
+//! per-query trace — the underlying k-NN query nests under it) and bumps
+//! `classify.queries`.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -44,6 +48,11 @@ impl<'a, F: Filter, C: Clone + Eq + Hash> KnnClassifier<'a, F, C> {
     ///
     /// Returns `None` only for `k == 0` or an empty training set.
     pub fn classify(&self, query: &Tree, k: usize) -> (Option<C>, SearchStats) {
+        // Trace before span (the span must close before the trace
+        // finalizes); the k-NN query below joins this trace as a child.
+        let _trace = treesim_obs::trace::start_trace();
+        let _span = treesim_obs::span!("classify.knn", k = k, training = self.classes.len());
+        treesim_obs::counter!("classify.queries").inc();
         let (neighbors, stats) = self.engine.knn(query, k);
         if neighbors.is_empty() {
             return (None, stats);

@@ -1,6 +1,10 @@
 //! Threshold clustering: connected components of the τ-neighborhood graph
 //! (single-linkage clustering cut at distance τ) — the clustering
 //! application of §1, driven entirely by filtered range queries.
+//!
+//! Observability: each run emits a `cluster.run` span (one per-query trace
+//! — the flood-fill's range queries nest under it as children), bumps
+//! `cluster.queries`, and adds the component count to `cluster.clusters`.
 
 use treesim_tree::TreeId;
 
@@ -58,6 +62,12 @@ impl Clustering {
 /// assert_eq!(clustering.len(), 2); // {0, 1} and {2}
 /// ```
 pub fn threshold_clusters<F: Filter>(engine: &SearchEngine<'_, F>, tau: u32) -> Clustering {
+    // Trace before span (the span must close before the trace finalizes):
+    // the whole flood-fill is one trace, and every range query it issues
+    // joins it as a child span instead of starting its own.
+    let _trace = treesim_obs::trace::start_trace();
+    let mut span = treesim_obs::span!("cluster.run", tau = tau, trees = engine.forest().len());
+    treesim_obs::counter!("cluster.queries").inc();
     let n = engine.forest().len();
     let mut assignment = vec![usize::MAX; n];
     let mut clusters: Vec<Vec<TreeId>> = Vec::new();
@@ -84,6 +94,9 @@ pub fn threshold_clusters<F: Filter>(engine: &SearchEngine<'_, F>, tau: u32) -> 
         }
         clusters[cluster_id].sort_unstable();
     }
+    treesim_obs::counter!("cluster.clusters").add(clusters.len() as u64);
+    span.push_field("clusters", || clusters.len().to_string());
+    span.push_field("refinements", || refinements.to_string());
     Clustering {
         clusters,
         assignment,

@@ -250,6 +250,9 @@ impl DynamicIndex {
     /// bound is among the smallest outstanding ones pay for the O(1)
     /// size screen and then the `propt` positional bound.
     pub fn knn(&self, query: &Tree, k: usize) -> (Vec<Neighbor>, SearchStats) {
+        // Trace before span (the span must close before the trace
+        // finalizes); inert when an enclosing trace is already live.
+        let _trace = treesim_obs::trace::start_trace();
         let _span = treesim_obs::span!("dynamic.knn", k = k, dataset = self.len());
         let wall_start = Instant::now();
         recorder::propt_iters_take(); // discard any stale accumulation
@@ -363,6 +366,8 @@ impl DynamicIndex {
 
     /// Range query (same semantics as [`crate::SearchEngine::range`]).
     pub fn range(&self, query: &Tree, tau: u32) -> (Vec<Neighbor>, SearchStats) {
+        // Trace before span, as in `knn`.
+        let _trace = treesim_obs::trace::start_trace();
         let _span = treesim_obs::span!("dynamic.range", tau = tau, dataset = self.len());
         let wall_start = Instant::now();
         recorder::propt_iters_take(); // discard any stale accumulation

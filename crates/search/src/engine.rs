@@ -88,6 +88,21 @@ pub(crate) fn emit_record(
     recorder::record_query(record);
 }
 
+/// Maps a cascade stage name (as reported by [`Filter::stage_name`]) to
+/// the `cascade.*` span name used for that stage's node in a query's
+/// span tree. Returning `&'static str` keeps trace span names
+/// allocation-free; unknown stages fall back to the generic scan name.
+pub(crate) fn stage_trace_name(stage: &'static str) -> &'static str {
+    match stage {
+        "size" => "cascade.size",
+        "postings" => "cascade.postings",
+        "bdist" => "cascade.bdist",
+        "propt" => "cascade.propt",
+        "histo" => "cascade.histo",
+        _ => "cascade.scan",
+    }
+}
+
 /// One query answer: a tree and its exact edit distance to the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Neighbor {
@@ -219,10 +234,20 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         stats: &mut SearchStats,
     ) -> Option<u64> {
         let data_info = &self.infos[id.index()];
+        // Trace-only span (no histogram — `refine.zs.us` below already
+        // carries the timing): one `refine.call` node per refined
+        // candidate, with the live budget and the cutoff verdict.
+        let mut trace_span = treesim_obs::trace::span("refine.call");
+        trace_span.push_field("tree", || id.0.to_string());
+        trace_span.push_field("budget", || budget.to_string());
         let start = Instant::now();
         let (distance, bounded) =
             bounded_zhang_shasha(query_info, data_info, &self.cost, budget, workspace);
         treesim_obs::histogram!("refine.zs.us").record_duration(start.elapsed());
+        trace_span.push_field("verdict", || match distance {
+            Some(d) => format!("refined d={d}"),
+            None => format!("cutoff (d > {budget})"),
+        });
         #[cfg(feature = "strict-checks")]
         {
             let oracle = treesim_edit::zhang_shasha(
@@ -290,6 +315,11 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         k: usize,
         observer: &mut O,
     ) -> (Vec<Neighbor>, SearchStats) {
+        // The trace guard is declared before the span so the span closes
+        // (and deposits itself) before the guard finalizes the trace.
+        // Inside a batch/sharded/nested query this is inert — the query
+        // joins the enclosing trace instead of starting its own.
+        let _trace = treesim_obs::trace::start_trace();
         let _span = treesim_obs::span!("engine.knn", k = k, dataset = self.forest.len());
         let wall_start = Instant::now();
         recorder::propt_iters_take(); // discard any stale accumulation
@@ -445,6 +475,8 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         tau: u32,
         observer: &mut O,
     ) -> (Vec<Neighbor>, SearchStats) {
+        // Trace before span, as in `knn_observed` (drop order matters).
+        let _trace = treesim_obs::trace::start_trace();
         let _span = treesim_obs::span!("engine.range", tau = tau, dataset = self.forest.len());
         let wall_start = Instant::now();
         recorder::propt_iters_take(); // discard any stale accumulation
@@ -483,6 +515,12 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         let ops_tau = u32::try_from(u64::from(tau) / self.bound_scale()).unwrap_or(u32::MAX);
         let mut candidates: Vec<TreeId> = self.forest.iter().map(|(id, _)| id).collect();
         for stage in 0..stage_count {
+            // Trace-only stage span (the `cascade.<stage>.us` histograms
+            // already time these sweeps via `record_metrics`): one child
+            // per cascade stage under the `engine.range` span, so the
+            // funnel reads straight off the trace tree.
+            let mut stage_span =
+                treesim_obs::trace::span(stage_trace_name(self.filter.stage_name(stage)));
             let stage_start = Instant::now();
             let before = candidates.len();
             if stage + 1 == stage_count {
@@ -509,6 +547,9 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
             stats.stages[stage].evaluated = before;
             stats.stages[stage].pruned = before - candidates.len();
             stats.stages[stage].time = stage_start.elapsed();
+            let survivors = candidates.len();
+            stage_span.push_field("evaluated", || before.to_string());
+            stage_span.push_field("pruned", || (before - survivors).to_string());
         }
         stats.filter_time = filter_start.elapsed();
 
@@ -562,6 +603,10 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
     /// The replay runs the real query path, so it also updates the global
     /// metrics registry and deposits a flight record.
     pub fn explain_knn(&self, query: &Tree, k: usize) -> crate::explain::ExplainReport {
+        // Own the trace here (the replay's own start is then inert) so
+        // the id is still current when the report is assembled.
+        let trace = treesim_obs::trace::start_trace();
+        let trace_id = trace.id();
         let mut observer = crate::explain::ExplainObserver::new();
         let (results, stats) = self.knn_observed(query, k, &mut observer);
         let candidates = observer.into_candidates(&results, |_| 0);
@@ -572,6 +617,7 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
             results,
             stage_names: self.stage_names(),
             candidates,
+            trace_id,
         }
     }
 
@@ -584,6 +630,9 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
     /// purely for display — the replay's statistics stay identical to a
     /// production [`SearchEngine::range`] call.
     pub fn explain_range(&self, query: &Tree, tau: u32) -> crate::explain::ExplainReport {
+        // Trace ownership as in `explain_knn`.
+        let trace = treesim_obs::trace::start_trace();
+        let trace_id = trace.id();
         let mut observer = crate::explain::ExplainObserver::new();
         let (results, stats) = self.range_observed(query, tau, &mut observer);
         let scale = self.bound_scale();
@@ -599,6 +648,7 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
             results,
             stage_names: self.stage_names(),
             candidates,
+            trace_id,
         }
     }
 }
@@ -665,7 +715,13 @@ where
     {
         let threads = threads.clamp(1, queries.len().max(1));
         let chunk_size = queries.len().div_ceil(threads).max(1);
+        // One trace for the whole batch: the handle captured below carries
+        // the trace across the scoped-thread boundary, so every worker's
+        // spans (and each query's spans under them) reassemble into a
+        // single tree with the `engine.batch` span at the root.
+        let _trace = treesim_obs::trace::start_trace();
         let _span = treesim_obs::span!("engine.batch", queries = queries.len(), workers = threads);
+        let trace_handle = treesim_obs::trace::current_handle();
         let pending = treesim_obs::gauge!("engine.batch.pending");
         let active = treesim_obs::gauge!("engine.batch.workers.active");
         pending.add(queries.len() as i64);
@@ -675,7 +731,12 @@ where
                 .chunks(chunk_size)
                 .enumerate()
                 .map(|(worker, chunk)| {
+                    let trace_handle = trace_handle.clone();
                     scope.spawn(move || {
+                        // Join the batch trace from this worker thread;
+                        // worker index becomes the Chrome-trace `tid` row
+                        // (the coordinator thread is tid 0).
+                        let _trace = trace_handle.map(|h| h.install(0, worker as u32 + 1));
                         let _span = treesim_obs::span!(
                             "engine.batch.worker",
                             worker = worker,

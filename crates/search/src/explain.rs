@@ -101,6 +101,10 @@ pub struct ExplainReport {
     pub stage_names: Vec<&'static str>,
     /// One row per dataset tree, ascending by tree id.
     pub candidates: Vec<CandidateExplain>,
+    /// The trace id of the replayed query (`0` when tracing was off) —
+    /// cross-reference into `/trace.json` or `treesim trace` to see the
+    /// same query as a span tree.
+    pub trace_id: u64,
 }
 
 impl ExplainReport {
@@ -162,6 +166,9 @@ impl ExplainReport {
             self.stats.results,
             self.stats.refined,
         );
+        if self.trace_id != 0 {
+            let _ = writeln!(out, "trace: {} (span tree in /trace.json)", self.trace_id);
+        }
         let totals = self.stage_totals();
         let _ = write!(out, "funnel:");
         for (name, (evaluated, pruned)) in self.stage_names.iter().zip(&totals) {

@@ -110,6 +110,10 @@ pub fn similarity_self_join<F: Filter>(
     filter: &F,
     tau: u32,
 ) -> (Vec<JoinPair>, JoinStats) {
+    // Trace before span (the span must close before the trace finalizes);
+    // inert when an enclosing trace is already live.
+    let _trace = treesim_obs::trace::start_trace();
+    let _span = treesim_obs::span!("join.self", tau = tau, trees = forest.len());
     let ids: Vec<TreeId> = forest.iter().map(|(id, _)| id).collect();
     join_partitions(forest, filter, &ids, None, tau)
 }
@@ -124,6 +128,14 @@ pub fn similarity_join<F: Filter>(
     right: &[TreeId],
     tau: u32,
 ) -> (Vec<JoinPair>, JoinStats) {
+    // Trace before span, as in `similarity_self_join`.
+    let _trace = treesim_obs::trace::start_trace();
+    let _span = treesim_obs::span!(
+        "join.cross",
+        tau = tau,
+        left = left.len(),
+        right = right.len()
+    );
     join_partitions(forest, filter, left, Some(right), tau)
 }
 
@@ -141,6 +153,9 @@ pub fn closest_pairs<F: Filter>(
     filter: &F,
     k: usize,
 ) -> (Vec<JoinPair>, JoinStats) {
+    // Trace before span, as in `similarity_self_join`.
+    let _trace = treesim_obs::trace::start_trace();
+    let _span = treesim_obs::span!("join.closest", k = k, trees = forest.len());
     let mut stats = JoinStats::default();
     if k == 0 || forest.len() < 2 {
         stats.record_into("join");

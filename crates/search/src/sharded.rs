@@ -186,6 +186,10 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
     /// (remapped to global ids) into one report whose verdicts telescope
     /// to the merged stats funnel.
     pub fn explain_knn(&self, query: &Tree, k: usize) -> ExplainReport {
+        // Own the trace so its id is still current when the report is
+        // assembled (the replay's own start is then inert).
+        let trace = treesim_obs::trace::start_trace();
+        let trace_id = trace.id();
         let (results, stats, observers) = self.knn_merged(query, k, ExplainObserver::new);
         let candidates = self.merge_candidates(observers, &results, |_, _| 0);
         ExplainReport {
@@ -195,6 +199,7 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
             results,
             stage_names: self.stage_names(),
             candidates,
+            trace_id,
         }
     }
 
@@ -203,6 +208,9 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
     /// [`SearchEngine::explain_range`] for the range-predicate bound
     /// recomputation.
     pub fn explain_range(&self, query: &Tree, tau: u32) -> ExplainReport {
+        // Trace ownership as in `explain_knn`.
+        let trace = treesim_obs::trace::start_trace();
+        let trace_id = trace.id();
         let (results, stats, observers) = self.range_merged(query, tau, ExplainObserver::new);
         // Recompute final-stage bounds for predicate-pruned rows, per
         // shard (display only — the replay stats are already final). The
@@ -225,6 +233,7 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
             results,
             stage_names: self.stage_names(),
             candidates,
+            trace_id,
         }
     }
 
@@ -238,6 +247,10 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
         Run: Fn(&SearchEngine<'a, F, UnitCost>) -> R + Sync,
     {
         let active = treesim_obs::gauge!("shard.workers.active");
+        // Carry the caller's trace (started in `knn_merged`/`range_merged`)
+        // onto the shard workers: each worker's spans land under the query
+        // span with the 1-based shard index as the Chrome-trace `pid`.
+        let trace_handle = treesim_obs::trace::current_handle();
         std::thread::scope(|scope| {
             let run = &run;
             let handles: Vec<_> = self
@@ -245,7 +258,9 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
                 .iter()
                 .enumerate()
                 .map(|(worker, engine)| {
+                    let trace_handle = trace_handle.clone();
                     scope.spawn(move || {
+                        let _trace = trace_handle.map(|h| h.install(worker as u32 + 1, 0));
                         let _span = treesim_obs::span!(
                             "shard.worker",
                             worker = worker,
@@ -278,6 +293,9 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
     where
         O: QueryObserver + Send,
     {
+        // Trace before span: the `shard.knn` span (and the worker spans
+        // under it) must deposit before the guard finalizes the tree.
+        let _trace = treesim_obs::trace::start_trace();
         let _span = treesim_obs::span!(
             "shard.knn",
             k = k,
@@ -290,6 +308,7 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
             let (results, stats, zs_nodes) = engine.knn_core(query, k, &mut observer);
             (results, stats, zs_nodes, observer)
         });
+        let merge_span = treesim_obs::trace::span("shard.merge");
         let (mut results, stats, zs_nodes, observers) = self.merge(per_shard);
         // Each shard returned its own top-k; sorting the union by
         // (distance, global id) and truncating reproduces the
@@ -297,6 +316,7 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
         // contiguous and ascending.
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
         results.truncate(k);
+        drop(merge_span);
         let mut stats = stats;
         stats.results = results.len();
         stats.record_metrics("shard.knn");
@@ -321,6 +341,8 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
     where
         O: QueryObserver + Send,
     {
+        // Trace before span, as in `knn_merged`.
+        let _trace = treesim_obs::trace::start_trace();
         let _span = treesim_obs::span!(
             "shard.range",
             tau = tau,
@@ -333,8 +355,10 @@ impl<'a, F: Filter + Send + Sync> ShardedEngine<'a, F> {
             let (results, stats, zs_nodes) = engine.range_core(query, tau, &mut observer);
             (results, stats, zs_nodes, observer)
         });
+        let merge_span = treesim_obs::trace::span("shard.merge");
         let (mut results, stats, zs_nodes, observers) = self.merge(per_shard);
         results.sort_unstable_by_key(|n| (n.distance, n.tree));
+        drop(merge_span);
         let mut stats = stats;
         stats.results = results.len();
         stats.record_metrics("shard.range");

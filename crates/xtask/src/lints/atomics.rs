@@ -34,8 +34,16 @@ const OBS_ALLOWED: &[(&str, &[&str])] = &[
     // The flight recorder's only atomic is the sequence-id counter:
     // fetch_add is an atomic RMW, so Relaxed already guarantees unique
     // monotone ids, and no other memory is published through the counter
-    // (record contents travel under the shard mutex).
+    // (record contents travel under the shard mutex). The per-kind
+    // dropped counts are independent monotone tallies like metrics.rs.
     ("crates/obs/src/recorder.rs", &["Relaxed"]),
+    // Trace ids and per-trace span ids come from fetch_add RMWs (unique
+    // and monotone under Relaxed, like the recorder's sequence); the
+    // sampler knobs are independent configuration cells read best-effort;
+    // span contents travel under the per-trace mutex and the thread-local
+    // context, never through an atomic. No cross-atomic happens-before
+    // edge exists to strengthen.
+    ("crates/obs/src/trace.rs", &["Relaxed"]),
 ];
 
 /// Atomic ordering names (as written after `Ordering::`).
