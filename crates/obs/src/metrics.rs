@@ -7,6 +7,24 @@
 //! add with no locking. Name lookup takes a mutex; resolve handles once
 //! (the [`crate::counter!`]/[`crate::gauge!`]/[`crate::histogram!`] macros
 //! cache per call-site) or once per query, never per candidate.
+//!
+//! # Memory-model contracts (checked by `xtask analyze` happens-before)
+//!
+//! atomic-role: value = counter — Counter/Gauge tallies: Relaxed RMWs are
+//! atomic and monotone per cell; readers want a recent value, not a
+//! synchronized one
+//!
+//! atomic-role: buckets = counter — histogram bucket tallies, same
+//! contract as `value`
+//!
+//! atomic-role: count = counter — histogram observation count
+//!
+//! atomic-role: sum = counter — histogram running sum
+//!
+//! atomic-role: max = counter — histogram running max via `fetch_max`
+//!
+//! atomic-role: exemplars = cell — best-effort trace-id breadcrumb per
+//! bucket; a racing overwrite loses nothing but a hint
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};

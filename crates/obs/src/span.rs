@@ -5,8 +5,15 @@
 //! `<span name>.us` — that always happens and costs two `Instant` reads
 //! plus a few relaxed atomic adds. Everything else (field formatting,
 //! enter/exit events) happens **only when a sink is installed**: the guard
-//! checks one relaxed atomic bool, so an uninstrumented run pays near
+//! checks one `Acquire` atomic bool, so an uninstrumented run pays near
 //! nothing beyond the histogram.
+//!
+//! # Memory-model contracts (checked by `xtask analyze` happens-before)
+//!
+//! atomic-role: SINK_ACTIVE = publish — guards the sink slot: the
+//! `Release` store in [`install_sink`] publishes the slot write, the
+//! `Acquire` load in [`sink_active`] subscribes to it (see the comment
+//! there and DESIGN.md §14)
 
 use std::cell::RefCell;
 use std::io::Write;

@@ -43,6 +43,23 @@
 //! `/metrics` names the trace id of the last query that landed there,
 //! and the flight-recorder record carrying the same `trace_id` links the
 //! two views.
+//!
+//! # Memory-model contracts (checked by `xtask analyze` happens-before)
+//!
+//! atomic-role: next_span = counter — per-trace span-id source;
+//! `fetch_add` is unique and monotone under Relaxed, the span payload
+//! travels through the trace mutex
+//!
+//! atomic-role: NEXT_TRACE_ID = counter — global trace-id source, same
+//! contract
+//!
+//! atomic-role: WEIGHT_BUDGET = cell — retention tuning knob; readers
+//! tolerate a stale value for one decision
+//!
+//! atomic-role: SAMPLE_EVERY = cell — retention lottery knob, same
+//! contract
+//!
+//! atomic-role: SLO_US = cell — slow-query threshold knob, same contract
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
