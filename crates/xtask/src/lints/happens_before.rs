@@ -1,0 +1,721 @@
+//! `happens-before`: atomic Release/Acquire pairing and publication-role
+//! enforcement, workspace-wide.
+//!
+//! The atomics-audit pass checks that each `Ordering` is *permitted* in
+//! its module; this pass checks that orderings *cooperate*. It resolves
+//! every atomic field/static declaration (`name: AtomicU64`,
+//! `static FLAG: AtomicBool`, …) in `crates/*/src` to its store/load/rmw
+//! sites across the whole workspace (sites are keyed by the declared
+//! name, so `self.sequence.fetch_add(…)` in any file counts against the
+//! `sequence` field), then enforces:
+//!
+//! 1. **Pairing** — a `Release`/`AcqRel` store with no
+//!    `Acquire`-or-stronger load partner on the same atomic is an
+//!    orphaned publication (nobody can ever synchronize with it), and an
+//!    `Acquire` load with no `Release`-class store partner is an orphaned
+//!    subscription. Both fail analyze.
+//! 2. **Roles** — every atomic declared in `crates/obs/src` must carry a
+//!    role in its module docs (the same place the atomics-audit table
+//!    points reviewers at):
+//!
+//!    ```text
+//!    //! atomic-role: SINK_ACTIVE = publish — justification…
+//!    ```
+//!
+//!    Roles: `publish` (the atomic guards other memory: every store must
+//!    be `Release`-or-stronger and every load `Acquire`-or-stronger — a
+//!    `Relaxed` access may observe the flag without the published data),
+//!    `counter` (monotone tally or id source: RMWs are unique/monotone
+//!    under `Relaxed`, nothing else travels through the cell), and `cell`
+//!    (an independent best-effort value: plain `Relaxed` store/load is
+//!    the contract).
+//!
+//! Identity is by declared name: two atomics with the same field name
+//! share one entry (an over-approximation that merges, e.g., every
+//! `value` cell in `metrics.rs` — sound for pairing, which only ever
+//! *adds* partners). Receivers the scanner cannot resolve to a declared
+//! atomic (loop variables, generic parameters) are skipped unless listed
+//! in [`RECEIVER_ALIASES`]. Escape hatches: inline
+//! `// treesim-lint: allow(happens-before)` or an `analyze.allow` entry.
+
+use std::collections::BTreeMap;
+
+use super::Lint;
+use crate::lex::TokenKind;
+use crate::lint::{Finding, Severity, SourceFile};
+
+/// Method names that access an atomic. Split by what they do to the cell:
+/// `load` only reads, `store` only writes, everything else is an RMW
+/// (reads and writes atomically).
+const READ_ONLY: &[&str] = &["load"];
+const WRITE_ONLY: &[&str] = &["store"];
+const RMW: &[&str] = &[
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Per-file receiver aliases: `(path, site name, declared atomic name)`.
+/// Maps the handful of loop/binding variables that hold `&Atomic*`
+/// references onto the field they borrow from, so their accesses count.
+const RECEIVER_ALIASES: &[(&str, &str, &str)] = &[
+    ("crates/obs/src/metrics.rs", "bucket", "buckets"),
+    ("crates/obs/src/metrics.rs", "exemplar", "exemplars"),
+    ("crates/obs/src/recorder.rs", "per_kind", "dropped"),
+];
+
+/// Valid `atomic-role:` values.
+const ROLES: &[&str] = &["publish", "counter", "cell"];
+
+/// A source location captured at scan time (findings are emitted in
+/// `finish`, after every file has been read).
+#[derive(Debug, Clone)]
+struct SiteRef {
+    path: String,
+    line: u32,
+    col: u32,
+    snippet: String,
+    /// Inline `treesim-lint: allow(happens-before)` present at the site.
+    allowed: bool,
+}
+
+/// One atomic access site, pre-resolution.
+#[derive(Debug)]
+struct AccessSite {
+    at: SiteRef,
+    /// Receiver candidates, nearest ident first (`get`, `dropped`, `self`).
+    receivers: Vec<String>,
+    /// The accessor method (`store`, `load`, `fetch_add`, …).
+    method: String,
+    /// `Ordering::X` names found in the call arguments.
+    orderings: Vec<String>,
+}
+
+/// One `atomic-role:` directive.
+#[derive(Debug)]
+struct RoleDecl {
+    at: SiteRef,
+    name: String,
+    role: String,
+}
+
+/// One atomic declaration (`name: AtomicU64` field/static/param).
+#[derive(Debug)]
+struct AtomicDecl {
+    at: SiteRef,
+    name: String,
+}
+
+/// The `happens-before` pass.
+#[derive(Debug, Default)]
+pub struct HappensBefore {
+    decls: Vec<AtomicDecl>,
+    roles: Vec<RoleDecl>,
+    sites: Vec<AccessSite>,
+}
+
+const LINT_ID: &str = "happens-before";
+
+impl HappensBefore {
+    fn site_ref(&self, file: &SourceFile, token: &crate::lex::Token) -> SiteRef {
+        SiteRef {
+            path: file.path.clone(),
+            line: token.line,
+            col: token.col,
+            snippet: file.line_text(token.line).to_owned(),
+            allowed: file.allowed_inline(LINT_ID, token.line),
+        }
+    }
+
+    /// Scans declarations: `ident :` followed (within a short window of
+    /// type tokens) by an `Atomic*` ident.
+    fn scan_decls(&mut self, file: &SourceFile) {
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if t.kind != TokenKind::Ident || file.in_test_code(t.start) {
+                continue;
+            }
+            let Some(c) = file.next_code(i + 1) else {
+                continue;
+            };
+            if !file.tokens[c].is_punct(':') {
+                continue;
+            }
+            // Skip `::` paths and struct-literal field inits (`name:` at a
+            // call site is a field init, but those carry values, not
+            // types, so the Atomic* window below rarely matches; `::` is
+            // the case that must be excluded explicitly).
+            if file
+                .next_code(c + 1)
+                .is_some_and(|j| file.tokens[j].is_punct(':'))
+            {
+                continue;
+            }
+            if file
+                .prev_code(i)
+                .is_some_and(|j| file.tokens[j].is_punct(':'))
+            {
+                continue;
+            }
+            // Window: up to 8 type tokens before a terminator.
+            let mut j = c + 1;
+            for _ in 0..8 {
+                let Some(k) = file.next_code(j) else {
+                    break;
+                };
+                let tok = &file.tokens[k];
+                if tok.kind == TokenKind::Ident && tok.value.starts_with("Atomic") {
+                    self.decls.push(AtomicDecl {
+                        at: self.site_ref(file, t),
+                        name: t.value.clone(),
+                    });
+                    break;
+                }
+                let terminator = [',', ';', '=', '{', '}', '(', ')']
+                    .iter()
+                    .any(|&p| tok.is_punct(p));
+                if terminator {
+                    break;
+                }
+                j = k + 1;
+            }
+        }
+    }
+
+    /// Scans `atomic-role:` directives in doc comments.
+    fn scan_roles(&mut self, file: &SourceFile) {
+        for t in &file.tokens {
+            if t.kind != TokenKind::DocComment && t.kind != TokenKind::Comment {
+                continue;
+            }
+            for line in t.value.lines() {
+                let Some(rest) = line.split("atomic-role:").nth(1) else {
+                    continue;
+                };
+                let mut parts = rest.splitn(2, '=');
+                let name = parts.next().unwrap_or("").trim().to_owned();
+                let tail = parts.next().unwrap_or("").trim();
+                let role = tail
+                    .split(|ch: char| !ch.is_ascii_alphanumeric() && ch != '_')
+                    .next()
+                    .unwrap_or("")
+                    .to_owned();
+                self.roles.push(RoleDecl {
+                    at: self.site_ref(file, t),
+                    name,
+                    role,
+                });
+            }
+        }
+    }
+
+    /// Scans access sites: `<receiver-chain> . <method> ( … )`.
+    fn scan_sites(&mut self, file: &SourceFile) {
+        for i in 0..file.tokens.len() {
+            let t = &file.tokens[i];
+            if t.kind != TokenKind::Ident || file.in_test_code(t.start) {
+                continue;
+            }
+            let method = t.value.as_str();
+            if !READ_ONLY.contains(&method)
+                && !WRITE_ONLY.contains(&method)
+                && !RMW.contains(&method)
+            {
+                continue;
+            }
+            // Must be a method call: `. method (`.
+            let Some(open) = file.next_code(i + 1) else {
+                continue;
+            };
+            if !file.tokens[open].is_punct('(') {
+                continue;
+            }
+            let Some(dot) = file.prev_code(i) else {
+                continue;
+            };
+            if !file.tokens[dot].is_punct('.') {
+                continue;
+            }
+            let receivers = receiver_chain(file, dot);
+            if receivers.is_empty() {
+                continue;
+            }
+            let orderings = call_orderings(file, open);
+            self.sites.push(AccessSite {
+                at: self.site_ref(file, t),
+                receivers,
+                method: method.to_owned(),
+                orderings,
+            });
+        }
+    }
+}
+
+/// Walks left from the `.` before an accessor method, collecting the
+/// idents of the receiver chain (nearest first). Balanced `(…)`/`[…]`
+/// groups and `?` are skipped, so `self.dropped.get(i)?.load(…)` yields
+/// `["get", "dropped", "self"]`.
+fn receiver_chain(file: &SourceFile, dot: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut at = dot;
+    while chain.len() < 6 {
+        let Some(j) = file.prev_code(at) else {
+            break;
+        };
+        let t = &file.tokens[j];
+        if t.kind == TokenKind::Ident {
+            chain.push(t.value.clone());
+            at = j;
+        } else if t.is_punct('.') || t.is_punct('?') {
+            at = j;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            let close = if t.is_punct(')') { ')' } else { ']' };
+            let open = if close == ')' { '(' } else { '[' };
+            let mut depth = 1usize;
+            let mut k = j;
+            while depth > 0 {
+                let Some(p) = file.prev_code(k) else {
+                    return chain;
+                };
+                if file.tokens[p].is_punct(close) {
+                    depth += 1;
+                } else if file.tokens[p].is_punct(open) {
+                    depth -= 1;
+                }
+                k = p;
+            }
+            at = k;
+        } else {
+            break;
+        }
+    }
+    chain
+}
+
+/// Collects `Ordering :: X` names inside the balanced call parentheses
+/// starting at `open`.
+fn call_orderings(file: &SourceFile, open: usize) -> Vec<String> {
+    let mut orderings = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    loop {
+        let t = &file.tokens[i];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_ident("Ordering") {
+            if let Some(v) = file
+                .next_code(i + 1)
+                .filter(|&a| file.tokens[a].is_punct(':'))
+                .and_then(|a| file.next_code(a + 1))
+                .filter(|&b| file.tokens[b].is_punct(':'))
+                .and_then(|b| file.next_code(b + 1))
+            {
+                let name = &file.tokens[v];
+                if name.kind == TokenKind::Ident {
+                    orderings.push(name.value.clone());
+                }
+            }
+        }
+        let Some(next) = file.next_code(i + 1) else {
+            break;
+        };
+        i = next;
+    }
+    orderings
+}
+
+/// Whether the orderings contain a release-class member (counting SeqCst,
+/// which the atomics-audit pass polices separately).
+fn has_release(orderings: &[String]) -> bool {
+    orderings
+        .iter()
+        .any(|o| o == "Release" || o == "AcqRel" || o == "SeqCst")
+}
+
+/// Whether the orderings contain an acquire-class member.
+fn has_acquire(orderings: &[String]) -> bool {
+    orderings
+        .iter()
+        .any(|o| o == "Acquire" || o == "AcqRel" || o == "SeqCst")
+}
+
+/// Builds a finding from a scan-time site reference (inline allows were
+/// captured at scan time).
+fn finding_at(at: &SiteRef, message: String) -> Option<Finding> {
+    if at.allowed {
+        return None;
+    }
+    Some(Finding {
+        lint: LINT_ID,
+        severity: Severity::Error,
+        path: at.path.clone(),
+        line: at.line,
+        col: at.col,
+        message,
+        snippet: at.snippet.clone(),
+    })
+}
+
+impl Lint for HappensBefore {
+    fn id(&self) -> &'static str {
+        LINT_ID
+    }
+
+    fn description(&self) -> &'static str {
+        "Release stores pair with Acquire loads; obs atomics declare a publish/counter/cell role"
+    }
+
+    fn check_file(&mut self, file: &SourceFile) -> Vec<Finding> {
+        // The analyzer's own source is out of scope: its docs and test
+        // fixtures discuss the very directives this pass scans for.
+        if !file.path.starts_with("crates/")
+            || !file.path.contains("/src/")
+            || file.path.starts_with("crates/xtask/")
+        {
+            return Vec::new();
+        }
+        self.scan_decls(file);
+        self.scan_roles(file);
+        self.scan_sites(file);
+        Vec::new()
+    }
+
+    fn finish(&mut self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+
+        // Atomic registry by declared name.
+        let mut atomics: BTreeMap<&str, Vec<&AtomicDecl>> = BTreeMap::new();
+        for d in &self.decls {
+            atomics.entry(d.name.as_str()).or_default().push(d);
+        }
+
+        // Role table by atomic name; conflicts and unknown targets are
+        // findings in their own right.
+        let mut roles: BTreeMap<&str, &RoleDecl> = BTreeMap::new();
+        for r in &self.roles {
+            if !ROLES.contains(&r.role.as_str()) {
+                findings.extend(finding_at(
+                    &r.at,
+                    format!(
+                        "atomic-role for `{}` declares unknown role `{}` (valid: {})",
+                        r.name,
+                        r.role,
+                        ROLES.join(", ")
+                    ),
+                ));
+                continue;
+            }
+            if !atomics.contains_key(r.name.as_str()) {
+                findings.extend(finding_at(
+                    &r.at,
+                    format!(
+                        "atomic-role names `{}`, but no atomic field/static with that name is \
+                         declared — remove the stale directive or fix the name",
+                        r.name
+                    ),
+                ));
+                continue;
+            }
+            match roles.get(r.name.as_str()) {
+                Some(prev) if prev.role != r.role => {
+                    findings.extend(finding_at(
+                        &r.at,
+                        format!(
+                            "atomic-role for `{}` conflicts: `{}` here vs `{}` at {}:{}",
+                            r.name, r.role, prev.role, prev.at.path, prev.at.line
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    roles.insert(r.name.as_str(), r);
+                }
+            }
+        }
+
+        // Every obs atomic needs a role.
+        for (name, decls) in &atomics {
+            if roles.contains_key(name) {
+                continue;
+            }
+            for d in decls {
+                if d.at.path.starts_with("crates/obs/src/") {
+                    findings.extend(finding_at(
+                        &d.at,
+                        format!(
+                            "atomic `{name}` in crates/obs has no `atomic-role:` directive in \
+                             its module docs — declare `publish`, `counter` or `cell` with a \
+                             justification (see DESIGN.md §14)"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Resolve access sites to atomics.
+        let mut resolved: BTreeMap<&str, Vec<&AccessSite>> = BTreeMap::new();
+        for site in &self.sites {
+            let direct = site
+                .receivers
+                .iter()
+                .find(|r| atomics.contains_key(r.as_str()));
+            let via_alias = site.receivers.iter().find_map(|r| {
+                RECEIVER_ALIASES
+                    .iter()
+                    .find(|(path, from, _)| *path == site.at.path && from == r)
+                    .map(|(_, _, to)| *to)
+            });
+            let Some(name) = direct.map(String::as_str).or(via_alias) else {
+                continue;
+            };
+            resolved.entry(name).or_default().push(site);
+        }
+
+        // Role rules + pairing rules per atomic.
+        for (name, sites) in &resolved {
+            let role = roles.get(name).map(|r| r.role.as_str());
+            let mut release_writes = 0usize;
+            let mut acquire_reads = 0usize;
+            for site in sites {
+                let writes = !READ_ONLY.contains(&site.method.as_str());
+                let reads = !WRITE_ONLY.contains(&site.method.as_str());
+                if site.orderings.is_empty() {
+                    // Ordering passed as a variable — nothing to check
+                    // statically; the model checker covers these.
+                    continue;
+                }
+                if writes && has_release(&site.orderings) {
+                    release_writes += 1;
+                }
+                if reads && has_acquire(&site.orderings) {
+                    acquire_reads += 1;
+                }
+                if role == Some("publish") {
+                    if writes && !has_release(&site.orderings) {
+                        findings.extend(finding_at(
+                            &site.at,
+                            format!(
+                                "`{}` on publish-role atomic `{name}` without a Release-class \
+                                 ordering — a Relaxed store can publish the flag before the \
+                                 data it guards is visible",
+                                site.method
+                            ),
+                        ));
+                    }
+                    if reads && !has_acquire(&site.orderings) {
+                        findings.extend(finding_at(
+                            &site.at,
+                            format!(
+                                "`{}` on publish-role atomic `{name}` without an Acquire-class \
+                                 ordering — a Relaxed load can observe the flag without the \
+                                 data it guards",
+                                site.method
+                            ),
+                        ));
+                    }
+                }
+            }
+            if release_writes > 0 && acquire_reads == 0 {
+                for site in sites {
+                    let writes = !READ_ONLY.contains(&site.method.as_str());
+                    if writes && has_release(&site.orderings) {
+                        findings.extend(finding_at(
+                            &site.at,
+                            format!(
+                                "orphaned Release store: atomic `{name}` has no \
+                                 Acquire-or-stronger load anywhere in the workspace, so this \
+                                 publication can never synchronize with a reader — pair it or \
+                                 downgrade to Relaxed with a comment"
+                            ),
+                        ));
+                    }
+                }
+            }
+            if acquire_reads > 0 && release_writes == 0 {
+                for site in sites {
+                    let reads = !WRITE_ONLY.contains(&site.method.as_str());
+                    if reads && has_acquire(&site.orderings) {
+                        findings.extend(finding_at(
+                            &site.at,
+                            format!(
+                                "orphaned Acquire load: atomic `{name}` has no Release-class \
+                                 store anywhere in the workspace, so there is nothing to \
+                                 synchronize with — pair it or downgrade to Relaxed with a \
+                                 comment"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        self.decls.clear();
+        self.roles.clear();
+        self.sites.clear();
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let mut lint = HappensBefore::default();
+        for (path, src) in files {
+            assert!(lint.check_file(&SourceFile::parse(path, src)).is_empty());
+        }
+        lint.finish()
+    }
+
+    #[test]
+    fn orphaned_release_store_is_flagged() {
+        let findings = run(&[(
+            "crates/search/src/engine.rs",
+            "struct S { ready: AtomicBool }\n\
+             impl S {\n\
+                 fn publish(&self) { self.ready.store(true, Ordering::Release); }\n\
+                 fn peek(&self) -> bool { self.ready.load(Ordering::Relaxed) }\n\
+             }\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("orphaned Release store"));
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn orphaned_acquire_load_is_flagged() {
+        let findings = run(&[(
+            "crates/search/src/engine.rs",
+            "static READY: AtomicBool = AtomicBool::new(false);\n\
+             fn wait() -> bool { READY.load(Ordering::Acquire) }\n\
+             fn set() { READY.store(true, Ordering::Relaxed); }\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("orphaned Acquire load"));
+    }
+
+    #[test]
+    fn pairing_resolves_across_files() {
+        let findings = run(&[
+            (
+                "crates/search/src/a.rs",
+                "pub struct S { pub ready: AtomicBool }\n\
+                 impl S { pub fn publish(&self) { self.ready.store(true, Ordering::Release); } }\n",
+            ),
+            (
+                "crates/search/src/b.rs",
+                "fn check(s: &super::a::S) -> bool { s.ready.load(Ordering::Acquire) }\n",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn pre_pr3_sink_active_relaxed_load_is_flagged_statically() {
+        // The historical bug: install publishes the sink slot with a
+        // Release store, but the hot-path guard read it back Relaxed.
+        let findings = run(&[(
+            "crates/obs/src/span.rs",
+            "//! atomic-role: SINK_ACTIVE = publish — guards the sink slot\n\
+             static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);\n\
+             fn install() { SINK_ACTIVE.store(true, Ordering::Release); }\n\
+             fn sink_active() -> bool { SINK_ACTIVE.load(Ordering::Relaxed) }\n",
+        )]);
+        assert!(
+            findings.iter().any(|f| f.message.contains("publish-role")
+                && f.message.contains("Relaxed load")
+                || f.message.contains("without an Acquire-class")),
+            "{findings:?}"
+        );
+        // …and with the Acquire fix in place the file is clean.
+        let fixed = run(&[(
+            "crates/obs/src/span.rs",
+            "//! atomic-role: SINK_ACTIVE = publish — guards the sink slot\n\
+             static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);\n\
+             fn install() { SINK_ACTIVE.store(true, Ordering::Release); }\n\
+             fn sink_active() -> bool { SINK_ACTIVE.load(Ordering::Acquire) }\n",
+        )]);
+        assert!(fixed.is_empty(), "{fixed:?}");
+    }
+
+    #[test]
+    fn obs_atomics_require_a_role() {
+        let findings = run(&[(
+            "crates/obs/src/ring.rs",
+            "struct R { seq: AtomicU64 }\n\
+             impl R { fn next(&self) -> u64 { self.seq.fetch_add(1, Ordering::Relaxed) } }\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no `atomic-role:`"));
+    }
+
+    #[test]
+    fn counter_role_accepts_relaxed_rmw_and_chained_receivers() {
+        let findings = run(&[(
+            "crates/obs/src/ring.rs",
+            "//! atomic-role: seq = counter — fetch_add RMW, unique under Relaxed\n\
+             //! atomic-role: dropped = counter — per-kind tallies\n\
+             struct R { seq: AtomicU64, dropped: [AtomicU64; 4] }\n\
+             impl R {\n\
+                 fn next(&self) -> u64 { self.seq.fetch_add(1, Ordering::Relaxed) }\n\
+                 fn read(&self, i: usize) -> u64 {\n\
+                     self.dropped.get(i).map(|d| d.load(Ordering::Relaxed)).unwrap_or(0)\n\
+                 }\n\
+                 fn bump(&self, i: usize) {\n\
+                     if let Some(x) = self.dropped.get(i) { x.fetch_add(1, Ordering::Relaxed); }\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn stale_and_conflicting_roles_are_flagged() {
+        let stale = run(&[(
+            "crates/obs/src/ring.rs",
+            "//! atomic-role: gone = counter — no such atomic\n\
+             //! atomic-role: seq = counter — ok\n\
+             struct R { seq: AtomicU64 }\n",
+        )]);
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert!(stale[0].message.contains("stale"));
+
+        let conflict = run(&[(
+            "crates/obs/src/ring.rs",
+            "//! atomic-role: seq = counter — here\n\
+             //! atomic-role: seq = publish — and also here\n\
+             struct R { seq: AtomicU64 }\n",
+        )]);
+        assert_eq!(conflict.len(), 1, "{conflict:?}");
+        assert!(conflict[0].message.contains("conflicts"));
+    }
+
+    #[test]
+    fn inline_allow_and_test_code_are_respected() {
+        let findings = run(&[(
+            "crates/search/src/engine.rs",
+            "static READY: AtomicBool = AtomicBool::new(false);\n\
+             // deliberate: the partner lives in generated code\n\
+             // treesim-lint: allow(happens-before)\n\
+             fn publish() { READY.store(true, Ordering::Release); }\n\
+             #[cfg(test)]\n\
+             mod tests { fn t() { READY.load(Ordering::Acquire); } }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

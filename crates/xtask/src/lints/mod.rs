@@ -4,6 +4,8 @@
 
 pub mod atomics;
 pub mod doc_coverage;
+pub mod happens_before;
+pub mod lock_order;
 pub mod metric_names;
 pub mod panic_surface;
 
@@ -41,6 +43,8 @@ pub fn all(root: Option<std::path::PathBuf>) -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(panic_surface::PanicSurface),
         Box::new(atomics::AtomicsAudit),
+        Box::new(happens_before::HappensBefore::default()),
+        Box::new(lock_order::LockOrder::default()),
         Box::new(metric_names::MetricNames::default()),
         Box::new(doc_coverage::DocCoverage { root }),
     ]
