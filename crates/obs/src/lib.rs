@@ -14,8 +14,8 @@
 //!   wall-clock into `<name>.us` histograms, a point [`event!`] macro, and
 //!   a pluggable [`Sink`] with three impls — [`PrettySink`] (stderr),
 //!   [`JsonLinesSink`], and [`TestSink`] for assertions. With no sink
-//!   installed the only cost is the histogram update (one relaxed atomic
-//!   bool guards everything else).
+//!   installed the only cost is the histogram update (one `Acquire`
+//!   atomic bool guards everything else).
 //! * **Flight recorder** ([`mod@recorder`]): an always-on, bounded,
 //!   sharded ring of structured per-query [`QueryRecord`]s — the
 //!   query-level complement to the aggregate registry. O(capacity)
@@ -72,11 +72,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod model;
 pub mod naming;
 pub mod prometheus;
 pub mod recorder;
 pub mod server;
 pub mod span;
+pub mod sync;
 pub mod trace;
 
 pub use json::{parse as parse_json, Json, JsonError};

@@ -23,7 +23,7 @@
 /// Observability table — the analyzer rejects unknown prefixes.
 pub const KNOWN_PREFIXES: &[&str] = &[
     "cascade", "refine", "engine", "batch", "dynamic", "recorder", "server", "shard", "join",
-    "cluster", "classify", "trace",
+    "cluster", "classify", "trace", "model", "analyze",
 ];
 
 /// The namespace reserved for metrics created inside `#[cfg(test)]` code
@@ -189,6 +189,11 @@ mod tests {
             "trace.evicted",
             "trace.spans.dropped",
             "trace.ring.capacity",
+            "model.schedules",
+            "model.states.pruned",
+            "model.failures",
+            "analyze.findings.happens_before",
+            "analyze.findings.lock_order",
         ] {
             assert_eq!(validate_metric_name(name, false), Ok(()), "{name}");
         }

@@ -21,10 +21,20 @@
 //! binary search in the propt bound runs deep inside the filter) and a
 //! batch-context depth (so records emitted by `knn_batch` worker threads
 //! are tagged as batch work).
+//!
+//! # Memory-model contracts (checked by `xtask analyze` happens-before)
+//!
+//! atomic-role: sequence = counter — id source: `fetch_add` is an atomic
+//! RMW, so ids are unique and monotone under Relaxed; the record itself
+//! travels through the shard mutex, not the counter
+//!
+//! atomic-role: dropped = counter — per-kind eviction tallies, read
+//! best-effort by `/recorder.json`
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::OnceLock;
+
+use crate::sync::{AtomicU64, Mutex, MutexGuard, Ordering};
 
 use crate::json::Json;
 
