@@ -51,10 +51,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut json = false;
+    let mut strict_allow = false;
     let mut root: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--strict-allow" => strict_allow = true,
             "--root" => match args.next() {
                 Some(path) => root = Some(PathBuf::from(path)),
                 None => {
@@ -69,7 +71,7 @@ fn main() -> ExitCode {
         }
     }
     let root = root.unwrap_or_else(workspace_root);
-    match analyze(&root, json) {
+    match analyze(&root, json, strict_allow) {
         Ok(clean) => {
             if clean {
                 ExitCode::SUCCESS
@@ -84,7 +86,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo run -p xtask -- analyze [--json] [--root <path>]
+const USAGE: &str = "usage: cargo run -p xtask -- analyze [--json] [--strict-allow] [--root <path>]
        cargo run -p xtask -- bench-compare <baseline.json> <new.json> \
 [--threshold <percent>] [--counters-only]";
 
@@ -136,8 +138,10 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Runs every lint over every workspace source file. Returns `Ok(true)`
-/// when no (non-allowlisted) error findings remain.
-fn analyze(root: &Path, json: bool) -> Result<bool, String> {
+/// when no (non-allowlisted) error findings remain. With `strict_allow`,
+/// stale allowlist entries are errors rather than warnings — the CI mode,
+/// so suppressions cannot outlive the code they excuse.
+fn analyze(root: &Path, json: bool, strict_allow: bool) -> Result<bool, String> {
     let files = collect_sources(root)?;
     let mut lints = lints::all(Some(root.to_path_buf()));
 
@@ -169,20 +173,46 @@ fn analyze(root: &Path, json: bool) -> Result<bool, String> {
             reported.push(finding);
         }
     }
-    reported.extend(allowlist.unused());
+    reported.extend(allowlist.unused().into_iter().map(|mut f| {
+        if strict_allow {
+            f.severity = Severity::Error;
+            f.message.push_str(" [--strict-allow]");
+        }
+        f
+    }));
     reported
         .sort_by(|a, b| (&a.path, a.line, a.col, a.lint).cmp(&(&b.path, b.line, b.col, b.lint)));
     let errors = reported
         .iter()
         .filter(|f| f.severity == Severity::Error)
         .count();
+    record_finding_counters(&reported);
 
     if json {
-        println!("{}", report_json(&lints, &reported, scanned, allowed));
+        println!(
+            "{}",
+            report_json(&lints, &reported, scanned, allowed, strict_allow)
+        );
     } else {
         report_text(&lints, &reported, scanned, allowed);
     }
     Ok(errors == 0)
+}
+
+/// Registry name for a lint's finding counter (`analyze.findings.<id>`
+/// with the id's dashes flattened to fit the metric-name grammar).
+fn finding_counter_name(lint_id: &str) -> String {
+    format!("analyze.findings.{}", lint_id.replace('-', "_"))
+}
+
+/// Bumps one `analyze.findings.<lint>` counter per reported finding, so a
+/// `--json` consumer (or any future in-process embedding) can read the
+/// per-lint totals off the standard obs registry. The names are covered
+/// by the runtime grammar test below and by the obs naming tests.
+fn record_finding_counters(findings: &[Finding]) {
+    for f in findings {
+        treesim_obs::metrics::counter(&finding_counter_name(f.lint)).inc();
+    }
 }
 
 /// Every `.rs` file under `crates/*/{src,tests,benches}` plus build
@@ -309,12 +339,18 @@ fn count_by_lint(findings: &[Finding]) -> BTreeMap<&'static str, (usize, usize)>
     counts
 }
 
+/// Schema tag of the `--json` report. v2 adds `schema` itself,
+/// `strict_allow`, and the per-lint `counter` names; v1 consumers keyed
+/// on the other top-level fields, which are unchanged.
+const ANALYZE_SCHEMA: &str = "treesim-analyze/v2";
+
 /// Machine-readable report (one JSON object on stdout).
 fn report_json(
     lints: &[Box<dyn lints::Lint>],
     findings: &[Finding],
     scanned: usize,
     allowed: usize,
+    strict_allow: bool,
 ) -> String {
     let counts = count_by_lint(findings);
     let summary = lints
@@ -323,6 +359,7 @@ fn report_json(
             let (errors, warnings) = counts.get(lint.id()).copied().unwrap_or((0, 0));
             Json::obj(vec![
                 ("lint", Json::Str(lint.id().to_owned())),
+                ("counter", Json::Str(finding_counter_name(lint.id()))),
                 ("errors", Json::U64(errors as u64)),
                 ("warnings", Json::U64(warnings as u64)),
             ])
@@ -344,6 +381,8 @@ fn report_json(
         .collect();
     let total_errors: usize = counts.values().map(|&(e, _)| e).sum();
     Json::obj(vec![
+        ("schema", Json::Str(ANALYZE_SCHEMA.to_owned())),
+        ("strict_allow", Json::Bool(strict_allow)),
         ("files_scanned", Json::U64(scanned as u64)),
         ("allowlisted", Json::U64(allowed as u64)),
         ("errors", Json::U64(total_errors as u64)),
@@ -351,4 +390,65 @@ fn report_json(
         ("findings", Json::Arr(items)),
     ])
     .to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_counter_names_parse_under_the_grammar() {
+        // Every lint id (and the allowlist pseudo-lint) must flatten to a
+        // valid registry name, or the counters would poison the registry
+        // the metric-name lint itself guards.
+        let mut ids: Vec<&str> = lints::all(None).iter().map(|l| l.id()).collect();
+        ids.push("allowlist");
+        for id in ids {
+            let name = finding_counter_name(id);
+            treesim_obs::naming::validate_metric_name(&name, false)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn strict_allow_escalates_stale_entries() {
+        let dir = std::env::temp_dir().join(format!(
+            "treesim-xtask-strict-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let src = dir.join("crates/demo/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("lib.rs"), "//! Demo crate.\n").unwrap();
+        std::fs::write(
+            dir.join(ALLOWLIST_FILE),
+            "panic-surface crates/demo/src/lib.rs \"nothing\" stale entry\n",
+        )
+        .unwrap();
+        // Lax: the stale entry is only a warning, the run stays green.
+        assert_eq!(analyze(&dir, false, false), Ok(true));
+        // Strict: the same stale entry fails the run.
+        assert_eq!(analyze(&dir, false, true), Ok(false));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_report_carries_the_v2_schema() {
+        let report = report_json(&lints::all(None), &[], 0, 0, true);
+        let parsed = treesim_obs::parse_json(&report).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(ANALYZE_SCHEMA)
+        );
+        assert_eq!(parsed.get("strict_allow"), Some(&Json::Bool(true)));
+        let summary = parsed.get("summary").unwrap();
+        let Json::Arr(rows) = summary else {
+            panic!("summary must be an array")
+        };
+        assert!(rows.iter().any(|row| {
+            row.get("lint").and_then(Json::as_str) == Some("happens-before")
+                && row.get("counter").and_then(Json::as_str)
+                    == Some("analyze.findings.happens_before")
+        }));
+    }
 }
