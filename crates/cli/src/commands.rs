@@ -33,9 +33,13 @@ USAGE:
                         [--shards 1] [--limit 40]   (per-candidate cascade EXPLAIN table)
   treesim trace  FILE --query TREE [--k 5 | --tau T] [--filter ...] [--level 2]
                         [--shards 1]   (answer one query, print its span tree)
+  treesim slo                           (evaluate the SLO targets against the live
+                        5 m / 1 h windows, print the burn-rate table)
   treesim serve-metrics [FILE] [--addr 127.0.0.1:9891] [--warm 25] [--k 5]
-                        (HTTP exporter: /metrics, /snapshot.json, /recorder.json,
-                         /trace.json — retained span trees, Chrome trace-event format)
+                        [--trace-weight-budget N] [--trace-sample-every N]
+                        [--trace-slo-us N]
+                        (HTTP exporter: /metrics, /snapshot.json, /recorder.json?since=N,
+                         /trace.json, /slo.json, /health)
   treesim help
 
 Filters: `bibranch` is the paper's positional cascade; `postings` fronts it
@@ -47,6 +51,9 @@ Observability (any command):
   --trace pretty|json     stream span/event traces to stderr
   --metrics FILE          write the metrics snapshot (counters, gauges,
                           histograms) as JSON after the command finishes
+  TREESIM_TRACE_WEIGHT_BUDGET / TREESIM_TRACE_SAMPLE_EVERY / TREESIM_TRACE_SLO_US
+                          tune the trace sampler from the environment;
+                          the serve-metrics --trace-* flags override them
 
 Dataset files ending in .xml are concatenated XML documents; anything else
 is whitespace-separated bracket notation such as  a(b(c d) e) .";
@@ -57,6 +64,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let rest = if argv.is_empty() { &[] } else { &argv[1..] };
     let args = Args::parse(rest)?;
     configure_tracing(&args)?;
+    // Baseline the window ring before the command runs, so the SLO
+    // evaluation afterwards windows exactly this invocation's traffic
+    // (the first tick on a fresh ring only records the starting point).
+    treesim_obs::window::global().tick();
     let outcome = match command {
         "help" | "--help" | "-h" => {
             println!("{HELP}");
@@ -73,9 +84,23 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "join" => join(&args),
         "explain" => explain(&args),
         "trace" => trace_query(&args),
+        "slo" => slo_report(&args),
         "serve-metrics" => serve_metrics(&args),
         other => Err(format!("unknown command {other:?}")),
     };
+    if outcome.is_err() {
+        // Count the failure against the op's error budget so the SLO
+        // engine's error-rate objectives see driver-level failures too.
+        if let Some(op) = slo_op_for(command, &args) {
+            treesim_search::ops::record_error(op);
+        }
+    }
+    if let Some(burn) = check_slo_after(command) {
+        eprintln!(
+            "warning: SLO degraded — worst burn rate {burn:.2}× \
+             (run `treesim slo` for the target table)"
+        );
+    }
     // Snapshot even on command failure: partial funnels are still useful.
     if let Some(path) = args.get("metrics") {
         write_metrics(path)?;
@@ -83,9 +108,56 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     outcome
 }
 
+/// Maps a CLI command onto the cataloged operation its failure should
+/// burn ([`treesim_search::ops::OPS`]); `None` for commands outside the
+/// SLO table (generation, conversion, the server itself).
+fn slo_op_for(command: &str, args: &Args) -> Option<&'static str> {
+    match command {
+        "knn" => Some("engine.knn"),
+        "range" => Some("engine.range"),
+        "join" => Some("join.self"),
+        // EXPLAIN and trace answer one real query; a `--tau` makes it a
+        // range query, mirroring their dispatch inside the handlers.
+        "explain" | "trace" => Some(if args.get("tau").is_some() {
+            "engine.range"
+        } else {
+            "engine.knn"
+        }),
+        _ => None,
+    }
+}
+
+/// The degradation hook for batch drivers: after a query-path command,
+/// evaluate the SLO targets over the live windows and surface the worst
+/// burn rate when the multi-window rule says the error budget is burning.
+fn check_slo_after(command: &str) -> Option<f64> {
+    match command {
+        "knn" | "range" | "join" | "explain" | "trace" => {
+            treesim_obs::slo::evaluate();
+            treesim_obs::slo::check_degraded()
+        }
+        // `slo` already evaluated inside its handler; re-running here
+        // would double-publish for no new information.
+        "slo" => treesim_obs::slo::check_degraded(),
+        _ => None,
+    }
+}
+
 /// Installs the span sink requested by `--trace pretty|json` (traces go to
-/// stderr so they never mix with command output on stdout).
+/// stderr so they never mix with command output on stdout), after applying
+/// the `TREESIM_TRACE_*` sampler knobs from the environment. Handlers that
+/// force retention (the `trace` subcommand) still win: they set their knob
+/// after this runs.
 fn configure_tracing(args: &Args) -> Result<(), String> {
+    if let Some(v) = env_knob("TREESIM_TRACE_WEIGHT_BUDGET")? {
+        treesim_obs::trace::set_weight_budget(v);
+    }
+    if let Some(v) = env_knob("TREESIM_TRACE_SAMPLE_EVERY")? {
+        treesim_obs::trace::set_sample_every(v);
+    }
+    if let Some(v) = env_knob("TREESIM_TRACE_SLO_US")? {
+        treesim_obs::trace::set_slo_us(v);
+    }
     match args.get("trace") {
         None => Ok(()),
         Some("pretty") => {
@@ -97,6 +169,20 @@ fn configure_tracing(args: &Args) -> Result<(), String> {
             Ok(())
         }
         Some(other) => Err(format!("--trace: unknown mode {other:?} (pretty|json)")),
+    }
+}
+
+/// Reads one `TREESIM_TRACE_*` knob from the environment: `Ok(None)` when
+/// unset, an error (naming the variable) when set but not a number.
+fn env_knob(name: &str) -> Result<Option<u64>, String> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{name}: value is not valid UTF-8")),
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("{name}={raw:?}: {e}")),
     }
 }
 
@@ -528,12 +614,59 @@ fn trace_query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `treesim slo`: evaluate every SLO target against the live 5 m / 1 h
+/// windows and print the verdict table — the same evaluation `/slo.json`
+/// and `/health` serve, rendered for a terminal.
+fn slo_report(_args: &Args) -> Result<(), String> {
+    // Materialize the full op catalog first so the table shows every
+    // promised series, not just the ones this process happened to touch.
+    treesim_search::ops::register();
+    let report = treesim_obs::slo::evaluate();
+    print!("{}", report.render_table());
+    Ok(())
+}
+
+/// One `--trace-*` sampler flag: `Ok(None)` when absent, an error naming
+/// the flag when present but not a number.
+#[cfg(feature = "server")]
+fn flag_knob(args: &Args, name: &str) -> Result<Option<u64>, String> {
+    match args.get(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("--{name} {raw:?}: {e}")),
+    }
+}
+
 /// `treesim serve-metrics`: expose the metrics registry and flight
 /// recorder over HTTP. With a dataset argument, first answers `--warm`
 /// k-NN queries (a batch, so recorder entries are batch-tagged) to
 /// populate the `cascade.*` / `refine.*` / `recorder.*` families.
 #[cfg(feature = "server")]
 fn serve_metrics(args: &Args) -> Result<(), String> {
+    // Sampler knobs: explicit flags override the TREESIM_TRACE_* env vars
+    // (already applied by configure_tracing); when neither pins the
+    // slow-span threshold, it follows the strictest latency SLO so the
+    // sampler's idea of "slow" matches what /health alerts on.
+    let mut slo_pinned = std::env::var_os("TREESIM_TRACE_SLO_US").is_some();
+    if let Some(v) = flag_knob(args, "trace-weight-budget")? {
+        treesim_obs::trace::set_weight_budget(v);
+    }
+    if let Some(v) = flag_knob(args, "trace-sample-every")? {
+        treesim_obs::trace::set_sample_every(v);
+    }
+    if let Some(v) = flag_knob(args, "trace-slo-us")? {
+        treesim_obs::trace::set_slo_us(v);
+        slo_pinned = true;
+    }
+    if !slo_pinned {
+        let applied = treesim_obs::slo::sync_trace_slo();
+        println!("trace slow-span threshold synced to the strictest latency SLO ({applied} µs)");
+    }
+    // Materialize every `<op>.errors` counter so scrapes see the complete
+    // catalog from the first request.
+    treesim_search::ops::register();
     if let Some(path) = args.positional(0) {
         let forest = io::load_forest(path)?;
         let warm = args.get_or("warm", 25usize)?;
@@ -556,7 +689,10 @@ fn serve_metrics(args: &Args) -> Result<(), String> {
     let local = server
         .local_addr()
         .map_err(|e| format!("cannot resolve local address: {e}"))?;
-    println!("serving http://{local}/metrics  (also /snapshot.json, /recorder.json, /trace.json)");
+    println!(
+        "serving http://{local}/metrics  (also /snapshot.json, /recorder.json?since=N, \
+         /trace.json, /slo.json, /health)"
+    );
     server
         .serve_forever()
         .map_err(|e| format!("metrics server failed: {e}"))
@@ -576,6 +712,18 @@ fn serve_metrics(_args: &Args) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that touch the process-wide trace-sampler knobs:
+    /// the trace test relies on forced retention (`sample_every == 1`)
+    /// holding while its queries run, and the knob tests assert on (and
+    /// then restore) the global values.
+    static KNOBS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn knob_lock() -> std::sync::MutexGuard<'static, ()> {
+        KNOBS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     fn argv(tokens: &[&str]) -> Vec<String> {
         tokens.iter().map(|s| s.to_string()).collect()
@@ -805,6 +953,7 @@ mod tests {
 
     #[test]
     fn trace_command_prints_span_tree() {
+        let _knobs = knob_lock();
         let dir = std::env::temp_dir().join("treesim-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let data = dir.join("trace.trees");
@@ -833,12 +982,96 @@ mod tests {
     #[cfg(feature = "server")]
     #[test]
     fn serve_metrics_rejects_bad_addr() {
+        // Holds the knob lock: even a failed serve-metrics syncs the
+        // trace SLO threshold before binding.
+        let _knobs = knob_lock();
         assert!(dispatch(&argv(&[
             "serve-metrics",
             "--addr",
             "definitely:not:an:addr"
         ]))
         .is_err());
+        treesim_obs::trace::set_slo_us(10_000);
+    }
+
+    #[test]
+    fn slo_command_prints_the_target_table() {
+        dispatch(&argv(&["slo"])).unwrap();
+        // The evaluation materialized the published gauges for every
+        // latency target in the catalog.
+        let snapshot = treesim_obs::metrics::snapshot();
+        assert!(snapshot.gauge("slo.burn_rate.engine_knn").is_some());
+        assert!(snapshot.gauge("slo.budget_remaining.engine_knn").is_some());
+    }
+
+    #[test]
+    fn failures_burn_the_op_error_budget() {
+        let before = treesim_obs::metrics::snapshot();
+        assert!(dispatch(&argv(&["knn", "/definitely/missing.trees", "--query", "a"])).is_err());
+        assert!(dispatch(&argv(&["join", "/definitely/missing.trees"])).is_err());
+        let after = treesim_obs::metrics::snapshot();
+        // Other tests may fail queries concurrently, so ≥ not ==.
+        assert!(after.counter_delta(&before, "engine.knn.errors") >= 1);
+        assert!(after.counter_delta(&before, "join.self.errors") >= 1);
+    }
+
+    #[test]
+    fn trace_env_knobs_apply_and_are_validated() {
+        let _knobs = knob_lock();
+        // A valid knob is applied by any command's startup path.
+        std::env::set_var("TREESIM_TRACE_WEIGHT_BUDGET", "128");
+        dispatch(&argv(&["dist", "a", "a"])).unwrap();
+        std::env::remove_var("TREESIM_TRACE_WEIGHT_BUDGET");
+        assert_eq!(treesim_obs::trace::weight_budget(), 128);
+        treesim_obs::trace::set_weight_budget(64);
+        // Validation errors name the variable. (A scratch name keeps the
+        // bad value invisible to concurrently dispatching tests.)
+        std::env::set_var("TREESIM_TRACE_SCRATCH_KNOB", "a lot");
+        let err = env_knob("TREESIM_TRACE_SCRATCH_KNOB").unwrap_err();
+        std::env::remove_var("TREESIM_TRACE_SCRATCH_KNOB");
+        assert!(err.contains("TREESIM_TRACE_SCRATCH_KNOB"), "{err}");
+        assert_eq!(env_knob("TREESIM_TRACE_SCRATCH_KNOB"), Ok(None));
+    }
+
+    #[cfg(feature = "server")]
+    #[test]
+    fn serve_metrics_trace_flags_apply_before_bind() {
+        let _knobs = knob_lock();
+        // The bind fails, but the knobs are applied first — and an
+        // explicit --trace-slo-us suppresses the SLO sync.
+        assert!(dispatch(&argv(&[
+            "serve-metrics",
+            "--addr",
+            "definitely:not:an:addr",
+            "--trace-sample-every",
+            "3",
+            "--trace-slo-us",
+            "9999",
+        ]))
+        .is_err());
+        assert_eq!(treesim_obs::trace::sample_every(), 3);
+        assert_eq!(treesim_obs::trace::slo_us(), 9999);
+        // Without the flag, the threshold follows the strictest latency
+        // target in the SLO table.
+        assert!(dispatch(&argv(&[
+            "serve-metrics",
+            "--addr",
+            "definitely:not:an:addr"
+        ]))
+        .is_err());
+        assert_eq!(treesim_obs::trace::slo_us(), 250_000);
+        // Malformed flags are rejected before anything binds.
+        assert!(dispatch(&argv(&[
+            "serve-metrics",
+            "--addr",
+            "127.0.0.1:0",
+            "--trace-weight-budget",
+            "nope",
+        ]))
+        .is_err());
+        treesim_obs::trace::set_sample_every(16);
+        treesim_obs::trace::set_slo_us(10_000);
+        treesim_obs::trace::set_weight_budget(64);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Injectable monotonic clock: the time source behind the window ring
+//! ([`crate::window`]) and every SLO verdict ([`crate::slo`]).
+//!
+//! Production reads [`now_us`] off a process-monotonic [`Instant`]
+//! anchor. Tests install a manually-advanced clock with [`manual`] —
+//! the same swap-the-substrate idea as the [`crate::sync`] facade, but
+//! resolved at runtime rather than at build time, because the clock must
+//! be swappable from *integration* tests that drive the real global
+//! server and registry. While a [`ManualClock`] guard is live, [`now_us`]
+//! returns exactly what the test last set, so window rotation and every
+//! burn-rate verdict derived from it are deterministic.
+//!
+//! # Memory-model contracts (checked by `xtask analyze` happens-before)
+//!
+//! atomic-role: MANUAL_ACTIVE = cell — mode switch between the real and
+//! the manual source; flipped only by tests holding the manual-clock
+//! lock, read best-effort (a reader that races an install may take one
+//! more real-clock reading, which both sources tolerate)
+//!
+//! atomic-role: MANUAL_US = cell — the manually-set microsecond value; a
+//! self-contained word, nothing else is published through it. Readers on
+//! other threads additionally synchronize through the window-ring mutex
+//! before acting on derived state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+static MANUAL_ACTIVE: AtomicU64 = AtomicU64::new(0);
+static MANUAL_US: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic microseconds since an arbitrary process-local epoch (the
+/// first call), or the manually-set value while a [`ManualClock`] guard
+/// is live. Never decreases under the real source; the manual source is
+/// as monotone as the test that drives it.
+pub fn now_us() -> u64 {
+    if MANUAL_ACTIVE.load(Ordering::Relaxed) != 0 {
+        return MANUAL_US.load(Ordering::Relaxed);
+    }
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    let anchor = ANCHOR.get_or_init(Instant::now);
+    u64::try_from(anchor.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Whether a manual clock is currently installed (diagnostics only).
+pub fn is_manual() -> bool {
+    MANUAL_ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+fn manual_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Installs a manually-driven clock starting at `start_us` and returns
+/// the guard that controls it. The guard holds a global lock so tests
+/// that inject time serialize against each other; dropping it restores
+/// the real monotonic source.
+pub fn manual(start_us: u64) -> ManualClock {
+    let guard = manual_lock();
+    MANUAL_US.store(start_us, Ordering::Relaxed);
+    MANUAL_ACTIVE.store(1, Ordering::Relaxed);
+    ManualClock { _guard: guard }
+}
+
+/// RAII handle to an installed manual clock (see [`manual`]).
+#[derive(Debug)]
+pub struct ManualClock {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl ManualClock {
+    /// The current manual reading.
+    pub fn get(&self) -> u64 {
+        MANUAL_US.load(Ordering::Relaxed)
+    }
+
+    /// Sets the clock to an absolute microsecond value.
+    pub fn set(&self, us: u64) {
+        MANUAL_US.store(us, Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `delta_us`.
+    pub fn advance(&self, delta_us: u64) {
+        let now = MANUAL_US.load(Ordering::Relaxed);
+        MANUAL_US.store(now.saturating_add(delta_us), Ordering::Relaxed);
+    }
+}
+
+impl Drop for ManualClock {
+    fn drop(&mut self) {
+        MANUAL_ACTIVE.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_deterministic_and_restores() {
+        {
+            let clk = manual(1_000);
+            assert!(is_manual());
+            assert_eq!(now_us(), 1_000);
+            clk.advance(500);
+            assert_eq!(clk.get(), 1_500);
+            assert_eq!(now_us(), 1_500);
+            clk.set(10_000);
+            assert_eq!(now_us(), 10_000);
+        }
+        assert!(!is_manual());
+        // Back on the real source: readings are process-relative again.
+        let a = now_us();
+        assert!(now_us() >= a);
+    }
+}

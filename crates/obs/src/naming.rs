@@ -23,7 +23,7 @@
 /// Observability table — the analyzer rejects unknown prefixes.
 pub const KNOWN_PREFIXES: &[&str] = &[
     "cascade", "refine", "engine", "batch", "dynamic", "recorder", "server", "shard", "join",
-    "cluster", "classify", "trace", "model", "analyze",
+    "cluster", "classify", "trace", "model", "analyze", "slo", "window",
 ];
 
 /// The namespace reserved for metrics created inside `#[cfg(test)]` code
@@ -194,6 +194,10 @@ mod tests {
             "model.failures",
             "analyze.findings.happens_before",
             "analyze.findings.lock_order",
+            "slo.burn_rate.engine_knn",
+            "slo.budget_remaining.engine_knn",
+            "window.rotations",
+            "window.sealed_through",
         ] {
             assert_eq!(validate_metric_name(name, false), Ok(()), "{name}");
         }

@@ -389,6 +389,16 @@ impl FlightRecorder {
         out
     }
 
+    /// The held records with ids strictly greater than `since`, sorted by
+    /// id — the `/recorder.json?since=<seq>` cursor. Ids are the Relaxed
+    /// deposit sequence (they start at 1 and never repeat), so a poller
+    /// passing the largest id it has seen gets exactly the new tail.
+    pub fn records_since(&self, since: u64) -> Vec<QueryRecord> {
+        let mut out = self.records();
+        out.retain(|r| r.id > since);
+        out
+    }
+
     /// Total records ever deposited (including overwritten ones).
     pub fn recorded_total(&self) -> u64 {
         self.sequence.load(Ordering::Relaxed)
@@ -396,11 +406,19 @@ impl FlightRecorder {
 
     /// Serializes the held records to the `/recorder.json` document.
     pub fn to_json(&self) -> Json {
-        let records = self.records();
+        self.to_json_since(0)
+    }
+
+    /// [`FlightRecorder::to_json`] restricted to records with ids after
+    /// `since` (0 = everything); `held` counts only the returned records
+    /// and the echoed `since` lets pollers confirm their cursor.
+    pub fn to_json_since(&self, since: u64) -> Json {
+        let records = self.records_since(since);
         Json::obj(vec![
             ("schema", Json::Str("treesim-recorder/v1".to_owned())),
             ("capacity", Json::U64(self.capacity as u64)),
             ("recorded_total", Json::U64(self.recorded_total())),
+            ("since", Json::U64(since)),
             ("held", Json::U64(records.len() as u64)),
             (
                 "dropped",
@@ -588,6 +606,34 @@ mod tests {
         let stages = r.get("stages").and_then(Json::as_array).unwrap();
         assert_eq!(stages.len(), 2);
         assert_eq!(stages[0].get("name").and_then(Json::as_str), Some("size"));
+    }
+
+    #[test]
+    fn since_cursor_returns_only_the_new_tail() {
+        let rec = FlightRecorder::with_capacity(64);
+        for i in 0..10 {
+            rec.record(sample(QueryKind::Knn, i));
+        }
+        // Ids are 1..=10; a poller that saw through id 7 gets 8, 9, 10.
+        let tail = rec.records_since(7);
+        assert_eq!(
+            tail.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![8, 9, 10]
+        );
+        assert_eq!(rec.records_since(0).len(), 10, "0 means everything");
+        assert!(rec.records_since(10).is_empty());
+        let doc = rec.to_json_since(7);
+        assert_eq!(doc.get("since").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("held").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            doc.get("recorded_total").and_then(Json::as_u64),
+            Some(10),
+            "totals describe the ring, not the cursor slice"
+        );
+        let records = doc.get("records").and_then(Json::as_array).unwrap();
+        assert_eq!(records.len(), 3);
+        // The cursor does not consume: a second poll repeats the tail.
+        assert_eq!(rec.records_since(7).len(), 3);
     }
 
     #[test]

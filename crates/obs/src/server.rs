@@ -1,15 +1,23 @@
 //! A tiny std-only metrics HTTP server — the first brick of the
 //! ROADMAP's service front-end.
 //!
-//! One [`std::net::TcpListener`], one handler thread, four routes:
+//! One [`std::net::TcpListener`], one handler thread, six routes:
 //!
 //! * `GET /metrics` — the registry in Prometheus text exposition format
-//!   ([`crate::prometheus::render`]).
+//!   ([`crate::prometheus::render`]), followed by the windowed series and
+//!   `slo_*` gauges (the SLO engine is evaluated on every scrape).
 //! * `GET /snapshot.json` — [`crate::metrics::snapshot`] as JSON.
-//! * `GET /recorder.json` — the global flight recorder's held records.
+//! * `GET /recorder.json` — the global flight recorder's held records;
+//!   `?since=<seq>` returns only records newer than that sequence id
+//!   (malformed cursors get a 400).
 //! * `GET /trace.json` — the retained per-query span trees in Chrome
 //!   trace-event format ([`crate::trace::chrome_trace_json`]); save it
 //!   and load it in `chrome://tracing` or Perfetto.
+//! * `GET /slo.json` — the SLO report ([`crate::slo::evaluate`], schema
+//!   `treesim-slo/v1`): per-target fast/slow burn rates, error budgets
+//!   and windowed observed quantiles.
+//! * `GET /health` — `200 ok` while every SLO target holds, `503` with
+//!   the worst burn rate once the multi-window breach rule fires.
 //!
 //! HTTP support is deliberately minimal (HTTP/1.0-style: read the request
 //! line, answer, close) — scrapers and `curl` are the only intended
@@ -146,34 +154,97 @@ fn handle_connection(stream: TcpStream) {
     drop(stream.flush());
 }
 
-/// Body for `path`: `(status line, content type, body)`.
+/// Body for `path`: `(status line, content type, body)`. The query
+/// string is split off before routing; only `/recorder.json` reads it.
 fn respond(path: &str) -> (&'static str, &'static str, String) {
-    match path {
-        "/metrics" => (
-            "200 OK",
-            prometheus::CONTENT_TYPE,
-            prometheus::render(&crate::metrics::snapshot()),
-        ),
+    let (route, query) = match path.split_once('?') {
+        Some((route, query)) => (route, Some(query)),
+        None => (path, None),
+    };
+    match route {
+        "/metrics" => {
+            // Evaluate first so the slo.* gauges land in this scrape,
+            // then append the windowed quantile series.
+            crate::slo::evaluate();
+            let mut body = prometheus::render(&crate::metrics::snapshot());
+            let ring = crate::window::global();
+            let fast = ring.window(crate::window::FAST_WINDOW_INTERVALS);
+            let slow = ring.window(crate::window::SLOW_WINDOW_INTERVALS);
+            let fast_secs = crate::window::FAST_WINDOW_INTERVALS as u64
+                * (ring.interval_us() / 1_000_000).max(1);
+            let slow_secs = crate::window::SLOW_WINDOW_INTERVALS as u64
+                * (ring.interval_us() / 1_000_000).max(1);
+            body.push_str(&prometheus::render_windows(&[
+                (fast_secs, &fast),
+                (slow_secs, &slow),
+            ]));
+            ("200 OK", prometheus::CONTENT_TYPE, body)
+        }
         "/snapshot.json" => (
             "200 OK",
             "application/json",
             crate::metrics::snapshot().to_json_string(),
         ),
-        "/recorder.json" => (
-            "200 OK",
-            "application/json",
-            recorder::global().to_json().to_string_pretty(),
-        ),
+        "/recorder.json" => {
+            let since = match parse_since(query) {
+                Ok(since) => since,
+                Err(bad) => {
+                    return (
+                        "400 Bad Request",
+                        "text/plain",
+                        format!("400: bad query {bad:?} (expected since=<sequence id>)\n"),
+                    )
+                }
+            };
+            (
+                "200 OK",
+                "application/json",
+                recorder::global().to_json_since(since).to_string_pretty(),
+            )
+        }
         "/trace.json" => (
             "200 OK",
             "application/json",
             crate::trace::chrome_trace_json().to_string_pretty(),
         ),
+        "/slo.json" => (
+            "200 OK",
+            "application/json",
+            crate::slo::evaluate().to_json().to_string_pretty(),
+        ),
+        "/health" => {
+            let report = crate::slo::evaluate();
+            if report.degraded() {
+                (
+                    "503 Service Unavailable",
+                    "text/plain",
+                    format!("degraded: worst burn rate {:.2}\n", report.worst_burn()),
+                )
+            } else {
+                (
+                    "200 OK",
+                    "text/plain",
+                    format!("ok: worst burn rate {:.2}\n", report.worst_burn()),
+                )
+            }
+        }
         _ => (
             "404 Not Found",
             "text/plain",
-            "404: try /metrics, /snapshot.json, /recorder.json or /trace.json\n".to_owned(),
+            "404: try /metrics, /snapshot.json, /recorder.json[?since=N], /trace.json, \
+             /slo.json or /health\n"
+                .to_owned(),
         ),
+    }
+}
+
+/// The `since=<u64>` cursor from a `/recorder.json` query string. No
+/// query at all means 0 (everything); anything else must parse.
+fn parse_since(query: Option<&str>) -> Result<u64, String> {
+    let Some(query) = query else { return Ok(0) };
+    match query.split_once('=') {
+        Some(("since", value)) => value.parse().map_err(|_| query.to_owned()),
+        _ => Err(query.to_owned()),
     }
 }
 
@@ -244,11 +315,76 @@ mod tests {
         let (head, body) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.0 404"), "{head}");
         assert!(body.contains("/trace.json"), "{body}");
+        assert!(
+            body.contains("/slo.json") && body.contains("/health"),
+            "{body}"
+        );
 
         handle.shutdown();
         // The listener is gone (connect may briefly succeed on some
         // platforms' backlog, but a fresh bind to the port must work).
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok());
+    }
+
+    #[test]
+    fn slo_and_health_routes_serve_the_live_verdict() {
+        // /metrics and /health run the SLO engine, whose degradation
+        // latch is shared global state — serialize with other tests that
+        // publish through it.
+        let _trace_lock = crate::trace::test_lock();
+        let handle = MetricsServer::bind("127.0.0.1:0").unwrap().spawn().unwrap();
+        let addr = handle.addr();
+
+        let (head, body) = get(addr, "/slo.json");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        let doc = crate::json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(crate::Json::as_str),
+            Some(crate::slo::SCHEMA)
+        );
+        let targets = doc.get("targets").and_then(crate::Json::as_array).unwrap();
+        assert!(targets
+            .iter()
+            .any(|t| t.get("op").and_then(crate::Json::as_str) == Some("engine.knn")));
+
+        // A fresh process has no sustained burn: /health answers 200.
+        let (head, body) = get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}: {body}");
+        assert!(body.starts_with("ok"), "{body}");
+
+        // The scrape carries the SLO gauges and windowed series.
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("slo_burn_rate_engine_knn"), "{body}");
+        assert!(body.contains("slo_budget_remaining_engine_knn"), "{body}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn recorder_cursor_filters_and_rejects_garbage() {
+        let handle = MetricsServer::bind("127.0.0.1:0").unwrap().spawn().unwrap();
+        let addr = handle.addr();
+
+        let (head, body) = get(addr, "/recorder.json?since=18446744073709551615");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        let doc = crate::json::parse(&body).unwrap();
+        assert_eq!(doc.get("held").and_then(crate::Json::as_u64), Some(0));
+        assert_eq!(
+            doc.get("since").and_then(crate::Json::as_u64),
+            Some(u64::MAX)
+        );
+
+        for bad in ["/recorder.json?since=abc", "/recorder.json?cursor=3"] {
+            let (head, body) = get(addr, bad);
+            assert!(head.starts_with("HTTP/1.0 400"), "{bad}: {head}");
+            assert!(body.contains("since=<sequence id>"), "{body}");
+        }
+
+        // Query strings on other routes are ignored, not 404s.
+        let (head, _) = get(addr, "/snapshot.json?since=1");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+
+        handle.shutdown();
     }
 }

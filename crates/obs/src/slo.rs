@@ -1,0 +1,656 @@
+//! Declarative SLO targets, multi-window burn rates and the error-budget
+//! accountant behind `/health`, `/slo.json` and the `slo_*` gauges.
+//!
+//! An objective says what "good" means for one operation: either a
+//! latency quantile (p99 of `<op>.us` under a bound) or an error rate
+//! (`<op>.errors` under a fraction of traffic). Evaluation reads two
+//! trailing windows off the [`crate::window`] ring — fast
+//! ([`crate::window::FAST_WINDOW_INTERVALS`], 5 min by default) and slow
+//! ([`crate::window::SLOW_WINDOW_INTERVALS`], 1 h) — and computes the
+//! *burn rate* for each: the observed bad fraction divided by the
+//! fraction the objective tolerates (`ε`). Burn 1.0 means the error
+//! budget is being consumed exactly at the sustainable pace; burn 2.0
+//! means twice that.
+//!
+//! A target is **breached** only when *both* windows burn at or above
+//! [`DEFAULT_BURN_THRESHOLD`] — the multi-window rule from the SRE
+//! workbook: the slow window proves the problem is material, the fast
+//! window proves it is still happening, and requiring both suppresses
+//! one-burst false alarms and stale alerts alike. With no traffic in a
+//! window the burn is 0 (an idle service is a healthy one).
+//!
+//! The budget accountant reports, per target, the fraction of the slow
+//! window's error budget still unspent: `(ε·total − bad) / (ε·total)`,
+//! clamped to `[0, 1]` so a blown budget reads 0, never a negative
+//! number.
+//!
+//! [`evaluate`] publishes each target's verdict as milli-unit gauges
+//! (`slo.burn_rate.<op>`, `slo.budget_remaining.<op>`) and refreshes the
+//! degradation latch that [`check_degraded`] polls — CLI batch drivers
+//! log it; a future admission controller would shed load on it.
+//!
+//! # Memory-model contracts (checked by `xtask analyze` happens-before)
+//!
+//! atomic-role: DEGRADED = cell — latest evaluation's breach verdict
+//! (0/1), written by [`evaluate`] and polled best-effort; a stale read
+//! is at worst one evaluation old and carries no other state
+//!
+//! atomic-role: WORST_BURN_MILLI = cell — worst min(fast, slow) burn
+//! rate of the latest evaluation in milli-units; same freshness contract
+//! as DEGRADED, published together and read independently
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::window::{FAST_WINDOW_INTERVALS, SLOW_WINDOW_INTERVALS};
+
+/// Schema tag in `/slo.json` output.
+pub const SCHEMA: &str = "treesim-slo/v1";
+
+/// Both windows must burn at or above this for a target to breach.
+pub const DEFAULT_BURN_THRESHOLD: f64 = 2.0;
+
+static DEGRADED: AtomicU64 = AtomicU64::new(0);
+static WORST_BURN_MILLI: AtomicU64 = AtomicU64::new(0);
+
+/// What "good" means for one operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// The `q`-quantile of `<op>.us` must stay at or under `max_us`.
+    LatencyQuantile {
+        /// Quantile in `[0, 1]` (0.99 for p99).
+        q: f64,
+        /// Inclusive latency bound in microseconds.
+        max_us: u64,
+    },
+    /// `<op>.errors` per `<op>.us` sample must stay under `max_ratio`.
+    ErrorRate {
+        /// Tolerated error fraction in `(0, 1]`.
+        max_ratio: f64,
+    },
+}
+
+impl Objective {
+    /// The tolerated bad fraction `ε`: the error budget as a rate.
+    pub fn epsilon(&self) -> f64 {
+        match *self {
+            Objective::LatencyQuantile { q, .. } => (1.0 - q).max(f64::EPSILON),
+            Objective::ErrorRate { max_ratio } => max_ratio.max(f64::EPSILON),
+        }
+    }
+
+    /// Short machine-readable kind tag (`latency_p99`, `error_rate`).
+    pub fn kind(&self) -> String {
+        match *self {
+            Objective::LatencyQuantile { q, .. } => {
+                format!("latency_p{:02}", (q * 100.0).round() as u64)
+            }
+            Objective::ErrorRate { .. } => "error_rate".to_owned(),
+        }
+    }
+}
+
+/// One declarative target: an operation plus its objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTarget {
+    /// Operation label; `<op>.us` is its latency histogram and
+    /// `<op>.errors` its failure counter.
+    pub op: &'static str,
+    /// What this target promises.
+    pub objective: Objective,
+}
+
+const MS: u64 = 1_000;
+
+/// The shipped target table: p99 latency plus a 1% error-rate objective
+/// for every cataloged operation. Interactive lookups (knn/range on the
+/// static and dynamic engines, classification) promise 250 ms; corpus
+/// sweeps (self-join, clustering) get 2 s per invocation.
+pub const DEFAULT_TARGETS: &[SloTarget] = &[
+    SloTarget {
+        op: "engine.knn",
+        objective: Objective::LatencyQuantile {
+            q: 0.99,
+            max_us: 250 * MS,
+        },
+    },
+    SloTarget {
+        op: "engine.range",
+        objective: Objective::LatencyQuantile {
+            q: 0.99,
+            max_us: 250 * MS,
+        },
+    },
+    SloTarget {
+        op: "dynamic.knn",
+        objective: Objective::LatencyQuantile {
+            q: 0.99,
+            max_us: 250 * MS,
+        },
+    },
+    SloTarget {
+        op: "dynamic.range",
+        objective: Objective::LatencyQuantile {
+            q: 0.99,
+            max_us: 250 * MS,
+        },
+    },
+    SloTarget {
+        op: "classify.knn",
+        objective: Objective::LatencyQuantile {
+            q: 0.99,
+            max_us: 250 * MS,
+        },
+    },
+    SloTarget {
+        op: "join.self",
+        objective: Objective::LatencyQuantile {
+            q: 0.99,
+            max_us: 2_000 * MS,
+        },
+    },
+    SloTarget {
+        op: "cluster.run",
+        objective: Objective::LatencyQuantile {
+            q: 0.99,
+            max_us: 2_000 * MS,
+        },
+    },
+    SloTarget {
+        op: "engine.knn",
+        objective: Objective::ErrorRate { max_ratio: 0.01 },
+    },
+    SloTarget {
+        op: "engine.range",
+        objective: Objective::ErrorRate { max_ratio: 0.01 },
+    },
+    SloTarget {
+        op: "dynamic.knn",
+        objective: Objective::ErrorRate { max_ratio: 0.01 },
+    },
+    SloTarget {
+        op: "dynamic.range",
+        objective: Objective::ErrorRate { max_ratio: 0.01 },
+    },
+    SloTarget {
+        op: "classify.knn",
+        objective: Objective::ErrorRate { max_ratio: 0.01 },
+    },
+    SloTarget {
+        op: "join.self",
+        objective: Objective::ErrorRate { max_ratio: 0.01 },
+    },
+    SloTarget {
+        op: "cluster.run",
+        objective: Objective::ErrorRate { max_ratio: 0.01 },
+    },
+];
+
+/// One window's contribution to a verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowBurn {
+    /// Samples the objective judged (histogram count).
+    pub total: u64,
+    /// Samples that violated it (over-bound or errored).
+    pub bad: u64,
+    /// `(bad/total)/ε`; 0 with no traffic.
+    pub burn: f64,
+}
+
+impl WindowBurn {
+    fn compute(total: u64, bad: u64, epsilon: f64) -> WindowBurn {
+        let burn = if total == 0 {
+            0.0
+        } else {
+            (bad as f64 / total as f64) / epsilon
+        };
+        WindowBurn { total, bad, burn }
+    }
+}
+
+/// A target's evaluated state across both windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetVerdict {
+    /// The target this verdict judges.
+    pub target: SloTarget,
+    /// Fast-window (5 min) burn.
+    pub fast: WindowBurn,
+    /// Slow-window (1 h) burn.
+    pub slow: WindowBurn,
+    /// Unspent fraction of the slow window's error budget, in `[0, 1]`.
+    pub budget_remaining: f64,
+    /// Whether both windows burn at or above the threshold.
+    pub breached: bool,
+    /// For latency objectives: the windowed quantile actually observed
+    /// over the fast window (microseconds), when it saw traffic.
+    pub observed_us: Option<u64>,
+}
+
+impl TargetVerdict {
+    /// The breach-relevant burn: the smaller of the two windows'.
+    pub fn effective_burn(&self) -> f64 {
+        self.fast.burn.min(self.slow.burn)
+    }
+}
+
+/// A full evaluation: every target's verdict plus the overall verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Clock reading the evaluation used (microseconds).
+    pub now_us: u64,
+    /// Burn threshold the breach rule applied.
+    pub burn_threshold: f64,
+    /// Per-target verdicts, in target-table order.
+    pub verdicts: Vec<TargetVerdict>,
+}
+
+impl SloReport {
+    /// Whether any target is breached.
+    pub fn degraded(&self) -> bool {
+        self.verdicts.iter().any(|v| v.breached)
+    }
+
+    /// The worst effective burn across targets (0 when idle).
+    pub fn worst_burn(&self) -> f64 {
+        self.verdicts
+            .iter()
+            .map(TargetVerdict::effective_burn)
+            .fold(0.0, f64::max)
+    }
+
+    /// The `/slo.json` document (schema [`SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        let targets = self
+            .verdicts
+            .iter()
+            .map(|v| {
+                let mut pairs = vec![
+                    ("op".to_owned(), Json::Str(v.target.op.to_owned())),
+                    ("kind".to_owned(), Json::Str(v.target.objective.kind())),
+                ];
+                match v.target.objective {
+                    Objective::LatencyQuantile { max_us, .. } => {
+                        pairs.push(("target_us".to_owned(), Json::U64(max_us)));
+                        if let Some(observed) = v.observed_us {
+                            pairs.push(("observed_us".to_owned(), Json::U64(observed)));
+                        }
+                    }
+                    Objective::ErrorRate { max_ratio } => {
+                        pairs.push(("max_ratio".to_owned(), Json::F64(max_ratio)));
+                    }
+                }
+                pairs.extend([
+                    ("fast_total".to_owned(), Json::U64(v.fast.total)),
+                    ("fast_bad".to_owned(), Json::U64(v.fast.bad)),
+                    ("fast_burn".to_owned(), Json::F64(v.fast.burn)),
+                    ("slow_total".to_owned(), Json::U64(v.slow.total)),
+                    ("slow_bad".to_owned(), Json::U64(v.slow.bad)),
+                    ("slow_burn".to_owned(), Json::F64(v.slow.burn)),
+                    ("budget_remaining".to_owned(), Json::F64(v.budget_remaining)),
+                    ("breached".to_owned(), Json::Bool(v.breached)),
+                ]);
+                Json::Obj(pairs)
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.to_owned())),
+            ("now_us", Json::U64(self.now_us)),
+            ("burn_threshold", Json::F64(self.burn_threshold)),
+            (
+                "fast_window_intervals",
+                Json::U64(FAST_WINDOW_INTERVALS as u64),
+            ),
+            (
+                "slow_window_intervals",
+                Json::U64(SLOW_WINDOW_INTERVALS as u64),
+            ),
+            (
+                "interval_us",
+                Json::U64(crate::window::global().interval_us()),
+            ),
+            ("degraded", Json::Bool(self.degraded())),
+            ("worst_burn", Json::F64(self.worst_burn())),
+            ("targets", Json::Arr(targets)),
+        ])
+    }
+
+    /// A fixed-width text table for the `treesim slo` subcommand.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:<12} {:>12} {:>10} {:>10} {:>8} {:>9}\n",
+            "op", "objective", "target", "fast burn", "slow burn", "budget", "breached"
+        ));
+        for v in &self.verdicts {
+            let target = match v.target.objective {
+                Objective::LatencyQuantile { max_us, .. } => format!("{max_us} us"),
+                Objective::ErrorRate { max_ratio } => format!("{:.2}%", max_ratio * 100.0),
+            };
+            out.push_str(&format!(
+                "{:<14} {:<12} {:>12} {:>10.2} {:>10.2} {:>7.0}% {:>9}\n",
+                v.target.op,
+                v.target.objective.kind(),
+                target,
+                v.fast.burn,
+                v.slow.burn,
+                v.budget_remaining * 100.0,
+                if v.breached { "BREACH" } else { "ok" }
+            ));
+        }
+        out.push_str(&format!(
+            "\nworst burn {:.2} (threshold {:.1}) — {}\n",
+            self.worst_burn(),
+            self.burn_threshold,
+            if self.degraded() {
+                "DEGRADED"
+            } else {
+                "healthy"
+            }
+        ));
+        out
+    }
+}
+
+fn judge(target: &SloTarget, window: &MetricsSnapshot) -> (u64, u64) {
+    let hist = window.histogram(&format!("{}.us", target.op));
+    let total = hist.map_or(0, |h| h.count);
+    let bad = match target.objective {
+        Objective::LatencyQuantile { max_us, .. } => hist.map_or(0, |h| h.count_over(max_us)),
+        Objective::ErrorRate { .. } => window
+            .counter(&format!("{}.errors", target.op))
+            .unwrap_or(0)
+            .min(total),
+    };
+    (total, bad)
+}
+
+/// Pure evaluation core: judges `targets` against two already-windowed
+/// delta snapshots. Deterministic — same inputs, same report.
+pub fn evaluate_against(
+    targets: &[SloTarget],
+    fast: &MetricsSnapshot,
+    slow: &MetricsSnapshot,
+    burn_threshold: f64,
+    now_us: u64,
+) -> SloReport {
+    let verdicts = targets
+        .iter()
+        .map(|target| {
+            let epsilon = target.objective.epsilon();
+            let observed_us = match target.objective {
+                Objective::LatencyQuantile { q, .. } => fast
+                    .histogram(&format!("{}.us", target.op))
+                    .filter(|h| h.count > 0)
+                    .map(|h| h.quantile(q)),
+                Objective::ErrorRate { .. } => None,
+            };
+            let (fast_total, fast_bad) = judge(target, fast);
+            let (slow_total, slow_bad) = judge(target, slow);
+            let fast = WindowBurn::compute(fast_total, fast_bad, epsilon);
+            let slow = WindowBurn::compute(slow_total, slow_bad, epsilon);
+            let allowance = epsilon * slow.total as f64;
+            let budget_remaining = if slow.total == 0 {
+                1.0
+            } else {
+                ((allowance - slow.bad as f64) / allowance).clamp(0.0, 1.0)
+            };
+            let breached = fast.burn >= burn_threshold && slow.burn >= burn_threshold;
+            TargetVerdict {
+                target: *target,
+                fast,
+                slow,
+                budget_remaining,
+                breached,
+                observed_us,
+            }
+        })
+        .collect();
+    SloReport {
+        now_us,
+        burn_threshold,
+        verdicts,
+    }
+}
+
+/// Evaluates [`DEFAULT_TARGETS`] against the global window ring and
+/// registry, publishes the `slo.*` gauges and refreshes the degradation
+/// latch. This is what `/slo.json`, `/health` and `/metrics` call.
+pub fn evaluate() -> SloReport {
+    let ring = crate::window::global();
+    ring.tick();
+    let now_us = crate::clock::now_us();
+    let current = crate::metrics::snapshot();
+    let fast = ring.window_with(now_us, &current, FAST_WINDOW_INTERVALS);
+    let slow = ring.window_with(now_us, &current, SLOW_WINDOW_INTERVALS);
+    let report = evaluate_against(
+        DEFAULT_TARGETS,
+        &fast,
+        &slow,
+        DEFAULT_BURN_THRESHOLD,
+        now_us,
+    );
+    publish(&report);
+    report
+}
+
+fn publish(report: &SloReport) {
+    for v in &report.verdicts {
+        // Only latency targets get gauges — one pair per op, and the
+        // latency row is the canonical one for its op.
+        if matches!(v.target.objective, Objective::ErrorRate { .. }) {
+            continue;
+        }
+        let op = v.target.op.replace('.', "_");
+        let burn_milli = (v.effective_burn() * 1000.0).min(i64::MAX as f64) as i64;
+        crate::metrics::gauge(&format!("slo.burn_rate.{op}")).set(burn_milli);
+        let budget_milli = (v.budget_remaining * 1000.0) as i64;
+        crate::metrics::gauge(&format!("slo.budget_remaining.{op}")).set(budget_milli);
+    }
+    let worst_milli = (report.worst_burn() * 1000.0).min(u64::MAX as f64) as u64;
+    WORST_BURN_MILLI.store(worst_milli, Ordering::Relaxed);
+    DEGRADED.store(u64::from(report.degraded()), Ordering::Relaxed);
+}
+
+/// The degradation hook: `Some(worst burn rate)` when the latest
+/// [`evaluate`] found a breach, `None` while healthy. Poll-only; nothing
+/// blocks on it.
+pub fn check_degraded() -> Option<f64> {
+    if DEGRADED.load(Ordering::Relaxed) == 0 {
+        None
+    } else {
+        Some(WORST_BURN_MILLI.load(Ordering::Relaxed) as f64 / 1000.0)
+    }
+}
+
+/// Feeds the strictest latency target into the trace sampler's SLO knob
+/// ([`crate::trace::set_slo_us`]) so trace retention and SLO targets
+/// cannot drift apart. Returns the value applied.
+pub fn sync_trace_slo() -> u64 {
+    let strictest = DEFAULT_TARGETS
+        .iter()
+        .filter_map(|t| match t.objective {
+            Objective::LatencyQuantile { max_us, .. } => Some(max_us),
+            Objective::ErrorRate { .. } => None,
+        })
+        .min()
+        .unwrap_or(10_000);
+    crate::trace::set_slo_us(strictest);
+    strictest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CounterSnapshot, HistogramSnapshot};
+
+    /// A windowed delta snapshot with `op.us` samples and an error count.
+    fn window(op: &str, samples: &[u64], errors: u64) -> MetricsSnapshot {
+        let mut buckets: Vec<(u8, u64)> = Vec::new();
+        let mut sum = 0;
+        let mut max = 0;
+        for &v in samples {
+            let i = crate::metrics::bucket_index(v) as u8;
+            match buckets.iter_mut().find(|(b, _)| *b == i) {
+                Some((_, n)) => *n += 1,
+                None => buckets.push((i, 1)),
+            }
+            sum += v;
+            max = max.max(v);
+        }
+        buckets.sort_unstable();
+        MetricsSnapshot {
+            counters: vec![CounterSnapshot {
+                name: format!("{op}.errors"),
+                value: errors,
+            }],
+            gauges: Vec::new(),
+            histograms: vec![HistogramSnapshot {
+                name: format!("{op}.us"),
+                count: samples.len() as u64,
+                sum,
+                max,
+                buckets,
+                exemplars: Vec::new(),
+            }],
+        }
+    }
+
+    const LATENCY: &[SloTarget] = &[SloTarget {
+        op: "engine.knn",
+        objective: Objective::LatencyQuantile {
+            q: 0.99,
+            max_us: 1_000,
+        },
+    }];
+
+    const ERRORS: &[SloTarget] = &[SloTarget {
+        op: "engine.knn",
+        objective: Objective::ErrorRate { max_ratio: 0.01 },
+    }];
+
+    #[test]
+    fn idle_service_is_healthy_with_full_budget() {
+        let empty = MetricsSnapshot::default();
+        let report = evaluate_against(DEFAULT_TARGETS, &empty, &empty, 2.0, 0);
+        assert!(!report.degraded());
+        assert_eq!(report.worst_burn(), 0.0);
+        for v in &report.verdicts {
+            assert_eq!(v.budget_remaining, 1.0);
+            assert!(!v.breached);
+        }
+    }
+
+    #[test]
+    fn breach_requires_both_windows_to_burn() {
+        // 100 samples, half over the 1 ms bound: burn = 0.5/0.01 = 50.
+        let hot =
+            window("engine.knn", &[2_000; 50], 0).merged_with(&window("engine.knn", &[10; 50], 0));
+        let cold = window("engine.knn", &[10; 100], 0);
+        // Hot fast + cold slow: a fresh burst, not yet material.
+        let r = evaluate_against(LATENCY, &hot, &cold, 2.0, 0);
+        assert!(!r.verdicts[0].breached);
+        assert!(r.verdicts[0].fast.burn > 2.0);
+        assert_eq!(r.verdicts[0].slow.burn, 0.0);
+        // Hot fast + hot slow: sustained — breach.
+        let r = evaluate_against(LATENCY, &hot, &hot, 2.0, 0);
+        assert!(r.verdicts[0].breached);
+        assert!(r.degraded());
+        assert!(r.worst_burn() >= 2.0);
+        // Cold fast + hot slow: recovered — stale alert suppressed.
+        let r = evaluate_against(LATENCY, &cold, &hot, 2.0, 0);
+        assert!(!r.verdicts[0].breached);
+    }
+
+    #[test]
+    fn error_rate_burn_and_budget_account_errors() {
+        // 200 samples, 4 errors: rate 2%, ε 1% → burn 2.0; budget
+        // allowance 2 errors → 0 remaining (clamped, never negative).
+        let w = window("engine.knn", &[10; 200], 4);
+        let r = evaluate_against(ERRORS, &w, &w, 2.0, 0);
+        let v = &r.verdicts[0];
+        assert!((v.fast.burn - 2.0).abs() < 1e-9);
+        assert_eq!(v.fast.bad, 4);
+        assert_eq!(v.budget_remaining, 0.0);
+        assert!(v.breached);
+        // 1 error in 200: half the budget spent.
+        let w = window("engine.knn", &[10; 200], 1);
+        let r = evaluate_against(ERRORS, &w, &w, 2.0, 0);
+        assert!((r.verdicts[0].budget_remaining - 0.5).abs() < 1e-9);
+        assert!(!r.verdicts[0].breached);
+    }
+
+    #[test]
+    fn latency_verdicts_carry_the_windowed_quantile() {
+        let w = window("engine.knn", &[100, 100, 100, 5_000], 0);
+        let r = evaluate_against(LATENCY, &w, &w, 2.0, 7);
+        let v = &r.verdicts[0];
+        assert_eq!(v.observed_us, Some(5_000), "p99 clamps to the max sample");
+        assert_eq!(r.now_us, 7);
+        // And the report serializes them under the versioned schema.
+        let json = r.to_json();
+        assert_eq!(json.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let targets = json
+            .get("targets")
+            .and_then(Json::as_array)
+            .expect("targets");
+        assert_eq!(
+            targets[0].get("observed_us").and_then(Json::as_u64),
+            Some(5_000)
+        );
+        assert_eq!(
+            targets[0].get("op").and_then(Json::as_str),
+            Some("engine.knn")
+        );
+    }
+
+    #[test]
+    fn table_renders_every_target_and_the_overall_verdict() {
+        let empty = MetricsSnapshot::default();
+        let table = evaluate_against(DEFAULT_TARGETS, &empty, &empty, 2.0, 0).render_table();
+        for target in DEFAULT_TARGETS {
+            assert!(
+                table.contains(target.op),
+                "missing {} in:\n{table}",
+                target.op
+            );
+        }
+        assert!(table.contains("healthy"));
+    }
+
+    #[test]
+    fn publish_updates_gauges_and_degradation_latch() {
+        // The latch is global and the server routes also publish through
+        // it — serialize with the server tests.
+        let _lock = crate::trace::test_lock();
+        let hot = window("engine.knn", &[2_000_000; 100], 0);
+        let report = evaluate_against(DEFAULT_TARGETS, &hot, &hot, 2.0, 0);
+        publish(&report);
+        assert!(check_degraded().is_some_and(|burn| burn >= 2.0));
+        let snap = crate::metrics::snapshot();
+        assert!(snap
+            .gauge("slo.burn_rate.engine_knn")
+            .is_some_and(|g| g >= 2_000));
+        assert_eq!(snap.gauge("slo.budget_remaining.engine_knn"), Some(0));
+        // A healthy evaluation clears the latch.
+        let empty = MetricsSnapshot::default();
+        publish(&evaluate_against(DEFAULT_TARGETS, &empty, &empty, 2.0, 0));
+        assert_eq!(check_degraded(), None);
+    }
+
+    #[test]
+    fn sync_trace_slo_applies_the_strictest_latency_target() {
+        let _lock = crate::trace::test_lock();
+        let applied = sync_trace_slo();
+        assert_eq!(applied, 250 * MS);
+        assert_eq!(crate::trace::slo_us(), 250 * MS);
+        crate::trace::set_slo_us(10_000);
+    }
+
+    impl MetricsSnapshot {
+        fn merged_with(mut self, other: &MetricsSnapshot) -> MetricsSnapshot {
+            self.merge(other);
+            self
+        }
+    }
+}

@@ -322,6 +322,21 @@ pub fn set_slo_us(slo_us: u64) {
     SLO_US.store(slo_us, Ordering::Relaxed);
 }
 
+/// The current interest-weight retention budget.
+pub fn weight_budget() -> u64 {
+    WEIGHT_BUDGET.load(Ordering::Relaxed)
+}
+
+/// The current 1-in-N retention lottery period.
+pub fn sample_every() -> u64 {
+    SAMPLE_EVERY.load(Ordering::Relaxed)
+}
+
+/// The current slow-query retention threshold in microseconds.
+pub fn slo_us() -> u64 {
+    SLO_US.load(Ordering::Relaxed)
+}
+
 /// The process trace epoch: all `start_us` offsets count from here, so
 /// spans from different traces and threads share one Chrome timeline.
 fn epoch() -> Instant {

@@ -1,0 +1,401 @@
+//! Windowed aggregation: a rotating ring of per-interval delta snapshots
+//! over the cumulative registry, so "the last 5 minutes" is answerable
+//! from the same counters and log₂ histograms that otherwise only report
+//! lifetime totals.
+//!
+//! Every metric the registry holds is cumulative since process start.
+//! The ring fixes that by sealing, once per interval, the *difference*
+//! between the current registry snapshot and the one sealed before it
+//! ([`MetricsSnapshot::delta_since`]): counters become per-interval
+//! flows, histograms become per-interval bucket deltas (windowed
+//! p50/p90/p99 fall out of the ordinary quantile walk over the summed
+//! deltas), gauges stay levels. A trailing window is then the merge of
+//! the newest `n` sealed deltas plus the live, partially-elapsed
+//! interval — so a window reflects traffic the instant it happens, not
+//! one rotation later.
+//!
+//! Rotation is *lazy*: there is no ticker thread. Every read path calls
+//! [`WindowRing::tick`] (or the internal rotation inside
+//! [`WindowRing::window`]) first, which seals however many intervals have
+//! elapsed since the last look — idle processes pay nothing. Time comes
+//! from [`crate::clock`], so tests inject a manual clock and rotation
+//! becomes fully deterministic.
+//!
+//! Concurrency: the hot path (metric recording) is untouched — the ring
+//! only ever *reads* the registry. Rotation and window reads serialize on
+//! one mutex around the ring state (cold path, scrape-rate). The sealed
+//! watermark is additionally published lock-free so cheap staleness
+//! checks ([`WindowRing::sealed_through`]) need no lock; that pair is the
+//! protocol the model checker drives (`crates/obs/tests/model.rs`) and
+//! the happens-before lint verifies statically. The ring routes its
+//! mutex and atomic through [`crate::sync`], so the *production* rotation
+//! code — not a mirror — runs under the model scheduler.
+//!
+//! # Memory-model contracts (checked by `xtask analyze` happens-before)
+//!
+//! atomic-role: epoch = publish — the sealed-through watermark: stored
+//! with Release while the ring lock is held, *after* the sealed deltas
+//! are written into the ring state, and loaded with Acquire by lock-free
+//! readers — a reader that observes epoch ≥ e is guaranteed the seal for
+//! every interval before `e` happened-before its load (lock-taking
+//! readers get the same edge from the mutex)
+
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+use crate::metrics::MetricsSnapshot;
+use crate::sync::{AtomicU64, Mutex, Ordering};
+
+/// Default interval width: 60 s slices, so the fast SRE window is 5
+/// slots and the slow one 60.
+pub const DEFAULT_INTERVAL_US: u64 = 60 * 1_000_000;
+
+/// Sealed intervals making up the fast burn-rate window (5 minutes at
+/// the default interval).
+pub const FAST_WINDOW_INTERVALS: usize = 5;
+
+/// Sealed intervals making up the slow burn-rate window (1 hour at the
+/// default interval).
+pub const SLOW_WINDOW_INTERVALS: usize = 60;
+
+/// Default ring capacity: the slow window plus one slot of slack so a
+/// read racing a rotation still sees a full hour.
+pub const DEFAULT_CAPACITY: usize = SLOW_WINDOW_INTERVALS + 1;
+
+/// One sealed interval: the registry delta for epoch `epoch` (the
+/// half-open wall-time slice `[epoch·I, (epoch+1)·I)`).
+#[derive(Debug, Clone)]
+pub struct SealedInterval {
+    /// Which interval this delta covers.
+    pub epoch: u64,
+    /// Registry activity within the interval.
+    pub delta: MetricsSnapshot,
+}
+
+/// Ring-interior state, guarded by the ring mutex.
+#[derive(Debug, Default)]
+struct RingState {
+    /// Cumulative snapshot at the last seal (`None` until the first
+    /// rotation establishes the baseline).
+    last: Option<MetricsSnapshot>,
+    /// First epoch not yet sealed.
+    next_epoch: u64,
+    /// Sealed deltas, oldest first, at most `capacity` of them.
+    sealed: VecDeque<SealedInterval>,
+}
+
+/// The rotating ring of per-interval registry deltas. See the module
+/// docs for the rotation and windowing semantics.
+#[derive(Debug)]
+pub struct WindowRing {
+    interval_us: u64,
+    capacity: usize,
+    state: Mutex<RingState>,
+    epoch: AtomicU64,
+}
+
+impl WindowRing {
+    /// A ring sealing `interval_us`-wide deltas, keeping at most
+    /// `capacity` of them (both clamped to at least 1).
+    pub fn new(interval_us: u64, capacity: usize) -> WindowRing {
+        WindowRing {
+            interval_us: interval_us.max(1),
+            capacity: capacity.max(1),
+            state: Mutex::new(RingState::default()),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Interval width in microseconds.
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// Maximum sealed intervals held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The first unsealed epoch, loaded lock-free with Acquire: every
+    /// interval before it has been sealed and its delta is visible to
+    /// this thread. 0 until the first rotation actually seals something.
+    pub fn sealed_through(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Seals every completed interval using the global clock and
+    /// registry; returns how many intervals were sealed. Call this (or
+    /// any window read, which rotates internally) from scrape paths —
+    /// there is no background ticker.
+    pub fn tick(&self) -> usize {
+        let sealed = self.rotate_with(crate::clock::now_us(), &crate::metrics::snapshot());
+        if sealed > 0 {
+            crate::metrics::counter("window.rotations").add(sealed as u64);
+            let through = i64::try_from(self.sealed_through()).unwrap_or(i64::MAX);
+            crate::metrics::gauge("window.sealed_through").set(through);
+        }
+        sealed
+    }
+
+    /// Deterministic rotation core: seals every interval completed as of
+    /// `now_us`, treating `current` as the cumulative registry snapshot.
+    /// The first call only establishes the baseline. When more than one
+    /// interval elapsed since the last look, the whole accumulated delta
+    /// is attributed to the most recent completed interval and the gap is
+    /// back-filled with empty deltas (nobody was looking, so finer
+    /// attribution is unknowable); gaps longer than the ring are skipped.
+    pub fn rotate_with(&self, now_us: u64, current: &MetricsSnapshot) -> usize {
+        let target = now_us / self.interval_us;
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(last) = state.last.as_ref() else {
+            state.last = Some(current.clone());
+            state.next_epoch = target;
+            return 0;
+        };
+        if target <= state.next_epoch {
+            return 0;
+        }
+        let delta = current.delta_since(last);
+        // Backfill at most a ring's worth of idle intervals.
+        let first_kept = (target - 1).saturating_sub(self.capacity as u64 - 1);
+        let mut sealed = 0usize;
+        for epoch in state.next_epoch.max(first_kept)..target - 1 {
+            state.sealed.push_back(SealedInterval {
+                epoch,
+                delta: MetricsSnapshot::default(),
+            });
+            sealed += 1;
+        }
+        state.sealed.push_back(SealedInterval {
+            epoch: target - 1,
+            delta,
+        });
+        sealed += 1;
+        while state.sealed.len() > self.capacity {
+            state.sealed.pop_front();
+        }
+        state.last = Some(current.clone());
+        state.next_epoch = target;
+        // Publish the watermark last, after the sealed deltas are in
+        // place — the Release half of the `epoch` protocol.
+        self.epoch.store(target, Ordering::Release);
+        sealed
+    }
+
+    /// The trailing window of the last `intervals` intervals as one
+    /// merged delta snapshot, including the live partially-elapsed
+    /// interval (rotating first, so the view is current as of `now_us`).
+    pub fn window_with(
+        &self,
+        now_us: u64,
+        current: &MetricsSnapshot,
+        intervals: usize,
+    ) -> MetricsSnapshot {
+        self.rotate_with(now_us, current);
+        let target = now_us / self.interval_us;
+        let oldest = target.saturating_sub(intervals as u64);
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = MetricsSnapshot::default();
+        for interval in state.sealed.iter().filter(|s| s.epoch >= oldest) {
+            out.merge(&interval.delta);
+        }
+        if let Some(last) = state.last.as_ref() {
+            out.merge(&current.delta_since(last));
+        }
+        out
+    }
+
+    /// [`WindowRing::window_with`] against the global clock and registry.
+    pub fn window(&self, intervals: usize) -> MetricsSnapshot {
+        self.window_with(
+            crate::clock::now_us(),
+            &crate::metrics::snapshot(),
+            intervals,
+        )
+    }
+
+    /// Copies out the sealed intervals, oldest first (tests/debugging).
+    pub fn sealed_intervals(&self) -> Vec<SealedInterval> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .sealed
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+/// The global ring behind `/slo.json`, `/health` and the windowed
+/// Prometheus series: [`DEFAULT_INTERVAL_US`] slices,
+/// [`DEFAULT_CAPACITY`] slots.
+pub fn global() -> &'static WindowRing {
+    static GLOBAL: OnceLock<WindowRing> = OnceLock::new();
+    GLOBAL.get_or_init(|| WindowRing::new(DEFAULT_INTERVAL_US, DEFAULT_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CounterSnapshot, HistogramSnapshot};
+
+    fn snap(counter: u64, samples: &[u64]) -> MetricsSnapshot {
+        let mut buckets: Vec<(u8, u64)> = Vec::new();
+        let mut sum = 0;
+        let mut max = 0;
+        for &v in samples {
+            let i = crate::metrics::bucket_index(v) as u8;
+            match buckets.iter_mut().find(|(b, _)| *b == i) {
+                Some((_, n)) => *n += 1,
+                None => buckets.push((i, 1)),
+            }
+            sum += v;
+            max = max.max(v);
+        }
+        buckets.sort_unstable();
+        MetricsSnapshot {
+            counters: vec![CounterSnapshot {
+                name: "test.window.queries".to_owned(),
+                value: counter,
+            }],
+            gauges: Vec::new(),
+            histograms: vec![HistogramSnapshot {
+                name: "test.window.us".to_owned(),
+                count: samples.len() as u64,
+                sum,
+                max,
+                buckets,
+                exemplars: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn rotation_seals_deltas_per_interval() {
+        let ring = WindowRing::new(100, 4);
+        assert_eq!(ring.rotate_with(0, &snap(0, &[])), 0, "baseline only");
+        assert_eq!(ring.sealed_through(), 0);
+        // One interval later: the delta of what happened within it.
+        assert_eq!(ring.rotate_with(150, &snap(5, &[10, 10])), 1);
+        assert_eq!(ring.sealed_through(), 1);
+        let sealed = ring.sealed_intervals();
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed[0].epoch, 0);
+        assert_eq!(sealed[0].delta.counter("test.window.queries"), Some(5));
+        assert_eq!(
+            sealed[0].delta.histogram("test.window.us").map(|h| h.count),
+            Some(2)
+        );
+        // Same interval again: nothing new to seal.
+        assert_eq!(ring.rotate_with(180, &snap(6, &[10, 10, 10])), 0);
+        // Next interval picks up the remainder.
+        assert_eq!(ring.rotate_with(210, &snap(6, &[10, 10, 10])), 1);
+        assert_eq!(
+            ring.sealed_intervals()[1]
+                .delta
+                .counter("test.window.queries"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn gaps_backfill_empty_and_ring_wraps() {
+        let ring = WindowRing::new(100, 3);
+        ring.rotate_with(0, &snap(0, &[]));
+        // Jump 5 intervals with capacity 3: the oldest slots are skipped
+        // entirely, the accumulated delta lands on the newest one.
+        assert_eq!(ring.rotate_with(520, &snap(9, &[1])), 3);
+        let sealed = ring.sealed_intervals();
+        assert_eq!(sealed.len(), 3);
+        assert_eq!(
+            sealed.iter().map(|s| s.epoch).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(sealed[0].delta.counter("test.window.queries"), None);
+        assert_eq!(sealed[2].delta.counter("test.window.queries"), Some(9));
+        assert_eq!(ring.sealed_through(), 5);
+        // Further rotations evict the oldest sealed interval.
+        ring.rotate_with(620, &snap(10, &[1, 2]));
+        let sealed = ring.sealed_intervals();
+        assert_eq!(sealed.len(), 3);
+        assert_eq!(
+            sealed.iter().map(|s| s.epoch).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn windows_sum_sealed_plus_live_partial() {
+        let ring = WindowRing::new(100, 8);
+        ring.rotate_with(0, &snap(0, &[]));
+        ring.rotate_with(110, &snap(3, &[5, 5]));
+        ring.rotate_with(210, &snap(7, &[5, 5, 5, 1000]));
+        // Live partial: two more queries, one more sample since the seal.
+        let live = snap(9, &[5, 5, 5, 1000, 40]);
+        let w = ring.window_with(250, &live, 2);
+        assert_eq!(w.counter("test.window.queries"), Some(9));
+        let h = w.histogram("test.window.us").expect("windowed histogram");
+        assert_eq!(h.count, 5, "both sealed intervals plus the live sample");
+        // Windowed quantiles come from the merged deltas.
+        assert!(h.p99() >= 1000);
+        assert_eq!(h.p50(), 7, "bucket [4,8) upper edge");
+        // A 1-interval window drops the older seal but keeps the live tail.
+        let w1 = ring.window_with(250, &live, 1);
+        assert_eq!(w1.counter("test.window.queries"), Some(4 + 2));
+        assert_eq!(
+            w1.histogram("test.window.us").map(|h| h.count),
+            Some(3),
+            "epoch-1 seal (2 samples) plus the live sample"
+        );
+    }
+
+    #[test]
+    fn rotation_is_deterministic_for_a_replayed_schedule() {
+        let schedule: Vec<(u64, MetricsSnapshot)> = vec![
+            (0, snap(0, &[])),
+            (120, snap(2, &[7])),
+            (390, snap(5, &[7, 9, 2000])),
+            (400, snap(9, &[7, 9, 2000, 1])),
+            (650, snap(12, &[7, 9, 2000, 1, 1, 1])),
+        ];
+        let run = || {
+            let ring = WindowRing::new(100, 16);
+            for (now, s) in &schedule {
+                ring.rotate_with(*now, s);
+            }
+            ring.sealed_intervals()
+                .iter()
+                .map(|s| {
+                    (
+                        s.epoch,
+                        s.delta.counter("test.window.queries").unwrap_or(0),
+                        s.delta.histogram("test.window.us").map_or(0, |h| h.count),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn global_ring_ticks_against_the_real_registry() {
+        // The global ring's baseline is whatever the registry holds now;
+        // a tick with no elapsed interval seals nothing (the default
+        // interval is 60 s) but must not panic or lock up.
+        let before = global().sealed_through();
+        global().tick();
+        assert!(global().sealed_through() >= before);
+        let w = global().window(FAST_WINDOW_INTERVALS);
+        // The live partial window reflects registry activity at worst.
+        let _ = w.counters.len();
+    }
+}

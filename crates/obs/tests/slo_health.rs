@@ -1,0 +1,123 @@
+//! End-to-end SLO pipeline under an injected clock: synthesize a
+//! burn-rate breach against the real global registry, window ring and
+//! HTTP server, and watch `/health` flip 200 → 503 deterministically.
+//!
+//! This file is its own test binary, so the global ring/registry/latch it
+//! drives are not shared with any other suite; the single test keeps the
+//! clock, rotation and evaluation sequence strictly ordered.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use treesim_obs::{slo, window, Json, MetricsServer};
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+    (head.to_owned(), body.to_owned())
+}
+
+#[test]
+fn health_flips_to_503_when_a_breach_is_synthesized() {
+    // Freeze time before anything touches the ring: every rotation and
+    // verdict below is a pure function of this clock.
+    let clock = treesim_obs::clock::manual(0);
+    let handle = MetricsServer::bind("127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+
+    // Healthy first: the scrape baselines the ring at epoch 0 with no
+    // traffic, so nothing can burn.
+    let (head, body) = get(addr, "/health");
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}: {body}");
+    assert!(body.starts_with("ok"), "{body}");
+    assert_eq!(slo::check_degraded(), None);
+
+    // Synthesize a sustained breach: 100 engine.knn queries at 10 s each,
+    // forty times over the 250 ms p99 target, all inside interval 0.
+    let h = treesim_obs::metrics::histogram("engine.knn.us");
+    for _ in 0..100 {
+        h.record(10_000_000);
+    }
+
+    // One interval later the scrape seals those samples into epoch 0,
+    // burning both the 5 m and 1 h windows at (100/100)/0.01 = 100×.
+    clock.advance(window::global().interval_us());
+    let (head, body) = get(addr, "/health");
+    assert!(head.starts_with("HTTP/1.0 503"), "{head}: {body}");
+    assert!(body.starts_with("degraded"), "{body}");
+    assert!(
+        slo::check_degraded().is_some_and(|burn| burn >= 2.0),
+        "the degradation hook must report the breach: {:?}",
+        slo::check_degraded()
+    );
+
+    // /slo.json carries the same verdict with the windowed evidence.
+    let (head, body) = get(addr, "/slo.json");
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+    let doc = treesim_obs::parse_json(&body).expect("valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(slo::SCHEMA));
+    assert_eq!(
+        doc.get("degraded").map(|d| matches!(d, Json::Bool(true))),
+        Some(true),
+        "{body}"
+    );
+    assert!(doc.get("worst_burn").and_then(Json::as_f64).unwrap_or(0.0) >= 2.0);
+    let targets = doc
+        .get("targets")
+        .and_then(Json::as_array)
+        .expect("targets");
+    let knn = targets
+        .iter()
+        .find(|t| {
+            t.get("op").and_then(Json::as_str) == Some("engine.knn")
+                && t.get("kind").and_then(Json::as_str) == Some("latency_p99")
+        })
+        .expect("engine.knn latency target");
+    assert_eq!(
+        knn.get("breached").map(|b| matches!(b, Json::Bool(true))),
+        Some(true)
+    );
+    let observed = knn
+        .get("observed_us")
+        .and_then(Json::as_u64)
+        .expect("windowed p99");
+    assert!(
+        observed >= 10_000_000,
+        "p99 covers the 10 s samples: {observed}"
+    );
+    assert!(knn.get("fast_burn").and_then(Json::as_f64).unwrap_or(0.0) >= 2.0);
+
+    // The exposition carries the windowed p99 series and the SLO gauges.
+    let (_, body) = get(addr, "/metrics");
+    assert!(
+        body.contains("window_engine_knn_us_p99{window=\"300s\"}"),
+        "{body}"
+    );
+    assert!(body.contains("slo_burn_rate_engine_knn"), "{body}");
+    let burn_line = body
+        .lines()
+        .find(|l| l.starts_with("slo_burn_rate_engine_knn "))
+        .expect("burn gauge sample line");
+    let burn_milli: i64 = burn_line
+        .rsplit_once(' ')
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("gauge value");
+    assert!(burn_milli >= 2_000, "breach in milli-units: {burn_line}");
+
+    // Recovery: an hour of clean intervals later both windows have
+    // slid past the burst — the multi-window rule stops alerting once
+    // the problem stops.
+    clock.advance(window::global().interval_us() * window::SLOW_WINDOW_INTERVALS as u64);
+    let (head, body) = get(addr, "/health");
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}: {body}");
+    assert_eq!(slo::check_degraded(), None);
+
+    handle.shutdown();
+    drop(clock);
+}

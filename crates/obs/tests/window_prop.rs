@@ -1,0 +1,211 @@
+//! Property tests for the windowed-aggregation ring and the SLO burn-rate
+//! arithmetic: budget accounting stays in `[0, 1]`, verdicts are monotone
+//! in the error rate, rotation is a pure function of the injected
+//! `(clock, snapshot)` schedule, and histogram bucket-diffs round-trip
+//! through sealing and merging even when the ring wraps.
+
+use proptest::prelude::*;
+use treesim_obs::metrics::bucket_index;
+use treesim_obs::slo::{evaluate_against, Objective, SloTarget};
+use treesim_obs::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot, WindowRing};
+
+fn hist(name: &str, samples: &[u64]) -> HistogramSnapshot {
+    let mut buckets: Vec<(u8, u64)> = Vec::new();
+    let mut sum = 0u64;
+    let mut max = 0u64;
+    for &v in samples {
+        let i = bucket_index(v) as u8;
+        match buckets.iter_mut().find(|(b, _)| *b == i) {
+            Some((_, n)) => *n += 1,
+            None => buckets.push((i, 1)),
+        }
+        sum = sum.saturating_add(v);
+        max = max.max(v);
+    }
+    buckets.sort_unstable();
+    HistogramSnapshot {
+        name: name.to_owned(),
+        count: samples.len() as u64,
+        sum,
+        max,
+        buckets,
+        exemplars: Vec::new(),
+    }
+}
+
+/// A cumulative registry snapshot: `counter` queries so far, `samples`
+/// the full latency history so far, `errors` failures so far.
+fn snap(counter: u64, samples: &[u64], errors: u64) -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: vec![
+            CounterSnapshot {
+                name: "test.prop.queries".to_owned(),
+                value: counter,
+            },
+            CounterSnapshot {
+                name: "engine.knn.errors".to_owned(),
+                value: errors,
+            },
+        ],
+        gauges: Vec::new(),
+        histograms: vec![hist("engine.knn.us", samples)],
+    }
+}
+
+const ERROR_TARGET: &[SloTarget] = &[SloTarget {
+    op: "engine.knn",
+    objective: Objective::ErrorRate { max_ratio: 0.01 },
+}];
+
+/// An already-windowed delta with `total` samples and `errors` failures.
+fn error_window(total: u64, errors: u64) -> MetricsSnapshot {
+    let samples: Vec<u64> = (0..total).map(|i| 10 + i % 7).collect();
+    snap(total, &samples, errors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The error-budget accountant never goes negative or above 1, burns
+    /// are finite and non-negative, and an idle window never breaches.
+    #[test]
+    fn budget_stays_within_bounds(total in 0u64..3_000, errors in 0u64..3_500) {
+        let w = error_window(total, errors);
+        let report = evaluate_against(ERROR_TARGET, &w, &w, 2.0, 0);
+        let v = &report.verdicts[0];
+        prop_assert!(v.budget_remaining >= 0.0 && v.budget_remaining <= 1.0);
+        prop_assert!(v.fast.burn.is_finite() && v.fast.burn >= 0.0);
+        prop_assert!(v.slow.burn.is_finite());
+        prop_assert!(v.fast.bad <= v.fast.total, "errors clamp to traffic");
+        if total == 0 {
+            prop_assert_eq!(v.fast.burn, 0.0, "idle windows do not burn");
+            prop_assert!(!v.breached);
+            prop_assert_eq!(v.budget_remaining, 1.0);
+        }
+    }
+
+    /// With traffic held fixed, more errors never lowers the burn, never
+    /// raises the remaining budget, and never un-breaches the target.
+    #[test]
+    fn verdict_is_monotone_in_error_rate(
+        total in 1u64..2_000,
+        a in 0u64..2_000,
+        b in 0u64..2_000,
+    ) {
+        let (lo, hi) = (a.min(b).min(total), a.max(b).min(total));
+        let report_lo = {
+            let w = error_window(total, lo);
+            evaluate_against(ERROR_TARGET, &w, &w, 2.0, 0)
+        };
+        let report_hi = {
+            let w = error_window(total, hi);
+            evaluate_against(ERROR_TARGET, &w, &w, 2.0, 0)
+        };
+        let (vl, vh) = (&report_lo.verdicts[0], &report_hi.verdicts[0]);
+        prop_assert!(vh.fast.burn >= vl.fast.burn);
+        prop_assert!(vh.budget_remaining <= vl.budget_remaining);
+        if vl.breached {
+            prop_assert!(vh.breached, "breaching must be monotone in errors");
+        }
+    }
+
+    /// Rotation is a pure function of the `(now, snapshot)` schedule:
+    /// replaying the same schedule on a fresh ring seals identical
+    /// intervals and the same watermark, whatever the gaps.
+    #[test]
+    fn rotation_is_deterministic_under_injected_time(
+        steps in proptest::collection::vec((0u64..500, 0u64..20), 1..24),
+        interval in 1u64..100,
+        capacity in 1usize..8,
+    ) {
+        let run = || {
+            let ring = WindowRing::new(interval, capacity);
+            let mut now = 0u64;
+            let mut count = 0u64;
+            let mut samples: Vec<u64> = Vec::new();
+            for &(dt, queries) in &steps {
+                now += dt;
+                count += queries;
+                samples.extend((0..queries).map(|i| dt + i));
+                ring.rotate_with(now, &snap(count, &samples, 0));
+            }
+            let sealed: Vec<(u64, u64, u64)> = ring
+                .sealed_intervals()
+                .iter()
+                .map(|s| {
+                    (
+                        s.epoch,
+                        s.delta.counter("test.prop.queries").unwrap_or(0),
+                        s.delta.histogram("engine.knn.us").map_or(0, |h| h.count),
+                    )
+                })
+                .collect();
+            (sealed, ring.sealed_through())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Sealed bucket-diffs round-trip through the ring: after any number
+    /// of single-interval rotations, merging the surviving sealed deltas
+    /// reconstructs exactly the cumulative difference across the epochs
+    /// the ring still covers — including after wraparound has evicted the
+    /// oldest intervals.
+    #[test]
+    fn bucket_diffs_round_trip_across_wraparound(
+        per_interval in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 0..6),
+            1..12,
+        ),
+        capacity in 1usize..5,
+    ) {
+        let interval = 10u64;
+        let ring = WindowRing::new(interval, capacity);
+        // Cumulative history: prefix[i] = everything recorded before the
+        // end of interval i−1.
+        let mut history: Vec<u64> = Vec::new();
+        let mut prefixes: Vec<MetricsSnapshot> = vec![snap(0, &history, 0)];
+        ring.rotate_with(0, &prefixes[0]);
+        for (i, batch) in per_interval.iter().enumerate() {
+            history.extend(batch.iter().copied());
+            let cumulative = snap(history.len() as u64, &history, 0);
+            ring.rotate_with((i as u64 + 1) * interval, &cumulative);
+            prefixes.push(cumulative);
+        }
+        let sealed = ring.sealed_intervals();
+        let kept = sealed.len();
+        prop_assert!(kept <= capacity);
+        prop_assert_eq!(kept, per_interval.len().min(capacity));
+        // Merge what the ring kept…
+        let mut merged = MetricsSnapshot::default();
+        for interval in &sealed {
+            merged.merge(&interval.delta);
+        }
+        // …and diff the cumulative history across the same epoch span.
+        let newest = prefixes.len() - 1;
+        let oldest = newest - kept;
+        let direct = prefixes[newest].delta_since(&prefixes[oldest]);
+        prop_assert_eq!(
+            merged.counter("test.prop.queries"),
+            direct.counter("test.prop.queries")
+        );
+        let merged_hist = merged.histogram("engine.knn.us");
+        let direct_hist = direct.histogram("engine.knn.us");
+        match (merged_hist, direct_hist) {
+            (None, None) => {}
+            (Some(m), Some(d)) => {
+                prop_assert_eq!(&m.buckets, &d.buckets, "bucket diffs must round-trip");
+                prop_assert_eq!(m.count, d.count);
+                prop_assert_eq!(m.sum, d.sum);
+                // Same buckets and count ⇒ the same quantile walk. The
+                // max clamp is held fixed: per-interval delta maxes are
+                // bucket-edge approximations, coarser than the direct
+                // diff's.
+                let mut pinned = m.clone();
+                pinned.max = d.max;
+                prop_assert_eq!(pinned.quantile(0.99), d.quantile(0.99));
+                prop_assert_eq!(pinned.quantile(0.5), d.quantile(0.5));
+            }
+            (m, d) => prop_assert!(false, "merged={m:?} direct={d:?}"),
+        }
+    }
+}

@@ -44,6 +44,7 @@ pub mod engine;
 pub mod explain;
 pub mod filter;
 pub mod join;
+pub mod ops;
 pub mod sharded;
 pub mod stats;
 pub mod subtree;

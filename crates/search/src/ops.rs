@@ -1,0 +1,103 @@
+//! The operation catalog: one label per user-facing query path, shared
+//! between the engines' spans (`<op>` / `<op>.us`), the flight recorder,
+//! and the SLO target table in `treesim_obs::slo` — the op-label plumbing
+//! that keeps "what we measure" and "what we promise" the same set of
+//! strings.
+//!
+//! Failures are counted here too: [`record_error`] bumps `<op>.errors`,
+//! the counter the SLO engine's error-rate objectives divide by that op's
+//! `<op>.us` sample count. The engines themselves return `Result`-free
+//! values today, so errors are recorded at the driver layer (the CLI
+//! commands) where failures actually surface.
+
+use treesim_obs::metrics::{counter, Counter};
+
+/// Every cataloged operation label, in SLO-table order. Each `<op>` has a
+/// `<op>.us` latency histogram recorded by its span and an `<op>.errors`
+/// counter recorded by [`record_error`].
+pub const OPS: &[&str] = &[
+    "engine.knn",
+    "engine.range",
+    "dynamic.knn",
+    "dynamic.range",
+    "classify.knn",
+    "join.self",
+    "cluster.run",
+];
+
+/// Whether `op` is a cataloged operation label.
+pub fn is_known(op: &str) -> bool {
+    OPS.contains(&op)
+}
+
+/// The `<op>.errors` counter for a cataloged op (`None` for labels
+/// outside the catalog — callers should not mint error series for
+/// unknown ops).
+pub fn error_counter(op: &str) -> Option<&'static Counter> {
+    is_known(op).then(|| counter(&format!("{op}.errors")))
+}
+
+/// Counts one failure against `op`'s error budget. Returns `false` (and
+/// records nothing) when `op` is not in the catalog, so call sites can
+/// surface the mismatch instead of silently inventing a series.
+pub fn record_error(op: &str) -> bool {
+    match error_counter(op) {
+        Some(c) => {
+            c.inc();
+            true
+        }
+        None => false,
+    }
+}
+
+/// Materializes every `<op>.errors` counter at zero, so scrapes and SLO
+/// evaluations see complete series before the first failure. Called by
+/// the CLI's `serve-metrics` on startup.
+pub fn register() {
+    for op in OPS {
+        if let Some(c) = error_counter(op) {
+            // Registration is the side effect; the value stays put.
+            let _ = c.get();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_the_slo_target_table() {
+        // Every SLO target points at a cataloged op and vice versa, so
+        // the promise table cannot drift from the plumbing.
+        for target in treesim_obs::slo::DEFAULT_TARGETS {
+            assert!(is_known(target.op), "SLO target {} not in OPS", target.op);
+        }
+        for op in OPS {
+            assert!(
+                treesim_obs::slo::DEFAULT_TARGETS
+                    .iter()
+                    .any(|t| t.op == *op),
+                "op {op} has no SLO target"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_counted_only_for_known_ops() {
+        register();
+        let before = treesim_obs::metrics::snapshot();
+        assert!(record_error("engine.knn"));
+        assert!(!record_error("engine.warp"));
+        let after = treesim_obs::metrics::snapshot();
+        assert_eq!(after.counter_delta(&before, "engine.knn.errors"), 1);
+        assert_eq!(after.counter("engine.warp.errors"), None);
+        // register() materialized the full catalog.
+        for op in OPS {
+            assert!(
+                after.counter(&format!("{op}.errors")).is_some(),
+                "{op}.errors missing"
+            );
+        }
+    }
+}

@@ -114,15 +114,32 @@ fn metrics_endpoint_serves_valid_exposition_during_batch_traffic() {
     }
     worker.join().expect("traffic thread");
 
-    // The settled scrape carries every advertised family.
+    // The settled scrape carries every advertised family, including the
+    // SLO gauges and the windowed quantile series the scrape itself
+    // evaluates: the batch traffic above all lands in the live partial
+    // interval, so the 5 m window's engine.knn p99 is already non-empty.
     let (_, body) = http_get(addr, "/metrics");
     assert_parses_as_exposition(&body);
-    for family in ["cascade_", "refine_", "recorder_", "engine_knn_"] {
+    for family in [
+        "cascade_",
+        "refine_",
+        "recorder_",
+        "engine_knn_",
+        "slo_burn_rate_engine_knn",
+        "slo_budget_remaining_engine_knn",
+    ] {
         assert!(
             body.lines().any(|l| l.starts_with(family)),
             "missing {family}* family in exposition:\n{body}"
         );
     }
+    let windowed_p99 = body
+        .lines()
+        .find(|l| l.starts_with("window_engine_knn_us_p99{window=\"300s\"}"))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse::<u64>().ok())
+        .expect("windowed engine.knn p99 series");
+    assert!(windowed_p99 > 0, "p99 over live batch traffic");
     // Spot-check the funnel made it through with real traffic behind it.
     let propt_evaluated = body
         .lines()
@@ -148,6 +165,66 @@ fn metrics_endpoint_serves_valid_exposition_during_batch_traffic() {
     assert!(records.iter().all(|r| {
         r.get("kind").and_then(treesim_obs::Json::as_str) == Some("knn") && r.get("batch").is_some()
     }));
+
+    // The `?since=` cursor resumes from a sequence id: re-fetching past
+    // the max id we just saw returns only records newer than it (none,
+    // since the traffic stopped before the first fetch).
+    let max_id = records
+        .iter()
+        .filter_map(|r| r.get("id").and_then(treesim_obs::Json::as_u64))
+        .max()
+        .expect("records carry sequence ids");
+    let (head, body) = http_get(addr, &format!("/recorder.json?since={max_id}"));
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+    let doc = treesim_obs::parse_json(&body).expect("cursored recorder.json parses");
+    assert_eq!(
+        doc.get("since").and_then(treesim_obs::Json::as_u64),
+        Some(max_id)
+    );
+    let tail = doc
+        .get("records")
+        .and_then(treesim_obs::Json::as_array)
+        .expect("records array");
+    assert!(
+        tail.iter()
+            .filter_map(|r| r.get("id").and_then(treesim_obs::Json::as_u64))
+            .all(|id| id > max_id),
+        "cursor must only return newer records"
+    );
+    // A mid-stream cursor returns a strict suffix of the full fetch.
+    let (_, body) = http_get(addr, &format!("/recorder.json?since={}", max_id / 2));
+    let doc = treesim_obs::parse_json(&body).expect("suffix recorder.json parses");
+    let suffix = doc
+        .get("records")
+        .and_then(treesim_obs::Json::as_array)
+        .expect("records array");
+    assert!(!suffix.is_empty() && suffix.len() < records.len());
+
+    // /slo.json shares the evaluation the scrape published: schema'd,
+    // with the engine.knn latency target carrying the windowed p99.
+    let (head, body) = http_get(addr, "/slo.json");
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+    let doc = treesim_obs::parse_json(&body).expect("slo.json parses");
+    assert_eq!(
+        doc.get("schema").and_then(treesim_obs::Json::as_str),
+        Some(treesim_obs::slo::SCHEMA)
+    );
+    let targets = doc
+        .get("targets")
+        .and_then(treesim_obs::Json::as_array)
+        .expect("targets array");
+    let knn = targets
+        .iter()
+        .find(|t| {
+            t.get("op").and_then(treesim_obs::Json::as_str) == Some("engine.knn")
+                && t.get("kind").and_then(treesim_obs::Json::as_str) == Some("latency_p99")
+        })
+        .expect("engine.knn latency target");
+    let observed = knn
+        .get("observed_us")
+        .and_then(treesim_obs::Json::as_u64)
+        .expect("windowed p99 observed during live traffic");
+    assert!(observed > 0);
 
     handle.shutdown();
 }

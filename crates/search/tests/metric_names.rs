@@ -87,6 +87,14 @@ fn every_emitted_metric_name_parses_under_the_grammar() {
     let (_, stats) = index.range(forest.tree(treesim_tree::TreeId(0)), 3);
     stats.record_metrics("dynamic.range");
 
+    // The SLO engine's published series: the full `<op>.errors` catalog
+    // plus the `slo.*` gauges minted by an evaluation over the traffic
+    // above — every format!-built name expands and validates here.
+    treesim_search::ops::register();
+    assert!(treesim_search::ops::record_error("engine.knn"));
+    let report = treesim_obs::slo::evaluate();
+    assert!(!report.verdicts.is_empty());
+
     let snapshot = treesim_obs::metrics::snapshot();
     let names: Vec<&str> = snapshot
         .counters
