@@ -265,6 +265,187 @@ pub fn cascade_ablation(scale: &Scale) -> Table {
     table
 }
 
+/// Ablation G: the dense/SIMD kernel paths vs the sparse originals.
+///
+/// Micro-benchmarks the three `BDist` kernel paths (the sparse SoA merge,
+/// the arena lookup with the scalar accumulator, and the explicitly
+/// chunked 8-lane accumulator) plus the hot-path dispatch, and the two
+/// stage −1 postings merges (k-way heap vs dense scatter), on the same
+/// query × dataset sweep — asserting bit-identical checksums across every
+/// variant. The engine rows then report the per-stage µs the batched
+/// arena-order sweeps actually achieve end to end.
+pub fn simd_kernel_ablation(scale: &Scale) -> Table {
+    use std::hint::black_box;
+    use treesim_core::dense::{shared_mass_lookup_chunked, shared_mass_lookup_scalar};
+    use treesim_core::{DenseQuery, InvertedFileIndex, VectorArena};
+
+    let mut table = Table::new(
+        "ablation-simd",
+        "Ablation: dense/SIMD kernels vs sparse originals (synthetic, q=2)",
+        &["kernel", "calls", "total µs", "checksum"],
+    );
+    let forest = synthetic(scale);
+    let index = InvertedFileIndex::build(&forest, 2);
+    let arena = VectorArena::from_index(&index);
+    let vectors = index.positional_vectors();
+    let query_ids = sample_queries(&forest, scale, 0x51d);
+    // Query artifacts are built outside the timed loops, as the engine's
+    // prepare_query does.
+    let dense_queries: Vec<DenseQuery> = query_ids
+        .iter()
+        .map(|&id| {
+            let vector = &vectors[id.index()];
+            DenseQuery::new(
+                index.vocab().len(),
+                vector.iter_counts(),
+                u64::from(vector.tree_size()),
+            )
+        })
+        .collect();
+    let calls = query_ids.len() * arena.len();
+
+    let mut time_sweep = |name: &str, kernel: &mut dyn FnMut(usize, u32) -> u64| -> u64 {
+        let tick = std::time::Instant::now();
+        let mut checksum = 0u64;
+        for qi in 0..query_ids.len() {
+            for raw in 0..arena.len() as u32 {
+                checksum = checksum.wrapping_add(black_box(kernel(qi, raw)));
+            }
+        }
+        let elapsed = tick.elapsed();
+        table.push_row(vec![
+            name.to_owned(),
+            calls.to_string(),
+            f2(elapsed.as_secs_f64() * 1e6),
+            checksum.to_string(),
+        ]);
+        checksum
+    };
+
+    let sparse = time_sweep("bdist sparse SoA merge", &mut |qi, raw| {
+        vectors[query_ids[qi].index()].bdist(&vectors[raw as usize])
+    });
+    let lookup_bdist = |qi: usize, raw: u32, mass: u64| {
+        dense_queries[qi].total() + u64::from(arena.tree_size(raw)) - 2 * mass
+    };
+    let scalar = time_sweep("bdist arena lookup (scalar)", &mut |qi, raw| {
+        let (ids, counts) = arena.tree_entries(raw);
+        lookup_bdist(
+            qi,
+            raw,
+            shared_mass_lookup_scalar(dense_queries[qi].lookup(), ids, counts),
+        )
+    });
+    let chunked = time_sweep("bdist arena lookup (chunked x8)", &mut |qi, raw| {
+        let (ids, counts) = arena.tree_entries(raw);
+        lookup_bdist(
+            qi,
+            raw,
+            shared_mass_lookup_chunked(dense_queries[qi].lookup(), ids, counts),
+        )
+    });
+    let dispatch = time_sweep("bdist arena dispatch (hot path)", &mut |qi, raw| {
+        arena.bdist(raw, &dense_queries[qi])
+    });
+    assert_eq!(sparse, scalar, "scalar lookup kernel diverged");
+    assert_eq!(sparse, chunked, "chunked lookup kernel diverged");
+    assert_eq!(sparse, dispatch, "dispatched kernel diverged");
+
+    // The stage −1 postings merge: k-way heap (the sparse original) vs the
+    // dense scatter that replaced it, over the same per-query run sets.
+    let runs_for = |qi: usize| {
+        vectors[query_ids[qi].index()]
+            .iter_counts()
+            .map(|(branch, count)| {
+                (
+                    count,
+                    index
+                        .postings(branch)
+                        .iter()
+                        .map(|posting| (posting.tree, posting.count())),
+                )
+            })
+            .collect::<Vec<(u32, _)>>()
+    };
+    let merge_checksum = |merged: &[(treesim_tree::TreeId, u64)]| -> u64 {
+        merged
+            .iter()
+            .map(|&(tree, mass)| mass.wrapping_mul(u64::from(tree.0) + 1))
+            .fold(0u64, u64::wrapping_add)
+    };
+    let tick = std::time::Instant::now();
+    let mut heap_sum = 0u64;
+    for qi in 0..query_ids.len() {
+        let merged = treesim_core::merge_shared_mass_sparse(black_box(runs_for(qi)));
+        heap_sum = heap_sum.wrapping_add(merge_checksum(&merged));
+    }
+    let heap_time = tick.elapsed();
+    table.push_row(vec![
+        "postings merge k-way heap".to_owned(),
+        query_ids.len().to_string(),
+        f2(heap_time.as_secs_f64() * 1e6),
+        heap_sum.to_string(),
+    ]);
+    let tick = std::time::Instant::now();
+    let mut scatter_sum = 0u64;
+    for qi in 0..query_ids.len() {
+        let merged = treesim_core::merge_shared_mass(arena.len(), black_box(runs_for(qi)));
+        scatter_sum = scatter_sum.wrapping_add(merge_checksum(&merged));
+    }
+    let scatter_time = tick.elapsed();
+    table.push_row(vec![
+        "postings merge dense scatter".to_owned(),
+        query_ids.len().to_string(),
+        f2(scatter_time.as_secs_f64() * 1e6),
+        scatter_sum.to_string(),
+    ]);
+    assert_eq!(heap_sum, scatter_sum, "scatter merge diverged");
+
+    // End to end: the per-stage µs the batched arena-order sweeps achieve
+    // through the full cascade (the numbers the kernel deltas must move).
+    let engine = SearchEngine::new(&forest, PostingsFilter::build(&forest, 2));
+    let (_, tau) = estimate_range_radius(&forest, scale, 0x51d);
+    let k = scale.knn_k();
+    let knn = run_workload(&engine, &query_ids, QueryMode::Knn(k));
+    let range = run_workload(&engine, &query_ids, QueryMode::Range(tau));
+    for (workload, summary) in [
+        (format!("knn k={k}"), &knn),
+        (format!("range τ={tau}"), &range),
+    ] {
+        for stage in &summary.stages {
+            table.push_row(vec![
+                format!("stage {} ({workload})", stage.name),
+                f2(stage.avg_evaluated),
+                f2(stage.avg_time.as_secs_f64() * 1e6),
+                "-".to_owned(),
+            ]);
+        }
+        table.push_note(format!(
+            "{workload} per-stage µs: {}",
+            summary
+                .stages
+                .iter()
+                .map(|stage| format!("{} {:.2}", stage.name, stage.avg_time.as_secs_f64() * 1e6))
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    table.push_note(format!(
+        "all kernel variants are asserted bit-identical (equal checksums); the hot-path dispatch compiled to the {} kernel in this build (simd feature {}); merge rows time one whole k-way merge per query",
+        if treesim_core::dense::SIMD_DISPATCH {
+            "chunked 8-lane"
+        } else {
+            "scalar"
+        },
+        if treesim_core::dense::SIMD_DISPATCH {
+            "on"
+        } else {
+            "off"
+        },
+    ));
+    table
+}
+
 /// One table row per cascade stage of `summary`.
 fn push_funnel_rows(table: &mut Table, engine: &str, workload: &str, summary: &MethodSummary) {
     for stage in &summary.stages {
@@ -508,6 +689,23 @@ mod tests {
                 .unwrap()
         };
         assert!(bdist("Postings+histo") <= bdist("Postings") + 1e-9);
+    }
+
+    #[test]
+    fn simd_ablation_kernels_are_bit_identical() {
+        let table = simd_kernel_ablation(&Scale::smoke());
+        // 4 bdist kernel rows + 2 merge rows + 2 workloads × 4 postings
+        // cascade stages.
+        assert_eq!(table.rows.len(), 14);
+        // Bit-identity across every bdist kernel path: equal checksums
+        // (the function itself asserts; the table must show it too).
+        let checksums: Vec<&String> = table.rows.iter().take(4).map(|row| &row[3]).collect();
+        assert!(checksums.iter().all(|&c| c == checksums[0]));
+        // …and across the two postings merges.
+        assert_eq!(table.rows[4][3], table.rows[5][3]);
+        // The per-stage µs deltas ride in the notes, plus the dispatch note.
+        assert!(table.notes.iter().any(|n| n.contains("per-stage µs")));
+        assert!(table.notes.iter().any(|n| n.contains("bit-identical")));
     }
 
     #[test]

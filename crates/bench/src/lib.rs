@@ -44,6 +44,7 @@ pub fn run_figure(id: &str, scale: &Scale) -> Option<Table> {
         "ablation-cascade" => experiments::ablation::cascade_ablation(scale),
         "ablation-postings" => experiments::ablation::postings_ablation(scale),
         "ablation-histo" => experiments::ablation::histo_stage_ablation(scale),
+        "ablation-simd" => experiments::ablation::simd_kernel_ablation(scale),
         _ => return None,
     };
     Some(table)
@@ -55,13 +56,14 @@ pub const ALL_FIGURES: [&str; 9] = [
 ];
 
 /// Extra ablation experiments beyond the paper (design-choice studies).
-pub const ABLATIONS: [&str; 6] = [
+pub const ABLATIONS: [&str; 7] = [
     "ablation-q",
     "ablation-bound",
     "ablation-scale",
     "ablation-cascade",
     "ablation-postings",
     "ablation-histo",
+    "ablation-simd",
 ];
 
 #[cfg(test)]

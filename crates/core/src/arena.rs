@@ -1,0 +1,289 @@
+//! A contiguous CSR-style arena for per-forest branch-vector data.
+//!
+//! The engine historically stored one heap-allocated sparse vector per
+//! tree, so every stage-0/1 bound evaluation pointer-chased a fresh
+//! allocation. [`VectorArena`] re-lays that data out as three flat slabs —
+//! one sorted `branch_ids` run per tree, the matching `counts`, and
+//! per-tree `offsets` delimiting each run — built once at engine
+//! construction and extended segment-wise on dynamic push. Walking
+//! candidates in ascending tree id then touches the slabs strictly
+//! sequentially, and the count lanes feed the dense kernels of
+//! [`crate::dense`] directly.
+
+use crate::dense::{bdist_soa, shared_mass_lookup};
+use crate::ifi::InvertedFileIndex;
+use crate::vocab::BranchId;
+
+/// A query's branch counts scattered into a dense lookup table spanning the
+/// dataset vocabulary, plus the query's total branch mass.
+///
+/// Out-of-vocabulary query branches (ids at or past the table) cannot be
+/// shared with any indexed tree; they are left out of the table but their
+/// occurrences still count toward `total`, so the shared-mass identity
+/// `BDist(q,t) = total_q + total_t − 2·shared` stays exact.
+#[derive(Debug, Clone)]
+pub struct DenseQuery {
+    lookup: Vec<u32>,
+    total: u64,
+}
+
+impl DenseQuery {
+    /// Scatters `counts` (branch id → occurrence count, any order, ids may
+    /// repeat by accumulating) into a table of `vocab_len` lanes. `total`
+    /// is the query's full branch mass — its node count — including any
+    /// out-of-vocabulary occurrences.
+    pub fn new(
+        vocab_len: usize,
+        counts: impl IntoIterator<Item = (BranchId, u32)>,
+        total: u64,
+    ) -> Self {
+        let mut lookup = vec![0u32; vocab_len];
+        for (branch, count) in counts {
+            if let Some(lane) = lookup.get_mut(branch.index()) {
+                *lane += count;
+            }
+        }
+        DenseQuery { lookup, total }
+    }
+
+    /// The dense count table, one `u32` lane per dataset branch.
+    pub fn lookup(&self) -> &[u32] {
+        &self.lookup
+    }
+
+    /// The query's total branch mass (= its node count).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// The CSR arena: every indexed tree's sorted `(branch, count)` run stored
+/// in two shared slabs, delimited by per-tree offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorArena {
+    q: usize,
+    /// `offsets[t]..offsets[t + 1]` delimits tree `t`'s run; length is
+    /// `len() + 1` with `offsets[0] == 0`.
+    offsets: Vec<u32>,
+    /// Branch ids, ascending within each tree's run.
+    branch_ids: Vec<BranchId>,
+    /// Occurrence counts, parallel to `branch_ids`.
+    counts: Vec<u32>,
+    /// Node count per tree (= the run's total mass).
+    tree_sizes: Vec<u32>,
+}
+
+impl VectorArena {
+    /// An empty arena at branch level `q`.
+    pub fn new(q: usize) -> Self {
+        VectorArena {
+            q,
+            offsets: vec![0],
+            branch_ids: Vec::new(),
+            counts: Vec::new(),
+            tree_sizes: Vec::new(),
+        }
+    }
+
+    /// Builds the arena from an inverted file index in one scan: postings
+    /// are walked in ascending branch order, so each tree's bucket fills
+    /// already sorted (the same argument
+    /// [`InvertedFileIndex::positional_vectors`] relies on).
+    pub fn from_index(index: &InvertedFileIndex) -> Self {
+        let tree_count = index.tree_count();
+        let mut buckets: Vec<Vec<(BranchId, u32)>> = (0..tree_count).map(|_| Vec::new()).collect();
+        for raw in 0..index.vocab().len() {
+            let branch = BranchId(raw as u32);
+            for posting in index.postings(branch) {
+                if let Some(bucket) = buckets.get_mut(posting.tree.index()) {
+                    bucket.push((branch, posting.count()));
+                }
+            }
+        }
+        let mut arena = VectorArena::new(index.q());
+        for (raw, bucket) in buckets.into_iter().enumerate() {
+            let size = index.tree_size(treesim_tree::TreeId(raw as u32));
+            arena.push_tree(bucket, size);
+        }
+        arena
+    }
+
+    /// Appends one tree's run as a new segment — the dynamic-index growth
+    /// path. `entries` must be sorted by ascending branch id (checked in
+    /// debug builds); `tree_size` is the tree's node count.
+    pub fn push_tree(
+        &mut self,
+        entries: impl IntoIterator<Item = (BranchId, u32)>,
+        tree_size: u32,
+    ) {
+        let segment_start = self.branch_ids.len();
+        for (branch, count) in entries {
+            debug_assert!(
+                self.branch_ids.len() == segment_start
+                    || self.branch_ids.last().is_some_and(|&p| p < branch),
+                "arena segment entries must be sorted by ascending branch id"
+            );
+            self.branch_ids.push(branch);
+            self.counts.push(count);
+        }
+        debug_assert!(
+            u32::try_from(self.branch_ids.len()).is_ok(),
+            "arena slab exceeds u32 offsets"
+        );
+        self.offsets.push(self.branch_ids.len() as u32);
+        self.tree_sizes.push(tree_size);
+    }
+
+    /// The branch level `q`.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of trees with a run in the arena.
+    pub fn len(&self) -> usize {
+        self.tree_sizes.len()
+    }
+
+    /// Whether the arena holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.tree_sizes.is_empty()
+    }
+
+    /// Total number of `(branch, count)` entries across all runs.
+    pub fn entry_count(&self) -> usize {
+        self.branch_ids.len()
+    }
+
+    /// Node count of tree `raw` (0 when out of range).
+    pub fn tree_size(&self, raw: u32) -> u32 {
+        self.tree_sizes.get(raw as usize).copied().unwrap_or(0)
+    }
+
+    /// Tree `raw`'s run as parallel `(branch_ids, counts)` slices — empty
+    /// slices when out of range.
+    pub fn tree_entries(&self, raw: u32) -> (&[BranchId], &[u32]) {
+        let index = raw as usize;
+        let (Some(&start), Some(&end)) = (self.offsets.get(index), self.offsets.get(index + 1))
+        else {
+            return (&[], &[]);
+        };
+        let range = start as usize..end as usize;
+        let ids = self.branch_ids.get(range.clone()).unwrap_or(&[]);
+        let counts = self.counts.get(range).unwrap_or(&[]);
+        (ids, counts)
+    }
+
+    /// `BDist(query, tree)` through the shared-mass identity
+    /// (DESIGN §10): `total_q + total_t − 2·Σ_b min(count_q(b), count_t(b))`,
+    /// with the shared mass computed by the dense lookup kernel over the
+    /// tree's arena run. Exactly equal to the sparse merge — every term is
+    /// an exact `u64`.
+    pub fn bdist(&self, raw: u32, query: &DenseQuery) -> u64 {
+        let (ids, counts) = self.tree_entries(raw);
+        let shared = shared_mass_lookup(query.lookup(), ids, counts);
+        query.total() + u64::from(self.tree_size(raw)) - 2 * shared
+    }
+
+    /// `BDist` between two indexed trees via the SoA merge kernel.
+    pub fn bdist_between(&self, a: u32, b: u32) -> u64 {
+        let (a_ids, a_counts) = self.tree_entries(a);
+        let (b_ids, b_counts) = self.tree_entries(b);
+        bdist_soa(a_ids, a_counts, b_ids, b_counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesim_tree::Forest;
+
+    fn forest() -> Forest {
+        let mut forest = Forest::new();
+        forest.parse_bracket("a(b(c(d)) b e)").unwrap();
+        forest.parse_bracket("a(c(d) b e)").unwrap();
+        forest.parse_bracket("a(b c)").unwrap();
+        forest
+    }
+
+    #[test]
+    fn arena_runs_match_positional_vectors() {
+        let forest = forest();
+        let index = InvertedFileIndex::build(&forest, 2);
+        let arena = VectorArena::from_index(&index);
+        let vectors = index.positional_vectors();
+        assert_eq!(arena.len(), vectors.len());
+        assert_eq!(arena.q(), 2);
+        assert_eq!(
+            arena.entry_count(),
+            vectors.iter().map(|v| v.nonzero_dims()).sum::<usize>()
+        );
+        for (raw, vector) in vectors.iter().enumerate() {
+            let (ids, counts) = arena.tree_entries(raw as u32);
+            let sparse: Vec<(BranchId, u32)> = vector.iter_counts().collect();
+            let dense: Vec<(BranchId, u32)> =
+                ids.iter().copied().zip(counts.iter().copied()).collect();
+            assert_eq!(dense, sparse, "tree {raw}");
+            assert_eq!(arena.tree_size(raw as u32), vector.tree_size());
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "unsorted run");
+        }
+        // Out of range is empty, not a panic.
+        assert_eq!(arena.tree_entries(99), (&[][..], &[][..]));
+        assert_eq!(arena.tree_size(99), 0);
+    }
+
+    #[test]
+    fn dense_bdist_equals_sparse_bdist() {
+        let forest = forest();
+        let index = InvertedFileIndex::build(&forest, 2);
+        let arena = VectorArena::from_index(&index);
+        let vectors = index.positional_vectors();
+        for (qraw, qv) in vectors.iter().enumerate() {
+            let query = DenseQuery::new(
+                index.vocab().len(),
+                qv.iter_counts(),
+                u64::from(qv.tree_size()),
+            );
+            for (traw, tv) in vectors.iter().enumerate() {
+                assert_eq!(
+                    arena.bdist(traw as u32, &query),
+                    qv.bdist(tv),
+                    "query {qraw} vs tree {traw}"
+                );
+                assert_eq!(arena.bdist_between(qraw as u32, traw as u32), qv.bdist(tv));
+            }
+        }
+    }
+
+    #[test]
+    fn oov_query_mass_stays_in_total() {
+        let forest = forest();
+        let index = InvertedFileIndex::build(&forest, 2);
+        let arena = VectorArena::from_index(&index);
+        // A query table with ids entirely past the vocabulary: shared mass
+        // is zero, so BDist degenerates to total_q + total_t.
+        let base = index.vocab().len() as u32;
+        let query = DenseQuery::new(
+            index.vocab().len(),
+            [(BranchId(base + 1), 2), (BranchId(base + 5), 1)],
+            3,
+        );
+        assert!(query.lookup().iter().all(|&lane| lane == 0));
+        assert_eq!(arena.bdist(0, &query), 3 + u64::from(arena.tree_size(0)));
+    }
+
+    #[test]
+    fn push_tree_extends_segments() {
+        let mut arena = VectorArena::new(2);
+        assert!(arena.is_empty());
+        arena.push_tree([(BranchId(0), 2), (BranchId(3), 1)], 3);
+        arena.push_tree([], 1);
+        arena.push_tree([(BranchId(1), 4)], 4);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.tree_entries(1), (&[][..], &[][..]));
+        let (ids, counts) = arena.tree_entries(2);
+        assert_eq!(ids, &[BranchId(1)]);
+        assert_eq!(counts, &[4]);
+        assert_eq!(arena.tree_size(1), 1);
+        assert_eq!(arena.entry_count(), 3);
+    }
+}

@@ -18,8 +18,8 @@ use crate::positional::PositionalVector;
 use crate::vector::BranchVector;
 use crate::vocab::{BranchId, BranchVocab};
 
-/// K-way merge of per-branch posting runs, accumulating per-tree shared
-/// branch mass `Σ_b min(count_q(b), count_t(b))`.
+/// Merge of per-branch posting runs, accumulating per-tree shared branch
+/// mass `Σ_b min(count_q(b), count_t(b))`.
 ///
 /// Each run is `(query_count, postings)` for one of the query's branches:
 /// `query_count` occurrences on the query side and an iterator of
@@ -27,14 +27,61 @@ use crate::vocab::{BranchId, BranchVocab};
 /// [`InvertedFileIndex`] maintains). The output is sorted by tree id and
 /// contains exactly the trees that share at least one branch with the
 /// query — trees sharing nothing never appear, which is what makes the
-/// postings candidate generator sub-linear on selective queries.
+/// postings candidate generator sub-linear on selective queries. Tree ids
+/// at or past `tree_count` are ignored (they cannot be indexed trees).
 ///
 /// The `min` clamp makes the accumulated mass exactly the shared-mass term
 /// of the binary branch distance:
 /// `BDist(q,t) = |BRV(q)| + |BRV(t)| − 2·Σ_b min(count_q(b), count_t(b))`,
 /// so a caller holding the total masses recovers `BDist` itself (see
 /// DESIGN §10).
-pub fn merge_shared_mass<I>(runs: Vec<(u32, I)>) -> Vec<(TreeId, u64)>
+///
+/// Internally this is a dense scatter-accumulate over a `tree_count`-lane
+/// table rather than a `BinaryHeap` k-way merge: each run streams straight
+/// into its trees' lanes (no per-element heap traffic), touched lanes are
+/// remembered and sorted once at the end. Exact `u64` accumulation in any
+/// order is associative, so the output is identical to the heap merge —
+/// which survives as [`merge_shared_mass_sparse`], the `strict-checks`
+/// oracle.
+pub fn merge_shared_mass<I>(tree_count: usize, runs: Vec<(u32, I)>) -> Vec<(TreeId, u64)>
+where
+    I: Iterator<Item = (TreeId, u32)>,
+{
+    // u64::MAX marks an untouched lane so that trees reached only through
+    // zero-mass pairs (query_count == 0) still appear in the output, the
+    // same membership semantics the heap merge had.
+    const UNSEEN: u64 = u64::MAX;
+    let mut mass: Vec<u64> = vec![UNSEEN; tree_count];
+    let mut touched: Vec<TreeId> = Vec::new();
+    for (query_count, run) in runs {
+        for (tree, count) in run {
+            let Some(lane) = mass.get_mut(tree.index()) else {
+                continue;
+            };
+            let shared = u64::from(count.min(query_count));
+            if *lane == UNSEEN {
+                *lane = shared;
+                touched.push(tree);
+            } else {
+                *lane += shared;
+            }
+        }
+    }
+    touched.sort_unstable();
+    touched
+        .into_iter()
+        .map(|tree| {
+            let shared = mass.get(tree.index()).copied().unwrap_or(0);
+            (tree, shared)
+        })
+        .collect()
+}
+
+/// The original `BinaryHeap` k-way formulation of [`merge_shared_mass`],
+/// kept as the allocation-free-per-tree reference: property tests and the
+/// `strict-checks` assertions in the index paths compare the dense scatter
+/// kernel against it, and the `ablation-simd` bench reports both.
+pub fn merge_shared_mass_sparse<I>(runs: Vec<(u32, I)>) -> Vec<(TreeId, u64)>
 where
     I: Iterator<Item = (TreeId, u32)>,
 {
@@ -302,7 +349,23 @@ impl InvertedFileIndex {
                 (count, list.iter().map(|p| (p.tree, p.count())))
             })
             .collect();
-        merge_shared_mass(runs)
+        let merged = merge_shared_mass(self.tree_count, runs);
+        #[cfg(feature = "strict-checks")]
+        debug_assert_eq!(
+            merged,
+            merge_shared_mass_sparse(
+                query_counts
+                    .iter()
+                    .filter(|(branch, _)| branch.index() < self.postings.len())
+                    .map(|&(branch, count)| {
+                        let list = self.postings(branch);
+                        (count, list.iter().map(|p| (p.tree, p.count())))
+                    })
+                    .collect(),
+            ),
+            "dense shared-mass scatter diverged from the k-way heap merge"
+        );
+        merged
     }
 
     /// Total number of postings (≈ total nodes in the dataset) — the
@@ -423,10 +486,8 @@ mod tests {
         let vector = PositionalVector::build_query(tree, &mut query_vocab);
         let base = index.vocab().len();
         let counts = vector
-            .entries()
-            .iter()
-            .filter(|e| e.branch.index() < base)
-            .map(|e| (e.branch, e.positions.len() as u32))
+            .iter_counts()
+            .filter(|(branch, _)| branch.index() < base)
             .collect();
         (counts, u64::from(vector.tree_size()))
     }
@@ -480,14 +541,24 @@ mod tests {
     #[test]
     fn merge_kernel_handles_duplicate_trees_across_runs() {
         // Two runs both naming tree 1: masses accumulate, min-clamped.
-        let runs = vec![
-            (2u32, vec![(TreeId(0), 5u32), (TreeId(1), 1)].into_iter()),
-            (3u32, vec![(TreeId(1), 4u32), (TreeId(2), 3)].into_iter()),
-        ];
-        let merged = merge_shared_mass(runs);
+        let runs = || {
+            vec![
+                (2u32, vec![(TreeId(0), 5u32), (TreeId(1), 1)].into_iter()),
+                (3u32, vec![(TreeId(1), 4u32), (TreeId(2), 3)].into_iter()),
+            ]
+        };
+        let merged = merge_shared_mass(3, runs());
         assert_eq!(merged, vec![(TreeId(0), 2), (TreeId(1), 4), (TreeId(2), 3)]);
-        let empty: Vec<(u32, std::vec::IntoIter<(TreeId, u32)>)> = Vec::new();
-        assert!(merge_shared_mass(empty).is_empty());
+        assert_eq!(merged, merge_shared_mass_sparse(runs()));
+        let empty = || Vec::<(u32, std::vec::IntoIter<(TreeId, u32)>)>::new();
+        assert!(merge_shared_mass(3, empty()).is_empty());
+        assert!(merge_shared_mass(0, runs()).is_empty());
+        assert!(merge_shared_mass_sparse(empty()).is_empty());
+        // A zero-count query branch still marks membership at zero mass —
+        // dense and sparse agree on the zero-mass-entry semantics.
+        let zero_run = || vec![(0u32, vec![(TreeId(1), 9u32)].into_iter())];
+        assert_eq!(merge_shared_mass(3, zero_run()), vec![(TreeId(1), 0)]);
+        assert_eq!(merge_shared_mass_sparse(zero_run()), vec![(TreeId(1), 0)]);
     }
 
     #[test]

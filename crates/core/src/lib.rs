@@ -38,8 +38,10 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod branch;
 pub mod codec;
+pub mod dense;
 pub mod ifi;
 pub mod incremental;
 pub mod matching;
@@ -47,9 +49,10 @@ pub mod positional;
 pub mod vector;
 pub mod vocab;
 
+pub use arena::{DenseQuery, VectorArena};
 pub use branch::{bound_factor, edit_lower_bound, extract_branches, BranchOccurrence};
-pub use ifi::{merge_shared_mass, InvertedFileIndex, Posting};
+pub use ifi::{merge_shared_mass, merge_shared_mass_sparse, InvertedFileIndex, Posting};
 pub use incremental::IncrementalTree;
-pub use positional::{PosEntry, PositionalVector};
+pub use positional::{PosEntryRef, PositionalVector};
 pub use vector::{binary_branch_distance, BranchVector};
 pub use vocab::{BranchId, BranchVocab, QueryVocab};

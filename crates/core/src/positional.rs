@@ -15,25 +15,42 @@ use serde::{Deserialize, Serialize};
 use treesim_tree::Tree;
 
 use crate::branch::{bound_factor, extract_branches};
+use crate::dense::bdist_soa;
 use crate::matching::{max_matching, Pos};
 use crate::vocab::{BranchId, BranchVocab, QueryVocab};
 
-/// One branch dimension with its occurrence positions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PosEntry {
+/// A borrowed view of one branch dimension with its occurrence positions —
+/// what [`PositionalVector::entries`] yields. The positions slice aliases
+/// the vector's contiguous position slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PosEntryRef<'a> {
     /// The branch id.
     pub branch: BranchId,
     /// Occurrence positions, sorted by preorder position.
-    pub positions: Vec<Pos>,
+    pub positions: &'a [Pos],
 }
 
 /// A binary branch vector augmented with occurrence positions.
+///
+/// Stored CSR-style (structure of arrays): sorted `branch_ids` with
+/// parallel `counts` lanes, plus a flat position slab delimited by
+/// `pos_offsets` — the counts-only `BDist` merge never touches positions,
+/// and the count lanes feed the dense kernels of [`crate::dense`] without
+/// gathering through per-entry allocations.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PositionalVector {
     q: usize,
     tree_size: u32,
-    /// Entries sorted by branch id.
-    entries: Vec<PosEntry>,
+    /// Branch ids, strictly ascending.
+    branch_ids: Vec<BranchId>,
+    /// Occurrence counts, parallel to `branch_ids`.
+    counts: Vec<u32>,
+    /// `pos_offsets[i]..pos_offsets[i + 1]` delimits entry `i`'s positions
+    /// in the slab; length is `branch_ids.len() + 1`.
+    pos_offsets: Vec<u32>,
+    /// All occurrence positions, grouped by branch, preorder-sorted within
+    /// each group.
+    positions: Vec<Pos>,
 }
 
 impl PositionalVector {
@@ -61,20 +78,30 @@ impl PositionalVector {
         // Sort by (branch, preorder); extraction order is already preorder,
         // so a stable sort by branch alone would suffice, but be explicit.
         tagged.sort_unstable_by_key(|&(id, pos)| (id, pos.0));
-        let mut entries: Vec<PosEntry> = Vec::new();
+        let mut branch_ids: Vec<BranchId> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut pos_offsets: Vec<u32> = vec![0];
+        let mut positions: Vec<Pos> = Vec::with_capacity(tagged.len());
         for (id, pos) in tagged {
-            match entries.last_mut() {
-                Some(entry) if entry.branch == id => entry.positions.push(pos),
-                _ => entries.push(PosEntry {
-                    branch: id,
-                    positions: vec![pos],
-                }),
+            if branch_ids.last() != Some(&id) {
+                branch_ids.push(id);
+                counts.push(0);
+                pos_offsets.push(positions.len() as u32);
+            }
+            positions.push(pos);
+            if let (Some(count), Some(end)) = (counts.last_mut(), pos_offsets.last_mut()) {
+                *count += 1;
+                *end += 1;
             }
         }
+        debug_assert_eq!(pos_offsets.len(), branch_ids.len() + 1);
         PositionalVector {
             q,
             tree_size,
-            entries,
+            branch_ids,
+            counts,
+            pos_offsets,
+            positions,
         }
     }
 
@@ -88,9 +115,47 @@ impl PositionalVector {
         self.tree_size
     }
 
-    /// The sparse entries, sorted by branch id.
-    pub fn entries(&self) -> &[PosEntry] {
-        &self.entries
+    /// The sparse entries, sorted by branch id, as borrowed views over the
+    /// CSR slabs.
+    pub fn entries(&self) -> impl Iterator<Item = PosEntryRef<'_>> + '_ {
+        self.branch_ids
+            .iter()
+            .zip(self.pos_offsets.windows(2))
+            .map(move |(&branch, window)| {
+                let positions = match *window {
+                    [start, end] => self
+                        .positions
+                        .get(start as usize..end as usize)
+                        .unwrap_or(&[]),
+                    _ => &[],
+                };
+                PosEntryRef { branch, positions }
+            })
+    }
+
+    /// The sparse `(branch, count)` pairs, sorted by branch id — the
+    /// counts-only projection the arena and postings paths consume.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (BranchId, u32)> + '_ {
+        self.branch_ids
+            .iter()
+            .copied()
+            .zip(self.counts.iter().copied())
+    }
+
+    /// The sorted branch-id lane of the CSR layout.
+    pub fn branch_ids(&self) -> &[BranchId] {
+        &self.branch_ids
+    }
+
+    /// The count lane of the CSR layout, parallel to
+    /// [`PositionalVector::branch_ids`].
+    pub fn branch_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Number of nonzero dimensions (distinct branches).
+    pub fn nonzero_dims(&self) -> usize {
+        self.branch_ids.len()
     }
 
     /// The O(1) size lower bound `| |T1| − |T2| |` — the coarsest stage of
@@ -101,9 +166,16 @@ impl PositionalVector {
     }
 
     /// Plain binary branch distance (counts only) — equals
-    /// `pos_bdist(other, pr)` for any `pr ≥ max(|T1|, |T2|)`.
+    /// `pos_bdist(other, pr)` for any `pr ≥ max(|T1|, |T2|)`. Runs the
+    /// dense SoA merge over the count lanes; positions are never touched.
     pub fn bdist(&self, other: &PositionalVector) -> u64 {
-        self.merge_distance(other, |a, b| a.len().min(b.len()))
+        assert_eq!(self.q, other.q, "mixing branch levels");
+        bdist_soa(
+            &self.branch_ids,
+            &self.counts,
+            &other.branch_ids,
+            &other.counts,
+        )
     }
 
     /// The positional binary branch distance `PosBDist(T1, T2, pr)`
@@ -121,33 +193,28 @@ impl PositionalVector {
     {
         assert_eq!(self.q, other.q, "mixing branch levels");
         let mut distance = 0u64;
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.entries.len() && j < other.entries.len() {
-            let a = &self.entries[i];
-            let b = &other.entries[j];
+        let mut left = self.entries().peekable();
+        let mut right = other.entries().peekable();
+        while let (Some(&a), Some(&b)) = (left.peek(), right.peek()) {
             match a.branch.cmp(&b.branch) {
                 std::cmp::Ordering::Less => {
                     distance += a.positions.len() as u64;
-                    i += 1;
+                    left.next();
                 }
                 std::cmp::Ordering::Greater => {
                     distance += b.positions.len() as u64;
-                    j += 1;
+                    right.next();
                 }
                 std::cmp::Ordering::Equal => {
-                    let matched = matcher(&a.positions, &b.positions) as u64;
+                    let matched = matcher(a.positions, b.positions) as u64;
                     distance += a.positions.len() as u64 + b.positions.len() as u64 - 2 * matched;
-                    i += 1;
-                    j += 1;
+                    left.next();
+                    right.next();
                 }
             }
         }
-        for entry in &self.entries[i..] {
-            distance += entry.positions.len() as u64;
-        }
-        for entry in &other.entries[j..] {
-            distance += entry.positions.len() as u64;
-        }
+        distance += left.map(|entry| entry.positions.len() as u64).sum::<u64>();
+        distance += right.map(|entry| entry.positions.len() as u64).sum::<u64>();
         distance
     }
 

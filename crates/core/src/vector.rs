@@ -78,36 +78,7 @@ impl BranchVector {
     /// Panics if the vectors were built with different `q`.
     pub fn bdist(&self, other: &BranchVector) -> u64 {
         assert_eq!(self.q, other.q, "mixing branch levels");
-        let mut distance = 0u64;
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < self.entries.len() && j < other.entries.len() {
-            let (id_a, count_a) = self.entries[i];
-            let (id_b, count_b) = other.entries[j];
-            match id_a.cmp(&id_b) {
-                std::cmp::Ordering::Less => {
-                    distance += u64::from(count_a);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    distance += u64::from(count_b);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    distance += u64::from(count_a.abs_diff(count_b));
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        distance += self.entries[i..]
-            .iter()
-            .map(|&(_, c)| u64::from(c))
-            .sum::<u64>();
-        distance += other.entries[j..]
-            .iter()
-            .map(|&(_, c)| u64::from(c))
-            .sum::<u64>();
-        distance
+        crate::dense::bdist_merge(&self.entries, &other.entries)
     }
 
     /// Lower bound on the unit-cost edit distance:

@@ -151,9 +151,8 @@ fn section_4_2_positional_example() {
         let id = vocab.lookup(key).expect("branch in vocabulary");
         vector
             .entries()
-            .iter()
             .find(|entry| entry.branch == id)
-            .map(|entry| entry.positions.clone())
+            .map(|entry| entry.positions.to_vec())
             .unwrap_or_default()
     };
     assert_eq!(find(&v1, &[c, eps, d]), vec![(3, 1), (6, 4)]);

@@ -1,0 +1,182 @@
+//! Property tests for the dense/arena kernels: on arbitrary forests —
+//! including fully out-of-vocabulary queries and empty segments — they are
+//! bit-identical to order-independent sparse references, the CSR arena
+//! round-trips every pushed segment, and the dense scatter postings merge
+//! equals the k-way heap merge it replaced.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use treesim_core::{
+    merge_shared_mass, merge_shared_mass_sparse, BranchId, DenseQuery, InvertedFileIndex,
+    PositionalVector, VectorArena,
+};
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_tree::{Forest, TreeId};
+
+fn small_forest(seed: u64, count: usize) -> Forest {
+    generate(&SyntheticConfig {
+        fanout: Normal::new(2.5, 1.0),
+        size: Normal::new(10.0, 3.0),
+        label_count: 5,
+        decay: 0.25,
+        seed_count: 2.min(count),
+        tree_count: count,
+        rng_seed: seed,
+    })
+}
+
+/// Order-independent L1 reference: scatter both count vectors into one map
+/// and sum absolute differences. Shares no code with the merge kernels.
+fn naive_l1(a: &PositionalVector, b: &PositionalVector) -> u64 {
+    let mut dims: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+    for (id, count) in a.iter_counts() {
+        dims.entry(id.index()).or_default().0 += u64::from(count);
+    }
+    for (id, count) in b.iter_counts() {
+        dims.entry(id.index()).or_default().1 += u64::from(count);
+    }
+    dims.values().map(|&(x, y)| x.abs_diff(y)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The SoA merge behind `PositionalVector::bdist` equals the naive
+    /// scatter-subtract reference on random tree pairs.
+    #[test]
+    fn dense_bdist_matches_naive_l1(seed in 0u64..100_000) {
+        let forest = small_forest(seed, 2);
+        let index = InvertedFileIndex::build(&forest, 2);
+        let vectors = index.positional_vectors();
+        let (v1, v2) = (&vectors[0], &vectors[1]);
+        prop_assert_eq!(v1.bdist(v2), naive_l1(v1, v2));
+        prop_assert_eq!(v2.bdist(v1), naive_l1(v1, v2));
+    }
+
+    /// The arena's dense lookup BDist equals the sparse-vector BDist (and
+    /// the naive reference) for every query/candidate pair, and
+    /// `bdist_between` agrees on arbitrary in-arena pairs.
+    #[test]
+    fn arena_bdist_matches_sparse_vectors(seed in 0u64..100_000, count in 2usize..7) {
+        let forest = small_forest(seed, count);
+        let index = InvertedFileIndex::build(&forest, 2);
+        let arena = VectorArena::from_index(&index);
+        let vectors = index.positional_vectors();
+        prop_assert_eq!(arena.len(), vectors.len());
+        for (qi, query) in vectors.iter().enumerate() {
+            let dense = DenseQuery::new(
+                index.vocab().len(),
+                query.iter_counts(),
+                u64::from(query.tree_size()),
+            );
+            for (raw, data) in vectors.iter().enumerate() {
+                let got = arena.bdist(raw as u32, &dense);
+                prop_assert_eq!(got, query.bdist(data), "q={} t={}", qi, raw);
+                prop_assert_eq!(got, naive_l1(query, data));
+                prop_assert_eq!(
+                    arena.bdist_between(qi as u32, raw as u32),
+                    naive_l1(query, data)
+                );
+            }
+        }
+    }
+
+    /// A 100%-out-of-vocabulary query shares no mass with any tree: its
+    /// dense table is all zeros and BDist collapses to `|BRV(q)| + |BRV(t)|`
+    /// — exactly what the sparse merge of disjoint id runs yields.
+    #[test]
+    fn fully_oov_query_shares_nothing(seed in 0u64..100_000, mass in 1u32..30) {
+        let forest = small_forest(seed, 3);
+        let index = InvertedFileIndex::build(&forest, 2);
+        let arena = VectorArena::from_index(&index);
+        let base = index.vocab().len() as u32;
+        let oov = [
+            (BranchId(base), mass),
+            (BranchId(base + 7), 2 * mass),
+        ];
+        let total = u64::from(3 * mass);
+        let dense = DenseQuery::new(index.vocab().len(), oov, total);
+        prop_assert!(dense.lookup().iter().all(|&c| c == 0));
+        for raw in 0..arena.len() as u32 {
+            prop_assert_eq!(
+                arena.bdist(raw, &dense),
+                total + u64::from(arena.tree_size(raw))
+            );
+        }
+    }
+
+    /// The CSR arena round-trips segment pushes: every `push_tree` is
+    /// readable back verbatim (including empty segments), ids out of range
+    /// read as empty trees of size zero.
+    #[test]
+    fn arena_roundtrips_pushed_segments(
+        raw_trees in prop::collection::vec(
+            prop::collection::vec((0u32..60, 1u32..8), 0..12),
+            0..8,
+        )
+    ) {
+        // Collapse duplicate ids per tree: arena segments are keyed maps.
+        let trees: Vec<BTreeMap<u32, u32>> = raw_trees
+            .iter()
+            .map(|pairs| pairs.iter().copied().collect())
+            .collect();
+        let mut arena = VectorArena::new(2);
+        for entries in &trees {
+            let size: u32 = entries.values().sum();
+            arena.push_tree(
+                entries.iter().map(|(&id, &count)| (BranchId(id), count)),
+                size,
+            );
+        }
+        prop_assert_eq!(arena.len(), trees.len());
+        prop_assert_eq!(
+            arena.entry_count(),
+            trees.iter().map(BTreeMap::len).sum::<usize>()
+        );
+        for (raw, entries) in trees.iter().enumerate() {
+            let (ids, counts) = arena.tree_entries(raw as u32);
+            let got: Vec<(u32, u32)> = ids
+                .iter()
+                .zip(counts)
+                .map(|(id, &count)| (id.index() as u32, count))
+                .collect();
+            let want: Vec<(u32, u32)> = entries.iter().map(|(&id, &count)| (id, count)).collect();
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(arena.tree_size(raw as u32), entries.values().sum::<u32>());
+        }
+        // Out-of-range reads are empty, not panics.
+        let (ids, counts) = arena.tree_entries(trees.len() as u32 + 5);
+        prop_assert!(ids.is_empty() && counts.is_empty());
+        prop_assert_eq!(arena.tree_size(trees.len() as u32 + 5), 0);
+    }
+
+    /// The dense scatter postings merge is value-identical to the k-way
+    /// heap merge it replaced, on arbitrary run sets (duplicate trees
+    /// across runs, empty runs, zero query counts).
+    #[test]
+    fn dense_scatter_merge_equals_heap_merge(
+        raw_runs in prop::collection::vec(
+            (0u32..5, prop::collection::vec((0u32..40, 1u32..6), 0..10)),
+            0..6,
+        )
+    ) {
+        // Posting runs are sorted and unique per tree id.
+        let runs: Vec<(u32, BTreeMap<u32, u32>)> = raw_runs
+            .iter()
+            .map(|(query_count, pairs)| (*query_count, pairs.iter().copied().collect()))
+            .collect();
+        let make = || -> Vec<(u32, _)> {
+            runs.iter()
+                .map(|(query_count, list)| {
+                    (
+                        *query_count,
+                        list.iter().map(|(&tree, &count)| (TreeId(tree), count)),
+                    )
+                })
+                .collect()
+        };
+        prop_assert_eq!(merge_shared_mass(40, make()), merge_shared_mass_sparse(make()));
+    }
+}

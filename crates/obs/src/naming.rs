@@ -23,7 +23,7 @@
 /// Observability table — the analyzer rejects unknown prefixes.
 pub const KNOWN_PREFIXES: &[&str] = &[
     "cascade", "refine", "engine", "batch", "dynamic", "recorder", "server", "shard", "join",
-    "cluster", "classify", "trace", "model", "analyze", "slo", "window",
+    "cluster", "classify", "trace", "model", "analyze", "slo", "window", "arena",
 ];
 
 /// The namespace reserved for metrics created inside `#[cfg(test)]` code
@@ -39,6 +39,15 @@ pub const TEST_PREFIX: &str = "test";
 ///
 /// [`Filter::stage_name`]: https://docs.rs/treesim-search
 pub const CASCADE_STAGES: &[&str] = &["size", "bdist", "propt", "histo", "scan", "postings"];
+
+/// Reserved `cascade.<segment>.*` second segments that are *not* stage
+/// names (and must never appear as a [`Filter::stage_name`]): mechanism
+/// counters that cut across stages, like the batched-sweep instrumentation
+/// `cascade.batch.evaluated`. Kept separate from [`CASCADE_STAGES`] so the
+/// stage-table lockstep checks (runtime and `xtask`) stay exact.
+///
+/// [`Filter::stage_name`]: https://docs.rs/treesim-search
+pub const CASCADE_EXTRAS: &[&str] = &["batch"];
 
 /// Why a name failed [`validate_metric_name`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,7 +115,8 @@ pub fn validate_metric_name(name: &str, allow_test: bool) -> Result<(), NameErro
     if !known {
         return Err(NameError::UnknownPrefix(prefix.to_owned()));
     }
-    if prefix == "cascade" && !CASCADE_STAGES.contains(&second) {
+    if prefix == "cascade" && !CASCADE_STAGES.contains(&second) && !CASCADE_EXTRAS.contains(&second)
+    {
         return Err(NameError::UnknownStage(second.to_owned()));
     }
     Ok(())
@@ -143,7 +153,11 @@ pub fn validate_metric_template(template: &str) -> Result<(), NameError> {
         if !KNOWN_PREFIXES.contains(&prefix) {
             return Err(NameError::UnknownPrefix(prefix.to_owned()));
         }
-        if prefix == "cascade" && !is_wild(stage) && !CASCADE_STAGES.contains(&stage) {
+        if prefix == "cascade"
+            && !is_wild(stage)
+            && !CASCADE_STAGES.contains(&stage)
+            && !CASCADE_EXTRAS.contains(&stage)
+        {
             return Err(NameError::UnknownStage(stage.to_owned()));
         }
     }
@@ -163,6 +177,9 @@ mod tests {
             "cascade.size.evaluated",
             "cascade.propt.iters",
             "cascade.postings.evaluated",
+            "cascade.batch.evaluated",
+            "arena.trees",
+            "arena.entries",
             "shard.knn.queries",
             "shard.workers.active",
             "refine.zs.nodes",

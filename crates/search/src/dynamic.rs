@@ -19,7 +19,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
-use treesim_core::{BranchVocab, PositionalVector};
+use treesim_core::{BranchVocab, PositionalVector, VectorArena};
 use treesim_edit::{bounded_zhang_shasha, TreeInfo, UnitCost, ZsWorkspace};
 use treesim_obs::recorder::{self, QueryKind};
 use treesim_tree::{Forest, LabelInterner, Tree, TreeId};
@@ -97,6 +97,10 @@ pub struct DynamicIndex {
     /// incrementally-maintained counterpart of
     /// [`treesim_core::InvertedFileIndex`]'s postings.
     postings: Vec<Vec<(u32, u32)>>,
+    /// CSR arena over the same vectors, grown segment-wise on every push
+    /// (each append is one new segment; earlier segments never move), so
+    /// the cascade's size screen reads a flat lane here too.
+    arena: VectorArena,
 }
 
 impl DynamicIndex {
@@ -112,6 +116,7 @@ impl DynamicIndex {
             vectors: Vec::new(),
             infos: Vec::new(),
             postings: Vec::new(),
+            arena: VectorArena::new(q),
         }
     }
 
@@ -152,6 +157,11 @@ impl DynamicIndex {
         self.forest.interner_mut()
     }
 
+    /// The CSR arena mirroring the pushed vectors (one segment per push).
+    pub fn arena(&self) -> &VectorArena {
+        &self.arena
+    }
+
     /// Appends a tree (labels must come from this index's interner) and
     /// returns its id. The tree is immediately searchable.
     ///
@@ -173,6 +183,9 @@ impl DynamicIndex {
         for entry in vector.entries() {
             self.postings[entry.branch.index()].push((raw, entry.positions.len() as u32));
         }
+        self.arena
+            .push_tree(vector.iter_counts(), vector.tree_size());
+        crate::filter::publish_arena_gauges(&self.arena);
         self.vectors.push(vector);
         self.infos.push(TreeInfo::new(&tree));
         let id = self.forest.push(tree);
@@ -208,7 +221,6 @@ impl DynamicIndex {
     fn shared_mass(&self, query_vector: &PositionalVector) -> Vec<(TreeId, u64)> {
         let runs: Vec<(u32, _)> = query_vector
             .entries()
-            .iter()
             .filter(|entry| entry.branch.index() < self.postings.len())
             .map(|entry| {
                 (
@@ -219,7 +231,7 @@ impl DynamicIndex {
                 )
             })
             .collect();
-        treesim_core::merge_shared_mass(runs)
+        treesim_core::merge_shared_mass(self.len(), runs)
     }
 
     /// The stage −1 bound for one candidate:
@@ -229,7 +241,7 @@ impl DynamicIndex {
             Ok(found) => shared[found].1,
             Err(_) => 0,
         };
-        let data_size = u64::from(self.vectors[raw as usize].tree_size());
+        let data_size = u64::from(self.arena.tree_size(raw));
         treesim_core::edit_lower_bound(total + data_size - 2 * mass, self.vocab.q())
     }
 

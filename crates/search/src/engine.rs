@@ -363,14 +363,20 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         let stage_count = self.filter.stages();
         let query_artifact = self.filter.prepare_query(query);
 
-        // Stage 0 for every tree, in bulk. The heap keys escalations by
-        // (bound, next stage, id): of equally bounded entries the one with
-        // fewer stages left runs first, reaching refinement sooner.
+        // Stage 0 for every tree, in bulk: one batched sweep in ascending
+        // tree-id (= arena) order, so arena-backed filters touch their CSR
+        // slabs sequentially. The heap keys escalations by (bound, next
+        // stage, id): of equally bounded entries the one with fewer stages
+        // left runs first, reaching refinement sooner.
         let stage0_start = Instant::now();
+        let sweep: Vec<TreeId> = self.forest.iter().map(|(id, _)| id).collect();
+        let mut bounds: Vec<u64> = Vec::with_capacity(sweep.len());
+        self.filter
+            .stage_bound_batch(&query_artifact, &sweep, 0, &mut bounds);
         let mut escalation: BinaryHeap<Reverse<(u64, usize, TreeId)>> =
             BinaryHeap::with_capacity(self.forest.len());
-        for (id, _) in self.forest.iter() {
-            let bound = self.filter.stage_bound(&query_artifact, id, 0) * scale;
+        for (&id, &raw_bound) in sweep.iter().zip(&bounds) {
+            let bound = raw_bound * scale;
             observer.on_stage_bound(id, 0, bound);
             escalation.push(Reverse((bound, 1, id)));
         }
@@ -514,6 +520,7 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
         // candidate is safe to drop when ops > ⌊tau / scale⌋.
         let ops_tau = u32::try_from(u64::from(tau) / self.bound_scale()).unwrap_or(u32::MAX);
         let mut candidates: Vec<TreeId> = self.forest.iter().map(|(id, _)| id).collect();
+        let mut bounds: Vec<u64> = Vec::new();
         for stage in 0..stage_count {
             // Trace-only stage span (the `cascade.<stage>.us` histograms
             // already time these sweeps via `record_metrics`): one child
@@ -533,16 +540,22 @@ impl<'a, F: Filter, C: CostModel> SearchEngine<'a, F, C> {
                     !pruned
                 });
             } else {
-                candidates.retain(|&id| {
-                    let bound = self.filter.stage_bound(&query_artifact, id, stage) * scale;
+                // Candidates stay in ascending id order across stages, so
+                // every non-final sweep is one batched arena-order walk.
+                bounds.clear();
+                self.filter
+                    .stage_bound_batch(&query_artifact, &candidates, stage, &mut bounds);
+                let mut kept = Vec::with_capacity(candidates.len());
+                for (&id, &raw_bound) in candidates.iter().zip(&bounds) {
+                    let bound = raw_bound * scale;
                     observer.on_stage_bound(id, stage, bound);
                     if bound <= u64::from(ops_tau) * scale {
-                        true
+                        kept.push(id);
                     } else {
                         observer.on_pruned(id, stage, bound);
-                        false
                     }
-                });
+                }
+                candidates = kept;
             }
             stats.stages[stage].evaluated = before;
             stats.stages[stage].pruned = before - candidates.len();

@@ -5,9 +5,18 @@
 //! Correctness contract: `lower_bound(query, t) ≤ EDist(query, t)` — the
 //! engine's completeness (no false negatives) rests on it.
 
-use treesim_core::{BranchVocab, InvertedFileIndex, PositionalVector, QueryVocab};
+use treesim_core::{
+    BranchVocab, DenseQuery, InvertedFileIndex, PositionalVector, QueryVocab, VectorArena,
+};
 use treesim_histogram::{BinBudget, HistogramVector};
 use treesim_tree::{Forest, Tree, TreeId};
+
+/// Publishes an arena's footprint gauges (`arena.trees`, `arena.entries`)
+/// — refreshed whenever a filter (re)builds its CSR arena.
+pub(crate) fn publish_arena_gauges(arena: &VectorArena) {
+    treesim_obs::gauge!("arena.trees").set(arena.len() as i64);
+    treesim_obs::gauge!("arena.entries").set(arena.entry_count() as i64);
+}
 
 /// A lower-bound filter over an indexed dataset.
 pub trait Filter {
@@ -55,6 +64,31 @@ pub trait Filter {
     fn prunes_range(&self, query: &Self::Query, candidate: TreeId, tau: u32) -> bool {
         self.lower_bound(query, candidate) > u64::from(tau)
     }
+
+    /// Appends `stage_bound(query, id, stage)` for every id in
+    /// `candidates` (in order) to `out`.
+    ///
+    /// `candidates` must be ascending by tree id — the engine's bulk
+    /// sweeps always are — so arena-backed filters can override this to
+    /// walk their CSR slabs strictly sequentially (and, for the postings
+    /// stage, replace per-candidate binary searches with one merged walk).
+    /// Results are exactly the per-candidate bounds in the same order;
+    /// overrides count their batched evaluations in
+    /// `cascade.batch.evaluated`.
+    fn stage_bound_batch(
+        &self,
+        query: &Self::Query,
+        candidates: &[TreeId],
+        stage: usize,
+        out: &mut Vec<u64>,
+    ) {
+        debug_assert!(candidates.windows(2).all(|w| matches!(w, [a, b] if a < b)));
+        out.extend(
+            candidates
+                .iter()
+                .map(|&id| self.stage_bound(query, id, stage)),
+        );
+    }
 }
 
 /// How the binary branch filter derives its bound.
@@ -69,32 +103,47 @@ pub enum BiBranchMode {
 }
 
 /// The paper's filter: binary branch vectors with optional positional
-/// tightening.
+/// tightening. The counts-only data additionally lives in a CSR
+/// [`VectorArena`], which the `size`/`bdist` stages read — batched
+/// candidate sweeps then touch one contiguous slab in tree-id order.
 #[derive(Debug)]
 pub struct BiBranchFilter {
     vocab: BranchVocab,
     vectors: Vec<PositionalVector>,
+    arena: VectorArena,
     mode: BiBranchMode,
+}
+
+/// Per-query artifact of [`BiBranchFilter`]: the query's positional vector
+/// plus its counts scattered into a dense lookup for the arena kernels.
+#[derive(Debug)]
+pub struct BiBranchQuery {
+    vector: PositionalVector,
+    dense: DenseQuery,
+}
+
+impl BiBranchQuery {
+    /// The query's positional vector under the dataset vocabulary.
+    pub fn vector(&self) -> &PositionalVector {
+        &self.vector
+    }
 }
 
 impl BiBranchFilter {
     /// Indexes `forest` with q-level branches via the inverted file index
     /// (Algorithm 1).
     pub fn build(forest: &Forest, q: usize, mode: BiBranchMode) -> Self {
-        let index = InvertedFileIndex::build(forest, q);
-        let vectors = index.positional_vectors();
-        BiBranchFilter {
-            vocab: index.vocab().clone(),
-            vectors,
-            mode,
-        }
+        Self::from_index(&InvertedFileIndex::build(forest, q), mode)
     }
 
     /// Builds from an existing inverted file index.
     pub fn from_index(index: &InvertedFileIndex, mode: BiBranchMode) -> Self {
+        let arena = VectorArena::from_index(index);
+        publish_arena_gauges(&arena);
         BiBranchFilter {
             vocab: index.vocab().clone(),
             vectors: index.positional_vectors(),
+            arena,
             mode,
         }
     }
@@ -109,9 +158,24 @@ impl BiBranchFilter {
         &self.vectors[tree.index()]
     }
 
-    /// The `propt` bound (see [`propt_bound`]).
-    fn propt_bound(query: &PositionalVector, data: &PositionalVector) -> u64 {
-        propt_bound(query, data)
+    /// The CSR arena backing the `size`/`bdist` stages.
+    pub fn arena(&self) -> &VectorArena {
+        &self.arena
+    }
+
+    /// The `bdist` stage bound through the arena's dense shared-mass
+    /// kernel — bit-identical to the sparse merge (asserted under
+    /// `strict-checks`), but reads only the candidate's contiguous slab
+    /// run.
+    fn bdist_bound(&self, query: &BiBranchQuery, candidate: TreeId) -> u64 {
+        let bdist = self.arena.bdist(candidate.index() as u32, &query.dense);
+        #[cfg(feature = "strict-checks")]
+        debug_assert_eq!(
+            bdist,
+            query.vector.bdist(&self.vectors[candidate.index()]),
+            "arena dense BDist diverged from the sparse merge for tree {candidate:?}"
+        );
+        treesim_core::edit_lower_bound(bdist, self.q())
     }
 }
 
@@ -128,7 +192,7 @@ pub(crate) fn propt_bound(query: &PositionalVector, data: &PositionalVector) -> 
 }
 
 impl Filter for BiBranchFilter {
-    type Query = PositionalVector;
+    type Query = BiBranchQuery;
 
     fn name(&self) -> &'static str {
         match self.mode {
@@ -137,16 +201,23 @@ impl Filter for BiBranchFilter {
         }
     }
 
-    fn prepare_query(&self, query: &Tree) -> PositionalVector {
+    fn prepare_query(&self, query: &Tree) -> BiBranchQuery {
         let mut query_vocab = QueryVocab::new(&self.vocab);
-        PositionalVector::build_query(query, &mut query_vocab)
+        let vector = PositionalVector::build_query(query, &mut query_vocab);
+        let dense = DenseQuery::new(
+            self.vocab.len(),
+            vector.iter_counts(),
+            u64::from(vector.tree_size()),
+        );
+        BiBranchQuery { vector, dense }
     }
 
-    fn lower_bound(&self, query: &PositionalVector, candidate: TreeId) -> u64 {
-        let data = &self.vectors[candidate.index()];
+    fn lower_bound(&self, query: &BiBranchQuery, candidate: TreeId) -> u64 {
         match self.mode {
-            BiBranchMode::Plain => treesim_core::edit_lower_bound(query.bdist(data), self.q()),
-            BiBranchMode::Positional => Self::propt_bound(query, data),
+            BiBranchMode::Plain => self.bdist_bound(query, candidate),
+            BiBranchMode::Positional => {
+                propt_bound(&query.vector, &self.vectors[candidate.index()])
+            }
         }
     }
 
@@ -168,22 +239,57 @@ impl Filter for BiBranchFilter {
         }
     }
 
-    fn stage_bound(&self, query: &PositionalVector, candidate: TreeId, stage: usize) -> u64 {
-        let data = &self.vectors[candidate.index()];
+    fn stage_bound(&self, query: &BiBranchQuery, candidate: TreeId, stage: usize) -> u64 {
         match stage {
-            0 => query.size_bound(data),
-            1 => treesim_core::edit_lower_bound(query.bdist(data), self.q()),
-            _ => Self::propt_bound(query, data),
+            0 => u64::from(
+                query
+                    .vector
+                    .tree_size()
+                    .abs_diff(self.arena.tree_size(candidate.index() as u32)),
+            ),
+            1 => self.bdist_bound(query, candidate),
+            _ => propt_bound(&query.vector, &self.vectors[candidate.index()]),
         }
     }
 
-    fn prunes_range(&self, query: &PositionalVector, candidate: TreeId, tau: u32) -> bool {
-        let data = &self.vectors[candidate.index()];
-        match self.mode {
-            BiBranchMode::Plain => {
-                treesim_core::edit_lower_bound(query.bdist(data), self.q()) > u64::from(tau)
+    fn stage_bound_batch(
+        &self,
+        query: &BiBranchQuery,
+        candidates: &[TreeId],
+        stage: usize,
+        out: &mut Vec<u64>,
+    ) {
+        debug_assert!(candidates.windows(2).all(|w| matches!(w, [a, b] if a < b)));
+        match stage {
+            // Both arena-backed stages walk the slabs in tree-id order —
+            // candidates ascend, so memory is touched sequentially.
+            0 => {
+                let query_size = query.vector.tree_size();
+                out.extend(candidates.iter().map(|&id| {
+                    u64::from(query_size.abs_diff(self.arena.tree_size(id.index() as u32)))
+                }));
             }
-            BiBranchMode::Positional => query.exceeds_range(data, tau),
+            1 => out.extend(candidates.iter().map(|&id| self.bdist_bound(query, id))),
+            // propt stays per-candidate: its binary search touches the
+            // sparse positional vectors, not the arena.
+            _ => {
+                out.extend(
+                    candidates
+                        .iter()
+                        .map(|&id| self.stage_bound(query, id, stage)),
+                );
+                return;
+            }
+        }
+        treesim_obs::counter!("cascade.batch.evaluated").add(candidates.len() as u64);
+    }
+
+    fn prunes_range(&self, query: &BiBranchQuery, candidate: TreeId, tau: u32) -> bool {
+        match self.mode {
+            BiBranchMode::Plain => self.bdist_bound(query, candidate) > u64::from(tau),
+            BiBranchMode::Positional => query
+                .vector
+                .exceeds_range(&self.vectors[candidate.index()], tau),
         }
     }
 }
@@ -227,14 +333,16 @@ fn paper_matched_budget(forest: &Forest) -> BinBudget {
 pub struct PostingsFilter {
     index: InvertedFileIndex,
     vectors: Vec<PositionalVector>,
+    arena: VectorArena,
     histograms: Option<(Vec<HistogramVector>, BinBudget)>,
 }
 
 /// Per-query artifact of [`PostingsFilter`]: the query vector plus the
-/// merged posting table.
+/// merged posting table and the dense count lookup for the arena kernels.
 #[derive(Debug)]
 pub struct PostingsQuery {
     vector: PositionalVector,
+    dense: DenseQuery,
     histogram: Option<HistogramVector>,
     /// `(tree, Σ_b min(count_q(b), count_t(b)))`, ascending by tree id;
     /// trees absent from every query posting list are absent here and
@@ -275,8 +383,11 @@ impl PostingsFilter {
 
     /// Builds from an existing inverted file index, taking ownership.
     pub fn from_index(index: InvertedFileIndex) -> Self {
+        let arena = VectorArena::from_index(&index);
+        publish_arena_gauges(&arena);
         PostingsFilter {
             vectors: index.positional_vectors(),
+            arena,
             index,
             histograms: None,
         }
@@ -295,6 +406,24 @@ impl PostingsFilter {
     /// The dataset vector of `tree` (for inspection / experiments).
     pub fn vector(&self, tree: TreeId) -> &PositionalVector {
         &self.vectors[tree.index()]
+    }
+
+    /// The CSR arena backing the `size`/`bdist` stages.
+    pub fn arena(&self) -> &VectorArena {
+        &self.arena
+    }
+
+    /// The `bdist` stage bound through the arena's dense shared-mass
+    /// kernel (see [`BiBranchFilter`]'s equivalent).
+    fn bdist_bound(&self, query: &PostingsQuery, candidate: TreeId) -> u64 {
+        let bdist = self.arena.bdist(candidate.index() as u32, &query.dense);
+        #[cfg(feature = "strict-checks")]
+        debug_assert_eq!(
+            bdist,
+            query.vector.bdist(&self.vectors[candidate.index()]),
+            "arena dense BDist diverged from the sparse merge for tree {candidate:?}"
+        );
+        treesim_core::edit_lower_bound(bdist, self.q())
     }
 
     /// The stage-0 bound: `|BRV(q)| + |BRV(t)| − 2·shared(q, t)` scaled to
@@ -333,15 +462,13 @@ impl Filter for PostingsFilter {
     fn prepare_query(&self, query: &Tree) -> PostingsQuery {
         let mut query_vocab = QueryVocab::new(self.index.vocab());
         let vector = PositionalVector::build_query(query, &mut query_vocab);
-        let counts: Vec<(treesim_core::BranchId, u32)> = vector
-            .entries()
-            .iter()
-            .map(|entry| (entry.branch, entry.positions.len() as u32))
-            .collect();
+        let counts: Vec<(treesim_core::BranchId, u32)> = vector.iter_counts().collect();
         let shared = self.index.shared_branch_mass(&counts);
         treesim_obs::histogram!("cascade.postings.candidates").record(shared.len() as u64);
+        let total = u64::from(vector.tree_size());
         PostingsQuery {
-            total: u64::from(vector.tree_size()),
+            dense: DenseQuery::new(self.index.vocab().len(), counts, total),
+            total,
             shared,
             histogram: self
                 .histograms
@@ -378,21 +505,82 @@ impl Filter for PostingsFilter {
     }
 
     fn stage_bound(&self, query: &PostingsQuery, candidate: TreeId, stage: usize) -> u64 {
-        let data = &self.vectors[candidate.index()];
         match (stage, self.histograms.is_some()) {
             (0, _) => self.postings_bound(query, candidate),
-            (1, _) => query.vector.size_bound(data),
+            (1, _) => u64::from(
+                query
+                    .vector
+                    .tree_size()
+                    .abs_diff(self.arena.tree_size(candidate.index() as u32)),
+            ),
             (2, true) => match (&self.histograms, &query.histogram) {
                 (Some((vectors, _)), Some(histogram)) => {
                     histogram.lower_bound(&vectors[candidate.index()])
                 }
                 _ => unreachable!("histo stage without histograms"),
             },
-            (2, false) | (3, true) => {
-                treesim_core::edit_lower_bound(query.vector.bdist(data), self.q())
-            }
-            _ => propt_bound(&query.vector, data),
+            (2, false) | (3, true) => self.bdist_bound(query, candidate),
+            _ => propt_bound(&query.vector, &self.vectors[candidate.index()]),
         }
+    }
+
+    fn stage_bound_batch(
+        &self,
+        query: &PostingsQuery,
+        candidates: &[TreeId],
+        stage: usize,
+        out: &mut Vec<u64>,
+    ) {
+        debug_assert!(candidates.windows(2).all(|w| matches!(w, [a, b] if a < b)));
+        #[cfg(feature = "strict-checks")]
+        let check_from = out.len();
+        match (stage, self.histograms.is_some()) {
+            // Stage −1 batched: candidates and the merged posting table
+            // both ascend by tree id, so one forward walk over `shared`
+            // replaces the per-candidate binary searches.
+            (0, _) => {
+                let mut table = query.shared.iter().peekable();
+                out.extend(candidates.iter().map(|&id| {
+                    while table.peek().is_some_and(|&&(tree, _)| tree < id) {
+                        table.next();
+                    }
+                    let shared = match table.peek() {
+                        Some(&&(tree, mass)) if tree == id => mass,
+                        _ => 0,
+                    };
+                    let floor = query.total + u64::from(self.arena.tree_size(id.index() as u32))
+                        - 2 * shared;
+                    treesim_core::edit_lower_bound(floor, self.q())
+                }));
+            }
+            (1, _) => {
+                let query_size = query.vector.tree_size();
+                out.extend(candidates.iter().map(|&id| {
+                    u64::from(query_size.abs_diff(self.arena.tree_size(id.index() as u32)))
+                }));
+            }
+            (2, false) | (3, true) => {
+                out.extend(candidates.iter().map(|&id| self.bdist_bound(query, id)));
+            }
+            // histo / propt stay per-candidate.
+            _ => {
+                out.extend(
+                    candidates
+                        .iter()
+                        .map(|&id| self.stage_bound(query, id, stage)),
+                );
+                return;
+            }
+        }
+        #[cfg(feature = "strict-checks")]
+        debug_assert!(
+            candidates
+                .iter()
+                .zip(out.iter().skip(check_from))
+                .all(|(&id, &bound)| bound == self.stage_bound(query, id, stage)),
+            "batched stage-{stage} bounds diverged from the per-candidate path"
+        );
+        treesim_obs::counter!("cascade.batch.evaluated").add(candidates.len() as u64);
     }
 
     fn prunes_range(&self, query: &PostingsQuery, candidate: TreeId, tau: u32) -> bool {

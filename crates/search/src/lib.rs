@@ -55,8 +55,8 @@ pub use dynamic::DynamicIndex;
 pub use engine::{Neighbor, SearchEngine};
 pub use explain::{CandidateExplain, ExplainReport, StageEval, Verdict};
 pub use filter::{
-    BiBranchFilter, BiBranchMode, Filter, HistogramFilter, MaxFilter, NoFilter, PostingsFilter,
-    PostingsQuery,
+    BiBranchFilter, BiBranchMode, BiBranchQuery, Filter, HistogramFilter, MaxFilter, NoFilter,
+    PostingsFilter, PostingsQuery,
 };
 pub use join::{closest_pairs, similarity_join, similarity_self_join, JoinPair, JoinStats};
 pub use sharded::{ShardedEngine, ShardedForest};

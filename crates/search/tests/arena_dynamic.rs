@@ -1,0 +1,56 @@
+//! The dynamic index's segment-wise arena growth round-trips: after any
+//! sequence of pushes, its CSR arena is exactly the arena a from-scratch
+//! [`treesim_core::InvertedFileIndex`] build would produce (the static
+//! construction path), and each segment reads back the pushed vector.
+
+use proptest::prelude::*;
+use treesim_core::{InvertedFileIndex, VectorArena};
+use treesim_datagen::normal::Normal;
+use treesim_datagen::synthetic::{generate, SyntheticConfig};
+use treesim_search::DynamicIndex;
+
+#[test]
+fn pushed_arena_equals_static_build() {
+    let mut index = DynamicIndex::new(2);
+    for spec in [
+        "a(b(c(d)) b e)",
+        "a(c(d) b e)",
+        "a(b c)",
+        "x(y z)",
+        "a(b(c d e) f)",
+        "q(r(s))",
+    ] {
+        index.push_bracket(spec).unwrap();
+        // After EVERY push, the incrementally grown arena matches the
+        // from-scratch CSR build over the same forest.
+        let rebuilt = VectorArena::from_index(&InvertedFileIndex::build(index.forest(), 2));
+        assert_eq!(index.arena(), &rebuilt);
+    }
+    assert_eq!(index.arena().len(), index.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Same round-trip over synthetic forests bulk-loaded tree by tree.
+    #[test]
+    fn pushed_arena_equals_static_build_on_synthetic_forests(
+        seed in 0u64..100_000,
+        count in 1usize..8,
+    ) {
+        let forest = generate(&SyntheticConfig {
+            fanout: Normal::new(2.5, 1.0),
+            size: Normal::new(9.0, 3.0),
+            label_count: 5,
+            decay: 0.25,
+            seed_count: 2.min(count),
+            tree_count: count,
+            rng_seed: seed,
+        });
+        let index = DynamicIndex::from_forest(forest, 2);
+        let rebuilt = VectorArena::from_index(&InvertedFileIndex::build(index.forest(), 2));
+        prop_assert_eq!(index.arena(), &rebuilt);
+        prop_assert_eq!(index.arena().len(), index.len());
+        prop_assert_eq!(index.arena().q(), 2);
+    }
+}

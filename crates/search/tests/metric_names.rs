@@ -109,6 +109,15 @@ fn every_emitted_metric_name_parses_under_the_grammar() {
         names.len() >= 10,
         "expected a populated registry, got {names:?}"
     );
+    // The arena-backed batched sweeps ran above, so their mechanism
+    // counter and the CSR footprint gauges must have materialized (and
+    // validate below like every other name).
+    for expected in ["cascade.batch.evaluated", "arena.trees", "arena.entries"] {
+        assert!(
+            names.contains(&expected),
+            "expected {expected:?} in the drained registry, got {names:?}"
+        );
+    }
     for name in names {
         if is_test_name(name) {
             continue; // reserved namespace for test-only metrics
